@@ -1,0 +1,372 @@
+//! The Greedy incremental baseline (Gruenheid et al., VLDB 2014).
+//!
+//! Greedy is the paper's state-of-the-art comparison point: after each batch
+//! of changes it restricts attention to the clusters *affected* by the
+//! changes (the clusters containing touched objects plus every cluster
+//! connected to them in the similarity graph) and then repeatedly applies
+//! the best objective-improving operator among
+//!
+//! * **merge** of two affected clusters,
+//! * **split** isolating the least cohesive member of an affected cluster,
+//! * **move** of that member into a neighbouring affected cluster,
+//!
+//! until no operator improves the objective.  Because it evaluates every
+//! candidate operator of every affected cluster in every iteration, its cost
+//! grows quickly with the size of the affected neighbourhood — the latency
+//! gap DynamicC exploits by consulting its learned model instead.
+
+use crate::traits::{prepare_working_clustering, IncrementalClusterer};
+use dc_objective::{improves, ObjectiveFunction};
+use dc_similarity::{ClusterAggregates, SimilarityGraph};
+use dc_types::{ClusterId, Clustering, ObjectId, OperationBatch};
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+/// Configuration for [`Greedy`].
+#[derive(Debug, Clone, Copy)]
+pub struct GreedyConfig {
+    /// Upper bound on greedy iterations per round (safety valve).
+    pub max_iterations: usize,
+    /// How many of a cluster's least cohesive members are considered as
+    /// split / move candidates per iteration.
+    pub candidates_per_cluster: usize,
+}
+
+impl Default for GreedyConfig {
+    fn default() -> Self {
+        GreedyConfig {
+            max_iterations: 10_000,
+            candidates_per_cluster: 1,
+        }
+    }
+}
+
+/// The Greedy incremental clusterer.
+pub struct Greedy {
+    objective: Arc<dyn ObjectiveFunction>,
+    config: GreedyConfig,
+}
+
+#[derive(Debug)]
+enum GreedyOp {
+    Merge(ClusterId, ClusterId),
+    Isolate(ClusterId, ObjectId),
+    Move(ObjectId, ClusterId),
+}
+
+impl Greedy {
+    /// Create a Greedy baseline for the given objective.
+    pub fn new(objective: Arc<dyn ObjectiveFunction>, config: GreedyConfig) -> Self {
+        Greedy { objective, config }
+    }
+
+    /// Convenience constructor with the default configuration.
+    pub fn with_objective(objective: Arc<dyn ObjectiveFunction>) -> Self {
+        Self::new(objective, GreedyConfig::default())
+    }
+
+    /// The clusters affected by this round: clusters of touched objects plus
+    /// every cluster sharing a stored edge with one of them.
+    fn affected_clusters(
+        graph: &SimilarityGraph,
+        clustering: &Clustering,
+        touched: &[ObjectId],
+    ) -> BTreeSet<ClusterId> {
+        let mut affected = BTreeSet::new();
+        for &o in touched {
+            if let Some(cid) = clustering.cluster_of(o) {
+                affected.insert(cid);
+            }
+        }
+        let agg = ClusterAggregates::new(graph, clustering);
+        let seeds: Vec<ClusterId> = affected.iter().copied().collect();
+        for cid in seeds {
+            for n in agg.neighbour_clusters(cid) {
+                affected.insert(n);
+            }
+        }
+        affected
+    }
+
+    fn best_operation(
+        &self,
+        graph: &SimilarityGraph,
+        clustering: &Clustering,
+        affected: &BTreeSet<ClusterId>,
+    ) -> Option<(GreedyOp, f64)> {
+        let agg = ClusterAggregates::new(graph, clustering);
+        let mut best: Option<(GreedyOp, f64)> = None;
+        let consider = |op: GreedyOp, delta: f64, best: &mut Option<(GreedyOp, f64)>| {
+            if best.as_ref().map_or(true, |(_, d)| delta < *d) {
+                *best = Some((op, delta));
+            }
+        };
+
+        for &cid in affected {
+            if !clustering.contains_cluster(cid) {
+                continue;
+            }
+            // Merges with neighbouring affected clusters.
+            for other in agg.neighbour_clusters(cid) {
+                if other <= cid || !affected.contains(&other) {
+                    continue;
+                }
+                let delta = self.objective.merge_delta(graph, clustering, cid, other);
+                consider(GreedyOp::Merge(cid, other), delta, &mut best);
+            }
+            // Splits and moves of the least cohesive members.
+            if clustering.cluster_size(cid) >= 2 {
+                for (oid, _) in agg
+                    .members_by_split_weight(cid)
+                    .into_iter()
+                    .take(self.config.candidates_per_cluster)
+                {
+                    let part: BTreeSet<ObjectId> = [oid].into_iter().collect();
+                    let delta = self.objective.split_delta(graph, clustering, cid, &part);
+                    consider(GreedyOp::Isolate(cid, oid), delta, &mut best);
+
+                    // Move to the most attractive affected neighbour cluster.
+                    let mut attraction: std::collections::BTreeMap<ClusterId, f64> =
+                        std::collections::BTreeMap::new();
+                    for (n, sim) in graph.neighbors(oid) {
+                        if let Some(t) = clustering.cluster_of(n) {
+                            if t != cid && affected.contains(&t) {
+                                *attraction.entry(t).or_insert(0.0) += sim;
+                            }
+                        }
+                    }
+                    if let Some((target, _)) = attraction
+                        .into_iter()
+                        .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+                    {
+                        let delta = self.objective.move_delta(graph, clustering, oid, target);
+                        consider(GreedyOp::Move(oid, target), delta, &mut best);
+                    }
+                }
+            }
+        }
+        best
+    }
+}
+
+impl IncrementalClusterer for Greedy {
+    fn name(&self) -> &'static str {
+        "greedy"
+    }
+
+    fn recluster(
+        &mut self,
+        graph: &SimilarityGraph,
+        previous: &Clustering,
+        batch: &OperationBatch,
+    ) -> Clustering {
+        let (mut working, isolated) = prepare_working_clustering(graph, previous, batch);
+        let mut touched: Vec<ObjectId> = isolated;
+        // A removal affects the survivors of the cluster it left: mark them
+        // as touched so their cluster (and its neighbourhood) is revisited.
+        for id in batch.removed_ids() {
+            if let Some(cid) = previous.cluster_of(id) {
+                if let Some(cluster) = previous.cluster(cid) {
+                    touched.extend(cluster.iter().filter(|&m| m != id && working.contains_object(m)));
+                }
+            }
+        }
+
+        let mut affected = Self::affected_clusters(graph, &working, &touched);
+        for _ in 0..self.config.max_iterations {
+            match self.best_operation(graph, &working, &affected) {
+                Some((op, delta)) if improves(delta) => {
+                    match op {
+                        GreedyOp::Merge(a, b) => {
+                            let merged = working.merge(a, b).expect("affected clusters exist");
+                            affected.remove(&a);
+                            affected.remove(&b);
+                            affected.insert(merged);
+                        }
+                        GreedyOp::Isolate(cid, oid) => {
+                            let part: BTreeSet<ObjectId> = [oid].into_iter().collect();
+                            let (p, r) = working.split(cid, &part).expect("valid split");
+                            affected.remove(&cid);
+                            affected.insert(p);
+                            affected.insert(r);
+                        }
+                        GreedyOp::Move(oid, target) => {
+                            let source = working.cluster_of(oid).expect("object clustered");
+                            working.move_object(oid, target).expect("target exists");
+                            if !working.contains_cluster(source) {
+                                affected.remove(&source);
+                            }
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        working
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dc_objective::{CorrelationObjective, DbIndexObjective};
+    use dc_similarity::fixtures::{figure1_old_clustering, figure2_graph, graph_from_edges};
+    use dc_types::{Operation, RecordBuilder};
+
+    fn oid(raw: u64) -> ObjectId {
+        ObjectId::new(raw)
+    }
+
+    fn add(id: u64) -> Operation {
+        Operation::Add {
+            id: oid(id),
+            record: RecordBuilder::new().number("id", id as f64).build(),
+        }
+    }
+
+    fn greedy_correlation() -> Greedy {
+        Greedy::with_objective(Arc::new(CorrelationObjective))
+    }
+
+    #[test]
+    fn strongly_attached_new_objects_are_merged_into_their_entities() {
+        // Figure 1's topology enriched so that the new objects are strongly
+        // attached to whole clusters (r7 to all of C1, r6 to all of C2);
+        // greedy must then merge them in and improve the objective.
+        let graph = graph_from_edges(
+            7,
+            &[
+                (1, 2, 0.9),
+                (1, 3, 0.9),
+                (2, 3, 0.9),
+                (4, 5, 0.8),
+                (6, 4, 0.8),
+                (6, 5, 0.8),
+                (7, 1, 1.0),
+                (7, 2, 0.9),
+                (7, 3, 0.9),
+            ],
+        );
+        let previous = figure1_old_clustering();
+        let mut batch = OperationBatch::new();
+        batch.push(add(6));
+        batch.push(add(7));
+        let mut greedy = greedy_correlation();
+        let result = greedy.recluster(&graph, &previous, &batch);
+        result.check_invariants().unwrap();
+        let obj = CorrelationObjective;
+        let (baseline, _) = prepare_working_clustering(&graph, &previous, &batch);
+        assert!(obj.evaluate(&graph, &result) < obj.evaluate(&graph, &baseline));
+        assert_eq!(result.cluster_of(oid(7)), result.cluster_of(oid(1)));
+        assert_eq!(result.cluster_of(oid(6)), result.cluster_of(oid(4)));
+        assert_eq!(greedy.name(), "greedy");
+    }
+
+    #[test]
+    fn figure1_example_converges_to_the_objective_optimum() {
+        // Under the paper's Eq. 1 weights, the optimal reaction to r6 and r7
+        // arriving is to keep them as singletons (every merge worsens the
+        // disagreement cost); greedy must not degrade the clustering.
+        let graph = figure2_graph();
+        let previous = figure1_old_clustering();
+        let mut batch = OperationBatch::new();
+        batch.push(add(6));
+        batch.push(add(7));
+        let mut greedy = greedy_correlation();
+        let result = greedy.recluster(&graph, &previous, &batch);
+        result.check_invariants().unwrap();
+        let obj = CorrelationObjective;
+        let (baseline, _) = prepare_working_clustering(&graph, &previous, &batch);
+        assert!(obj.evaluate(&graph, &result) <= obj.evaluate(&graph, &baseline) + 1e-9);
+    }
+
+    #[test]
+    fn no_improving_operation_remains_among_affected_clusters() {
+        let graph = figure2_graph();
+        let previous = figure1_old_clustering();
+        let mut batch = OperationBatch::new();
+        batch.push(add(6));
+        batch.push(add(7));
+        let mut greedy = greedy_correlation();
+        let result = greedy.recluster(&graph, &previous, &batch);
+        let affected: BTreeSet<ClusterId> = result.cluster_ids().into_iter().collect();
+        if let Some((_, delta)) = greedy.best_operation(&graph, &result, &affected) {
+            assert!(!improves(delta));
+        }
+    }
+
+    #[test]
+    fn greedy_with_db_index_resolves_new_duplicates() {
+        // Existing resolved entity {1,2}; new objects 3 (duplicate of entity
+        // A) and 4,5 (a new entity) arrive.
+        let graph = graph_from_edges(
+            5,
+            &[(1, 2, 0.95), (1, 3, 0.9), (2, 3, 0.9), (4, 5, 0.85)],
+        );
+        let previous = Clustering::from_groups([vec![oid(1), oid(2)]]).unwrap();
+        let mut batch = OperationBatch::new();
+        batch.push(add(3));
+        batch.push(add(4));
+        batch.push(add(5));
+        let mut greedy = Greedy::with_objective(Arc::new(DbIndexObjective));
+        let result = greedy.recluster(&graph, &previous, &batch);
+        assert_eq!(result.cluster_of(oid(3)), result.cluster_of(oid(1)));
+        assert_eq!(result.cluster_of(oid(4)), result.cluster_of(oid(5)));
+        assert_ne!(result.cluster_of(oid(4)), result.cluster_of(oid(1)));
+    }
+
+    #[test]
+    fn unaffected_clusters_are_left_untouched() {
+        // Two far-apart resolved entities; only one neighbourhood changes.
+        let graph = graph_from_edges(
+            6,
+            &[(1, 2, 0.9), (3, 4, 0.9), (5, 1, 0.8), (5, 2, 0.85)],
+        );
+        let previous =
+            Clustering::from_groups([vec![oid(1), oid(2)], vec![oid(3), oid(4)]]).unwrap();
+        let far_cluster = previous.cluster_of(oid(3)).unwrap();
+        let mut batch = OperationBatch::new();
+        batch.push(add(5));
+        batch.push(add(6)); // isolated noise object
+        let mut greedy = greedy_correlation();
+        let result = greedy.recluster(&graph, &previous, &batch);
+        // The {3,4} cluster is untouched (same id survives, same members).
+        assert!(result.contains_cluster(far_cluster));
+        assert_eq!(result.cluster_size(far_cluster), 2);
+        // The new object 5 joined {1,2}.
+        assert_eq!(result.cluster_of(oid(5)), result.cluster_of(oid(1)));
+        // Object 6 has no edges and stays a singleton.
+        assert!(result
+            .cluster(result.cluster_of(oid(6)).unwrap())
+            .unwrap()
+            .is_singleton());
+    }
+
+    #[test]
+    fn removal_that_breaks_a_bridge_lets_greedy_split() {
+        // {1,2,3} held together only by 2; removing 2 should let the split
+        // operators separate 1 and 3 because their residual similarity is
+        // negligible.  The graph reflects the post-batch state (2 removed).
+        let mut graph = graph_from_edges(3, &[(1, 3, 0.05)]);
+        graph.remove_object(oid(2));
+        let previous = Clustering::from_groups([vec![oid(1), oid(2), oid(3)]]).unwrap();
+        let mut batch = OperationBatch::new();
+        batch.push(Operation::Remove { id: oid(2) });
+        let mut greedy = greedy_correlation();
+        let result = greedy.recluster(&graph, &previous, &batch);
+        assert_ne!(result.cluster_of(oid(1)), result.cluster_of(oid(3)));
+    }
+
+    #[test]
+    fn empty_batch_is_a_no_op_up_to_alignment() {
+        let graph = figure2_graph();
+        let previous = figure1_old_clustering();
+        let mut greedy = greedy_correlation();
+        let result = greedy.recluster(&graph, &previous, &OperationBatch::new());
+        // Objects 6 and 7 exist in the graph but not in the previous
+        // clustering; they are aligned in as affected singletons and may then
+        // be merged — but the pre-existing clusters must stay.
+        assert_eq!(result.cluster_of(oid(2)), result.cluster_of(oid(3)));
+        assert_eq!(result.cluster_of(oid(4)), result.cluster_of(oid(5)));
+    }
+}

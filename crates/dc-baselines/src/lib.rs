@@ -1,0 +1,34 @@
+//! # dc-baselines
+//!
+//! The incremental-clustering baselines the paper compares DynamicC against
+//! (§7.1 "Comparison"):
+//!
+//! * [`Naive`] — assigns every new (or updated) object to the existing
+//!   cluster it is most similar to, or to a fresh singleton when nothing is
+//!   similar enough.  It never restructures existing clusters and never
+//!   consults the objective function, so it is extremely fast but its
+//!   quality decays as the clustering structure drifts (exactly the
+//!   behaviour Figure 6 and Table 2 show).
+//! * [`Greedy`] — the state-of-the-art incremental method of Gruenheid
+//!   et al. (VLDB 2014), re-implemented from its published operator
+//!   description: restrict attention to the clusters *affected* by this
+//!   round's changes (the clusters of touched objects plus their graph
+//!   neighbours), then greedily apply the best improving merge / split /
+//!   move among them until no operation improves the objective.  It reaches
+//!   nearly-batch quality but evaluates many candidate operations per round,
+//!   which is the latency gap DynamicC exploits.
+//!
+//! Both baselines implement the common [`IncrementalClusterer`] trait, as
+//! does DynamicC itself (in `dc-core`), so the benchmark harness can drive
+//! all methods through one interface.
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+pub mod greedy;
+pub mod naive;
+pub mod traits;
+
+pub use greedy::{Greedy, GreedyConfig};
+pub use naive::{Naive, NaiveConfig};
+pub use traits::{prepare_working_clustering, IncrementalClusterer};

@@ -1,0 +1,155 @@
+//! The [`IncrementalClusterer`] trait shared by Naive, Greedy, and DynamicC.
+
+use dc_similarity::SimilarityGraph;
+use dc_types::{Clustering, ObjectId, Operation, OperationBatch};
+
+/// An incremental (dynamic) clustering method.
+///
+/// The caller owns the similarity graph and applies each snapshot's
+/// operations to it *before* invoking [`IncrementalClusterer::recluster`];
+/// the method then transforms the previous clustering into a clustering of
+/// the post-batch object set.
+pub trait IncrementalClusterer: Send + Sync {
+    /// Human-readable name, used in reports.
+    fn name(&self) -> &'static str;
+
+    /// Produce the new clustering for the current graph contents.
+    ///
+    /// * `graph` — similarity graph *after* applying `batch`;
+    /// * `previous` — the clustering from the previous round (over the
+    ///   pre-batch object set);
+    /// * `batch` — the operations applied in this round.
+    fn recluster(
+        &mut self,
+        graph: &SimilarityGraph,
+        previous: &Clustering,
+        batch: &OperationBatch,
+    ) -> Clustering;
+}
+
+/// The shared "initial processing" step (§6.1): starting from the previous
+/// clustering, remove deleted objects, pull updated objects out of their old
+/// clusters, and give every added or updated object a fresh singleton
+/// cluster.  Returns the working clustering together with the ids that were
+/// newly isolated (added + updated objects still present in the graph).
+pub fn prepare_working_clustering(
+    graph: &SimilarityGraph,
+    previous: &Clustering,
+    batch: &OperationBatch,
+) -> (Clustering, Vec<ObjectId>) {
+    let mut working = previous.clone();
+    let mut isolated = Vec::new();
+
+    for op in batch.iter() {
+        match op {
+            Operation::Add { id, .. } => {
+                // May already be present if the same id was added and removed
+                // within one batch; ignore duplicates defensively.
+                if !working.contains_object(*id) && graph.contains(*id) {
+                    working.create_cluster([*id]).expect("fresh object");
+                    isolated.push(*id);
+                }
+            }
+            Operation::Remove { id } => {
+                if working.contains_object(*id) {
+                    working.remove_object(*id).expect("object present");
+                }
+            }
+            Operation::Update { id, .. } => {
+                // Updating = remove from its cluster + re-add as a singleton.
+                if working.contains_object(*id) {
+                    working.remove_object(*id).expect("object present");
+                }
+                if graph.contains(*id) {
+                    working.create_cluster([*id]).expect("object just removed");
+                    isolated.push(*id);
+                }
+            }
+        }
+    }
+
+    // Defensive alignment: any graph object the previous clustering never
+    // knew about becomes a singleton too.
+    for o in graph.object_ids() {
+        if !working.contains_object(o) {
+            working.create_cluster([o]).expect("object not clustered");
+            isolated.push(o);
+        }
+    }
+    // And clustering entries for objects the graph no longer has are dropped.
+    for o in working.object_ids() {
+        if !graph.contains(o) {
+            working.remove_object(o).expect("object present");
+        }
+    }
+
+    (working, isolated)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dc_similarity::fixtures::{figure1_old_clustering, figure2_graph};
+    use dc_types::{Record, RecordBuilder};
+
+    fn oid(raw: u64) -> ObjectId {
+        ObjectId::new(raw)
+    }
+
+    fn rec() -> Record {
+        RecordBuilder::new().number("id", 0.0).build()
+    }
+
+    #[test]
+    fn initial_processing_handles_all_three_operations() {
+        let graph = figure2_graph(); // objects 1..=7
+        let previous = figure1_old_clustering(); // clusters over 1..=5
+        let mut batch = OperationBatch::new();
+        batch.push(Operation::Add { id: oid(6), record: rec() });
+        batch.push(Operation::Add { id: oid(7), record: rec() });
+        batch.push(Operation::Update { id: oid(2), record: rec() });
+
+        let (working, isolated) = prepare_working_clustering(&graph, &previous, &batch);
+        working.check_invariants().unwrap();
+        assert_eq!(working.object_count(), 7);
+        // 6 and 7 are new singletons, 2 was pulled out of C1.
+        assert!(working.cluster(working.cluster_of(oid(6)).unwrap()).unwrap().is_singleton());
+        assert!(working.cluster(working.cluster_of(oid(2)).unwrap()).unwrap().is_singleton());
+        assert_eq!(working.cluster_size(working.cluster_of(oid(1)).unwrap()), 2);
+        assert_eq!(isolated.len(), 3);
+    }
+
+    #[test]
+    fn removals_drop_objects_and_possibly_clusters() {
+        // The graph reflects the post-batch state (objects 4 and 5 removed).
+        let mut graph = dc_similarity::fixtures::graph_from_edges(5, &[(1, 2, 0.9)]);
+        graph.remove_object(oid(4));
+        graph.remove_object(oid(5));
+        let previous = figure1_old_clustering();
+        let mut batch = OperationBatch::new();
+        batch.push(Operation::Remove { id: oid(4) });
+        batch.push(Operation::Remove { id: oid(5) });
+        let (working, isolated) = prepare_working_clustering(&graph, &previous, &batch);
+        assert_eq!(working.object_count(), 3);
+        assert!(isolated.is_empty());
+        assert!(!working.contains_object(oid(4)));
+        working.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn graph_clustering_mismatches_are_reconciled() {
+        // The previous clustering knows object 9 which the graph lost, and
+        // the graph has object 7 the clustering never saw; an empty batch
+        // must still reconcile both.
+        let graph = figure2_graph();
+        let mut previous = figure1_old_clustering();
+        previous.create_cluster([oid(9)]).unwrap();
+        let (working, isolated) =
+            prepare_working_clustering(&graph, &previous, &OperationBatch::new());
+        assert!(!working.contains_object(oid(9)));
+        assert!(working.contains_object(oid(6)));
+        assert!(working.contains_object(oid(7)));
+        assert_eq!(isolated.len(), 2);
+        working.check_invariants().unwrap();
+    }
+}

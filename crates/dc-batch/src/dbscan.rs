@@ -1,0 +1,252 @@
+//! DBSCAN over the similarity graph.
+//!
+//! The paper's density-based workload (§7.2.1).  The similarity graph's edge
+//! threshold plays the role of the `ε` radius — two objects are
+//! "ε-neighbours" exactly when the graph stores an edge between them — and
+//! `min_pts` controls which objects are core points.  The clustering rule is
+//! standard DBSCAN:
+//!
+//! * an object with at least `min_pts` neighbours is a **core point**;
+//! * core points that are density-connected (reachable through a chain of
+//!   core points) belong to the same cluster;
+//! * a non-core object adjacent to a core point is a **border point** and
+//!   joins one of its core neighbours' clusters (the one with the most
+//!   similar core neighbour, for determinism);
+//! * all remaining objects are **noise**; since the rest of the system
+//!   represents a clustering as a partition, each noise object is placed in
+//!   its own singleton cluster.
+
+use crate::traits::{BatchClusterer, BatchOutcome};
+use dc_similarity::SimilarityGraph;
+use dc_types::{Clustering, ObjectId};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Configuration for [`Dbscan`].
+#[derive(Debug, Clone, Copy)]
+pub struct DbscanConfig {
+    /// Minimum number of stored neighbours for an object to be a core point.
+    pub min_pts: usize,
+}
+
+impl Default for DbscanConfig {
+    fn default() -> Self {
+        DbscanConfig { min_pts: 3 }
+    }
+}
+
+/// Density-based batch clustering.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Dbscan {
+    config: DbscanConfig,
+}
+
+impl Dbscan {
+    /// Create a DBSCAN instance.
+    pub fn new(config: DbscanConfig) -> Self {
+        Dbscan { config }
+    }
+
+    /// The configured `min_pts`.
+    pub fn min_pts(&self) -> usize {
+        self.config.min_pts
+    }
+
+    /// Whether an object is a core point under this configuration.
+    pub fn is_core(&self, graph: &SimilarityGraph, oid: ObjectId) -> bool {
+        graph.degree(oid) >= self.config.min_pts
+    }
+
+    /// Partition the graph's objects into `(core clusters, border assignment,
+    /// noise)`; exposed for the tests and for DynamicC's DBSCAN verification.
+    fn assign(&self, graph: &SimilarityGraph) -> (Vec<BTreeSet<ObjectId>>, Vec<ObjectId>) {
+        let mut core: BTreeSet<ObjectId> = BTreeSet::new();
+        for o in graph.object_ids() {
+            if self.is_core(graph, o) {
+                core.insert(o);
+            }
+        }
+
+        // Connected components of the core-point subgraph.
+        let mut visited: BTreeSet<ObjectId> = BTreeSet::new();
+        let mut clusters: Vec<BTreeSet<ObjectId>> = Vec::new();
+        for &start in &core {
+            if visited.contains(&start) {
+                continue;
+            }
+            let mut component = BTreeSet::new();
+            let mut stack = vec![start];
+            while let Some(node) = stack.pop() {
+                if !visited.insert(node) {
+                    continue;
+                }
+                component.insert(node);
+                for (n, _) in graph.neighbors(node) {
+                    if core.contains(&n) && !visited.contains(&n) {
+                        stack.push(n);
+                    }
+                }
+            }
+            clusters.push(component);
+        }
+
+        // Border points: non-core objects adjacent to a core point join the
+        // cluster of their most similar core neighbour.
+        let mut core_cluster_of: BTreeMap<ObjectId, usize> = BTreeMap::new();
+        for (i, members) in clusters.iter().enumerate() {
+            for &m in members {
+                core_cluster_of.insert(m, i);
+            }
+        }
+        let mut noise = Vec::new();
+        for o in graph.object_ids() {
+            if core.contains(&o) {
+                continue;
+            }
+            let mut best: Option<(usize, f64)> = None;
+            for (n, sim) in graph.neighbors(o) {
+                if let Some(&ci) = core_cluster_of.get(&n) {
+                    if best.map_or(true, |(_, s)| sim > s) {
+                        best = Some((ci, sim));
+                    }
+                }
+            }
+            match best {
+                Some((ci, _)) => {
+                    clusters[ci].insert(o);
+                }
+                None => noise.push(o),
+            }
+        }
+        (clusters, noise)
+    }
+}
+
+impl BatchClusterer for Dbscan {
+    fn name(&self) -> &'static str {
+        "dbscan"
+    }
+
+    fn cluster(&self, graph: &SimilarityGraph) -> BatchOutcome {
+        let (clusters, noise) = self.assign(graph);
+        let mut clustering = Clustering::new();
+        for members in clusters {
+            if !members.is_empty() {
+                clustering
+                    .create_cluster(members)
+                    .expect("assignment produces disjoint clusters");
+            }
+        }
+        for o in noise {
+            clustering
+                .create_cluster([o])
+                .expect("noise objects are unclustered");
+        }
+        // DBSCAN is not constructed by merge/split steps, so its trace is
+        // empty; DynamicC derives cross-round evolution from the clusterings
+        // themselves (§4.3).
+        let work = graph.object_count() as u64 + graph.edge_count() as u64;
+        BatchOutcome::without_trace(clustering, work)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dc_similarity::fixtures::graph_from_edges;
+
+    fn oid(raw: u64) -> ObjectId {
+        ObjectId::new(raw)
+    }
+
+    /// Two dense cliques (1–4 and 5–8) plus a bridge-free noise point 9 and a
+    /// border point 10 hanging off the first clique.
+    fn density_graph() -> SimilarityGraph {
+        let mut edges = Vec::new();
+        for a in 1..=4u64 {
+            for b in (a + 1)..=4 {
+                edges.push((a, b, 0.9));
+            }
+        }
+        for a in 5..=8u64 {
+            for b in (a + 1)..=8 {
+                edges.push((a, b, 0.85));
+            }
+        }
+        edges.push((4, 10, 0.6)); // border point
+        graph_from_edges(10, &edges)
+    }
+
+    #[test]
+    fn clusters_two_dense_regions() {
+        let graph = density_graph();
+        let dbscan = Dbscan::new(DbscanConfig { min_pts: 3 });
+        let outcome = dbscan.cluster(&graph);
+        let c = &outcome.clustering;
+        c.check_invariants().unwrap();
+        assert_eq!(c.object_count(), 10);
+        // The two cliques are separate clusters.
+        assert_eq!(c.cluster_of(oid(1)), c.cluster_of(oid(4)));
+        assert_eq!(c.cluster_of(oid(5)), c.cluster_of(oid(8)));
+        assert_ne!(c.cluster_of(oid(1)), c.cluster_of(oid(5)));
+    }
+
+    #[test]
+    fn border_point_joins_its_core_neighbours_cluster() {
+        let graph = density_graph();
+        let dbscan = Dbscan::new(DbscanConfig { min_pts: 3 });
+        let outcome = dbscan.cluster(&graph);
+        let c = &outcome.clustering;
+        assert!(!dbscan.is_core(&graph, oid(10)));
+        assert_eq!(c.cluster_of(oid(10)), c.cluster_of(oid(4)));
+    }
+
+    #[test]
+    fn noise_points_become_singletons() {
+        let graph = density_graph();
+        let dbscan = Dbscan::new(DbscanConfig { min_pts: 3 });
+        let outcome = dbscan.cluster(&graph);
+        let c = &outcome.clustering;
+        let c9 = c.cluster_of(oid(9)).unwrap();
+        assert!(c.cluster(c9).unwrap().is_singleton());
+    }
+
+    #[test]
+    fn min_pts_controls_core_points() {
+        let graph = density_graph();
+        let strict = Dbscan::new(DbscanConfig { min_pts: 5 });
+        // No object has 5 neighbours, so everything is noise (singletons).
+        let outcome = strict.cluster(&graph);
+        assert_eq!(outcome.clustering.cluster_count(), 10);
+        assert_eq!(strict.min_pts(), 5);
+
+        let lenient = Dbscan::new(DbscanConfig { min_pts: 1 });
+        let outcome = lenient.cluster(&graph);
+        // Everything with an edge clusters; only object 9 stays alone.
+        assert!(outcome.clustering.cluster_count() <= 3);
+    }
+
+    #[test]
+    fn default_configuration_is_reasonable() {
+        let d = Dbscan::default();
+        assert_eq!(d.min_pts(), 3);
+        assert_eq!(d.name(), "dbscan");
+    }
+
+    #[test]
+    fn empty_graph() {
+        let graph = graph_from_edges(0, &[]);
+        let outcome = Dbscan::default().cluster(&graph);
+        assert!(outcome.clustering.is_empty());
+        assert!(outcome.trace.is_empty());
+    }
+
+    #[test]
+    fn recluster_defaults_to_from_scratch() {
+        let graph = density_graph();
+        let dbscan = Dbscan::default();
+        let warm = Clustering::singletons(graph.object_ids());
+        let a = dbscan.cluster(&graph);
+        let b = dbscan.recluster(&graph, &warm);
+        assert!(a.clustering.delta(&b.clustering).is_unchanged());
+    }
+}

@@ -1,0 +1,497 @@
+//! The general hill-climbing batch algorithm (§7.1, "Hill-climbing").
+//!
+//! This is the paper's stand-in for "any objective-based batch clustering
+//! algorithm": it examines the immediate neighbours of the current
+//! clustering — merges of adjacent clusters, splits that isolate the least
+//! cohesive member of a cluster, and single-object moves — and greedily
+//! applies the change with the largest improvement of the objective until no
+//! improving change remains.  It is accurate but expensive, which is exactly
+//! the trade-off DynamicC attacks.
+//!
+//! Two details matter for the rest of the system:
+//!
+//! * every applied change is recorded as an [`EvolutionStep`], producing the
+//!   §4.2 "evolution from scratch" trace that DynamicC's trainer observes;
+//! * with [`HillClimbingConfig::fixed_k`] set, the search first runs a
+//!   Ward-style agglomeration down to exactly `k` clusters and then refines
+//!   with objective-improving single-object moves, which is how the paper's
+//!   k-means workload is driven by the same general algorithm.
+
+use crate::traits::{align_clustering_with_graph, BatchClusterer, BatchOutcome};
+use dc_evolution::{EvolutionStep, EvolutionTrace};
+use dc_objective::{improves, ObjectiveFunction};
+use dc_similarity::{ClusterAggregates, SimilarityGraph};
+use dc_types::{ClusterId, Clustering, ObjectId};
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+/// Configuration of the hill-climbing search.
+#[derive(Debug, Clone, Copy)]
+pub struct HillClimbingConfig {
+    /// Upper bound on the number of applied changes (safety valve; the
+    /// search normally stops when no improving change exists).
+    pub max_steps: usize,
+    /// When set, enforce exactly `k` clusters (k-means-style clustering).
+    pub fixed_k: Option<usize>,
+    /// Whether to evaluate single-object moves in addition to merges and
+    /// splits.
+    pub consider_moves: bool,
+    /// How many of a cluster's least-cohesive members are evaluated as split
+    /// / move candidates per iteration.
+    pub candidates_per_cluster: usize,
+}
+
+impl Default for HillClimbingConfig {
+    fn default() -> Self {
+        HillClimbingConfig {
+            max_steps: 100_000,
+            fixed_k: None,
+            consider_moves: true,
+            candidates_per_cluster: 1,
+        }
+    }
+}
+
+/// The general objective-based batch algorithm.
+pub struct HillClimbing {
+    objective: Arc<dyn ObjectiveFunction>,
+    config: HillClimbingConfig,
+}
+
+/// A candidate change considered by one search iteration.
+#[derive(Debug, Clone)]
+enum Change {
+    Merge(ClusterId, ClusterId),
+    Isolate(ClusterId, ObjectId),
+    Move(ObjectId, ClusterId),
+}
+
+impl HillClimbing {
+    /// Create a hill-climbing batch algorithm for the given objective.
+    pub fn new(objective: Arc<dyn ObjectiveFunction>, config: HillClimbingConfig) -> Self {
+        HillClimbing { objective, config }
+    }
+
+    /// Convenience constructor with the default configuration.
+    pub fn with_objective(objective: Arc<dyn ObjectiveFunction>) -> Self {
+        Self::new(objective, HillClimbingConfig::default())
+    }
+
+    /// The objective driving the search.
+    pub fn objective(&self) -> &Arc<dyn ObjectiveFunction> {
+        &self.objective
+    }
+
+    fn members_of(clustering: &Clustering, cid: ClusterId) -> BTreeSet<ObjectId> {
+        clustering
+            .cluster(cid)
+            .map(|c| c.members().clone())
+            .unwrap_or_default()
+    }
+
+    /// Find the best candidate change and its delta.  Returns `None` when no
+    /// candidate exists at all.
+    fn best_change(
+        &self,
+        graph: &SimilarityGraph,
+        clustering: &Clustering,
+        work: &mut u64,
+    ) -> Option<(Change, f64)> {
+        let agg = ClusterAggregates::new(graph, clustering);
+        let mut best: Option<(Change, f64)> = None;
+        let consider = |change: Change, delta: f64, best: &mut Option<(Change, f64)>| {
+            if best.as_ref().map_or(true, |(_, d)| delta < *d) {
+                *best = Some((change, delta));
+            }
+        };
+
+        for cid in clustering.cluster_ids() {
+            // Merge candidates: neighbouring clusters (deduplicated a < b).
+            for other in agg.neighbour_clusters(cid) {
+                if other <= cid {
+                    continue;
+                }
+                *work += 1;
+                let delta = self.objective.merge_delta(graph, clustering, cid, other);
+                consider(Change::Merge(cid, other), delta, &mut best);
+            }
+            // Split / move candidates: the least cohesive members.
+            if clustering.cluster_size(cid) >= 2 {
+                let ranked = agg.members_by_split_weight(cid);
+                for (oid, _weight) in ranked.into_iter().take(self.config.candidates_per_cluster) {
+                    let part: BTreeSet<ObjectId> = [oid].into_iter().collect();
+                    *work += 1;
+                    let delta = self.objective.split_delta(graph, clustering, cid, &part);
+                    consider(Change::Isolate(cid, oid), delta, &mut best);
+
+                    if self.config.consider_moves {
+                        // Best neighbouring cluster for this object: the one
+                        // attracting it with the largest total similarity.
+                        let mut attraction: std::collections::BTreeMap<ClusterId, f64> =
+                            std::collections::BTreeMap::new();
+                        for (n, sim) in graph.neighbors(oid) {
+                            if let Some(target) = clustering.cluster_of(n) {
+                                if target != cid {
+                                    *attraction.entry(target).or_insert(0.0) += sim;
+                                }
+                            }
+                        }
+                        let best_target = attraction
+                            .into_iter()
+                            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+                        if let Some((target, _)) = best_target {
+                            *work += 1;
+                            let delta = self.objective.move_delta(graph, clustering, oid, target);
+                            consider(Change::Move(oid, target), delta, &mut best);
+                        }
+                    }
+                }
+            }
+        }
+        best
+    }
+
+    /// Apply a change, recording the equivalent evolution steps.
+    fn apply_change(
+        clustering: &mut Clustering,
+        trace: &mut EvolutionTrace,
+        change: Change,
+    ) {
+        match change {
+            Change::Merge(a, b) => {
+                let left = Self::members_of(clustering, a);
+                let right = Self::members_of(clustering, b);
+                trace.push(EvolutionStep::Merge {
+                    left,
+                    right,
+                });
+                clustering.merge(a, b).expect("candidate clusters exist");
+            }
+            Change::Isolate(cid, oid) => {
+                let original = Self::members_of(clustering, cid);
+                let part: BTreeSet<ObjectId> = [oid].into_iter().collect();
+                trace.push(EvolutionStep::Split {
+                    original,
+                    part: part.clone(),
+                });
+                clustering.split(cid, &part).expect("valid split candidate");
+            }
+            Change::Move(oid, target) => {
+                // A move is a split followed by a merge (§4.1).
+                let source = clustering.cluster_of(oid).expect("object is clustered");
+                let source_members = Self::members_of(clustering, source);
+                let part: BTreeSet<ObjectId> = [oid].into_iter().collect();
+                if source_members.len() > 1 {
+                    trace.push(EvolutionStep::Split {
+                        original: source_members,
+                        part: part.clone(),
+                    });
+                }
+                let target_members = Self::members_of(clustering, target);
+                trace.push(EvolutionStep::Merge {
+                    left: part,
+                    right: target_members,
+                });
+                clustering
+                    .move_object(oid, target)
+                    .expect("object and target cluster exist");
+            }
+        }
+    }
+
+    /// Ward-style agglomeration: merge the cheapest pair until `k` clusters
+    /// remain, regardless of whether the merge improves the objective (the
+    /// k-means cost can only grow as clusters merge).
+    fn agglomerate_to_k(
+        &self,
+        graph: &SimilarityGraph,
+        clustering: &mut Clustering,
+        trace: &mut EvolutionTrace,
+        k: usize,
+        work: &mut u64,
+    ) {
+        while clustering.cluster_count() > k.max(1) {
+            let agg = ClusterAggregates::new(graph, clustering);
+            let mut best: Option<(ClusterId, ClusterId, f64)> = None;
+            for cid in clustering.cluster_ids() {
+                for other in agg.neighbour_clusters(cid) {
+                    if other <= cid {
+                        continue;
+                    }
+                    *work += 1;
+                    let delta = self.objective.merge_delta(graph, clustering, cid, other);
+                    if best.map_or(true, |(_, _, d)| delta < d) {
+                        best = Some((cid, other, delta));
+                    }
+                }
+            }
+            // If no pair of clusters shares an edge, fall back to merging the
+            // two smallest clusters — deterministic and keeps progress.
+            let (a, b) = match best {
+                Some((a, b, _)) => (a, b),
+                None => {
+                    let mut ids = clustering.cluster_ids();
+                    ids.sort_by_key(|&c| clustering.cluster_size(c));
+                    if ids.len() < 2 {
+                        break;
+                    }
+                    (ids[0], ids[1])
+                }
+            };
+            Self::apply_change(clustering, trace, Change::Merge(a, b));
+        }
+    }
+
+    /// Improving-only local search.
+    fn improve(
+        &self,
+        graph: &SimilarityGraph,
+        clustering: &mut Clustering,
+        trace: &mut EvolutionTrace,
+        work: &mut u64,
+        moves_only: bool,
+    ) {
+        for _ in 0..self.config.max_steps {
+            let candidate = if moves_only {
+                self.best_move_only(graph, clustering, work)
+            } else {
+                self.best_change(graph, clustering, work)
+            };
+            match candidate {
+                Some((change, delta)) if improves(delta) => {
+                    Self::apply_change(clustering, trace, change);
+                }
+                _ => break,
+            }
+        }
+    }
+
+    /// Best single-object move (used during fixed-k refinement, where merges
+    /// and splits would change the number of clusters).
+    fn best_move_only(
+        &self,
+        graph: &SimilarityGraph,
+        clustering: &Clustering,
+        work: &mut u64,
+    ) -> Option<(Change, f64)> {
+        let mut best: Option<(Change, f64)> = None;
+        for oid in clustering.object_ids() {
+            let Some(source) = clustering.cluster_of(oid) else {
+                continue;
+            };
+            if clustering.cluster_size(source) <= 1 {
+                // Moving the last member away would drop a cluster and change k.
+                continue;
+            }
+            let mut seen: BTreeSet<ClusterId> = BTreeSet::new();
+            for (n, _) in graph.neighbors(oid) {
+                if let Some(target) = clustering.cluster_of(n) {
+                    if target != source && seen.insert(target) {
+                        *work += 1;
+                        let delta = self.objective.move_delta(graph, clustering, oid, target);
+                        if best.as_ref().map_or(true, |(_, d)| delta < *d) {
+                            best = Some((Change::Move(oid, target), delta));
+                        }
+                    }
+                }
+            }
+        }
+        best
+    }
+
+    fn run(&self, graph: &SimilarityGraph, mut clustering: Clustering) -> BatchOutcome {
+        let mut trace = EvolutionTrace::new();
+        let mut work = 0u64;
+        match self.config.fixed_k {
+            Some(k) => {
+                self.agglomerate_to_k(graph, &mut clustering, &mut trace, k, &mut work);
+                self.improve(graph, &mut clustering, &mut trace, &mut work, true);
+            }
+            None => {
+                self.improve(graph, &mut clustering, &mut trace, &mut work, false);
+            }
+        }
+        BatchOutcome {
+            clustering,
+            trace,
+            work,
+        }
+    }
+}
+
+impl BatchClusterer for HillClimbing {
+    fn name(&self) -> &'static str {
+        "hill-climbing"
+    }
+
+    fn cluster(&self, graph: &SimilarityGraph) -> BatchOutcome {
+        let singletons = Clustering::singletons(graph.object_ids());
+        self.run(graph, singletons)
+    }
+
+    fn recluster(&self, graph: &SimilarityGraph, initial: &Clustering) -> BatchOutcome {
+        let aligned = align_clustering_with_graph(graph, initial);
+        self.run(graph, aligned)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dc_objective::{CorrelationObjective, DbIndexObjective, KMeansObjective};
+    use dc_similarity::fixtures::{figure2_graph, graph_from_edges};
+    use dc_similarity::graph::GraphConfig;
+    use dc_types::{Dataset, RecordBuilder};
+
+    fn oid(raw: u64) -> ObjectId {
+        ObjectId::new(raw)
+    }
+
+    fn correlation_hc() -> HillClimbing {
+        HillClimbing::with_objective(Arc::new(CorrelationObjective))
+    }
+
+    #[test]
+    fn converges_to_a_local_optimum_on_the_paper_example() {
+        let graph = figure2_graph();
+        let hc = correlation_hc();
+        let outcome = hc.cluster(&graph);
+        outcome.clustering.check_invariants().unwrap();
+        let obj = CorrelationObjective;
+        let score = obj.evaluate(&graph, &outcome.clustering);
+        // The optimum of the correlation objective on this graph is 2.2
+        // ({r1,r2,r3}, {r4,r5}, {r6}, {r7}); the greedy search must reach it.
+        assert!(score <= 2.2 + 1e-9, "score = {score}");
+        assert!(outcome.work > 0);
+        // r1, r2, r3 must end up together.
+        let c1 = outcome.clustering.cluster_of(oid(1));
+        assert_eq!(c1, outcome.clustering.cluster_of(oid(2)));
+        assert_eq!(c1, outcome.clustering.cluster_of(oid(3)));
+    }
+
+    #[test]
+    fn no_improving_change_remains_after_convergence() {
+        let graph = figure2_graph();
+        let hc = correlation_hc();
+        let outcome = hc.cluster(&graph);
+        let mut work = 0;
+        if let Some((_, delta)) = hc.best_change(&graph, &outcome.clustering, &mut work) {
+            assert!(!improves(delta), "an improving change remains: {delta}");
+        }
+    }
+
+    #[test]
+    fn trace_replays_from_singletons_to_the_final_clustering() {
+        let graph = figure2_graph();
+        let hc = correlation_hc();
+        let outcome = hc.cluster(&graph);
+        let mut replay = Clustering::singletons(graph.object_ids());
+        for step in outcome.trace.iter() {
+            step.apply_to(&mut replay).expect("trace step must apply cleanly");
+        }
+        assert!(replay.delta(&outcome.clustering).is_unchanged());
+    }
+
+    #[test]
+    fn recluster_from_a_warm_start_reaches_at_least_as_good_a_score() {
+        let graph = figure2_graph();
+        let hc = correlation_hc();
+        let from_scratch = hc.cluster(&graph);
+        // Warm start: the paper's Figure 1 old clustering (objects 6, 7 are
+        // added as singletons by the alignment step).
+        let warm = dc_similarity::fixtures::figure1_old_clustering();
+        let reclustered = hc.recluster(&graph, &warm);
+        reclustered.clustering.check_invariants().unwrap();
+        let obj = CorrelationObjective;
+        assert!(
+            obj.evaluate(&graph, &reclustered.clustering)
+                <= obj.evaluate(&graph, &from_scratch.clustering) + 1e-9
+        );
+    }
+
+    #[test]
+    fn db_index_objective_resolves_two_entities() {
+        let graph = graph_from_edges(
+            5,
+            &[
+                (1, 2, 0.95),
+                (1, 3, 0.9),
+                (2, 3, 0.92),
+                (4, 5, 0.88),
+                (3, 4, 0.1),
+            ],
+        );
+        let hc = HillClimbing::with_objective(Arc::new(DbIndexObjective));
+        let outcome = hc.cluster(&graph);
+        outcome.clustering.check_invariants().unwrap();
+        let c = &outcome.clustering;
+        assert_eq!(c.cluster_of(oid(1)), c.cluster_of(oid(2)));
+        assert_eq!(c.cluster_of(oid(1)), c.cluster_of(oid(3)));
+        assert_eq!(c.cluster_of(oid(4)), c.cluster_of(oid(5)));
+        assert_ne!(c.cluster_of(oid(1)), c.cluster_of(oid(4)));
+    }
+
+    #[test]
+    fn fixed_k_produces_exactly_k_clusters_matching_the_blobs() {
+        // Two numeric blobs, k = 2.
+        let mut ds = Dataset::new();
+        let points = [
+            (1u64, vec![0.0, 0.0]),
+            (2, vec![0.5, 0.2]),
+            (3, vec![0.1, 0.6]),
+            (4, vec![9.0, 9.0]),
+            (5, vec![9.5, 9.3]),
+            (6, vec![9.2, 8.8]),
+        ];
+        for (id, v) in points {
+            ds.insert_with_id(oid(id), RecordBuilder::new().vector(v).build())
+                .unwrap();
+        }
+        let graph =
+            SimilarityGraph::build(GraphConfig::numeric_euclidean(2.0, 4.0, 2, 0.05), &ds);
+        let hc = HillClimbing::new(
+            Arc::new(KMeansObjective),
+            HillClimbingConfig {
+                fixed_k: Some(2),
+                ..HillClimbingConfig::default()
+            },
+        );
+        let outcome = hc.cluster(&graph);
+        assert_eq!(outcome.clustering.cluster_count(), 2);
+        let c = &outcome.clustering;
+        assert_eq!(c.cluster_of(oid(1)), c.cluster_of(oid(2)));
+        assert_eq!(c.cluster_of(oid(1)), c.cluster_of(oid(3)));
+        assert_eq!(c.cluster_of(oid(4)), c.cluster_of(oid(5)));
+        assert_ne!(c.cluster_of(oid(1)), c.cluster_of(oid(4)));
+    }
+
+    #[test]
+    fn empty_graph_produces_empty_clustering() {
+        let graph = graph_from_edges(0, &[]);
+        let outcome = correlation_hc().cluster(&graph);
+        assert!(outcome.clustering.is_empty());
+        assert!(outcome.trace.is_empty());
+    }
+
+    #[test]
+    fn disconnected_objects_stay_singletons() {
+        let graph = graph_from_edges(4, &[]);
+        let outcome = correlation_hc().cluster(&graph);
+        assert_eq!(outcome.clustering.cluster_count(), 4);
+    }
+
+    #[test]
+    fn max_steps_limits_the_number_of_changes() {
+        let graph = figure2_graph();
+        let hc = HillClimbing::new(
+            Arc::new(CorrelationObjective),
+            HillClimbingConfig {
+                max_steps: 1,
+                ..HillClimbingConfig::default()
+            },
+        );
+        let outcome = hc.cluster(&graph);
+        assert!(outcome.trace.len() <= 1);
+        assert_eq!(hc.name(), "hill-climbing");
+    }
+}

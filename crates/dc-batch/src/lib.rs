@@ -1,0 +1,40 @@
+//! # dc-batch
+//!
+//! Batch clustering algorithms — the substrates DynamicC is trained on and
+//! compared against.
+//!
+//! The paper evaluates three clustering problems of increasing difficulty
+//! (§7.1): density-based clustering (DBSCAN), k-means, and DB-index
+//! clustering.  DBSCAN has its own specialized batch algorithm; the latter
+//! two are solved with a *general* hill-climbing batch algorithm that only
+//! needs an objective function, which is exactly the property DynamicC
+//! relies on (no assumptions about the objective beyond being able to
+//! evaluate it).
+//!
+//! * [`hillclimb`] — the general objective-based batch algorithm.  It starts
+//!   from singletons (or warm-starts from an existing clustering), evaluates
+//!   candidate merges / splits / moves through the objective's delta
+//!   methods, always applies the best improving change, and records every
+//!   applied change as an [`dc_evolution::EvolutionStep`] — the §4.2
+//!   "cluster evolution from scratch" trace.
+//! * [`dbscan`] — density-based clustering over the similarity graph (the
+//!   graph's edge threshold plays the role of `ε`, a configurable `min_pts`
+//!   defines core points).
+//! * [`kmeans`] — Lloyd's algorithm with k-means++ seeding over the records'
+//!   numeric feature vectors, used to cross-check the hill-climbing k-means
+//!   results and to provide the fixed-`k` seeds.
+//! * [`traits`] — the [`BatchClusterer`] abstraction shared by all of the
+//!   above and consumed by DynamicC's trainer.
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+pub mod dbscan;
+pub mod hillclimb;
+pub mod kmeans;
+pub mod traits;
+
+pub use dbscan::{Dbscan, DbscanConfig};
+pub use hillclimb::{HillClimbing, HillClimbingConfig};
+pub use kmeans::{KMeans, KMeansConfig};
+pub use traits::{BatchClusterer, BatchOutcome};

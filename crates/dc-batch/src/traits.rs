@@ -1,0 +1,104 @@
+//! The [`BatchClusterer`] abstraction.
+
+use dc_evolution::EvolutionTrace;
+use dc_similarity::SimilarityGraph;
+use dc_types::Clustering;
+
+/// The result of one batch clustering run.
+#[derive(Debug, Clone)]
+pub struct BatchOutcome {
+    /// The clustering the algorithm converged to.
+    pub clustering: Clustering,
+    /// The evolution steps the algorithm applied to reach it (empty for
+    /// algorithms that do not construct their result step-by-step, such as
+    /// DBSCAN and Lloyd's k-means).
+    pub trace: EvolutionTrace,
+    /// Number of candidate evaluations / iterations performed — a coarse,
+    /// machine-independent work measure reported by the benchmark harness
+    /// alongside wall-clock time.
+    pub work: u64,
+}
+
+impl BatchOutcome {
+    /// Create an outcome without a trace.
+    pub fn without_trace(clustering: Clustering, work: u64) -> Self {
+        BatchOutcome {
+            clustering,
+            trace: EvolutionTrace::new(),
+            work,
+        }
+    }
+}
+
+/// A batch clustering algorithm over a similarity graph.
+pub trait BatchClusterer: Send + Sync {
+    /// Human-readable name, used in reports.
+    fn name(&self) -> &'static str;
+
+    /// Cluster every object of the graph from scratch.
+    fn cluster(&self, graph: &SimilarityGraph) -> BatchOutcome;
+
+    /// Re-cluster starting from an existing clustering.
+    ///
+    /// Objects present in the graph but missing from `initial` are added as
+    /// singleton clusters before the search starts; objects present in
+    /// `initial` but no longer in the graph are dropped.  The default
+    /// implementation ignores the warm start and clusters from scratch,
+    /// which is always correct for algorithms whose result does not depend
+    /// on the starting point (DBSCAN, Lloyd's k-means).
+    fn recluster(&self, graph: &SimilarityGraph, _initial: &Clustering) -> BatchOutcome {
+        self.cluster(graph)
+    }
+}
+
+/// Align a warm-start clustering with the current graph contents: drop
+/// vanished objects, add missing ones as singletons.
+pub fn align_clustering_with_graph(graph: &SimilarityGraph, initial: &Clustering) -> Clustering {
+    let mut aligned = initial.clone();
+    for o in aligned.object_ids() {
+        if !graph.contains(o) {
+            aligned.remove_object(o).expect("object listed by clustering");
+        }
+    }
+    for o in graph.object_ids() {
+        if !aligned.contains_object(o) {
+            aligned
+                .create_cluster([o])
+                .expect("object not yet clustered");
+        }
+    }
+    aligned
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dc_similarity::fixtures::{figure1_old_clustering, figure2_graph, graph_from_edges};
+    use dc_types::ObjectId;
+
+    #[test]
+    fn outcome_without_trace_is_empty_trace() {
+        let outcome = BatchOutcome::without_trace(Clustering::new(), 7);
+        assert!(outcome.trace.is_empty());
+        assert_eq!(outcome.work, 7);
+    }
+
+    #[test]
+    fn align_adds_missing_objects_and_drops_vanished_ones() {
+        // Graph has objects 1..=7; the old clustering only knows 1..=5.
+        let graph = figure2_graph();
+        let old = figure1_old_clustering();
+        let aligned = align_clustering_with_graph(&graph, &old);
+        assert_eq!(aligned.object_count(), 7);
+        assert!(aligned.contains_object(ObjectId::new(6)));
+        assert!(aligned.cluster(aligned.cluster_of(ObjectId::new(6)).unwrap()).unwrap().is_singleton());
+        aligned.check_invariants().unwrap();
+
+        // Now the reverse: the clustering knows an object the graph lost.
+        let small_graph = graph_from_edges(3, &[(1, 2, 0.9)]);
+        let aligned = align_clustering_with_graph(&small_graph, &old);
+        assert_eq!(aligned.object_count(), 3);
+        assert!(!aligned.contains_object(ObjectId::new(4)));
+        aligned.check_invariants().unwrap();
+    }
+}

@@ -1,0 +1,135 @@
+//! Criterion counterpart of Figures 5(b), 5(c), and 5(e): per-round
+//! re-clustering latency of the batch algorithm (DBSCAN / hill-climbing
+//! k-means) versus DynamicC on the numeric dataset families.
+//!
+//! The benchmark measures one *representative served round*: the graph and
+//! previous clustering are prepared once, then each method's `recluster`
+//! call for the next snapshot is timed.  Sizes are kept small so the whole
+//! suite runs in minutes; `experiments fig5b|fig5c|fig5e` prints the full
+//! per-snapshot series.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dc_baselines::{Greedy, IncrementalClusterer, Naive, NaiveConfig};
+use dc_bench::scenario::ClusteringTask;
+use dc_bench::{DatasetFamily, Scenario, ScenarioConfig};
+use dc_similarity::SimilarityGraph;
+
+struct RoundFixture {
+    scenario: Scenario,
+    graph: SimilarityGraph,
+    round: usize,
+}
+
+/// Prepare the scenario and advance the graph to just after the snapshot
+/// that will be measured.
+fn prepare(family: DatasetFamily, task: Option<ClusteringTask>, scale: f64, snapshots: usize) -> RoundFixture {
+    let mut config = ScenarioConfig::for_family(family).scaled(scale, snapshots);
+    config.task = task;
+    let scenario = Scenario::prepare(config);
+    let round = config.train_rounds; // first served snapshot (0-based index)
+    let mut graph = SimilarityGraph::build(family.graph_config(), &scenario.workload.initial);
+    for snapshot in &scenario.workload.snapshots[..=round] {
+        graph.apply_batch(&snapshot.batch);
+    }
+    RoundFixture {
+        scenario,
+        graph,
+        round,
+    }
+}
+
+fn bench_density(c: &mut Criterion, family: DatasetFamily, tag: &str) {
+    let fixture = prepare(family, Some(ClusteringTask::Density { min_pts: 3 }), 0.35, 4);
+    let previous = fixture.scenario.batch_clustering(fixture.round).clone();
+    let batch_snapshot = &fixture.scenario.workload.snapshots[fixture.round];
+    let batch_algo = ClusteringTask::Density { min_pts: 3 }.batch();
+
+    let mut group = c.benchmark_group(format!("fig5_density_{tag}"));
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.bench_function("dbscan_batch_round", |b| {
+        b.iter(|| {
+            black_box(
+                batch_algo
+                    .recluster(&fixture.graph, &previous)
+                    .clustering
+                    .cluster_count(),
+            )
+        })
+    });
+    let mut dynamicc = fixture.scenario.fresh_trained_dynamicc();
+    group.bench_function("dynamicc_round", |b| {
+        b.iter(|| {
+            black_box(
+                dynamicc
+                    .recluster(&fixture.graph, &previous, &batch_snapshot.batch)
+                    .cluster_count(),
+            )
+        })
+    });
+    group.finish();
+}
+
+fn bench_kmeans(c: &mut Criterion) {
+    let fixture = prepare(DatasetFamily::Access, None, 0.35, 4);
+    let previous = fixture.scenario.batch_clustering(fixture.round).clone();
+    let snapshot = &fixture.scenario.workload.snapshots[fixture.round];
+    let batch_algo = fixture.scenario.task.batch();
+    let objective = fixture.scenario.objective().clone();
+
+    let mut group = c.benchmark_group("fig5e_kmeans_access");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.bench_function("hill_climbing_batch_round", |b| {
+        b.iter(|| {
+            black_box(
+                batch_algo
+                    .recluster(&fixture.graph, &previous)
+                    .clustering
+                    .cluster_count(),
+            )
+        })
+    });
+    group.bench_function("naive_round", |b| {
+        b.iter(|| {
+            let mut naive = Naive::new(NaiveConfig { join_threshold: 0.4 });
+            black_box(
+                naive
+                    .recluster(&fixture.graph, &previous, &snapshot.batch)
+                    .cluster_count(),
+            )
+        })
+    });
+    group.bench_function("greedy_round", |b| {
+        b.iter(|| {
+            let mut greedy = Greedy::with_objective(objective.clone());
+            black_box(
+                greedy
+                    .recluster(&fixture.graph, &previous, &snapshot.batch)
+                    .cluster_count(),
+            )
+        })
+    });
+    let mut dynamicc = fixture.scenario.fresh_trained_dynamicc();
+    group.bench_function("dynamicc_round", |b| {
+        b.iter(|| {
+            black_box(
+                dynamicc
+                    .recluster(&fixture.graph, &previous, &snapshot.batch)
+                    .cluster_count(),
+            )
+        })
+    });
+    group.finish();
+}
+
+fn benches(c: &mut Criterion) {
+    bench_density(c, DatasetFamily::Access, "access");
+    bench_density(c, DatasetFamily::Road, "road");
+    bench_kmeans(c);
+}
+
+criterion_group!(fig5, benches);
+criterion_main!(fig5);

@@ -1,0 +1,83 @@
+//! Criterion counterpart of Figures 6 and 7 (and Tables 2/3): per-round
+//! re-clustering latency for DB-index clustering on the textual dataset
+//! families, comparing the batch hill-climbing algorithm, Naive, Greedy, and
+//! DynamicC on one representative served round per family.
+//!
+//! The expected *shape* (regardless of absolute numbers): Hill-climbing ≫
+//! Greedy > DynamicC ≈ Naive, with DynamicC's advantage over Greedy growing
+//! with dataset size — the `experiments fig7` subcommand prints the full
+//! per-snapshot series at larger scales.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dc_baselines::{Greedy, IncrementalClusterer, Naive, NaiveConfig};
+use dc_bench::{DatasetFamily, Scenario, ScenarioConfig};
+use dc_similarity::SimilarityGraph;
+
+fn bench_family(c: &mut Criterion, family: DatasetFamily, scale: f64) {
+    let config = ScenarioConfig::for_family(family).scaled(scale, 5);
+    let scenario = Scenario::prepare(config);
+    let round = config.train_rounds;
+    let mut graph = SimilarityGraph::build(family.graph_config(), &scenario.workload.initial);
+    for snapshot in &scenario.workload.snapshots[..=round] {
+        graph.apply_batch(&snapshot.batch);
+    }
+    let previous = scenario.batch_clustering(round).clone();
+    let snapshot = &scenario.workload.snapshots[round];
+    let batch_algo = scenario.task.batch();
+    let objective = scenario.objective().clone();
+
+    let mut group = c.benchmark_group(format!("fig7_dbindex_{}", family.name().to_lowercase()));
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.bench_function("hill_climbing_batch_round", |b| {
+        b.iter(|| {
+            black_box(
+                batch_algo
+                    .recluster(&graph, &previous)
+                    .clustering
+                    .cluster_count(),
+            )
+        })
+    });
+    group.bench_function("naive_round", |b| {
+        b.iter(|| {
+            let mut naive = Naive::new(NaiveConfig { join_threshold: 0.4 });
+            black_box(
+                naive
+                    .recluster(&graph, &previous, &snapshot.batch)
+                    .cluster_count(),
+            )
+        })
+    });
+    group.bench_function("greedy_round", |b| {
+        b.iter(|| {
+            let mut greedy = Greedy::with_objective(objective.clone());
+            black_box(
+                greedy
+                    .recluster(&graph, &previous, &snapshot.batch)
+                    .cluster_count(),
+            )
+        })
+    });
+    let mut dynamicc = scenario.fresh_trained_dynamicc();
+    group.bench_function("dynamicc_round", |b| {
+        b.iter(|| {
+            black_box(
+                dynamicc
+                    .recluster(&graph, &previous, &snapshot.batch)
+                    .cluster_count(),
+            )
+        })
+    });
+    group.finish();
+}
+
+fn benches(c: &mut Criterion) {
+    bench_family(c, DatasetFamily::Cora, 0.25);
+    bench_family(c, DatasetFamily::Music, 0.2);
+    bench_family(c, DatasetFamily::Synthetic, 0.2);
+}
+
+criterion_group!(fig6_7, benches);
+criterion_main!(fig6_7);

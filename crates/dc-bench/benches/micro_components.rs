@@ -1,0 +1,106 @@
+//! Micro-benchmarks of DynamicC's building blocks: similarity-graph
+//! maintenance, objective delta evaluation, feature extraction, and model
+//! inference.  These quantify the per-operation costs that make the
+//! headline per-round latencies of Figures 5 and 7 possible.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dc_datagen::{CoraLikeGenerator, FebrlLikeGenerator};
+use dc_evolution::merge_features;
+use dc_ml::ModelKind;
+use dc_objective::{CorrelationObjective, DbIndexObjective, ObjectiveFunction};
+use dc_similarity::{ClusterAggregates, GraphConfig, SimilarityGraph};
+use dc_types::Clustering;
+
+fn build_graph_and_clustering() -> (SimilarityGraph, Clustering) {
+    let dataset = CoraLikeGenerator {
+        entities: 60,
+        duplicates_per_entity: 5.0,
+        ..CoraLikeGenerator::default()
+    }
+    .generate();
+    let graph = SimilarityGraph::build(GraphConfig::textual_jaccard(0.5), &dataset);
+    let clustering = dc_datagen::ground_truth(&dataset);
+    (graph, clustering)
+}
+
+fn bench_graph_build(c: &mut Criterion) {
+    let dataset = FebrlLikeGenerator {
+        originals: 150,
+        duplicates_per_original: 1.5,
+        ..FebrlLikeGenerator::default()
+    }
+    .generate();
+    c.bench_function("similarity_graph_build_febrl_375", |b| {
+        b.iter(|| {
+            let graph = SimilarityGraph::build(GraphConfig::textual_febrl(0.6), &dataset);
+            black_box(graph.edge_count())
+        })
+    });
+}
+
+fn bench_objective_evaluation(c: &mut Criterion) {
+    let (graph, clustering) = build_graph_and_clustering();
+    c.bench_function("correlation_objective_full_evaluation", |b| {
+        b.iter(|| black_box(CorrelationObjective.evaluate(&graph, &clustering)))
+    });
+    c.bench_function("dbindex_objective_full_evaluation", |b| {
+        b.iter(|| black_box(DbIndexObjective.evaluate(&graph, &clustering)))
+    });
+    let ids = clustering.cluster_ids();
+    c.bench_function("correlation_merge_delta", |b| {
+        b.iter(|| {
+            black_box(CorrelationObjective.merge_delta(&graph, &clustering, ids[0], ids[1]))
+        })
+    });
+}
+
+fn bench_feature_extraction(c: &mut Criterion) {
+    let (graph, clustering) = build_graph_and_clustering();
+    let agg = ClusterAggregates::new(&graph, &clustering);
+    let ids = clustering.cluster_ids();
+    c.bench_function("merge_feature_extraction_per_cluster", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for &cid in &ids {
+                acc += merge_features(&agg, cid)[1];
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn bench_model_inference(c: &mut Criterion) {
+    // Fit a logistic model on synthetic cluster features and measure
+    // single-prediction latency (the quantity multiplied by the number of
+    // clusters per round at serving time).
+    let xs: Vec<Vec<f64>> = (0..400)
+        .map(|i| {
+            let j = (i % 20) as f64 / 20.0;
+            if i % 2 == 0 {
+                vec![1.0 - j / 10.0, 0.5 + j / 2.0, 1.0 + (i % 3) as f64, 2.0]
+            } else {
+                vec![0.9, 0.05 + j / 10.0, 2.0, 1.0]
+            }
+        })
+        .collect();
+    let ys: Vec<bool> = (0..400).map(|i| i % 2 == 0).collect();
+    let mut model = ModelKind::LogisticRegression.build();
+    model.fit(&xs, &ys);
+    c.bench_function("logistic_regression_predict_proba", |b| {
+        b.iter(|| black_box(model.predict_proba(&[0.95, 0.4, 2.0, 3.0])))
+    });
+    c.bench_function("logistic_regression_fit_400_examples", |b| {
+        b.iter(|| {
+            let mut m = ModelKind::LogisticRegression.build();
+            m.fit(&xs, &ys);
+            black_box(m.predict_proba(&[0.95, 0.4, 2.0, 3.0]))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_graph_build, bench_objective_evaluation, bench_feature_extraction, bench_model_inference
+}
+criterion_main!(benches);

@@ -1,0 +1,122 @@
+//! Configuration and runtime statistics of DynamicC.
+
+use dc_evolution::SamplerConfig;
+use dc_ml::ModelKind;
+
+/// Configuration of a [`DynamicC`](crate::DynamicC) instance.
+#[derive(Debug, Clone, Copy)]
+pub struct DynamicCConfig {
+    /// Which classifier family to use for both the merge and split models
+    /// (logistic regression by default, as in the paper).
+    pub model_kind: ModelKind,
+    /// Capacity of each training buffer; the oldest examples age out first
+    /// (§5.3: "we remove those old samples when the size of training data
+    /// becomes too large").
+    pub buffer_capacity: usize,
+    /// Negative-sampling configuration (active/inactive weights, §5.3).
+    pub sampler: SamplerConfig,
+    /// Multiplier applied to the recall-first threshold θ when serving.
+    /// Values below 1 trade extra verification work for even higher recall
+    /// (the Figure 4 trade-off); 1.0 uses θ as selected.
+    pub theta_scale: f64,
+    /// Maximum number of merge+split passes per re-clustering call
+    /// (Algorithm 3 terminates on its own; this is a safety valve).
+    pub max_passes: usize,
+    /// Retrain the models automatically after this many observed rounds
+    /// (0 disables automatic retraining; callers can still retrain manually).
+    pub retrain_every_rounds: usize,
+}
+
+impl Default for DynamicCConfig {
+    fn default() -> Self {
+        DynamicCConfig {
+            model_kind: ModelKind::LogisticRegression,
+            buffer_capacity: 20_000,
+            sampler: SamplerConfig::default(),
+            theta_scale: 1.0,
+            max_passes: 32,
+            retrain_every_rounds: 1,
+        }
+    }
+}
+
+/// Counters describing what DynamicC did while serving; used by the
+/// experiment harness to report verification overhead and prediction
+/// behaviour.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DynamicCStats {
+    /// Rounds observed for training.
+    pub observed_rounds: usize,
+    /// Number of times the models were (re)fitted.
+    pub retrain_count: usize,
+    /// Clusters flagged as merge candidates by the merge model.
+    pub merge_candidates: usize,
+    /// Merges actually applied (objective-verified).
+    pub merges_applied: usize,
+    /// Merge proposals rejected by the objective check.
+    pub merges_rejected: usize,
+    /// Clusters flagged as split candidates by the split model.
+    pub split_candidates: usize,
+    /// Splits actually applied (objective-verified).
+    pub splits_applied: usize,
+    /// Split proposals rejected by the objective check.
+    pub splits_rejected: usize,
+    /// Objective (delta) evaluations performed during verification.
+    pub objective_evaluations: u64,
+}
+
+impl DynamicCStats {
+    /// Fraction of merge proposals that survived verification (1.0 when no
+    /// proposal was made).
+    pub fn merge_acceptance_rate(&self) -> f64 {
+        let total = self.merges_applied + self.merges_rejected;
+        if total == 0 {
+            1.0
+        } else {
+            self.merges_applied as f64 / total as f64
+        }
+    }
+
+    /// Fraction of split proposals that survived verification.
+    pub fn split_acceptance_rate(&self) -> f64 {
+        let total = self.splits_applied + self.splits_rejected;
+        if total == 0 {
+            1.0
+        } else {
+            self.splits_applied as f64 / total as f64
+        }
+    }
+
+    /// Total structural changes applied.
+    pub fn changes_applied(&self) -> usize {
+        self.merges_applied + self.splits_applied
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_matches_the_paper() {
+        let c = DynamicCConfig::default();
+        assert_eq!(c.model_kind, ModelKind::LogisticRegression);
+        assert!((c.sampler.active_weight - 0.7).abs() < 1e-12);
+        assert!((c.sampler.inactive_weight - 0.3).abs() < 1e-12);
+        assert_eq!(c.theta_scale, 1.0);
+        assert!(c.max_passes > 0);
+    }
+
+    #[test]
+    fn stats_rates() {
+        let mut s = DynamicCStats::default();
+        assert_eq!(s.merge_acceptance_rate(), 1.0);
+        s.merges_applied = 3;
+        s.merges_rejected = 1;
+        s.splits_applied = 1;
+        s.splits_rejected = 3;
+        assert!((s.merge_acceptance_rate() - 0.75).abs() < 1e-12);
+        assert!((s.split_acceptance_rate() - 0.25).abs() < 1e-12);
+        assert_eq!(s.changes_applied(), 4);
+    }
+}

@@ -1,0 +1,45 @@
+//! # dc-core — DynamicC
+//!
+//! The paper's primary contribution: a machine-learning-augmented dynamic
+//! clustering system that learns, from historical cluster evolution, whether
+//! a cluster is about to **merge** or **split** when the database changes,
+//! and uses those predictions — verified against the clustering objective —
+//! to update the clustering without re-running the batch algorithm.
+//!
+//! The lifecycle mirrors the paper exactly:
+//!
+//! 1. **Training phase** (§4, §5).  The underlying batch algorithm keeps
+//!    answering re-clustering requests while DynamicC observes: each round's
+//!    difference between the old and new clustering is converted into
+//!    merge/split evolution steps ([`dc_evolution::derive_transformation`]),
+//!    turned into per-cluster feature vectors, balanced with weighted
+//!    negative samples, and appended to bounded training buffers
+//!    ([`models::ModelPair`]).  Fitting the two classifiers and selecting
+//!    the recall-first thresholds happens in [`DynamicC::retrain`].
+//! 2. **Serving phase** (§6).  [`DynamicC`] implements
+//!    [`dc_baselines::IncrementalClusterer`]: initial processing places new
+//!    and updated objects into singleton clusters, then the merge algorithm
+//!    (Algorithm 1, [`merge`]) and the split algorithm (Algorithm 2,
+//!    [`split`]) alternate until a fixed point (Algorithm 3, [`dynamic`]).
+//!    Every change proposed by a model is verified against the objective
+//!    function before it is applied, so false positives cost one evaluation
+//!    and never harm quality.
+//! 3. **Continual learning** (§5.3, §8).  New rounds can keep being
+//!    observed (e.g. whenever the batch algorithm is run occasionally to
+//!    establish a quality baseline), old examples age out of the buffers,
+//!    and [`DynamicC::retrain`] refreshes the models and thresholds.
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+pub mod config;
+pub mod dynamic;
+pub mod merge;
+pub mod models;
+pub mod split;
+pub mod trainer;
+
+pub use config::{DynamicCConfig, DynamicCStats};
+pub use dynamic::DynamicC;
+pub use models::ModelPair;
+pub use trainer::{train_on_workload, RoundObservation, TrainingReport};

@@ -1,0 +1,267 @@
+//! The merge/split model pair, their training buffers, and threshold
+//! management (§5.2–§5.4).
+
+use dc_evolution::{LabeledExample, NegativeSampler, RoundExamples, TrainingBuffer};
+use dc_ml::{recall_first_threshold, BinaryClassifier, ModelKind};
+
+/// The two classifiers DynamicC serves predictions from, together with their
+/// bounded training buffers and recall-first thresholds.
+pub struct ModelPair {
+    kind: ModelKind,
+    merge_model: Box<dyn BinaryClassifier>,
+    split_model: Box<dyn BinaryClassifier>,
+    merge_buffer: TrainingBuffer,
+    split_buffer: TrainingBuffer,
+    merge_theta: f64,
+    split_theta: f64,
+    trained: bool,
+}
+
+impl ModelPair {
+    /// Create an untrained pair.
+    pub fn new(kind: ModelKind, buffer_capacity: usize) -> Self {
+        ModelPair {
+            kind,
+            merge_model: kind.build(),
+            split_model: kind.build(),
+            merge_buffer: TrainingBuffer::new(buffer_capacity),
+            split_buffer: TrainingBuffer::new(buffer_capacity),
+            merge_theta: 0.5,
+            split_theta: 0.5,
+            trained: false,
+        }
+    }
+
+    /// Whether [`ModelPair::retrain`] has been called on non-trivial data.
+    pub fn is_trained(&self) -> bool {
+        self.trained
+    }
+
+    /// The model family in use.
+    pub fn kind(&self) -> ModelKind {
+        self.kind
+    }
+
+    /// The recall-first threshold of the merge model.
+    pub fn merge_theta(&self) -> f64 {
+        self.merge_theta
+    }
+
+    /// The recall-first threshold of the split model.
+    pub fn split_theta(&self) -> f64 {
+        self.split_theta
+    }
+
+    /// Number of buffered (merge, split) training examples.
+    pub fn buffered_examples(&self) -> (usize, usize) {
+        (self.merge_buffer.len(), self.split_buffer.len())
+    }
+
+    /// Append one round's labeled examples to the buffers, balancing the
+    /// negatives against the positives with the weighted sampler (§5.3).
+    pub fn absorb_round(&mut self, round: &RoundExamples, sampler: &mut NegativeSampler) {
+        // Merge model examples.
+        for f in &round.merge_positives {
+            self.merge_buffer.push(LabeledExample::new(f.clone(), true));
+        }
+        let merge_negatives = sampler.sample(
+            &round.merge_negatives_active,
+            &round.merge_negatives_inactive,
+            round.merge_positives.len(),
+        );
+        for f in merge_negatives {
+            self.merge_buffer.push(LabeledExample::new(f, false));
+        }
+        // Split model examples.
+        for f in &round.split_positives {
+            self.split_buffer.push(LabeledExample::new(f.clone(), true));
+        }
+        let split_negatives = sampler.sample(
+            &round.split_negatives_active,
+            &round.split_negatives_inactive,
+            round.split_positives.len(),
+        );
+        for f in split_negatives {
+            self.split_buffer.push(LabeledExample::new(f, false));
+        }
+    }
+
+    /// Refit both models on their buffers and re-select the recall-first
+    /// thresholds.  Returns `true` when at least one model had data to fit.
+    pub fn retrain(&mut self) -> bool {
+        let mut fitted_any = false;
+        let (xs, ys) = self.merge_buffer.to_matrix();
+        if !xs.is_empty() {
+            self.merge_model = self.kind.build();
+            self.merge_model.fit(&xs, &ys);
+            self.merge_theta = recall_first_threshold(self.merge_model.as_ref(), &xs, &ys);
+            fitted_any = true;
+        }
+        let (xs, ys) = self.split_buffer.to_matrix();
+        if !xs.is_empty() {
+            self.split_model = self.kind.build();
+            self.split_model.fit(&xs, &ys);
+            self.split_theta = recall_first_threshold(self.split_model.as_ref(), &xs, &ys);
+            fitted_any = true;
+        }
+        self.trained = self.trained || fitted_any;
+        fitted_any
+    }
+
+    /// Probability that a cluster with the given merge features should merge.
+    pub fn merge_probability(&self, features: &[f64]) -> f64 {
+        self.merge_model.predict_proba(features)
+    }
+
+    /// Probability that a cluster with the given split features should split.
+    pub fn split_probability(&self, features: &[f64]) -> f64 {
+        self.split_model.predict_proba(features)
+    }
+
+    /// Whether the merge model flags a cluster at the (scaled) threshold.
+    pub fn predicts_merge(&self, features: &[f64], theta_scale: f64) -> bool {
+        self.merge_probability(features) >= (self.merge_theta * theta_scale).clamp(0.0, 1.0)
+    }
+
+    /// Whether the split model flags a cluster at the (scaled) threshold.
+    pub fn predicts_split(&self, features: &[f64], theta_scale: f64) -> bool {
+        self.split_probability(features) >= (self.split_theta * theta_scale).clamp(0.0, 1.0)
+    }
+
+    /// Direct access to the merge model (for evaluation experiments).
+    pub fn merge_model(&self) -> &dyn BinaryClassifier {
+        self.merge_model.as_ref()
+    }
+
+    /// Direct access to the split model (for evaluation experiments).
+    pub fn split_model(&self) -> &dyn BinaryClassifier {
+        self.split_model.as_ref()
+    }
+
+    /// The merge training buffer as `(features, labels)` (for the ML
+    /// evaluation experiments of §7.3).
+    pub fn merge_training_data(&self) -> (Vec<Vec<f64>>, Vec<bool>) {
+        self.merge_buffer.to_matrix()
+    }
+
+    /// The split training buffer as `(features, labels)`.
+    pub fn split_training_data(&self) -> (Vec<Vec<f64>>, Vec<bool>) {
+        self.split_buffer.to_matrix()
+    }
+}
+
+impl std::fmt::Debug for ModelPair {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ModelPair")
+            .field("kind", &self.kind)
+            .field("merge_examples", &self.merge_buffer.len())
+            .field("split_examples", &self.split_buffer.len())
+            .field("merge_theta", &self.merge_theta)
+            .field("split_theta", &self.split_theta)
+            .field("trained", &self.trained)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dc_evolution::SamplerConfig;
+
+    /// A synthetic round: positives have high max-inter similarity (they
+    /// should merge), negatives have low.
+    fn synthetic_round(positives: usize, negatives: usize) -> RoundExamples {
+        let mut round = RoundExamples::default();
+        for i in 0..positives {
+            let jitter = (i % 10) as f64 / 100.0;
+            round.merge_positives.push(vec![0.9 - jitter, 0.8 - jitter, 2.0, 3.0]);
+            round.split_positives.push(vec![0.2 + jitter, 0.7 - jitter, 6.0]);
+        }
+        for i in 0..negatives {
+            let jitter = (i % 10) as f64 / 100.0;
+            round
+                .merge_negatives_active
+                .push(vec![0.9 - jitter, 0.05 + jitter, 2.0, 1.0]);
+            round
+                .merge_negatives_inactive
+                .push(vec![0.95, 0.0, 3.0, 0.0]);
+            round
+                .split_negatives_active
+                .push(vec![0.9 - jitter, 0.1, 3.0]);
+            round.split_negatives_inactive.push(vec![0.95, 0.0, 2.0]);
+        }
+        round
+    }
+
+    fn trained_pair() -> ModelPair {
+        let mut pair = ModelPair::new(ModelKind::LogisticRegression, 1000);
+        let mut sampler = NegativeSampler::new(SamplerConfig::default());
+        pair.absorb_round(&synthetic_round(40, 80), &mut sampler);
+        assert!(pair.retrain());
+        pair
+    }
+
+    #[test]
+    fn absorb_balances_negatives_to_positives() {
+        let mut pair = ModelPair::new(ModelKind::LogisticRegression, 1000);
+        let mut sampler = NegativeSampler::new(SamplerConfig::default());
+        pair.absorb_round(&synthetic_round(10, 50), &mut sampler);
+        let (merge_n, split_n) = pair.buffered_examples();
+        assert_eq!(merge_n, 20, "10 positives + 10 sampled negatives");
+        assert_eq!(split_n, 20);
+        assert!(!pair.is_trained());
+    }
+
+    #[test]
+    fn retrain_fits_models_and_selects_thresholds() {
+        let pair = trained_pair();
+        assert!(pair.is_trained());
+        assert!(pair.merge_theta() > 0.0 && pair.merge_theta() <= 1.0);
+        assert!(pair.split_theta() > 0.0 && pair.split_theta() <= 1.0);
+        // The trained merge model separates the synthetic classes.
+        assert!(pair.merge_probability(&[0.9, 0.8, 2.0, 3.0]) > 0.5);
+        assert!(pair.merge_probability(&[0.95, 0.0, 3.0, 0.0]) < 0.5);
+        // And the recall-first threshold flags every positive-like input.
+        assert!(pair.predicts_merge(&[0.9, 0.8, 2.0, 3.0], 1.0));
+        assert!(pair.predicts_split(&[0.2, 0.7, 6.0], 1.0));
+    }
+
+    #[test]
+    fn theta_scaling_makes_flagging_more_permissive() {
+        let pair = trained_pair();
+        // A borderline input: below θ it is not flagged, scaling θ down flags it.
+        let borderline = vec![0.9, 0.35, 2.0, 1.0];
+        let p = pair.merge_probability(&borderline);
+        if p < pair.merge_theta() {
+            assert!(!pair.predicts_merge(&borderline, 1.0));
+        }
+        assert!(pair.predicts_merge(&borderline, (p / pair.merge_theta()).min(1.0) * 0.9));
+    }
+
+    #[test]
+    fn untrained_pair_predicts_neutral() {
+        let pair = ModelPair::new(ModelKind::DecisionTree, 100);
+        assert!(!pair.is_trained());
+        assert_eq!(pair.merge_probability(&[0.5, 0.5, 1.0, 1.0]), 0.5);
+        assert_eq!(pair.kind(), ModelKind::DecisionTree);
+        let s = format!("{pair:?}");
+        assert!(s.contains("ModelPair"));
+    }
+
+    #[test]
+    fn retrain_without_data_reports_false() {
+        let mut pair = ModelPair::new(ModelKind::LogisticRegression, 100);
+        assert!(!pair.retrain());
+        assert!(!pair.is_trained());
+    }
+
+    #[test]
+    fn training_data_accessors_expose_buffers() {
+        let pair = trained_pair();
+        let (xs, ys) = pair.merge_training_data();
+        assert_eq!(xs.len(), ys.len());
+        assert!(ys.iter().any(|&y| y) && ys.iter().any(|&y| !y));
+        let (xs, _) = pair.split_training_data();
+        assert!(xs.iter().all(|x| x.len() == 3));
+    }
+}

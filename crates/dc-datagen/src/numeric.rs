@@ -1,0 +1,269 @@
+//! Numeric dataset generators: Amazon-Access-like Gaussian mixtures and
+//! 3D-Road-like polyline point clouds.
+
+use dc_types::{Dataset, Record, RecordBuilder};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Sample from a standard normal distribution (Box–Muller).
+fn standard_normal(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen::<f64>().max(1e-12);
+    let u2: f64 = rng.gen::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Amazon-Access-like generator: a mixture of Gaussian blobs in `R^dims`.
+///
+/// Access-provisioning records are categorical/numeric features that cluster
+/// by role; a Gaussian mixture with well-separated means reproduces that
+/// structure for Euclidean-similarity clustering.
+#[derive(Debug, Clone, Copy)]
+pub struct AccessLikeGenerator {
+    /// Number of mixture components (true clusters).
+    pub clusters: usize,
+    /// Number of points per component.
+    pub points_per_cluster: usize,
+    /// Dimensionality of the feature vectors.
+    pub dims: usize,
+    /// Standard deviation of each component.
+    pub spread: f64,
+    /// Distance between neighbouring component means.
+    pub separation: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for AccessLikeGenerator {
+    fn default() -> Self {
+        AccessLikeGenerator {
+            clusters: 20,
+            points_per_cluster: 50,
+            dims: 4,
+            spread: 0.6,
+            separation: 8.0,
+            seed: 0xACCE55,
+        }
+    }
+}
+
+impl AccessLikeGenerator {
+    /// Generate the dataset; each point is labeled with its component index.
+    pub fn generate(&self) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut ds = Dataset::new();
+        // Component means are placed on a jittered integer lattice so that
+        // neighbouring components stay `separation` apart.
+        let mut means: Vec<Vec<f64>> = Vec::with_capacity(self.clusters);
+        for c in 0..self.clusters {
+            let mean: Vec<f64> = (0..self.dims)
+                .map(|d| {
+                    let lattice = ((c >> d) & 0x7) as f64 + (c as f64 * 0.37).fract();
+                    lattice * self.separation
+                })
+                .collect();
+            means.push(mean);
+        }
+        for (c, mean) in means.iter().enumerate() {
+            for _ in 0..self.points_per_cluster {
+                let v: Vec<f64> = mean
+                    .iter()
+                    .map(|&m| m + self.spread * standard_normal(&mut rng))
+                    .collect();
+                ds.insert(RecordBuilder::new().vector(v).entity(c as u64).build());
+            }
+        }
+        ds
+    }
+
+    /// A reasonable similarity decay scale for this configuration (on the
+    /// order of the intra-cluster distances).
+    pub fn similarity_scale(&self) -> f64 {
+        (self.spread * 3.0).max(0.1)
+    }
+}
+
+/// 3D-Road-Network-like generator: points sampled along synthetic road
+/// polylines with elevation, forming elongated density clusters.
+#[derive(Debug, Clone, Copy)]
+pub struct RoadLikeGenerator {
+    /// Number of road segments (each segment's points form one entity).
+    pub roads: usize,
+    /// Number of sampled points per road.
+    pub points_per_road: usize,
+    /// Measurement noise around the polyline.
+    pub noise: f64,
+    /// Length of each road segment.
+    pub road_length: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for RoadLikeGenerator {
+    fn default() -> Self {
+        RoadLikeGenerator {
+            roads: 60,
+            points_per_road: 40,
+            noise: 0.05,
+            road_length: 4.0,
+            seed: 0x40AD,
+        }
+    }
+}
+
+impl RoadLikeGenerator {
+    /// Generate the dataset; each point carries its road index as the entity.
+    pub fn generate(&self) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut ds = Dataset::new();
+        for road in 0..self.roads {
+            // Road start on a coarse grid (so roads do not overlap), heading
+            // in a random direction, with slowly varying elevation.
+            let grid = (self.roads as f64).sqrt().ceil() as usize;
+            let cell = 3.0 * self.road_length;
+            let start_x = (road % grid) as f64 * cell;
+            let start_y = (road / grid) as f64 * cell;
+            let heading: f64 = rng.gen::<f64>() * std::f64::consts::TAU;
+            let base_elevation: f64 = rng.gen::<f64>() * 50.0;
+            for p in 0..self.points_per_road {
+                let t = p as f64 / self.points_per_road as f64 * self.road_length;
+                let x = start_x + t * heading.cos() + self.noise * standard_normal(&mut rng);
+                let y = start_y + t * heading.sin() + self.noise * standard_normal(&mut rng);
+                let z = base_elevation
+                    + 2.0 * (t * 0.8).sin()
+                    + self.noise * standard_normal(&mut rng);
+                ds.insert(
+                    RecordBuilder::new()
+                        .vector(vec![x, y, z])
+                        .entity(road as u64)
+                        .build(),
+                );
+            }
+        }
+        ds
+    }
+
+    /// A similarity decay scale matched to the point spacing along a road.
+    pub fn similarity_scale(&self) -> f64 {
+        (self.road_length / self.points_per_road as f64 * 4.0).max(0.05)
+    }
+}
+
+/// Jitter a numeric record slightly (used by the workload generator to
+/// implement Update operations on numeric datasets).
+pub fn jitter_record(record: &Record, magnitude: f64, rng: &mut StdRng) -> Record {
+    let mut out = record.clone();
+    let v: Vec<f64> = record
+        .vector()
+        .iter()
+        .map(|&x| x + magnitude * standard_normal(rng))
+        .collect();
+    out.set_vector(v);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ground_truth;
+    use dc_similarity::measures::EuclideanSimilarity;
+
+    #[test]
+    fn access_blobs_are_separated() {
+        let gen = AccessLikeGenerator {
+            clusters: 5,
+            points_per_cluster: 20,
+            ..AccessLikeGenerator::default()
+        };
+        let ds = gen.generate();
+        assert_eq!(ds.len(), 100);
+        let truth = ground_truth(&ds);
+        assert_eq!(truth.cluster_count(), 5);
+
+        // Average intra-cluster distance must be far below the average
+        // inter-cluster distance.
+        let groups = truth.groups();
+        let dist = |a: &[f64], b: &[f64]| EuclideanSimilarity::distance(a, b);
+        let mut intra = Vec::new();
+        let mut inter = Vec::new();
+        for (gi, group) in groups.iter().enumerate() {
+            for (i, &a) in group.iter().enumerate() {
+                for &b in group.iter().skip(i + 1).take(3) {
+                    intra.push(dist(ds.record(a).unwrap().vector(), ds.record(b).unwrap().vector()));
+                }
+                if let Some(other) = groups.get((gi + 1) % groups.len()) {
+                    inter.push(dist(
+                        ds.record(a).unwrap().vector(),
+                        ds.record(other[0]).unwrap().vector(),
+                    ));
+                }
+            }
+        }
+        let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        assert!(avg(&intra) * 3.0 < avg(&inter), "intra {} inter {}", avg(&intra), avg(&inter));
+    }
+
+    #[test]
+    fn access_generator_is_deterministic() {
+        let gen = AccessLikeGenerator {
+            clusters: 3,
+            points_per_cluster: 5,
+            ..AccessLikeGenerator::default()
+        };
+        let a = gen.generate();
+        let b = gen.generate();
+        for (ida, idb) in a.ids().into_iter().zip(b.ids()) {
+            assert_eq!(a.record(ida), b.record(idb));
+        }
+        assert!(gen.similarity_scale() > 0.0);
+    }
+
+    #[test]
+    fn road_points_follow_their_polyline() {
+        let gen = RoadLikeGenerator {
+            roads: 4,
+            points_per_road: 30,
+            ..RoadLikeGenerator::default()
+        };
+        let ds = gen.generate();
+        assert_eq!(ds.len(), 120);
+        let truth = ground_truth(&ds);
+        assert_eq!(truth.cluster_count(), 4);
+        // Points are 3-dimensional.
+        for (_, rec) in ds.iter() {
+            assert_eq!(rec.vector().len(), 3);
+        }
+        // Consecutive points on the same road are close.
+        let groups = truth.groups();
+        let g = &groups[0];
+        let d = EuclideanSimilarity::distance(
+            ds.record(g[0]).unwrap().vector(),
+            ds.record(g[1]).unwrap().vector(),
+        );
+        assert!(d < 1.5, "consecutive road points too far: {d}");
+        assert!(gen.similarity_scale() > 0.0);
+    }
+
+    #[test]
+    fn jitter_record_perturbs_every_dimension_slightly() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let rec = RecordBuilder::new().vector(vec![1.0, 2.0, 3.0]).entity(5).build();
+        let out = jitter_record(&rec, 0.01, &mut rng);
+        assert_eq!(out.entity(), Some(5));
+        assert_eq!(out.vector().len(), 3);
+        for (a, b) in rec.vector().iter().zip(out.vector()) {
+            assert!((a - b).abs() < 0.1);
+        }
+        assert_ne!(rec.vector(), out.vector());
+    }
+
+    #[test]
+    fn standard_normal_has_zero_mean_unit_variance() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let samples: Vec<f64> = (0..20_000).map(|_| standard_normal(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>()
+            / samples.len() as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "var {var}");
+    }
+}

@@ -1,0 +1,558 @@
+//! Textual record-linkage generators: Febrl-like, Cora-like, and
+//! MusicBrainz-like datasets.
+//!
+//! All three follow the same recipe the Febrl data generator uses (and which
+//! the paper's synthetic dataset is produced with): generate *original*
+//! records for distinct entities, then derive *duplicate* records by
+//! corrupting an original with typos and token edits.  The number of
+//! duplicates per entity follows a configurable distribution (uniform,
+//! Poisson, or Zipf — the three distributions the paper experiments with).
+//! Every record carries its entity id as ground truth.
+
+use crate::vocab;
+use dc_types::{Dataset, Record, RecordBuilder};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Distribution of the number of duplicates per original record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DuplicateDistribution {
+    /// Every entity gets the same number of duplicates.
+    Uniform,
+    /// Poisson-distributed duplicate counts (mean = the configured rate).
+    Poisson,
+    /// Zipf-like heavy tail: a few entities get many duplicates.
+    Zipf,
+}
+
+impl DuplicateDistribution {
+    /// Sample a duplicate count with the given mean.
+    fn sample(self, mean: f64, rng: &mut StdRng) -> usize {
+        match self {
+            DuplicateDistribution::Uniform => mean.round() as usize,
+            DuplicateDistribution::Poisson => {
+                // Knuth's algorithm; mean is small (a handful of duplicates).
+                let l = (-mean).exp();
+                let mut k = 0usize;
+                let mut p = 1.0;
+                loop {
+                    p *= rng.gen::<f64>();
+                    if p <= l {
+                        break;
+                    }
+                    k += 1;
+                    if k > 1000 {
+                        break;
+                    }
+                }
+                k
+            }
+            DuplicateDistribution::Zipf => {
+                // Inverse-CDF sampling of a truncated zeta(2) distribution,
+                // scaled so the mean is roughly `mean`.
+                let u: f64 = rng.gen::<f64>().max(1e-9);
+                let heavy = (1.0 / u.sqrt()).floor() as usize;
+                (heavy.min(30) as f64 * mean / 2.0).round() as usize
+            }
+        }
+    }
+}
+
+/// Apply `typos` random character edits (substitution, deletion, insertion,
+/// or adjacent transposition) to a string.
+fn corrupt_string(text: &str, typos: usize, rng: &mut StdRng) -> String {
+    let mut chars: Vec<char> = text.chars().collect();
+    for _ in 0..typos {
+        if chars.is_empty() {
+            chars.push(rng_char(rng));
+            continue;
+        }
+        let pos = rng.gen_range(0..chars.len());
+        match rng.gen_range(0..4) {
+            0 => chars[pos] = rng_char(rng),
+            1 => {
+                chars.remove(pos);
+            }
+            2 => chars.insert(pos, rng_char(rng)),
+            _ => {
+                if pos + 1 < chars.len() {
+                    chars.swap(pos, pos + 1);
+                }
+            }
+        }
+    }
+    chars.into_iter().collect()
+}
+
+fn rng_char(rng: &mut StdRng) -> char {
+    (b'a' + rng.gen_range(0..26u8)) as char
+}
+
+// ---------------------------------------------------------------------------
+// Febrl-like person records
+// ---------------------------------------------------------------------------
+
+/// Febrl-style person-record generator (the paper's Synthetic dataset).
+#[derive(Debug, Clone, Copy)]
+pub struct FebrlLikeGenerator {
+    /// Number of original (distinct-entity) records.
+    pub originals: usize,
+    /// Mean number of duplicates per original.
+    pub duplicates_per_original: f64,
+    /// How duplicate counts are distributed across originals.
+    pub distribution: DuplicateDistribution,
+    /// Number of character edits applied to each duplicate.
+    pub typos_per_duplicate: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for FebrlLikeGenerator {
+    fn default() -> Self {
+        FebrlLikeGenerator {
+            originals: 600,
+            duplicates_per_original: 1.7,
+            distribution: DuplicateDistribution::Uniform,
+            typos_per_duplicate: 2,
+            seed: 0xFEB,
+        }
+    }
+}
+
+impl FebrlLikeGenerator {
+    fn original_record(&self, entity: u64, rng: &mut StdRng) -> Record {
+        let first = vocab::pick(vocab::FIRST_NAMES, rng.gen());
+        let last = vocab::pick(vocab::SURNAMES, rng.gen());
+        let street_no = rng.gen_range(1..400u32);
+        let street = vocab::pick(vocab::STREETS, rng.gen());
+        let city = vocab::pick(vocab::CITIES, rng.gen());
+        let age = rng.gen_range(18..95u32);
+        RecordBuilder::new()
+            .text("given_name", first)
+            .text("surname", last)
+            .text("address", format!("{street_no} {street} street"))
+            .text("city", city)
+            .number("age", age as f64)
+            .entity(entity)
+            .build()
+    }
+
+    fn duplicate_of(&self, original: &Record, rng: &mut StdRng) -> Record {
+        let mut dup = original.clone();
+        // Corrupt one or two textual fields.
+        let fields: Vec<String> = original
+            .fields()
+            .filter(|(_, v)| v.as_text().is_some())
+            .map(|(k, _)| k.to_string())
+            .collect();
+        let corruptions = 1 + (self.typos_per_duplicate > 2) as usize;
+        for _ in 0..corruptions {
+            let field = &fields[rng.gen_range(0..fields.len())];
+            if let Some(text) = original.field(field).and_then(|v| v.as_text()) {
+                let corrupted = corrupt_string(text, self.typos_per_duplicate, rng);
+                dup.set_field(field.clone(), dc_types::FieldValue::Text(corrupted));
+            }
+        }
+        dup
+    }
+
+    /// Generate the dataset (originals followed by duplicates).
+    pub fn generate(&self) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut ds = Dataset::new();
+        let mut originals = Vec::with_capacity(self.originals);
+        for entity in 0..self.originals as u64 {
+            let rec = self.original_record(entity, &mut rng);
+            originals.push(rec.clone());
+            ds.insert(rec);
+        }
+        for (entity, original) in originals.iter().enumerate() {
+            let count = self
+                .distribution
+                .sample(self.duplicates_per_original, &mut rng);
+            for _ in 0..count {
+                let _ = entity;
+                ds.insert(self.duplicate_of(original, &mut rng));
+            }
+        }
+        ds
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Cora-like citation records
+// ---------------------------------------------------------------------------
+
+/// Cora-style citation-record generator (textual + numerical fields,
+/// Jaccard similarity).
+#[derive(Debug, Clone, Copy)]
+pub struct CoraLikeGenerator {
+    /// Number of distinct publications (entities).
+    pub entities: usize,
+    /// Mean number of citation variants per publication.
+    pub duplicates_per_entity: f64,
+    /// Number of character edits per corrupted field.
+    pub typos: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for CoraLikeGenerator {
+    fn default() -> Self {
+        // The real Cora has 1879 records over ~190 entities; the default here
+        // is a smaller laptop-scale version with the same duplicate ratio.
+        CoraLikeGenerator {
+            entities: 190,
+            duplicates_per_entity: 8.5,
+            typos: 2,
+            seed: 0xC04A,
+        }
+    }
+}
+
+impl CoraLikeGenerator {
+    fn original(&self, entity: u64, rng: &mut StdRng) -> Record {
+        let title: Vec<&str> = (0..rng.gen_range(4..8))
+            .map(|_| vocab::pick(vocab::TITLE_WORDS, rng.gen()))
+            .collect();
+        let author = format!(
+            "{} {}",
+            vocab::pick(vocab::FIRST_NAMES, rng.gen()),
+            vocab::pick(vocab::SURNAMES, rng.gen())
+        );
+        let second_author = format!(
+            "{} {}",
+            vocab::pick(vocab::FIRST_NAMES, rng.gen()),
+            vocab::pick(vocab::SURNAMES, rng.gen())
+        );
+        let venue = vocab::pick(vocab::VENUES, rng.gen());
+        let year = rng.gen_range(1980..2022u32);
+        RecordBuilder::new()
+            .text("title", title.join(" "))
+            .text("authors", format!("{author} and {second_author}"))
+            .text("venue", venue)
+            .number("year", year as f64)
+            .entity(entity)
+            .build()
+    }
+
+    fn variant(&self, original: &Record, rng: &mut StdRng) -> Record {
+        let mut dup = original.clone();
+        // Citations differ by dropped title words, abbreviated authors, and
+        // occasional typos.
+        if let Some(title) = original.field("title").and_then(|v| v.as_text()) {
+            let mut words: Vec<&str> = title.split_whitespace().collect();
+            if words.len() > 3 && rng.gen_bool(0.5) {
+                let drop = rng.gen_range(0..words.len());
+                words.remove(drop);
+            }
+            let mut new_title = words.join(" ");
+            if rng.gen_bool(0.6) {
+                new_title = corrupt_string(&new_title, self.typos, rng);
+            }
+            dup.set_field("title", dc_types::FieldValue::Text(new_title));
+        }
+        if let Some(authors) = original.field("authors").and_then(|v| v.as_text()) {
+            if rng.gen_bool(0.4) {
+                // Abbreviate: keep the first token's initial.
+                let abbreviated: Vec<String> = authors
+                    .split_whitespace()
+                    .map(|w| {
+                        if rng.gen_bool(0.3) && w.len() > 1 {
+                            format!("{}", w.chars().next().unwrap())
+                        } else {
+                            w.to_string()
+                        }
+                    })
+                    .collect();
+                dup.set_field(
+                    "authors",
+                    dc_types::FieldValue::Text(abbreviated.join(" ")),
+                );
+            }
+        }
+        dup
+    }
+
+    /// Generate the dataset.
+    pub fn generate(&self) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut ds = Dataset::new();
+        for entity in 0..self.entities as u64 {
+            let original = self.original(entity, &mut rng);
+            ds.insert(original.clone());
+            let count = DuplicateDistribution::Poisson.sample(self.duplicates_per_entity, &mut rng);
+            for _ in 0..count {
+                ds.insert(self.variant(&original, &mut rng));
+            }
+        }
+        ds
+    }
+}
+
+// ---------------------------------------------------------------------------
+// MusicBrainz-like song records
+// ---------------------------------------------------------------------------
+
+/// MusicBrainz-style song-record generator (trigram-cosine similarity).
+#[derive(Debug, Clone, Copy)]
+pub struct MusicLikeGenerator {
+    /// Number of distinct songs (entities).
+    pub entities: usize,
+    /// Mean number of catalogue variants per song.
+    pub duplicates_per_entity: f64,
+    /// Number of character edits per corrupted field.
+    pub typos: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for MusicLikeGenerator {
+    fn default() -> Self {
+        MusicLikeGenerator {
+            entities: 800,
+            duplicates_per_entity: 3.0,
+            typos: 2,
+            seed: 0x0115,
+        }
+    }
+}
+
+impl MusicLikeGenerator {
+    fn original(&self, entity: u64, rng: &mut StdRng) -> Record {
+        let title: Vec<&str> = (0..rng.gen_range(2..5))
+            .map(|_| vocab::pick(vocab::SONG_WORDS, rng.gen()))
+            .collect();
+        let artist = format!(
+            "the {} {}",
+            vocab::pick(vocab::ARTIST_WORDS, rng.gen()),
+            vocab::pick(vocab::ARTIST_WORDS, rng.gen())
+        );
+        let album: Vec<&str> = (0..2)
+            .map(|_| vocab::pick(vocab::SONG_WORDS, rng.gen()))
+            .collect();
+        let year = rng.gen_range(1960..2022u32);
+        RecordBuilder::new()
+            .text("title", title.join(" "))
+            .text("artist", artist)
+            .text("album", album.join(" "))
+            .number("year", year as f64)
+            .entity(entity)
+            .build()
+    }
+
+    fn variant(&self, original: &Record, rng: &mut StdRng) -> Record {
+        let mut dup = original.clone();
+        for field in ["title", "artist", "album"] {
+            if rng.gen_bool(0.5) {
+                if let Some(text) = original.field(field).and_then(|v| v.as_text()) {
+                    dup.set_field(
+                        field,
+                        dc_types::FieldValue::Text(corrupt_string(text, self.typos, rng)),
+                    );
+                }
+            }
+        }
+        dup
+    }
+
+    /// Generate the dataset.
+    pub fn generate(&self) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut ds = Dataset::new();
+        for entity in 0..self.entities as u64 {
+            let original = self.original(entity, &mut rng);
+            ds.insert(original.clone());
+            let count = DuplicateDistribution::Poisson.sample(self.duplicates_per_entity, &mut rng);
+            for _ in 0..count {
+                ds.insert(self.variant(&original, &mut rng));
+            }
+        }
+        ds
+    }
+}
+
+/// Corrupt a textual record slightly (used by the workload generator to
+/// implement Update operations on textual datasets).
+pub fn corrupt_record(record: &Record, typos: usize, rng: &mut StdRng) -> Record {
+    let mut out = record.clone();
+    let fields: Vec<String> = record
+        .fields()
+        .filter(|(_, v)| v.as_text().is_some())
+        .map(|(k, _)| k.to_string())
+        .collect();
+    if fields.is_empty() {
+        return out;
+    }
+    let field = &fields[rng.gen_range(0..fields.len())];
+    if let Some(text) = record.field(field).and_then(|v| v.as_text()) {
+        out.set_field(
+            field.clone(),
+            dc_types::FieldValue::Text(corrupt_string(text, typos, rng)),
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ground_truth;
+    use dc_similarity::{JaccardSimilarity, SimilarityMeasure, TrigramCosine};
+
+    #[test]
+    fn febrl_generates_originals_and_duplicates_with_labels() {
+        let gen = FebrlLikeGenerator {
+            originals: 50,
+            duplicates_per_original: 2.0,
+            ..FebrlLikeGenerator::default()
+        };
+        let ds = gen.generate();
+        assert!(ds.len() >= 150 && ds.len() <= 160, "len = {}", ds.len());
+        let truth = ground_truth(&ds);
+        assert_eq!(truth.cluster_count(), 50);
+        // Duplicates stay textually similar to their original.
+        let m = JaccardSimilarity;
+        let mut intra = Vec::new();
+        for group in truth.groups() {
+            if group.len() >= 2 {
+                let a = ds.record(group[0]).unwrap();
+                let b = ds.record(group[1]).unwrap();
+                intra.push(m.similarity(a, b));
+            }
+        }
+        let avg: f64 = intra.iter().sum::<f64>() / intra.len() as f64;
+        assert!(avg > 0.5, "duplicates too dissimilar: {avg}");
+    }
+
+    #[test]
+    fn febrl_distributions_change_the_duplicate_profile() {
+        let base = FebrlLikeGenerator {
+            originals: 80,
+            duplicates_per_original: 2.0,
+            ..FebrlLikeGenerator::default()
+        };
+        let uniform = base.generate();
+        let zipf = FebrlLikeGenerator {
+            distribution: DuplicateDistribution::Zipf,
+            ..base
+        }
+        .generate();
+        let max_group = |ds: &Dataset| {
+            ground_truth(ds)
+                .groups()
+                .iter()
+                .map(Vec::len)
+                .max()
+                .unwrap_or(0)
+        };
+        // Uniform: every entity has exactly 1 + 2 records; Zipf has a heavy
+        // tail with (much) larger groups.
+        assert_eq!(max_group(&uniform), 3);
+        assert!(max_group(&zipf) > 3);
+    }
+
+    #[test]
+    fn poisson_sampling_has_reasonable_mean() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 2000;
+        let total: usize = (0..n)
+            .map(|_| DuplicateDistribution::Poisson.sample(3.0, &mut rng))
+            .sum();
+        let mean = total as f64 / n as f64;
+        assert!((mean - 3.0).abs() < 0.3, "mean = {mean}");
+    }
+
+    #[test]
+    fn cora_variants_share_tokens_with_their_original() {
+        let gen = CoraLikeGenerator {
+            entities: 30,
+            duplicates_per_entity: 4.0,
+            ..CoraLikeGenerator::default()
+        };
+        let ds = gen.generate();
+        let truth = ground_truth(&ds);
+        assert_eq!(truth.cluster_count(), 30);
+        assert!(ds.len() > 100);
+        let m = JaccardSimilarity;
+        let mut hits = 0;
+        let mut total = 0;
+        for group in truth.groups() {
+            for pair in group.windows(2) {
+                let s = m.similarity(ds.record(pair[0]).unwrap(), ds.record(pair[1]).unwrap());
+                total += 1;
+                if s > 0.3 {
+                    hits += 1;
+                }
+            }
+        }
+        assert!(hits as f64 / total as f64 > 0.8);
+    }
+
+    #[test]
+    fn music_variants_are_trigram_similar() {
+        let gen = MusicLikeGenerator {
+            entities: 40,
+            duplicates_per_entity: 2.0,
+            ..MusicLikeGenerator::default()
+        };
+        let ds = gen.generate();
+        let truth = ground_truth(&ds);
+        assert_eq!(truth.cluster_count(), 40);
+        let m = TrigramCosine;
+        let mut sims = Vec::new();
+        for group in truth.groups() {
+            if group.len() >= 2 {
+                sims.push(m.similarity(
+                    ds.record(group[0]).unwrap(),
+                    ds.record(group[1]).unwrap(),
+                ));
+            }
+        }
+        let avg: f64 = sims.iter().sum::<f64>() / sims.len() as f64;
+        assert!(avg > 0.7, "avg trigram similarity {avg}");
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let gen = CoraLikeGenerator {
+            entities: 10,
+            ..CoraLikeGenerator::default()
+        };
+        let a = gen.generate();
+        let b = gen.generate();
+        assert_eq!(a.len(), b.len());
+        for (ida, idb) in a.ids().into_iter().zip(b.ids()) {
+            assert_eq!(a.record(ida), b.record(idb));
+        }
+    }
+
+    #[test]
+    fn corrupt_string_changes_but_preserves_length_roughly() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let original = "abcdefghijklmnop";
+        let corrupted = corrupt_string(original, 2, &mut rng);
+        assert_ne!(corrupted, original);
+        assert!((corrupted.len() as i64 - original.len() as i64).abs() <= 2);
+        // Zero typos is the identity.
+        assert_eq!(corrupt_string(original, 0, &mut rng), original);
+    }
+
+    #[test]
+    fn corrupt_record_touches_exactly_one_text_field() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let rec = RecordBuilder::new()
+            .text("a", "hello world")
+            .text("b", "unchanged text")
+            .number("n", 5.0)
+            .entity(3)
+            .build();
+        let out = corrupt_record(&rec, 3, &mut rng);
+        assert_eq!(out.entity(), Some(3));
+        let changed = ["a", "b"]
+            .iter()
+            .filter(|f| out.field(f) != rec.field(f))
+            .count();
+        assert_eq!(changed, 1);
+    }
+}

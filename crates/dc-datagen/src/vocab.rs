@@ -1,0 +1,114 @@
+//! Word pools for the textual generators.
+//!
+//! The pools are intentionally small and fully deterministic: record-linkage
+//! difficulty comes from duplicate corruption, not from vocabulary size, and
+//! a compact vocabulary keeps the token-blocking index realistic (shared
+//! tokens across different entities, exactly like real citation data).
+
+/// Given first names.
+pub const FIRST_NAMES: &[&str] = &[
+    "james", "mary", "john", "patricia", "robert", "jennifer", "michael", "linda", "william",
+    "elizabeth", "david", "barbara", "richard", "susan", "joseph", "jessica", "thomas", "sarah",
+    "charles", "karen", "wei", "li", "ana", "sofia", "mohammed", "fatima", "hiroshi", "yuki",
+    "carlos", "maria",
+];
+
+/// Family names.
+pub const SURNAMES: &[&str] = &[
+    "smith", "johnson", "williams", "brown", "jones", "garcia", "miller", "davis", "rodriguez",
+    "martinez", "hernandez", "lopez", "gonzalez", "wilson", "anderson", "thomas", "taylor",
+    "moore", "jackson", "martin", "chen", "wang", "kim", "nguyen", "patel", "sato", "tanaka",
+    "mueller", "rossi", "silva",
+];
+
+/// Street names for address fields.
+pub const STREETS: &[&str] = &[
+    "maple", "oak", "cedar", "pine", "elm", "washington", "lake", "hill", "park", "main",
+    "church", "river", "spring", "ridge", "walnut", "sunset", "highland", "forest", "meadow",
+    "willow",
+];
+
+/// Cities for address fields.
+pub const CITIES: &[&str] = &[
+    "springfield", "riverton", "fairview", "kingston", "ashland", "georgetown", "salem",
+    "clinton", "greenville", "bristol", "dayton", "milton", "oxford", "auburn", "clayton",
+    "dover", "hudson", "jackson", "lebanon", "madison",
+];
+
+/// Research-paper title words (Cora-like citations).
+pub const TITLE_WORDS: &[&str] = &[
+    "learning", "neural", "networks", "probabilistic", "inference", "bayesian", "clustering",
+    "classification", "reinforcement", "genetic", "algorithms", "markov", "decision",
+    "processes", "models", "analysis", "adaptive", "systems", "knowledge", "reasoning",
+    "planning", "search", "optimization", "stochastic", "gradient", "boosting", "induction",
+    "logic", "programming", "recognition", "vision", "speech", "language", "retrieval",
+    "database", "distributed", "parallel", "dynamic", "incremental", "efficient",
+];
+
+/// Publication venues (Cora-like citations).
+pub const VENUES: &[&str] = &[
+    "icml", "nips", "aaai", "ijcai", "kdd", "sigmod", "vldb", "icde", "edbt", "uai", "colt",
+    "ecml", "icdm", "cikm", "www",
+];
+
+/// Band / artist name components (MusicBrainz-like records).
+pub const ARTIST_WORDS: &[&str] = &[
+    "electric", "midnight", "crimson", "velvet", "silver", "golden", "neon", "lunar", "wild",
+    "broken", "eternal", "savage", "crystal", "phantom", "royal", "stone", "iron", "echo",
+    "shadow", "burning", "rebels", "tigers", "wolves", "dreamers", "riders", "kings", "queens",
+    "ghosts", "angels", "pilots",
+];
+
+/// Song / album title components (MusicBrainz-like records).
+pub const SONG_WORDS: &[&str] = &[
+    "love", "night", "heart", "fire", "rain", "dance", "summer", "blue", "road", "home", "light",
+    "dream", "time", "river", "sky", "moon", "star", "storm", "wind", "city", "train", "ocean",
+    "mountain", "freedom", "memory", "shadows", "silence", "thunder", "horizon", "echoes",
+];
+
+/// Pick an element of a pool by index (wrapping).
+pub fn pick(pool: &[&'static str], index: usize) -> &'static str {
+    pool[index % pool.len()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pools_are_non_empty_and_lowercase() {
+        for pool in [
+            FIRST_NAMES,
+            SURNAMES,
+            STREETS,
+            CITIES,
+            TITLE_WORDS,
+            VENUES,
+            ARTIST_WORDS,
+            SONG_WORDS,
+        ] {
+            assert!(!pool.is_empty());
+            for w in pool {
+                assert_eq!(*w, w.to_lowercase());
+                assert!(!w.contains(' '));
+            }
+        }
+    }
+
+    #[test]
+    fn pick_wraps_around() {
+        assert_eq!(pick(FIRST_NAMES, 0), FIRST_NAMES[0]);
+        assert_eq!(pick(FIRST_NAMES, FIRST_NAMES.len()), FIRST_NAMES[0]);
+        assert_eq!(pick(FIRST_NAMES, FIRST_NAMES.len() + 3), FIRST_NAMES[3]);
+    }
+
+    #[test]
+    fn pools_have_no_duplicates() {
+        for pool in [FIRST_NAMES, SURNAMES, TITLE_WORDS, VENUES] {
+            let mut sorted: Vec<&str> = pool.to_vec();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), pool.len());
+        }
+    }
+}

@@ -1,0 +1,321 @@
+//! Dynamic-workload generation (§7.2, Figure 5(a)).
+//!
+//! A workload starts from an *initial* subset of a full dataset and then
+//! applies a sequence of snapshots.  Each snapshot adds a batch of not-yet-
+//! inserted objects, removes a batch of live objects, and updates a batch of
+//! live objects (updates re-corrupt textual records or jitter numeric
+//! vectors).  Percentages are expressed relative to the number of objects
+//! live at the start of the snapshot, matching how Figure 5(a) reports the
+//! per-snapshot operation mix.
+
+use crate::{numeric, textual};
+use dc_types::{Dataset, ObjectId, Operation, OperationBatch, Record, RecordKind, Snapshot};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Configuration of a dynamic workload.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkloadConfig {
+    /// Fraction of the full dataset that is live before the first snapshot.
+    pub initial_fraction: f64,
+    /// Number of snapshots to generate.
+    pub snapshots: usize,
+    /// Adds per snapshot, as a fraction of the currently live objects
+    /// (capped by the number of unused objects remaining).
+    pub add_fraction: f64,
+    /// Removes per snapshot, as a fraction of the currently live objects.
+    pub remove_fraction: f64,
+    /// Updates per snapshot, as a fraction of the currently live objects.
+    pub update_fraction: f64,
+    /// Character edits applied by an Update to a textual record.
+    pub update_typos: usize,
+    /// Jitter magnitude applied by an Update to a numeric record.
+    pub update_jitter: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        // Mirrors the typical mix of Figure 5(a): mostly adds, a few removes
+        // and updates per round.
+        WorkloadConfig {
+            initial_fraction: 0.15,
+            snapshots: 8,
+            add_fraction: 0.25,
+            remove_fraction: 0.03,
+            update_fraction: 0.04,
+            update_typos: 2,
+            update_jitter: 0.05,
+            seed: 0xD1CE,
+        }
+    }
+}
+
+/// A generated dynamic workload: the initial dataset plus the snapshots to
+/// replay on top of it.
+#[derive(Debug, Clone)]
+pub struct DynamicWorkload {
+    /// Objects live before the first snapshot.
+    pub initial: Dataset,
+    /// The snapshots, in replay order.
+    pub snapshots: Vec<Snapshot>,
+}
+
+impl DynamicWorkload {
+    /// Generate a workload over the given full dataset.
+    pub fn generate(full: &Dataset, config: WorkloadConfig) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&config.initial_fraction),
+            "initial fraction must be in [0, 1]"
+        );
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut all_ids = full.ids();
+        all_ids.shuffle(&mut rng);
+
+        let initial_count = ((all_ids.len() as f64) * config.initial_fraction).round() as usize;
+        let initial_count = initial_count.clamp(1.min(all_ids.len()), all_ids.len());
+        let (initial_ids, future_ids) = all_ids.split_at(initial_count);
+
+        let initial = Dataset::from_pairs(
+            initial_ids
+                .iter()
+                .map(|&id| (id, full.record(id).expect("id from dataset").clone())),
+        );
+
+        // Live set evolves as snapshots are generated.
+        let mut live: Vec<ObjectId> = initial_ids.to_vec();
+        let mut pending: Vec<ObjectId> = future_ids.to_vec();
+        let mut current_records: std::collections::BTreeMap<ObjectId, Record> = initial
+            .iter()
+            .map(|(id, r)| (id, r.clone()))
+            .collect();
+
+        let mut snapshots = Vec::with_capacity(config.snapshots);
+        for index in 1..=config.snapshots {
+            let live_count = live.len().max(1);
+            let n_add = ((live_count as f64) * config.add_fraction).round() as usize;
+            let n_add = n_add.min(pending.len());
+            let n_remove =
+                (((live_count as f64) * config.remove_fraction).round() as usize).min(live.len());
+            let n_update =
+                (((live_count as f64) * config.update_fraction).round() as usize).min(live.len());
+
+            let mut batch = OperationBatch::new();
+
+            // Adds: take the next pending objects.
+            for _ in 0..n_add {
+                let id = pending.pop().expect("capped by pending length");
+                let record = full.record(id).expect("id from dataset").clone();
+                current_records.insert(id, record.clone());
+                live.push(id);
+                batch.push(Operation::Add { id, record });
+            }
+
+            // Removes: random live objects (not ones just added this round,
+            // for simplicity of the replayed evolution).
+            live.shuffle(&mut rng);
+            let mut removed = Vec::new();
+            for _ in 0..n_remove {
+                if let Some(id) = live.pop() {
+                    current_records.remove(&id);
+                    removed.push(id);
+                    batch.push(Operation::Remove { id });
+                }
+            }
+
+            // Updates: random live objects get a perturbed record.
+            live.shuffle(&mut rng);
+            for &id in live.iter().take(n_update) {
+                let record = current_records
+                    .get(&id)
+                    .expect("live objects have records")
+                    .clone();
+                let updated = match record.kind() {
+                    RecordKind::Numeric => {
+                        numeric::jitter_record(&record, config.update_jitter, &mut rng)
+                    }
+                    RecordKind::Textual | RecordKind::Mixed => {
+                        textual::corrupt_record(&record, config.update_typos, &mut rng)
+                    }
+                };
+                current_records.insert(id, updated.clone());
+                batch.push(Operation::Update { id, record: updated });
+            }
+
+            snapshots.push(Snapshot::new(index, batch));
+        }
+
+        DynamicWorkload { initial, snapshots }
+    }
+
+    /// Total number of operations across all snapshots.
+    pub fn total_operations(&self) -> usize {
+        self.snapshots.iter().map(|s| s.batch.len()).sum()
+    }
+
+    /// Replay the whole workload onto a copy of the initial dataset and
+    /// return the final dataset (useful for tests and for computing the
+    /// final ground truth).
+    pub fn final_dataset(&self) -> Dataset {
+        let mut ds = self.initial.clone();
+        for snap in &self.snapshots {
+            ds.apply_batch(&snap.batch).expect("workload is replayable");
+        }
+        ds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::textual::FebrlLikeGenerator;
+    use crate::numeric::AccessLikeGenerator;
+    use dc_types::OperationKind;
+
+    fn small_textual_dataset() -> Dataset {
+        FebrlLikeGenerator {
+            originals: 60,
+            duplicates_per_original: 1.0,
+            ..FebrlLikeGenerator::default()
+        }
+        .generate()
+    }
+
+    #[test]
+    fn workload_is_replayable_and_covers_the_dataset() {
+        let full = small_textual_dataset();
+        let workload = DynamicWorkload::generate(&full, WorkloadConfig::default());
+        assert_eq!(workload.snapshots.len(), 8);
+        assert!(workload.initial.len() > 0);
+        // Replaying must not error, and the final dataset is a subset of the
+        // full dataset's ids (some were never added, some were removed).
+        let final_ds = workload.final_dataset();
+        for (id, _) in final_ds.iter() {
+            assert!(full.contains(id));
+        }
+        assert!(final_ds.len() > workload.initial.len());
+    }
+
+    #[test]
+    fn snapshot_mix_contains_all_three_operation_kinds() {
+        let full = small_textual_dataset();
+        let workload = DynamicWorkload::generate(
+            &full,
+            WorkloadConfig {
+                add_fraction: 0.3,
+                remove_fraction: 0.1,
+                update_fraction: 0.1,
+                ..WorkloadConfig::default()
+            },
+        );
+        let mut kinds = std::collections::BTreeSet::new();
+        for snap in &workload.snapshots {
+            for op in snap.batch.iter() {
+                kinds.insert(op.kind());
+            }
+        }
+        assert!(kinds.contains(&OperationKind::Add));
+        assert!(kinds.contains(&OperationKind::Remove));
+        assert!(kinds.contains(&OperationKind::Update));
+        assert!(workload.total_operations() > 0);
+    }
+
+    #[test]
+    fn updates_preserve_entity_labels() {
+        let full = small_textual_dataset();
+        let workload = DynamicWorkload::generate(
+            &full,
+            WorkloadConfig {
+                update_fraction: 0.2,
+                ..WorkloadConfig::default()
+            },
+        );
+        for snap in &workload.snapshots {
+            for op in snap.batch.iter() {
+                if let Operation::Update { id, record } = op {
+                    assert_eq!(record.entity(), full.record(*id).unwrap().entity());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn numeric_updates_jitter_vectors() {
+        let full = AccessLikeGenerator {
+            clusters: 4,
+            points_per_cluster: 25,
+            ..AccessLikeGenerator::default()
+        }
+        .generate();
+        let workload = DynamicWorkload::generate(
+            &full,
+            WorkloadConfig {
+                update_fraction: 0.2,
+                ..WorkloadConfig::default()
+            },
+        );
+        let mut saw_update = false;
+        for snap in &workload.snapshots {
+            for op in snap.batch.iter() {
+                if let Operation::Update { id, record } = op {
+                    saw_update = true;
+                    assert_eq!(record.vector().len(), full.record(*id).unwrap().vector().len());
+                }
+            }
+        }
+        assert!(saw_update);
+    }
+
+    #[test]
+    fn workload_is_deterministic_per_seed() {
+        let full = small_textual_dataset();
+        let a = DynamicWorkload::generate(&full, WorkloadConfig::default());
+        let b = DynamicWorkload::generate(&full, WorkloadConfig::default());
+        assert_eq!(a.total_operations(), b.total_operations());
+        assert_eq!(a.initial.ids(), b.initial.ids());
+        let c = DynamicWorkload::generate(
+            &full,
+            WorkloadConfig {
+                seed: 999,
+                ..WorkloadConfig::default()
+            },
+        );
+        assert_ne!(a.initial.ids(), c.initial.ids());
+    }
+
+    #[test]
+    fn zero_fractions_produce_empty_snapshots() {
+        let full = small_textual_dataset();
+        let workload = DynamicWorkload::generate(
+            &full,
+            WorkloadConfig {
+                add_fraction: 0.0,
+                remove_fraction: 0.0,
+                update_fraction: 0.0,
+                snapshots: 3,
+                ..WorkloadConfig::default()
+            },
+        );
+        assert_eq!(workload.total_operations(), 0);
+        assert_eq!(workload.final_dataset().len(), workload.initial.len());
+    }
+
+    #[test]
+    fn stats_percentages_reflect_the_configuration() {
+        let full = small_textual_dataset();
+        let workload = DynamicWorkload::generate(
+            &full,
+            WorkloadConfig {
+                add_fraction: 0.2,
+                ..WorkloadConfig::default()
+            },
+        );
+        let first = &workload.snapshots[0];
+        let stats = first.stats();
+        let live_before = workload.initial.len();
+        let pct = stats.percentage(OperationKind::Add, live_before);
+        assert!(pct > 10.0 && pct < 30.0, "add pct = {pct}");
+    }
+}

@@ -1,0 +1,245 @@
+//! Pair-counting precision / recall / F1.
+//!
+//! Two objects form a *positive pair* in a clustering when they share a
+//! cluster.  Taking the reference clustering (the batch result or the
+//! synthetic ground truth) as the truth:
+//!
+//! * precision — of the pairs the result puts together, the fraction the
+//!   reference also puts together;
+//! * recall — of the pairs the reference puts together, the fraction the
+//!   result also puts together;
+//! * F1 — their harmonic mean (the "pair counting F1 measure" of §7.1).
+//!
+//! Only objects present in **both** clusterings participate, so a result
+//! computed before some objects arrived can still be compared against a
+//! later reference.
+
+use dc_types::{Clustering, ObjectId};
+use std::collections::BTreeMap;
+
+/// Pair agreement counts between a result and a reference clustering.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PairCounts {
+    /// Pairs together in both clusterings.
+    pub together_both: u64,
+    /// Pairs together in the result but apart in the reference.
+    pub together_result_only: u64,
+    /// Pairs together in the reference but apart in the result.
+    pub together_reference_only: u64,
+}
+
+impl PairCounts {
+    /// Pair-counting precision (1.0 when the result creates no pairs).
+    pub fn precision(&self) -> f64 {
+        let denom = self.together_both + self.together_result_only;
+        if denom == 0 {
+            return 1.0;
+        }
+        self.together_both as f64 / denom as f64
+    }
+
+    /// Pair-counting recall (1.0 when the reference has no pairs).
+    pub fn recall(&self) -> f64 {
+        let denom = self.together_both + self.together_reference_only;
+        if denom == 0 {
+            return 1.0;
+        }
+        self.together_both as f64 / denom as f64
+    }
+
+    /// Pair-counting F1.
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+}
+
+/// Count pair agreements between `result` and `reference` over their common
+/// objects.
+///
+/// The computation is `O(n · max cluster size)` rather than `O(n²)`: for each
+/// cluster of the result, objects are grouped by their reference cluster and
+/// the pair counts are derived from the group sizes.
+pub fn pair_counts(result: &Clustering, reference: &Clustering) -> PairCounts {
+    // Objects present in both clusterings.
+    let common: Vec<ObjectId> = result
+        .object_ids()
+        .into_iter()
+        .filter(|o| reference.contains_object(*o))
+        .collect();
+
+    let choose2 = |n: u64| n * n.saturating_sub(1) / 2;
+
+    // Pairs together in the result (restricted to common objects), and of
+    // those, pairs also together in the reference.
+    let mut together_result = 0u64;
+    let mut together_both = 0u64;
+    for (_, cluster) in result.iter() {
+        let mut by_reference: BTreeMap<_, u64> = BTreeMap::new();
+        let mut in_common = 0u64;
+        for o in cluster.iter() {
+            if let Some(ref_cid) = reference.cluster_of(o) {
+                in_common += 1;
+                *by_reference.entry(ref_cid).or_insert(0) += 1;
+            }
+        }
+        together_result += choose2(in_common);
+        for (_, count) in by_reference {
+            together_both += choose2(count);
+        }
+    }
+
+    // Pairs together in the reference (restricted to common objects).
+    let mut together_reference = 0u64;
+    for (_, cluster) in reference.iter() {
+        let in_common = cluster.iter().filter(|o| result.contains_object(*o)).count() as u64;
+        together_reference += choose2(in_common);
+    }
+
+    let _ = common; // `common` documents the restriction; counts already honour it.
+
+    PairCounts {
+        together_both,
+        together_result_only: together_result - together_both,
+        together_reference_only: together_reference - together_both,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn oid(raw: u64) -> ObjectId {
+        ObjectId::new(raw)
+    }
+
+    #[test]
+    fn identical_clusterings_have_perfect_scores() {
+        let c = Clustering::from_groups([vec![oid(1), oid(2), oid(3)], vec![oid(4)]]).unwrap();
+        let p = pair_counts(&c, &c);
+        assert_eq!(p.together_both, 3);
+        assert_eq!(p.together_result_only, 0);
+        assert_eq!(p.together_reference_only, 0);
+        assert_eq!(p.f1(), 1.0);
+    }
+
+    #[test]
+    fn completely_disjoint_pairings_score_zero_f1() {
+        let result = Clustering::from_groups([vec![oid(1), oid(2)], vec![oid(3), oid(4)]]).unwrap();
+        let reference =
+            Clustering::from_groups([vec![oid(1), oid(3)], vec![oid(2), oid(4)]]).unwrap();
+        let p = pair_counts(&result, &reference);
+        assert_eq!(p.together_both, 0);
+        assert_eq!(p.precision(), 0.0);
+        assert_eq!(p.recall(), 0.0);
+        assert_eq!(p.f1(), 0.0);
+    }
+
+    #[test]
+    fn over_merging_hurts_precision_not_recall() {
+        let reference =
+            Clustering::from_groups([vec![oid(1), oid(2)], vec![oid(3), oid(4)]]).unwrap();
+        let result =
+            Clustering::from_groups([vec![oid(1), oid(2), oid(3), oid(4)]]).unwrap();
+        let p = pair_counts(&result, &reference);
+        assert_eq!(p.recall(), 1.0);
+        assert!(p.precision() < 1.0);
+        assert!((p.precision() - 2.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn over_splitting_hurts_recall_not_precision() {
+        let reference =
+            Clustering::from_groups([vec![oid(1), oid(2), oid(3), oid(4)]]).unwrap();
+        let result = Clustering::singletons((1..=4).map(oid));
+        let p = pair_counts(&result, &reference);
+        assert_eq!(p.precision(), 1.0);
+        assert_eq!(p.recall(), 0.0);
+    }
+
+    #[test]
+    fn objects_missing_from_either_side_are_ignored() {
+        let reference =
+            Clustering::from_groups([vec![oid(1), oid(2), oid(3)], vec![oid(9)]]).unwrap();
+        let result = Clustering::from_groups([vec![oid(1), oid(2)], vec![oid(7)]]).unwrap();
+        let p = pair_counts(&result, &reference);
+        // Common objects: 1, 2.  They are together in both.
+        assert_eq!(p.together_both, 1);
+        assert_eq!(p.together_result_only, 0);
+        // (1,3) and (2,3) do not count because 3 is absent from the result.
+        assert_eq!(p.together_reference_only, 0);
+        assert_eq!(p.f1(), 1.0);
+    }
+
+    #[test]
+    fn empty_clusterings_score_one_by_convention() {
+        let empty = Clustering::new();
+        let c = Clustering::from_groups([vec![oid(1), oid(2)]]).unwrap();
+        assert_eq!(pair_counts(&empty, &c).f1(), 1.0);
+        assert_eq!(pair_counts(&c, &empty).f1(), 1.0);
+    }
+
+    #[test]
+    fn symmetry_swaps_precision_and_recall() {
+        let a = Clustering::from_groups([vec![oid(1), oid(2), oid(3)], vec![oid(4), oid(5)]])
+            .unwrap();
+        let b = Clustering::from_groups([
+            vec![oid(1), oid(2)],
+            vec![oid(3), oid(4), oid(5)],
+        ])
+        .unwrap();
+        let ab = pair_counts(&a, &b);
+        let ba = pair_counts(&b, &a);
+        assert!((ab.precision() - ba.recall()).abs() < 1e-12);
+        assert!((ab.recall() - ba.precision()).abs() < 1e-12);
+        assert!((ab.f1() - ba.f1()).abs() < 1e-12);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn clustering_from(assign: &[u64]) -> Clustering {
+        let mut groups: BTreeMap<u64, Vec<ObjectId>> = BTreeMap::new();
+        for (i, &g) in assign.iter().enumerate() {
+            groups.entry(g).or_default().push(ObjectId::new(i as u64));
+        }
+        Clustering::from_groups(groups.into_values()).unwrap()
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn metrics_are_bounded_and_symmetric(
+            a in proptest::collection::vec(0u64..5, 12),
+            b in proptest::collection::vec(0u64..5, 12),
+        ) {
+            let ca = clustering_from(&a);
+            let cb = clustering_from(&b);
+            let p = pair_counts(&ca, &cb);
+            prop_assert!((0.0..=1.0).contains(&p.precision()));
+            prop_assert!((0.0..=1.0).contains(&p.recall()));
+            prop_assert!((0.0..=1.0).contains(&p.f1()));
+            let q = pair_counts(&cb, &ca);
+            prop_assert!((p.f1() - q.f1()).abs() < 1e-12);
+            prop_assert_eq!(p.together_both, q.together_both);
+        }
+
+        #[test]
+        fn self_comparison_is_perfect(a in proptest::collection::vec(0u64..5, 12)) {
+            let ca = clustering_from(&a);
+            let p = pair_counts(&ca, &ca);
+            prop_assert_eq!(p.f1(), 1.0);
+            prop_assert_eq!(p.together_result_only, 0);
+            prop_assert_eq!(p.together_reference_only, 0);
+        }
+    }
+}

@@ -1,0 +1,118 @@
+//! Purity and inverse purity (Table 3 of the paper).
+//!
+//! * **Purity** maps every result cluster to the reference cluster it
+//!   overlaps most and measures the fraction of objects covered by those
+//!   best matches — it rewards precision-like behaviour and is maximal when
+//!   every result cluster is a subset of some reference cluster.
+//! * **Inverse purity** swaps the roles: every reference cluster is mapped
+//!   to the result cluster it overlaps most — it rewards recall-like
+//!   behaviour and is maximal when every reference cluster is contained in
+//!   some result cluster.
+//!
+//! Both are restricted to the objects present in both clusterings so that
+//! snapshots of different sizes remain comparable.
+
+use dc_types::Clustering;
+use std::collections::BTreeMap;
+
+/// Purity of `result` with respect to `reference`.
+pub fn purity(result: &Clustering, reference: &Clustering) -> f64 {
+    directional_purity(result, reference)
+}
+
+/// Inverse purity of `result` with respect to `reference`.
+pub fn inverse_purity(result: &Clustering, reference: &Clustering) -> f64 {
+    directional_purity(reference, result)
+}
+
+/// For every cluster of `from`, find its maximal overlap with a cluster of
+/// `to`; return (Σ max overlaps) / (number of common objects).
+fn directional_purity(from: &Clustering, to: &Clustering) -> f64 {
+    let mut total_common = 0usize;
+    let mut matched = 0usize;
+    for (_, cluster) in from.iter() {
+        let mut by_other: BTreeMap<_, usize> = BTreeMap::new();
+        for o in cluster.iter() {
+            if let Some(other) = to.cluster_of(o) {
+                *by_other.entry(other).or_insert(0) += 1;
+                total_common += 1;
+            }
+        }
+        matched += by_other.values().copied().max().unwrap_or(0);
+    }
+    if total_common == 0 {
+        1.0
+    } else {
+        matched as f64 / total_common as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dc_types::ObjectId;
+
+    fn oid(raw: u64) -> ObjectId {
+        ObjectId::new(raw)
+    }
+
+    #[test]
+    fn identical_clusterings_have_purity_one() {
+        let c = Clustering::from_groups([vec![oid(1), oid(2)], vec![oid(3)]]).unwrap();
+        assert_eq!(purity(&c, &c), 1.0);
+        assert_eq!(inverse_purity(&c, &c), 1.0);
+    }
+
+    #[test]
+    fn singletons_have_perfect_purity_but_poor_inverse_purity() {
+        let reference =
+            Clustering::from_groups([vec![oid(1), oid(2), oid(3), oid(4)]]).unwrap();
+        let result = Clustering::singletons((1..=4).map(oid));
+        assert_eq!(purity(&result, &reference), 1.0);
+        assert!((inverse_purity(&result, &reference) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn one_big_cluster_has_perfect_inverse_purity_but_poor_purity() {
+        let reference =
+            Clustering::from_groups([vec![oid(1), oid(2)], vec![oid(3), oid(4)]]).unwrap();
+        let result = Clustering::from_groups([vec![oid(1), oid(2), oid(3), oid(4)]]).unwrap();
+        assert_eq!(inverse_purity(&result, &reference), 1.0);
+        assert!((purity(&result, &reference) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn partial_overlap() {
+        let reference =
+            Clustering::from_groups([vec![oid(1), oid(2), oid(3)], vec![oid(4), oid(5)]]).unwrap();
+        let result = Clustering::from_groups([
+            vec![oid(1), oid(2), oid(4)],
+            vec![oid(3), oid(5)],
+        ])
+        .unwrap();
+        let p = purity(&result, &reference);
+        // Cluster {1,2,4}: best overlap 2; cluster {3,5}: best overlap 1 ⇒ 3/5.
+        assert!((p - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disjoint_object_sets_default_to_one() {
+        let a = Clustering::from_groups([vec![oid(1)]]).unwrap();
+        let b = Clustering::from_groups([vec![oid(2)]]).unwrap();
+        assert_eq!(purity(&a, &b), 1.0);
+        assert_eq!(inverse_purity(&a, &b), 1.0);
+    }
+
+    #[test]
+    fn purity_and_inverse_purity_are_transposes() {
+        let a = Clustering::from_groups([vec![oid(1), oid(2), oid(3)], vec![oid(4), oid(5)]])
+            .unwrap();
+        let b = Clustering::from_groups([
+            vec![oid(1), oid(2)],
+            vec![oid(3), oid(4), oid(5)],
+        ])
+        .unwrap();
+        assert!((purity(&a, &b) - inverse_purity(&b, &a)).abs() < 1e-12);
+        assert!((inverse_purity(&a, &b) - purity(&b, &a)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,398 @@
+//! Feature extraction for the DynamicC ML model (§5.1, §5.2).
+//!
+//! Features describe *global characteristics of one cluster* and are
+//! independent of the underlying batch algorithm:
+//!
+//! | feature | meaning | merge model | split model |
+//! |---|---|---|---|
+//! | `f1` | average intra-cluster similarity | ✓ | ✓ |
+//! | `f2` | maximal average inter-cluster similarity to any other cluster | ✓ | ✓ |
+//! | `f3` | cluster size | ✓ | ✓ |
+//! | `f4` | size of the cluster attaining the maximum in `f2` | ✓ | — |
+//!
+//! The merge model therefore consumes 4-dimensional inputs and the split
+//! model 3-dimensional inputs; the label (`f5` in the paper's notation) is
+//! carried separately as a boolean.
+//!
+//! [`RoundExamples::extract`] converts one round of observed evolution — the
+//! similarity graph, the *working clustering* produced by initial processing
+//! (old clustering + new singletons − removed objects), and the derived
+//! [`EvolutionTrace`] — into positive examples (clusters that merged or
+//! split) and negative candidates (clusters that stayed unchanged), already
+//! partitioned into "active" and "inactive" clusters for the negative
+//! sampler of §5.3.
+
+use crate::ops::{find_cluster_with_members, EvolutionStep, EvolutionTrace};
+use dc_similarity::{ClusterAggregates, SimilarityGraph};
+use dc_types::{ClusterId, Clustering, ObjectId};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Dimensionality of merge-model feature vectors.
+pub const MERGE_FEATURE_DIM: usize = 4;
+/// Dimensionality of split-model feature vectors.
+pub const SPLIT_FEATURE_DIM: usize = 3;
+
+/// A feature vector with its binary label.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LabeledExample {
+    /// The feature values.
+    pub features: Vec<f64>,
+    /// `true` for a positive (merge/split happened) example.
+    pub label: bool,
+}
+
+impl LabeledExample {
+    /// Create a labeled example.
+    pub fn new(features: Vec<f64>, label: bool) -> Self {
+        LabeledExample { features, label }
+    }
+}
+
+/// Merge-model features `(f1, f2, f3, f4)` of an existing cluster.
+pub fn merge_features(agg: &ClusterAggregates<'_>, cid: ClusterId) -> [f64; MERGE_FEATURE_DIM] {
+    let f1 = agg.intra_avg(cid);
+    let (f2, f4) = match agg.max_inter_avg(cid) {
+        Some((other, avg)) => (avg, agg.clustering().cluster_size(other) as f64),
+        None => (0.0, 0.0),
+    };
+    let f3 = agg.clustering().cluster_size(cid) as f64;
+    [f1, f2, f3, f4]
+}
+
+/// Split-model features `(f1, f2, f3)` of an existing cluster.
+pub fn split_features(agg: &ClusterAggregates<'_>, cid: ClusterId) -> [f64; SPLIT_FEATURE_DIM] {
+    let m = merge_features(agg, cid);
+    [m[0], m[1], m[2]]
+}
+
+/// Merge-model features of a *hypothetical* cluster given by an explicit
+/// member set (used by the merge algorithm to score the stability of the
+/// cluster that a candidate merge would produce, §6.2).
+///
+/// The hypothetical cluster's neighbours are every existing cluster that is
+/// not (partially) absorbed into the member set.
+pub fn merge_features_of_members(
+    graph: &SimilarityGraph,
+    clustering: &Clustering,
+    members: &BTreeSet<ObjectId>,
+) -> [f64; MERGE_FEATURE_DIM] {
+    let n = members.len();
+    // Intra average.
+    let f1 = if n <= 1 {
+        1.0
+    } else {
+        let mut intra = 0.0;
+        for &a in members {
+            for (b, sim) in graph.neighbors(a) {
+                if b > a && members.contains(&b) {
+                    intra += sim;
+                }
+            }
+        }
+        intra / (n * (n - 1) / 2) as f64
+    };
+    // Max average inter similarity against existing clusters outside the set.
+    let mut sums: BTreeMap<ClusterId, f64> = BTreeMap::new();
+    for &a in members {
+        for (b, sim) in graph.neighbors(a) {
+            if members.contains(&b) {
+                continue;
+            }
+            if let Some(cid) = clustering.cluster_of(b) {
+                *sums.entry(cid).or_insert(0.0) += sim;
+            }
+        }
+    }
+    let mut f2 = 0.0;
+    let mut f4 = 0.0;
+    for (cid, sum) in sums {
+        // Ignore clusters that overlap the hypothetical member set (they are
+        // being consumed by the merge under consideration).
+        let cluster = clustering.cluster(cid).expect("live cluster id");
+        let outside = cluster.iter().filter(|o| !members.contains(o)).count();
+        if outside == 0 {
+            continue;
+        }
+        let avg = sum / (n * outside) as f64;
+        if avg > f2 {
+            f2 = avg;
+            f4 = outside as f64;
+        }
+    }
+    [f1, f2, n as f64, f4]
+}
+
+/// The labeled examples and negative candidates observed in one round.
+#[derive(Debug, Clone, Default)]
+pub struct RoundExamples {
+    /// Feature vectors of clusters that participated in a merge evolution.
+    pub merge_positives: Vec<Vec<f64>>,
+    /// Feature vectors of clusters that were split.
+    pub split_positives: Vec<Vec<f64>>,
+    /// Merge-model feature vectors of unchanged *active* clusters.
+    pub merge_negatives_active: Vec<Vec<f64>>,
+    /// Merge-model feature vectors of unchanged *inactive* clusters.
+    pub merge_negatives_inactive: Vec<Vec<f64>>,
+    /// Split-model feature vectors of unchanged *active* clusters.
+    pub split_negatives_active: Vec<Vec<f64>>,
+    /// Split-model feature vectors of unchanged *inactive* clusters.
+    pub split_negatives_inactive: Vec<Vec<f64>>,
+}
+
+impl RoundExamples {
+    /// Extract the examples of one round.
+    ///
+    /// * `graph` — similarity graph after this round's operations;
+    /// * `working` — the clustering produced by initial processing (§6.1),
+    ///   i.e. the state in which the clusters named by the trace exist;
+    /// * `trace` — the derived evolution steps of this round (§4.3).
+    pub fn extract(
+        graph: &SimilarityGraph,
+        working: &Clustering,
+        trace: &EvolutionTrace,
+    ) -> Self {
+        let agg = ClusterAggregates::new(graph, working);
+        let mut merge_positive_ids: BTreeSet<ClusterId> = BTreeSet::new();
+        let mut split_positive_ids: BTreeSet<ClusterId> = BTreeSet::new();
+
+        for step in trace.iter() {
+            match step {
+                EvolutionStep::Merge { left, right } => {
+                    // Every working cluster that is wholly absorbed into the
+                    // merged result participated in a merge evolution.  This
+                    // covers the sides named by the step *and* pre-existing
+                    // clusters that receive several new members at once
+                    // (whose exact "other side" never exists as one working
+                    // cluster).
+                    let result: BTreeSet<ObjectId> = left.union(right).copied().collect();
+                    for &o in &result {
+                        let Some(cid) = working.cluster_of(o) else {
+                            continue;
+                        };
+                        let cluster = working.cluster(cid).expect("live cluster id");
+                        if cluster.len() < result.len()
+                            && cluster.members().is_subset(&result)
+                        {
+                            merge_positive_ids.insert(cid);
+                        }
+                    }
+                }
+                EvolutionStep::Split { original, .. } => {
+                    if let Some(cid) = find_cluster_with_members(working, original) {
+                        split_positive_ids.insert(cid);
+                    }
+                }
+            }
+        }
+
+        let mut out = RoundExamples::default();
+        for cid in working.cluster_ids() {
+            let is_merge_pos = merge_positive_ids.contains(&cid);
+            let is_split_pos = split_positive_ids.contains(&cid);
+            let mf = merge_features(&agg, cid).to_vec();
+            let sf = split_features(&agg, cid).to_vec();
+            let active = !agg.neighbour_clusters(cid).is_empty();
+
+            if is_merge_pos {
+                out.merge_positives.push(mf);
+            } else if active {
+                out.merge_negatives_active.push(mf);
+            } else {
+                out.merge_negatives_inactive.push(mf);
+            }
+
+            if is_split_pos {
+                out.split_positives.push(sf);
+            } else if active {
+                out.split_negatives_active.push(sf);
+            } else {
+                out.split_negatives_inactive.push(sf);
+            }
+        }
+        out
+    }
+
+    /// Total number of positive examples (merge + split).
+    pub fn positive_count(&self) -> usize {
+        self.merge_positives.len() + self.split_positives.len()
+    }
+
+    /// Total number of negative candidates (merge + split, active + inactive).
+    pub fn negative_candidate_count(&self) -> usize {
+        self.merge_negatives_active.len()
+            + self.merge_negatives_inactive.len()
+            + self.split_negatives_active.len()
+            + self.split_negatives_inactive.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transform::derive_transformation;
+    use dc_similarity::fixtures::{
+        figure1_old_clustering, figure2_clustering, figure2_graph,
+    };
+
+    fn oid(raw: u64) -> ObjectId {
+        ObjectId::new(raw)
+    }
+
+    /// The working clustering of the Figure 1→2 round: the old clustering
+    /// plus the two new objects as singletons.
+    fn working_clustering() -> Clustering {
+        let mut working = figure1_old_clustering();
+        working.create_cluster([oid(6)]).unwrap();
+        working.create_cluster([oid(7)]).unwrap();
+        working
+    }
+
+    #[test]
+    fn merge_features_of_figure_clusters() {
+        let graph = figure2_graph();
+        let working = working_clustering();
+        let agg = ClusterAggregates::new(&graph, &working);
+
+        let c1 = working.cluster_of(oid(1)).unwrap();
+        let f = merge_features(&agg, c1);
+        // C1 = {1,2,3}: intra avg 0.9; its strongest neighbour is the
+        // singleton {7} through the r1–r7 edge (avg 1.0 / 3).
+        assert!((f[0] - 0.9).abs() < 1e-9);
+        assert!((f[1] - 1.0 / 3.0).abs() < 1e-9);
+        assert_eq!(f[2], 3.0);
+        assert_eq!(f[3], 1.0);
+
+        let c7 = working.cluster_of(oid(7)).unwrap();
+        let f7 = merge_features(&agg, c7);
+        assert_eq!(f7[0], 1.0, "singletons are maximally cohesive");
+        assert!((f7[1] - 1.0 / 3.0).abs() < 1e-9);
+        assert_eq!(f7[2], 1.0);
+        assert_eq!(f7[3], 3.0);
+    }
+
+    #[test]
+    fn split_features_are_a_prefix_of_merge_features() {
+        let graph = figure2_graph();
+        let working = working_clustering();
+        let agg = ClusterAggregates::new(&graph, &working);
+        for cid in working.cluster_ids() {
+            let m = merge_features(&agg, cid);
+            let s = split_features(&agg, cid);
+            assert_eq!(&m[..3], &s[..]);
+        }
+    }
+
+    #[test]
+    fn isolated_cluster_has_zero_inter_features() {
+        let graph = figure2_graph();
+        let clustering = Clustering::from_groups([
+            vec![oid(2), oid(3)],
+            vec![oid(4), oid(5)],
+        ])
+        .unwrap();
+        let agg = ClusterAggregates::new(&graph, &clustering);
+        let c45 = clustering.cluster_of(oid(4)).unwrap();
+        let f = merge_features(&agg, c45);
+        assert_eq!(f[1], 0.0);
+        assert_eq!(f[3], 0.0);
+    }
+
+    #[test]
+    fn hypothetical_member_features_match_actual_cluster_when_it_exists() {
+        let graph = figure2_graph();
+        let working = working_clustering();
+        let agg = ClusterAggregates::new(&graph, &working);
+        let c1 = working.cluster_of(oid(1)).unwrap();
+        let from_cluster = merge_features(&agg, c1);
+        let members: BTreeSet<ObjectId> = [oid(1), oid(2), oid(3)].into_iter().collect();
+        let from_members = merge_features_of_members(&graph, &working, &members);
+        for i in 0..MERGE_FEATURE_DIM {
+            assert!((from_cluster[i] - from_members[i]).abs() < 1e-9, "feature {i}");
+        }
+    }
+
+    #[test]
+    fn hypothetical_merged_cluster_features() {
+        // Merging {7} into C1 = {1,2,3}: the new cluster has 4 members, its
+        // intra average drops (edges 3×0.9 + 1×1.0 over 6 pairs), and it has
+        // no remaining neighbours (r6 only connects to r5 in C2... which it
+        // does, via the 0.7 edge? No: r5–r6 edge exists, but neither 5 nor 6
+        // is in the hypothetical set, so C2 and {6} are still neighbours of
+        // nothing in the set).  The hypothetical set {1,2,3,7} touches no
+        // outside cluster, so f2 = f4 = 0.
+        let graph = figure2_graph();
+        let working = working_clustering();
+        let members: BTreeSet<ObjectId> = [oid(1), oid(2), oid(3), oid(7)].into_iter().collect();
+        let f = merge_features_of_members(&graph, &working, &members);
+        assert!((f[0] - (3.0 * 0.9 + 1.0) / 6.0).abs() < 1e-9);
+        assert_eq!(f[1], 0.0);
+        assert_eq!(f[2], 4.0);
+        assert_eq!(f[3], 0.0);
+    }
+
+    #[test]
+    fn round_extraction_labels_figure_example_clusters() {
+        let graph = figure2_graph();
+        let old = figure1_old_clustering();
+        let new = figure2_clustering();
+        let working = working_clustering();
+        let trace = derive_transformation(&old, &new, &[oid(6), oid(7)]);
+        let examples = RoundExamples::extract(&graph, &working, &trace);
+
+        // Positive merges: the singletons {6} and {7} (their Phase-1 merges
+        // name them exactly), plus C2 = {4,5} (the right side of r6's merge).
+        // C1 = {1,2,3} is a positive split.
+        assert_eq!(examples.split_positives.len(), 1);
+        assert!(examples.merge_positives.len() >= 2);
+        assert_eq!(
+            examples.positive_count(),
+            examples.merge_positives.len() + examples.split_positives.len()
+        );
+        // Every cluster of the working clustering appears exactly once per
+        // model.
+        let merge_total = examples.merge_positives.len()
+            + examples.merge_negatives_active.len()
+            + examples.merge_negatives_inactive.len();
+        assert_eq!(merge_total, working.cluster_count());
+        let split_total = examples.split_positives.len()
+            + examples.split_negatives_active.len()
+            + examples.split_negatives_inactive.len();
+        assert_eq!(split_total, working.cluster_count());
+        // Feature dimensionalities.
+        for f in examples
+            .merge_positives
+            .iter()
+            .chain(&examples.merge_negatives_active)
+            .chain(&examples.merge_negatives_inactive)
+        {
+            assert_eq!(f.len(), MERGE_FEATURE_DIM);
+        }
+        for f in examples
+            .split_positives
+            .iter()
+            .chain(&examples.split_negatives_active)
+            .chain(&examples.split_negatives_inactive)
+        {
+            assert_eq!(f.len(), SPLIT_FEATURE_DIM);
+        }
+    }
+
+    #[test]
+    fn empty_trace_yields_only_negatives() {
+        let graph = figure2_graph();
+        let working = working_clustering();
+        let examples = RoundExamples::extract(&graph, &working, &EvolutionTrace::new());
+        assert_eq!(examples.positive_count(), 0);
+        assert_eq!(
+            examples.negative_candidate_count(),
+            2 * working.cluster_count()
+        );
+    }
+
+    #[test]
+    fn labeled_example_holds_features_and_label() {
+        let e = LabeledExample::new(vec![0.1, 0.2], true);
+        assert_eq!(e.features.len(), 2);
+        assert!(e.label);
+    }
+}

@@ -1,0 +1,46 @@
+//! # dc-evolution
+//!
+//! Monitoring and representing *cluster evolution* — the historical signal
+//! that DynamicC's machine-learning model is trained on.
+//!
+//! The DynamicC paper (§4–§5) builds its training data in four stages, each
+//! of which is a module here:
+//!
+//! * [`ops`] — the evolution vocabulary: a change to a clustering is a
+//!   sequence of **merge** and **split** steps, each involving exactly two
+//!   clusters (§4.1 shows this is sufficient; moves are split + merge).
+//!   [`ops::EvolutionTrace`] is an ordered list of such steps and can be
+//!   replayed onto a clustering, which is how the tests validate that a
+//!   derived trace really transforms the old clustering into the new one.
+//! * [`transform`] — the cross-round derivation of §4.3: given the previous
+//!   clustering, the new clustering produced by a batch run, and the set of
+//!   objects touched in this round, produce a *small* list of merge/split
+//!   steps that explains the difference (Phase 1 handles the touched
+//!   objects, Phase 2 reconciles the old clusters, exactly as in
+//!   Example 4.2).
+//! * [`features`] — the feature vectors of §5.1/§5.2: average intra-cluster
+//!   similarity, maximal average inter-cluster similarity, cluster size, and
+//!   (for the merge model) the size of the most-attractive neighbour
+//!   cluster; plus the conversion of an evolution trace into labeled merge
+//!   and split examples.
+//! * [`sampling`] — negative sampling (§5.3): unchanged clusters are
+//!   candidate negatives, "active" clusters (those connected to other
+//!   clusters in the similarity graph) are sampled with higher weight, the
+//!   negative count is balanced against the positives, and a bounded
+//!   training buffer retires the oldest examples.
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+pub mod features;
+pub mod ops;
+pub mod sampling;
+pub mod transform;
+
+pub use features::{
+    merge_features, merge_features_of_members, split_features, LabeledExample, RoundExamples,
+    MERGE_FEATURE_DIM, SPLIT_FEATURE_DIM,
+};
+pub use ops::{EvolutionKind, EvolutionStep, EvolutionTrace};
+pub use sampling::{NegativeSampler, SamplerConfig, TrainingBuffer};
+pub use transform::derive_transformation;

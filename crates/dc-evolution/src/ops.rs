@@ -1,0 +1,350 @@
+//! Evolution operations and traces (§4.1, §4.2).
+//!
+//! Every change a batch clustering algorithm makes to a clustering can be
+//! expressed as a sequence of two-cluster **merge** steps and one-cluster
+//! **split** steps.  A step stores the *member sets* of the clusters it
+//! involves (not cluster ids): cluster ids are only meaningful inside one
+//! clustering instance, while member sets stay meaningful across rounds,
+//! which is what cross-round derivation and training need.
+
+use dc_types::{Clustering, ObjectId, TypeError};
+use std::collections::BTreeSet;
+
+/// The two evolution operation kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EvolutionKind {
+    /// Two clusters become one.
+    Merge,
+    /// One cluster becomes two.
+    Split,
+}
+
+impl std::fmt::Display for EvolutionKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EvolutionKind::Merge => write!(f, "merge"),
+            EvolutionKind::Split => write!(f, "split"),
+        }
+    }
+}
+
+/// One evolution step involving at most two clusters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EvolutionStep {
+    /// Clusters `left` and `right` merge into `left ∪ right`.
+    Merge {
+        /// Members of the first cluster.
+        left: BTreeSet<ObjectId>,
+        /// Members of the second cluster.
+        right: BTreeSet<ObjectId>,
+    },
+    /// Cluster `original` splits into `part` and `original ∖ part`.
+    Split {
+        /// Members of the cluster before the split.
+        original: BTreeSet<ObjectId>,
+        /// Members that leave to form a new cluster.
+        part: BTreeSet<ObjectId>,
+    },
+}
+
+impl EvolutionStep {
+    /// Build a merge step from two member collections.
+    pub fn merge<L, R>(left: L, right: R) -> Self
+    where
+        L: IntoIterator<Item = ObjectId>,
+        R: IntoIterator<Item = ObjectId>,
+    {
+        EvolutionStep::Merge {
+            left: left.into_iter().collect(),
+            right: right.into_iter().collect(),
+        }
+    }
+
+    /// Build a split step from the original members and the departing part.
+    pub fn split<O, P>(original: O, part: P) -> Self
+    where
+        O: IntoIterator<Item = ObjectId>,
+        P: IntoIterator<Item = ObjectId>,
+    {
+        EvolutionStep::Split {
+            original: original.into_iter().collect(),
+            part: part.into_iter().collect(),
+        }
+    }
+
+    /// The kind of this step.
+    pub fn kind(&self) -> EvolutionKind {
+        match self {
+            EvolutionStep::Merge { .. } => EvolutionKind::Merge,
+            EvolutionStep::Split { .. } => EvolutionKind::Split,
+        }
+    }
+
+    /// The members of the cluster(s) this step produces.
+    ///
+    /// For a merge this is the union of the two sides; for a split these are
+    /// the two resulting member sets.
+    pub fn results(&self) -> Vec<BTreeSet<ObjectId>> {
+        match self {
+            EvolutionStep::Merge { left, right } => {
+                vec![left.union(right).copied().collect()]
+            }
+            EvolutionStep::Split { original, part } => {
+                let rest: BTreeSet<ObjectId> = original.difference(part).copied().collect();
+                vec![part.clone(), rest]
+            }
+        }
+    }
+
+    /// The member sets of the cluster(s) this step consumes.
+    pub fn inputs(&self) -> Vec<BTreeSet<ObjectId>> {
+        match self {
+            EvolutionStep::Merge { left, right } => vec![left.clone(), right.clone()],
+            EvolutionStep::Split { original, .. } => vec![original.clone()],
+        }
+    }
+
+    /// Whether the step is structurally valid: merge sides are disjoint and
+    /// non-empty; split part is a non-empty strict subset of the original.
+    pub fn is_valid(&self) -> bool {
+        match self {
+            EvolutionStep::Merge { left, right } => {
+                !left.is_empty() && !right.is_empty() && left.is_disjoint(right)
+            }
+            EvolutionStep::Split { original, part } => {
+                !part.is_empty()
+                    && part.len() < original.len()
+                    && part.is_subset(original)
+            }
+        }
+    }
+
+    /// Apply the step to a clustering.  The clustering must currently contain
+    /// clusters with exactly the member sets the step consumes.
+    pub fn apply_to(&self, clustering: &mut Clustering) -> Result<(), TypeError> {
+        match self {
+            EvolutionStep::Merge { left, right } => {
+                let a = find_cluster_with_members(clustering, left).ok_or_else(|| {
+                    TypeError::InvariantViolation("merge: left cluster not found".into())
+                })?;
+                let b = find_cluster_with_members(clustering, right).ok_or_else(|| {
+                    TypeError::InvariantViolation("merge: right cluster not found".into())
+                })?;
+                clustering.merge(a, b)?;
+                Ok(())
+            }
+            EvolutionStep::Split { original, part } => {
+                let cid = find_cluster_with_members(clustering, original).ok_or_else(|| {
+                    TypeError::InvariantViolation("split: original cluster not found".into())
+                })?;
+                clustering.split(cid, part)?;
+                Ok(())
+            }
+        }
+    }
+}
+
+/// Find the cluster whose member set equals `members` exactly.
+pub fn find_cluster_with_members(
+    clustering: &Clustering,
+    members: &BTreeSet<ObjectId>,
+) -> Option<dc_types::ClusterId> {
+    let first = members.iter().next()?;
+    let cid = clustering.cluster_of(*first)?;
+    let cluster = clustering.cluster(cid)?;
+    if cluster.members() == members {
+        Some(cid)
+    } else {
+        None
+    }
+}
+
+/// An ordered list of evolution steps.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EvolutionTrace {
+    steps: Vec<EvolutionStep>,
+}
+
+impl EvolutionTrace {
+    /// Create an empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Create a trace from a vector of steps.
+    pub fn from_steps(steps: Vec<EvolutionStep>) -> Self {
+        EvolutionTrace { steps }
+    }
+
+    /// Append a step.
+    pub fn push(&mut self, step: EvolutionStep) {
+        self.steps.push(step);
+    }
+
+    /// The steps, in order.
+    pub fn steps(&self) -> &[EvolutionStep] {
+        &self.steps
+    }
+
+    /// Number of steps.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Whether the trace has no steps.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Number of merge steps.
+    pub fn merge_count(&self) -> usize {
+        self.steps
+            .iter()
+            .filter(|s| s.kind() == EvolutionKind::Merge)
+            .count()
+    }
+
+    /// Number of split steps.
+    pub fn split_count(&self) -> usize {
+        self.steps
+            .iter()
+            .filter(|s| s.kind() == EvolutionKind::Split)
+            .count()
+    }
+
+    /// Append every step of another trace.
+    pub fn extend(&mut self, other: EvolutionTrace) {
+        self.steps.extend(other.steps);
+    }
+
+    /// Iterate over the steps.
+    pub fn iter(&self) -> impl Iterator<Item = &EvolutionStep> {
+        self.steps.iter()
+    }
+}
+
+impl IntoIterator for EvolutionTrace {
+    type Item = EvolutionStep;
+    type IntoIter = std::vec::IntoIter<EvolutionStep>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.steps.into_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn oid(raw: u64) -> ObjectId {
+        ObjectId::new(raw)
+    }
+
+    fn set(ids: &[u64]) -> BTreeSet<ObjectId> {
+        ids.iter().map(|&i| oid(i)).collect()
+    }
+
+    #[test]
+    fn step_constructors_and_kind() {
+        let m = EvolutionStep::merge(set(&[1]), set(&[2, 3]));
+        let s = EvolutionStep::split(set(&[1, 2, 3]), set(&[1]));
+        assert_eq!(m.kind(), EvolutionKind::Merge);
+        assert_eq!(s.kind(), EvolutionKind::Split);
+        assert_eq!(EvolutionKind::Merge.to_string(), "merge");
+        assert_eq!(EvolutionKind::Split.to_string(), "split");
+    }
+
+    #[test]
+    fn merge_results_and_inputs() {
+        let m = EvolutionStep::merge(set(&[1]), set(&[2, 3]));
+        assert_eq!(m.results(), vec![set(&[1, 2, 3])]);
+        assert_eq!(m.inputs(), vec![set(&[1]), set(&[2, 3])]);
+    }
+
+    #[test]
+    fn split_results_and_inputs() {
+        let s = EvolutionStep::split(set(&[1, 2, 3]), set(&[1]));
+        assert_eq!(s.results(), vec![set(&[1]), set(&[2, 3])]);
+        assert_eq!(s.inputs(), vec![set(&[1, 2, 3])]);
+    }
+
+    #[test]
+    fn validity_checks() {
+        assert!(EvolutionStep::merge(set(&[1]), set(&[2])).is_valid());
+        assert!(!EvolutionStep::merge(set(&[1]), set(&[1, 2])).is_valid());
+        assert!(!EvolutionStep::merge(set(&[]), set(&[2])).is_valid());
+        assert!(EvolutionStep::split(set(&[1, 2]), set(&[1])).is_valid());
+        assert!(!EvolutionStep::split(set(&[1, 2]), set(&[1, 2])).is_valid());
+        assert!(!EvolutionStep::split(set(&[1, 2]), set(&[])).is_valid());
+        assert!(!EvolutionStep::split(set(&[1, 2]), set(&[3])).is_valid());
+    }
+
+    #[test]
+    fn apply_merge_to_clustering() {
+        let mut c = Clustering::from_groups([vec![oid(1)], vec![oid(2), oid(3)]]).unwrap();
+        EvolutionStep::merge(set(&[1]), set(&[2, 3]))
+            .apply_to(&mut c)
+            .unwrap();
+        assert_eq!(c.cluster_count(), 1);
+        assert_eq!(c.cluster_of(oid(1)), c.cluster_of(oid(3)));
+    }
+
+    #[test]
+    fn apply_split_to_clustering() {
+        let mut c = Clustering::from_groups([vec![oid(1), oid(2), oid(3)]]).unwrap();
+        EvolutionStep::split(set(&[1, 2, 3]), set(&[1]))
+            .apply_to(&mut c)
+            .unwrap();
+        assert_eq!(c.cluster_count(), 2);
+        assert_ne!(c.cluster_of(oid(1)), c.cluster_of(oid(2)));
+    }
+
+    #[test]
+    fn apply_fails_when_cluster_is_missing() {
+        let mut c = Clustering::from_groups([vec![oid(1), oid(2)]]).unwrap();
+        // {1} is not a cluster (it is part of {1,2}).
+        let err = EvolutionStep::merge(set(&[1]), set(&[2]))
+            .apply_to(&mut c)
+            .unwrap_err();
+        assert!(matches!(err, TypeError::InvariantViolation(_)));
+    }
+
+    #[test]
+    fn find_cluster_with_members_exact_match_only() {
+        let c = Clustering::from_groups([vec![oid(1), oid(2)], vec![oid(3)]]).unwrap();
+        assert!(find_cluster_with_members(&c, &set(&[1, 2])).is_some());
+        assert!(find_cluster_with_members(&c, &set(&[1])).is_none());
+        assert!(find_cluster_with_members(&c, &set(&[])).is_none());
+        assert!(find_cluster_with_members(&c, &set(&[99])).is_none());
+    }
+
+    #[test]
+    fn trace_counts_and_replay() {
+        let mut trace = EvolutionTrace::new();
+        trace.push(EvolutionStep::merge(set(&[1]), set(&[2])));
+        trace.push(EvolutionStep::merge(set(&[1, 2]), set(&[3])));
+        trace.push(EvolutionStep::split(set(&[1, 2, 3]), set(&[3])));
+        assert_eq!(trace.len(), 3);
+        assert_eq!(trace.merge_count(), 2);
+        assert_eq!(trace.split_count(), 1);
+        assert!(!trace.is_empty());
+
+        let mut c = Clustering::singletons([oid(1), oid(2), oid(3)]);
+        for step in trace.iter() {
+            step.apply_to(&mut c).unwrap();
+        }
+        assert_eq!(c.cluster_count(), 2);
+        assert_eq!(c.cluster_of(oid(1)), c.cluster_of(oid(2)));
+        assert_ne!(c.cluster_of(oid(1)), c.cluster_of(oid(3)));
+    }
+
+    #[test]
+    fn trace_extend_appends_steps() {
+        let mut a = EvolutionTrace::from_steps(vec![EvolutionStep::merge(set(&[1]), set(&[2]))]);
+        let b = EvolutionTrace::from_steps(vec![EvolutionStep::split(set(&[1, 2]), set(&[1]))]);
+        a.extend(b);
+        assert_eq!(a.len(), 2);
+        let kinds: Vec<EvolutionKind> = a.into_iter().map(|s| s.kind()).collect();
+        assert_eq!(kinds, vec![EvolutionKind::Merge, EvolutionKind::Split]);
+    }
+}

@@ -1,0 +1,296 @@
+//! Negative sampling and the bounded training buffer (§5.3).
+//!
+//! Positive examples are the clusters observed to merge or split.  Negative
+//! examples are sampled from the (much larger) set of unchanged clusters:
+//!
+//! * "active" clusters — clusters connected to other clusters in the
+//!   similarity graph — are sampled with higher weight (0.7 vs 0.3 by
+//!   default) because the batch algorithm examines them more often;
+//! * the number of negatives is balanced to the number of positives;
+//! * old examples are retired once the training buffer exceeds its capacity,
+//!   because stale evolution patterns lose relevance in a dynamic workload.
+
+use crate::features::LabeledExample;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::VecDeque;
+
+/// Configuration of the negative sampler.
+#[derive(Debug, Clone, Copy)]
+pub struct SamplerConfig {
+    /// Probability mass assigned to the active-cluster pool.
+    pub active_weight: f64,
+    /// Probability mass assigned to the inactive-cluster pool.
+    pub inactive_weight: f64,
+    /// Seed for the internal RNG (sampling is fully deterministic per seed).
+    pub seed: u64,
+}
+
+impl Default for SamplerConfig {
+    fn default() -> Self {
+        // The weights used in the paper's experiments (§5.3).
+        SamplerConfig {
+            active_weight: 0.7,
+            inactive_weight: 0.3,
+            seed: 0x5eed_cafe,
+        }
+    }
+}
+
+/// Weighted sampler over active / inactive negative candidate pools.
+#[derive(Debug)]
+pub struct NegativeSampler {
+    config: SamplerConfig,
+    rng: StdRng,
+}
+
+impl NegativeSampler {
+    /// Create a sampler with the given configuration.
+    pub fn new(config: SamplerConfig) -> Self {
+        assert!(config.active_weight >= 0.0 && config.inactive_weight >= 0.0);
+        assert!(
+            config.active_weight + config.inactive_weight > 0.0,
+            "at least one pool must have positive weight"
+        );
+        let rng = StdRng::seed_from_u64(config.seed);
+        NegativeSampler { config, rng }
+    }
+
+    /// Sample (without replacement) up to `count` negative feature vectors
+    /// from the two pools, preferring the active pool with probability
+    /// `active_weight / (active_weight + inactive_weight)` per draw.
+    pub fn sample(
+        &mut self,
+        active: &[Vec<f64>],
+        inactive: &[Vec<f64>],
+        count: usize,
+    ) -> Vec<Vec<f64>> {
+        let mut active_pool: Vec<&Vec<f64>> = active.iter().collect();
+        let mut inactive_pool: Vec<&Vec<f64>> = inactive.iter().collect();
+        let p_active =
+            self.config.active_weight / (self.config.active_weight + self.config.inactive_weight);
+        let mut out = Vec::with_capacity(count.min(active.len() + inactive.len()));
+        while out.len() < count && (!active_pool.is_empty() || !inactive_pool.is_empty()) {
+            let use_active = if active_pool.is_empty() {
+                false
+            } else if inactive_pool.is_empty() {
+                true
+            } else {
+                self.rng.gen::<f64>() < p_active
+            };
+            let pool = if use_active {
+                &mut active_pool
+            } else {
+                &mut inactive_pool
+            };
+            let idx = self.rng.gen_range(0..pool.len());
+            out.push(pool.swap_remove(idx).clone());
+        }
+        out
+    }
+}
+
+/// A bounded FIFO buffer of labeled training examples.
+///
+/// When the buffer exceeds its capacity the oldest examples are dropped — the
+/// paper removes old samples "when the size of training data becomes too
+/// large" because stale patterns stop being representative.
+#[derive(Debug, Clone)]
+pub struct TrainingBuffer {
+    capacity: usize,
+    examples: VecDeque<LabeledExample>,
+}
+
+impl TrainingBuffer {
+    /// Create a buffer that retains at most `capacity` examples.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        TrainingBuffer {
+            capacity,
+            examples: VecDeque::with_capacity(capacity.min(4096)),
+        }
+    }
+
+    /// Number of stored examples.
+    pub fn len(&self) -> usize {
+        self.examples.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.examples.is_empty()
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of positive examples currently stored.
+    pub fn positive_count(&self) -> usize {
+        self.examples.iter().filter(|e| e.label).count()
+    }
+
+    /// Append one example, evicting the oldest if the buffer is full.
+    pub fn push(&mut self, example: LabeledExample) {
+        if self.examples.len() == self.capacity {
+            self.examples.pop_front();
+        }
+        self.examples.push_back(example);
+    }
+
+    /// Append many examples.
+    pub fn extend<I: IntoIterator<Item = LabeledExample>>(&mut self, examples: I) {
+        for e in examples {
+            self.push(e);
+        }
+    }
+
+    /// Iterate over the stored examples (oldest first).
+    pub fn iter(&self) -> impl Iterator<Item = &LabeledExample> {
+        self.examples.iter()
+    }
+
+    /// Materialize the buffer as parallel `(features, labels)` vectors in the
+    /// layout the classifiers in `dc-ml` consume.
+    pub fn to_matrix(&self) -> (Vec<Vec<f64>>, Vec<bool>) {
+        let mut xs = Vec::with_capacity(self.examples.len());
+        let mut ys = Vec::with_capacity(self.examples.len());
+        for e in &self.examples {
+            xs.push(e.features.clone());
+            ys.push(e.label);
+        }
+        (xs, ys)
+    }
+
+    /// Remove every stored example.
+    pub fn clear(&mut self) {
+        self.examples.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vecs(n: usize, tag: f64) -> Vec<Vec<f64>> {
+        (0..n).map(|i| vec![tag, i as f64]).collect()
+    }
+
+    #[test]
+    fn sampler_balances_to_requested_count() {
+        let mut s = NegativeSampler::new(SamplerConfig::default());
+        let out = s.sample(&vecs(10, 1.0), &vecs(10, 2.0), 6);
+        assert_eq!(out.len(), 6);
+    }
+
+    #[test]
+    fn sampler_is_without_replacement() {
+        let mut s = NegativeSampler::new(SamplerConfig::default());
+        let active = vecs(5, 1.0);
+        let inactive = vecs(5, 2.0);
+        let out = s.sample(&active, &inactive, 10);
+        assert_eq!(out.len(), 10);
+        let mut sorted = out.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        sorted.dedup();
+        assert_eq!(sorted.len(), 10, "duplicates drawn");
+    }
+
+    #[test]
+    fn sampler_caps_at_pool_size() {
+        let mut s = NegativeSampler::new(SamplerConfig::default());
+        let out = s.sample(&vecs(2, 1.0), &vecs(1, 2.0), 10);
+        assert_eq!(out.len(), 3);
+    }
+
+    #[test]
+    fn sampler_prefers_active_pool() {
+        let mut s = NegativeSampler::new(SamplerConfig {
+            active_weight: 0.7,
+            inactive_weight: 0.3,
+            seed: 42,
+        });
+        // Draw many single samples from large pools and count provenance via
+        // the tag in the first coordinate.
+        let active = vecs(1000, 1.0);
+        let inactive = vecs(1000, 2.0);
+        let draws = s.sample(&active, &inactive, 600);
+        let from_active = draws.iter().filter(|v| v[0] == 1.0).count() as f64;
+        let fraction = from_active / draws.len() as f64;
+        assert!(
+            (0.6..0.8).contains(&fraction),
+            "active fraction {fraction} not near 0.7"
+        );
+    }
+
+    #[test]
+    fn sampler_falls_back_when_one_pool_is_empty() {
+        let mut s = NegativeSampler::new(SamplerConfig::default());
+        let out = s.sample(&[], &vecs(4, 2.0), 3);
+        assert_eq!(out.len(), 3);
+        assert!(out.iter().all(|v| v[0] == 2.0));
+        let out = s.sample(&vecs(4, 1.0), &[], 3);
+        assert!(out.iter().all(|v| v[0] == 1.0));
+    }
+
+    #[test]
+    fn sampler_is_deterministic_per_seed() {
+        let config = SamplerConfig { seed: 7, ..SamplerConfig::default() };
+        let mut a = NegativeSampler::new(config);
+        let mut b = NegativeSampler::new(config);
+        let active = vecs(20, 1.0);
+        let inactive = vecs(20, 2.0);
+        assert_eq!(a.sample(&active, &inactive, 10), b.sample(&active, &inactive, 10));
+    }
+
+    #[test]
+    #[should_panic]
+    fn sampler_rejects_zero_total_weight() {
+        NegativeSampler::new(SamplerConfig {
+            active_weight: 0.0,
+            inactive_weight: 0.0,
+            seed: 0,
+        });
+    }
+
+    #[test]
+    fn buffer_evicts_oldest_when_full() {
+        let mut buf = TrainingBuffer::new(3);
+        for i in 0..5 {
+            buf.push(LabeledExample::new(vec![i as f64], i % 2 == 0));
+        }
+        assert_eq!(buf.len(), 3);
+        let firsts: Vec<f64> = buf.iter().map(|e| e.features[0]).collect();
+        assert_eq!(firsts, vec![2.0, 3.0, 4.0]);
+        assert_eq!(buf.capacity(), 3);
+    }
+
+    #[test]
+    fn buffer_matrix_layout() {
+        let mut buf = TrainingBuffer::new(10);
+        buf.extend([
+            LabeledExample::new(vec![1.0, 2.0], true),
+            LabeledExample::new(vec![3.0, 4.0], false),
+        ]);
+        let (xs, ys) = buf.to_matrix();
+        assert_eq!(xs, vec![vec![1.0, 2.0], vec![3.0, 4.0]]);
+        assert_eq!(ys, vec![true, false]);
+        assert_eq!(buf.positive_count(), 1);
+        assert!(!buf.is_empty());
+    }
+
+    #[test]
+    fn buffer_clear() {
+        let mut buf = TrainingBuffer::new(2);
+        buf.push(LabeledExample::new(vec![1.0], true));
+        buf.clear();
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    #[should_panic]
+    fn buffer_rejects_zero_capacity() {
+        TrainingBuffer::new(0);
+    }
+}

@@ -1,0 +1,415 @@
+//! Cross-round transformation derivation (§4.3).
+//!
+//! When objects are added, removed, or updated, the batch algorithm is run
+//! again and produces a *new* clustering.  Training must not learn the whole
+//! from-scratch construction of the new clustering — only the *difference*
+//! between the old clustering and the new one.  [`derive_transformation`]
+//! produces a small list of merge/split steps explaining that difference,
+//! following the two phases of the paper:
+//!
+//! * **Phase 1** — for every object touched in this round (only its latest
+//!   change counts) that is present in the new clustering and does not end
+//!   up alone, emit a merge step that joins the object to the rest of its
+//!   final cluster.
+//! * **Phase 2** — reconcile the old clusters: for every cluster referenced
+//!   by a Phase-1 change (and every new cluster made of pre-existing
+//!   objects) that does not exist exactly in the old clustering, split each
+//!   overlapping old cluster into "the part that goes there" and "the rest",
+//!   then merge the intersection pieces one by one (`n − 1` merges).
+//!
+//! The derived steps are *not* ordered for replay — the paper notes that
+//! ordering is unnecessary because the model trains on each change
+//! independently — but every individual step is structurally valid and the
+//! tests check that the derivation reproduces Example 4.2 exactly.
+
+use crate::ops::{EvolutionStep, EvolutionTrace};
+use dc_types::{Clustering, ObjectId};
+use std::collections::BTreeSet;
+
+/// Derive the merge/split steps that explain the evolution from
+/// `old_clustering` to `new_clustering`, given the ids touched (added,
+/// removed, or updated) in this round.
+pub fn derive_transformation(
+    old_clustering: &Clustering,
+    new_clustering: &Clustering,
+    touched: &[ObjectId],
+) -> EvolutionTrace {
+    let mut trace = EvolutionTrace::new();
+    let mut emitted: BTreeSet<EvolutionStepKey> = BTreeSet::new();
+    let touched_set: BTreeSet<ObjectId> = touched.iter().copied().collect();
+
+    // Objects that existed before this round and still exist: the "old
+    // objects" of Phase 2.
+    let old_objects: BTreeSet<ObjectId> = old_clustering
+        .object_ids()
+        .into_iter()
+        .filter(|o| new_clustering.contains_object(*o) && !touched_set.contains(o))
+        .collect();
+
+    // ------------------------------------------------------------------
+    // Phase 1: changes relevant to the touched objects.
+    // ------------------------------------------------------------------
+    // Targets that Phase 2 must reconcile: the "other side" of each Phase-1
+    // merge, restricted to old objects.
+    let mut phase2_targets: Vec<BTreeSet<ObjectId>> = Vec::new();
+
+    for &o in &touched_set {
+        let Some(cid) = new_clustering.cluster_of(o) else {
+            // Removed object: its effect is visible only through the old
+            // clusters it left behind, which Phase 2 reconciles below.
+            continue;
+        };
+        let final_cluster = new_clustering
+            .cluster(cid)
+            .expect("cluster_of returned a live id");
+        if final_cluster.len() <= 1 {
+            // The object ends up alone: no merge evolution to learn.
+            continue;
+        }
+        let rest: BTreeSet<ObjectId> = final_cluster
+            .iter()
+            .filter(|&m| m != o)
+            .collect();
+        let left: BTreeSet<ObjectId> = [o].into_iter().collect();
+        let step = EvolutionStep::Merge {
+            left: left.clone(),
+            right: rest.clone(),
+        };
+        if emitted.insert(EvolutionStepKey::of(&step)) {
+            trace.push(step);
+        }
+        // The rest of the final cluster, restricted to old objects, must be
+        // explainable from the old clustering.
+        let rest_old: BTreeSet<ObjectId> = rest
+            .iter()
+            .copied()
+            .filter(|m| old_objects.contains(m))
+            .collect();
+        if !rest_old.is_empty() {
+            phase2_targets.push(rest_old);
+        }
+    }
+
+    // New clusters that consist purely of old objects can also have changed
+    // (e.g. an old cluster split because one of its members was removed or
+    // updated away).  Add them as Phase-2 targets too.
+    for (_, cluster) in new_clustering.iter() {
+        let members_old: BTreeSet<ObjectId> = cluster
+            .iter()
+            .filter(|m| old_objects.contains(m))
+            .collect();
+        if members_old.is_empty() {
+            continue;
+        }
+        phase2_targets.push(members_old);
+    }
+
+    // ------------------------------------------------------------------
+    // Phase 2: reconcile the old clusters against each target member set.
+    // ------------------------------------------------------------------
+    for target in phase2_targets {
+        if exists_in(old_clustering, &target) {
+            // The target already exists exactly in the old clustering (like
+            // {r4, r5} = C2 in Example 4.2): nothing to derive.
+            continue;
+        }
+        // Old clusters overlapping the target.
+        let mut overlapping: Vec<(BTreeSet<ObjectId>, BTreeSet<ObjectId>)> = Vec::new();
+        let mut seen_clusters: BTreeSet<dc_types::ClusterId> = BTreeSet::new();
+        for &o in &target {
+            let Some(cid) = old_clustering.cluster_of(o) else {
+                continue;
+            };
+            if !seen_clusters.insert(cid) {
+                continue;
+            }
+            let old_members: BTreeSet<ObjectId> = old_clustering
+                .cluster(cid)
+                .expect("live cluster id")
+                .iter()
+                .collect();
+            let intersection: BTreeSet<ObjectId> =
+                old_members.intersection(&target).copied().collect();
+            overlapping.push((old_members, intersection));
+        }
+
+        // Split each overlapping old cluster into (∩ target) and (rest),
+        // unless the cluster is entirely contained in the target.
+        let mut pieces: Vec<BTreeSet<ObjectId>> = Vec::new();
+        for (old_members, intersection) in overlapping {
+            if intersection.is_empty() {
+                continue;
+            }
+            if intersection.len() < old_members.len() {
+                let step = EvolutionStep::Split {
+                    original: old_members,
+                    part: intersection.clone(),
+                };
+                if emitted.insert(EvolutionStepKey::of(&step)) {
+                    trace.push(step);
+                }
+            }
+            pieces.push(intersection);
+        }
+
+        // Merge the intersection pieces one by one (n − 1 merges).
+        if pieces.len() >= 2 {
+            let mut accumulated = pieces[0].clone();
+            for piece in pieces.into_iter().skip(1) {
+                let step = EvolutionStep::Merge {
+                    left: accumulated.clone(),
+                    right: piece.clone(),
+                };
+                if emitted.insert(EvolutionStepKey::of(&step)) {
+                    trace.push(step);
+                }
+                accumulated.extend(piece);
+            }
+        }
+    }
+
+    trace
+}
+
+/// Whether a cluster with exactly these members exists in the clustering.
+fn exists_in(clustering: &Clustering, members: &BTreeSet<ObjectId>) -> bool {
+    crate::ops::find_cluster_with_members(clustering, members).is_some()
+}
+
+/// Canonical, order-independent key of a step for deduplication.
+#[derive(PartialEq, Eq, PartialOrd, Ord)]
+struct EvolutionStepKey {
+    kind: u8,
+    a: Vec<ObjectId>,
+    b: Vec<ObjectId>,
+}
+
+impl EvolutionStepKey {
+    fn of(step: &EvolutionStep) -> Self {
+        match step {
+            EvolutionStep::Merge { left, right } => {
+                let mut a: Vec<ObjectId> = left.iter().copied().collect();
+                let mut b: Vec<ObjectId> = right.iter().copied().collect();
+                // Merges are symmetric.
+                if b < a {
+                    std::mem::swap(&mut a, &mut b);
+                }
+                EvolutionStepKey { kind: 0, a, b }
+            }
+            EvolutionStep::Split { original, part } => {
+                // A split is identified by the unordered pair of resulting
+                // sides: splitting {1,2,3} "at {1}" and "at {2,3}" is the
+                // same structural change.
+                let rest: Vec<ObjectId> = original.difference(part).copied().collect();
+                let part: Vec<ObjectId> = part.iter().copied().collect();
+                let (a, b) = if part <= rest { (part, rest) } else { (rest, part) };
+                EvolutionStepKey { kind: 1, a, b }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::EvolutionKind;
+    use dc_similarity::fixtures::{figure1_old_clustering, figure2_clustering};
+
+    fn oid(raw: u64) -> ObjectId {
+        ObjectId::new(raw)
+    }
+
+    fn set(ids: &[u64]) -> BTreeSet<ObjectId> {
+        ids.iter().map(|&i| oid(i)).collect()
+    }
+
+    /// Example 4.2: the derivation from Figure 1's old clustering to
+    /// Figure 2's new clustering must produce exactly the three changes of
+    /// the paper (modulo merge-side orientation and ordering):
+    ///   1. r7 merges with r1 (forming C'3),
+    ///   2. r6 merges with {r4, r5} (forming C'2),
+    ///   3. C1 splits into {r1} and {r2, r3}.
+    #[test]
+    fn example_4_2_is_reproduced() {
+        let old = figure1_old_clustering();
+        let new = figure2_clustering();
+        let trace = derive_transformation(&old, &new, &[oid(6), oid(7)]);
+
+        assert_eq!(trace.merge_count(), 2, "trace = {:?}", trace.steps());
+        assert_eq!(trace.split_count(), 1, "trace = {:?}", trace.steps());
+
+        let has_merge = |a: &BTreeSet<ObjectId>, b: &BTreeSet<ObjectId>| {
+            trace.iter().any(|s| match s {
+                EvolutionStep::Merge { left, right } => {
+                    (left == a && right == b) || (left == b && right == a)
+                }
+                _ => false,
+            })
+        };
+        assert!(has_merge(&set(&[7]), &set(&[1])), "change 1 missing");
+        assert!(has_merge(&set(&[6]), &set(&[4, 5])), "change 2 missing");
+        assert!(
+            trace.iter().any(|s| matches!(
+                s,
+                EvolutionStep::Split { original, part }
+                    if *original == set(&[1, 2, 3]) && (*part == set(&[1]) || *part == set(&[2, 3]))
+            )),
+            "change 3 missing"
+        );
+        for step in trace.iter() {
+            assert!(step.is_valid(), "invalid step: {step:?}");
+        }
+    }
+
+    #[test]
+    fn unchanged_clustering_produces_no_steps() {
+        let old = figure1_old_clustering();
+        let trace = derive_transformation(&old, &old, &[]);
+        assert!(trace.is_empty());
+    }
+
+    #[test]
+    fn added_singleton_produces_no_steps() {
+        // A new object that ends up in its own cluster is not an evolution.
+        let old = figure1_old_clustering();
+        let mut new = old.clone();
+        new.create_cluster([oid(10)]).unwrap();
+        let trace = derive_transformation(&old, &new, &[oid(10)]);
+        assert!(trace.is_empty());
+    }
+
+    #[test]
+    fn added_object_joining_existing_cluster_produces_one_merge() {
+        let old = Clustering::from_groups([vec![oid(1), oid(2)], vec![oid(3)]]).unwrap();
+        let new = Clustering::from_groups([vec![oid(1), oid(2), oid(10)], vec![oid(3)]]).unwrap();
+        let trace = derive_transformation(&old, &new, &[oid(10)]);
+        assert_eq!(trace.len(), 1);
+        assert_eq!(trace.steps()[0].kind(), EvolutionKind::Merge);
+        assert_eq!(
+            trace.steps()[0],
+            EvolutionStep::merge(set(&[10]), set(&[1, 2]))
+        );
+    }
+
+    #[test]
+    fn removal_that_splits_a_cluster_produces_split_steps() {
+        // Old: {1,2,3} where 2 bridged 1 and 3; removing 2 makes the batch
+        // algorithm split the survivors into {1} and {3}.
+        let old = Clustering::from_groups([vec![oid(1), oid(2), oid(3)]]).unwrap();
+        let new = Clustering::from_groups([vec![oid(1)], vec![oid(3)]]).unwrap();
+        let trace = derive_transformation(&old, &new, &[oid(2)]);
+        assert!(trace.split_count() >= 1, "trace = {:?}", trace.steps());
+        assert_eq!(trace.merge_count(), 0);
+        for step in trace.iter() {
+            assert!(step.is_valid());
+        }
+    }
+
+    #[test]
+    fn merge_of_two_old_clusters_triggered_by_update() {
+        // Updating object 3 makes it similar to cluster {1,2}; the batch
+        // result merges the two old clusters.
+        let old = Clustering::from_groups([vec![oid(1), oid(2)], vec![oid(3), oid(4)]]).unwrap();
+        let new = Clustering::from_groups([vec![oid(1), oid(2), oid(3), oid(4)]]).unwrap();
+        let trace = derive_transformation(&old, &new, &[oid(3)]);
+        // Phase 1: {3} merges with {1,2,4}.  Phase 2: {1,2,4} does not exist
+        // in the old clustering, so C_old(3,4) splits into {4}/{3} and the
+        // pieces {1,2} and {4} merge.
+        assert!(trace.merge_count() >= 1);
+        assert!(trace
+            .iter()
+            .any(|s| matches!(s, EvolutionStep::Merge { left, .. } if *left == set(&[3]))));
+        for step in trace.iter() {
+            assert!(step.is_valid());
+        }
+    }
+
+    #[test]
+    fn old_cluster_reshuffle_without_touched_objects_is_detected() {
+        // Even when no touched object is involved, a new cluster made of old
+        // objects that does not match any old cluster must be explained.
+        let old = Clustering::from_groups([vec![oid(1), oid(2)], vec![oid(3), oid(4)]]).unwrap();
+        let new = Clustering::from_groups([vec![oid(1), oid(3)], vec![oid(2), oid(4)]]).unwrap();
+        let trace = derive_transformation(&old, &new, &[]);
+        assert!(trace.split_count() >= 2);
+        assert!(trace.merge_count() >= 1);
+        for step in trace.iter() {
+            assert!(step.is_valid());
+        }
+    }
+
+    #[test]
+    fn steps_are_deduplicated() {
+        // Two touched objects joining the same final cluster reference the
+        // same Phase-2 target; the split of the old cluster must appear once.
+        let old = Clustering::from_groups([vec![oid(1), oid(2), oid(3)]]).unwrap();
+        let new = Clustering::from_groups([
+            vec![oid(1), oid(10), oid(11)],
+            vec![oid(2), oid(3)],
+        ])
+        .unwrap();
+        let trace = derive_transformation(&old, &new, &[oid(10), oid(11)]);
+        let split_steps: Vec<&EvolutionStep> = trace
+            .iter()
+            .filter(|s| s.kind() == EvolutionKind::Split)
+            .collect();
+        assert_eq!(split_steps.len(), 1, "trace = {:?}", trace.steps());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Random old/new partitions over a small universe: every derived step
+    /// must be structurally valid, and the trace must be empty when nothing
+    /// changed.
+    fn partition_strategy(n: u64, groups: u64) -> impl Strategy<Value = Vec<u64>> {
+        proptest::collection::vec(0..groups, n as usize)
+    }
+
+    fn clustering_from(assignment: &[u64], present: &[bool]) -> Clustering {
+        let mut groups: std::collections::BTreeMap<u64, Vec<ObjectId>> =
+            std::collections::BTreeMap::new();
+        for (i, (&g, &p)) in assignment.iter().zip(present).enumerate() {
+            if p {
+                groups.entry(g).or_default().push(ObjectId::new(i as u64 + 1));
+            }
+        }
+        Clustering::from_groups(groups.into_values().filter(|v| !v.is_empty())).unwrap()
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn derived_steps_are_always_valid(
+            old_assign in partition_strategy(10, 4),
+            new_assign in partition_strategy(10, 4),
+            presence in proptest::collection::vec(proptest::bool::weighted(0.8), 10),
+        ) {
+            let all_present = vec![true; 10];
+            let old = clustering_from(&old_assign, &all_present);
+            let new = clustering_from(&new_assign, &presence);
+            // Touched: objects that disappeared (removed) — a conservative
+            // under-approximation that still must yield valid steps.
+            let touched: Vec<ObjectId> = (0..10u64)
+                .filter(|&i| !presence[i as usize])
+                .map(|i| ObjectId::new(i + 1))
+                .collect();
+            let trace = derive_transformation(&old, &new, &touched);
+            for step in trace.iter() {
+                prop_assert!(step.is_valid(), "invalid step {:?}", step);
+            }
+        }
+
+        #[test]
+        fn identical_clusterings_need_no_steps(assign in partition_strategy(8, 3)) {
+            let present = vec![true; 8];
+            let c = clustering_from(&assign, &present);
+            let trace = derive_transformation(&c, &c, &[]);
+            prop_assert!(trace.is_empty());
+        }
+    }
+}

@@ -1,0 +1,157 @@
+//! The [`BinaryClassifier`] trait and the [`ModelKind`] factory.
+
+use crate::logistic::{LogisticConfig, LogisticRegression};
+use crate::svm::{LinearSvm, SvmConfig};
+use crate::tree::{DecisionTree, TreeConfig};
+
+/// A trainable binary classifier producing calibrated positive-class
+/// probabilities.
+///
+/// DynamicC uses two instances of such a model — one for merge decisions, one
+/// for split decisions — and thresholds the probability with a θ chosen for
+/// near-perfect recall (§5.4).
+pub trait BinaryClassifier: Send + Sync {
+    /// Fit the model on a feature matrix and parallel boolean labels.
+    ///
+    /// Implementations must tolerate degenerate inputs (empty data or a
+    /// single class); in those cases they fall back to predicting the
+    /// majority-class probability.
+    fn fit(&mut self, xs: &[Vec<f64>], ys: &[bool]);
+
+    /// Probability that `x` belongs to the positive class, in `[0, 1]`.
+    fn predict_proba(&self, x: &[f64]) -> f64;
+
+    /// Hard prediction at a given probability threshold.
+    fn predict(&self, x: &[f64], threshold: f64) -> bool {
+        self.predict_proba(x) >= threshold
+    }
+
+    /// Probabilities for a batch of inputs.
+    fn predict_proba_batch(&self, xs: &[Vec<f64>]) -> Vec<f64> {
+        xs.iter().map(|x| self.predict_proba(x)).collect()
+    }
+
+    /// Human-readable model name.
+    fn name(&self) -> &'static str;
+
+    /// Whether the model has been fitted on any data yet.
+    fn is_fitted(&self) -> bool;
+}
+
+/// Which model family to instantiate (Table 4 compares all three).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ModelKind {
+    /// L2-regularized logistic regression (the paper's default model).
+    #[default]
+    LogisticRegression,
+    /// Linear SVM with Platt-style calibration.
+    LinearSvm,
+    /// CART decision tree with Gini impurity.
+    DecisionTree,
+}
+
+impl ModelKind {
+    /// Instantiate a model of this kind with its default configuration.
+    pub fn build(self) -> Box<dyn BinaryClassifier> {
+        match self {
+            ModelKind::LogisticRegression => {
+                Box::new(LogisticRegression::new(LogisticConfig::default()))
+            }
+            ModelKind::LinearSvm => Box::new(LinearSvm::new(SvmConfig::default())),
+            ModelKind::DecisionTree => Box::new(DecisionTree::new(TreeConfig::default())),
+        }
+    }
+
+    /// All model kinds, in the order Table 4 reports them.
+    pub fn all() -> [ModelKind; 3] {
+        [
+            ModelKind::LogisticRegression,
+            ModelKind::LinearSvm,
+            ModelKind::DecisionTree,
+        ]
+    }
+}
+
+impl std::fmt::Display for ModelKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ModelKind::LogisticRegression => write!(f, "Logistic Regression"),
+            ModelKind::LinearSvm => write!(f, "SVM"),
+            ModelKind::DecisionTree => write!(f, "Decision Tree"),
+        }
+    }
+}
+
+/// A linearly separable two-blob toy problem used by the classifier tests of
+/// every model module: positives around `(2, 2, …)`, negatives around
+/// `(−2, −2, …)`, with deterministic jitter.
+#[cfg(test)]
+pub(crate) fn separable_problem(n_per_class: usize, dim: usize) -> (Vec<Vec<f64>>, Vec<bool>) {
+    let mut xs = Vec::with_capacity(2 * n_per_class);
+    let mut ys = Vec::with_capacity(2 * n_per_class);
+    for i in 0..n_per_class {
+        // Deterministic pseudo-jitter in [-0.5, 0.5).
+        let jitter = |k: usize| ((i * 31 + k * 17) % 100) as f64 / 100.0 - 0.5;
+        xs.push((0..dim).map(|d| 2.0 + jitter(d)).collect());
+        ys.push(true);
+        xs.push((0..dim).map(|d| -2.0 + jitter(d + 7)).collect());
+        ys.push(false);
+    }
+    (xs, ys)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn model_kind_builds_every_family() {
+        for kind in ModelKind::all() {
+            let model = kind.build();
+            assert!(!model.is_fitted());
+            // Unfitted models produce a neutral probability.
+            let p = model.predict_proba(&[0.0, 0.0, 0.0]);
+            assert!((0.0..=1.0).contains(&p));
+        }
+    }
+
+    #[test]
+    fn every_model_learns_a_separable_problem() {
+        let (xs, ys) = separable_problem(60, 3);
+        for kind in ModelKind::all() {
+            let mut model = kind.build();
+            model.fit(&xs, &ys);
+            assert!(model.is_fitted());
+            let correct = xs
+                .iter()
+                .zip(&ys)
+                .filter(|(x, &y)| model.predict(x, 0.5) == y)
+                .count();
+            let accuracy = correct as f64 / xs.len() as f64;
+            assert!(
+                accuracy > 0.95,
+                "{} reached only {accuracy} training accuracy",
+                model.name()
+            );
+        }
+    }
+
+    #[test]
+    fn batch_prediction_matches_single_prediction() {
+        let (xs, ys) = separable_problem(20, 2);
+        let mut model = ModelKind::LogisticRegression.build();
+        model.fit(&xs, &ys);
+        let batch = model.predict_proba_batch(&xs);
+        for (x, p) in xs.iter().zip(batch) {
+            assert_eq!(model.predict_proba(x), p);
+        }
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(ModelKind::LogisticRegression.to_string(), "Logistic Regression");
+        assert_eq!(ModelKind::LinearSvm.to_string(), "SVM");
+        assert_eq!(ModelKind::DecisionTree.to_string(), "Decision Tree");
+        assert_eq!(ModelKind::default(), ModelKind::LogisticRegression);
+    }
+}

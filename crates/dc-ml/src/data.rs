@@ -1,0 +1,181 @@
+//! Feature standardization and dataset splitting.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Per-feature standardization (`z = (x − mean) / std`).
+///
+/// Fitted on training data and applied to every later input; features with
+/// zero variance are passed through centred but unscaled.  All classifiers in
+/// this crate standardize internally so that callers can feed raw cluster
+/// features (whose size component is unbounded) without worrying about
+/// scaling.
+#[derive(Debug, Clone, Default)]
+pub struct StandardScaler {
+    means: Vec<f64>,
+    stds: Vec<f64>,
+}
+
+impl StandardScaler {
+    /// Fit a scaler to a feature matrix (rows = examples).
+    pub fn fit(xs: &[Vec<f64>]) -> Self {
+        if xs.is_empty() {
+            return StandardScaler::default();
+        }
+        let dim = xs[0].len();
+        let n = xs.len() as f64;
+        let mut means = vec![0.0; dim];
+        for x in xs {
+            for (i, &v) in x.iter().enumerate() {
+                means[i] += v;
+            }
+        }
+        for m in &mut means {
+            *m /= n;
+        }
+        let mut vars = vec![0.0; dim];
+        for x in xs {
+            for (i, &v) in x.iter().enumerate() {
+                let d = v - means[i];
+                vars[i] += d * d;
+            }
+        }
+        let stds = vars
+            .into_iter()
+            .map(|v| {
+                let s = (v / n).sqrt();
+                if s > 1e-12 {
+                    s
+                } else {
+                    1.0
+                }
+            })
+            .collect();
+        StandardScaler { means, stds }
+    }
+
+    /// Number of features the scaler was fitted on.
+    pub fn dim(&self) -> usize {
+        self.means.len()
+    }
+
+    /// Standardize one feature vector.
+    pub fn transform(&self, x: &[f64]) -> Vec<f64> {
+        x.iter()
+            .enumerate()
+            .map(|(i, &v)| {
+                let mean = self.means.get(i).copied().unwrap_or(0.0);
+                let std = self.stds.get(i).copied().unwrap_or(1.0);
+                (v - mean) / std
+            })
+            .collect()
+    }
+
+    /// Standardize a whole matrix.
+    pub fn transform_all(&self, xs: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        xs.iter().map(|x| self.transform(x)).collect()
+    }
+}
+
+/// Deterministically shuffle and split `(xs, ys)` into
+/// `(train_xs, train_ys, test_xs, test_ys)` with `train_fraction` of the
+/// examples in the training part.
+pub fn train_test_split(
+    xs: &[Vec<f64>],
+    ys: &[bool],
+    train_fraction: f64,
+    seed: u64,
+) -> (Vec<Vec<f64>>, Vec<bool>, Vec<Vec<f64>>, Vec<bool>) {
+    assert_eq!(xs.len(), ys.len(), "features and labels must align");
+    assert!(
+        (0.0..=1.0).contains(&train_fraction),
+        "train fraction must be in [0, 1]"
+    );
+    let mut order: Vec<usize> = (0..xs.len()).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    order.shuffle(&mut rng);
+    let n_train = ((xs.len() as f64) * train_fraction).round() as usize;
+    let mut train_xs = Vec::with_capacity(n_train);
+    let mut train_ys = Vec::with_capacity(n_train);
+    let mut test_xs = Vec::with_capacity(xs.len() - n_train);
+    let mut test_ys = Vec::with_capacity(xs.len() - n_train);
+    for (rank, &i) in order.iter().enumerate() {
+        if rank < n_train {
+            train_xs.push(xs[i].clone());
+            train_ys.push(ys[i]);
+        } else {
+            test_xs.push(xs[i].clone());
+            test_ys.push(ys[i]);
+        }
+    }
+    (train_xs, train_ys, test_xs, test_ys)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaler_standardizes_to_zero_mean_unit_variance() {
+        let xs = vec![vec![1.0, 10.0], vec![3.0, 20.0], vec![5.0, 30.0]];
+        let scaler = StandardScaler::fit(&xs);
+        let z = scaler.transform_all(&xs);
+        for dim in 0..2 {
+            let mean: f64 = z.iter().map(|r| r[dim]).sum::<f64>() / z.len() as f64;
+            let var: f64 = z.iter().map(|r| (r[dim] - mean).powi(2)).sum::<f64>() / z.len() as f64;
+            assert!(mean.abs() < 1e-9);
+            assert!((var - 1.0).abs() < 1e-9);
+        }
+        assert_eq!(scaler.dim(), 2);
+    }
+
+    #[test]
+    fn scaler_handles_constant_features() {
+        let xs = vec![vec![5.0], vec![5.0], vec![5.0]];
+        let scaler = StandardScaler::fit(&xs);
+        let z = scaler.transform(&[5.0]);
+        assert_eq!(z, vec![0.0]);
+        let z = scaler.transform(&[7.0]);
+        assert_eq!(z, vec![2.0]);
+    }
+
+    #[test]
+    fn scaler_on_empty_input_is_identity() {
+        let scaler = StandardScaler::fit(&[]);
+        assert_eq!(scaler.transform(&[1.0, 2.0]), vec![1.0, 2.0]);
+        assert_eq!(scaler.dim(), 0);
+    }
+
+    #[test]
+    fn split_respects_fraction_and_partition() {
+        let xs: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64]).collect();
+        let ys: Vec<bool> = (0..100).map(|i| i % 2 == 0).collect();
+        let (trx, tr_y, tex, te_y) = train_test_split(&xs, &ys, 0.8, 1);
+        assert_eq!(trx.len(), 80);
+        assert_eq!(tex.len(), 20);
+        assert_eq!(tr_y.len(), 80);
+        assert_eq!(te_y.len(), 20);
+        // Every original example appears exactly once.
+        let mut seen: Vec<f64> = trx.iter().chain(&tex).map(|v| v[0]).collect();
+        seen.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(seen, (0..100).map(|i| i as f64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn split_is_deterministic_per_seed() {
+        let xs: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64]).collect();
+        let ys = vec![true; 20];
+        let a = train_test_split(&xs, &ys, 0.5, 7);
+        let b = train_test_split(&xs, &ys, 0.5, 7);
+        assert_eq!(a.0, b.0);
+        let c = train_test_split(&xs, &ys, 0.5, 8);
+        assert_ne!(a.0, c.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn split_rejects_mismatched_lengths() {
+        train_test_split(&[vec![1.0]], &[], 0.5, 0);
+    }
+}

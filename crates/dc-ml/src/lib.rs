@@ -1,0 +1,52 @@
+//! # dc-ml
+//!
+//! From-scratch binary classifiers and classification metrics for DynamicC.
+//!
+//! The paper trains small, fast models — logistic regression (the default),
+//! a linear SVM, and a decision tree (Table 4) — on 3–4 dimensional cluster
+//! feature vectors and then manipulates the decision threshold `θ` so that
+//! *recall* over "clusters that ought to change" is (near) 100% while
+//! precision stays as high as possible (§5.4).  False positives are cheap
+//! because DynamicC verifies every proposed change against the clustering
+//! objective; false negatives are expensive because a missed merge/split
+//! silently degrades clustering quality.
+//!
+//! This crate deliberately depends on nothing beyond `rand`: the models are
+//! implemented from first principles (the repro hint for this paper notes
+//! that Rust ML crates are thin, and the baselines must be rebuilt by hand
+//! anyway), which also keeps them exactly as small and inspectable as the
+//! paper's argument requires — DynamicC's merge algorithm reads the learned
+//! coefficients to rank candidate partners cheaply (§6.2).
+//!
+//! Modules:
+//!
+//! * [`classifier`] — the [`BinaryClassifier`] trait and [`ModelKind`]
+//!   factory.
+//! * [`logistic`] — L2-regularized logistic regression trained by
+//!   full-batch gradient descent.
+//! * [`svm`] — linear SVM trained by hinge-loss subgradient descent with a
+//!   Platt-style probability calibration.
+//! * [`tree`] — CART decision tree with Gini impurity.
+//! * [`data`] — feature standardization and deterministic train/test
+//!   splitting.
+//! * [`metrics`] — confusion matrices, accuracy, precision, recall, F1.
+//! * [`threshold`] — the recall-first θ selection rule of §5.4.
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+pub mod classifier;
+pub mod data;
+pub mod logistic;
+pub mod metrics;
+pub mod svm;
+pub mod threshold;
+pub mod tree;
+
+pub use classifier::{BinaryClassifier, ModelKind};
+pub use data::{train_test_split, StandardScaler};
+pub use logistic::{LogisticRegression, LogisticConfig};
+pub use metrics::{ClassificationReport, ConfusionMatrix};
+pub use svm::{LinearSvm, SvmConfig};
+pub use threshold::{evaluate_at_threshold, recall_first_threshold};
+pub use tree::{DecisionTree, TreeConfig};

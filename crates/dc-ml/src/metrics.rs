@@ -1,0 +1,233 @@
+//! Classification metrics: confusion matrix, accuracy, precision, recall, F1.
+//!
+//! These are the model-quality measures used throughout §5.4 and the ML
+//! evaluation of §7.3 (Tables 4 and 5, Figure 3).  They are *classifier*
+//! metrics over cluster-change predictions, distinct from the
+//! *clustering-quality* metrics (pair-counting F1, purity, …) that live in
+//! `dc-eval`.
+
+/// Counts of the four prediction outcomes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ConfusionMatrix {
+    /// Positive examples predicted positive.
+    pub true_positives: usize,
+    /// Negative examples predicted positive.
+    pub false_positives: usize,
+    /// Negative examples predicted negative.
+    pub true_negatives: usize,
+    /// Positive examples predicted negative.
+    pub false_negatives: usize,
+}
+
+impl ConfusionMatrix {
+    /// Build a confusion matrix from parallel prediction / truth slices.
+    pub fn from_predictions(predicted: &[bool], actual: &[bool]) -> Self {
+        assert_eq!(predicted.len(), actual.len(), "length mismatch");
+        let mut m = ConfusionMatrix::default();
+        for (&p, &a) in predicted.iter().zip(actual) {
+            match (p, a) {
+                (true, true) => m.true_positives += 1,
+                (true, false) => m.false_positives += 1,
+                (false, false) => m.true_negatives += 1,
+                (false, true) => m.false_negatives += 1,
+            }
+        }
+        m
+    }
+
+    /// Total number of examples.
+    pub fn total(&self) -> usize {
+        self.true_positives + self.false_positives + self.true_negatives + self.false_negatives
+    }
+
+    /// Fraction of correct predictions.  1.0 on an empty matrix.
+    pub fn accuracy(&self) -> f64 {
+        if self.total() == 0 {
+            return 1.0;
+        }
+        (self.true_positives + self.true_negatives) as f64 / self.total() as f64
+    }
+
+    /// Of the examples predicted positive, the fraction that are positive.
+    /// Defined as 1.0 when nothing was predicted positive.
+    pub fn precision(&self) -> f64 {
+        let denom = self.true_positives + self.false_positives;
+        if denom == 0 {
+            return 1.0;
+        }
+        self.true_positives as f64 / denom as f64
+    }
+
+    /// Of the actual positives, the fraction that were found.  Defined as
+    /// 1.0 when there are no positive examples.
+    pub fn recall(&self) -> f64 {
+        let denom = self.true_positives + self.false_negatives;
+        if denom == 0 {
+            return 1.0;
+        }
+        self.true_positives as f64 / denom as f64
+    }
+
+    /// Harmonic mean of precision and recall (0 when both are 0).
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// Merge counts from another matrix (e.g. across folds or rounds).
+    pub fn merge(&mut self, other: &ConfusionMatrix) {
+        self.true_positives += other.true_positives;
+        self.false_positives += other.false_positives;
+        self.true_negatives += other.true_negatives;
+        self.false_negatives += other.false_negatives;
+    }
+
+    /// The 2×2 heat-map layout of Figure 3: rows are actual (0, 1), columns
+    /// predicted (0, 1).
+    pub fn heatmap(&self) -> [[usize; 2]; 2] {
+        [
+            [self.true_negatives, self.false_positives],
+            [self.false_negatives, self.true_positives],
+        ]
+    }
+}
+
+impl std::fmt::Display for ConfusionMatrix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "            pred=0  pred=1")?;
+        writeln!(
+            f,
+            "actual=0  {:>8} {:>7}",
+            self.true_negatives, self.false_positives
+        )?;
+        write!(
+            f,
+            "actual=1  {:>8} {:>7}",
+            self.false_negatives, self.true_positives
+        )
+    }
+}
+
+/// A bundle of the derived metrics, convenient for experiment tables.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClassificationReport {
+    /// Fraction of correct predictions.
+    pub accuracy: f64,
+    /// Positive predictive value.
+    pub precision: f64,
+    /// True positive rate.
+    pub recall: f64,
+    /// Harmonic mean of precision and recall.
+    pub f1: f64,
+}
+
+impl From<&ConfusionMatrix> for ClassificationReport {
+    fn from(m: &ConfusionMatrix) -> Self {
+        ClassificationReport {
+            accuracy: m.accuracy(),
+            precision: m.precision(),
+            recall: m.recall(),
+            f1: m.f1(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The worked example of Figure 3 / §5.4: 144 clusters, 8 TN, 15 FP,
+    /// 1 FN, 120 TP ⇒ accuracy 0.889, precision 0.889, recall 0.992.
+    #[test]
+    fn figure3_worked_example() {
+        let m = ConfusionMatrix {
+            true_negatives: 8,
+            false_positives: 15,
+            false_negatives: 1,
+            true_positives: 120,
+        };
+        assert_eq!(m.total(), 144);
+        assert!((m.accuracy() - 128.0 / 144.0).abs() < 1e-9);
+        assert!((m.precision() - 120.0 / 135.0).abs() < 1e-9);
+        assert!((m.recall() - 120.0 / 121.0).abs() < 1e-9);
+        assert_eq!(m.heatmap(), [[8, 15], [1, 120]]);
+    }
+
+    #[test]
+    fn from_predictions_counts_each_outcome() {
+        let predicted = [true, true, false, false, true];
+        let actual = [true, false, false, true, true];
+        let m = ConfusionMatrix::from_predictions(&predicted, &actual);
+        assert_eq!(m.true_positives, 2);
+        assert_eq!(m.false_positives, 1);
+        assert_eq!(m.true_negatives, 1);
+        assert_eq!(m.false_negatives, 1);
+    }
+
+    #[test]
+    fn degenerate_cases() {
+        let empty = ConfusionMatrix::default();
+        assert_eq!(empty.accuracy(), 1.0);
+        assert_eq!(empty.precision(), 1.0);
+        assert_eq!(empty.recall(), 1.0);
+        assert_eq!(empty.f1(), 1.0);
+
+        let all_wrong = ConfusionMatrix {
+            false_positives: 3,
+            false_negatives: 2,
+            ..Default::default()
+        };
+        assert_eq!(all_wrong.accuracy(), 0.0);
+        assert_eq!(all_wrong.precision(), 0.0);
+        assert_eq!(all_wrong.recall(), 0.0);
+        assert_eq!(all_wrong.f1(), 0.0);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = ConfusionMatrix::from_predictions(&[true], &[true]);
+        let b = ConfusionMatrix::from_predictions(&[false], &[true]);
+        a.merge(&b);
+        assert_eq!(a.true_positives, 1);
+        assert_eq!(a.false_negatives, 1);
+        assert_eq!(a.total(), 2);
+    }
+
+    #[test]
+    fn report_derives_all_metrics() {
+        let m = ConfusionMatrix {
+            true_positives: 8,
+            false_positives: 2,
+            true_negatives: 85,
+            false_negatives: 5,
+        };
+        let r = ClassificationReport::from(&m);
+        assert!((r.accuracy - 0.93).abs() < 1e-9);
+        assert!((r.precision - 0.8).abs() < 1e-9);
+        assert!((r.recall - 8.0 / 13.0).abs() < 1e-9);
+        assert!(r.f1 > 0.0 && r.f1 < 1.0);
+    }
+
+    #[test]
+    fn display_contains_counts() {
+        let m = ConfusionMatrix {
+            true_positives: 4,
+            false_positives: 3,
+            true_negatives: 2,
+            false_negatives: 1,
+        };
+        let s = m.to_string();
+        assert!(s.contains('4') && s.contains('3') && s.contains('2') && s.contains('1'));
+    }
+
+    #[test]
+    #[should_panic]
+    fn from_predictions_rejects_mismatched_lengths() {
+        ConfusionMatrix::from_predictions(&[true], &[]);
+    }
+}

@@ -1,0 +1,155 @@
+//! Recall-first decision-threshold selection (§5.4).
+//!
+//! DynamicC does not tune its classifiers for accuracy.  A missed positive
+//! (a cluster that should have merged or split but was predicted stable)
+//! silently degrades clustering quality, while a false positive merely costs
+//! one objective-function evaluation during verification.  The paper's rule
+//! is therefore: set the threshold `θ` to the *minimum* predicted probability
+//! among the positive training examples, which yields 100% recall on the
+//! training data; the trade-off between efficiency (how many clusters must be
+//! verified) and recall can then be explored by scaling θ (Figure 4).
+
+use crate::classifier::BinaryClassifier;
+use crate::metrics::ConfusionMatrix;
+
+/// The default threshold used when there are no positive examples to
+/// calibrate against.
+pub const DEFAULT_THRESHOLD: f64 = 0.5;
+
+/// Lower bound applied to the selected threshold so that a single extreme
+/// outlier cannot force θ to 0 and turn every cluster into a candidate.
+pub const MIN_THRESHOLD: f64 = 0.01;
+
+/// Choose θ as the minimum predicted probability over the positive training
+/// examples (clamped to `[MIN_THRESHOLD, 1]`), so that every positive example
+/// in `xs`/`ys` is recalled at θ.
+pub fn recall_first_threshold(
+    model: &dyn BinaryClassifier,
+    xs: &[Vec<f64>],
+    ys: &[bool],
+) -> f64 {
+    let mut min_positive: Option<f64> = None;
+    for (x, &y) in xs.iter().zip(ys) {
+        if y {
+            let p = model.predict_proba(x);
+            min_positive = Some(match min_positive {
+                Some(m) => m.min(p),
+                None => p,
+            });
+        }
+    }
+    match min_positive {
+        Some(p) => p.clamp(MIN_THRESHOLD, 1.0),
+        None => DEFAULT_THRESHOLD,
+    }
+}
+
+/// Evaluate a model on labeled data at a specific threshold.
+pub fn evaluate_at_threshold(
+    model: &dyn BinaryClassifier,
+    xs: &[Vec<f64>],
+    ys: &[bool],
+    threshold: f64,
+) -> ConfusionMatrix {
+    let predicted: Vec<bool> = xs.iter().map(|x| model.predict(x, threshold)).collect();
+    ConfusionMatrix::from_predictions(&predicted, ys)
+}
+
+/// The efficiency/recall trade-off of Figure 4: for each candidate θ, how
+/// many examples would be flagged positive (and therefore need objective
+/// verification) and what recall is achieved.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThresholdTradeoff {
+    /// The threshold evaluated.
+    pub theta: f64,
+    /// Number of examples predicted positive at this threshold.
+    pub flagged: usize,
+    /// Recall over the actual positives at this threshold.
+    pub recall: f64,
+    /// Accuracy at this threshold.
+    pub accuracy: f64,
+}
+
+/// Sweep a set of thresholds and report the trade-off at each (used by the
+/// ablation benchmarks).
+pub fn threshold_sweep(
+    model: &dyn BinaryClassifier,
+    xs: &[Vec<f64>],
+    ys: &[bool],
+    thetas: &[f64],
+) -> Vec<ThresholdTradeoff> {
+    thetas
+        .iter()
+        .map(|&theta| {
+            let m = evaluate_at_threshold(model, xs, ys, theta);
+            ThresholdTradeoff {
+                theta,
+                flagged: m.true_positives + m.false_positives,
+                recall: m.recall(),
+                accuracy: m.accuracy(),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classifier::{separable_problem, ModelKind};
+
+    #[test]
+    fn threshold_achieves_full_training_recall() {
+        let (xs, ys) = separable_problem(50, 3);
+        let mut model = ModelKind::LogisticRegression.build();
+        model.fit(&xs, &ys);
+        let theta = recall_first_threshold(model.as_ref(), &xs, &ys);
+        let m = evaluate_at_threshold(model.as_ref(), &xs, &ys, theta);
+        assert_eq!(m.recall(), 1.0);
+        assert!(theta >= MIN_THRESHOLD && theta <= 1.0);
+    }
+
+    #[test]
+    fn threshold_is_below_every_positive_probability() {
+        let (xs, ys) = separable_problem(30, 2);
+        let mut model = ModelKind::DecisionTree.build();
+        model.fit(&xs, &ys);
+        let theta = recall_first_threshold(model.as_ref(), &xs, &ys);
+        for (x, &y) in xs.iter().zip(&ys) {
+            if y {
+                assert!(model.predict_proba(x) >= theta);
+            }
+        }
+    }
+
+    #[test]
+    fn no_positives_falls_back_to_default() {
+        let (xs, _) = separable_problem(10, 2);
+        let ys = vec![false; xs.len()];
+        let mut model = ModelKind::LogisticRegression.build();
+        model.fit(&xs, &ys);
+        assert_eq!(recall_first_threshold(model.as_ref(), &xs, &ys), DEFAULT_THRESHOLD);
+    }
+
+    #[test]
+    fn lower_threshold_flags_more_and_never_lowers_recall() {
+        let (xs, ys) = separable_problem(60, 3);
+        let mut model = ModelKind::LogisticRegression.build();
+        model.fit(&xs, &ys);
+        let sweep = threshold_sweep(model.as_ref(), &xs, &ys, &[0.9, 0.5, 0.1, 0.01]);
+        for pair in sweep.windows(2) {
+            assert!(pair[1].flagged >= pair[0].flagged, "lower θ must flag at least as many");
+            assert!(pair[1].recall >= pair[0].recall - 1e-12);
+        }
+        // At the most permissive threshold everything positive is caught.
+        assert_eq!(sweep.last().unwrap().recall, 1.0);
+    }
+
+    #[test]
+    fn evaluate_at_threshold_matches_manual_confusion() {
+        let (xs, ys) = separable_problem(20, 2);
+        let mut model = ModelKind::LinearSvm.build();
+        model.fit(&xs, &ys);
+        let m = evaluate_at_threshold(model.as_ref(), &xs, &ys, 0.5);
+        assert_eq!(m.total(), xs.len());
+    }
+}

@@ -1,0 +1,330 @@
+//! CART decision tree with Gini impurity.
+//!
+//! The third model family of Table 4.  Trees are grown greedily: at every
+//! node the split (feature, threshold) with the largest Gini-impurity
+//! reduction is chosen, candidate thresholds being midpoints between
+//! consecutive distinct feature values (capped per feature to keep training
+//! linear in practice).  Leaves store the positive-class fraction of their
+//! training examples, which is what [`BinaryClassifier::predict_proba`]
+//! returns — a coarse but usable probability for the θ-threshold machinery.
+
+use crate::classifier::BinaryClassifier;
+
+/// Hyper-parameters for [`DecisionTree`].
+#[derive(Debug, Clone, Copy)]
+pub struct TreeConfig {
+    /// Maximum tree depth (root has depth 0).
+    pub max_depth: usize,
+    /// Minimum number of examples required to attempt a split.
+    pub min_samples_split: usize,
+    /// Maximum number of candidate thresholds evaluated per feature.
+    pub max_thresholds_per_feature: usize,
+}
+
+impl Default for TreeConfig {
+    fn default() -> Self {
+        TreeConfig {
+            max_depth: 6,
+            min_samples_split: 4,
+            max_thresholds_per_feature: 32,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf {
+        positive_fraction: f64,
+    },
+    Internal {
+        feature: usize,
+        threshold: f64,
+        left: Box<Node>,
+        right: Box<Node>,
+    },
+}
+
+/// CART decision-tree classifier.
+#[derive(Debug, Clone)]
+pub struct DecisionTree {
+    config: TreeConfig,
+    root: Option<Node>,
+    prior: f64,
+}
+
+impl DecisionTree {
+    /// Create an untrained tree.
+    pub fn new(config: TreeConfig) -> Self {
+        assert!(config.max_depth >= 1, "max_depth must be at least 1");
+        assert!(config.min_samples_split >= 2, "min_samples_split must be at least 2");
+        DecisionTree {
+            config,
+            root: None,
+            prior: 0.5,
+        }
+    }
+
+    /// Number of nodes in the fitted tree (0 before fitting).
+    pub fn node_count(&self) -> usize {
+        fn count(node: &Node) -> usize {
+            match node {
+                Node::Leaf { .. } => 1,
+                Node::Internal { left, right, .. } => 1 + count(left) + count(right),
+            }
+        }
+        self.root.as_ref().map_or(0, count)
+    }
+
+    /// Depth of the fitted tree (0 for a single leaf, 0 before fitting).
+    pub fn depth(&self) -> usize {
+        fn depth(node: &Node) -> usize {
+            match node {
+                Node::Leaf { .. } => 0,
+                Node::Internal { left, right, .. } => 1 + depth(left).max(depth(right)),
+            }
+        }
+        self.root.as_ref().map_or(0, depth)
+    }
+
+    fn gini(pos: usize, total: usize) -> f64 {
+        if total == 0 {
+            return 0.0;
+        }
+        let p = pos as f64 / total as f64;
+        2.0 * p * (1.0 - p)
+    }
+
+    fn build(
+        &self,
+        xs: &[Vec<f64>],
+        ys: &[bool],
+        indices: &[usize],
+        depth: usize,
+    ) -> Node {
+        let total = indices.len();
+        let pos = indices.iter().filter(|&&i| ys[i]).count();
+        let positive_fraction = if total == 0 {
+            self.prior
+        } else {
+            pos as f64 / total as f64
+        };
+
+        let pure = pos == 0 || pos == total;
+        if pure || depth >= self.config.max_depth || total < self.config.min_samples_split {
+            return Node::Leaf { positive_fraction };
+        }
+
+        let dim = xs[indices[0]].len();
+        let parent_impurity = Self::gini(pos, total);
+        let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, gain)
+
+        for feature in 0..dim {
+            let mut values: Vec<f64> = indices.iter().map(|&i| xs[i][feature]).collect();
+            values.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            values.dedup();
+            if values.len() < 2 {
+                continue;
+            }
+            // Candidate thresholds: midpoints, subsampled if there are many.
+            let step = ((values.len() - 1) as f64
+                / self.config.max_thresholds_per_feature.max(1) as f64)
+                .ceil() as usize;
+            let step = step.max(1);
+            let mut k = 0;
+            while k + 1 < values.len() {
+                let threshold = (values[k] + values[k + 1]) / 2.0;
+                let mut left_total = 0;
+                let mut left_pos = 0;
+                for &i in indices {
+                    if xs[i][feature] <= threshold {
+                        left_total += 1;
+                        if ys[i] {
+                            left_pos += 1;
+                        }
+                    }
+                }
+                let right_total = total - left_total;
+                let right_pos = pos - left_pos;
+                if left_total > 0 && right_total > 0 {
+                    let weighted = (left_total as f64 / total as f64)
+                        * Self::gini(left_pos, left_total)
+                        + (right_total as f64 / total as f64) * Self::gini(right_pos, right_total);
+                    let gain = parent_impurity - weighted;
+                    if best.map_or(true, |(_, _, g)| gain > g + 1e-12) {
+                        best = Some((feature, threshold, gain));
+                    }
+                }
+                k += step;
+            }
+        }
+
+        match best {
+            Some((feature, threshold, gain)) if gain > 1e-9 => {
+                let (left_idx, right_idx): (Vec<usize>, Vec<usize>) = indices
+                    .iter()
+                    .partition(|&&i| xs[i][feature] <= threshold);
+                let left = self.build(xs, ys, &left_idx, depth + 1);
+                let right = self.build(xs, ys, &right_idx, depth + 1);
+                Node::Internal {
+                    feature,
+                    threshold,
+                    left: Box::new(left),
+                    right: Box::new(right),
+                }
+            }
+            _ => Node::Leaf { positive_fraction },
+        }
+    }
+}
+
+impl Default for DecisionTree {
+    fn default() -> Self {
+        DecisionTree::new(TreeConfig::default())
+    }
+}
+
+impl BinaryClassifier for DecisionTree {
+    fn fit(&mut self, xs: &[Vec<f64>], ys: &[bool]) {
+        assert_eq!(xs.len(), ys.len(), "features and labels must align");
+        if xs.is_empty() {
+            self.root = None;
+            self.prior = 0.5;
+            return;
+        }
+        self.prior = ys.iter().filter(|&&y| y).count() as f64 / ys.len() as f64;
+        let indices: Vec<usize> = (0..xs.len()).collect();
+        self.root = Some(self.build(xs, ys, &indices, 0));
+    }
+
+    fn predict_proba(&self, x: &[f64]) -> f64 {
+        let Some(mut node) = self.root.as_ref() else {
+            return self.prior;
+        };
+        loop {
+            match node {
+                Node::Leaf { positive_fraction } => return *positive_fraction,
+                Node::Internal {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    let value = x.get(*feature).copied().unwrap_or(0.0);
+                    node = if value <= *threshold { left } else { right };
+                }
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "decision-tree"
+    }
+
+    fn is_fitted(&self) -> bool {
+        self.root.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classifier::separable_problem;
+    use crate::metrics::ConfusionMatrix;
+
+    #[test]
+    fn learns_separable_data_almost_perfectly() {
+        let (xs, ys) = separable_problem(60, 3);
+        let mut tree = DecisionTree::default();
+        tree.fit(&xs, &ys);
+        let preds: Vec<bool> = xs.iter().map(|x| tree.predict(x, 0.5)).collect();
+        let m = ConfusionMatrix::from_predictions(&preds, &ys);
+        // Threshold subsampling may cost a single boundary example.
+        assert!(m.accuracy() > 0.98, "accuracy = {}", m.accuracy());
+        assert!(tree.is_fitted());
+        assert!(tree.node_count() >= 3);
+    }
+
+    #[test]
+    fn learns_an_axis_aligned_conjunction() {
+        // Positive iff (x > 0) AND (y > 0) — not linearly decidable with a
+        // single axis-aligned cut, so the greedy tree must reach depth ≥ 2.
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for i in 0..20 {
+            for j in 0..20 {
+                let x = i as f64 / 10.0 - 1.0 + 0.05;
+                let y = j as f64 / 10.0 - 1.0 + 0.05;
+                xs.push(vec![x, y]);
+                ys.push(x > 0.0 && y > 0.0);
+            }
+        }
+        let mut tree = DecisionTree::new(TreeConfig {
+            max_depth: 4,
+            ..TreeConfig::default()
+        });
+        tree.fit(&xs, &ys);
+        let preds: Vec<bool> = xs.iter().map(|x| tree.predict(x, 0.5)).collect();
+        let m = ConfusionMatrix::from_predictions(&preds, &ys);
+        assert!(m.accuracy() > 0.95, "accuracy = {}", m.accuracy());
+        assert!(tree.depth() >= 2);
+    }
+
+    #[test]
+    fn depth_limit_is_respected() {
+        let (xs, ys) = separable_problem(50, 2);
+        let mut tree = DecisionTree::new(TreeConfig {
+            max_depth: 1,
+            ..TreeConfig::default()
+        });
+        tree.fit(&xs, &ys);
+        assert!(tree.depth() <= 1);
+    }
+
+    #[test]
+    fn pure_and_tiny_inputs_become_leaves() {
+        let mut tree = DecisionTree::default();
+        tree.fit(&[vec![1.0], vec![2.0]], &[true, true]);
+        assert_eq!(tree.node_count(), 1);
+        assert_eq!(tree.predict_proba(&[5.0]), 1.0);
+
+        let mut tree = DecisionTree::default();
+        tree.fit(&[vec![1.0]], &[false]);
+        assert_eq!(tree.predict_proba(&[1.0]), 0.0);
+    }
+
+    #[test]
+    fn unfitted_tree_predicts_neutral_prior() {
+        let tree = DecisionTree::default();
+        assert_eq!(tree.predict_proba(&[1.0, 2.0]), 0.5);
+        assert!(!tree.is_fitted());
+        assert_eq!(tree.node_count(), 0);
+        assert_eq!(tree.name(), "decision-tree");
+    }
+
+    #[test]
+    fn empty_training_data_is_tolerated() {
+        let mut tree = DecisionTree::default();
+        tree.fit(&[], &[]);
+        assert!(!tree.is_fitted());
+        assert_eq!(tree.predict_proba(&[0.0]), 0.5);
+    }
+
+    #[test]
+    fn missing_feature_values_fall_back_to_zero() {
+        let (xs, ys) = separable_problem(30, 3);
+        let mut tree = DecisionTree::default();
+        tree.fit(&xs, &ys);
+        // Passing a shorter vector must not panic.
+        let p = tree.predict_proba(&[2.0]);
+        assert!((0.0..=1.0).contains(&p));
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_config_is_rejected() {
+        DecisionTree::new(TreeConfig {
+            max_depth: 0,
+            ..TreeConfig::default()
+        });
+    }
+}

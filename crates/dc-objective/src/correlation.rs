@@ -1,0 +1,407 @@
+//! Correlation-clustering objective (Eq. 1 of the paper).
+//!
+//! The objective is the weighted disagreement cost that Example 4.1
+//! evaluates: every pair of objects placed in the *same* cluster contributes
+//! `1 − sim`, and every pair placed in *different* clusters contributes
+//! `sim`.  Minimizing it balances high intra-cluster similarity against low
+//! inter-cluster similarity.
+//!
+//! The merge and split deltas have closed forms because only the pairs that
+//! switch between "intra" and "inter" change their contribution:
+//!
+//! * merging clusters `A` and `B` changes the `|A|·|B|` cross pairs from
+//!   inter to intra, so `Δ = |A|·|B| − 2·S_inter(A, B)`;
+//! * splitting `P` out of `C` (leaving `R = C ∖ P`) changes the `|P|·|R|`
+//!   pairs from intra to inter, so `Δ = 2·S_inter(P, R) − |P|·|R|`.
+
+use crate::traits::{ObjectiveFunction, ObjectiveKind};
+use dc_similarity::{ClusterAggregates, SimilarityGraph};
+use dc_types::{ClusterId, Clustering, ObjectId};
+use std::collections::BTreeSet;
+
+/// The correlation-clustering disagreement cost.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CorrelationObjective;
+
+impl CorrelationObjective {
+    /// Sum of stored similarities between `part` and the rest of cluster
+    /// `cid` (both sides inside the same current cluster).
+    fn cross_sum_within_cluster(
+        graph: &SimilarityGraph,
+        clustering: &Clustering,
+        cid: ClusterId,
+        part: &BTreeSet<ObjectId>,
+    ) -> f64 {
+        let Some(cluster) = clustering.cluster(cid) else {
+            return 0.0;
+        };
+        let mut sum = 0.0;
+        for &o in part {
+            for (n, sim) in graph.neighbors(o) {
+                if cluster.contains(n) && !part.contains(&n) {
+                    sum += sim;
+                }
+            }
+        }
+        sum
+    }
+}
+
+impl ObjectiveFunction for CorrelationObjective {
+    fn name(&self) -> &'static str {
+        "correlation"
+    }
+
+    fn kind(&self) -> ObjectiveKind {
+        ObjectiveKind::Correlation
+    }
+
+    fn evaluate(&self, graph: &SimilarityGraph, clustering: &Clustering) -> f64 {
+        // Intra term: for every cluster, the number of member pairs minus the
+        // similarity mass inside the cluster (pairs without a stored edge
+        // contribute a full unit of disagreement).
+        let agg = ClusterAggregates::new(graph, clustering);
+        let mut cost = 0.0;
+        for (cid, cluster) in clustering.iter() {
+            let n = cluster.len();
+            let pairs = (n * (n - 1) / 2) as f64;
+            cost += pairs - agg.intra_sum(cid);
+        }
+        // Inter term: every stored edge whose endpoints are in different
+        // clusters contributes its similarity.  Edges to objects that are not
+        // clustered (e.g. not yet processed) are ignored.
+        for a in clustering.object_ids() {
+            let ca = clustering.cluster_of(a);
+            for (b, sim) in graph.neighbors(a) {
+                if b > a {
+                    if let (Some(ca), Some(cb)) = (ca, clustering.cluster_of(b)) {
+                        if ca != cb {
+                            cost += sim;
+                        }
+                    }
+                }
+            }
+        }
+        cost
+    }
+
+    fn merge_delta(
+        &self,
+        graph: &SimilarityGraph,
+        clustering: &Clustering,
+        a: ClusterId,
+        b: ClusterId,
+    ) -> f64 {
+        if a == b {
+            return 0.0;
+        }
+        let (Some(ca), Some(cb)) = (clustering.cluster(a), clustering.cluster(b)) else {
+            return 0.0;
+        };
+        let agg = ClusterAggregates::new(graph, clustering);
+        let cross_pairs = (ca.len() * cb.len()) as f64;
+        let cross_sim = agg.inter_sum(a, b);
+        cross_pairs - 2.0 * cross_sim
+    }
+
+    fn split_delta(
+        &self,
+        graph: &SimilarityGraph,
+        clustering: &Clustering,
+        cid: ClusterId,
+        part: &BTreeSet<ObjectId>,
+    ) -> f64 {
+        let Some(cluster) = clustering.cluster(cid) else {
+            return 0.0;
+        };
+        if part.is_empty() || part.len() >= cluster.len() {
+            return 0.0;
+        }
+        let rest_len = cluster.len() - part.len();
+        let cross_pairs = (part.len() * rest_len) as f64;
+        let cross_sim = Self::cross_sum_within_cluster(graph, clustering, cid, part);
+        2.0 * cross_sim - cross_pairs
+    }
+
+    fn move_delta(
+        &self,
+        graph: &SimilarityGraph,
+        clustering: &Clustering,
+        oid: ObjectId,
+        target: ClusterId,
+    ) -> f64 {
+        let Some(source) = clustering.cluster_of(oid) else {
+            return 0.0;
+        };
+        if source == target || !clustering.contains_cluster(target) {
+            return 0.0;
+        }
+        // Leaving the source cluster: the pairs between {oid} and the rest of
+        // the source flip from intra to inter.
+        let mut part = BTreeSet::new();
+        part.insert(oid);
+        let source_len = clustering.cluster_size(source);
+        let leave_delta = if source_len > 1 {
+            self.split_delta(graph, clustering, source, &part)
+        } else {
+            0.0
+        };
+        // Joining the target cluster: pairs between {oid} and the target flip
+        // from inter to intra.
+        let target_cluster = clustering.cluster(target).expect("checked above");
+        let mut join_sim = 0.0;
+        for (n, sim) in graph.neighbors(oid) {
+            if target_cluster.contains(n) {
+                join_sim += sim;
+            }
+        }
+        let join_pairs = target_cluster.len() as f64;
+        let join_delta = join_pairs - 2.0 * join_sim;
+        leave_delta + join_delta
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dc_similarity::fixtures::{figure1_edges, figure2_clustering, figure2_graph, graph_from_edges};
+
+    fn oid(raw: u64) -> ObjectId {
+        ObjectId::new(raw)
+    }
+
+    #[test]
+    fn example_4_1_initial_singleton_score_is_5_2() {
+        // F(L1) = 0.9*3 + 0.8 + 0.7 + 1 = 5.2 (every object is a singleton,
+        // so every edge is an inter-cluster disagreement).
+        let graph = figure2_graph();
+        let clustering = Clustering::singletons((1..=7).map(oid));
+        let obj = CorrelationObjective;
+        assert!((obj.evaluate(&graph, &clustering) - 5.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn example_4_1_merging_r1_r7_improves_to_4_2() {
+        let graph = figure2_graph();
+        let mut clustering = Clustering::singletons((1..=7).map(oid));
+        let obj = CorrelationObjective;
+        let c1 = clustering.cluster_of(oid(1)).unwrap();
+        let c7 = clustering.cluster_of(oid(7)).unwrap();
+        let delta = obj.merge_delta(&graph, &clustering, c1, c7);
+        // 1 cross pair of similarity 1.0 ⇒ Δ = 1 − 2·1 = −1.
+        assert!((delta - (-1.0)).abs() < 1e-9);
+        clustering.merge(c1, c7).unwrap();
+        assert!((obj.evaluate(&graph, &clustering) - 4.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn final_figure2_clustering_scores_lower_than_singletons() {
+        let graph = figure2_graph();
+        let obj = CorrelationObjective;
+        let singles = Clustering::singletons((1..=7).map(oid));
+        let final_clustering = figure2_clustering();
+        assert!(obj.evaluate(&graph, &final_clustering) < obj.evaluate(&graph, &singles));
+    }
+
+    #[test]
+    fn merge_delta_matches_full_recomputation() {
+        let graph = figure2_graph();
+        let clustering = Clustering::from_groups([
+            vec![oid(1), oid(2)],
+            vec![oid(3)],
+            vec![oid(4), oid(5)],
+            vec![oid(6)],
+            vec![oid(7)],
+        ])
+        .unwrap();
+        let obj = CorrelationObjective;
+        let before = obj.evaluate(&graph, &clustering);
+        for a in clustering.cluster_ids() {
+            for b in clustering.cluster_ids() {
+                if a >= b {
+                    continue;
+                }
+                let delta = obj.merge_delta(&graph, &clustering, a, b);
+                let mut after = clustering.clone();
+                after.merge(a, b).unwrap();
+                let full = obj.evaluate(&graph, &after) - before;
+                assert!((delta - full).abs() < 1e-9, "merge delta mismatch");
+            }
+        }
+    }
+
+    #[test]
+    fn split_delta_matches_full_recomputation() {
+        let graph = figure2_graph();
+        let clustering = Clustering::from_groups([
+            vec![oid(1), oid(2), oid(3), oid(7)],
+            vec![oid(4), oid(5), oid(6)],
+        ])
+        .unwrap();
+        let obj = CorrelationObjective;
+        let before = obj.evaluate(&graph, &clustering);
+        for (cid, cluster) in clustering.iter() {
+            for o in cluster.iter() {
+                let part: BTreeSet<ObjectId> = [o].into_iter().collect();
+                if part.len() >= cluster.len() {
+                    continue;
+                }
+                let delta = obj.split_delta(&graph, &clustering, cid, &part);
+                let mut after = clustering.clone();
+                after.split(cid, &part).unwrap();
+                let full = obj.evaluate(&graph, &after) - before;
+                assert!((delta - full).abs() < 1e-9, "split delta mismatch for {o}");
+            }
+        }
+    }
+
+    #[test]
+    fn move_delta_matches_full_recomputation() {
+        let graph = figure2_graph();
+        let clustering = Clustering::from_groups([
+            vec![oid(1), oid(2), oid(3)],
+            vec![oid(4), oid(5), oid(6)],
+            vec![oid(7)],
+        ])
+        .unwrap();
+        let obj = CorrelationObjective;
+        let before = obj.evaluate(&graph, &clustering);
+        for o in clustering.object_ids() {
+            for target in clustering.cluster_ids() {
+                if clustering.cluster_of(o) == Some(target) {
+                    continue;
+                }
+                let delta = obj.move_delta(&graph, &clustering, o, target);
+                let mut after = clustering.clone();
+                after.move_object(o, target).unwrap();
+                let full = obj.evaluate(&graph, &after) - before;
+                assert!((delta - full).abs() < 1e-9, "move delta mismatch for {o}");
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_arguments_return_zero_delta() {
+        let graph = figure2_graph();
+        let clustering = figure2_clustering();
+        let obj = CorrelationObjective;
+        let cid = clustering.cluster_ids()[0];
+        assert_eq!(obj.merge_delta(&graph, &clustering, cid, cid), 0.0);
+        assert_eq!(
+            obj.merge_delta(&graph, &clustering, cid, ClusterId::new(424242)),
+            0.0
+        );
+        assert_eq!(
+            obj.split_delta(&graph, &clustering, cid, &BTreeSet::new()),
+            0.0
+        );
+    }
+
+    #[test]
+    fn unclustered_neighbors_are_ignored_in_evaluation() {
+        // The graph knows 7 objects but the clustering only covers 5: edges
+        // to r6/r7 must not contribute.
+        let graph = figure2_graph();
+        let clustering = Clustering::from_groups([
+            vec![oid(1), oid(2), oid(3)],
+            vec![oid(4), oid(5)],
+        ])
+        .unwrap();
+        let obj = CorrelationObjective;
+        // Intra: C1 misses nothing (3 pairs at 0.9 ⇒ 3 − 2.7 = 0.3);
+        // C2 has one pair at 0.8 ⇒ 0.2.  No inter edges between C1 and C2.
+        assert!((obj.evaluate(&graph, &clustering) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn kind_and_name() {
+        let obj = CorrelationObjective;
+        assert_eq!(obj.kind(), ObjectiveKind::Correlation);
+        assert_eq!(obj.name(), "correlation");
+    }
+
+    #[test]
+    fn merging_dissimilar_clusters_is_not_an_improvement() {
+        let graph = graph_from_edges(4, &figure1_edges());
+        let clustering =
+            Clustering::from_groups([vec![oid(1), oid(2)], vec![oid(4)]]).unwrap();
+        let obj = CorrelationObjective;
+        let a = clustering.cluster_of(oid(1)).unwrap();
+        let b = clustering.cluster_of(oid(4)).unwrap();
+        assert!(obj.merge_delta(&graph, &clustering, a, b) > 0.0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use dc_similarity::fixtures::graph_from_edges;
+    use proptest::prelude::*;
+
+    fn arbitrary_edges() -> impl Strategy<Value = Vec<(u64, u64, f64)>> {
+        proptest::collection::vec(
+            (1u64..=8, 1u64..=8, 0.05f64..1.0).prop_filter("no self loops", |(a, b, _)| a != b),
+            0..16,
+        )
+    }
+
+    fn arbitrary_partition() -> impl Strategy<Value = Vec<u64>> {
+        // assignment[i] = group of object i+1, groups in 0..4
+        proptest::collection::vec(0u64..4, 8)
+    }
+
+    fn clustering_from_assignment(assignment: &[u64]) -> Clustering {
+        let mut groups: std::collections::BTreeMap<u64, Vec<ObjectId>> =
+            std::collections::BTreeMap::new();
+        for (i, &g) in assignment.iter().enumerate() {
+            groups.entry(g).or_default().push(ObjectId::new(i as u64 + 1));
+        }
+        Clustering::from_groups(groups.into_values()).unwrap()
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        #[test]
+        fn deltas_agree_with_full_recomputation(
+            edges in arbitrary_edges(),
+            assignment in arbitrary_partition(),
+        ) {
+            let graph = graph_from_edges(8, &edges);
+            let clustering = clustering_from_assignment(&assignment);
+            let obj = CorrelationObjective;
+            let before = obj.evaluate(&graph, &clustering);
+
+            let cids = clustering.cluster_ids();
+            if cids.len() >= 2 {
+                let (a, b) = (cids[0], cids[1]);
+                let delta = obj.merge_delta(&graph, &clustering, a, b);
+                let mut after = clustering.clone();
+                after.merge(a, b).unwrap();
+                prop_assert!((delta - (obj.evaluate(&graph, &after) - before)).abs() < 1e-9);
+            }
+            // Split the first splittable cluster at its first member.
+            for (cid, cluster) in clustering.iter() {
+                if cluster.len() >= 2 {
+                    let first = cluster.iter().next().unwrap();
+                    let part: BTreeSet<ObjectId> = [first].into_iter().collect();
+                    let delta = obj.split_delta(&graph, &clustering, cid, &part);
+                    let mut after = clustering.clone();
+                    after.split(cid, &part).unwrap();
+                    prop_assert!((delta - (obj.evaluate(&graph, &after) - before)).abs() < 1e-9);
+                    break;
+                }
+            }
+        }
+
+        #[test]
+        fn objective_is_nonnegative(
+            edges in arbitrary_edges(),
+            assignment in arbitrary_partition(),
+        ) {
+            let graph = graph_from_edges(8, &edges);
+            let clustering = clustering_from_assignment(&assignment);
+            prop_assert!(CorrelationObjective.evaluate(&graph, &clustering) >= -1e-9);
+        }
+    }
+}

@@ -1,0 +1,234 @@
+//! Density-consistency cost for DBSCAN-style clusterings.
+//!
+//! DBSCAN has no objective function, so DynamicC cannot verify its proposed
+//! merges/splits by "does the objective improve?" the way it does for
+//! objective-based clustering.  §7.2.1 of the paper resolves this by judging
+//! a proposed change by whether the *previously established core points stay
+//! stable* — i.e. whether the neighbourhood structure that made a point a
+//! core point still lies inside a single cluster.
+//!
+//! [`DensityObjective`] turns that idea into a cost (lower is better):
+//!
+//! * for every **core point** (an object with at least `min_pts` stored
+//!   neighbours — the similarity graph's edge threshold plays the role of
+//!   the `ε` radius), each neighbour assigned to a *different* cluster adds
+//!   1 to the cost (a density-reachable point was separated from its core);
+//! * every **stored edge inside a cluster whose endpoints are both
+//!   non-core** adds a small cost `NOISE_PENALTY`, discouraging clusters
+//!   glued together purely by sparse noise points.
+//!
+//! With this cost, merging two density-connected fragments of one DBSCAN
+//! cluster strictly improves the score, splitting a dense cluster worsens
+//! it, and merging clusters with no shared edges changes nothing (and is
+//! therefore rejected by the strict-improvement rule).
+
+use crate::traits::{ObjectiveFunction, ObjectiveKind};
+use dc_similarity::SimilarityGraph;
+use dc_types::{Clustering, ObjectId};
+
+/// Cost added per intra-cluster edge between two non-core points.
+const NOISE_PENALTY: f64 = 0.25;
+
+/// Density-consistency cost (lower is better).
+#[derive(Debug, Clone, Copy)]
+pub struct DensityObjective {
+    /// Minimum number of neighbours (at or above the graph's edge threshold)
+    /// for a point to count as a core point; mirrors DBSCAN's `minPts` minus
+    /// one (the point itself is not stored as its own neighbour).
+    pub min_pts: usize,
+}
+
+impl DensityObjective {
+    /// Create a density objective with the given core-point threshold.
+    pub fn new(min_pts: usize) -> Self {
+        assert!(min_pts >= 1, "min_pts must be at least 1");
+        DensityObjective { min_pts }
+    }
+
+    /// Whether `oid` is a core point in the graph under this configuration.
+    pub fn is_core(&self, graph: &SimilarityGraph, oid: ObjectId) -> bool {
+        graph.degree(oid) >= self.min_pts
+    }
+}
+
+impl Default for DensityObjective {
+    fn default() -> Self {
+        DensityObjective { min_pts: 2 }
+    }
+}
+
+impl ObjectiveFunction for DensityObjective {
+    fn name(&self) -> &'static str {
+        "density-consistency"
+    }
+
+    fn kind(&self) -> ObjectiveKind {
+        ObjectiveKind::Density
+    }
+
+    fn evaluate(&self, graph: &SimilarityGraph, clustering: &Clustering) -> f64 {
+        let mut cost = 0.0;
+        for o in clustering.object_ids() {
+            let Some(co) = clustering.cluster_of(o) else {
+                continue;
+            };
+            let o_core = self.is_core(graph, o);
+            for (n, _sim) in graph.neighbors(o) {
+                let Some(cn) = clustering.cluster_of(n) else {
+                    continue;
+                };
+                if o_core && cn != co {
+                    // A density-reachable neighbour was cut off from its core.
+                    cost += 1.0;
+                }
+                if !o_core && !self.is_core(graph, n) && cn == co && n > o {
+                    // Intra-cluster edge supported only by non-core points.
+                    cost += NOISE_PENALTY;
+                }
+            }
+        }
+        cost
+    }
+    // Deltas use the default clone-and-re-evaluate implementation; density
+    // clusterings in the evaluation are small enough (per affected
+    // neighbourhood) that this is not a bottleneck, and it keeps the
+    // verification semantics exactly equal to "did the full score improve".
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::improves;
+    use dc_similarity::fixtures::graph_from_edges;
+    use std::collections::BTreeSet;
+
+    fn oid(raw: u64) -> ObjectId {
+        ObjectId::new(raw)
+    }
+
+    /// A dense 4-clique (1..4) plus an isolated pair (5,6).
+    fn clique_plus_pair() -> SimilarityGraph {
+        graph_from_edges(
+            6,
+            &[
+                (1, 2, 0.9),
+                (1, 3, 0.9),
+                (1, 4, 0.9),
+                (2, 3, 0.9),
+                (2, 4, 0.9),
+                (3, 4, 0.9),
+                (5, 6, 0.8),
+            ],
+        )
+    }
+
+    #[test]
+    fn core_point_detection() {
+        let g = clique_plus_pair();
+        let obj = DensityObjective::new(2);
+        assert!(obj.is_core(&g, oid(1)));
+        assert!(!obj.is_core(&g, oid(5)));
+    }
+
+    #[test]
+    fn keeping_dense_clusters_together_is_free() {
+        let g = clique_plus_pair();
+        let obj = DensityObjective::new(2);
+        let good =
+            Clustering::from_groups([vec![oid(1), oid(2), oid(3), oid(4)], vec![oid(5), oid(6)]])
+                .unwrap();
+        // The pair {5,6} is non-core ↔ non-core, so it incurs only the small
+        // noise penalty; the clique costs nothing.
+        let score = obj.evaluate(&g, &good);
+        assert!(score <= 0.25 + 1e-12);
+    }
+
+    #[test]
+    fn splitting_a_dense_cluster_is_penalized() {
+        let g = clique_plus_pair();
+        let obj = DensityObjective::new(2);
+        let split = Clustering::from_groups([
+            vec![oid(1), oid(2)],
+            vec![oid(3), oid(4)],
+            vec![oid(5), oid(6)],
+        ])
+        .unwrap();
+        let good =
+            Clustering::from_groups([vec![oid(1), oid(2), oid(3), oid(4)], vec![oid(5), oid(6)]])
+                .unwrap();
+        assert!(obj.evaluate(&g, &split) > obj.evaluate(&g, &good));
+    }
+
+    #[test]
+    fn merging_density_connected_fragments_improves() {
+        let g = clique_plus_pair();
+        let obj = DensityObjective::new(2);
+        let fragmented = Clustering::from_groups([
+            vec![oid(1), oid(2)],
+            vec![oid(3), oid(4)],
+            vec![oid(5), oid(6)],
+        ])
+        .unwrap();
+        let a = fragmented.cluster_of(oid(1)).unwrap();
+        let b = fragmented.cluster_of(oid(3)).unwrap();
+        let delta = obj.merge_delta(&g, &fragmented, a, b);
+        assert!(improves(delta));
+    }
+
+    #[test]
+    fn merging_unrelated_clusters_is_not_an_improvement() {
+        let g = clique_plus_pair();
+        let obj = DensityObjective::new(2);
+        let good =
+            Clustering::from_groups([vec![oid(1), oid(2), oid(3), oid(4)], vec![oid(5), oid(6)]])
+                .unwrap();
+        let a = good.cluster_of(oid(1)).unwrap();
+        let b = good.cluster_of(oid(5)).unwrap();
+        let delta = obj.merge_delta(&g, &good, a, b);
+        assert!(!improves(delta), "no shared edges ⇒ no improvement, delta = {delta}");
+    }
+
+    #[test]
+    fn splitting_out_a_noise_point_can_improve() {
+        // Attach a noise point 7 to the clique by a single edge and put it in
+        // the clique's cluster: the core points 1..4 each see no defect, but
+        // point 7's membership costs nothing under this objective, so the
+        // split must not *worsen* the score.
+        let g = graph_from_edges(
+            7,
+            &[
+                (1, 2, 0.9),
+                (1, 3, 0.9),
+                (1, 4, 0.9),
+                (2, 3, 0.9),
+                (2, 4, 0.9),
+                (3, 4, 0.9),
+                (4, 7, 0.3),
+            ],
+        );
+        let obj = DensityObjective::new(2);
+        let lumped = Clustering::from_groups([vec![oid(1), oid(2), oid(3), oid(4), oid(7)]])
+            .unwrap();
+        let cid = lumped.cluster_ids()[0];
+        let part: BTreeSet<ObjectId> = [oid(7)].into_iter().collect();
+        let delta = obj.split_delta(&g, &lumped, cid, &part);
+        // Splitting the noise point separates it from core point 4 ⇒ cost 1,
+        // so this particular split is *not* an improvement — the verification
+        // step would veto it, which mirrors DBSCAN keeping border points.
+        assert!(delta >= 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_min_pts_is_rejected() {
+        DensityObjective::new(0);
+    }
+
+    #[test]
+    fn kind_and_name() {
+        let obj = DensityObjective::default();
+        assert_eq!(obj.kind(), ObjectiveKind::Density);
+        assert_eq!(obj.name(), "density-consistency");
+        assert_eq!(obj.min_pts, 2);
+    }
+}

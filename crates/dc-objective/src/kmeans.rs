@@ -1,0 +1,347 @@
+//! The k-means (within-cluster sum of squares) objective.
+//!
+//! The paper evaluates DynamicC on k-means clustering by pairing the k-means
+//! objective with the general hill-climbing batch algorithm (§7.1): the
+//! objective itself is just the within-cluster sum of squared Euclidean
+//! distances to the cluster centroid.  The number of clusters `k` is a
+//! property of the *search*, not of the objective — the search procedures in
+//! `dc-batch` keep `k` fixed, while DynamicC's verification only needs the
+//! score of a proposed change.
+//!
+//! Deltas use the standard Ward-style identities:
+//!
+//! * merging clusters `A` and `B` adds
+//!   `|A|·|B| / (|A| + |B|) · ‖μ_A − μ_B‖²` to the cost;
+//! * splitting `P` out of `C` (rest `R`) removes
+//!   `|P|·|R| / (|P| + |R|) · ‖μ_P − μ_R‖²`.
+
+use crate::traits::{ObjectiveFunction, ObjectiveKind};
+use dc_similarity::SimilarityGraph;
+use dc_types::{ClusterId, Clustering, ObjectId};
+use std::collections::BTreeSet;
+
+/// Within-cluster sum of squared distances to the centroid.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct KMeansObjective;
+
+impl KMeansObjective {
+    /// The centroid of a set of objects' feature vectors (objects without a
+    /// vector contribute a zero vector of the common dimensionality).
+    pub fn centroid<'a, I>(graph: &SimilarityGraph, members: I) -> Vec<f64>
+    where
+        I: IntoIterator<Item = &'a ObjectId>,
+    {
+        let mut sum: Vec<f64> = Vec::new();
+        let mut count = 0usize;
+        for &o in members {
+            let v = graph.record(o).map(|r| r.vector()).unwrap_or(&[]);
+            if v.len() > sum.len() {
+                sum.resize(v.len(), 0.0);
+            }
+            for (i, &x) in v.iter().enumerate() {
+                sum[i] += x;
+            }
+            count += 1;
+        }
+        if count > 0 {
+            for x in &mut sum {
+                *x /= count as f64;
+            }
+        }
+        sum
+    }
+
+    /// Sum of squared distances of the members to their centroid.
+    pub fn sse_of_members<'a, I>(graph: &SimilarityGraph, members: I) -> f64
+    where
+        I: IntoIterator<Item = &'a ObjectId> + Clone,
+    {
+        let centroid = Self::centroid(graph, members.clone());
+        let mut sse = 0.0;
+        for &o in members {
+            let v = graph.record(o).map(|r| r.vector()).unwrap_or(&[]);
+            let dims = centroid.len().max(v.len());
+            for i in 0..dims {
+                let x = v.get(i).copied().unwrap_or(0.0);
+                let c = centroid.get(i).copied().unwrap_or(0.0);
+                sse += (x - c) * (x - c);
+            }
+        }
+        sse
+    }
+
+    fn sse_of_cluster(graph: &SimilarityGraph, clustering: &Clustering, cid: ClusterId) -> f64 {
+        match clustering.cluster(cid) {
+            Some(cluster) => {
+                let members: Vec<ObjectId> = cluster.iter().collect();
+                Self::sse_of_members(graph, members.iter())
+            }
+            None => 0.0,
+        }
+    }
+
+    fn squared_distance(a: &[f64], b: &[f64]) -> f64 {
+        let dims = a.len().max(b.len());
+        let mut d = 0.0;
+        for i in 0..dims {
+            let x = a.get(i).copied().unwrap_or(0.0);
+            let y = b.get(i).copied().unwrap_or(0.0);
+            d += (x - y) * (x - y);
+        }
+        d
+    }
+}
+
+impl ObjectiveFunction for KMeansObjective {
+    fn name(&self) -> &'static str {
+        "k-means-sse"
+    }
+
+    fn kind(&self) -> ObjectiveKind {
+        ObjectiveKind::KMeans
+    }
+
+    fn evaluate(&self, graph: &SimilarityGraph, clustering: &Clustering) -> f64 {
+        clustering
+            .cluster_ids()
+            .into_iter()
+            .map(|cid| Self::sse_of_cluster(graph, clustering, cid))
+            .sum()
+    }
+
+    fn merge_delta(
+        &self,
+        graph: &SimilarityGraph,
+        clustering: &Clustering,
+        a: ClusterId,
+        b: ClusterId,
+    ) -> f64 {
+        if a == b {
+            return 0.0;
+        }
+        let (Some(ca), Some(cb)) = (clustering.cluster(a), clustering.cluster(b)) else {
+            return 0.0;
+        };
+        let ma: Vec<ObjectId> = ca.iter().collect();
+        let mb: Vec<ObjectId> = cb.iter().collect();
+        let mu_a = Self::centroid(graph, ma.iter());
+        let mu_b = Self::centroid(graph, mb.iter());
+        let na = ma.len() as f64;
+        let nb = mb.len() as f64;
+        na * nb / (na + nb) * Self::squared_distance(&mu_a, &mu_b)
+    }
+
+    fn split_delta(
+        &self,
+        graph: &SimilarityGraph,
+        clustering: &Clustering,
+        cid: ClusterId,
+        part: &BTreeSet<ObjectId>,
+    ) -> f64 {
+        let Some(cluster) = clustering.cluster(cid) else {
+            return 0.0;
+        };
+        if part.is_empty() || part.len() >= cluster.len() {
+            return 0.0;
+        }
+        let rest: Vec<ObjectId> = cluster.iter().filter(|o| !part.contains(o)).collect();
+        let part_vec: Vec<ObjectId> = part.iter().copied().collect();
+        let mu_p = Self::centroid(graph, part_vec.iter());
+        let mu_r = Self::centroid(graph, rest.iter());
+        let np = part_vec.len() as f64;
+        let nr = rest.len() as f64;
+        -(np * nr / (np + nr)) * Self::squared_distance(&mu_p, &mu_r)
+    }
+
+    fn move_delta(
+        &self,
+        graph: &SimilarityGraph,
+        clustering: &Clustering,
+        oid: ObjectId,
+        target: ClusterId,
+    ) -> f64 {
+        let Some(source) = clustering.cluster_of(oid) else {
+            return 0.0;
+        };
+        if source == target || !clustering.contains_cluster(target) {
+            return 0.0;
+        }
+        // Recompute only the two affected clusters.
+        let before = Self::sse_of_cluster(graph, clustering, source)
+            + Self::sse_of_cluster(graph, clustering, target);
+        let source_members: Vec<ObjectId> = clustering
+            .cluster(source)
+            .expect("source exists")
+            .iter()
+            .filter(|&o| o != oid)
+            .collect();
+        let mut target_members: Vec<ObjectId> =
+            clustering.cluster(target).expect("target exists").iter().collect();
+        target_members.push(oid);
+        let after = Self::sse_of_members(graph, source_members.iter())
+            + Self::sse_of_members(graph, target_members.iter());
+        after - before
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dc_similarity::graph::GraphConfig;
+    use dc_types::{Dataset, RecordBuilder};
+
+    fn oid(raw: u64) -> ObjectId {
+        ObjectId::new(raw)
+    }
+
+    /// Graph over 6 points: two tight groups around (0,0) and (10,10).
+    fn two_blob_graph() -> SimilarityGraph {
+        let mut ds = Dataset::new();
+        let points = [
+            (1u64, vec![0.0, 0.0]),
+            (2, vec![1.0, 0.0]),
+            (3, vec![0.0, 1.0]),
+            (4, vec![10.0, 10.0]),
+            (5, vec![11.0, 10.0]),
+            (6, vec![10.0, 11.0]),
+        ];
+        for (id, v) in points {
+            ds.insert_with_id(oid(id), RecordBuilder::new().vector(v).build())
+                .unwrap();
+        }
+        SimilarityGraph::build(GraphConfig::numeric_euclidean(2.0, 4.0, 2, 0.05), &ds)
+    }
+
+    fn good_clustering() -> Clustering {
+        Clustering::from_groups([vec![oid(1), oid(2), oid(3)], vec![oid(4), oid(5), oid(6)]])
+            .unwrap()
+    }
+
+    fn bad_clustering() -> Clustering {
+        Clustering::from_groups([vec![oid(1), oid(4), oid(3)], vec![oid(2), oid(5), oid(6)]])
+            .unwrap()
+    }
+
+    #[test]
+    fn centroid_and_sse() {
+        let g = two_blob_graph();
+        let members = [oid(1), oid(2), oid(3)];
+        let c = KMeansObjective::centroid(&g, members.iter());
+        assert!((c[0] - 1.0 / 3.0).abs() < 1e-9);
+        assert!((c[1] - 1.0 / 3.0).abs() < 1e-9);
+        let sse = KMeansObjective::sse_of_members(&g, members.iter());
+        assert!(sse > 0.0 && sse < 2.0);
+        // Single point has zero SSE.
+        assert_eq!(KMeansObjective::sse_of_members(&g, [oid(1)].iter()), 0.0);
+    }
+
+    #[test]
+    fn correct_grouping_scores_lower_than_shuffled_grouping() {
+        let g = two_blob_graph();
+        let obj = KMeansObjective;
+        assert!(obj.evaluate(&g, &good_clustering()) < obj.evaluate(&g, &bad_clustering()));
+    }
+
+    #[test]
+    fn merge_delta_matches_full_recomputation() {
+        let g = two_blob_graph();
+        let obj = KMeansObjective;
+        let clustering = Clustering::from_groups([
+            vec![oid(1), oid(2)],
+            vec![oid(3)],
+            vec![oid(4), oid(5), oid(6)],
+        ])
+        .unwrap();
+        let before = obj.evaluate(&g, &clustering);
+        for a in clustering.cluster_ids() {
+            for b in clustering.cluster_ids() {
+                if a >= b {
+                    continue;
+                }
+                let delta = obj.merge_delta(&g, &clustering, a, b);
+                let mut after = clustering.clone();
+                after.merge(a, b).unwrap();
+                let full = obj.evaluate(&g, &after) - before;
+                assert!((delta - full).abs() < 1e-9, "merge delta mismatch");
+                // Merging never reduces the k-means cost.
+                assert!(delta >= -1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn split_delta_matches_full_recomputation_and_is_nonpositive() {
+        let g = two_blob_graph();
+        let obj = KMeansObjective;
+        let clustering = bad_clustering();
+        let before = obj.evaluate(&g, &clustering);
+        for (cid, cluster) in clustering.iter() {
+            for o in cluster.iter() {
+                if cluster.len() < 2 {
+                    continue;
+                }
+                let part: BTreeSet<ObjectId> = [o].into_iter().collect();
+                let delta = obj.split_delta(&g, &clustering, cid, &part);
+                let mut after = clustering.clone();
+                after.split(cid, &part).unwrap();
+                let full = obj.evaluate(&g, &after) - before;
+                assert!((delta - full).abs() < 1e-9, "split delta mismatch");
+                assert!(delta <= 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn move_delta_matches_full_recomputation() {
+        let g = two_blob_graph();
+        let obj = KMeansObjective;
+        let clustering = bad_clustering();
+        let before = obj.evaluate(&g, &clustering);
+        for o in clustering.object_ids() {
+            for target in clustering.cluster_ids() {
+                if clustering.cluster_of(o) == Some(target) {
+                    continue;
+                }
+                let delta = obj.move_delta(&g, &clustering, o, target);
+                let mut after = clustering.clone();
+                after.move_object(o, target).unwrap();
+                let full = obj.evaluate(&g, &after) - before;
+                assert!((delta - full).abs() < 1e-9, "move delta mismatch");
+            }
+        }
+    }
+
+    #[test]
+    fn moving_misplaced_point_to_its_blob_improves_cost() {
+        let g = two_blob_graph();
+        let obj = KMeansObjective;
+        let clustering = bad_clustering();
+        // Object 4 (at (10,10)) sits with the origin blob; moving it to the
+        // far blob's cluster must be a large improvement.
+        let target = clustering.cluster_of(oid(5)).unwrap();
+        let delta = obj.move_delta(&g, &clustering, oid(4), target);
+        assert!(delta < -10.0);
+    }
+
+    #[test]
+    fn degenerate_arguments_return_zero() {
+        let g = two_blob_graph();
+        let obj = KMeansObjective;
+        let clustering = good_clustering();
+        let cid = clustering.cluster_ids()[0];
+        assert_eq!(obj.merge_delta(&g, &clustering, cid, cid), 0.0);
+        assert_eq!(obj.split_delta(&g, &clustering, cid, &BTreeSet::new()), 0.0);
+        assert_eq!(
+            obj.move_delta(&g, &clustering, oid(1), clustering.cluster_of(oid(1)).unwrap()),
+            0.0
+        );
+        assert_eq!(obj.kind(), ObjectiveKind::KMeans);
+        assert_eq!(obj.name(), "k-means-sse");
+    }
+
+    #[test]
+    fn empty_clustering_scores_zero() {
+        let g = two_blob_graph();
+        assert_eq!(KMeansObjective.evaluate(&g, &Clustering::new()), 0.0);
+    }
+}

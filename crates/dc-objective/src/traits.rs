@@ -1,0 +1,142 @@
+//! The [`ObjectiveFunction`] trait and shared helpers.
+
+use dc_similarity::SimilarityGraph;
+use dc_types::{ClusterId, Clustering, ObjectId};
+use std::collections::BTreeSet;
+
+/// Deltas smaller than this (in absolute value) are treated as "no change";
+/// an operation must reduce the objective by more than this epsilon to count
+/// as an improvement.  This keeps the batch algorithms and the verification
+/// step from oscillating on floating-point noise.
+pub const IMPROVEMENT_EPSILON: f64 = 1e-9;
+
+/// Whether a delta (`score(after) − score(before)`) is an improvement.
+#[inline]
+pub fn improves(delta: f64) -> bool {
+    delta < -IMPROVEMENT_EPSILON
+}
+
+/// Which clustering family an objective belongs to.  Used by the experiment
+/// harness to label output and choose dataset defaults; it has no effect on
+/// the algorithms themselves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ObjectiveKind {
+    /// Correlation clustering (Eq. 1).
+    Correlation,
+    /// k-means / within-cluster sum of squares.
+    KMeans,
+    /// Davies–Bouldin index.
+    DbIndex,
+    /// Density-consistency cost (DBSCAN verification).
+    Density,
+}
+
+impl std::fmt::Display for ObjectiveKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ObjectiveKind::Correlation => write!(f, "correlation"),
+            ObjectiveKind::KMeans => write!(f, "k-means"),
+            ObjectiveKind::DbIndex => write!(f, "db-index"),
+            ObjectiveKind::Density => write!(f, "density"),
+        }
+    }
+}
+
+/// A clustering cost function: lower is better.
+///
+/// The default implementations of the delta methods simulate the change on a
+/// clone of the clustering and evaluate the objective twice.  That is always
+/// correct, and concrete objectives override the deltas with closed-form or
+/// locally-recomputed versions where possible (the property tests in each
+/// module check the override against the simulated default).
+pub trait ObjectiveFunction: Send + Sync {
+    /// Human-readable name, used in reports.
+    fn name(&self) -> &'static str;
+
+    /// Which family the objective belongs to.
+    fn kind(&self) -> ObjectiveKind;
+
+    /// Full cost of a clustering (lower is better).
+    fn evaluate(&self, graph: &SimilarityGraph, clustering: &Clustering) -> f64;
+
+    /// `score(after) − score(before)` for merging clusters `a` and `b`.
+    fn merge_delta(
+        &self,
+        graph: &SimilarityGraph,
+        clustering: &Clustering,
+        a: ClusterId,
+        b: ClusterId,
+    ) -> f64 {
+        if a == b || !clustering.contains_cluster(a) || !clustering.contains_cluster(b) {
+            return 0.0;
+        }
+        let before = self.evaluate(graph, clustering);
+        let mut after = clustering.clone();
+        after.merge(a, b).expect("both clusters exist and differ");
+        self.evaluate(graph, &after) - before
+    }
+
+    /// `score(after) − score(before)` for splitting `part` out of cluster
+    /// `cid` (the remaining members stay together).
+    fn split_delta(
+        &self,
+        graph: &SimilarityGraph,
+        clustering: &Clustering,
+        cid: ClusterId,
+        part: &BTreeSet<ObjectId>,
+    ) -> f64 {
+        let Some(cluster) = clustering.cluster(cid) else {
+            return 0.0;
+        };
+        if part.is_empty() || part.len() >= cluster.len() {
+            return 0.0;
+        }
+        let before = self.evaluate(graph, clustering);
+        let mut after = clustering.clone();
+        after.split(cid, part).expect("valid split arguments");
+        self.evaluate(graph, &after) - before
+    }
+
+    /// `score(after) − score(before)` for moving one object into an existing
+    /// target cluster.
+    fn move_delta(
+        &self,
+        graph: &SimilarityGraph,
+        clustering: &Clustering,
+        oid: ObjectId,
+        target: ClusterId,
+    ) -> f64 {
+        let Some(source) = clustering.cluster_of(oid) else {
+            return 0.0;
+        };
+        if source == target || !clustering.contains_cluster(target) {
+            return 0.0;
+        }
+        let before = self.evaluate(graph, clustering);
+        let mut after = clustering.clone();
+        after.move_object(oid, target).expect("object and target exist");
+        self.evaluate(graph, &after) - before
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn improvement_threshold() {
+        assert!(improves(-1.0));
+        assert!(improves(-1e-6));
+        assert!(!improves(0.0));
+        assert!(!improves(-1e-12));
+        assert!(!improves(0.5));
+    }
+
+    #[test]
+    fn objective_kind_display() {
+        assert_eq!(ObjectiveKind::Correlation.to_string(), "correlation");
+        assert_eq!(ObjectiveKind::KMeans.to_string(), "k-means");
+        assert_eq!(ObjectiveKind::DbIndex.to_string(), "db-index");
+        assert_eq!(ObjectiveKind::Density.to_string(), "density");
+    }
+}

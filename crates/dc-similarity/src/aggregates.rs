@@ -1,0 +1,426 @@
+//! Cluster-level similarity aggregates.
+//!
+//! The paper's features (§5.1) and objective functions (§3.2) are all built
+//! from a small number of cluster-level aggregates of the similarity graph:
+//!
+//! * **intra-cluster similarity** — the sum (or average) of the similarities
+//!   between members of one cluster;
+//! * **inter-cluster similarity** — the sum (or average) of the similarities
+//!   between members of two different clusters;
+//! * **maximal inter-cluster similarity** — the largest *average*
+//!   inter-similarity between a cluster and any other cluster, together with
+//!   the identity of that most-similar neighbour;
+//! * **object weight** — the average similarity between one object and the
+//!   rest of its cluster, which drives the split heuristic of §6.3.
+//!
+//! [`ClusterAggregates`] computes all of these against a
+//! [`Clustering`](dc_types::Clustering) without materializing anything per
+//! pair of clusters: it walks only the stored (thresholded) edges, so the
+//! cost is proportional to the number of edges incident to the clusters
+//! involved.
+
+use crate::graph::SimilarityGraph;
+use dc_types::{Cluster, ClusterId, Clustering, ObjectId};
+use std::collections::BTreeMap;
+
+/// A view that answers cluster-level similarity queries for one
+/// `(similarity graph, clustering)` pair.
+pub struct ClusterAggregates<'a> {
+    graph: &'a SimilarityGraph,
+    clustering: &'a Clustering,
+}
+
+impl<'a> ClusterAggregates<'a> {
+    /// Create an aggregate view.
+    pub fn new(graph: &'a SimilarityGraph, clustering: &'a Clustering) -> Self {
+        ClusterAggregates { graph, clustering }
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &SimilarityGraph {
+        self.graph
+    }
+
+    /// The underlying clustering.
+    pub fn clustering(&self) -> &Clustering {
+        self.clustering
+    }
+
+    // ------------------------------------------------------------------
+    // Intra-cluster quantities
+    // ------------------------------------------------------------------
+
+    /// Sum of pairwise similarities between members of the cluster
+    /// (`S_intra(C)` of §3.2, in its *sum* form).
+    pub fn intra_sum(&self, cid: ClusterId) -> f64 {
+        let Some(cluster) = self.clustering.cluster(cid) else {
+            return 0.0;
+        };
+        Self::intra_sum_of_members(self.graph, cluster)
+    }
+
+    /// Sum of pairwise similarities inside an explicit member set (used for
+    /// hypothetical clusters that are not part of the clustering yet).
+    pub fn intra_sum_of_members(graph: &SimilarityGraph, cluster: &Cluster) -> f64 {
+        let mut sum = 0.0;
+        for a in cluster.iter() {
+            for (b, sim) in graph.neighbors(a) {
+                // Count each unordered pair once.
+                if b > a && cluster.contains(b) {
+                    sum += sim;
+                }
+            }
+        }
+        sum
+    }
+
+    /// Average pairwise similarity inside the cluster.  Singleton clusters
+    /// are defined to have cohesion 1 (they cannot be any more cohesive),
+    /// which keeps the feature `f1 ∈ [0, 1]` of §5.2 well defined for the
+    /// fresh singleton clusters created by initial processing (§6.1).
+    pub fn intra_avg(&self, cid: ClusterId) -> f64 {
+        let Some(cluster) = self.clustering.cluster(cid) else {
+            return 0.0;
+        };
+        Self::intra_avg_of_members(self.graph, cluster)
+    }
+
+    /// Average pairwise similarity inside an explicit member set.
+    pub fn intra_avg_of_members(graph: &SimilarityGraph, cluster: &Cluster) -> f64 {
+        let n = cluster.len();
+        if n <= 1 {
+            return 1.0;
+        }
+        let pairs = (n * (n - 1) / 2) as f64;
+        Self::intra_sum_of_members(graph, cluster) / pairs
+    }
+
+    // ------------------------------------------------------------------
+    // Inter-cluster quantities
+    // ------------------------------------------------------------------
+
+    /// Sum of similarities across two distinct clusters (`S_inter(C, C')`).
+    pub fn inter_sum(&self, a: ClusterId, b: ClusterId) -> f64 {
+        if a == b {
+            return 0.0;
+        }
+        let (Some(ca), Some(cb)) = (self.clustering.cluster(a), self.clustering.cluster(b)) else {
+            return 0.0;
+        };
+        // Walk the smaller cluster's edges.
+        let (small, large) = if ca.len() <= cb.len() { (ca, cb) } else { (cb, ca) };
+        let mut sum = 0.0;
+        for o in small.iter() {
+            for (n, sim) in self.graph.neighbors(o) {
+                if large.contains(n) {
+                    sum += sim;
+                }
+            }
+        }
+        sum
+    }
+
+    /// Average similarity across two distinct clusters (sum divided by the
+    /// number of cross pairs `|C|·|C'|`).
+    pub fn inter_avg(&self, a: ClusterId, b: ClusterId) -> f64 {
+        if a == b {
+            return 0.0;
+        }
+        let (Some(ca), Some(cb)) = (self.clustering.cluster(a), self.clustering.cluster(b)) else {
+            return 0.0;
+        };
+        let pairs = (ca.len() * cb.len()) as f64;
+        if pairs == 0.0 {
+            0.0
+        } else {
+            self.inter_sum(a, b) / pairs
+        }
+    }
+
+    /// Per-neighbour-cluster sums of cross-edge similarity for cluster `cid`:
+    /// `neighbour cluster id → Σ sim` over stored edges leaving the cluster.
+    pub fn neighbour_cluster_sums(&self, cid: ClusterId) -> BTreeMap<ClusterId, f64> {
+        let mut sums: BTreeMap<ClusterId, f64> = BTreeMap::new();
+        let Some(cluster) = self.clustering.cluster(cid) else {
+            return sums;
+        };
+        for o in cluster.iter() {
+            for (n, sim) in self.graph.neighbors(o) {
+                if let Some(other) = self.clustering.cluster_of(n) {
+                    if other != cid {
+                        *sums.entry(other).or_insert(0.0) += sim;
+                    }
+                }
+            }
+        }
+        sums
+    }
+
+    /// Clusters that share at least one stored edge with `cid`.
+    pub fn neighbour_clusters(&self, cid: ClusterId) -> Vec<ClusterId> {
+        self.neighbour_cluster_sums(cid).into_keys().collect()
+    }
+
+    /// The maximal *average* inter-similarity between `cid` and any other
+    /// cluster, together with the neighbour attaining it (`f2` and the source
+    /// of `f4` of §5.2).  Returns `None` when the cluster has no cross edges.
+    pub fn max_inter_avg(&self, cid: ClusterId) -> Option<(ClusterId, f64)> {
+        let size = self.clustering.cluster_size(cid);
+        if size == 0 {
+            return None;
+        }
+        let mut best: Option<(ClusterId, f64)> = None;
+        for (other, sum) in self.neighbour_cluster_sums(cid) {
+            let other_size = self.clustering.cluster_size(other);
+            if other_size == 0 {
+                continue;
+            }
+            let avg = sum / (size * other_size) as f64;
+            match best {
+                Some((_, b)) if b >= avg => {}
+                _ => best = Some((other, avg)),
+            }
+        }
+        best
+    }
+
+    // ------------------------------------------------------------------
+    // Per-object quantities
+    // ------------------------------------------------------------------
+
+    /// Average similarity between object `oid` and the *other* members of
+    /// cluster `cid`.  Returns 1 when the cluster is a singleton (the object
+    /// is trivially cohesive with itself).
+    pub fn object_cohesion(&self, oid: ObjectId, cid: ClusterId) -> f64 {
+        let Some(cluster) = self.clustering.cluster(cid) else {
+            return 0.0;
+        };
+        let others = cluster.len().saturating_sub(1);
+        if others == 0 {
+            return 1.0;
+        }
+        let mut sum = 0.0;
+        for (n, sim) in self.graph.neighbors(oid) {
+            if n != oid && cluster.contains(n) {
+                sum += sim;
+            }
+        }
+        sum / others as f64
+    }
+
+    /// The split-heuristic weight of §6.3: how *different* the object is from
+    /// the rest of its cluster, `1 − object_cohesion`.  Larger weight ⇒ split
+    /// out first.
+    pub fn split_weight(&self, oid: ObjectId, cid: ClusterId) -> f64 {
+        1.0 - self.object_cohesion(oid, cid)
+    }
+
+    /// Members of cluster `cid` ranked by decreasing split weight (most
+    /// different first), as required by step 1 of the split heuristic.
+    pub fn members_by_split_weight(&self, cid: ClusterId) -> Vec<(ObjectId, f64)> {
+        let Some(cluster) = self.clustering.cluster(cid) else {
+            return Vec::new();
+        };
+        let mut weighted: Vec<(ObjectId, f64)> = cluster
+            .iter()
+            .map(|o| (o, self.split_weight(o, cid)))
+            .collect();
+        weighted.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        weighted
+    }
+
+    /// Average similarity between one object and every member of a *different*
+    /// cluster (used when deciding which cluster a new object should join).
+    pub fn object_to_cluster_avg(&self, oid: ObjectId, cid: ClusterId) -> f64 {
+        let Some(cluster) = self.clustering.cluster(cid) else {
+            return 0.0;
+        };
+        if cluster.is_empty() {
+            return 0.0;
+        }
+        let mut sum = 0.0;
+        for (n, sim) in self.graph.neighbors(oid) {
+            if cluster.contains(n) && n != oid {
+                sum += sim;
+            }
+        }
+        let denom = if cluster.contains(oid) {
+            cluster.len().saturating_sub(1)
+        } else {
+            cluster.len()
+        };
+        if denom == 0 {
+            0.0
+        } else {
+            sum / denom as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphConfig;
+    use crate::measures::SimilarityMeasure;
+    use dc_types::{Dataset, Record, RecordBuilder};
+
+    fn oid(raw: u64) -> ObjectId {
+        ObjectId::new(raw)
+    }
+
+    /// Measure that declares two records similar iff they share their "group"
+    /// field, with a similarity encoded in the "sim" field (test fixture that
+    /// gives exact control over the graph weights).
+    #[derive(Debug, Clone, Copy)]
+    struct FixtureMeasure;
+
+    impl SimilarityMeasure for FixtureMeasure {
+        fn similarity(&self, a: &Record, b: &Record) -> f64 {
+            let ga = a.field("group").and_then(|f| f.as_text()).unwrap_or("");
+            let gb = b.field("group").and_then(|f| f.as_text()).unwrap_or("");
+            if ga == gb && !ga.is_empty() {
+                let sa = a.field("sim").and_then(|f| f.as_number()).unwrap_or(1.0);
+                let sb = b.field("sim").and_then(|f| f.as_number()).unwrap_or(1.0);
+                sa.min(sb)
+            } else {
+                0.0
+            }
+        }
+        fn name(&self) -> &'static str {
+            "fixture"
+        }
+    }
+
+    fn rec(group: &str, sim: f64) -> Record {
+        RecordBuilder::new().text("group", group).number("sim", sim).build()
+    }
+
+    /// Builds the Figure 1 "old clustering" scenario:
+    /// r1, r2, r3 pairwise similar (0.9); r4, r5 similar (1.0 between them);
+    /// clusters C1 = {r1, r2, r3}, C2 = {r4, r5}.
+    fn figure1_setup() -> (SimilarityGraph, Clustering) {
+        let mut ds = Dataset::new();
+        ds.insert_with_id(oid(1), rec("a", 0.9)).unwrap();
+        ds.insert_with_id(oid(2), rec("a", 0.9)).unwrap();
+        ds.insert_with_id(oid(3), rec("a", 0.9)).unwrap();
+        ds.insert_with_id(oid(4), rec("b", 0.8)).unwrap();
+        ds.insert_with_id(oid(5), rec("b", 0.8)).unwrap();
+        let graph = SimilarityGraph::build(
+            GraphConfig::exhaustive(Box::new(FixtureMeasure), 0.1),
+            &ds,
+        );
+        let clustering = Clustering::from_groups([
+            vec![oid(1), oid(2), oid(3)],
+            vec![oid(4), oid(5)],
+        ])
+        .unwrap();
+        (graph, clustering)
+    }
+
+    #[test]
+    fn intra_sum_and_avg() {
+        let (graph, clustering) = figure1_setup();
+        let agg = ClusterAggregates::new(&graph, &clustering);
+        let c1 = clustering.cluster_of(oid(1)).unwrap();
+        let c2 = clustering.cluster_of(oid(4)).unwrap();
+        // C1 has 3 pairs each of similarity 0.9.
+        assert!((agg.intra_sum(c1) - 2.7).abs() < 1e-9);
+        assert!((agg.intra_avg(c1) - 0.9).abs() < 1e-9);
+        // C2 has a single pair of similarity 0.8.
+        assert!((agg.intra_sum(c2) - 0.8).abs() < 1e-9);
+        assert!((agg.intra_avg(c2) - 0.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn singleton_cohesion_is_one() {
+        let (graph, _) = figure1_setup();
+        let clustering = Clustering::singletons([oid(1), oid(2)]);
+        let agg = ClusterAggregates::new(&graph, &clustering);
+        let c = clustering.cluster_of(oid(1)).unwrap();
+        assert_eq!(agg.intra_avg(c), 1.0);
+        assert_eq!(agg.object_cohesion(oid(1), c), 1.0);
+    }
+
+    #[test]
+    fn inter_sum_and_avg_between_disjoint_groups() {
+        let (graph, clustering) = figure1_setup();
+        let agg = ClusterAggregates::new(&graph, &clustering);
+        let c1 = clustering.cluster_of(oid(1)).unwrap();
+        let c2 = clustering.cluster_of(oid(4)).unwrap();
+        // The fixture gives no cross-group similarity.
+        assert_eq!(agg.inter_sum(c1, c2), 0.0);
+        assert_eq!(agg.inter_avg(c1, c2), 0.0);
+        assert_eq!(agg.inter_sum(c1, c1), 0.0);
+        assert!(agg.max_inter_avg(c1).is_none());
+    }
+
+    #[test]
+    fn inter_and_max_inter_with_cross_edges() {
+        // Split group "a" across two clusters so there are cross edges.
+        let (graph, _) = figure1_setup();
+        let clustering = Clustering::from_groups([
+            vec![oid(1), oid(2)],
+            vec![oid(3)],
+            vec![oid(4), oid(5)],
+        ])
+        .unwrap();
+        let agg = ClusterAggregates::new(&graph, &clustering);
+        let c12 = clustering.cluster_of(oid(1)).unwrap();
+        let c3 = clustering.cluster_of(oid(3)).unwrap();
+        // Cross edges: (1,3) and (2,3), each 0.9.
+        assert!((agg.inter_sum(c12, c3) - 1.8).abs() < 1e-9);
+        assert!((agg.inter_avg(c12, c3) - 0.9).abs() < 1e-9);
+        let (best, avg) = agg.max_inter_avg(c3).unwrap();
+        assert_eq!(best, c12);
+        assert!((avg - 0.9).abs() < 1e-9);
+        assert_eq!(agg.neighbour_clusters(c3), vec![c12]);
+    }
+
+    #[test]
+    fn object_cohesion_and_split_weight_identify_outlier() {
+        // Cluster {r1, r2, r3, r4}: r1..r3 mutually similar, r4 unrelated.
+        let (graph, _) = figure1_setup();
+        let clustering =
+            Clustering::from_groups([vec![oid(1), oid(2), oid(3), oid(4)], vec![oid(5)]]).unwrap();
+        let agg = ClusterAggregates::new(&graph, &clustering);
+        let big = clustering.cluster_of(oid(1)).unwrap();
+        assert!(agg.object_cohesion(oid(1), big) > agg.object_cohesion(oid(4), big));
+        let ranked = agg.members_by_split_weight(big);
+        assert_eq!(ranked.first().unwrap().0, oid(4), "outlier ranks first");
+        assert!(ranked.first().unwrap().1 > ranked.last().unwrap().1);
+    }
+
+    #[test]
+    fn object_to_cluster_avg_for_external_object() {
+        let (graph, clustering) = figure1_setup();
+        let agg = ClusterAggregates::new(&graph, &clustering);
+        let c1 = clustering.cluster_of(oid(1)).unwrap();
+        let c2 = clustering.cluster_of(oid(4)).unwrap();
+        // r3 belongs to C1, so against C1 it averages over the other 2 members.
+        assert!((agg.object_to_cluster_avg(oid(3), c1) - 0.9).abs() < 1e-9);
+        // Against C2 it has no edges.
+        assert_eq!(agg.object_to_cluster_avg(oid(3), c2), 0.0);
+    }
+
+    #[test]
+    fn missing_clusters_yield_zeroes() {
+        let (graph, clustering) = figure1_setup();
+        let agg = ClusterAggregates::new(&graph, &clustering);
+        let missing = ClusterId::new(9999);
+        assert_eq!(agg.intra_sum(missing), 0.0);
+        assert_eq!(agg.intra_avg(missing), 0.0);
+        assert_eq!(agg.inter_avg(missing, missing), 0.0);
+        assert!(agg.max_inter_avg(missing).is_none());
+        assert!(agg.members_by_split_weight(missing).is_empty());
+    }
+
+    #[test]
+    fn hypothetical_member_sets_reuse_static_helpers() {
+        let (graph, _) = figure1_setup();
+        let hypothetical = Cluster::from_members([oid(1), oid(2), oid(4)]);
+        // Only the (1,2) edge exists inside this hypothetical cluster.
+        assert!((ClusterAggregates::intra_sum_of_members(&graph, &hypothetical) - 0.9).abs() < 1e-9);
+        let avg = ClusterAggregates::intra_avg_of_members(&graph, &hypothetical);
+        assert!((avg - 0.3).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,163 @@
+//! Small, fully controlled similarity graphs for tests, examples, and the
+//! paper's running examples.
+//!
+//! Many components of the workspace — objectives, evolution extraction, the
+//! merge/split algorithms — are most naturally tested against graphs whose
+//! edge weights are chosen *exactly*.  [`graph_from_edges`] builds such a
+//! graph, and [`figure1_graph`] / [`figure2_clustering`] reproduce the
+//! motivating example of the paper (Figures 1 and 2) so that tests can check
+//! against the numbers worked out in Example 4.1 and Example 4.2.
+
+use crate::blocking::ExhaustiveBlocking;
+use crate::graph::{GraphConfig, SimilarityGraph};
+use crate::measures::SimilarityMeasure;
+use dc_types::{Clustering, ObjectId, Record, RecordBuilder};
+use std::collections::BTreeMap;
+
+/// A similarity measure backed by an explicit edge table.
+///
+/// Records built by [`graph_from_edges`] carry their numeric id in an `id`
+/// field; the measure looks the (unordered) pair up in the table and returns
+/// the stored weight, or 0 when the pair is absent.
+#[derive(Debug, Clone, Default)]
+pub struct EdgeTableMeasure {
+    table: BTreeMap<(u64, u64), f64>,
+}
+
+impl EdgeTableMeasure {
+    /// Build a measure from `(a, b, similarity)` triples.
+    pub fn from_edges(edges: &[(u64, u64, f64)]) -> Self {
+        let mut table = BTreeMap::new();
+        for &(a, b, s) in edges {
+            let key = if a <= b { (a, b) } else { (b, a) };
+            table.insert(key, s);
+        }
+        EdgeTableMeasure { table }
+    }
+
+    fn id_of(record: &Record) -> Option<u64> {
+        record
+            .field("id")
+            .and_then(|f| f.as_number())
+            .map(|x| x as u64)
+    }
+}
+
+impl SimilarityMeasure for EdgeTableMeasure {
+    fn similarity(&self, a: &Record, b: &Record) -> f64 {
+        let (Some(ia), Some(ib)) = (Self::id_of(a), Self::id_of(b)) else {
+            return 0.0;
+        };
+        if ia == ib {
+            return 1.0;
+        }
+        let key = if ia <= ib { (ia, ib) } else { (ib, ia) };
+        self.table.get(&key).copied().unwrap_or(0.0)
+    }
+
+    fn name(&self) -> &'static str {
+        "edge-table"
+    }
+}
+
+/// The record used for object `id` in a fixture graph.
+pub fn fixture_record(id: u64) -> Record {
+    RecordBuilder::new().number("id", id as f64).build()
+}
+
+/// Build a similarity graph over objects `1..=n_objects` with exactly the
+/// given weighted edges (and no others).  Edges with weight 0 are dropped.
+pub fn graph_from_edges(n_objects: u64, edges: &[(u64, u64, f64)]) -> SimilarityGraph {
+    let measure = EdgeTableMeasure::from_edges(edges);
+    let config = GraphConfig::new(Box::new(measure), Box::new(ExhaustiveBlocking::new()), 0.0);
+    let mut graph = SimilarityGraph::empty(config);
+    for id in 1..=n_objects {
+        graph.add_object(ObjectId::new(id), fixture_record(id));
+    }
+    graph
+}
+
+/// The edge set of the paper's motivating example (Figures 1 and 2):
+/// `r1–r2–r3` pairwise similar at 0.9, `r4–r5` at 0.8, `r5–r6` at 0.7, and
+/// `r1–r7` at 1.0, giving `F(L1) = 0.9·3 + 0.8 + 0.7 + 1 = 5.2` under the
+/// correlation objective when every object is a singleton (Example 4.1).
+pub fn figure1_edges() -> Vec<(u64, u64, f64)> {
+    vec![
+        (1, 2, 0.9),
+        (1, 3, 0.9),
+        (2, 3, 0.9),
+        (4, 5, 0.8),
+        (5, 6, 0.7),
+        (1, 7, 1.0),
+    ]
+}
+
+/// The similarity graph of the motivating example over the *seven* objects of
+/// Figure 2 (i.e. after `r6` and `r7` have arrived).
+pub fn figure2_graph() -> SimilarityGraph {
+    graph_from_edges(7, &figure1_edges())
+}
+
+/// The similarity graph of the "old clustering" stage of Figure 1: only the
+/// first five objects exist.
+pub fn figure1_graph() -> SimilarityGraph {
+    graph_from_edges(5, &figure1_edges())
+}
+
+/// The "old clustering" of Figure 1: `C1 = {r1, r2, r3}`, `C2 = {r4, r5}`.
+pub fn figure1_old_clustering() -> Clustering {
+    Clustering::from_groups([
+        vec![ObjectId::new(1), ObjectId::new(2), ObjectId::new(3)],
+        vec![ObjectId::new(4), ObjectId::new(5)],
+    ])
+    .expect("groups are disjoint and non-empty")
+}
+
+/// The "new clustering" of Figures 1 and 2 after `r6`, `r7` arrive:
+/// `C'1 = {r2, r3}`, `C'2 = {r4, r5, r6}`, `C'3 = {r1, r7}`.
+pub fn figure2_clustering() -> Clustering {
+    Clustering::from_groups([
+        vec![ObjectId::new(2), ObjectId::new(3)],
+        vec![ObjectId::new(4), ObjectId::new(5), ObjectId::new(6)],
+        vec![ObjectId::new(1), ObjectId::new(7)],
+    ])
+    .expect("groups are disjoint and non-empty")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edge_table_measure_lookup() {
+        let m = EdgeTableMeasure::from_edges(&[(1, 2, 0.5)]);
+        let a = fixture_record(1);
+        let b = fixture_record(2);
+        let c = fixture_record(3);
+        assert_eq!(m.similarity(&a, &b), 0.5);
+        assert_eq!(m.similarity(&b, &a), 0.5);
+        assert_eq!(m.similarity(&a, &c), 0.0);
+        assert_eq!(m.similarity(&a, &a), 1.0);
+        assert_eq!(m.name(), "edge-table");
+    }
+
+    #[test]
+    fn graph_from_edges_builds_expected_topology() {
+        let g = figure2_graph();
+        assert_eq!(g.object_count(), 7);
+        assert_eq!(g.edge_count(), 6);
+        assert_eq!(g.similarity(ObjectId::new(1), ObjectId::new(7)), 1.0);
+        assert_eq!(g.similarity(ObjectId::new(4), ObjectId::new(5)), 0.8);
+        assert_eq!(g.similarity(ObjectId::new(3), ObjectId::new(4)), 0.0);
+    }
+
+    #[test]
+    fn figure_clusterings_cover_the_right_objects() {
+        let old = figure1_old_clustering();
+        assert_eq!(old.cluster_count(), 2);
+        assert_eq!(old.object_count(), 5);
+        let new = figure2_clustering();
+        assert_eq!(new.cluster_count(), 3);
+        assert_eq!(new.object_count(), 7);
+    }
+}

@@ -1,0 +1,41 @@
+//! # dc-similarity
+//!
+//! The similarity substrate of the DynamicC reproduction.
+//!
+//! Every clustering algorithm in the workspace — the batch algorithms, the
+//! incremental baselines, and DynamicC itself — consumes pairwise object
+//! similarities through a single structure, the sparse [`SimilarityGraph`].
+//! This crate provides:
+//!
+//! * [`measures`] — the similarity measures used by the paper's datasets
+//!   (Table 1): Jaccard over tokens, cosine similarity over character
+//!   trigrams, normalized Levenshtein, and a Euclidean-distance-derived
+//!   similarity for numeric records, plus a weighted composite.
+//! * [`text`] — tokenization, character n-grams, and edit distance.
+//! * [`blocking`] — sub-quadratic candidate-pair generation (token blocking
+//!   for textual data, grid blocking for numeric data) so that building the
+//!   similarity graph does not require all `n·(n−1)/2` comparisons.
+//! * [`graph`] — the sparse [`SimilarityGraph`] with incremental maintenance
+//!   under add / remove / update operations.
+//! * [`aggregates`] — the cluster-level quantities the paper's features and
+//!   objectives are built from: average intra-cluster similarity, average
+//!   inter-cluster similarity between cluster pairs, maximal inter-cluster
+//!   similarity, and per-object cohesion weights.
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+pub mod aggregates;
+pub mod blocking;
+pub mod fixtures;
+pub mod graph;
+pub mod measures;
+pub mod text;
+
+pub use aggregates::ClusterAggregates;
+pub use blocking::{BlockingStrategy, GridBlocking, TokenBlocking};
+pub use graph::{GraphConfig, SimilarityGraph};
+pub use measures::{
+    CompositeMeasure, EuclideanSimilarity, JaccardSimilarity, NormalizedLevenshtein,
+    SimilarityMeasure, TrigramCosine,
+};

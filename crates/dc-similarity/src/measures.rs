@@ -1,0 +1,293 @@
+//! Pairwise similarity measures over [`Record`]s.
+//!
+//! Table 1 of the paper associates each dataset with a similarity (or
+//! distance) measure: Jaccard for Cora, cosine trigram similarity for
+//! MusicBrainz, Euclidean distance for Amazon Access and 3D Road Network, and
+//! Levenshtein + Jaccard for the Febrl synthetic dataset.  Each of those is
+//! implemented here behind the [`SimilarityMeasure`] trait; all return values
+//! lie in `[0, 1]`, with `1` meaning identical.
+
+use crate::text;
+use dc_types::Record;
+
+/// A symmetric pairwise similarity in `[0, 1]`.
+pub trait SimilarityMeasure: Send + Sync {
+    /// Similarity between two records; must be symmetric and in `[0, 1]`.
+    fn similarity(&self, a: &Record, b: &Record) -> f64;
+
+    /// Human-readable name (used in experiment reports).
+    fn name(&self) -> &'static str;
+}
+
+/// Jaccard similarity over the records' lowercase token sets (Cora).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct JaccardSimilarity;
+
+impl SimilarityMeasure for JaccardSimilarity {
+    fn similarity(&self, a: &Record, b: &Record) -> f64 {
+        let ta = text::token_set(&a.full_text());
+        let tb = text::token_set(&b.full_text());
+        if ta.is_empty() && tb.is_empty() {
+            // Two records without any text are only "identical" if neither has
+            // a numeric payload either; otherwise they carry no evidence.
+            return 0.0;
+        }
+        text::jaccard(&ta, &tb)
+    }
+
+    fn name(&self) -> &'static str {
+        "jaccard"
+    }
+}
+
+/// Cosine similarity over character trigram bags (MusicBrainz).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TrigramCosine;
+
+impl SimilarityMeasure for TrigramCosine {
+    fn similarity(&self, a: &Record, b: &Record) -> f64 {
+        let fa = a.full_text();
+        let fb = b.full_text();
+        if fa.is_empty() && fb.is_empty() {
+            return 0.0;
+        }
+        text::cosine_of_bags(&text::trigrams(&fa), &text::trigrams(&fb))
+    }
+
+    fn name(&self) -> &'static str {
+        "trigram-cosine"
+    }
+}
+
+/// Normalized Levenshtein similarity over the concatenated text (Febrl).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NormalizedLevenshtein;
+
+impl SimilarityMeasure for NormalizedLevenshtein {
+    fn similarity(&self, a: &Record, b: &Record) -> f64 {
+        let fa = a.full_text();
+        let fb = b.full_text();
+        if fa.is_empty() && fb.is_empty() {
+            return 0.0;
+        }
+        text::normalized_levenshtein_similarity(&fa, &fb)
+    }
+
+    fn name(&self) -> &'static str {
+        "normalized-levenshtein"
+    }
+}
+
+/// Similarity derived from Euclidean distance between the records' numeric
+/// feature vectors (Amazon Access, 3D Road Network):
+/// `sim(a, b) = exp(−‖a − b‖ / scale)`.
+///
+/// The `scale` parameter controls how fast similarity decays with distance;
+/// it should be chosen on the order of the typical intra-cluster distance of
+/// the dataset (the generators in `dc-datagen` report a suitable value).
+#[derive(Debug, Clone, Copy)]
+pub struct EuclideanSimilarity {
+    /// Distance at which similarity has decayed to `1/e`.
+    pub scale: f64,
+}
+
+impl EuclideanSimilarity {
+    /// Create a Euclidean similarity with the given decay scale.
+    pub fn new(scale: f64) -> Self {
+        assert!(scale > 0.0, "scale must be positive");
+        EuclideanSimilarity { scale }
+    }
+
+    /// Euclidean distance between two vectors, treating missing trailing
+    /// dimensions as zero.
+    pub fn distance(a: &[f64], b: &[f64]) -> f64 {
+        let n = a.len().max(b.len());
+        let mut sum = 0.0;
+        for i in 0..n {
+            let x = a.get(i).copied().unwrap_or(0.0);
+            let y = b.get(i).copied().unwrap_or(0.0);
+            let d = x - y;
+            sum += d * d;
+        }
+        sum.sqrt()
+    }
+}
+
+impl Default for EuclideanSimilarity {
+    fn default() -> Self {
+        EuclideanSimilarity { scale: 1.0 }
+    }
+}
+
+impl SimilarityMeasure for EuclideanSimilarity {
+    fn similarity(&self, a: &Record, b: &Record) -> f64 {
+        if a.vector().is_empty() && b.vector().is_empty() {
+            return 0.0;
+        }
+        (-Self::distance(a.vector(), b.vector()) / self.scale).exp()
+    }
+
+    fn name(&self) -> &'static str {
+        "euclidean"
+    }
+}
+
+/// Weighted combination of several measures (the synthetic Febrl dataset uses
+/// "Levenshtein and Jaccard" in Table 1).
+///
+/// Weights are normalized internally, so `CompositeMeasure::new(vec![(m1, 1.0),
+/// (m2, 1.0)])` averages the two components.
+pub struct CompositeMeasure {
+    components: Vec<(Box<dyn SimilarityMeasure>, f64)>,
+}
+
+impl CompositeMeasure {
+    /// Create a composite from `(measure, weight)` pairs.  Panics if no
+    /// component is given or all weights are zero.
+    pub fn new(components: Vec<(Box<dyn SimilarityMeasure>, f64)>) -> Self {
+        assert!(!components.is_empty(), "composite needs at least one component");
+        let total: f64 = components.iter().map(|(_, w)| *w).sum();
+        assert!(total > 0.0, "composite weights must sum to a positive value");
+        CompositeMeasure { components }
+    }
+
+    /// The standard Febrl-style combination: 50% normalized Levenshtein, 50%
+    /// token Jaccard.
+    pub fn febrl_default() -> Self {
+        CompositeMeasure::new(vec![
+            (Box::new(NormalizedLevenshtein), 0.5),
+            (Box::new(JaccardSimilarity), 0.5),
+        ])
+    }
+}
+
+impl SimilarityMeasure for CompositeMeasure {
+    fn similarity(&self, a: &Record, b: &Record) -> f64 {
+        let total: f64 = self.components.iter().map(|(_, w)| *w).sum();
+        self.components
+            .iter()
+            .map(|(m, w)| w * m.similarity(a, b))
+            .sum::<f64>()
+            / total
+    }
+
+    fn name(&self) -> &'static str {
+        "composite"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dc_types::RecordBuilder;
+
+    fn textual(s: &str) -> Record {
+        RecordBuilder::new().text("text", s).build()
+    }
+
+    fn numeric(v: Vec<f64>) -> Record {
+        RecordBuilder::new().vector(v).build()
+    }
+
+    #[test]
+    fn jaccard_measure_matches_token_overlap() {
+        let m = JaccardSimilarity;
+        let a = textual("dynamic clustering systems");
+        let b = textual("dynamic clustering methods");
+        let s = m.similarity(&a, &b);
+        assert!((s - 0.5).abs() < 1e-12, "got {s}");
+        assert_eq!(m.similarity(&a, &a), 1.0);
+        assert_eq!(m.similarity(&textual(""), &textual("")), 0.0);
+        assert_eq!(m.name(), "jaccard");
+    }
+
+    #[test]
+    fn trigram_cosine_rewards_shared_substrings() {
+        let m = TrigramCosine;
+        let a = textual("the beatles abbey road");
+        let b = textual("the beatles abbey roas");
+        let c = textual("completely different band");
+        assert!(m.similarity(&a, &b) > 0.8);
+        assert!(m.similarity(&a, &c) < m.similarity(&a, &b));
+        assert!((m.similarity(&a, &a) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn normalized_levenshtein_measure() {
+        let m = NormalizedLevenshtein;
+        let a = textual("jonathan smith");
+        let b = textual("jonathon smith");
+        assert!(m.similarity(&a, &b) > 0.9);
+        assert_eq!(m.similarity(&a, &a), 1.0);
+    }
+
+    #[test]
+    fn euclidean_similarity_decays_with_distance() {
+        let m = EuclideanSimilarity::new(1.0);
+        let a = numeric(vec![0.0, 0.0]);
+        let b = numeric(vec![0.0, 0.0]);
+        let c = numeric(vec![3.0, 4.0]);
+        assert!((m.similarity(&a, &b) - 1.0).abs() < 1e-12);
+        assert!((m.similarity(&a, &c) - (-5.0f64).exp()).abs() < 1e-12);
+        // Larger scale ⇒ slower decay ⇒ higher similarity.
+        let wide = EuclideanSimilarity::new(10.0);
+        assert!(wide.similarity(&a, &c) > m.similarity(&a, &c));
+    }
+
+    #[test]
+    fn euclidean_distance_handles_length_mismatch() {
+        assert!((EuclideanSimilarity::distance(&[1.0, 2.0], &[1.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(EuclideanSimilarity::distance(&[], &[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn euclidean_rejects_non_positive_scale() {
+        EuclideanSimilarity::new(0.0);
+    }
+
+    #[test]
+    fn composite_averages_components() {
+        let m = CompositeMeasure::febrl_default();
+        let a = textual("maria garcia");
+        let b = textual("maria garcia");
+        assert!((m.similarity(&a, &b) - 1.0).abs() < 1e-12);
+        let lev = NormalizedLevenshtein.similarity(&a, &textual("mario garcia"));
+        let jac = JaccardSimilarity.similarity(&a, &textual("mario garcia"));
+        let combo = m.similarity(&a, &textual("mario garcia"));
+        assert!((combo - 0.5 * (lev + jac)).abs() < 1e-12);
+        assert_eq!(m.name(), "composite");
+    }
+
+    #[test]
+    #[should_panic]
+    fn composite_rejects_empty_component_list() {
+        CompositeMeasure::new(vec![]);
+    }
+
+    #[test]
+    fn all_measures_are_symmetric_on_samples() {
+        let measures: Vec<Box<dyn SimilarityMeasure>> = vec![
+            Box::new(JaccardSimilarity),
+            Box::new(TrigramCosine),
+            Box::new(NormalizedLevenshtein),
+            Box::new(EuclideanSimilarity::new(2.0)),
+        ];
+        let records = vec![
+            textual("alpha beta gamma"),
+            textual("alpha delta"),
+            numeric(vec![1.0, 2.0, 3.0]),
+            numeric(vec![1.5, 2.5, 2.0]),
+        ];
+        for m in &measures {
+            for a in &records {
+                for b in &records {
+                    let s1 = m.similarity(a, b);
+                    let s2 = m.similarity(b, a);
+                    assert!((s1 - s2).abs() < 1e-12, "{} not symmetric", m.name());
+                    assert!((0.0..=1.0 + 1e-12).contains(&s1));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,703 @@
+//! Clustering representation and structural mutations.
+//!
+//! A [`Clustering`] is a partition of a set of objects into disjoint,
+//! non-empty [`Cluster`]s.  The evolution operations the paper reasons about
+//! (§4.1) — *merge* of two clusters, *split* of a cluster into two, and
+//! *move* of objects between clusters (expressible as split + merge) — are
+//! first-class methods here so that batch algorithms, baselines, and DynamicC
+//! all mutate clusterings through the same audited interface.
+//!
+//! Two invariants are maintained at all times:
+//!
+//! 1. every object belongs to exactly one cluster (the membership index and
+//!    the cluster contents agree), and
+//! 2. no cluster is empty.
+//!
+//! `debug_assert`-style verification is available through
+//! [`Clustering::check_invariants`], which the property tests call after
+//! arbitrary operation sequences.
+
+use crate::id::IdGenerator;
+use crate::{ClusterId, ObjectId, Result, TypeError};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A single cluster: a non-empty set of object ids.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Cluster {
+    members: BTreeSet<ObjectId>,
+}
+
+impl Cluster {
+    /// Create a cluster from an iterator of members.
+    pub fn from_members<I: IntoIterator<Item = ObjectId>>(members: I) -> Self {
+        Cluster {
+            members: members.into_iter().collect(),
+        }
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether the cluster has no members (never true for clusters stored in
+    /// a [`Clustering`]).
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Whether `id` is a member.
+    pub fn contains(&self, id: ObjectId) -> bool {
+        self.members.contains(&id)
+    }
+
+    /// Iterate over the members in id order.
+    pub fn iter(&self) -> impl Iterator<Item = ObjectId> + '_ {
+        self.members.iter().copied()
+    }
+
+    /// The members as an ordered set.
+    pub fn members(&self) -> &BTreeSet<ObjectId> {
+        &self.members
+    }
+
+    /// Whether this cluster is a singleton.
+    pub fn is_singleton(&self) -> bool {
+        self.members.len() == 1
+    }
+}
+
+/// A partition of objects into disjoint non-empty clusters.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Clustering {
+    clusters: BTreeMap<ClusterId, Cluster>,
+    membership: BTreeMap<ObjectId, ClusterId>,
+    ids: IdGenerator,
+}
+
+impl Clustering {
+    /// Create an empty clustering.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Create a clustering in which every given object is a singleton
+    /// cluster — the initial state of every batch run in §4.2.
+    pub fn singletons<I: IntoIterator<Item = ObjectId>>(objects: I) -> Self {
+        let mut c = Clustering::new();
+        for o in objects {
+            c.create_cluster([o]).expect("fresh object cannot collide");
+        }
+        c
+    }
+
+    /// Create a clustering from explicit groups of objects.
+    ///
+    /// Useful in tests and when importing ground truth; the groups must be
+    /// disjoint and non-empty.
+    pub fn from_groups<I, G>(groups: I) -> Result<Self>
+    where
+        I: IntoIterator<Item = G>,
+        G: IntoIterator<Item = ObjectId>,
+    {
+        let mut c = Clustering::new();
+        for g in groups {
+            let members: Vec<ObjectId> = g.into_iter().collect();
+            if members.is_empty() {
+                return Err(TypeError::InvariantViolation(
+                    "empty group in from_groups".into(),
+                ));
+            }
+            c.create_cluster(members)?;
+        }
+        Ok(c)
+    }
+
+    // ------------------------------------------------------------------
+    // Read access
+    // ------------------------------------------------------------------
+
+    /// Number of clusters.
+    pub fn cluster_count(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// Number of clustered objects.
+    pub fn object_count(&self) -> usize {
+        self.membership.len()
+    }
+
+    /// Whether there are no clusters.
+    pub fn is_empty(&self) -> bool {
+        self.clusters.is_empty()
+    }
+
+    /// The cluster with id `cid`, if it exists.
+    pub fn cluster(&self, cid: ClusterId) -> Option<&Cluster> {
+        self.clusters.get(&cid)
+    }
+
+    /// The cluster containing object `oid`, if the object is clustered.
+    pub fn cluster_of(&self, oid: ObjectId) -> Option<ClusterId> {
+        self.membership.get(&oid).copied()
+    }
+
+    /// Whether the object is present in the clustering.
+    pub fn contains_object(&self, oid: ObjectId) -> bool {
+        self.membership.contains_key(&oid)
+    }
+
+    /// Whether the cluster id is present.
+    pub fn contains_cluster(&self, cid: ClusterId) -> bool {
+        self.clusters.contains_key(&cid)
+    }
+
+    /// Iterate over `(cluster id, cluster)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (ClusterId, &Cluster)> {
+        self.clusters.iter().map(|(id, c)| (*id, c))
+    }
+
+    /// All cluster ids in id order.
+    pub fn cluster_ids(&self) -> Vec<ClusterId> {
+        self.clusters.keys().copied().collect()
+    }
+
+    /// All object ids in id order.
+    pub fn object_ids(&self) -> Vec<ObjectId> {
+        self.membership.keys().copied().collect()
+    }
+
+    /// Size of cluster `cid` (0 if absent).
+    pub fn cluster_size(&self, cid: ClusterId) -> usize {
+        self.clusters.get(&cid).map_or(0, Cluster::len)
+    }
+
+    /// The members of each cluster, as a vector of vectors, ordered by
+    /// cluster id.  Convenient for snapshotting and evaluation.
+    pub fn groups(&self) -> Vec<Vec<ObjectId>> {
+        self.clusters
+            .values()
+            .map(|c| c.iter().collect())
+            .collect()
+    }
+
+    // ------------------------------------------------------------------
+    // Structural mutations
+    // ------------------------------------------------------------------
+
+    /// Create a new cluster containing exactly the given objects (which must
+    /// not already be clustered).  Returns the new cluster's id.
+    pub fn create_cluster<I: IntoIterator<Item = ObjectId>>(
+        &mut self,
+        members: I,
+    ) -> Result<ClusterId> {
+        let members: BTreeSet<ObjectId> = members.into_iter().collect();
+        if members.is_empty() {
+            return Err(TypeError::InvariantViolation(
+                "cannot create an empty cluster".into(),
+            ));
+        }
+        for &o in &members {
+            if let Some(existing) = self.membership.get(&o) {
+                return Err(TypeError::AlreadyClustered(o, *existing));
+            }
+        }
+        let cid = self.ids.next_cluster();
+        for &o in &members {
+            self.membership.insert(o, cid);
+        }
+        self.clusters.insert(cid, Cluster { members });
+        Ok(cid)
+    }
+
+    /// Add an unclustered object to an existing cluster.
+    pub fn add_to_cluster(&mut self, oid: ObjectId, cid: ClusterId) -> Result<()> {
+        if let Some(existing) = self.membership.get(&oid) {
+            return Err(TypeError::AlreadyClustered(oid, *existing));
+        }
+        let cluster = self
+            .clusters
+            .get_mut(&cid)
+            .ok_or(TypeError::UnknownCluster(cid))?;
+        cluster.members.insert(oid);
+        self.membership.insert(oid, cid);
+        Ok(())
+    }
+
+    /// Remove an object from the clustering entirely (used when the object is
+    /// deleted from the database).  If its cluster becomes empty, the cluster
+    /// is dropped.  Returns the id of the cluster it was removed from.
+    pub fn remove_object(&mut self, oid: ObjectId) -> Result<ClusterId> {
+        let cid = self
+            .membership
+            .remove(&oid)
+            .ok_or(TypeError::UnknownObject(oid))?;
+        let drop_cluster = {
+            let cluster = self
+                .clusters
+                .get_mut(&cid)
+                .ok_or(TypeError::UnknownCluster(cid))?;
+            cluster.members.remove(&oid);
+            cluster.members.is_empty()
+        };
+        if drop_cluster {
+            self.clusters.remove(&cid);
+        }
+        Ok(cid)
+    }
+
+    /// Merge two distinct clusters into a new cluster; the inputs are
+    /// consumed and a fresh cluster id is returned (merge evolution, §4.1).
+    pub fn merge(&mut self, a: ClusterId, b: ClusterId) -> Result<ClusterId> {
+        if a == b {
+            return Err(TypeError::SelfMerge(a));
+        }
+        if !self.clusters.contains_key(&a) {
+            return Err(TypeError::UnknownCluster(a));
+        }
+        if !self.clusters.contains_key(&b) {
+            return Err(TypeError::UnknownCluster(b));
+        }
+        let ca = self.clusters.remove(&a).expect("checked above");
+        let cb = self.clusters.remove(&b).expect("checked above");
+        let mut members = ca.members;
+        members.extend(cb.members);
+        let cid = self.ids.next_cluster();
+        for &o in &members {
+            self.membership.insert(o, cid);
+        }
+        self.clusters.insert(cid, Cluster { members });
+        Ok(cid)
+    }
+
+    /// Split a cluster into two: the objects in `part` form one new cluster
+    /// and the remaining objects the other (split evolution, §4.1).  Both
+    /// sides must be non-empty and every member of `part` must belong to
+    /// `cid`.  Returns `(cluster containing part, cluster containing rest)`.
+    pub fn split(
+        &mut self,
+        cid: ClusterId,
+        part: &BTreeSet<ObjectId>,
+    ) -> Result<(ClusterId, ClusterId)> {
+        let cluster = self
+            .clusters
+            .get(&cid)
+            .ok_or(TypeError::UnknownCluster(cid))?;
+        if part.is_empty() || part.len() >= cluster.members.len() {
+            return Err(TypeError::EmptySplit(cid));
+        }
+        for o in part {
+            if !cluster.members.contains(o) {
+                return Err(TypeError::UnknownObject(*o));
+            }
+        }
+        let cluster = self.clusters.remove(&cid).expect("checked above");
+        let rest: BTreeSet<ObjectId> = cluster.members.difference(part).copied().collect();
+
+        let part_id = self.ids.next_cluster();
+        let rest_id = self.ids.next_cluster();
+        for &o in part {
+            self.membership.insert(o, part_id);
+        }
+        for &o in &rest {
+            self.membership.insert(o, rest_id);
+        }
+        self.clusters.insert(part_id, Cluster { members: part.clone() });
+        self.clusters.insert(rest_id, Cluster { members: rest });
+        Ok((part_id, rest_id))
+    }
+
+    /// Move a single object from its current cluster into another existing
+    /// cluster.  If the source cluster becomes empty it is dropped.  Move
+    /// evolution is equivalent to split + merge (§4.1) but this direct method
+    /// is convenient for baselines such as Greedy and for hill-climbing.
+    pub fn move_object(&mut self, oid: ObjectId, target: ClusterId) -> Result<()> {
+        let source = self
+            .membership
+            .get(&oid)
+            .copied()
+            .ok_or(TypeError::UnknownObject(oid))?;
+        if !self.clusters.contains_key(&target) {
+            return Err(TypeError::UnknownCluster(target));
+        }
+        if source == target {
+            return Ok(());
+        }
+        let drop_source = {
+            let src = self.clusters.get_mut(&source).expect("membership is consistent");
+            src.members.remove(&oid);
+            src.members.is_empty()
+        };
+        if drop_source {
+            self.clusters.remove(&source);
+        }
+        self.clusters
+            .get_mut(&target)
+            .expect("checked above")
+            .members
+            .insert(oid);
+        self.membership.insert(oid, target);
+        Ok(())
+    }
+
+    /// Move a single object out of its current cluster into a brand new
+    /// singleton cluster.  Returns the new cluster id.  This is the "split a
+    /// single object out" primitive used by the split heuristic (§6.3).
+    pub fn isolate_object(&mut self, oid: ObjectId) -> Result<ClusterId> {
+        let source = self
+            .membership
+            .get(&oid)
+            .copied()
+            .ok_or(TypeError::UnknownObject(oid))?;
+        let source_size = self.cluster_size(source);
+        if source_size <= 1 {
+            // Already a singleton; nothing to do, return its current cluster.
+            return Ok(source);
+        }
+        let mut part = BTreeSet::new();
+        part.insert(oid);
+        let (part_id, _rest_id) = self.split(source, &part)?;
+        Ok(part_id)
+    }
+
+    // ------------------------------------------------------------------
+    // Diagnostics
+    // ------------------------------------------------------------------
+
+    /// Verify the structural invariants, returning a descriptive error when
+    /// one is violated.  Intended for tests and debug assertions.
+    pub fn check_invariants(&self) -> Result<()> {
+        let mut seen = BTreeSet::new();
+        for (cid, cluster) in &self.clusters {
+            if cluster.members.is_empty() {
+                return Err(TypeError::InvariantViolation(format!(
+                    "cluster {cid} is empty"
+                )));
+            }
+            for &o in &cluster.members {
+                if !seen.insert(o) {
+                    return Err(TypeError::InvariantViolation(format!(
+                        "object {o} appears in more than one cluster"
+                    )));
+                }
+                match self.membership.get(&o) {
+                    Some(m) if *m == *cid => {}
+                    Some(m) => {
+                        return Err(TypeError::InvariantViolation(format!(
+                            "object {o} is in cluster {cid} but membership says {m}"
+                        )))
+                    }
+                    None => {
+                        return Err(TypeError::InvariantViolation(format!(
+                            "object {o} is in cluster {cid} but has no membership entry"
+                        )))
+                    }
+                }
+            }
+        }
+        if seen.len() != self.membership.len() {
+            return Err(TypeError::InvariantViolation(format!(
+                "membership has {} entries but clusters cover {} objects",
+                self.membership.len(),
+                seen.len()
+            )));
+        }
+        Ok(())
+    }
+
+    /// Summarize the structural difference between `self` (old) and `other`
+    /// (new) clusterings over the same (or overlapping) object sets.
+    pub fn delta(&self, other: &Clustering) -> ClusteringDelta {
+        let old_groups: BTreeSet<BTreeSet<ObjectId>> =
+            self.clusters.values().map(|c| c.members.clone()).collect();
+        let new_groups: BTreeSet<BTreeSet<ObjectId>> =
+            other.clusters.values().map(|c| c.members.clone()).collect();
+        let unchanged = old_groups.intersection(&new_groups).count();
+        ClusteringDelta {
+            old_clusters: old_groups.len(),
+            new_clusters: new_groups.len(),
+            unchanged_clusters: unchanged,
+            vanished_clusters: old_groups.len() - unchanged,
+            created_clusters: new_groups.len() - unchanged,
+        }
+    }
+
+    /// The size distribution `(min, mean, max)` of the clusters.
+    pub fn size_stats(&self) -> (usize, f64, usize) {
+        if self.clusters.is_empty() {
+            return (0, 0.0, 0);
+        }
+        let mut min = usize::MAX;
+        let mut max = 0usize;
+        let mut sum = 0usize;
+        for c in self.clusters.values() {
+            min = min.min(c.len());
+            max = max.max(c.len());
+            sum += c.len();
+        }
+        (min, sum as f64 / self.clusters.len() as f64, max)
+    }
+}
+
+/// Structural summary of the difference between two clusterings: how many
+/// clusters survived unchanged, vanished, or were created.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClusteringDelta {
+    /// Number of clusters in the old clustering.
+    pub old_clusters: usize,
+    /// Number of clusters in the new clustering.
+    pub new_clusters: usize,
+    /// Number of clusters present (with identical membership) in both.
+    pub unchanged_clusters: usize,
+    /// Old clusters whose exact membership no longer exists.
+    pub vanished_clusters: usize,
+    /// New clusters whose exact membership did not exist before.
+    pub created_clusters: usize,
+}
+
+impl ClusteringDelta {
+    /// Whether the two clusterings are structurally identical.
+    pub fn is_unchanged(&self) -> bool {
+        self.vanished_clusters == 0 && self.created_clusters == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn oid(raw: u64) -> ObjectId {
+        ObjectId::new(raw)
+    }
+
+    fn set(ids: &[u64]) -> BTreeSet<ObjectId> {
+        ids.iter().map(|&i| oid(i)).collect()
+    }
+
+    #[test]
+    fn singletons_constructor() {
+        let c = Clustering::singletons((0..5).map(oid));
+        assert_eq!(c.cluster_count(), 5);
+        assert_eq!(c.object_count(), 5);
+        for (_, cl) in c.iter() {
+            assert!(cl.is_singleton());
+        }
+        c.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn from_groups_builds_partition() {
+        let c = Clustering::from_groups([vec![oid(1), oid(2)], vec![oid(3)]]).unwrap();
+        assert_eq!(c.cluster_count(), 2);
+        assert_eq!(c.cluster_of(oid(1)), c.cluster_of(oid(2)));
+        assert_ne!(c.cluster_of(oid(1)), c.cluster_of(oid(3)));
+        assert!(Clustering::from_groups([Vec::<ObjectId>::new()]).is_err());
+    }
+
+    #[test]
+    fn merge_combines_members_and_retires_inputs() {
+        let mut c = Clustering::singletons([oid(1), oid(2), oid(3)]);
+        let a = c.cluster_of(oid(1)).unwrap();
+        let b = c.cluster_of(oid(2)).unwrap();
+        let merged = c.merge(a, b).unwrap();
+        assert_eq!(c.cluster_count(), 2);
+        assert!(!c.contains_cluster(a));
+        assert!(!c.contains_cluster(b));
+        assert_eq!(c.cluster_of(oid(1)), Some(merged));
+        assert_eq!(c.cluster_of(oid(2)), Some(merged));
+        assert_eq!(c.cluster_size(merged), 2);
+        c.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn merge_errors() {
+        let mut c = Clustering::singletons([oid(1)]);
+        let a = c.cluster_of(oid(1)).unwrap();
+        assert_eq!(c.merge(a, a), Err(TypeError::SelfMerge(a)));
+        assert!(matches!(
+            c.merge(a, ClusterId::new(999)),
+            Err(TypeError::UnknownCluster(_))
+        ));
+    }
+
+    #[test]
+    fn split_partitions_cluster() {
+        let mut c = Clustering::from_groups([vec![oid(1), oid(2), oid(3), oid(4)]]).unwrap();
+        let cid = c.cluster_of(oid(1)).unwrap();
+        let (p, r) = c.split(cid, &set(&[1, 2])).unwrap();
+        assert_eq!(c.cluster_count(), 2);
+        assert_eq!(c.cluster_of(oid(1)), Some(p));
+        assert_eq!(c.cluster_of(oid(2)), Some(p));
+        assert_eq!(c.cluster_of(oid(3)), Some(r));
+        assert_eq!(c.cluster_of(oid(4)), Some(r));
+        assert!(!c.contains_cluster(cid));
+        c.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn split_rejects_degenerate_partitions() {
+        let mut c = Clustering::from_groups([vec![oid(1), oid(2)]]).unwrap();
+        let cid = c.cluster_of(oid(1)).unwrap();
+        assert_eq!(c.split(cid, &set(&[])), Err(TypeError::EmptySplit(cid)));
+        assert_eq!(c.split(cid, &set(&[1, 2])), Err(TypeError::EmptySplit(cid)));
+        assert!(matches!(
+            c.split(cid, &set(&[99])),
+            Err(TypeError::UnknownObject(_))
+        ));
+    }
+
+    #[test]
+    fn move_object_between_clusters_drops_empty_source() {
+        let mut c = Clustering::from_groups([vec![oid(1)], vec![oid(2), oid(3)]]).unwrap();
+        let source = c.cluster_of(oid(1)).unwrap();
+        let target = c.cluster_of(oid(2)).unwrap();
+        c.move_object(oid(1), target).unwrap();
+        assert_eq!(c.cluster_count(), 1);
+        assert!(!c.contains_cluster(source));
+        assert_eq!(c.cluster_of(oid(1)), Some(target));
+        c.check_invariants().unwrap();
+        // Moving into the same cluster is a no-op.
+        c.move_object(oid(1), target).unwrap();
+        assert_eq!(c.cluster_count(), 1);
+    }
+
+    #[test]
+    fn isolate_object_creates_singleton() {
+        let mut c = Clustering::from_groups([vec![oid(1), oid(2), oid(3)]]).unwrap();
+        let new_cid = c.isolate_object(oid(2)).unwrap();
+        assert_eq!(c.cluster_count(), 2);
+        assert_eq!(c.cluster_of(oid(2)), Some(new_cid));
+        assert!(c.cluster(new_cid).unwrap().is_singleton());
+        // Isolating an object that is already a singleton is a no-op.
+        let again = c.isolate_object(oid(2)).unwrap();
+        assert_eq!(again, new_cid);
+        c.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn remove_object_drops_empty_cluster() {
+        let mut c = Clustering::from_groups([vec![oid(1)], vec![oid(2), oid(3)]]).unwrap();
+        let single = c.cluster_of(oid(1)).unwrap();
+        let removed_from = c.remove_object(oid(1)).unwrap();
+        assert_eq!(removed_from, single);
+        assert!(!c.contains_cluster(single));
+        assert_eq!(c.object_count(), 2);
+        assert!(c.remove_object(oid(1)).is_err());
+        c.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn add_to_cluster_and_errors() {
+        let mut c = Clustering::from_groups([vec![oid(1)]]).unwrap();
+        let cid = c.cluster_of(oid(1)).unwrap();
+        c.add_to_cluster(oid(2), cid).unwrap();
+        assert_eq!(c.cluster_size(cid), 2);
+        assert!(matches!(
+            c.add_to_cluster(oid(2), cid),
+            Err(TypeError::AlreadyClustered(_, _))
+        ));
+        assert!(matches!(
+            c.add_to_cluster(oid(3), ClusterId::new(1234)),
+            Err(TypeError::UnknownCluster(_))
+        ));
+    }
+
+    #[test]
+    fn delta_detects_changes() {
+        let a = Clustering::from_groups([vec![oid(1), oid(2)], vec![oid(3)]]).unwrap();
+        let b = Clustering::from_groups([vec![oid(1), oid(2)], vec![oid(3), oid(4)]]).unwrap();
+        let d = a.delta(&b);
+        assert_eq!(d.unchanged_clusters, 1);
+        assert_eq!(d.vanished_clusters, 1);
+        assert_eq!(d.created_clusters, 1);
+        assert!(!d.is_unchanged());
+        assert!(a.delta(&a).is_unchanged());
+    }
+
+    #[test]
+    fn size_stats() {
+        let c = Clustering::from_groups([vec![oid(1)], vec![oid(2), oid(3), oid(4)]]).unwrap();
+        let (min, mean, max) = c.size_stats();
+        assert_eq!(min, 1);
+        assert_eq!(max, 3);
+        assert!((mean - 2.0).abs() < 1e-12);
+        assert_eq!(Clustering::new().size_stats(), (0, 0.0, 0));
+    }
+
+    #[test]
+    fn groups_returns_all_members() {
+        let c = Clustering::from_groups([vec![oid(1), oid(2)], vec![oid(3)]]).unwrap();
+        let groups = c.groups();
+        let total: usize = groups.iter().map(Vec::len).sum();
+        assert_eq!(total, 3);
+        assert_eq!(groups.len(), 2);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// A random sequence of structural operations applied to a clustering
+    /// over objects 0..n must preserve the partition invariants.
+    #[derive(Debug, Clone)]
+    enum Op {
+        MergeRandom(usize, usize),
+        IsolateRandom(usize),
+        MoveRandom(usize, usize),
+        RemoveRandom(usize),
+    }
+
+    fn op_strategy() -> impl Strategy<Value = Op> {
+        prop_oneof![
+            (0usize..32, 0usize..32).prop_map(|(a, b)| Op::MergeRandom(a, b)),
+            (0usize..32).prop_map(Op::IsolateRandom),
+            (0usize..32, 0usize..32).prop_map(|(a, b)| Op::MoveRandom(a, b)),
+            (0usize..32).prop_map(Op::RemoveRandom),
+        ]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn invariants_hold_under_random_operations(ops in proptest::collection::vec(op_strategy(), 1..60)) {
+            let n = 16u64;
+            let mut c = Clustering::singletons((0..n).map(ObjectId::new));
+            for op in ops {
+                let cids = c.cluster_ids();
+                let oids = c.object_ids();
+                if oids.is_empty() { break; }
+                match op {
+                    Op::MergeRandom(a, b) => {
+                        if cids.len() >= 2 {
+                            let a = cids[a % cids.len()];
+                            let b = cids[b % cids.len()];
+                            if a != b { c.merge(a, b).unwrap(); }
+                        }
+                    }
+                    Op::IsolateRandom(i) => {
+                        let o = oids[i % oids.len()];
+                        c.isolate_object(o).unwrap();
+                    }
+                    Op::MoveRandom(i, j) => {
+                        let o = oids[i % oids.len()];
+                        let t = cids[j % cids.len()];
+                        if c.contains_cluster(t) {
+                            c.move_object(o, t).unwrap();
+                        }
+                    }
+                    Op::RemoveRandom(i) => {
+                        let o = oids[i % oids.len()];
+                        c.remove_object(o).unwrap();
+                    }
+                }
+                prop_assert!(c.check_invariants().is_ok());
+            }
+            // All surviving objects are covered exactly once.
+            let covered: usize = c.groups().iter().map(Vec::len).sum();
+            prop_assert_eq!(covered, c.object_count());
+        }
+    }
+}

@@ -1,0 +1,223 @@
+//! The mutable collection of live objects.
+//!
+//! A [`Dataset`] is the "database" of the paper: a set of objects identified
+//! by [`ObjectId`] whose records are continuously added, removed, and
+//! updated.  It also knows how to apply an [`OperationBatch`], which is how
+//! the dynamic workloads of §7 are replayed.
+
+use crate::{ObjectId, Operation, OperationBatch, Record, Result, TypeError};
+use crate::id::IdGenerator;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A mutable set of live objects.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Dataset {
+    objects: BTreeMap<ObjectId, Record>,
+    ids: IdGenerator,
+}
+
+impl Dataset {
+    /// Create an empty dataset.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Create a dataset from pre-assigned `(id, record)` pairs.
+    ///
+    /// The internal id generator is bumped past the largest provided id so
+    /// that subsequently generated ids never collide.
+    pub fn from_pairs<I>(pairs: I) -> Self
+    where
+        I: IntoIterator<Item = (ObjectId, Record)>,
+    {
+        let mut ds = Dataset::new();
+        for (id, rec) in pairs {
+            ds.ids.bump_past(id.raw());
+            ds.objects.insert(id, rec);
+        }
+        ds
+    }
+
+    /// Number of live objects.
+    pub fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty()
+    }
+
+    /// Whether an object is live.
+    pub fn contains(&self, id: ObjectId) -> bool {
+        self.objects.contains_key(&id)
+    }
+
+    /// Look up the record of a live object.
+    pub fn record(&self, id: ObjectId) -> Option<&Record> {
+        self.objects.get(&id)
+    }
+
+    /// Iterate over all live objects in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (ObjectId, &Record)> {
+        self.objects.iter().map(|(id, r)| (*id, r))
+    }
+
+    /// All live object ids in id order.
+    pub fn ids(&self) -> Vec<ObjectId> {
+        self.objects.keys().copied().collect()
+    }
+
+    /// Insert a new object with a freshly generated id.
+    pub fn insert(&mut self, record: Record) -> ObjectId {
+        let id = self.ids.next_object();
+        self.objects.insert(id, record);
+        id
+    }
+
+    /// Insert a new object under a caller-chosen id.
+    ///
+    /// Fails with [`TypeError::DuplicateObject`] if the id is already live.
+    pub fn insert_with_id(&mut self, id: ObjectId, record: Record) -> Result<()> {
+        if self.objects.contains_key(&id) {
+            return Err(TypeError::DuplicateObject(id));
+        }
+        self.ids.bump_past(id.raw());
+        self.objects.insert(id, record);
+        Ok(())
+    }
+
+    /// Remove a live object, returning its record.
+    pub fn remove(&mut self, id: ObjectId) -> Result<Record> {
+        self.objects
+            .remove(&id)
+            .ok_or(TypeError::UnknownObject(id))
+    }
+
+    /// Replace the record of a live object, returning the previous record.
+    pub fn update(&mut self, id: ObjectId, record: Record) -> Result<Record> {
+        match self.objects.get_mut(&id) {
+            Some(slot) => Ok(std::mem::replace(slot, record)),
+            None => Err(TypeError::UnknownObject(id)),
+        }
+    }
+
+    /// Apply a single operation.
+    pub fn apply(&mut self, op: &Operation) -> Result<()> {
+        match op {
+            Operation::Add { id, record } => self.insert_with_id(*id, record.clone()),
+            Operation::Remove { id } => self.remove(*id).map(|_| ()),
+            Operation::Update { id, record } => self.update(*id, record.clone()).map(|_| ()),
+        }
+    }
+
+    /// Apply every operation of a batch, in order.
+    ///
+    /// Stops at (and returns) the first error; earlier operations remain
+    /// applied, matching the semantics of replaying a log.
+    pub fn apply_batch(&mut self, batch: &OperationBatch) -> Result<()> {
+        for op in batch.iter() {
+            self.apply(op)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RecordBuilder;
+
+    fn rec(name: &str) -> Record {
+        RecordBuilder::new().text("name", name).build()
+    }
+
+    #[test]
+    fn insert_lookup_remove_roundtrip() {
+        let mut ds = Dataset::new();
+        let a = ds.insert(rec("a"));
+        let b = ds.insert(rec("b"));
+        assert_ne!(a, b);
+        assert_eq!(ds.len(), 2);
+        assert!(ds.contains(a));
+        assert_eq!(ds.record(a).unwrap().field("name").unwrap().as_text(), Some("a"));
+
+        let removed = ds.remove(a).unwrap();
+        assert_eq!(removed.field("name").unwrap().as_text(), Some("a"));
+        assert!(!ds.contains(a));
+        assert_eq!(ds.len(), 1);
+    }
+
+    #[test]
+    fn remove_unknown_is_an_error() {
+        let mut ds = Dataset::new();
+        assert_eq!(
+            ds.remove(ObjectId::new(99)),
+            Err(TypeError::UnknownObject(ObjectId::new(99)))
+        );
+    }
+
+    #[test]
+    fn insert_with_id_rejects_duplicates_and_bumps_generator() {
+        let mut ds = Dataset::new();
+        ds.insert_with_id(ObjectId::new(10), rec("x")).unwrap();
+        assert_eq!(
+            ds.insert_with_id(ObjectId::new(10), rec("y")),
+            Err(TypeError::DuplicateObject(ObjectId::new(10)))
+        );
+        // Freshly generated ids must not collide with the explicit one.
+        let fresh = ds.insert(rec("z"));
+        assert!(fresh.raw() > 10);
+    }
+
+    #[test]
+    fn update_replaces_record() {
+        let mut ds = Dataset::new();
+        let id = ds.insert(rec("old"));
+        let old = ds.update(id, rec("new")).unwrap();
+        assert_eq!(old.field("name").unwrap().as_text(), Some("old"));
+        assert_eq!(
+            ds.record(id).unwrap().field("name").unwrap().as_text(),
+            Some("new")
+        );
+        assert!(ds.update(ObjectId::new(1234), rec("nope")).is_err());
+    }
+
+    #[test]
+    fn apply_batch_replays_operations_in_order() {
+        let mut ds = Dataset::new();
+        let id0 = ObjectId::new(0);
+        let id1 = ObjectId::new(1);
+        let mut batch = OperationBatch::new();
+        batch.push(Operation::Add { id: id0, record: rec("a") });
+        batch.push(Operation::Add { id: id1, record: rec("b") });
+        batch.push(Operation::Update { id: id0, record: rec("a2") });
+        batch.push(Operation::Remove { id: id1 });
+        ds.apply_batch(&batch).unwrap();
+        assert_eq!(ds.len(), 1);
+        assert_eq!(
+            ds.record(id0).unwrap().field("name").unwrap().as_text(),
+            Some("a2")
+        );
+    }
+
+    #[test]
+    fn from_pairs_preserves_ids() {
+        let ds = Dataset::from_pairs([
+            (ObjectId::new(3), rec("three")),
+            (ObjectId::new(1), rec("one")),
+        ]);
+        assert_eq!(ds.len(), 2);
+        assert_eq!(ds.ids(), vec![ObjectId::new(1), ObjectId::new(3)]);
+    }
+
+    #[test]
+    fn iter_is_in_id_order() {
+        let mut ds = Dataset::new();
+        ds.insert_with_id(ObjectId::new(5), rec("e")).unwrap();
+        ds.insert_with_id(ObjectId::new(2), rec("b")).unwrap();
+        let order: Vec<u64> = ds.iter().map(|(id, _)| id.raw()).collect();
+        assert_eq!(order, vec![2, 5]);
+    }
+}

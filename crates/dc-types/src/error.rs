@@ -1,0 +1,67 @@
+//! Error type shared by the data-model containers.
+
+use crate::{ClusterId, ObjectId};
+use std::fmt;
+
+/// Errors raised by [`Dataset`](crate::Dataset) and
+/// [`Clustering`](crate::Clustering) when an operation refers to state that
+/// does not exist or would violate a structural invariant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TypeError {
+    /// The object id is not present in the dataset / clustering.
+    UnknownObject(ObjectId),
+    /// The cluster id is not present in the clustering.
+    UnknownCluster(ClusterId),
+    /// Attempted to add an object that already exists.
+    DuplicateObject(ObjectId),
+    /// Attempted to place an object that is already assigned to a cluster.
+    AlreadyClustered(ObjectId, ClusterId),
+    /// A split was requested that would leave one side empty.
+    EmptySplit(ClusterId),
+    /// A merge was requested between a cluster and itself.
+    SelfMerge(ClusterId),
+    /// A structural invariant of the clustering was violated (bug guard).
+    InvariantViolation(String),
+}
+
+impl fmt::Display for TypeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TypeError::UnknownObject(id) => write!(f, "unknown object {id}"),
+            TypeError::UnknownCluster(id) => write!(f, "unknown cluster {id}"),
+            TypeError::DuplicateObject(id) => write!(f, "object {id} already exists"),
+            TypeError::AlreadyClustered(o, c) => {
+                write!(f, "object {o} is already assigned to cluster {c}")
+            }
+            TypeError::EmptySplit(c) => {
+                write!(f, "split of cluster {c} would produce an empty side")
+            }
+            TypeError::SelfMerge(c) => write!(f, "cannot merge cluster {c} with itself"),
+            TypeError::InvariantViolation(msg) => write!(f, "clustering invariant violated: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TypeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = TypeError::UnknownObject(ObjectId::new(3));
+        assert!(e.to_string().contains("r3"));
+        let e = TypeError::AlreadyClustered(ObjectId::new(1), ClusterId::new(2));
+        assert!(e.to_string().contains("r1"));
+        assert!(e.to_string().contains("C2"));
+        let e = TypeError::InvariantViolation("missing member".into());
+        assert!(e.to_string().contains("missing member"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error>(_e: &E) {}
+        assert_err(&TypeError::SelfMerge(ClusterId::new(0)));
+    }
+}

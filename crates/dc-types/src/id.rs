@@ -1,0 +1,183 @@
+//! Identifier newtypes for objects and clusters.
+//!
+//! Both identifiers are thin wrappers around `u64` so that they are `Copy`,
+//! hash quickly, and can be used as dense indices where convenient.  Using
+//! distinct newtypes (rather than bare integers) prevents the classic bug of
+//! passing a cluster id where an object id is expected — a mistake that is
+//! easy to make in clustering code where both are ubiquitous.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a single database object (a record / data point).
+///
+/// Object ids are assigned by the data source (generator or loader) and are
+/// stable for the lifetime of the object: updates keep the id, removals
+/// retire it, re-additions of "the same" logical entity get a fresh id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ObjectId(pub u64);
+
+impl ObjectId {
+    /// Create an object id from a raw integer.
+    #[inline]
+    pub const fn new(raw: u64) -> Self {
+        ObjectId(raw)
+    }
+
+    /// The raw integer value.
+    #[inline]
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for ObjectId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+impl From<u64> for ObjectId {
+    fn from(raw: u64) -> Self {
+        ObjectId(raw)
+    }
+}
+
+/// Identifier of a cluster within a [`Clustering`](crate::Clustering).
+///
+/// Cluster ids are only meaningful inside the clustering that produced them;
+/// merging or splitting allocates fresh ids so that evolution steps can refer
+/// unambiguously to "the cluster before" and "the cluster after" a change.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ClusterId(pub u64);
+
+impl ClusterId {
+    /// Create a cluster id from a raw integer.
+    #[inline]
+    pub const fn new(raw: u64) -> Self {
+        ClusterId(raw)
+    }
+
+    /// The raw integer value.
+    #[inline]
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for ClusterId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "C{}", self.0)
+    }
+}
+
+impl From<u64> for ClusterId {
+    fn from(raw: u64) -> Self {
+        ClusterId(raw)
+    }
+}
+
+/// A monotonically increasing generator of fresh identifiers.
+///
+/// Both [`Dataset`](crate::Dataset) and [`Clustering`](crate::Clustering) own
+/// one of these so that ids never collide within one container.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct IdGenerator {
+    next: u64,
+}
+
+impl IdGenerator {
+    /// Create a generator starting at zero.
+    pub fn new() -> Self {
+        Self { next: 0 }
+    }
+
+    /// Create a generator that will hand out ids starting at `start`.
+    pub fn starting_at(start: u64) -> Self {
+        Self { next: start }
+    }
+
+    /// Next raw id.
+    pub fn next_raw(&mut self) -> u64 {
+        let id = self.next;
+        self.next += 1;
+        id
+    }
+
+    /// Next object id.
+    pub fn next_object(&mut self) -> ObjectId {
+        ObjectId(self.next_raw())
+    }
+
+    /// Next cluster id.
+    pub fn next_cluster(&mut self) -> ClusterId {
+        ClusterId(self.next_raw())
+    }
+
+    /// Make sure future ids are strictly greater than `raw`.
+    pub fn bump_past(&mut self, raw: u64) {
+        if raw >= self.next {
+            self.next = raw + 1;
+        }
+    }
+
+    /// The next id that would be handed out (without consuming it).
+    pub fn peek(&self) -> u64 {
+        self.next
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn object_id_roundtrip() {
+        let id = ObjectId::new(42);
+        assert_eq!(id.raw(), 42);
+        assert_eq!(ObjectId::from(42u64), id);
+        assert_eq!(id.to_string(), "r42");
+    }
+
+    #[test]
+    fn cluster_id_roundtrip() {
+        let id = ClusterId::new(7);
+        assert_eq!(id.raw(), 7);
+        assert_eq!(ClusterId::from(7u64), id);
+        assert_eq!(id.to_string(), "C7");
+    }
+
+    #[test]
+    fn ids_are_ordered_by_raw_value() {
+        assert!(ObjectId::new(1) < ObjectId::new(2));
+        assert!(ClusterId::new(10) > ClusterId::new(9));
+    }
+
+    #[test]
+    fn generator_yields_unique_ids() {
+        let mut g = IdGenerator::new();
+        let ids: HashSet<u64> = (0..1000).map(|_| g.next_raw()).collect();
+        assert_eq!(ids.len(), 1000);
+    }
+
+    #[test]
+    fn generator_bump_past_skips_used_range() {
+        let mut g = IdGenerator::starting_at(5);
+        assert_eq!(g.next_raw(), 5);
+        g.bump_past(100);
+        assert_eq!(g.next_raw(), 101);
+        // Bumping below the current watermark is a no-op.
+        g.bump_past(3);
+        assert_eq!(g.next_raw(), 102);
+    }
+
+    #[test]
+    fn generator_peek_does_not_consume() {
+        let mut g = IdGenerator::new();
+        assert_eq!(g.peek(), 0);
+        assert_eq!(g.peek(), 0);
+        assert_eq!(g.next_object(), ObjectId::new(0));
+        assert_eq!(g.peek(), 1);
+    }
+}

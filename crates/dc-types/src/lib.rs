@@ -1,0 +1,47 @@
+//! # dc-types
+//!
+//! Core data model shared by every crate in the DynamicC workspace.
+//!
+//! The DynamicC paper ("Efficient Dynamic Clustering: Capturing Patterns from
+//! Historical Cluster Evolution", EDBT 2022) operates on a *database of
+//! objects* that is continuously modified by add / remove / update
+//! operations, and on *clusterings* of those objects that must be kept fresh
+//! as the database changes.  This crate defines the vocabulary used across
+//! the workspace:
+//!
+//! * [`ObjectId`] / [`ClusterId`] — cheap copyable identifiers.
+//! * [`Record`] — an object's payload: textual fields, token sets, and/or a
+//!   numeric feature vector (the paper's datasets are textual, numerical, or
+//!   mixed; see Table 1 of the paper).
+//! * [`Dataset`] — the mutable collection of live objects.
+//! * [`Operation`] / [`OperationBatch`] — the dynamic workload primitives of
+//!   §3.1 (Adding, Removing, Updating).
+//! * [`Snapshot`] — one round of the dynamic process (§7.2): a batch of
+//!   operations applied between two re-clusterings.
+//! * [`Clustering`] / [`Cluster`] — a partition of the live objects, with the
+//!   structural mutations the paper reasons about (merge, split, move).
+//!
+//! Everything here is deliberately free of similarity or objective logic:
+//! those live in `dc-similarity` and `dc-objective`.
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+pub mod clustering;
+pub mod dataset;
+pub mod error;
+pub mod id;
+pub mod operation;
+pub mod record;
+pub mod snapshot;
+
+pub use clustering::{Cluster, Clustering, ClusteringDelta};
+pub use dataset::Dataset;
+pub use error::TypeError;
+pub use id::{ClusterId, ObjectId};
+pub use operation::{Operation, OperationBatch, OperationKind};
+pub use record::{FieldValue, Record, RecordBuilder, RecordKind};
+pub use snapshot::{Snapshot, SnapshotStats};
+
+/// Convenient result alias for fallible operations in this crate.
+pub type Result<T> = std::result::Result<T, TypeError>;

@@ -1,0 +1,261 @@
+//! Dynamic-workload operations (§3.1 of the paper).
+//!
+//! The paper defines three operations on the database, each of which may
+//! trigger re-clustering:
+//!
+//! * **Adding** a new object — it may join an existing cluster, sit in a
+//!   singleton cluster, or cause an existing cluster to split.
+//! * **Removing** an object — may cause its cluster to split or merge with a
+//!   neighbour.
+//! * **Updating** an object — changes its similarity relations; equivalent to
+//!   a remove followed by an add (and that is exactly how DynamicC's initial
+//!   processing treats it, §6.1).
+
+use crate::{ObjectId, Record};
+use serde::{Deserialize, Serialize};
+
+/// A single change to the database.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Operation {
+    /// Add a new object under a chosen id.
+    Add {
+        /// Identifier of the new object.
+        id: ObjectId,
+        /// Its payload.
+        record: Record,
+    },
+    /// Remove a live object.
+    Remove {
+        /// Identifier of the object to remove.
+        id: ObjectId,
+    },
+    /// Replace the record of a live object.
+    Update {
+        /// Identifier of the object to update.
+        id: ObjectId,
+        /// Its new payload.
+        record: Record,
+    },
+}
+
+impl Operation {
+    /// The id of the object touched by this operation.
+    pub fn object_id(&self) -> ObjectId {
+        match self {
+            Operation::Add { id, .. } | Operation::Remove { id } | Operation::Update { id, .. } => {
+                *id
+            }
+        }
+    }
+
+    /// The kind of this operation (without its payload).
+    pub fn kind(&self) -> OperationKind {
+        match self {
+            Operation::Add { .. } => OperationKind::Add,
+            Operation::Remove { .. } => OperationKind::Remove,
+            Operation::Update { .. } => OperationKind::Update,
+        }
+    }
+}
+
+/// The three operation kinds of §3.1, payload-free.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum OperationKind {
+    /// A new object is added.
+    Add,
+    /// An existing object is removed.
+    Remove,
+    /// An existing object's record changes.
+    Update,
+}
+
+impl std::fmt::Display for OperationKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OperationKind::Add => write!(f, "Add"),
+            OperationKind::Remove => write!(f, "Remove"),
+            OperationKind::Update => write!(f, "Update"),
+        }
+    }
+}
+
+/// An ordered batch of operations applied between two re-clusterings.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct OperationBatch {
+    ops: Vec<Operation>,
+}
+
+impl OperationBatch {
+    /// Create an empty batch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Create a batch from a vector of operations.
+    pub fn from_ops(ops: Vec<Operation>) -> Self {
+        OperationBatch { ops }
+    }
+
+    /// Append an operation.
+    pub fn push(&mut self, op: Operation) {
+        self.ops.push(op);
+    }
+
+    /// Number of operations in the batch.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the batch is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Iterate over the operations in order.
+    pub fn iter(&self) -> impl Iterator<Item = &Operation> {
+        self.ops.iter()
+    }
+
+    /// Ids of objects that were added by this batch.
+    pub fn added_ids(&self) -> Vec<ObjectId> {
+        self.ids_of_kind(OperationKind::Add)
+    }
+
+    /// Ids of objects that were removed by this batch.
+    pub fn removed_ids(&self) -> Vec<ObjectId> {
+        self.ids_of_kind(OperationKind::Remove)
+    }
+
+    /// Ids of objects that were updated by this batch.
+    pub fn updated_ids(&self) -> Vec<ObjectId> {
+        self.ids_of_kind(OperationKind::Update)
+    }
+
+    /// Ids of all objects touched by this batch (added, removed or updated),
+    /// deduplicated, keeping only the *latest* change per object as required
+    /// by Phase 1 of the cross-round evolution derivation (§4.3).
+    pub fn touched_ids(&self) -> Vec<ObjectId> {
+        let mut seen = std::collections::BTreeSet::new();
+        // Iterate in reverse so the latest operation wins, then restore order.
+        let mut out: Vec<ObjectId> = Vec::new();
+        for op in self.ops.iter().rev() {
+            if seen.insert(op.object_id()) {
+                out.push(op.object_id());
+            }
+        }
+        out.reverse();
+        out
+    }
+
+    /// Per-kind counts `(adds, removes, updates)`.
+    pub fn counts(&self) -> (usize, usize, usize) {
+        let mut a = 0;
+        let mut r = 0;
+        let mut u = 0;
+        for op in &self.ops {
+            match op.kind() {
+                OperationKind::Add => a += 1,
+                OperationKind::Remove => r += 1,
+                OperationKind::Update => u += 1,
+            }
+        }
+        (a, r, u)
+    }
+
+    fn ids_of_kind(&self, kind: OperationKind) -> Vec<ObjectId> {
+        self.ops
+            .iter()
+            .filter(|op| op.kind() == kind)
+            .map(|op| op.object_id())
+            .collect()
+    }
+}
+
+impl IntoIterator for OperationBatch {
+    type Item = Operation;
+    type IntoIter = std::vec::IntoIter<Operation>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.ops.into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a OperationBatch {
+    type Item = &'a Operation;
+    type IntoIter = std::slice::Iter<'a, Operation>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.ops.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RecordBuilder;
+
+    fn rec(name: &str) -> Record {
+        RecordBuilder::new().text("name", name).build()
+    }
+
+    fn id(raw: u64) -> ObjectId {
+        ObjectId::new(raw)
+    }
+
+    #[test]
+    fn operation_accessors() {
+        let add = Operation::Add { id: id(1), record: rec("a") };
+        let rem = Operation::Remove { id: id(2) };
+        let upd = Operation::Update { id: id(3), record: rec("c") };
+        assert_eq!(add.object_id(), id(1));
+        assert_eq!(rem.object_id(), id(2));
+        assert_eq!(upd.object_id(), id(3));
+        assert_eq!(add.kind(), OperationKind::Add);
+        assert_eq!(rem.kind(), OperationKind::Remove);
+        assert_eq!(upd.kind(), OperationKind::Update);
+    }
+
+    #[test]
+    fn batch_counts_and_kind_filters() {
+        let mut b = OperationBatch::new();
+        b.push(Operation::Add { id: id(1), record: rec("a") });
+        b.push(Operation::Add { id: id(2), record: rec("b") });
+        b.push(Operation::Remove { id: id(3) });
+        b.push(Operation::Update { id: id(4), record: rec("d") });
+        assert_eq!(b.counts(), (2, 1, 1));
+        assert_eq!(b.added_ids(), vec![id(1), id(2)]);
+        assert_eq!(b.removed_ids(), vec![id(3)]);
+        assert_eq!(b.updated_ids(), vec![id(4)]);
+        assert_eq!(b.len(), 4);
+        assert!(!b.is_empty());
+    }
+
+    #[test]
+    fn touched_ids_keeps_latest_change_per_object() {
+        // Object 1 is added then updated twice; it should appear once.
+        let mut b = OperationBatch::new();
+        b.push(Operation::Add { id: id(1), record: rec("v1") });
+        b.push(Operation::Update { id: id(1), record: rec("v2") });
+        b.push(Operation::Add { id: id(2), record: rec("x") });
+        b.push(Operation::Update { id: id(1), record: rec("v3") });
+        let touched = b.touched_ids();
+        assert_eq!(touched.len(), 2);
+        assert!(touched.contains(&id(1)));
+        assert!(touched.contains(&id(2)));
+    }
+
+    #[test]
+    fn empty_batch_behaviour() {
+        let b = OperationBatch::new();
+        assert!(b.is_empty());
+        assert_eq!(b.counts(), (0, 0, 0));
+        assert!(b.touched_ids().is_empty());
+    }
+
+    #[test]
+    fn operation_kind_display() {
+        assert_eq!(OperationKind::Add.to_string(), "Add");
+        assert_eq!(OperationKind::Remove.to_string(), "Remove");
+        assert_eq!(OperationKind::Update.to_string(), "Update");
+    }
+}

@@ -1,0 +1,312 @@
+//! Object payloads.
+//!
+//! The paper evaluates DynamicC on textual datasets (Cora, MusicBrainz,
+//! Febrl-synthetic), numerical datasets (Amazon Access, 3D Road Network), and
+//! mixed ones (Table 1).  A [`Record`] therefore carries named textual fields
+//! and/or a numeric feature vector; the similarity crate decides how to
+//! compare two records based on their [`RecordKind`].
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// The value of a single named field of a record.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum FieldValue {
+    /// A free-text field (e.g. a publication title or an artist name).
+    Text(String),
+    /// A numeric scalar field (e.g. a year).
+    Number(f64),
+}
+
+impl FieldValue {
+    /// The textual content, if this is a text field.
+    pub fn as_text(&self) -> Option<&str> {
+        match self {
+            FieldValue::Text(s) => Some(s),
+            FieldValue::Number(_) => None,
+        }
+    }
+
+    /// The numeric content, if this is a number field.
+    pub fn as_number(&self) -> Option<f64> {
+        match self {
+            FieldValue::Text(_) => None,
+            FieldValue::Number(x) => Some(*x),
+        }
+    }
+}
+
+/// What kind of payload a record predominantly carries.
+///
+/// This drives the default similarity measure chosen for a dataset
+/// (Jaccard / trigram-cosine for textual data, Euclidean-derived similarity
+/// for numeric data), mirroring Table 1 of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RecordKind {
+    /// Textual record (named text fields).
+    Textual,
+    /// Numeric record (dense feature vector).
+    Numeric,
+    /// Both textual fields and a numeric vector are meaningful.
+    Mixed,
+}
+
+/// A single database object.
+///
+/// Records are value types: updating an object replaces its record wholesale
+/// (the paper models an update as a remove followed by an add, §6.1).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Record {
+    /// Named fields, ordered deterministically for reproducible tokenization.
+    fields: BTreeMap<String, FieldValue>,
+    /// Dense numeric feature vector (empty for purely textual records).
+    vector: Vec<f64>,
+    /// Optional ground-truth entity label (used only by evaluation and data
+    /// generation, never by the clustering algorithms themselves).
+    entity: Option<u64>,
+}
+
+impl Record {
+    /// Create an empty record.  Prefer [`RecordBuilder`] for non-trivial
+    /// construction.
+    pub fn new() -> Self {
+        Record {
+            fields: BTreeMap::new(),
+            vector: Vec::new(),
+            entity: None,
+        }
+    }
+
+    /// Create a purely numeric record from a feature vector.
+    pub fn from_vector(vector: Vec<f64>) -> Self {
+        Record {
+            fields: BTreeMap::new(),
+            vector,
+            entity: None,
+        }
+    }
+
+    /// Create a purely textual record from `(field name, text)` pairs.
+    pub fn from_text_fields<I, K, V>(pairs: I) -> Self
+    where
+        I: IntoIterator<Item = (K, V)>,
+        K: Into<String>,
+        V: Into<String>,
+    {
+        let mut r = Record::new();
+        for (k, v) in pairs {
+            r.fields.insert(k.into(), FieldValue::Text(v.into()));
+        }
+        r
+    }
+
+    /// Which kind of payload this record carries.
+    pub fn kind(&self) -> RecordKind {
+        match (self.fields.is_empty(), self.vector.is_empty()) {
+            (false, false) => RecordKind::Mixed,
+            (false, true) => RecordKind::Textual,
+            (true, false) => RecordKind::Numeric,
+            // An empty record is treated as textual with no tokens; it is
+            // maximally dissimilar to everything.
+            (true, true) => RecordKind::Textual,
+        }
+    }
+
+    /// Named fields (deterministic iteration order).
+    pub fn fields(&self) -> impl Iterator<Item = (&str, &FieldValue)> {
+        self.fields.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Look up a field by name.
+    pub fn field(&self, name: &str) -> Option<&FieldValue> {
+        self.fields.get(name)
+    }
+
+    /// Set (or replace) a field.
+    pub fn set_field(&mut self, name: impl Into<String>, value: FieldValue) {
+        self.fields.insert(name.into(), value);
+    }
+
+    /// The numeric feature vector (may be empty).
+    pub fn vector(&self) -> &[f64] {
+        &self.vector
+    }
+
+    /// Replace the numeric feature vector.
+    pub fn set_vector(&mut self, vector: Vec<f64>) {
+        self.vector = vector;
+    }
+
+    /// Ground-truth entity label, if any (synthetic data only).
+    pub fn entity(&self) -> Option<u64> {
+        self.entity
+    }
+
+    /// Attach a ground-truth entity label.
+    pub fn set_entity(&mut self, entity: u64) {
+        self.entity = Some(entity);
+    }
+
+    /// Concatenation of all textual field values, lowercased, in field-name
+    /// order.  This is the canonical string used by token- and trigram-based
+    /// similarity measures.
+    pub fn full_text(&self) -> String {
+        let mut out = String::new();
+        for (_, v) in self.fields.iter() {
+            if let FieldValue::Text(s) = v {
+                if !out.is_empty() {
+                    out.push(' ');
+                }
+                out.push_str(&s.to_lowercase());
+            }
+        }
+        out
+    }
+
+    /// Whitespace tokens of [`Record::full_text`].
+    pub fn tokens(&self) -> Vec<String> {
+        self.full_text()
+            .split_whitespace()
+            .map(|s| s.to_string())
+            .collect()
+    }
+
+    /// Number of named fields.
+    pub fn field_count(&self) -> usize {
+        self.fields.len()
+    }
+}
+
+impl Default for Record {
+    fn default() -> Self {
+        Record::new()
+    }
+}
+
+/// Fluent builder for [`Record`]s.
+///
+/// ```
+/// use dc_types::RecordBuilder;
+/// let rec = RecordBuilder::new()
+///     .text("title", "Efficient Dynamic Clustering")
+///     .text("venue", "EDBT")
+///     .number("year", 2022.0)
+///     .vector(vec![0.1, 0.2])
+///     .entity(7)
+///     .build();
+/// assert_eq!(rec.field("venue").unwrap().as_text(), Some("EDBT"));
+/// assert_eq!(rec.entity(), Some(7));
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct RecordBuilder {
+    record: Record,
+}
+
+impl RecordBuilder {
+    /// Start building an empty record.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a text field.
+    pub fn text(mut self, name: impl Into<String>, value: impl Into<String>) -> Self {
+        self.record
+            .set_field(name, FieldValue::Text(value.into()));
+        self
+    }
+
+    /// Add a numeric scalar field.
+    pub fn number(mut self, name: impl Into<String>, value: f64) -> Self {
+        self.record.set_field(name, FieldValue::Number(value));
+        self
+    }
+
+    /// Set the numeric feature vector.
+    pub fn vector(mut self, vector: Vec<f64>) -> Self {
+        self.record.set_vector(vector);
+        self
+    }
+
+    /// Attach a ground-truth entity label.
+    pub fn entity(mut self, entity: u64) -> Self {
+        self.record.set_entity(entity);
+        self
+    }
+
+    /// Finish building.
+    pub fn build(self) -> Record {
+        self.record
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_classification() {
+        assert_eq!(Record::new().kind(), RecordKind::Textual);
+        assert_eq!(
+            Record::from_vector(vec![1.0, 2.0]).kind(),
+            RecordKind::Numeric
+        );
+        assert_eq!(
+            Record::from_text_fields([("a", "x")]).kind(),
+            RecordKind::Textual
+        );
+        let mixed = RecordBuilder::new()
+            .text("a", "x")
+            .vector(vec![1.0])
+            .build();
+        assert_eq!(mixed.kind(), RecordKind::Mixed);
+    }
+
+    #[test]
+    fn full_text_is_lowercased_and_field_ordered() {
+        let r = RecordBuilder::new()
+            .text("b_second", "World")
+            .text("a_first", "Hello")
+            .build();
+        assert_eq!(r.full_text(), "hello world");
+        assert_eq!(r.tokens(), vec!["hello", "world"]);
+    }
+
+    #[test]
+    fn numeric_fields_are_excluded_from_text() {
+        let r = RecordBuilder::new()
+            .text("title", "abc")
+            .number("year", 1999.0)
+            .build();
+        assert_eq!(r.full_text(), "abc");
+        assert_eq!(r.field("year").unwrap().as_number(), Some(1999.0));
+        assert_eq!(r.field("year").unwrap().as_text(), None);
+    }
+
+    #[test]
+    fn builder_sets_everything() {
+        let r = RecordBuilder::new()
+            .text("name", "n")
+            .vector(vec![0.5, 0.5])
+            .entity(3)
+            .build();
+        assert_eq!(r.vector(), &[0.5, 0.5]);
+        assert_eq!(r.entity(), Some(3));
+        assert_eq!(r.field_count(), 1);
+    }
+
+    #[test]
+    fn set_field_replaces_existing_value() {
+        let mut r = Record::from_text_fields([("t", "old")]);
+        r.set_field("t", FieldValue::Text("new".into()));
+        assert_eq!(r.field("t").unwrap().as_text(), Some("new"));
+        assert_eq!(r.field_count(), 1);
+    }
+
+    #[test]
+    fn empty_record_has_empty_text_and_tokens() {
+        let r = Record::new();
+        assert!(r.full_text().is_empty());
+        assert!(r.tokens().is_empty());
+        assert!(r.vector().is_empty());
+    }
+}

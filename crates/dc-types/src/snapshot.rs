@@ -1,0 +1,119 @@
+//! Snapshots of the dynamic process.
+//!
+//! The paper evaluates each dataset as a sequence of *snapshots* (rounds):
+//! starting from an initial subset of the data, each snapshot applies a batch
+//! of add / remove / update operations and then triggers re-clustering
+//! (Figure 5(a) lists the per-snapshot operation mix for each dataset).  A
+//! [`Snapshot`] couples one such operation batch with bookkeeping metadata so
+//! that the benchmark harness, the baselines, and DynamicC all replay exactly
+//! the same workload.
+
+use crate::{OperationBatch, OperationKind};
+use serde::{Deserialize, Serialize};
+
+/// One round of the dynamic workload.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Snapshot {
+    /// 1-based index of the snapshot in its workload.
+    pub index: usize,
+    /// Operations applied in this round, in order.
+    pub batch: OperationBatch,
+}
+
+impl Snapshot {
+    /// Create a snapshot.
+    pub fn new(index: usize, batch: OperationBatch) -> Self {
+        Snapshot { index, batch }
+    }
+
+    /// Operation statistics for this snapshot.
+    pub fn stats(&self) -> SnapshotStats {
+        let (adds, removes, updates) = self.batch.counts();
+        SnapshotStats {
+            index: self.index,
+            adds,
+            removes,
+            updates,
+        }
+    }
+}
+
+/// Per-snapshot operation counts, used to report the Figure 5(a)-style
+/// workload composition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SnapshotStats {
+    /// 1-based snapshot index.
+    pub index: usize,
+    /// Number of Add operations.
+    pub adds: usize,
+    /// Number of Remove operations.
+    pub removes: usize,
+    /// Number of Update operations.
+    pub updates: usize,
+}
+
+impl SnapshotStats {
+    /// Total number of operations.
+    pub fn total(&self) -> usize {
+        self.adds + self.removes + self.updates
+    }
+
+    /// Percentage of operations of the given kind (0 when the snapshot is
+    /// empty), matching the y-axis of Figure 5(a).
+    pub fn percentage(&self, kind: OperationKind, base: usize) -> f64 {
+        if base == 0 {
+            return 0.0;
+        }
+        let count = match kind {
+            OperationKind::Add => self.adds,
+            OperationKind::Remove => self.removes,
+            OperationKind::Update => self.updates,
+        };
+        100.0 * count as f64 / base as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ObjectId, Operation, RecordBuilder};
+
+    fn add(raw: u64) -> Operation {
+        Operation::Add {
+            id: ObjectId::new(raw),
+            record: RecordBuilder::new().text("t", "x").build(),
+        }
+    }
+
+    #[test]
+    fn stats_count_each_kind() {
+        let mut b = OperationBatch::new();
+        b.push(add(1));
+        b.push(add(2));
+        b.push(Operation::Remove { id: ObjectId::new(1) });
+        let snap = Snapshot::new(3, b);
+        let s = snap.stats();
+        assert_eq!(s.index, 3);
+        assert_eq!(s.adds, 2);
+        assert_eq!(s.removes, 1);
+        assert_eq!(s.updates, 0);
+        assert_eq!(s.total(), 3);
+    }
+
+    #[test]
+    fn percentage_is_relative_to_base() {
+        let mut b = OperationBatch::new();
+        b.push(add(1));
+        b.push(add(2));
+        let s = Snapshot::new(1, b).stats();
+        assert!((s.percentage(OperationKind::Add, 10) - 20.0).abs() < 1e-12);
+        assert_eq!(s.percentage(OperationKind::Remove, 10), 0.0);
+        assert_eq!(s.percentage(OperationKind::Add, 0), 0.0);
+    }
+
+    #[test]
+    fn empty_snapshot_stats() {
+        let s = Snapshot::default().stats();
+        assert_eq!(s.total(), 0);
+    }
+}

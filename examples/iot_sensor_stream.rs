@@ -1,0 +1,90 @@
+//! High-velocity IoT-style numeric stream clustered with the k-means
+//! objective.
+//!
+//! The introduction of the paper motivates DynamicC with Internet-of-Things
+//! workloads: sensors continuously report feature vectors, and the grouping
+//! must track the stream without re-clustering from scratch.  Here an
+//! Access-like Gaussian mixture plays the role of the sensor fleet; the
+//! batch algorithm is hill-climbing over the k-means objective with fixed k,
+//! and DynamicC absorbs each batch of new readings.
+//!
+//! ```text
+//! cargo run --release --example iot_sensor_stream
+//! ```
+
+use dynamicc::batch::HillClimbingConfig;
+use dynamicc::prelude::*;
+use std::sync::Arc;
+use std::time::Instant;
+
+fn main() {
+    let clusters = 12;
+    let full = AccessLikeGenerator {
+        clusters,
+        points_per_cluster: 40,
+        dims: 4,
+        ..AccessLikeGenerator::default()
+    }
+    .generate();
+    let workload = DynamicWorkload::generate(
+        &full,
+        WorkloadConfig {
+            initial_fraction: 0.3,
+            snapshots: 6,
+            add_fraction: 0.2,
+            update_fraction: 0.05,
+            ..WorkloadConfig::default()
+        },
+    );
+    println!(
+        "sensor fleet: {} readings from {} device groups",
+        full.len(),
+        clusters
+    );
+
+    let objective = Arc::new(KMeansObjective);
+    let batch = HillClimbing::new(
+        objective.clone(),
+        HillClimbingConfig {
+            fixed_k: Some(clusters),
+            ..HillClimbingConfig::default()
+        },
+    );
+    let mut graph = SimilarityGraph::build(
+        GraphConfig::numeric_euclidean(1.8, 4.0, 3, 0.25),
+        &workload.initial,
+    );
+    let initial = batch.cluster(&graph).clustering;
+    println!(
+        "initial clustering: {} clusters, k-means cost {:.1}",
+        initial.cluster_count(),
+        objective.evaluate(&graph, &initial)
+    );
+
+    let mut dynamicc = DynamicC::with_objective(objective.clone());
+    let (train, serve) = workload.snapshots.split_at(2);
+    let report = train_on_workload(&mut dynamicc, &mut graph, &initial, train, &batch);
+    let mut previous = report.final_clustering(&initial);
+
+    println!("\nround  readings   dynC(ms)   k-means cost (DynamicC)   cost (batch)");
+    for snapshot in serve {
+        graph.apply_batch(&snapshot.batch);
+        let t = Instant::now();
+        let clustering = dynamicc.recluster(&graph, &previous, &snapshot.batch);
+        let ms = t.elapsed().as_secs_f64() * 1e3;
+        let batch_result = batch.recluster(&graph, &previous).clustering;
+        println!(
+            "{:>5} {:>9} {:>10.1} {:>25.1} {:>14.1}",
+            snapshot.index,
+            clustering.object_count(),
+            ms,
+            objective.evaluate(&graph, &clustering),
+            objective.evaluate(&graph, &batch_result),
+        );
+        previous = clustering;
+    }
+    println!(
+        "\ncohesion of the final clustering: {:.3}",
+        dynamicc.mean_cohesion(&graph, &previous)
+    );
+}

@@ -1,0 +1,77 @@
+//! Density-based clustering of a growing 3D road network.
+//!
+//! The paper's largest dataset is the 3D Road Network; its clustering task
+//! is density-based (DBSCAN).  DBSCAN has no objective function, so DynamicC
+//! verifies its proposed changes with the density-consistency score instead
+//! (§7.2.1): previously established core points must keep their neighbours
+//! in one cluster.  This example streams new road segments in and compares
+//! DynamicC's maintenance against re-running DBSCAN.
+//!
+//! ```text
+//! cargo run --release --example road_network
+//! ```
+
+use dynamicc::prelude::*;
+use std::sync::Arc;
+use std::time::Instant;
+
+fn main() {
+    let full = RoadLikeGenerator {
+        roads: 30,
+        points_per_road: 30,
+        ..RoadLikeGenerator::default()
+    }
+    .generate();
+    let workload = DynamicWorkload::generate(
+        &full,
+        WorkloadConfig {
+            initial_fraction: 0.3,
+            snapshots: 6,
+            ..WorkloadConfig::default()
+        },
+    );
+    println!(
+        "road network: {} elevation-annotated points along {} roads",
+        full.len(),
+        30
+    );
+
+    let min_pts = 3;
+    let objective = Arc::new(DensityObjective::new(min_pts));
+    let dbscan = Dbscan::new(DbscanConfig { min_pts });
+    let mut graph = SimilarityGraph::build(
+        GraphConfig::numeric_euclidean(0.6, 1.5, 3, 0.25),
+        &workload.initial,
+    );
+    let initial = dbscan.cluster(&graph).clustering;
+    println!("initial DBSCAN clustering: {} clusters", initial.cluster_count());
+
+    let mut dynamicc = DynamicC::with_objective(objective);
+    let (train, serve) = workload.snapshots.split_at(2);
+    let report = train_on_workload(&mut dynamicc, &mut graph, &initial, train, &dbscan);
+    let mut previous = report.final_clustering(&initial);
+
+    println!("\nround  points   DBSCAN(ms)   DynamicC(ms)   F1 vs DBSCAN");
+    for snapshot in serve {
+        graph.apply_batch(&snapshot.batch);
+
+        let t = Instant::now();
+        let reference = dbscan.recluster(&graph, &previous).clustering;
+        let dbscan_ms = t.elapsed().as_secs_f64() * 1e3;
+
+        let t = Instant::now();
+        let clustering = dynamicc.recluster(&graph, &previous, &snapshot.batch);
+        let dynamicc_ms = t.elapsed().as_secs_f64() * 1e3;
+
+        println!(
+            "{:>5} {:>7} {:>11.1} {:>13.1} {:>14.3}",
+            snapshot.index,
+            clustering.object_count(),
+            dbscan_ms,
+            dynamicc_ms,
+            quality_report(&clustering, &reference).f1,
+        );
+        previous = clustering;
+    }
+    println!("\nDynamicC stats: {:?}", dynamicc.stats());
+}

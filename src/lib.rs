@@ -1,0 +1,113 @@
+//! # dynamicc
+//!
+//! A from-scratch Rust reproduction of **DynamicC** — *"Efficient Dynamic
+//! Clustering: Capturing Patterns from Historical Cluster Evolution"*
+//! (EDBT 2022).
+//!
+//! DynamicC keeps a clustering fresh while the underlying database is
+//! continuously modified: instead of re-running an expensive batch
+//! clustering algorithm after every batch of adds / removes / updates, it
+//! *learns the patterns of cluster evolution* from the batch algorithm's
+//! historical decisions and then predicts — and cheaply verifies — which
+//! clusters should merge or split in reaction to new changes.
+//!
+//! This crate is a facade over the workspace:
+//!
+//! | crate | contents |
+//! |---|---|
+//! | [`types`] | objects, records, datasets, operations, clusterings |
+//! | [`similarity`] | similarity measures, blocking, the sparse similarity graph |
+//! | [`objective`] | correlation / k-means / DB-index / density objectives with delta evaluation |
+//! | [`batch`] | hill-climbing, DBSCAN, Lloyd's k-means batch algorithms |
+//! | [`ml`] | logistic regression, linear SVM, decision tree, metrics, θ selection |
+//! | [`evolution`] | evolution traces, cross-round derivation, features, negative sampling |
+//! | [`core`] | **DynamicC itself**: training driver, merge/split/full algorithms |
+//! | [`baselines`] | the Naive and Greedy incremental baselines |
+//! | [`datagen`] | synthetic stand-ins for the paper's datasets + dynamic workloads |
+//! | [`eval`] | pair-counting F1, purity, inverse purity |
+//!
+//! ## Quick start
+//!
+//! ```
+//! use dynamicc::prelude::*;
+//! use std::sync::Arc;
+//!
+//! // 1. Synthesize a small record-linkage dataset and a dynamic workload.
+//! let full = FebrlLikeGenerator { originals: 40, duplicates_per_original: 1.5,
+//!                                 ..FebrlLikeGenerator::default() }.generate();
+//! let workload = DynamicWorkload::generate(&full, WorkloadConfig {
+//!     snapshots: 3, ..WorkloadConfig::default() });
+//!
+//! // 2. Build the similarity graph and the batch reference for the initial data.
+//! let mut graph = SimilarityGraph::build(GraphConfig::textual_febrl(0.6), &workload.initial);
+//! let objective = Arc::new(DbIndexObjective);
+//! let batch = HillClimbing::with_objective(objective.clone());
+//! let initial = batch.cluster(&graph).clustering;
+//!
+//! // 3. Train DynamicC by observing the batch algorithm on the first snapshots...
+//! let mut dynamicc = DynamicC::with_objective(objective);
+//! let (train, serve) = workload.snapshots.split_at(2);
+//! let report = train_on_workload(&mut dynamicc, &mut graph, &initial, train, &batch);
+//! let mut previous = report.final_clustering(&initial);
+//!
+//! // 4. ...then let DynamicC answer the next round instead of the batch algorithm.
+//! graph.apply_batch(&serve[0].batch);
+//! let clustering = dynamicc.recluster(&graph, &previous, &serve[0].batch);
+//! assert!(clustering.object_count() > previous.object_count());
+//! previous = clustering;
+//! assert!(previous.cluster_count() > 0);
+//! ```
+
+#![deny(rustdoc::broken_intra_doc_links)]
+
+pub use dc_baselines as baselines;
+pub use dc_batch as batch;
+pub use dc_core as core;
+pub use dc_datagen as datagen;
+pub use dc_eval as eval;
+pub use dc_evolution as evolution;
+pub use dc_ml as ml;
+pub use dc_objective as objective;
+pub use dc_similarity as similarity;
+pub use dc_types as types;
+
+/// The most commonly used items, re-exported flat.
+pub mod prelude {
+    pub use dc_baselines::{Greedy, GreedyConfig, IncrementalClusterer, Naive, NaiveConfig};
+    pub use dc_batch::{
+        BatchClusterer, BatchOutcome, Dbscan, DbscanConfig, HillClimbing, HillClimbingConfig,
+        KMeans, KMeansConfig,
+    };
+    pub use dc_core::{train_on_workload, DynamicC, DynamicCConfig, TrainingReport};
+    pub use dc_datagen::{
+        ground_truth, AccessLikeGenerator, CoraLikeGenerator, DuplicateDistribution,
+        DynamicWorkload, FebrlLikeGenerator, MusicLikeGenerator, RoadLikeGenerator,
+        WorkloadConfig,
+    };
+    pub use dc_eval::{quality_report, QualityReport};
+    pub use dc_ml::{BinaryClassifier, ModelKind};
+    pub use dc_objective::{
+        CorrelationObjective, DbIndexObjective, DensityObjective, KMeansObjective,
+        ObjectiveFunction,
+    };
+    pub use dc_similarity::{GraphConfig, SimilarityGraph, SimilarityMeasure};
+    pub use dc_types::{
+        Clustering, Dataset, ObjectId, Operation, OperationBatch, Record, RecordBuilder, Snapshot,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn facade_re_exports_are_usable_together() {
+        let record = RecordBuilder::new().text("name", "smoke test").build();
+        let mut dataset = Dataset::new();
+        let id = dataset.insert(record);
+        let graph = SimilarityGraph::build(GraphConfig::textual_jaccard(0.5), &dataset);
+        assert!(graph.contains(id));
+        let clustering = Clustering::singletons([id]);
+        assert_eq!(quality_report(&clustering, &clustering).f1, 1.0);
+    }
+}

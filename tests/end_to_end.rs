@@ -1,0 +1,191 @@
+//! Cross-crate integration tests: the full train-then-serve pipeline on
+//! synthetic workloads, and the qualitative claims of the evaluation section
+//! (DynamicC ≥ Naive in quality, DynamicC tracks the batch algorithm, all
+//! methods keep the clustering a valid partition).
+
+use dynamicc::prelude::*;
+use std::sync::Arc;
+
+struct Pipeline {
+    graph: SimilarityGraph,
+    previous: Clustering,
+    dynamicc: DynamicC,
+    serve: Vec<Snapshot>,
+    batch: HillClimbing,
+}
+
+/// Build a small Febrl-like record-linkage pipeline: train DynamicC on the
+/// first rounds, return everything needed to serve the remaining rounds.
+fn febrl_pipeline(seed: u64) -> Pipeline {
+    let full = FebrlLikeGenerator {
+        originals: 70,
+        duplicates_per_original: 1.8,
+        seed,
+        ..FebrlLikeGenerator::default()
+    }
+    .generate();
+    let workload = DynamicWorkload::generate(
+        &full,
+        WorkloadConfig {
+            initial_fraction: 0.35,
+            snapshots: 5,
+            seed: seed ^ 0xABCD,
+            ..WorkloadConfig::default()
+        },
+    );
+    let objective = Arc::new(DbIndexObjective);
+    let batch = HillClimbing::with_objective(objective.clone());
+    let mut graph = SimilarityGraph::build(GraphConfig::textual_febrl(0.6), &workload.initial);
+    let initial = batch.cluster(&graph).clustering;
+    let mut dynamicc = DynamicC::with_objective(objective);
+    let (train, serve) = workload.snapshots.split_at(3);
+    let report = train_on_workload(&mut dynamicc, &mut graph, &initial, train, &batch);
+    Pipeline {
+        graph,
+        previous: report.final_clustering(&initial),
+        dynamicc,
+        serve: serve.to_vec(),
+        batch,
+    }
+}
+
+#[test]
+fn dynamicc_stays_close_to_the_batch_algorithm() {
+    let mut p = febrl_pipeline(3);
+    assert!(p.dynamicc.is_trained());
+    for snapshot in &p.serve {
+        p.graph.apply_batch(&snapshot.batch);
+        let served = p.dynamicc.recluster(&p.graph, &p.previous, &snapshot.batch);
+        served.check_invariants().unwrap();
+        let reference = p.batch.recluster(&p.graph, &p.previous).clustering;
+        let q = quality_report(&served, &reference);
+        assert!(
+            q.f1 > 0.85,
+            "snapshot {}: F1 vs batch dropped to {:.3}",
+            snapshot.index,
+            q.f1
+        );
+        p.previous = reference;
+    }
+}
+
+#[test]
+fn dynamicc_beats_or_matches_naive_on_quality() {
+    let mut p = febrl_pipeline(11);
+    let mut naive = Naive::new(NaiveConfig { join_threshold: 0.5 });
+    let mut naive_f1_sum = 0.0;
+    let mut dync_f1_sum = 0.0;
+    let mut rounds = 0.0;
+    for snapshot in &p.serve {
+        p.graph.apply_batch(&snapshot.batch);
+        let reference = p.batch.recluster(&p.graph, &p.previous).clustering;
+        let naive_result = naive.recluster(&p.graph, &p.previous, &snapshot.batch);
+        let dync_result = p.dynamicc.recluster(&p.graph, &p.previous, &snapshot.batch);
+        naive_f1_sum += quality_report(&naive_result, &reference).f1;
+        dync_f1_sum += quality_report(&dync_result, &reference).f1;
+        rounds += 1.0;
+        p.previous = reference;
+    }
+    assert!(
+        dync_f1_sum / rounds >= naive_f1_sum / rounds - 1e-9,
+        "DynamicC ({:.3}) should not trail Naive ({:.3})",
+        dync_f1_sum / rounds,
+        naive_f1_sum / rounds
+    );
+}
+
+#[test]
+fn all_incremental_methods_preserve_partition_invariants() {
+    let mut p = febrl_pipeline(29);
+    let objective: Arc<dyn ObjectiveFunction> = Arc::new(DbIndexObjective);
+    let mut methods: Vec<Box<dyn IncrementalClusterer>> = vec![
+        Box::new(Naive::new(NaiveConfig::default())),
+        Box::new(Greedy::with_objective(objective)),
+    ];
+    for snapshot in &p.serve {
+        p.graph.apply_batch(&snapshot.batch);
+        for method in methods.iter_mut() {
+            let result = method.recluster(&p.graph, &p.previous, &snapshot.batch);
+            result.check_invariants().unwrap();
+            assert_eq!(result.object_count(), p.graph.object_count());
+        }
+        let result = p.dynamicc.recluster(&p.graph, &p.previous, &snapshot.batch);
+        result.check_invariants().unwrap();
+        assert_eq!(result.object_count(), p.graph.object_count());
+        p.previous = result;
+    }
+}
+
+#[test]
+fn ground_truth_quality_is_high_on_clean_duplicates() {
+    // On a cleanly separated duplicate dataset the whole pipeline should
+    // recover essentially the true entities.
+    let mut p = febrl_pipeline(47);
+    let mut last = p.previous.clone();
+    for snapshot in &p.serve {
+        p.graph.apply_batch(&snapshot.batch);
+        last = p.dynamicc.recluster(&p.graph, &p.previous, &snapshot.batch);
+        p.previous = last.clone();
+    }
+    // Build the entity ground truth restricted to live objects.
+    let mut live = Dataset::new();
+    for o in p.graph.object_ids() {
+        live.insert_with_id(o, p.graph.record(o).unwrap().clone()).unwrap();
+    }
+    let truth = ground_truth(&live);
+    let q = quality_report(&last, &truth);
+    assert!(q.f1 > 0.8, "entity F1 too low: {q:?}");
+}
+
+#[test]
+fn numeric_kmeans_pipeline_round_trips() {
+    use dynamicc::batch::HillClimbingConfig;
+    let k = 8;
+    let full = AccessLikeGenerator {
+        clusters: k,
+        points_per_cluster: 30,
+        ..AccessLikeGenerator::default()
+    }
+    .generate();
+    let workload = DynamicWorkload::generate(
+        &full,
+        WorkloadConfig {
+            initial_fraction: 0.4,
+            snapshots: 4,
+            ..WorkloadConfig::default()
+        },
+    );
+    let objective = Arc::new(KMeansObjective);
+    let batch = HillClimbing::new(
+        objective.clone(),
+        HillClimbingConfig {
+            fixed_k: Some(k),
+            ..HillClimbingConfig::default()
+        },
+    );
+    let mut graph = SimilarityGraph::build(
+        GraphConfig::numeric_euclidean(1.8, 4.0, 3, 0.25),
+        &workload.initial,
+    );
+    let initial = batch.cluster(&graph).clustering;
+    assert_eq!(initial.cluster_count(), k);
+
+    let mut dynamicc = DynamicC::with_objective(objective.clone());
+    let (train, serve) = workload.snapshots.split_at(2);
+    let report = train_on_workload(&mut dynamicc, &mut graph, &initial, train, &batch);
+    let mut previous = report.final_clustering(&initial);
+    for snapshot in serve {
+        graph.apply_batch(&snapshot.batch);
+        let served = dynamicc.recluster(&graph, &previous, &snapshot.batch);
+        served.check_invariants().unwrap();
+        let batch_result = batch.recluster(&graph, &previous).clustering;
+        // DynamicC's k-means cost must stay within 25% of the batch cost.
+        let served_cost = objective.evaluate(&graph, &served);
+        let batch_cost = objective.evaluate(&graph, &batch_result);
+        assert!(
+            served_cost <= batch_cost * 1.25 + 1e-9,
+            "k-means cost {served_cost:.2} vs batch {batch_cost:.2}"
+        );
+        previous = served;
+    }
+}

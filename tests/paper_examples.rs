@@ -1,0 +1,81 @@
+//! Integration tests that walk through the paper's worked examples using
+//! only the public facade API.
+
+use dynamicc::prelude::*;
+use dynamicc::similarity::fixtures;
+use std::sync::Arc;
+
+/// Example 4.1: the correlation objective of the motivating example.
+#[test]
+fn example_4_1_objective_values() {
+    let graph = fixtures::figure2_graph();
+    let objective = CorrelationObjective;
+    let singletons = Clustering::singletons((1..=7).map(ObjectId::new));
+    assert!((objective.evaluate(&graph, &singletons) - 5.2).abs() < 1e-9);
+
+    let mut after_first_merge = singletons.clone();
+    let c1 = after_first_merge.cluster_of(ObjectId::new(1)).unwrap();
+    let c7 = after_first_merge.cluster_of(ObjectId::new(7)).unwrap();
+    after_first_merge.merge(c1, c7).unwrap();
+    assert!((objective.evaluate(&graph, &after_first_merge) - 4.2).abs() < 1e-9);
+}
+
+/// Example 4.2: the cross-round transformation list from Figure 1's old
+/// clustering to Figure 2's new clustering consists of two merges and one
+/// split.
+#[test]
+fn example_4_2_transformation_list() {
+    let old = fixtures::figure1_old_clustering();
+    let new = fixtures::figure2_clustering();
+    let trace = dynamicc::evolution::derive_transformation(
+        &old,
+        &new,
+        &[ObjectId::new(6), ObjectId::new(7)],
+    );
+    assert_eq!(trace.merge_count(), 2);
+    assert_eq!(trace.split_count(), 1);
+}
+
+/// The motivating scenario of §2.1 end to end: an (untrained) DynamicC with
+/// objective verification reacts to the arrival of r6 and r7 without ever
+/// producing a clustering worse than doing nothing.
+#[test]
+fn motivating_example_never_degrades_quality() {
+    let graph = fixtures::figure2_graph();
+    let old = fixtures::figure1_old_clustering();
+    let objective = Arc::new(CorrelationObjective);
+
+    let mut batch = OperationBatch::new();
+    for id in [6u64, 7] {
+        batch.push(Operation::Add {
+            id: ObjectId::new(id),
+            record: fixtures::fixture_record(id),
+        });
+    }
+
+    let mut dynamicc = DynamicC::with_objective(objective.clone());
+    let result = dynamicc.recluster(&graph, &old, &batch);
+    result.check_invariants().unwrap();
+    assert_eq!(result.object_count(), 7);
+
+    let mut do_nothing = old.clone();
+    do_nothing.create_cluster([ObjectId::new(6)]).unwrap();
+    do_nothing.create_cluster([ObjectId::new(7)]).unwrap();
+    assert!(
+        objective.evaluate(&graph, &result) <= objective.evaluate(&graph, &do_nothing) + 1e-9
+    );
+}
+
+/// Figure 3's arithmetic: the confusion-matrix metrics of the worked example.
+#[test]
+fn figure_3_metric_arithmetic() {
+    let m = dynamicc::ml::ConfusionMatrix {
+        true_negatives: 8,
+        false_positives: 15,
+        false_negatives: 1,
+        true_positives: 120,
+    };
+    assert!((m.accuracy() - 0.889).abs() < 1e-3);
+    assert!((m.precision() - 0.889).abs() < 1e-3);
+    assert!((m.recall() - 0.992).abs() < 1e-3);
+}
