@@ -97,7 +97,7 @@ impl Greedy {
         let agg = ClusterAggregates::new(graph, clustering);
         let mut best: Option<(GreedyOp, f64)> = None;
         let consider = |op: GreedyOp, delta: f64, best: &mut Option<(GreedyOp, f64)>| {
-            if best.as_ref().map_or(true, |(_, d)| delta < *d) {
+            if best.as_ref().is_none_or(|(_, d)| delta < *d) {
                 *best = Some((op, delta));
             }
         };
@@ -167,7 +167,11 @@ impl IncrementalClusterer for Greedy {
         for id in batch.removed_ids() {
             if let Some(cid) = previous.cluster_of(id) {
                 if let Some(cluster) = previous.cluster(cid) {
-                    touched.extend(cluster.iter().filter(|&m| m != id && working.contains_object(m)));
+                    touched.extend(
+                        cluster
+                            .iter()
+                            .filter(|&m| m != id && working.contains_object(m)),
+                    );
                 }
             }
         }
@@ -175,30 +179,28 @@ impl IncrementalClusterer for Greedy {
         let mut affected = Self::affected_clusters(graph, &working, &touched);
         for _ in 0..self.config.max_iterations {
             match self.best_operation(graph, &working, &affected) {
-                Some((op, delta)) if improves(delta) => {
-                    match op {
-                        GreedyOp::Merge(a, b) => {
-                            let merged = working.merge(a, b).expect("affected clusters exist");
-                            affected.remove(&a);
-                            affected.remove(&b);
-                            affected.insert(merged);
-                        }
-                        GreedyOp::Isolate(cid, oid) => {
-                            let part: BTreeSet<ObjectId> = [oid].into_iter().collect();
-                            let (p, r) = working.split(cid, &part).expect("valid split");
-                            affected.remove(&cid);
-                            affected.insert(p);
-                            affected.insert(r);
-                        }
-                        GreedyOp::Move(oid, target) => {
-                            let source = working.cluster_of(oid).expect("object clustered");
-                            working.move_object(oid, target).expect("target exists");
-                            if !working.contains_cluster(source) {
-                                affected.remove(&source);
-                            }
+                Some((op, delta)) if improves(delta) => match op {
+                    GreedyOp::Merge(a, b) => {
+                        let merged = working.merge(a, b).expect("affected clusters exist");
+                        affected.remove(&a);
+                        affected.remove(&b);
+                        affected.insert(merged);
+                    }
+                    GreedyOp::Isolate(cid, oid) => {
+                        let part: BTreeSet<ObjectId> = [oid].into_iter().collect();
+                        let (p, r) = working.split(cid, &part).expect("valid split");
+                        affected.remove(&cid);
+                        affected.insert(p);
+                        affected.insert(r);
+                    }
+                    GreedyOp::Move(oid, target) => {
+                        let source = working.cluster_of(oid).expect("object clustered");
+                        working.move_object(oid, target).expect("target exists");
+                        if !working.contains_cluster(source) {
+                            affected.remove(&source);
                         }
                     }
-                }
+                },
                 _ => break,
             }
         }
@@ -299,10 +301,7 @@ mod tests {
     fn greedy_with_db_index_resolves_new_duplicates() {
         // Existing resolved entity {1,2}; new objects 3 (duplicate of entity
         // A) and 4,5 (a new entity) arrive.
-        let graph = graph_from_edges(
-            5,
-            &[(1, 2, 0.95), (1, 3, 0.9), (2, 3, 0.9), (4, 5, 0.85)],
-        );
+        let graph = graph_from_edges(5, &[(1, 2, 0.95), (1, 3, 0.9), (2, 3, 0.9), (4, 5, 0.85)]);
         let previous = Clustering::from_groups([vec![oid(1), oid(2)]]).unwrap();
         let mut batch = OperationBatch::new();
         batch.push(add(3));
@@ -318,10 +317,7 @@ mod tests {
     #[test]
     fn unaffected_clusters_are_left_untouched() {
         // Two far-apart resolved entities; only one neighbourhood changes.
-        let graph = graph_from_edges(
-            6,
-            &[(1, 2, 0.9), (3, 4, 0.9), (5, 1, 0.8), (5, 2, 0.85)],
-        );
+        let graph = graph_from_edges(6, &[(1, 2, 0.9), (3, 4, 0.9), (5, 1, 0.8), (5, 2, 0.85)]);
         let previous =
             Clustering::from_groups([vec![oid(1), oid(2)], vec![oid(3), oid(4)]]).unwrap();
         let far_cluster = previous.cluster_of(oid(3)).unwrap();

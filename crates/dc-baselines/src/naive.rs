@@ -47,7 +47,8 @@ impl Naive {
         own_cluster: ClusterId,
     ) -> Option<(ClusterId, f64)> {
         let agg = ClusterAggregates::new(graph, clustering);
-        let mut candidates: std::collections::BTreeSet<ClusterId> = std::collections::BTreeSet::new();
+        let mut candidates: std::collections::BTreeSet<ClusterId> =
+            std::collections::BTreeSet::new();
         for (n, _) in graph.neighbors(oid) {
             if let Some(cid) = clustering.cluster_of(n) {
                 if cid != own_cluster {
@@ -58,7 +59,7 @@ impl Naive {
         let mut best: Option<(ClusterId, f64)> = None;
         for cid in candidates {
             let avg = agg.object_to_cluster_avg(oid, cid);
-            if best.map_or(true, |(_, b)| avg > b) {
+            if best.is_none_or(|(_, b)| avg > b) {
                 best = Some((cid, avg));
             }
         }
@@ -129,7 +130,9 @@ mod tests {
         assert_eq!(result.cluster_count(), 4);
 
         // With a permissive threshold they do join.
-        let mut permissive = Naive::new(NaiveConfig { join_threshold: 0.3 });
+        let mut permissive = Naive::new(NaiveConfig {
+            join_threshold: 0.3,
+        });
         let result = permissive.recluster(&graph, &previous, &batch);
         assert_eq!(result.cluster_of(oid(7)), result.cluster_of(oid(1)));
         assert_eq!(result.cluster_of(oid(6)), result.cluster_of(oid(5)));
@@ -143,7 +146,9 @@ mod tests {
         let mut batch = OperationBatch::new();
         batch.push(add(6));
         batch.push(add(7));
-        let mut naive = Naive::new(NaiveConfig { join_threshold: 0.1 });
+        let mut naive = Naive::new(NaiveConfig {
+            join_threshold: 0.1,
+        });
         let result = naive.recluster(&graph, &previous, &batch);
         // The old clusters C1 = {1,2,3} and C2 = {4,5} survive intact (only
         // grown): the paper's optimal answer would split C1, Naive cannot.

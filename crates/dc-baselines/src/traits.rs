@@ -105,16 +105,31 @@ mod tests {
         let graph = figure2_graph(); // objects 1..=7
         let previous = figure1_old_clustering(); // clusters over 1..=5
         let mut batch = OperationBatch::new();
-        batch.push(Operation::Add { id: oid(6), record: rec() });
-        batch.push(Operation::Add { id: oid(7), record: rec() });
-        batch.push(Operation::Update { id: oid(2), record: rec() });
+        batch.push(Operation::Add {
+            id: oid(6),
+            record: rec(),
+        });
+        batch.push(Operation::Add {
+            id: oid(7),
+            record: rec(),
+        });
+        batch.push(Operation::Update {
+            id: oid(2),
+            record: rec(),
+        });
 
         let (working, isolated) = prepare_working_clustering(&graph, &previous, &batch);
         working.check_invariants().unwrap();
         assert_eq!(working.object_count(), 7);
         // 6 and 7 are new singletons, 2 was pulled out of C1.
-        assert!(working.cluster(working.cluster_of(oid(6)).unwrap()).unwrap().is_singleton());
-        assert!(working.cluster(working.cluster_of(oid(2)).unwrap()).unwrap().is_singleton());
+        assert!(working
+            .cluster(working.cluster_of(oid(6)).unwrap())
+            .unwrap()
+            .is_singleton());
+        assert!(working
+            .cluster(working.cluster_of(oid(2)).unwrap())
+            .unwrap()
+            .is_singleton());
         assert_eq!(working.cluster_size(working.cluster_of(oid(1)).unwrap()), 2);
         assert_eq!(isolated.len(), 3);
     }

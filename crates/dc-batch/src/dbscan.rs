@@ -105,7 +105,7 @@ impl Dbscan {
             let mut best: Option<(usize, f64)> = None;
             for (n, sim) in graph.neighbors(o) {
                 if let Some(&ci) = core_cluster_of.get(&n) {
-                    if best.map_or(true, |(_, s)| sim > s) {
+                    if best.is_none_or(|(_, s)| sim > s) {
                         best = Some((ci, sim));
                     }
                 }

@@ -53,6 +53,7 @@ impl Default for HillClimbingConfig {
 }
 
 /// The general objective-based batch algorithm.
+#[derive(Clone)]
 pub struct HillClimbing {
     objective: Arc<dyn ObjectiveFunction>,
     config: HillClimbingConfig,
@@ -100,7 +101,7 @@ impl HillClimbing {
         let agg = ClusterAggregates::new(graph, clustering);
         let mut best: Option<(Change, f64)> = None;
         let consider = |change: Change, delta: f64, best: &mut Option<(Change, f64)>| {
-            if best.as_ref().map_or(true, |(_, d)| delta < *d) {
+            if best.as_ref().is_none_or(|(_, d)| delta < *d) {
                 *best = Some((change, delta));
             }
         };
@@ -136,9 +137,9 @@ impl HillClimbing {
                                 }
                             }
                         }
-                        let best_target = attraction
-                            .into_iter()
-                            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+                        let best_target = attraction.into_iter().max_by(|a, b| {
+                            a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal)
+                        });
                         if let Some((target, _)) = best_target {
                             *work += 1;
                             let delta = self.objective.move_delta(graph, clustering, oid, target);
@@ -152,19 +153,12 @@ impl HillClimbing {
     }
 
     /// Apply a change, recording the equivalent evolution steps.
-    fn apply_change(
-        clustering: &mut Clustering,
-        trace: &mut EvolutionTrace,
-        change: Change,
-    ) {
+    fn apply_change(clustering: &mut Clustering, trace: &mut EvolutionTrace, change: Change) {
         match change {
             Change::Merge(a, b) => {
                 let left = Self::members_of(clustering, a);
                 let right = Self::members_of(clustering, b);
-                trace.push(EvolutionStep::Merge {
-                    left,
-                    right,
-                });
+                trace.push(EvolutionStep::Merge { left, right });
                 clustering.merge(a, b).expect("candidate clusters exist");
             }
             Change::Isolate(cid, oid) => {
@@ -220,7 +214,7 @@ impl HillClimbing {
                     }
                     *work += 1;
                     let delta = self.objective.merge_delta(graph, clustering, cid, other);
-                    if best.map_or(true, |(_, _, d)| delta < d) {
+                    if best.is_none_or(|(_, _, d)| delta < d) {
                         best = Some((cid, other, delta));
                     }
                 }
@@ -289,7 +283,7 @@ impl HillClimbing {
                     if target != source && seen.insert(target) {
                         *work += 1;
                         let delta = self.objective.move_delta(graph, clustering, oid, target);
-                        if best.as_ref().map_or(true, |(_, d)| delta < *d) {
+                        if best.as_ref().is_none_or(|(_, d)| delta < *d) {
                             best = Some((Change::Move(oid, target), delta));
                         }
                     }
@@ -387,7 +381,8 @@ mod tests {
         let outcome = hc.cluster(&graph);
         let mut replay = Clustering::singletons(graph.object_ids());
         for step in outcome.trace.iter() {
-            step.apply_to(&mut replay).expect("trace step must apply cleanly");
+            step.apply_to(&mut replay)
+                .expect("trace step must apply cleanly");
         }
         assert!(replay.delta(&outcome.clustering).is_unchanged());
     }
@@ -447,8 +442,7 @@ mod tests {
             ds.insert_with_id(oid(id), RecordBuilder::new().vector(v).build())
                 .unwrap();
         }
-        let graph =
-            SimilarityGraph::build(GraphConfig::numeric_euclidean(2.0, 4.0, 2, 0.05), &ds);
+        let graph = SimilarityGraph::build(GraphConfig::numeric_euclidean(2.0, 4.0, 2, 0.05), &ds);
         let hc = HillClimbing::new(
             Arc::new(KMeansObjective),
             HillClimbingConfig {

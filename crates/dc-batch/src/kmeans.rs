@@ -261,8 +261,18 @@ mod tests {
     #[test]
     fn deterministic_per_seed() {
         let graph = blob_graph();
-        let a = KMeans::new(KMeansConfig { k: 3, max_iterations: 50, seed: 11 }).cluster(&graph);
-        let b = KMeans::new(KMeansConfig { k: 3, max_iterations: 50, seed: 11 }).cluster(&graph);
+        let a = KMeans::new(KMeansConfig {
+            k: 3,
+            max_iterations: 50,
+            seed: 11,
+        })
+        .cluster(&graph);
+        let b = KMeans::new(KMeansConfig {
+            k: 3,
+            max_iterations: 50,
+            seed: 11,
+        })
+        .cluster(&graph);
         assert!(a.clustering.delta(&b.clustering).is_unchanged());
         assert_eq!(KMeans::with_k(3).name(), "kmeans-lloyd");
     }
@@ -270,6 +280,10 @@ mod tests {
     #[test]
     #[should_panic]
     fn zero_k_is_rejected() {
-        KMeans::new(KMeansConfig { k: 0, max_iterations: 1, seed: 0 });
+        KMeans::new(KMeansConfig {
+            k: 0,
+            max_iterations: 1,
+            seed: 0,
+        });
     }
 }

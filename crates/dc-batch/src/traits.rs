@@ -57,7 +57,9 @@ pub fn align_clustering_with_graph(graph: &SimilarityGraph, initial: &Clustering
     let mut aligned = initial.clone();
     for o in aligned.object_ids() {
         if !graph.contains(o) {
-            aligned.remove_object(o).expect("object listed by clustering");
+            aligned
+                .remove_object(o)
+                .expect("object listed by clustering");
         }
     }
     for o in graph.object_ids() {
@@ -91,7 +93,10 @@ mod tests {
         let aligned = align_clustering_with_graph(&graph, &old);
         assert_eq!(aligned.object_count(), 7);
         assert!(aligned.contains_object(ObjectId::new(6)));
-        assert!(aligned.cluster(aligned.cluster_of(ObjectId::new(6)).unwrap()).unwrap().is_singleton());
+        assert!(aligned
+            .cluster(aligned.cluster_of(ObjectId::new(6)).unwrap())
+            .unwrap()
+            .is_singleton());
         aligned.check_invariants().unwrap();
 
         // Now the reverse: the clustering knows an object the graph lost.

@@ -22,7 +22,12 @@ struct RoundFixture {
 
 /// Prepare the scenario and advance the graph to just after the snapshot
 /// that will be measured.
-fn prepare(family: DatasetFamily, task: Option<ClusteringTask>, scale: f64, snapshots: usize) -> RoundFixture {
+fn prepare(
+    family: DatasetFamily,
+    task: Option<ClusteringTask>,
+    scale: f64,
+    snapshots: usize,
+) -> RoundFixture {
     let mut config = ScenarioConfig::for_family(family).scaled(scale, snapshots);
     config.task = task;
     let scenario = Scenario::prepare(config);
@@ -39,7 +44,12 @@ fn prepare(family: DatasetFamily, task: Option<ClusteringTask>, scale: f64, snap
 }
 
 fn bench_density(c: &mut Criterion, family: DatasetFamily, tag: &str) {
-    let fixture = prepare(family, Some(ClusteringTask::Density { min_pts: 3 }), 0.35, 4);
+    let fixture = prepare(
+        family,
+        Some(ClusteringTask::Density { min_pts: 3 }),
+        0.35,
+        4,
+    );
     let previous = fixture.scenario.batch_clustering(fixture.round).clone();
     let batch_snapshot = &fixture.scenario.workload.snapshots[fixture.round];
     let batch_algo = ClusteringTask::Density { min_pts: 3 }.batch();
@@ -94,7 +104,9 @@ fn bench_kmeans(c: &mut Criterion) {
     });
     group.bench_function("naive_round", |b| {
         b.iter(|| {
-            let mut naive = Naive::new(NaiveConfig { join_threshold: 0.4 });
+            let mut naive = Naive::new(NaiveConfig {
+                join_threshold: 0.4,
+            });
             black_box(
                 naive
                     .recluster(&fixture.graph, &previous, &snapshot.batch)

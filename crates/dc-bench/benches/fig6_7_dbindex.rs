@@ -42,7 +42,9 @@ fn bench_family(c: &mut Criterion, family: DatasetFamily, scale: f64) {
     });
     group.bench_function("naive_round", |b| {
         b.iter(|| {
-            let mut naive = Naive::new(NaiveConfig { join_threshold: 0.4 });
+            let mut naive = Naive::new(NaiveConfig {
+                join_threshold: 0.4,
+            });
             black_box(
                 naive
                     .recluster(&graph, &previous, &snapshot.batch)

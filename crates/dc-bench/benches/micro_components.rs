@@ -48,9 +48,7 @@ fn bench_objective_evaluation(c: &mut Criterion) {
     });
     let ids = clustering.cluster_ids();
     c.bench_function("correlation_merge_delta", |b| {
-        b.iter(|| {
-            black_box(CorrelationObjective.merge_delta(&graph, &clustering, ids[0], ids[1]))
-        })
+        b.iter(|| black_box(CorrelationObjective.merge_delta(&graph, &clustering, ids[0], ids[1])))
     });
 }
 

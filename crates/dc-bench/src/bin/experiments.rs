@@ -194,14 +194,16 @@ fn fig5_kmeans(options: Options) {
     for m in methods {
         summaries.push(scenario.run_method(m));
     }
-    println!("round   objects   Hill-climbing {}",
-        methods.map(|m| m.name()).join(" "));
-    for i in 0..batch_scores.len() {
+    println!(
+        "round   objects   Hill-climbing {}",
+        methods.map(|m| m.name()).join(" ")
+    );
+    for (i, batch_score) in batch_scores.iter().enumerate() {
         let mut row = format!(
             "{:>5} {:>9} {:>14.2}",
             summaries[0].rounds[i].snapshot_index,
             summaries[0].rounds[i].objects,
-            batch_scores[i].sqrt()
+            batch_score.sqrt()
         );
         for s in &summaries {
             row.push_str(&format!(" {:>12.2}", s.rounds[i].objective_score.sqrt()));
@@ -236,7 +238,13 @@ fn dbindex_families() -> [DatasetFamily; 3] {
     ]
 }
 
-fn fig6_fig7_tables(options: Options, show_fig6: bool, show_fig7: bool, show_t2: bool, show_t3: bool) {
+fn fig6_fig7_tables(
+    options: Options,
+    show_fig6: bool,
+    show_fig7: bool,
+    show_t2: bool,
+    show_t3: bool,
+) {
     let methods = [
         MethodKind::Naive,
         MethodKind::Greedy,
@@ -258,12 +266,12 @@ fn fig6_fig7_tables(options: Options, show_fig6: bool, show_fig7: bool, show_t2:
             println!(
                 "round   objects   Hill-climbing   Naive    Greedy   DynC(GreedySet)   DynC(DynamicSet)"
             );
-            for i in 0..batch_scores.len() {
+            for (i, batch_score) in batch_scores.iter().enumerate() {
                 println!(
                     "{:>5} {:>9} {:>14.4} {:>8.4} {:>9.4} {:>17.4} {:>18.4}",
                     summaries[0].rounds[i].snapshot_index,
                     summaries[0].rounds[i].objects,
-                    batch_scores[i],
+                    batch_score,
                     summaries[0].rounds[i].objective_score,
                     summaries[1].rounds[i].objective_score,
                     summaries[2].rounds[i].objective_score,
@@ -294,13 +302,15 @@ fn fig6_fig7_tables(options: Options, show_fig6: bool, show_fig7: bool, show_t2:
                 "Table 2: pair-F1 vs the batch result per snapshot on {}",
                 family.name()
             ));
-            println!("method               {}",
+            println!(
+                "method               {}",
                 summaries[0]
                     .rounds
                     .iter()
                     .map(|r| format!("snap{:>2}", r.snapshot_index))
                     .collect::<Vec<_>>()
-                    .join("  "));
+                    .join("  ")
+            );
             for (name, idx) in [("Naive", 0usize), ("Greedy", 1), ("DynamicC", 3)] {
                 let row: Vec<String> = summaries[idx]
                     .rounds
@@ -351,8 +361,7 @@ fn table4(options: Options) {
     for kind in ModelKind::all() {
         for &n in &sizes {
             let n = n.max(4).min(xs.len());
-            let (train_x, train_y, test_x, test_y) =
-                train_test_split(&xs[..n], &ys[..n], 0.75, 11);
+            let (train_x, train_y, test_x, test_y) = train_test_split(&xs[..n], &ys[..n], 0.75, 11);
             let mut model = kind.build();
             model.fit(&train_x, &train_y);
             let theta = recall_first_threshold(model.as_ref(), &train_x, &train_y);
@@ -445,8 +454,16 @@ fn main() {
     match command.as_str() {
         "fig3" => fig3(options),
         "fig5a" => fig5a(options),
-        "fig5b" => fig5_density(DatasetFamily::Access, "Figure 5(b): DBSCAN vs DynamicC latency on Access-like data", options),
-        "fig5c" => fig5_density(DatasetFamily::Road, "Figure 5(c): DBSCAN vs DynamicC latency on Road-like data", options),
+        "fig5b" => fig5_density(
+            DatasetFamily::Access,
+            "Figure 5(b): DBSCAN vs DynamicC latency on Access-like data",
+            options,
+        ),
+        "fig5c" => fig5_density(
+            DatasetFamily::Road,
+            "Figure 5(c): DBSCAN vs DynamicC latency on Road-like data",
+            options,
+        ),
         "fig5d" | "fig5e" => fig5_kmeans(options),
         "fig6" => fig6_fig7_tables(options, true, false, false, false),
         "fig7" => fig6_fig7_tables(options, false, true, false, false),
@@ -458,8 +475,16 @@ fn main() {
         "all" => {
             fig5a(options);
             fig3(options);
-            fig5_density(DatasetFamily::Access, "Figure 5(b): DBSCAN vs DynamicC latency on Access-like data", options);
-            fig5_density(DatasetFamily::Road, "Figure 5(c): DBSCAN vs DynamicC latency on Road-like data", options);
+            fig5_density(
+                DatasetFamily::Access,
+                "Figure 5(b): DBSCAN vs DynamicC latency on Access-like data",
+                options,
+            );
+            fig5_density(
+                DatasetFamily::Road,
+                "Figure 5(c): DBSCAN vs DynamicC latency on Road-like data",
+                options,
+            );
             fig5_kmeans(options);
             fig6_fig7_tables(options, true, true, true, true);
             table4(options);

@@ -15,6 +15,4 @@
 
 pub mod scenario;
 
-pub use scenario::{
-    DatasetFamily, MethodKind, RoundResult, RunSummary, Scenario, ScenarioConfig,
-};
+pub use scenario::{DatasetFamily, MethodKind, RoundResult, RunSummary, Scenario, ScenarioConfig};

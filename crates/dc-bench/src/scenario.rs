@@ -363,7 +363,10 @@ impl Scenario {
         }
 
         // Continue the batch reference over the served snapshots.
-        let mut previous = batch_reference.last().expect("at least the initial").clone();
+        let mut previous = batch_reference
+            .last()
+            .expect("at least the initial")
+            .clone();
         for snapshot in serve_snaps {
             graph.apply_batch(&snapshot.batch);
             let started = Instant::now();
@@ -441,7 +444,9 @@ impl Scenario {
         }
 
         let mut method_impl: Box<dyn IncrementalClusterer> = match method {
-            MethodKind::Naive => Box::new(Naive::new(NaiveConfig { join_threshold: 0.4 })),
+            MethodKind::Naive => Box::new(Naive::new(NaiveConfig {
+                join_threshold: 0.4,
+            })),
             MethodKind::Greedy => Box::new(Greedy::with_objective(self.objective.clone())),
             MethodKind::DynamicCGreedySet | MethodKind::DynamicCDynamicSet => {
                 // Serve with a fresh DynamicC that shares the trained models'

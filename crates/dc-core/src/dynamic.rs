@@ -20,6 +20,7 @@ use std::sync::Arc;
 /// ([`DynamicC::observe_round`] / [`crate::trainer::train_on_workload`]) and
 /// then serves re-clustering requests through
 /// [`IncrementalClusterer::recluster`].
+#[derive(Clone)]
 pub struct DynamicC {
     objective: Arc<dyn ObjectiveFunction>,
     config: DynamicCConfig,
@@ -94,7 +95,10 @@ impl DynamicC {
         self.models.absorb_round(&round, &mut self.sampler);
         self.stats.observed_rounds += 1;
         if self.config.retrain_every_rounds > 0
-            && self.stats.observed_rounds % self.config.retrain_every_rounds == 0
+            && self
+                .stats
+                .observed_rounds
+                .is_multiple_of(self.config.retrain_every_rounds)
         {
             self.retrain();
         }
@@ -278,7 +282,14 @@ mod tests {
         // Round 2 (served): objects 5, 6 arrive, each duplicating an entity.
         let graph_r2 = graph_from_edges(
             6,
-            &[(1, 2, 0.9), (3, 4, 0.9), (5, 1, 0.85), (5, 2, 0.85), (6, 3, 0.8), (6, 4, 0.8)],
+            &[
+                (1, 2, 0.9),
+                (3, 4, 0.9),
+                (5, 1, 0.85),
+                (5, 2, 0.85),
+                (6, 3, 0.8),
+                (6, 4, 0.8),
+            ],
         );
         let mut batch2 = OperationBatch::new();
         batch2.push(add(5));

@@ -156,7 +156,10 @@ mod tests {
             let f3 = 1.0 + (i % 3) as f64;
             let f4 = 1.0 + (i % 4) as f64;
             merge_buf.push(LabeledExample::new(vec![f1, 0.5 + j, f3, f4], true));
-            merge_buf.push(LabeledExample::new(vec![f1, 0.02 + j / 10.0, f3, f4], false));
+            merge_buf.push(LabeledExample::new(
+                vec![f1, 0.02 + j / 10.0, f3, f4],
+                false,
+            ));
             split_buf.push(LabeledExample::new(vec![0.3 - j / 2.0, 0.6, 5.0], true));
             split_buf.push(LabeledExample::new(vec![0.95 - j / 10.0, 0.1, 3.0], false));
         }

@@ -6,6 +6,7 @@ use dc_ml::{recall_first_threshold, BinaryClassifier, ModelKind};
 
 /// The two classifiers DynamicC serves predictions from, together with their
 /// bounded training buffers and recall-first thresholds.
+#[derive(Clone)]
 pub struct ModelPair {
     kind: ModelKind,
     merge_model: Box<dyn BinaryClassifier>,
@@ -174,8 +175,12 @@ mod tests {
         let mut round = RoundExamples::default();
         for i in 0..positives {
             let jitter = (i % 10) as f64 / 100.0;
-            round.merge_positives.push(vec![0.9 - jitter, 0.8 - jitter, 2.0, 3.0]);
-            round.split_positives.push(vec![0.2 + jitter, 0.7 - jitter, 6.0]);
+            round
+                .merge_positives
+                .push(vec![0.9 - jitter, 0.8 - jitter, 2.0, 3.0]);
+            round
+                .split_positives
+                .push(vec![0.2 + jitter, 0.7 - jitter, 6.0]);
         }
         for i in 0..negatives {
             let jitter = (i % 10) as f64 / 100.0;

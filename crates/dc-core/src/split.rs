@@ -99,10 +99,7 @@ mod tests {
     fn the_least_cohesive_member_is_split_out() {
         // Cluster {1,2,3,4}: 1–3 mutually similar, 4 attached by a single
         // weak edge; splitting 4 improves the correlation objective.
-        let graph = graph_from_edges(
-            4,
-            &[(1, 2, 0.9), (1, 3, 0.9), (2, 3, 0.9), (3, 4, 0.1)],
-        );
+        let graph = graph_from_edges(4, &[(1, 2, 0.9), (1, 3, 0.9), (2, 3, 0.9), (3, 4, 0.1)]);
         let mut clustering =
             Clustering::from_groups([vec![oid(1), oid(2), oid(3), oid(4)]]).unwrap();
         let models = permissive_models();

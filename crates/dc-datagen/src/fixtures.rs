@@ -1,0 +1,130 @@
+//! Small canned datasets and workloads, memoized per process.
+//!
+//! Integration tests (and docs) across the workspace repeatedly need "a
+//! small, realistic dataset with a dynamic workload on top".  Generating one
+//! is cheap, but every test binary used to regenerate (and every test
+//! re-derive) its own copy.  The accessors here build each fixture exactly
+//! once per process behind a [`OnceLock`] and hand out clones, so a test
+//! binary with N tests pays the generation cost once.
+//!
+//! All fixtures use fixed seeds ([`FIXTURE_SEED`] and offsets of it), making
+//! them — like everything else built on the workspace's seeded RNG
+//! discipline — byte-for-byte identical on every run and machine.
+
+use crate::numeric::AccessLikeGenerator;
+use crate::textual::FebrlLikeGenerator;
+use crate::workload::{DynamicWorkload, WorkloadConfig};
+use dc_types::Dataset;
+use std::sync::OnceLock;
+
+/// The canonical seed for canned fixtures.
+pub const FIXTURE_SEED: u64 = 3;
+
+/// A second fixed seed, for tests that want an independent instance of the
+/// same fixture family (diversity without unseeded randomness).
+pub const FIXTURE_SEED_ALT: u64 = 11;
+
+/// Uncached variant of [`small_febrl_dataset`] for an arbitrary seed.
+pub fn febrl_dataset_with_seed(seed: u64) -> Dataset {
+    FebrlLikeGenerator {
+        originals: 70,
+        duplicates_per_original: 1.8,
+        seed,
+        ..FebrlLikeGenerator::default()
+    }
+    .generate()
+}
+
+/// Uncached variant of [`small_febrl_workload`] for an arbitrary seed.
+pub fn febrl_workload_with_seed(seed: u64) -> DynamicWorkload {
+    DynamicWorkload::generate(
+        &febrl_dataset_with_seed(seed),
+        WorkloadConfig {
+            initial_fraction: 0.35,
+            snapshots: 5,
+            seed: seed ^ 0xABCD,
+            ..WorkloadConfig::default()
+        },
+    )
+}
+
+/// A small Febrl-like record-linkage dataset: 70 original entities with ~1.8
+/// duplicates each (the scale the workspace's end-to-end tests train on).
+pub fn small_febrl_dataset() -> Dataset {
+    static CACHE: OnceLock<Dataset> = OnceLock::new();
+    CACHE
+        .get_or_init(|| febrl_dataset_with_seed(FIXTURE_SEED))
+        .clone()
+}
+
+/// A 5-snapshot dynamic workload over [`small_febrl_dataset`], starting from
+/// 35% of the data.
+pub fn small_febrl_workload() -> DynamicWorkload {
+    static CACHE: OnceLock<DynamicWorkload> = OnceLock::new();
+    CACHE
+        .get_or_init(|| febrl_workload_with_seed(FIXTURE_SEED))
+        .clone()
+}
+
+/// A small Amazon-Access-like Gaussian mixture: 8 clusters of 30 points.
+pub fn small_access_dataset() -> Dataset {
+    static CACHE: OnceLock<Dataset> = OnceLock::new();
+    CACHE
+        .get_or_init(|| {
+            AccessLikeGenerator {
+                clusters: 8,
+                points_per_cluster: 30,
+                ..AccessLikeGenerator::default()
+            }
+            .generate()
+        })
+        .clone()
+}
+
+/// A 4-snapshot dynamic workload over [`small_access_dataset`], starting
+/// from 40% of the data.
+pub fn small_access_workload() -> DynamicWorkload {
+    static CACHE: OnceLock<DynamicWorkload> = OnceLock::new();
+    CACHE
+        .get_or_init(|| {
+            DynamicWorkload::generate(
+                &small_access_dataset(),
+                WorkloadConfig {
+                    initial_fraction: 0.4,
+                    snapshots: 4,
+                    ..WorkloadConfig::default()
+                },
+            )
+        })
+        .clone()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn febrl_fixture_is_stable_across_calls() {
+        let a = small_febrl_dataset();
+        let b = small_febrl_dataset();
+        assert_eq!(a.len(), b.len());
+        assert!(
+            a.len() >= 70,
+            "70 originals plus duplicates, got {}",
+            a.len()
+        );
+        let wa = small_febrl_workload();
+        let wb = small_febrl_workload();
+        assert_eq!(wa.snapshots.len(), 5);
+        assert_eq!(wa.initial.len(), wb.initial.len());
+    }
+
+    #[test]
+    fn access_fixture_has_expected_shape() {
+        let ds = small_access_dataset();
+        assert_eq!(ds.len(), 8 * 30);
+        let w = small_access_workload();
+        assert_eq!(w.snapshots.len(), 4);
+        assert!(w.initial.len() >= (ds.len() * 2) / 5);
+    }
+}

@@ -22,17 +22,23 @@
 //!   by a sequence of snapshots, each adding, removing, and updating a
 //!   configurable fraction of objects (the Figure 5(a) workload mix).
 //! * [`vocab`] — the word pools the textual generators draw from.
+//! * [`fixtures`] — small canned datasets/workloads, memoized per process,
+//!   for tests that just need "some realistic data" without paying
+//!   per-test generation.
 
 #![deny(missing_docs)]
 #![deny(rustdoc::broken_intra_doc_links)]
 
+pub mod fixtures;
 pub mod numeric;
 pub mod textual;
 pub mod vocab;
 pub mod workload;
 
 pub use numeric::{AccessLikeGenerator, RoadLikeGenerator};
-pub use textual::{CoraLikeGenerator, DuplicateDistribution, FebrlLikeGenerator, MusicLikeGenerator};
+pub use textual::{
+    CoraLikeGenerator, DuplicateDistribution, FebrlLikeGenerator, MusicLikeGenerator,
+};
 pub use workload::{DynamicWorkload, WorkloadConfig};
 
 use dc_types::{Clustering, Dataset};

@@ -128,9 +128,8 @@ impl RoadLikeGenerator {
                 let t = p as f64 / self.points_per_road as f64 * self.road_length;
                 let x = start_x + t * heading.cos() + self.noise * standard_normal(&mut rng);
                 let y = start_y + t * heading.sin() + self.noise * standard_normal(&mut rng);
-                let z = base_elevation
-                    + 2.0 * (t * 0.8).sin()
-                    + self.noise * standard_normal(&mut rng);
+                let z =
+                    base_elevation + 2.0 * (t * 0.8).sin() + self.noise * standard_normal(&mut rng);
                 ds.insert(
                     RecordBuilder::new()
                         .vector(vec![x, y, z])
@@ -188,7 +187,10 @@ mod tests {
         for (gi, group) in groups.iter().enumerate() {
             for (i, &a) in group.iter().enumerate() {
                 for &b in group.iter().skip(i + 1).take(3) {
-                    intra.push(dist(ds.record(a).unwrap().vector(), ds.record(b).unwrap().vector()));
+                    intra.push(dist(
+                        ds.record(a).unwrap().vector(),
+                        ds.record(b).unwrap().vector(),
+                    ));
                 }
                 if let Some(other) = groups.get((gi + 1) % groups.len()) {
                     inter.push(dist(
@@ -199,7 +201,12 @@ mod tests {
             }
         }
         let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
-        assert!(avg(&intra) * 3.0 < avg(&inter), "intra {} inter {}", avg(&intra), avg(&inter));
+        assert!(
+            avg(&intra) * 3.0 < avg(&inter),
+            "intra {} inter {}",
+            avg(&intra),
+            avg(&inter)
+        );
     }
 
     #[test]
@@ -246,7 +253,10 @@ mod tests {
     #[test]
     fn jitter_record_perturbs_every_dimension_slightly() {
         let mut rng = StdRng::seed_from_u64(3);
-        let rec = RecordBuilder::new().vector(vec![1.0, 2.0, 3.0]).entity(5).build();
+        let rec = RecordBuilder::new()
+            .vector(vec![1.0, 2.0, 3.0])
+            .entity(5)
+            .build();
         let out = jitter_record(&rec, 0.01, &mut rng);
         assert_eq!(out.entity(), Some(5));
         assert_eq!(out.vector().len(), 3);
@@ -261,8 +271,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(11);
         let samples: Vec<f64> = (0..20_000).map(|_| standard_normal(&mut rng)).collect();
         let mean = samples.iter().sum::<f64>() / samples.len() as f64;
-        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>()
-            / samples.len() as f64;
+        let var =
+            samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / samples.len() as f64;
         assert!(mean.abs() < 0.05, "mean {mean}");
         assert!((var - 1.0).abs() < 0.1, "var {var}");
     }

@@ -265,10 +265,7 @@ impl CoraLikeGenerator {
                         }
                     })
                     .collect();
-                dup.set_field(
-                    "authors",
-                    dc_types::FieldValue::Text(abbreviated.join(" ")),
-                );
+                dup.set_field("authors", dc_types::FieldValue::Text(abbreviated.join(" ")));
             }
         }
         dup
@@ -503,10 +500,7 @@ mod tests {
         let mut sims = Vec::new();
         for group in truth.groups() {
             if group.len() >= 2 {
-                sims.push(m.similarity(
-                    ds.record(group[0]).unwrap(),
-                    ds.record(group[1]).unwrap(),
-                ));
+                sims.push(m.similarity(ds.record(group[0]).unwrap(), ds.record(group[1]).unwrap()));
             }
         }
         let avg: f64 = sims.iter().sum::<f64>() / sims.len() as f64;

@@ -7,42 +7,162 @@
 
 /// Given first names.
 pub const FIRST_NAMES: &[&str] = &[
-    "james", "mary", "john", "patricia", "robert", "jennifer", "michael", "linda", "william",
-    "elizabeth", "david", "barbara", "richard", "susan", "joseph", "jessica", "thomas", "sarah",
-    "charles", "karen", "wei", "li", "ana", "sofia", "mohammed", "fatima", "hiroshi", "yuki",
-    "carlos", "maria",
+    "james",
+    "mary",
+    "john",
+    "patricia",
+    "robert",
+    "jennifer",
+    "michael",
+    "linda",
+    "william",
+    "elizabeth",
+    "david",
+    "barbara",
+    "richard",
+    "susan",
+    "joseph",
+    "jessica",
+    "thomas",
+    "sarah",
+    "charles",
+    "karen",
+    "wei",
+    "li",
+    "ana",
+    "sofia",
+    "mohammed",
+    "fatima",
+    "hiroshi",
+    "yuki",
+    "carlos",
+    "maria",
 ];
 
 /// Family names.
 pub const SURNAMES: &[&str] = &[
-    "smith", "johnson", "williams", "brown", "jones", "garcia", "miller", "davis", "rodriguez",
-    "martinez", "hernandez", "lopez", "gonzalez", "wilson", "anderson", "thomas", "taylor",
-    "moore", "jackson", "martin", "chen", "wang", "kim", "nguyen", "patel", "sato", "tanaka",
-    "mueller", "rossi", "silva",
+    "smith",
+    "johnson",
+    "williams",
+    "brown",
+    "jones",
+    "garcia",
+    "miller",
+    "davis",
+    "rodriguez",
+    "martinez",
+    "hernandez",
+    "lopez",
+    "gonzalez",
+    "wilson",
+    "anderson",
+    "thomas",
+    "taylor",
+    "moore",
+    "jackson",
+    "martin",
+    "chen",
+    "wang",
+    "kim",
+    "nguyen",
+    "patel",
+    "sato",
+    "tanaka",
+    "mueller",
+    "rossi",
+    "silva",
 ];
 
 /// Street names for address fields.
 pub const STREETS: &[&str] = &[
-    "maple", "oak", "cedar", "pine", "elm", "washington", "lake", "hill", "park", "main",
-    "church", "river", "spring", "ridge", "walnut", "sunset", "highland", "forest", "meadow",
+    "maple",
+    "oak",
+    "cedar",
+    "pine",
+    "elm",
+    "washington",
+    "lake",
+    "hill",
+    "park",
+    "main",
+    "church",
+    "river",
+    "spring",
+    "ridge",
+    "walnut",
+    "sunset",
+    "highland",
+    "forest",
+    "meadow",
     "willow",
 ];
 
 /// Cities for address fields.
 pub const CITIES: &[&str] = &[
-    "springfield", "riverton", "fairview", "kingston", "ashland", "georgetown", "salem",
-    "clinton", "greenville", "bristol", "dayton", "milton", "oxford", "auburn", "clayton",
-    "dover", "hudson", "jackson", "lebanon", "madison",
+    "springfield",
+    "riverton",
+    "fairview",
+    "kingston",
+    "ashland",
+    "georgetown",
+    "salem",
+    "clinton",
+    "greenville",
+    "bristol",
+    "dayton",
+    "milton",
+    "oxford",
+    "auburn",
+    "clayton",
+    "dover",
+    "hudson",
+    "jackson",
+    "lebanon",
+    "madison",
 ];
 
 /// Research-paper title words (Cora-like citations).
 pub const TITLE_WORDS: &[&str] = &[
-    "learning", "neural", "networks", "probabilistic", "inference", "bayesian", "clustering",
-    "classification", "reinforcement", "genetic", "algorithms", "markov", "decision",
-    "processes", "models", "analysis", "adaptive", "systems", "knowledge", "reasoning",
-    "planning", "search", "optimization", "stochastic", "gradient", "boosting", "induction",
-    "logic", "programming", "recognition", "vision", "speech", "language", "retrieval",
-    "database", "distributed", "parallel", "dynamic", "incremental", "efficient",
+    "learning",
+    "neural",
+    "networks",
+    "probabilistic",
+    "inference",
+    "bayesian",
+    "clustering",
+    "classification",
+    "reinforcement",
+    "genetic",
+    "algorithms",
+    "markov",
+    "decision",
+    "processes",
+    "models",
+    "analysis",
+    "adaptive",
+    "systems",
+    "knowledge",
+    "reasoning",
+    "planning",
+    "search",
+    "optimization",
+    "stochastic",
+    "gradient",
+    "boosting",
+    "induction",
+    "logic",
+    "programming",
+    "recognition",
+    "vision",
+    "speech",
+    "language",
+    "retrieval",
+    "database",
+    "distributed",
+    "parallel",
+    "dynamic",
+    "incremental",
+    "efficient",
 ];
 
 /// Publication venues (Cora-like citations).

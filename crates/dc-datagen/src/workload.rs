@@ -87,10 +87,8 @@ impl DynamicWorkload {
         // Live set evolves as snapshots are generated.
         let mut live: Vec<ObjectId> = initial_ids.to_vec();
         let mut pending: Vec<ObjectId> = future_ids.to_vec();
-        let mut current_records: std::collections::BTreeMap<ObjectId, Record> = initial
-            .iter()
-            .map(|(id, r)| (id, r.clone()))
-            .collect();
+        let mut current_records: std::collections::BTreeMap<ObjectId, Record> =
+            initial.iter().map(|(id, r)| (id, r.clone())).collect();
 
         let mut snapshots = Vec::with_capacity(config.snapshots);
         for index in 1..=config.snapshots {
@@ -141,7 +139,10 @@ impl DynamicWorkload {
                     }
                 };
                 current_records.insert(id, updated.clone());
-                batch.push(Operation::Update { id, record: updated });
+                batch.push(Operation::Update {
+                    id,
+                    record: updated,
+                });
             }
 
             snapshots.push(Snapshot::new(index, batch));
@@ -170,8 +171,8 @@ impl DynamicWorkload {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::textual::FebrlLikeGenerator;
     use crate::numeric::AccessLikeGenerator;
+    use crate::textual::FebrlLikeGenerator;
     use dc_types::OperationKind;
 
     fn small_textual_dataset() -> Dataset {
@@ -188,7 +189,7 @@ mod tests {
         let full = small_textual_dataset();
         let workload = DynamicWorkload::generate(&full, WorkloadConfig::default());
         assert_eq!(workload.snapshots.len(), 8);
-        assert!(workload.initial.len() > 0);
+        assert!(!workload.initial.is_empty());
         // Replaying must not error, and the final dataset is a subset of the
         // full dataset's ids (some were never added, some were removed).
         let final_ds = workload.final_dataset();
@@ -261,7 +262,10 @@ mod tests {
             for op in snap.batch.iter() {
                 if let Operation::Update { id, record } = op {
                     saw_update = true;
-                    assert_eq!(record.vector().len(), full.record(*id).unwrap().vector().len());
+                    assert_eq!(
+                        record.vector().len(),
+                        full.record(*id).unwrap().vector().len()
+                    );
                 }
             }
         }

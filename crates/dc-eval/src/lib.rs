@@ -60,8 +60,8 @@ mod tests {
 
     #[test]
     fn identical_clusterings_score_perfectly() {
-        let c = Clustering::from_groups([vec![oid(1), oid(2)], vec![oid(3), oid(4), oid(5)]])
-            .unwrap();
+        let c =
+            Clustering::from_groups([vec![oid(1), oid(2)], vec![oid(3), oid(4), oid(5)]]).unwrap();
         let r = quality_report(&c, &c);
         assert_eq!(r.precision, 1.0);
         assert_eq!(r.recall, 1.0);
@@ -74,12 +74,9 @@ mod tests {
     fn report_reflects_partial_agreement() {
         let reference =
             Clustering::from_groups([vec![oid(1), oid(2), oid(3)], vec![oid(4), oid(5)]]).unwrap();
-        let result = Clustering::from_groups([
-            vec![oid(1), oid(2)],
-            vec![oid(3)],
-            vec![oid(4), oid(5)],
-        ])
-        .unwrap();
+        let result =
+            Clustering::from_groups([vec![oid(1), oid(2)], vec![oid(3)], vec![oid(4), oid(5)]])
+                .unwrap();
         let r = quality_report(&result, &reference);
         // The result misses the (1,3) and (2,3) pairs but invents none.
         assert_eq!(r.precision, 1.0);

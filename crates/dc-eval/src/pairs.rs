@@ -97,7 +97,10 @@ pub fn pair_counts(result: &Clustering, reference: &Clustering) -> PairCounts {
     // Pairs together in the reference (restricted to common objects).
     let mut together_reference = 0u64;
     for (_, cluster) in reference.iter() {
-        let in_common = cluster.iter().filter(|o| result.contains_object(*o)).count() as u64;
+        let in_common = cluster
+            .iter()
+            .filter(|o| result.contains_object(*o))
+            .count() as u64;
         together_reference += choose2(in_common);
     }
 
@@ -144,8 +147,7 @@ mod tests {
     fn over_merging_hurts_precision_not_recall() {
         let reference =
             Clustering::from_groups([vec![oid(1), oid(2)], vec![oid(3), oid(4)]]).unwrap();
-        let result =
-            Clustering::from_groups([vec![oid(1), oid(2), oid(3), oid(4)]]).unwrap();
+        let result = Clustering::from_groups([vec![oid(1), oid(2), oid(3), oid(4)]]).unwrap();
         let p = pair_counts(&result, &reference);
         assert_eq!(p.recall(), 1.0);
         assert!(p.precision() < 1.0);
@@ -154,8 +156,7 @@ mod tests {
 
     #[test]
     fn over_splitting_hurts_recall_not_precision() {
-        let reference =
-            Clustering::from_groups([vec![oid(1), oid(2), oid(3), oid(4)]]).unwrap();
+        let reference = Clustering::from_groups([vec![oid(1), oid(2), oid(3), oid(4)]]).unwrap();
         let result = Clustering::singletons((1..=4).map(oid));
         let p = pair_counts(&result, &reference);
         assert_eq!(p.precision(), 1.0);
@@ -186,13 +187,10 @@ mod tests {
 
     #[test]
     fn symmetry_swaps_precision_and_recall() {
-        let a = Clustering::from_groups([vec![oid(1), oid(2), oid(3)], vec![oid(4), oid(5)]])
-            .unwrap();
-        let b = Clustering::from_groups([
-            vec![oid(1), oid(2)],
-            vec![oid(3), oid(4), oid(5)],
-        ])
-        .unwrap();
+        let a =
+            Clustering::from_groups([vec![oid(1), oid(2), oid(3)], vec![oid(4), oid(5)]]).unwrap();
+        let b =
+            Clustering::from_groups([vec![oid(1), oid(2)], vec![oid(3), oid(4), oid(5)]]).unwrap();
         let ab = pair_counts(&a, &b);
         let ba = pair_counts(&b, &a);
         assert!((ab.precision() - ba.recall()).abs() < 1e-12);

@@ -65,8 +65,7 @@ mod tests {
 
     #[test]
     fn singletons_have_perfect_purity_but_poor_inverse_purity() {
-        let reference =
-            Clustering::from_groups([vec![oid(1), oid(2), oid(3), oid(4)]]).unwrap();
+        let reference = Clustering::from_groups([vec![oid(1), oid(2), oid(3), oid(4)]]).unwrap();
         let result = Clustering::singletons((1..=4).map(oid));
         assert_eq!(purity(&result, &reference), 1.0);
         assert!((inverse_purity(&result, &reference) - 0.25).abs() < 1e-12);
@@ -85,11 +84,8 @@ mod tests {
     fn partial_overlap() {
         let reference =
             Clustering::from_groups([vec![oid(1), oid(2), oid(3)], vec![oid(4), oid(5)]]).unwrap();
-        let result = Clustering::from_groups([
-            vec![oid(1), oid(2), oid(4)],
-            vec![oid(3), oid(5)],
-        ])
-        .unwrap();
+        let result =
+            Clustering::from_groups([vec![oid(1), oid(2), oid(4)], vec![oid(3), oid(5)]]).unwrap();
         let p = purity(&result, &reference);
         // Cluster {1,2,4}: best overlap 2; cluster {3,5}: best overlap 1 ⇒ 3/5.
         assert!((p - 0.6).abs() < 1e-12);
@@ -105,13 +101,10 @@ mod tests {
 
     #[test]
     fn purity_and_inverse_purity_are_transposes() {
-        let a = Clustering::from_groups([vec![oid(1), oid(2), oid(3)], vec![oid(4), oid(5)]])
-            .unwrap();
-        let b = Clustering::from_groups([
-            vec![oid(1), oid(2)],
-            vec![oid(3), oid(4), oid(5)],
-        ])
-        .unwrap();
+        let a =
+            Clustering::from_groups([vec![oid(1), oid(2), oid(3)], vec![oid(4), oid(5)]]).unwrap();
+        let b =
+            Clustering::from_groups([vec![oid(1), oid(2)], vec![oid(3), oid(4), oid(5)]]).unwrap();
         assert!((purity(&a, &b) - inverse_purity(&b, &a)).abs() < 1e-12);
         assert!((inverse_purity(&a, &b) - purity(&b, &a)).abs() < 1e-12);
     }

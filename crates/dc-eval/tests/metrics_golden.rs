@@ -1,0 +1,159 @@
+//! Golden-value tests for the quality metrics on hand-computed tiny
+//! clusterings, plus property tests of the metric invariants (boundedness,
+//! invariance under cluster relabeling, transposition symmetry).
+
+use dc_eval::{inverse_purity, pair_counts, purity, quality_report};
+use dc_types::{Clustering, ObjectId};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+fn oid(raw: u64) -> ObjectId {
+    ObjectId::new(raw)
+}
+
+fn clustering(groups: &[&[u64]]) -> Clustering {
+    Clustering::from_groups(
+        groups
+            .iter()
+            .map(|g| g.iter().copied().map(oid).collect::<Vec<_>>()),
+    )
+    .unwrap()
+}
+
+/// Hand-computed example over objects 1..=6.
+///
+/// ```text
+/// reference: {1,2,3} {4,5} {6}     co-clustered pairs: (1,2) (1,3) (2,3) (4,5)
+/// result:    {1,2} {3,4,5} {6}     co-clustered pairs: (1,2) (3,4) (3,5) (4,5)
+/// shared pairs: (1,2) (4,5)
+/// ```
+///
+/// * precision = 2/4, recall = 2/4, F1 = 2·(1/2)(1/2)/(1/2 + 1/2) = 1/2
+/// * purity: {1,2}→2, {3,4,5}→best overlap 2 (with {4,5}), {6}→1 ⇒ 5/6
+/// * inverse purity: {1,2,3}→2 (into {1,2}), {4,5}→2 (into {3,4,5}), {6}→1 ⇒ 5/6
+#[test]
+fn golden_values_on_hand_computed_example() {
+    let reference = clustering(&[&[1, 2, 3], &[4, 5], &[6]]);
+    let result = clustering(&[&[1, 2], &[3, 4, 5], &[6]]);
+
+    let counts = pair_counts(&result, &reference);
+    assert_eq!(counts.together_both, 2);
+    assert!((counts.precision() - 0.5).abs() < 1e-12);
+    assert!((counts.recall() - 0.5).abs() < 1e-12);
+    assert!((counts.f1() - 0.5).abs() < 1e-12);
+
+    assert!((purity(&result, &reference) - 5.0 / 6.0).abs() < 1e-12);
+    assert!((inverse_purity(&result, &reference) - 5.0 / 6.0).abs() < 1e-12);
+
+    let report = quality_report(&result, &reference);
+    assert!((report.f1 - 0.5).abs() < 1e-12);
+    assert!((report.purity - 5.0 / 6.0).abs() < 1e-12);
+    assert!((report.inverse_purity - 5.0 / 6.0).abs() < 1e-12);
+}
+
+/// Second golden example with asymmetric purity / inverse purity.
+///
+/// ```text
+/// reference: {1,2,3,4} {5,6}      co-clustered pairs: 6 + 1 = 7
+/// result:    {1,2} {3,4} {5,6}    co-clustered pairs: 1 + 1 + 1 = 3
+/// shared pairs: (1,2) (3,4) (5,6) = 3
+/// ```
+///
+/// * precision = 3/3 = 1, recall = 3/7, F1 = 2·1·(3/7)/(1 + 3/7) = 3/5
+/// * purity = 1 (every result cluster inside one reference cluster)
+/// * inverse purity: {1,2,3,4}→2, {5,6}→2 ⇒ 4/6 = 2/3
+#[test]
+fn golden_values_on_refinement_example() {
+    let reference = clustering(&[&[1, 2, 3, 4], &[5, 6]]);
+    let result = clustering(&[&[1, 2], &[3, 4], &[5, 6]]);
+
+    let counts = pair_counts(&result, &reference);
+    assert!((counts.precision() - 1.0).abs() < 1e-12);
+    assert!((counts.recall() - 3.0 / 7.0).abs() < 1e-12);
+    assert!((counts.f1() - 0.6).abs() < 1e-12);
+    assert!((purity(&result, &reference) - 1.0).abs() < 1e-12);
+    assert!((inverse_purity(&result, &reference) - 2.0 / 3.0).abs() < 1e-12);
+}
+
+/// Build a clustering from an assignment vector, with group labels remapped
+/// through `relabel` and group insertion order reversed when `reverse` is
+/// set — the partition is identical, only labels/ids/order differ.
+fn clustering_from(assign: &[u64], relabel: impl Fn(u64) -> u64, reverse: bool) -> Clustering {
+    let mut groups: BTreeMap<u64, Vec<ObjectId>> = BTreeMap::new();
+    for (i, &g) in assign.iter().enumerate() {
+        groups.entry(relabel(g)).or_default().push(oid(i as u64));
+    }
+    let mut ordered: Vec<Vec<ObjectId>> = groups.into_values().collect();
+    if reverse {
+        ordered.reverse();
+    }
+    Clustering::from_groups(ordered).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every reported score lies in [0, 1] for arbitrary clustering pairs.
+    #[test]
+    fn all_scores_are_in_unit_interval(
+        a in proptest::collection::vec(0u64..5, 12),
+        b in proptest::collection::vec(0u64..5, 12),
+    ) {
+        let ca = clustering_from(&a, |g| g, false);
+        let cb = clustering_from(&b, |g| g, false);
+        let r = quality_report(&ca, &cb);
+        for score in [r.precision, r.recall, r.f1, r.purity, r.inverse_purity] {
+            prop_assert!((0.0..=1.0).contains(&score), "score {score} out of range: {r:?}");
+        }
+    }
+
+    /// F1 (and the other scores) must not change when cluster labels are
+    /// permuted or clusters are renumbered — the metrics are functions of
+    /// the partition, not of cluster identity.
+    #[test]
+    fn scores_are_invariant_under_cluster_relabeling(
+        a in proptest::collection::vec(0u64..5, 12),
+        b in proptest::collection::vec(0u64..5, 12),
+    ) {
+        let ca = clustering_from(&a, |g| g, false);
+        let cb = clustering_from(&b, |g| g, false);
+        // 4 - g is a permutation of the label space 0..5; reversing the
+        // insertion order additionally permutes the assigned ClusterIds.
+        let ca_relabeled = clustering_from(&a, |g| 4 - g, true);
+        let r = quality_report(&ca, &cb);
+        let s = quality_report(&ca_relabeled, &cb);
+        prop_assert!((r.f1 - s.f1).abs() < 1e-12);
+        prop_assert!((r.precision - s.precision).abs() < 1e-12);
+        prop_assert!((r.recall - s.recall).abs() < 1e-12);
+        prop_assert!((r.purity - s.purity).abs() < 1e-12);
+        prop_assert!((r.inverse_purity - s.inverse_purity).abs() < 1e-12);
+    }
+
+    /// Swapping result and reference transposes the metrics: precision and
+    /// recall swap, F1 is symmetric, purity and inverse purity swap.
+    #[test]
+    fn swapping_arguments_transposes_the_report(
+        a in proptest::collection::vec(0u64..5, 12),
+        b in proptest::collection::vec(0u64..5, 12),
+    ) {
+        let ca = clustering_from(&a, |g| g, false);
+        let cb = clustering_from(&b, |g| g, false);
+        let ab = quality_report(&ca, &cb);
+        let ba = quality_report(&cb, &ca);
+        prop_assert!((ab.precision - ba.recall).abs() < 1e-12);
+        prop_assert!((ab.recall - ba.precision).abs() < 1e-12);
+        prop_assert!((ab.f1 - ba.f1).abs() < 1e-12);
+        prop_assert!((ab.purity - ba.inverse_purity).abs() < 1e-12);
+        prop_assert!((ab.inverse_purity - ba.purity).abs() < 1e-12);
+    }
+
+    /// A clustering compared against itself is always perfect.
+    #[test]
+    fn self_comparison_is_always_perfect(a in proptest::collection::vec(0u64..5, 12)) {
+        let c = clustering_from(&a, |g| g, false);
+        let r = quality_report(&c, &c);
+        prop_assert_eq!(r.f1, 1.0);
+        prop_assert_eq!(r.purity, 1.0);
+        prop_assert_eq!(r.inverse_purity, 1.0);
+    }
+}

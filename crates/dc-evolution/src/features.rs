@@ -146,11 +146,7 @@ impl RoundExamples {
     /// * `working` — the clustering produced by initial processing (§6.1),
     ///   i.e. the state in which the clusters named by the trace exist;
     /// * `trace` — the derived evolution steps of this round (§4.3).
-    pub fn extract(
-        graph: &SimilarityGraph,
-        working: &Clustering,
-        trace: &EvolutionTrace,
-    ) -> Self {
+    pub fn extract(graph: &SimilarityGraph, working: &Clustering, trace: &EvolutionTrace) -> Self {
         let agg = ClusterAggregates::new(graph, working);
         let mut merge_positive_ids: BTreeSet<ClusterId> = BTreeSet::new();
         let mut split_positive_ids: BTreeSet<ClusterId> = BTreeSet::new();
@@ -170,9 +166,7 @@ impl RoundExamples {
                             continue;
                         };
                         let cluster = working.cluster(cid).expect("live cluster id");
-                        if cluster.len() < result.len()
-                            && cluster.members().is_subset(&result)
-                        {
+                        if cluster.len() < result.len() && cluster.members().is_subset(&result) {
                             merge_positive_ids.insert(cid);
                         }
                     }
@@ -230,9 +224,7 @@ impl RoundExamples {
 mod tests {
     use super::*;
     use crate::transform::derive_transformation;
-    use dc_similarity::fixtures::{
-        figure1_old_clustering, figure2_clustering, figure2_graph,
-    };
+    use dc_similarity::fixtures::{figure1_old_clustering, figure2_clustering, figure2_graph};
 
     fn oid(raw: u64) -> ObjectId {
         ObjectId::new(raw)
@@ -285,11 +277,8 @@ mod tests {
     #[test]
     fn isolated_cluster_has_zero_inter_features() {
         let graph = figure2_graph();
-        let clustering = Clustering::from_groups([
-            vec![oid(2), oid(3)],
-            vec![oid(4), oid(5)],
-        ])
-        .unwrap();
+        let clustering =
+            Clustering::from_groups([vec![oid(2), oid(3)], vec![oid(4), oid(5)]]).unwrap();
         let agg = ClusterAggregates::new(&graph, &clustering);
         let c45 = clustering.cluster_of(oid(4)).unwrap();
         let f = merge_features(&agg, c45);
@@ -307,7 +296,10 @@ mod tests {
         let members: BTreeSet<ObjectId> = [oid(1), oid(2), oid(3)].into_iter().collect();
         let from_members = merge_features_of_members(&graph, &working, &members);
         for i in 0..MERGE_FEATURE_DIM {
-            assert!((from_cluster[i] - from_members[i]).abs() < 1e-9, "feature {i}");
+            assert!(
+                (from_cluster[i] - from_members[i]).abs() < 1e-9,
+                "feature {i}"
+            );
         }
     }
 

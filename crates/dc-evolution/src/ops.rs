@@ -112,9 +112,7 @@ impl EvolutionStep {
                 !left.is_empty() && !right.is_empty() && left.is_disjoint(right)
             }
             EvolutionStep::Split { original, part } => {
-                !part.is_empty()
-                    && part.len() < original.len()
-                    && part.is_subset(original)
+                !part.is_empty() && part.len() < original.len() && part.is_subset(original)
             }
         }
     }

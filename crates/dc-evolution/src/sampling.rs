@@ -38,7 +38,7 @@ impl Default for SamplerConfig {
 }
 
 /// Weighted sampler over active / inactive negative candidate pools.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct NegativeSampler {
     config: SamplerConfig,
     rng: StdRng,
@@ -236,12 +236,18 @@ mod tests {
 
     #[test]
     fn sampler_is_deterministic_per_seed() {
-        let config = SamplerConfig { seed: 7, ..SamplerConfig::default() };
+        let config = SamplerConfig {
+            seed: 7,
+            ..SamplerConfig::default()
+        };
         let mut a = NegativeSampler::new(config);
         let mut b = NegativeSampler::new(config);
         let active = vecs(20, 1.0);
         let inactive = vecs(20, 2.0);
-        assert_eq!(a.sample(&active, &inactive, 10), b.sample(&active, &inactive, 10));
+        assert_eq!(
+            a.sample(&active, &inactive, 10),
+            b.sample(&active, &inactive, 10)
+        );
     }
 
     #[test]

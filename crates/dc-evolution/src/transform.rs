@@ -66,10 +66,7 @@ pub fn derive_transformation(
             // The object ends up alone: no merge evolution to learn.
             continue;
         }
-        let rest: BTreeSet<ObjectId> = final_cluster
-            .iter()
-            .filter(|&m| m != o)
-            .collect();
+        let rest: BTreeSet<ObjectId> = final_cluster.iter().filter(|&m| m != o).collect();
         let left: BTreeSet<ObjectId> = [o].into_iter().collect();
         let step = EvolutionStep::Merge {
             left: left.clone(),
@@ -94,10 +91,8 @@ pub fn derive_transformation(
     // (e.g. an old cluster split because one of its members was removed or
     // updated away).  Add them as Phase-2 targets too.
     for (_, cluster) in new_clustering.iter() {
-        let members_old: BTreeSet<ObjectId> = cluster
-            .iter()
-            .filter(|m| old_objects.contains(m))
-            .collect();
+        let members_old: BTreeSet<ObjectId> =
+            cluster.iter().filter(|m| old_objects.contains(m)).collect();
         if members_old.is_empty() {
             continue;
         }
@@ -202,7 +197,11 @@ impl EvolutionStepKey {
                 // same structural change.
                 let rest: Vec<ObjectId> = original.difference(part).copied().collect();
                 let part: Vec<ObjectId> = part.iter().copied().collect();
-                let (a, b) = if part <= rest { (part, rest) } else { (rest, part) };
+                let (a, b) = if part <= rest {
+                    (part, rest)
+                } else {
+                    (rest, part)
+                };
                 EvolutionStepKey { kind: 1, a, b }
             }
         }
@@ -343,11 +342,8 @@ mod tests {
         // Two touched objects joining the same final cluster reference the
         // same Phase-2 target; the split of the old cluster must appear once.
         let old = Clustering::from_groups([vec![oid(1), oid(2), oid(3)]]).unwrap();
-        let new = Clustering::from_groups([
-            vec![oid(1), oid(10), oid(11)],
-            vec![oid(2), oid(3)],
-        ])
-        .unwrap();
+        let new = Clustering::from_groups([vec![oid(1), oid(10), oid(11)], vec![oid(2), oid(3)]])
+            .unwrap();
         let trace = derive_transformation(&old, &new, &[oid(10), oid(11)]);
         let split_steps: Vec<&EvolutionStep> = trace
             .iter()
@@ -374,7 +370,10 @@ mod proptests {
             std::collections::BTreeMap::new();
         for (i, (&g, &p)) in assignment.iter().zip(present).enumerate() {
             if p {
-                groups.entry(g).or_default().push(ObjectId::new(i as u64 + 1));
+                groups
+                    .entry(g)
+                    .or_default()
+                    .push(ObjectId::new(i as u64 + 1));
             }
         }
         Clustering::from_groups(groups.into_values().filter(|v| !v.is_empty())).unwrap()

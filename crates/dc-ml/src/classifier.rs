@@ -10,7 +10,7 @@ use crate::tree::{DecisionTree, TreeConfig};
 /// DynamicC uses two instances of such a model — one for merge decisions, one
 /// for split decisions — and thresholds the probability with a θ chosen for
 /// near-perfect recall (§5.4).
-pub trait BinaryClassifier: Send + Sync {
+pub trait BinaryClassifier: Send + Sync + CloneClassifier {
     /// Fit the model on a feature matrix and parallel boolean labels.
     ///
     /// Implementations must tolerate degenerate inputs (empty data or a
@@ -36,6 +36,26 @@ pub trait BinaryClassifier: Send + Sync {
 
     /// Whether the model has been fitted on any data yet.
     fn is_fitted(&self) -> bool;
+}
+
+/// Object-safe cloning for boxed classifiers, blanket-implemented for every
+/// `Clone` model, so trained model pairs (and whole trained systems built on
+/// them) can be snapshotted cheaply.
+pub trait CloneClassifier {
+    /// Clone `self` into a new boxed trait object.
+    fn clone_classifier(&self) -> Box<dyn BinaryClassifier>;
+}
+
+impl<T: BinaryClassifier + Clone + 'static> CloneClassifier for T {
+    fn clone_classifier(&self) -> Box<dyn BinaryClassifier> {
+        Box::new(self.clone())
+    }
+}
+
+impl Clone for Box<dyn BinaryClassifier> {
+    fn clone(&self) -> Self {
+        self.clone_classifier()
+    }
 }
 
 /// Which model family to instantiate (Table 4 compares all three).
@@ -149,7 +169,10 @@ mod tests {
 
     #[test]
     fn display_names() {
-        assert_eq!(ModelKind::LogisticRegression.to_string(), "Logistic Regression");
+        assert_eq!(
+            ModelKind::LogisticRegression.to_string(),
+            "Logistic Regression"
+        );
         assert_eq!(ModelKind::LinearSvm.to_string(), "SVM");
         assert_eq!(ModelKind::DecisionTree.to_string(), "Decision Tree");
         assert_eq!(ModelKind::default(), ModelKind::LogisticRegression);

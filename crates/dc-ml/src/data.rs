@@ -78,6 +78,10 @@ impl StandardScaler {
     }
 }
 
+/// `(train_xs, train_ys, test_xs, test_ys)` as produced by
+/// [`train_test_split`].
+pub type TrainTestSplit = (Vec<Vec<f64>>, Vec<bool>, Vec<Vec<f64>>, Vec<bool>);
+
 /// Deterministically shuffle and split `(xs, ys)` into
 /// `(train_xs, train_ys, test_xs, test_ys)` with `train_fraction` of the
 /// examples in the training part.
@@ -86,7 +90,7 @@ pub fn train_test_split(
     ys: &[bool],
     train_fraction: f64,
     seed: u64,
-) -> (Vec<Vec<f64>>, Vec<bool>, Vec<Vec<f64>>, Vec<bool>) {
+) -> TrainTestSplit {
     assert_eq!(xs.len(), ys.len(), "features and labels must align");
     assert!(
         (0.0..=1.0).contains(&train_fraction),

@@ -45,7 +45,7 @@ pub mod tree;
 
 pub use classifier::{BinaryClassifier, ModelKind};
 pub use data::{train_test_split, StandardScaler};
-pub use logistic::{LogisticRegression, LogisticConfig};
+pub use logistic::{LogisticConfig, LogisticRegression};
 pub use metrics::{ClassificationReport, ConfusionMatrix};
 pub use svm::{LinearSvm, SvmConfig};
 pub use threshold::{evaluate_at_threshold, recall_first_threshold};

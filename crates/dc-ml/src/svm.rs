@@ -69,7 +69,11 @@ impl LinearSvm {
     /// Raw (uncalibrated) decision value `w·x + b` in standardized space.
     pub fn decision_value(&self, x: &[f64]) -> f64 {
         let z = self.scaler.transform(x);
-        z.iter().zip(&self.weights).map(|(xi, wi)| xi * wi).sum::<f64>() + self.bias
+        z.iter()
+            .zip(&self.weights)
+            .map(|(xi, wi)| xi * wi)
+            .sum::<f64>()
+            + self.bias
     }
 
     fn sigmoid(z: f64) -> f64 {
@@ -137,8 +141,7 @@ impl BinaryClassifier for LinearSvm {
                 t += 1.0;
                 let x = &z[i];
                 let y = if ys[i] { 1.0 } else { -1.0 };
-                let margin =
-                    y * (x.iter().zip(&w).map(|(xi, wi)| xi * wi).sum::<f64>() + b);
+                let margin = y * (x.iter().zip(&w).map(|(xi, wi)| xi * wi).sum::<f64>() + b);
                 // Regularization shrink.
                 for wi in w.iter_mut() {
                     *wi *= 1.0 - eta * self.config.lambda;

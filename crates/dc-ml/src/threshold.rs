@@ -23,11 +23,7 @@ pub const MIN_THRESHOLD: f64 = 0.01;
 /// Choose θ as the minimum predicted probability over the positive training
 /// examples (clamped to `[MIN_THRESHOLD, 1]`), so that every positive example
 /// in `xs`/`ys` is recalled at θ.
-pub fn recall_first_threshold(
-    model: &dyn BinaryClassifier,
-    xs: &[Vec<f64>],
-    ys: &[bool],
-) -> f64 {
+pub fn recall_first_threshold(model: &dyn BinaryClassifier, xs: &[Vec<f64>], ys: &[bool]) -> f64 {
     let mut min_positive: Option<f64> = None;
     for (x, &y) in xs.iter().zip(ys) {
         if y {
@@ -105,7 +101,7 @@ mod tests {
         let theta = recall_first_threshold(model.as_ref(), &xs, &ys);
         let m = evaluate_at_threshold(model.as_ref(), &xs, &ys, theta);
         assert_eq!(m.recall(), 1.0);
-        assert!(theta >= MIN_THRESHOLD && theta <= 1.0);
+        assert!((MIN_THRESHOLD..=1.0).contains(&theta));
     }
 
     #[test]
@@ -127,7 +123,10 @@ mod tests {
         let ys = vec![false; xs.len()];
         let mut model = ModelKind::LogisticRegression.build();
         model.fit(&xs, &ys);
-        assert_eq!(recall_first_threshold(model.as_ref(), &xs, &ys), DEFAULT_THRESHOLD);
+        assert_eq!(
+            recall_first_threshold(model.as_ref(), &xs, &ys),
+            DEFAULT_THRESHOLD
+        );
     }
 
     #[test]
@@ -137,7 +136,10 @@ mod tests {
         model.fit(&xs, &ys);
         let sweep = threshold_sweep(model.as_ref(), &xs, &ys, &[0.9, 0.5, 0.1, 0.01]);
         for pair in sweep.windows(2) {
-            assert!(pair[1].flagged >= pair[0].flagged, "lower θ must flag at least as many");
+            assert!(
+                pair[1].flagged >= pair[0].flagged,
+                "lower θ must flag at least as many"
+            );
             assert!(pair[1].recall >= pair[0].recall - 1e-12);
         }
         // At the most permissive threshold everything positive is caught.

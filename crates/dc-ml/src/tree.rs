@@ -56,7 +56,10 @@ impl DecisionTree {
     /// Create an untrained tree.
     pub fn new(config: TreeConfig) -> Self {
         assert!(config.max_depth >= 1, "max_depth must be at least 1");
-        assert!(config.min_samples_split >= 2, "min_samples_split must be at least 2");
+        assert!(
+            config.min_samples_split >= 2,
+            "min_samples_split must be at least 2"
+        );
         DecisionTree {
             config,
             root: None,
@@ -94,13 +97,7 @@ impl DecisionTree {
         2.0 * p * (1.0 - p)
     }
 
-    fn build(
-        &self,
-        xs: &[Vec<f64>],
-        ys: &[bool],
-        indices: &[usize],
-        depth: usize,
-    ) -> Node {
+    fn build(&self, xs: &[Vec<f64>], ys: &[bool], indices: &[usize], depth: usize) -> Node {
         let total = indices.len();
         let pos = indices.iter().filter(|&&i| ys[i]).count();
         let positive_fraction = if total == 0 {
@@ -118,6 +115,9 @@ impl DecisionTree {
         let parent_impurity = Self::gini(pos, total);
         let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, gain)
 
+        // `feature` indexes a column across many rows of `xs`, so there is
+        // no single slice to iterate (clippy only sees the row access).
+        #[allow(clippy::needless_range_loop)]
         for feature in 0..dim {
             let mut values: Vec<f64> = indices.iter().map(|&i| xs[i][feature]).collect();
             values.sort_by(|a, b| a.partial_cmp(b).unwrap());
@@ -150,7 +150,7 @@ impl DecisionTree {
                         * Self::gini(left_pos, left_total)
                         + (right_total as f64 / total as f64) * Self::gini(right_pos, right_total);
                     let gain = parent_impurity - weighted;
-                    if best.map_or(true, |(_, _, g)| gain > g + 1e-12) {
+                    if best.is_none_or(|(_, _, g)| gain > g + 1e-12) {
                         best = Some((feature, threshold, gain));
                     }
                 }
@@ -160,9 +160,8 @@ impl DecisionTree {
 
         match best {
             Some((feature, threshold, gain)) if gain > 1e-9 => {
-                let (left_idx, right_idx): (Vec<usize>, Vec<usize>) = indices
-                    .iter()
-                    .partition(|&&i| xs[i][feature] <= threshold);
+                let (left_idx, right_idx): (Vec<usize>, Vec<usize>) =
+                    indices.iter().partition(|&&i| xs[i][feature] <= threshold);
                 let left = self.build(xs, ys, &left_idx, depth + 1);
                 let right = self.build(xs, ys, &right_idx, depth + 1);
                 Node::Internal {

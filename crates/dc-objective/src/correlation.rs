@@ -164,7 +164,9 @@ impl ObjectiveFunction for CorrelationObjective {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dc_similarity::fixtures::{figure1_edges, figure2_clustering, figure2_graph, graph_from_edges};
+    use dc_similarity::fixtures::{
+        figure1_edges, figure2_clustering, figure2_graph, graph_from_edges,
+    };
 
     fn oid(raw: u64) -> ObjectId {
         ObjectId::new(raw)
@@ -302,11 +304,8 @@ mod tests {
         // The graph knows 7 objects but the clustering only covers 5: edges
         // to r6/r7 must not contribute.
         let graph = figure2_graph();
-        let clustering = Clustering::from_groups([
-            vec![oid(1), oid(2), oid(3)],
-            vec![oid(4), oid(5)],
-        ])
-        .unwrap();
+        let clustering =
+            Clustering::from_groups([vec![oid(1), oid(2), oid(3)], vec![oid(4), oid(5)]]).unwrap();
         let obj = CorrelationObjective;
         // Intra: C1 misses nothing (3 pairs at 0.9 ⇒ 3 − 2.7 = 0.3);
         // C2 has one pair at 0.8 ⇒ 0.2.  No inter edges between C1 and C2.
@@ -323,8 +322,7 @@ mod tests {
     #[test]
     fn merging_dissimilar_clusters_is_not_an_improvement() {
         let graph = graph_from_edges(4, &figure1_edges());
-        let clustering =
-            Clustering::from_groups([vec![oid(1), oid(2)], vec![oid(4)]]).unwrap();
+        let clustering = Clustering::from_groups([vec![oid(1), oid(2)], vec![oid(4)]]).unwrap();
         let obj = CorrelationObjective;
         let a = clustering.cluster_of(oid(1)).unwrap();
         let b = clustering.cluster_of(oid(4)).unwrap();
@@ -354,7 +352,10 @@ mod proptests {
         let mut groups: std::collections::BTreeMap<u64, Vec<ObjectId>> =
             std::collections::BTreeMap::new();
         for (i, &g) in assignment.iter().enumerate() {
-            groups.entry(g).or_default().push(ObjectId::new(i as u64 + 1));
+            groups
+                .entry(g)
+                .or_default()
+                .push(ObjectId::new(i as u64 + 1));
         }
         Clustering::from_groups(groups.into_values()).unwrap()
     }

@@ -179,12 +179,9 @@ mod tests {
     fn merging_a_true_entity_improves_and_delta_matches_recomputation() {
         let g = two_entity_graph();
         let obj = DbIndexObjective;
-        let clustering = Clustering::from_groups([
-            vec![oid(1), oid(2)],
-            vec![oid(3)],
-            vec![oid(4), oid(5)],
-        ])
-        .unwrap();
+        let clustering =
+            Clustering::from_groups([vec![oid(1), oid(2)], vec![oid(3)], vec![oid(4), oid(5)]])
+                .unwrap();
         let before = obj.evaluate(&g, &clustering);
         let a = clustering.cluster_of(oid(1)).unwrap();
         let b = clustering.cluster_of(oid(3)).unwrap();

@@ -185,7 +185,10 @@ mod tests {
         let a = good.cluster_of(oid(1)).unwrap();
         let b = good.cluster_of(oid(5)).unwrap();
         let delta = obj.merge_delta(&g, &good, a, b);
-        assert!(!improves(delta), "no shared edges ⇒ no improvement, delta = {delta}");
+        assert!(
+            !improves(delta),
+            "no shared edges ⇒ no improvement, delta = {delta}"
+        );
     }
 
     #[test]
@@ -207,8 +210,8 @@ mod tests {
             ],
         );
         let obj = DensityObjective::new(2);
-        let lumped = Clustering::from_groups([vec![oid(1), oid(2), oid(3), oid(4), oid(7)]])
-            .unwrap();
+        let lumped =
+            Clustering::from_groups([vec![oid(1), oid(2), oid(3), oid(4), oid(7)]]).unwrap();
         let cid = lumped.cluster_ids()[0];
         let part: BTreeSet<ObjectId> = [oid(7)].into_iter().collect();
         let delta = obj.split_delta(&g, &lumped, cid, &part);

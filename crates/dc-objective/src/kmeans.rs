@@ -175,8 +175,11 @@ impl ObjectiveFunction for KMeansObjective {
             .iter()
             .filter(|&o| o != oid)
             .collect();
-        let mut target_members: Vec<ObjectId> =
-            clustering.cluster(target).expect("target exists").iter().collect();
+        let mut target_members: Vec<ObjectId> = clustering
+            .cluster(target)
+            .expect("target exists")
+            .iter()
+            .collect();
         target_members.push(oid);
         let after = Self::sse_of_members(graph, source_members.iter())
             + Self::sse_of_members(graph, target_members.iter());
@@ -332,7 +335,12 @@ mod tests {
         assert_eq!(obj.merge_delta(&g, &clustering, cid, cid), 0.0);
         assert_eq!(obj.split_delta(&g, &clustering, cid, &BTreeSet::new()), 0.0);
         assert_eq!(
-            obj.move_delta(&g, &clustering, oid(1), clustering.cluster_of(oid(1)).unwrap()),
+            obj.move_delta(
+                &g,
+                &clustering,
+                oid(1),
+                clustering.cluster_of(oid(1)).unwrap()
+            ),
             0.0
         );
         assert_eq!(obj.kind(), ObjectiveKind::KMeans);

@@ -114,7 +114,9 @@ pub trait ObjectiveFunction: Send + Sync {
         }
         let before = self.evaluate(graph, clustering);
         let mut after = clustering.clone();
-        after.move_object(oid, target).expect("object and target exist");
+        after
+            .move_object(oid, target)
+            .expect("object and target exist");
         self.evaluate(graph, &after) - before
     }
 }

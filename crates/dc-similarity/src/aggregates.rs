@@ -14,7 +14,7 @@
 //!   rest of its cluster, which drives the split heuristic of §6.3.
 //!
 //! [`ClusterAggregates`] computes all of these against a
-//! [`Clustering`](dc_types::Clustering) without materializing anything per
+//! [`dc_types::Clustering`] without materializing anything per
 //! pair of clusters: it walks only the stored (thresholded) edges, so the
 //! cost is proportional to the number of edges incident to the clusters
 //! involved.
@@ -108,7 +108,11 @@ impl<'a> ClusterAggregates<'a> {
             return 0.0;
         };
         // Walk the smaller cluster's edges.
-        let (small, large) = if ca.len() <= cb.len() { (ca, cb) } else { (cb, ca) };
+        let (small, large) = if ca.len() <= cb.len() {
+            (ca, cb)
+        } else {
+            (cb, ca)
+        };
         let mut sum = 0.0;
         for o in small.iter() {
             for (n, sim) in self.graph.neighbors(o) {
@@ -292,7 +296,10 @@ mod tests {
     }
 
     fn rec(group: &str, sim: f64) -> Record {
-        RecordBuilder::new().text("group", group).number("sim", sim).build()
+        RecordBuilder::new()
+            .text("group", group)
+            .number("sim", sim)
+            .build()
     }
 
     /// Builds the Figure 1 "old clustering" scenario:
@@ -305,15 +312,10 @@ mod tests {
         ds.insert_with_id(oid(3), rec("a", 0.9)).unwrap();
         ds.insert_with_id(oid(4), rec("b", 0.8)).unwrap();
         ds.insert_with_id(oid(5), rec("b", 0.8)).unwrap();
-        let graph = SimilarityGraph::build(
-            GraphConfig::exhaustive(Box::new(FixtureMeasure), 0.1),
-            &ds,
-        );
-        let clustering = Clustering::from_groups([
-            vec![oid(1), oid(2), oid(3)],
-            vec![oid(4), oid(5)],
-        ])
-        .unwrap();
+        let graph =
+            SimilarityGraph::build(GraphConfig::exhaustive(Box::new(FixtureMeasure), 0.1), &ds);
+        let clustering =
+            Clustering::from_groups([vec![oid(1), oid(2), oid(3)], vec![oid(4), oid(5)]]).unwrap();
         (graph, clustering)
     }
 
@@ -358,12 +360,9 @@ mod tests {
     fn inter_and_max_inter_with_cross_edges() {
         // Split group "a" across two clusters so there are cross edges.
         let (graph, _) = figure1_setup();
-        let clustering = Clustering::from_groups([
-            vec![oid(1), oid(2)],
-            vec![oid(3)],
-            vec![oid(4), oid(5)],
-        ])
-        .unwrap();
+        let clustering =
+            Clustering::from_groups([vec![oid(1), oid(2)], vec![oid(3)], vec![oid(4), oid(5)]])
+                .unwrap();
         let agg = ClusterAggregates::new(&graph, &clustering);
         let c12 = clustering.cluster_of(oid(1)).unwrap();
         let c3 = clustering.cluster_of(oid(3)).unwrap();
@@ -419,7 +418,9 @@ mod tests {
         let (graph, _) = figure1_setup();
         let hypothetical = Cluster::from_members([oid(1), oid(2), oid(4)]);
         // Only the (1,2) edge exists inside this hypothetical cluster.
-        assert!((ClusterAggregates::intra_sum_of_members(&graph, &hypothetical) - 0.9).abs() < 1e-9);
+        assert!(
+            (ClusterAggregates::intra_sum_of_members(&graph, &hypothetical) - 0.9).abs() < 1e-9
+        );
         let avg = ClusterAggregates::intra_avg_of_members(&graph, &hypothetical);
         assert!((avg - 0.3).abs() < 1e-9);
     }

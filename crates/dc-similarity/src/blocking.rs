@@ -23,7 +23,7 @@ use dc_types::{Dataset, ObjectId, Record};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// A strategy for proposing candidate ids that may be similar to a record.
-pub trait BlockingStrategy: Send + Sync {
+pub trait BlockingStrategy: Send + Sync + CloneBlocking {
     /// Index a record under its id (called for every live object).
     fn index(&mut self, id: ObjectId, record: &Record);
 
@@ -38,13 +38,20 @@ pub trait BlockingStrategy: Send + Sync {
     fn name(&self) -> &'static str;
 }
 
+crate::measures::clone_boxed_trait! {
+    /// Object-safe cloning for boxed blocking strategies, blanket-implemented
+    /// for every `Clone` strategy (mirrors
+    /// [`CloneMeasure`](crate::measures::CloneMeasure)).
+    CloneBlocking::clone_blocking for BlockingStrategy
+}
+
 /// Token blocking for textual records.
 ///
 /// Tokens that occur in more than `max_block_size` records are considered
 /// stop words and are skipped when *querying* (they would otherwise make the
 /// candidate sets quadratic in practice); they are still indexed so the limit
 /// can adapt as data grows.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct TokenBlocking {
     blocks: BTreeMap<String, BTreeSet<ObjectId>>,
     max_block_size: usize,
@@ -61,7 +68,9 @@ impl TokenBlocking {
     }
 
     fn keys(record: &Record) -> Vec<String> {
-        crate::text::token_set(&record.full_text()).into_iter().collect()
+        crate::text::token_set(&record.full_text())
+            .into_iter()
+            .collect()
     }
 
     /// Number of distinct blocks currently indexed.
@@ -112,7 +121,7 @@ impl BlockingStrategy for TokenBlocking {
 /// generation returns every record in the same cell or any of the `3^d − 1`
 /// neighbouring cells.  With `cell_width` chosen at (or above) the similarity
 /// graph's effective distance cutoff this is lossless for that cutoff.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct GridBlocking {
     cell_width: f64,
     cells: BTreeMap<Vec<i64>, BTreeSet<ObjectId>>,
@@ -199,7 +208,7 @@ impl BlockingStrategy for GridBlocking {
 
 /// Exhaustive "blocking" that proposes every indexed object.  Exact but
 /// quadratic; useful for small datasets and as a correctness oracle in tests.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct ExhaustiveBlocking {
     all: BTreeSet<ObjectId>,
 }

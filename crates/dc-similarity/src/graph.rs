@@ -19,6 +19,7 @@ use dc_types::{Dataset, ObjectId, Operation, OperationBatch, Record};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Configuration for building a [`SimilarityGraph`].
+#[derive(Clone)]
 pub struct GraphConfig {
     /// Pairwise similarity measure.
     pub measure: Box<dyn SimilarityMeasure>,
@@ -80,7 +81,12 @@ impl GraphConfig {
     /// `scale` is the similarity decay scale; `cell_width` the grid-blocking
     /// cell width (typically a small multiple of `scale`); `dims` the number
     /// of leading vector dimensions used for blocking.
-    pub fn numeric_euclidean(scale: f64, cell_width: f64, dims: usize, edge_threshold: f64) -> Self {
+    pub fn numeric_euclidean(
+        scale: f64,
+        cell_width: f64,
+        dims: usize,
+        edge_threshold: f64,
+    ) -> Self {
         GraphConfig::new(
             Box::new(crate::measures::EuclideanSimilarity::new(scale)),
             Box::new(crate::blocking::GridBlocking::new(cell_width, dims)),
@@ -100,6 +106,7 @@ impl GraphConfig {
 }
 
 /// A dynamically maintained, thresholded, undirected similarity graph.
+#[derive(Clone)]
 pub struct SimilarityGraph {
     config: GraphConfig,
     records: BTreeMap<ObjectId, Record>,
@@ -396,10 +403,22 @@ mod tests {
     fn apply_batch_mirrors_dataset_mutations() {
         let mut g = SimilarityGraph::empty(GraphConfig::textual_jaccard(0.2));
         let mut batch = OperationBatch::new();
-        batch.push(Operation::Add { id: oid(1), record: textual("alpha beta") });
-        batch.push(Operation::Add { id: oid(2), record: textual("alpha gamma") });
-        batch.push(Operation::Add { id: oid(3), record: textual("delta epsilon") });
-        batch.push(Operation::Update { id: oid(3), record: textual("alpha epsilon") });
+        batch.push(Operation::Add {
+            id: oid(1),
+            record: textual("alpha beta"),
+        });
+        batch.push(Operation::Add {
+            id: oid(2),
+            record: textual("alpha gamma"),
+        });
+        batch.push(Operation::Add {
+            id: oid(3),
+            record: textual("delta epsilon"),
+        });
+        batch.push(Operation::Update {
+            id: oid(3),
+            record: textual("alpha epsilon"),
+        });
         batch.push(Operation::Remove { id: oid(2) });
         g.apply_batch(&batch);
         assert_eq!(g.object_count(), 2);
@@ -411,7 +430,8 @@ mod tests {
         let mut ds = Dataset::new();
         ds.insert_with_id(oid(1), numeric(vec![0.0, 0.0])).unwrap();
         ds.insert_with_id(oid(2), numeric(vec![0.2, 0.1])).unwrap();
-        ds.insert_with_id(oid(3), numeric(vec![10.0, 10.0])).unwrap();
+        ds.insert_with_id(oid(3), numeric(vec![10.0, 10.0]))
+            .unwrap();
         let g = SimilarityGraph::build(GraphConfig::numeric_euclidean(1.0, 2.0, 2, 0.4), &ds);
         assert!(g.similarity(oid(1), oid(2)) > 0.4);
         assert_eq!(g.similarity(oid(1), oid(3)), 0.0);
@@ -440,7 +460,8 @@ mod tests {
     fn exhaustive_config_compares_all_pairs() {
         let mut ds = Dataset::new();
         for i in 0..5u64 {
-            ds.insert_with_id(oid(i), textual(&format!("record {i}"))).unwrap();
+            ds.insert_with_id(oid(i), textual(&format!("record {i}")))
+                .unwrap();
         }
         let g = SimilarityGraph::build(
             GraphConfig::exhaustive(Box::new(crate::measures::JaccardSimilarity), 0.1),

@@ -11,12 +11,46 @@ use crate::text;
 use dc_types::Record;
 
 /// A symmetric pairwise similarity in `[0, 1]`.
-pub trait SimilarityMeasure: Send + Sync {
+pub trait SimilarityMeasure: Send + Sync + CloneMeasure {
     /// Similarity between two records; must be symmetric and in `[0, 1]`.
     fn similarity(&self, a: &Record, b: &Record) -> f64;
 
     /// Human-readable name (used in experiment reports).
     fn name(&self) -> &'static str;
+}
+
+/// Defines an object-safe clone helper trait (`$helper::$method`) for a
+/// boxed `dyn $object_trait`, blanket-implements it for every `Clone`
+/// implementor, and makes `Box<dyn $object_trait>` itself `Clone`.  The
+/// object trait must list `$helper` as a supertrait.
+macro_rules! clone_boxed_trait {
+    ($(#[$meta:meta])* $helper:ident :: $method:ident for $object_trait:ident) => {
+        $(#[$meta])*
+        pub trait $helper {
+            /// Clone `self` into a new boxed trait object.
+            fn $method(&self) -> Box<dyn $object_trait>;
+        }
+
+        impl<T: $object_trait + Clone + 'static> $helper for T {
+            fn $method(&self) -> Box<dyn $object_trait> {
+                Box::new(self.clone())
+            }
+        }
+
+        impl Clone for Box<dyn $object_trait> {
+            fn clone(&self) -> Self {
+                self.$method()
+            }
+        }
+    };
+}
+pub(crate) use clone_boxed_trait;
+
+clone_boxed_trait! {
+    /// Object-safe cloning for boxed measures, blanket-implemented for every
+    /// `Clone` measure, so `Box<dyn SimilarityMeasure>` (and with it
+    /// [`crate::GraphConfig`] / [`crate::SimilarityGraph`]) is `Clone`.
+    CloneMeasure::clone_measure for SimilarityMeasure
 }
 
 /// Jaccard similarity over the records' lowercase token sets (Cora).
@@ -137,6 +171,7 @@ impl SimilarityMeasure for EuclideanSimilarity {
 ///
 /// Weights are normalized internally, so `CompositeMeasure::new(vec![(m1, 1.0),
 /// (m2, 1.0)])` averages the two components.
+#[derive(Clone)]
 pub struct CompositeMeasure {
     components: Vec<(Box<dyn SimilarityMeasure>, f64)>,
 }
@@ -145,9 +180,15 @@ impl CompositeMeasure {
     /// Create a composite from `(measure, weight)` pairs.  Panics if no
     /// component is given or all weights are zero.
     pub fn new(components: Vec<(Box<dyn SimilarityMeasure>, f64)>) -> Self {
-        assert!(!components.is_empty(), "composite needs at least one component");
+        assert!(
+            !components.is_empty(),
+            "composite needs at least one component"
+        );
         let total: f64 = components.iter().map(|(_, w)| *w).sum();
-        assert!(total > 0.0, "composite weights must sum to a positive value");
+        assert!(
+            total > 0.0,
+            "composite weights must sum to a positive value"
+        );
         CompositeMeasure { components }
     }
 

@@ -36,10 +36,9 @@ pub fn token_set(text: &str) -> BTreeSet<String> {
 /// yield a single padded gram.
 pub fn char_ngrams(text: &str, n: usize) -> Vec<String> {
     assert!(n >= 1, "n-gram size must be at least 1");
-    let padded: Vec<char> = std::iter::repeat('#')
-        .take(n - 1)
+    let padded: Vec<char> = std::iter::repeat_n('#', n - 1)
         .chain(text.to_lowercase().chars())
-        .chain(std::iter::repeat('#').take(n - 1))
+        .chain(std::iter::repeat_n('#', n - 1))
         .collect();
     if padded.len() < n {
         return vec![padded.iter().collect()];
@@ -63,7 +62,11 @@ pub fn levenshtein(a: &str, b: &str) -> usize {
     let a: Vec<char> = a.chars().collect();
     let b: Vec<char> = b.chars().collect();
     // Keep the shorter string in the inner dimension to minimize memory.
-    let (short, long) = if a.len() <= b.len() { (&a, &b) } else { (&b, &a) };
+    let (short, long) = if a.len() <= b.len() {
+        (&a, &b)
+    } else {
+        (&b, &a)
+    };
     if short.is_empty() {
         return long.len();
     }
@@ -112,7 +115,11 @@ pub fn jaccard<T: Ord>(a: &BTreeSet<T>, b: &BTreeSet<T>) -> f64 {
 pub fn cosine_of_bags(a: &[String], b: &[String]) -> f64 {
     use std::collections::BTreeMap;
     if a.is_empty() || b.is_empty() {
-        return if a.is_empty() && b.is_empty() { 1.0 } else { 0.0 };
+        return if a.is_empty() && b.is_empty() {
+            1.0
+        } else {
+            0.0
+        };
     }
     let mut ca: BTreeMap<&str, f64> = BTreeMap::new();
     for g in a {
@@ -168,7 +175,10 @@ mod tests {
     #[test]
     fn ngrams_handle_short_strings() {
         // An empty string still yields boundary-only grams.
-        assert_eq!(char_ngrams("", 3), vec!["###".to_string(), "###".to_string()]);
+        assert_eq!(
+            char_ngrams("", 3),
+            vec!["###".to_string(), "###".to_string()]
+        );
         assert_eq!(char_ngrams("a", 1), vec!["a".to_string()]);
         assert_eq!(char_ngrams("a", 3), vec!["##a", "#a#", "a##"]);
     }

@@ -176,10 +176,7 @@ impl Clustering {
     /// The members of each cluster, as a vector of vectors, ordered by
     /// cluster id.  Convenient for snapshotting and evaluation.
     pub fn groups(&self) -> Vec<Vec<ObjectId>> {
-        self.clusters
-            .values()
-            .map(|c| c.iter().collect())
-            .collect()
+        self.clusters.values().map(|c| c.iter().collect()).collect()
     }
 
     // ------------------------------------------------------------------
@@ -303,7 +300,12 @@ impl Clustering {
         for &o in &rest {
             self.membership.insert(o, rest_id);
         }
-        self.clusters.insert(part_id, Cluster { members: part.clone() });
+        self.clusters.insert(
+            part_id,
+            Cluster {
+                members: part.clone(),
+            },
+        );
         self.clusters.insert(rest_id, Cluster { members: rest });
         Ok((part_id, rest_id))
     }
@@ -325,7 +327,10 @@ impl Clustering {
             return Ok(());
         }
         let drop_source = {
-            let src = self.clusters.get_mut(&source).expect("membership is consistent");
+            let src = self
+                .clusters
+                .get_mut(&source)
+                .expect("membership is consistent");
             src.members.remove(&oid);
             src.members.is_empty()
         };
@@ -644,18 +649,18 @@ mod proptests {
     /// over objects 0..n must preserve the partition invariants.
     #[derive(Debug, Clone)]
     enum Op {
-        MergeRandom(usize, usize),
-        IsolateRandom(usize),
-        MoveRandom(usize, usize),
-        RemoveRandom(usize),
+        Merge(usize, usize),
+        Isolate(usize),
+        Move(usize, usize),
+        Remove(usize),
     }
 
     fn op_strategy() -> impl Strategy<Value = Op> {
         prop_oneof![
-            (0usize..32, 0usize..32).prop_map(|(a, b)| Op::MergeRandom(a, b)),
-            (0usize..32).prop_map(Op::IsolateRandom),
-            (0usize..32, 0usize..32).prop_map(|(a, b)| Op::MoveRandom(a, b)),
-            (0usize..32).prop_map(Op::RemoveRandom),
+            (0usize..32, 0usize..32).prop_map(|(a, b)| Op::Merge(a, b)),
+            (0usize..32).prop_map(Op::Isolate),
+            (0usize..32, 0usize..32).prop_map(|(a, b)| Op::Move(a, b)),
+            (0usize..32).prop_map(Op::Remove),
         ]
     }
 
@@ -670,25 +675,25 @@ mod proptests {
                 let oids = c.object_ids();
                 if oids.is_empty() { break; }
                 match op {
-                    Op::MergeRandom(a, b) => {
+                    Op::Merge(a, b) => {
                         if cids.len() >= 2 {
                             let a = cids[a % cids.len()];
                             let b = cids[b % cids.len()];
                             if a != b { c.merge(a, b).unwrap(); }
                         }
                     }
-                    Op::IsolateRandom(i) => {
+                    Op::Isolate(i) => {
                         let o = oids[i % oids.len()];
                         c.isolate_object(o).unwrap();
                     }
-                    Op::MoveRandom(i, j) => {
+                    Op::Move(i, j) => {
                         let o = oids[i % oids.len()];
                         let t = cids[j % cids.len()];
                         if c.contains_cluster(t) {
                             c.move_object(o, t).unwrap();
                         }
                     }
-                    Op::RemoveRandom(i) => {
+                    Op::Remove(i) => {
                         let o = oids[i % oids.len()];
                         c.remove_object(o).unwrap();
                     }

@@ -5,8 +5,8 @@
 //! updated.  It also knows how to apply an [`OperationBatch`], which is how
 //! the dynamic workloads of §7 are replayed.
 
-use crate::{ObjectId, Operation, OperationBatch, Record, Result, TypeError};
 use crate::id::IdGenerator;
+use crate::{ObjectId, Operation, OperationBatch, Record, Result, TypeError};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
@@ -90,9 +90,7 @@ impl Dataset {
 
     /// Remove a live object, returning its record.
     pub fn remove(&mut self, id: ObjectId) -> Result<Record> {
-        self.objects
-            .remove(&id)
-            .ok_or(TypeError::UnknownObject(id))
+        self.objects.remove(&id).ok_or(TypeError::UnknownObject(id))
     }
 
     /// Replace the record of a live object, returning the previous record.
@@ -141,7 +139,10 @@ mod tests {
         assert_ne!(a, b);
         assert_eq!(ds.len(), 2);
         assert!(ds.contains(a));
-        assert_eq!(ds.record(a).unwrap().field("name").unwrap().as_text(), Some("a"));
+        assert_eq!(
+            ds.record(a).unwrap().field("name").unwrap().as_text(),
+            Some("a")
+        );
 
         let removed = ds.remove(a).unwrap();
         assert_eq!(removed.field("name").unwrap().as_text(), Some("a"));
@@ -190,9 +191,18 @@ mod tests {
         let id0 = ObjectId::new(0);
         let id1 = ObjectId::new(1);
         let mut batch = OperationBatch::new();
-        batch.push(Operation::Add { id: id0, record: rec("a") });
-        batch.push(Operation::Add { id: id1, record: rec("b") });
-        batch.push(Operation::Update { id: id0, record: rec("a2") });
+        batch.push(Operation::Add {
+            id: id0,
+            record: rec("a"),
+        });
+        batch.push(Operation::Add {
+            id: id1,
+            record: rec("b"),
+        });
+        batch.push(Operation::Update {
+            id: id0,
+            record: rec("a2"),
+        });
         batch.push(Operation::Remove { id: id1 });
         ds.apply_batch(&batch).unwrap();
         assert_eq!(ds.len(), 1);

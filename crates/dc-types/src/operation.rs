@@ -204,9 +204,15 @@ mod tests {
 
     #[test]
     fn operation_accessors() {
-        let add = Operation::Add { id: id(1), record: rec("a") };
+        let add = Operation::Add {
+            id: id(1),
+            record: rec("a"),
+        };
         let rem = Operation::Remove { id: id(2) };
-        let upd = Operation::Update { id: id(3), record: rec("c") };
+        let upd = Operation::Update {
+            id: id(3),
+            record: rec("c"),
+        };
         assert_eq!(add.object_id(), id(1));
         assert_eq!(rem.object_id(), id(2));
         assert_eq!(upd.object_id(), id(3));
@@ -218,10 +224,19 @@ mod tests {
     #[test]
     fn batch_counts_and_kind_filters() {
         let mut b = OperationBatch::new();
-        b.push(Operation::Add { id: id(1), record: rec("a") });
-        b.push(Operation::Add { id: id(2), record: rec("b") });
+        b.push(Operation::Add {
+            id: id(1),
+            record: rec("a"),
+        });
+        b.push(Operation::Add {
+            id: id(2),
+            record: rec("b"),
+        });
         b.push(Operation::Remove { id: id(3) });
-        b.push(Operation::Update { id: id(4), record: rec("d") });
+        b.push(Operation::Update {
+            id: id(4),
+            record: rec("d"),
+        });
         assert_eq!(b.counts(), (2, 1, 1));
         assert_eq!(b.added_ids(), vec![id(1), id(2)]);
         assert_eq!(b.removed_ids(), vec![id(3)]);
@@ -234,10 +249,22 @@ mod tests {
     fn touched_ids_keeps_latest_change_per_object() {
         // Object 1 is added then updated twice; it should appear once.
         let mut b = OperationBatch::new();
-        b.push(Operation::Add { id: id(1), record: rec("v1") });
-        b.push(Operation::Update { id: id(1), record: rec("v2") });
-        b.push(Operation::Add { id: id(2), record: rec("x") });
-        b.push(Operation::Update { id: id(1), record: rec("v3") });
+        b.push(Operation::Add {
+            id: id(1),
+            record: rec("v1"),
+        });
+        b.push(Operation::Update {
+            id: id(1),
+            record: rec("v2"),
+        });
+        b.push(Operation::Add {
+            id: id(2),
+            record: rec("x"),
+        });
+        b.push(Operation::Update {
+            id: id(1),
+            record: rec("v3"),
+        });
         let touched = b.touched_ids();
         assert_eq!(touched.len(), 2);
         assert!(touched.contains(&id(1)));

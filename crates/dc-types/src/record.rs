@@ -210,8 +210,7 @@ impl RecordBuilder {
 
     /// Add a text field.
     pub fn text(mut self, name: impl Into<String>, value: impl Into<String>) -> Self {
-        self.record
-            .set_field(name, FieldValue::Text(value.into()));
+        self.record.set_field(name, FieldValue::Text(value.into()));
         self
     }
 

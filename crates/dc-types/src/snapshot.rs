@@ -90,7 +90,9 @@ mod tests {
         let mut b = OperationBatch::new();
         b.push(add(1));
         b.push(add(2));
-        b.push(Operation::Remove { id: ObjectId::new(1) });
+        b.push(Operation::Remove {
+            id: ObjectId::new(1),
+        });
         let snap = Snapshot::new(3, b);
         let s = snap.stats();
         assert_eq!(s.index, 3);

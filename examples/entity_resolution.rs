@@ -56,7 +56,9 @@ fn main() {
 
     // Serve the remaining rounds with each dynamic method, comparing against
     // a fresh batch run per round.
-    let mut naive = Naive::new(NaiveConfig { join_threshold: 0.4 });
+    let mut naive = Naive::new(NaiveConfig {
+        join_threshold: 0.4,
+    });
     let mut greedy = Greedy::with_objective(objective.clone());
     let mut previous = report.final_clustering(&initial);
 

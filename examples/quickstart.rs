@@ -17,8 +17,11 @@ fn main() {
     // r4–r5 at 0.8, r5–r6 at 0.7, r1–r7 at 1.0.
     let graph = fixtures::figure2_graph();
     let old_clustering = fixtures::figure1_old_clustering();
-    println!("old clustering (Figure 1): {} clusters over {} objects",
-        old_clustering.cluster_count(), old_clustering.object_count());
+    println!(
+        "old clustering (Figure 1): {} clusters over {} objects",
+        old_clustering.cluster_count(),
+        old_clustering.object_count()
+    );
 
     // The objective of Example 4.1.
     let objective = Arc::new(CorrelationObjective);

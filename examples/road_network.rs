@@ -44,7 +44,10 @@ fn main() {
         &workload.initial,
     );
     let initial = dbscan.cluster(&graph).clustering;
-    println!("initial DBSCAN clustering: {} clusters", initial.cluster_count());
+    println!(
+        "initial DBSCAN clustering: {} clusters",
+        initial.cluster_count()
+    );
 
     let mut dynamicc = DynamicC::with_objective(objective);
     let (train, serve) = workload.snapshots.split_at(2);

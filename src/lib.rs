@@ -81,8 +81,7 @@ pub mod prelude {
     pub use dc_core::{train_on_workload, DynamicC, DynamicCConfig, TrainingReport};
     pub use dc_datagen::{
         ground_truth, AccessLikeGenerator, CoraLikeGenerator, DuplicateDistribution,
-        DynamicWorkload, FebrlLikeGenerator, MusicLikeGenerator, RoadLikeGenerator,
-        WorkloadConfig,
+        DynamicWorkload, FebrlLikeGenerator, MusicLikeGenerator, RoadLikeGenerator, WorkloadConfig,
     };
     pub use dc_eval::{quality_report, QualityReport};
     pub use dc_ml::{BinaryClassifier, ModelKind};

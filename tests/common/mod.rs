@@ -1,0 +1,104 @@
+//! Shared test utilities for the integration-test binaries.
+//!
+//! The expensive part of every end-to-end test is identical: generate a
+//! workload, build the similarity graph, run the batch algorithm, and train
+//! DynamicC on the first snapshots.  [`shared_febrl_pipeline`] does that
+//! exactly once per test binary (all the pipeline types are `Clone`, so each
+//! test receives an independent mutable copy), backed by the canned datasets
+//! in [`dynamicc::datagen::fixtures`].  Everything is seeded, so the shared
+//! pipeline is identical on every run.
+
+use dynamicc::batch::HillClimbingConfig;
+use dynamicc::datagen::fixtures;
+use dynamicc::prelude::*;
+use std::sync::{Arc, OnceLock};
+
+/// Everything needed to serve rounds after training: the live graph, the
+/// last agreed clustering, the trained DynamicC, the remaining snapshots,
+/// and the batch reference algorithm.
+#[derive(Clone)]
+pub struct Pipeline {
+    pub graph: SimilarityGraph,
+    pub previous: Clustering,
+    pub dynamicc: DynamicC,
+    pub serve: Vec<Snapshot>,
+    pub batch: HillClimbing,
+}
+
+/// Build a Febrl pipeline from a workload: train DynamicC on the first 3 of
+/// 5 snapshots, leave 2 for serving.
+fn build_febrl_pipeline(workload: dynamicc::datagen::DynamicWorkload) -> Pipeline {
+    let objective = Arc::new(DbIndexObjective);
+    let batch = HillClimbing::with_objective(objective.clone());
+    let mut graph = SimilarityGraph::build(GraphConfig::textual_febrl(0.6), &workload.initial);
+    let initial = batch.cluster(&graph).clustering;
+    let mut dynamicc = DynamicC::with_objective(objective);
+    let (train, serve) = workload.snapshots.split_at(3);
+    let report = train_on_workload(&mut dynamicc, &mut graph, &initial, train, &batch);
+    Pipeline {
+        graph,
+        previous: report.final_clustering(&initial),
+        dynamicc,
+        serve: serve.to_vec(),
+        batch,
+    }
+}
+
+/// A clone of the process-wide trained Febrl pipeline (built on first use).
+pub fn shared_febrl_pipeline() -> Pipeline {
+    static CACHE: OnceLock<Pipeline> = OnceLock::new();
+    CACHE
+        .get_or_init(|| build_febrl_pipeline(fixtures::small_febrl_workload()))
+        .clone()
+}
+
+/// A second trained pipeline over an independently-seeded workload of the
+/// same family, so quality assertions are not tied to a single dataset
+/// instance (also built only once per test binary).
+pub fn shared_febrl_pipeline_alt() -> Pipeline {
+    static CACHE: OnceLock<Pipeline> = OnceLock::new();
+    CACHE
+        .get_or_init(|| {
+            build_febrl_pipeline(fixtures::febrl_workload_with_seed(
+                fixtures::FIXTURE_SEED_ALT,
+            ))
+        })
+        .clone()
+}
+
+/// The k-means counterpart on the canned numeric workload: a fixed-k
+/// hill-climbing batch reference and a DynamicC trained on the first 2 of 4
+/// snapshots.
+pub fn shared_kmeans_pipeline() -> (Pipeline, Arc<KMeansObjective>, usize) {
+    static CACHE: OnceLock<(Pipeline, Arc<KMeansObjective>, usize)> = OnceLock::new();
+    CACHE
+        .get_or_init(|| {
+            let k = 8;
+            let workload = fixtures::small_access_workload();
+            let objective = Arc::new(KMeansObjective);
+            let batch = HillClimbing::new(
+                objective.clone(),
+                HillClimbingConfig {
+                    fixed_k: Some(k),
+                    ..HillClimbingConfig::default()
+                },
+            );
+            let mut graph = SimilarityGraph::build(
+                GraphConfig::numeric_euclidean(1.8, 4.0, 3, 0.25),
+                &workload.initial,
+            );
+            let initial = batch.cluster(&graph).clustering;
+            let mut dynamicc = DynamicC::with_objective(objective.clone());
+            let (train, serve) = workload.snapshots.split_at(2);
+            let report = train_on_workload(&mut dynamicc, &mut graph, &initial, train, &batch);
+            let pipeline = Pipeline {
+                graph,
+                previous: report.final_clustering(&initial),
+                dynamicc,
+                serve: serve.to_vec(),
+                batch,
+            };
+            (pipeline, objective, k)
+        })
+        .clone()
+}

@@ -2,56 +2,19 @@
 //! synthetic workloads, and the qualitative claims of the evaluation section
 //! (DynamicC ≥ Naive in quality, DynamicC tracks the batch algorithm, all
 //! methods keep the clustering a valid partition).
+//!
+//! The expensive generate→cluster→train prefix is shared: every test clones
+//! the process-wide pipeline from [`common`] instead of rebuilding it.
 
+mod common;
+
+use common::{shared_febrl_pipeline, shared_febrl_pipeline_alt};
 use dynamicc::prelude::*;
 use std::sync::Arc;
 
-struct Pipeline {
-    graph: SimilarityGraph,
-    previous: Clustering,
-    dynamicc: DynamicC,
-    serve: Vec<Snapshot>,
-    batch: HillClimbing,
-}
-
-/// Build a small Febrl-like record-linkage pipeline: train DynamicC on the
-/// first rounds, return everything needed to serve the remaining rounds.
-fn febrl_pipeline(seed: u64) -> Pipeline {
-    let full = FebrlLikeGenerator {
-        originals: 70,
-        duplicates_per_original: 1.8,
-        seed,
-        ..FebrlLikeGenerator::default()
-    }
-    .generate();
-    let workload = DynamicWorkload::generate(
-        &full,
-        WorkloadConfig {
-            initial_fraction: 0.35,
-            snapshots: 5,
-            seed: seed ^ 0xABCD,
-            ..WorkloadConfig::default()
-        },
-    );
-    let objective = Arc::new(DbIndexObjective);
-    let batch = HillClimbing::with_objective(objective.clone());
-    let mut graph = SimilarityGraph::build(GraphConfig::textual_febrl(0.6), &workload.initial);
-    let initial = batch.cluster(&graph).clustering;
-    let mut dynamicc = DynamicC::with_objective(objective);
-    let (train, serve) = workload.snapshots.split_at(3);
-    let report = train_on_workload(&mut dynamicc, &mut graph, &initial, train, &batch);
-    Pipeline {
-        graph,
-        previous: report.final_clustering(&initial),
-        dynamicc,
-        serve: serve.to_vec(),
-        batch,
-    }
-}
-
 #[test]
 fn dynamicc_stays_close_to_the_batch_algorithm() {
-    let mut p = febrl_pipeline(3);
+    let mut p = shared_febrl_pipeline();
     assert!(p.dynamicc.is_trained());
     for snapshot in &p.serve {
         p.graph.apply_batch(&snapshot.batch);
@@ -71,8 +34,12 @@ fn dynamicc_stays_close_to_the_batch_algorithm() {
 
 #[test]
 fn dynamicc_beats_or_matches_naive_on_quality() {
-    let mut p = febrl_pipeline(11);
-    let mut naive = Naive::new(NaiveConfig { join_threshold: 0.5 });
+    // The alt pipeline keeps this quality claim on an independently seeded
+    // dataset instead of re-asserting over the canonical fixture.
+    let mut p = shared_febrl_pipeline_alt();
+    let mut naive = Naive::new(NaiveConfig {
+        join_threshold: 0.5,
+    });
     let mut naive_f1_sum = 0.0;
     let mut dync_f1_sum = 0.0;
     let mut rounds = 0.0;
@@ -96,7 +63,7 @@ fn dynamicc_beats_or_matches_naive_on_quality() {
 
 #[test]
 fn all_incremental_methods_preserve_partition_invariants() {
-    let mut p = febrl_pipeline(29);
+    let mut p = shared_febrl_pipeline_alt();
     let objective: Arc<dyn ObjectiveFunction> = Arc::new(DbIndexObjective);
     let mut methods: Vec<Box<dyn IncrementalClusterer>> = vec![
         Box::new(Naive::new(NaiveConfig::default())),
@@ -120,7 +87,7 @@ fn all_incremental_methods_preserve_partition_invariants() {
 fn ground_truth_quality_is_high_on_clean_duplicates() {
     // On a cleanly separated duplicate dataset the whole pipeline should
     // recover essentially the true entities.
-    let mut p = febrl_pipeline(47);
+    let mut p = shared_febrl_pipeline();
     let mut last = p.previous.clone();
     for snapshot in &p.serve {
         p.graph.apply_batch(&snapshot.batch);
@@ -130,7 +97,8 @@ fn ground_truth_quality_is_high_on_clean_duplicates() {
     // Build the entity ground truth restricted to live objects.
     let mut live = Dataset::new();
     for o in p.graph.object_ids() {
-        live.insert_with_id(o, p.graph.record(o).unwrap().clone()).unwrap();
+        live.insert_with_id(o, p.graph.record(o).unwrap().clone())
+            .unwrap();
     }
     let truth = ground_truth(&live);
     let q = quality_report(&last, &truth);
@@ -138,54 +106,33 @@ fn ground_truth_quality_is_high_on_clean_duplicates() {
 }
 
 #[test]
-fn numeric_kmeans_pipeline_round_trips() {
-    use dynamicc::batch::HillClimbingConfig;
-    let k = 8;
-    let full = AccessLikeGenerator {
-        clusters: k,
-        points_per_cluster: 30,
-        ..AccessLikeGenerator::default()
-    }
-    .generate();
-    let workload = DynamicWorkload::generate(
-        &full,
-        WorkloadConfig {
-            initial_fraction: 0.4,
-            snapshots: 4,
-            ..WorkloadConfig::default()
-        },
-    );
-    let objective = Arc::new(KMeansObjective);
-    let batch = HillClimbing::new(
-        objective.clone(),
-        HillClimbingConfig {
-            fixed_k: Some(k),
-            ..HillClimbingConfig::default()
-        },
-    );
-    let mut graph = SimilarityGraph::build(
-        GraphConfig::numeric_euclidean(1.8, 4.0, 3, 0.25),
-        &workload.initial,
-    );
-    let initial = batch.cluster(&graph).clustering;
-    assert_eq!(initial.cluster_count(), k);
+fn shared_pipeline_clones_are_independent() {
+    // Mutating one test's clone must not leak into the cached pipeline.
+    let mut a = shared_febrl_pipeline();
+    let before = a.graph.object_count();
+    a.graph.apply_batch(&a.serve[0].batch);
+    assert_ne!(a.graph.object_count(), before);
+    let b = shared_febrl_pipeline();
+    assert_eq!(b.graph.object_count(), before);
+    assert_eq!(b.previous.object_count(), before);
+}
 
-    let mut dynamicc = DynamicC::with_objective(objective.clone());
-    let (train, serve) = workload.snapshots.split_at(2);
-    let report = train_on_workload(&mut dynamicc, &mut graph, &initial, train, &batch);
-    let mut previous = report.final_clustering(&initial);
-    for snapshot in serve {
-        graph.apply_batch(&snapshot.batch);
-        let served = dynamicc.recluster(&graph, &previous, &snapshot.batch);
+#[test]
+fn numeric_kmeans_pipeline_round_trips() {
+    let (mut p, objective, k) = common::shared_kmeans_pipeline();
+    assert_eq!(p.previous.cluster_count(), k);
+    for snapshot in &p.serve {
+        p.graph.apply_batch(&snapshot.batch);
+        let served = p.dynamicc.recluster(&p.graph, &p.previous, &snapshot.batch);
         served.check_invariants().unwrap();
-        let batch_result = batch.recluster(&graph, &previous).clustering;
+        let batch_result = p.batch.recluster(&p.graph, &p.previous).clustering;
         // DynamicC's k-means cost must stay within 25% of the batch cost.
-        let served_cost = objective.evaluate(&graph, &served);
-        let batch_cost = objective.evaluate(&graph, &batch_result);
+        let served_cost = objective.evaluate(&p.graph, &served);
+        let batch_cost = objective.evaluate(&p.graph, &batch_result);
         assert!(
             served_cost <= batch_cost * 1.25 + 1e-9,
             "k-means cost {served_cost:.2} vs batch {batch_cost:.2}"
         );
-        previous = served;
+        p.previous = served;
     }
 }

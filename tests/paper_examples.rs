@@ -61,9 +61,7 @@ fn motivating_example_never_degrades_quality() {
     let mut do_nothing = old.clone();
     do_nothing.create_cluster([ObjectId::new(6)]).unwrap();
     do_nothing.create_cluster([ObjectId::new(7)]).unwrap();
-    assert!(
-        objective.evaluate(&graph, &result) <= objective.evaluate(&graph, &do_nothing) + 1e-9
-    );
+    assert!(objective.evaluate(&graph, &result) <= objective.evaluate(&graph, &do_nothing) + 1e-9);
 }
 
 /// Figure 3's arithmetic: the confusion-matrix metrics of the worked example.

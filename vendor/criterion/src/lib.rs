@@ -1,0 +1,250 @@
+//! Offline stand-in for [`criterion`](https://crates.io/crates/criterion).
+//!
+//! The build environment has no network access, so this crate provides the
+//! small macro + builder surface the `dc-bench` targets use —
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`],
+//! [`Bencher::iter`], [`black_box`], [`criterion_group!`],
+//! [`criterion_main!`] — backed by a simple median-of-samples wall-clock
+//! timer instead of criterion's full statistical machinery. Reported
+//! numbers are honest medians but carry no confidence intervals; swap the
+//! vendored path dependency for the real crate when the registry is
+//! reachable.
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier, re-exported for bench code (`criterion::black_box`).
+#[inline]
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Settings {
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Default for Settings {
+    fn default() -> Self {
+        Settings {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(1),
+        }
+    }
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    settings: Settings,
+}
+
+impl Criterion {
+    /// Builder: number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.settings.sample_size = n;
+        self
+    }
+
+    /// Builder: soft cap on total measurement time per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.settings.measurement_time = d;
+        self
+    }
+
+    /// No-op mirror of criterion's CLI-argument hook.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Accepted for source compatibility; the shim's single warm-up call
+    /// per `iter` ignores the requested duration.
+    pub fn warm_up_time(self, _d: Duration) -> Self {
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(id, self.settings, &mut f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let settings = self.settings;
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            settings,
+        }
+    }
+
+    /// No-op mirror of criterion's end-of-run summary.
+    pub fn final_summary(&mut self) {}
+}
+
+/// A named group of related benchmarks with its own settings.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    settings: Settings,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.settings.sample_size = n;
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.settings.measurement_time = d;
+        self
+    }
+
+    /// Accepted for source compatibility; see [`Criterion::warm_up_time`].
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl AsRef<str>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.as_ref());
+        run_benchmark(&full, self.settings, &mut f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Passed to the closure of `bench_function`; `iter` times the routine.
+pub struct Bencher {
+    settings: Settings,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    pub fn iter<O, F>(&mut self, mut routine: F)
+    where
+        F: FnMut() -> O,
+    {
+        // One warm-up call, then `sample_size` timed samples or until the
+        // measurement-time budget runs out, whichever comes first (always
+        // taking at least one sample).
+        black_box(routine());
+        let budget = Instant::now();
+        for _ in 0..self.settings.sample_size {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+            if budget.elapsed() > self.settings.measurement_time {
+                break;
+            }
+        }
+    }
+}
+
+fn run_benchmark<F>(id: &str, settings: Settings, f: &mut F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut bencher = Bencher {
+        settings,
+        samples: Vec::new(),
+    };
+    f(&mut bencher);
+    let mut samples = bencher.samples;
+    if samples.is_empty() {
+        println!("{id:<50} (no samples — routine never called iter)");
+        return;
+    }
+    samples.sort_unstable();
+    let median = samples[samples.len() / 2];
+    let min = samples[0];
+    let max = samples[samples.len() - 1];
+    println!(
+        "{id:<50} median {} (min {}, max {}, n={})",
+        fmt_duration(median),
+        fmt_duration(min),
+        fmt_duration(max),
+        samples.len(),
+    );
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.2} s", nanos as f64 / 1e9)
+    }
+}
+
+/// Mirrors `criterion::criterion_group!`: both the simple form and the
+/// `name = ..; config = ..; targets = ..` form.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default().configure_from_args();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Mirrors `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_routine() {
+        let mut calls = 0usize;
+        let mut c = Criterion::default().sample_size(5);
+        c.bench_function("smoke", |b| b.iter(|| calls += 1));
+        assert!(calls >= 2, "warm-up + at least one sample");
+    }
+
+    #[test]
+    fn group_inherits_and_overrides_settings() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut group = c.benchmark_group("g");
+        group
+            .sample_size(2)
+            .measurement_time(Duration::from_millis(10));
+        let mut calls = 0usize;
+        group.bench_function("inner", |b| b.iter(|| calls += 1));
+        group.finish();
+        assert!(calls >= 2);
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_duration(Duration::from_nanos(10)), "10 ns");
+        assert_eq!(fmt_duration(Duration::from_micros(1500)), "1.50 ms");
+    }
+}

@@ -1,0 +1,750 @@
+//! Offline, deterministic subset of [`proptest`](https://crates.io/crates/proptest).
+//!
+//! The build environment has no network access, so this workspace vendors
+//! the slice of proptest that its property tests use:
+//!
+//! - the [`proptest!`] macro (with the `#![proptest_config(..)]` header),
+//! - [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_assert_ne!`],
+//! - [`prop_oneof!`] over boxed strategies,
+//! - integer / float range strategies, tuple strategies, [`strategy::Just`],
+//! - `prop_map` / `prop_filter` combinators,
+//! - [`collection::vec`] and [`collection::btree_set`],
+//! - [`bool::weighted`],
+//! - string-from-regex strategies for the simple pattern subset
+//!   (`.`, `[a-e]`, `{m,n}`, `?`, `*`, `+`) that the tests use.
+//!
+//! Two deliberate departures from real proptest, both in the direction the
+//! repo wants (a *deterministic* test harness):
+//!
+//! 1. **No shrinking.** A failing case panics with the sampled inputs via
+//!    the normal assertion message; there is no minimization pass.
+//! 2. **Fixed seeding.** Every test derives its RNG seed from its fully
+//!    qualified name (FNV-1a of `module_path!()::name`) plus the case
+//!    index, so `cargo test` explores the identical case sequence on every
+//!    run, machine, and CI shard.
+
+pub mod test_runner {
+    /// Configuration mirroring `proptest::test_runner::Config`.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of random cases each property runs.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    /// Deterministic per-test RNG (xoshiro256++ via the vendored `rand`).
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        inner: rand::rngs::StdRng,
+    }
+
+    impl TestRng {
+        pub fn from_seed(seed: u64) -> Self {
+            use rand::SeedableRng;
+            TestRng {
+                inner: rand::rngs::StdRng::seed_from_u64(seed),
+            }
+        }
+
+        #[inline]
+        pub fn next_u64(&mut self) -> u64 {
+            use rand::RngCore;
+            self.inner.next_u64()
+        }
+
+        /// Uniform in `[0, bound)`; `bound` must be non-zero.
+        #[inline]
+        pub fn below(&mut self, bound: usize) -> usize {
+            use rand::Rng;
+            self.inner.gen_range(0..bound)
+        }
+
+        /// Uniform in `[0, 1)`.
+        #[inline]
+        pub fn unit_f64(&mut self) -> f64 {
+            use rand::Rng;
+            self.inner.gen()
+        }
+    }
+
+    /// Stable 64-bit fingerprint of a test's fully qualified name (FNV-1a),
+    /// used as the base RNG seed so runs are reproducible everywhere.
+    pub fn fingerprint(name: &str) -> u64 {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in name.as_bytes() {
+            hash ^= u64::from(*byte);
+            hash = hash.wrapping_mul(0x100_0000_01b3);
+        }
+        hash
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+
+    /// A generator of values, mirroring `proptest::strategy::Strategy`
+    /// minus shrinking (`sample` replaces `new_tree`).
+    pub trait Strategy {
+        type Value;
+
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        fn prop_map<O, F>(self, map: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { source: self, map }
+        }
+
+        fn prop_filter<F>(self, whence: impl Into<String>, predicate: F) -> Filter<Self, F>
+        where
+            Self: Sized,
+            F: Fn(&Self::Value) -> bool,
+        {
+            Filter {
+                source: self,
+                whence: whence.into(),
+                predicate,
+            }
+        }
+
+        fn prop_flat_map<O, F>(self, map: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            O: Strategy,
+            F: Fn(Self::Value) -> O,
+        {
+            FlatMap { source: self, map }
+        }
+
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy {
+                inner: std::rc::Rc::new(self),
+            }
+        }
+    }
+
+    /// Type-erased strategy, mirroring `proptest::strategy::BoxedStrategy`.
+    #[derive(Clone)]
+    pub struct BoxedStrategy<T> {
+        inner: std::rc::Rc<dyn Strategy<Value = T>>,
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut TestRng) -> T {
+            self.inner.sample(rng)
+        }
+    }
+
+    /// Always yields a clone of the given value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    pub struct Map<S, F> {
+        source: S,
+        map: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+
+        fn sample(&self, rng: &mut TestRng) -> O {
+            (self.map)(self.source.sample(rng))
+        }
+    }
+
+    pub struct FlatMap<S, F> {
+        source: S,
+        map: F,
+    }
+
+    impl<S, O, F> Strategy for FlatMap<S, F>
+    where
+        S: Strategy,
+        O: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O::Value;
+
+        fn sample(&self, rng: &mut TestRng) -> O::Value {
+            (self.map)(self.source.sample(rng)).sample(rng)
+        }
+    }
+
+    pub struct Filter<S, F> {
+        source: S,
+        whence: String,
+        predicate: F,
+    }
+
+    impl<S, F> Strategy for Filter<S, F>
+    where
+        S: Strategy,
+        F: Fn(&S::Value) -> bool,
+    {
+        type Value = S::Value;
+
+        fn sample(&self, rng: &mut TestRng) -> S::Value {
+            // Rejection sampling with a fixed 65 536-candidate cap (real
+            // proptest's config knob for this is not mirrored): pathological
+            // filters abort instead of spinning forever.
+            for _ in 0..65_536 {
+                let candidate = self.source.sample(rng);
+                if (self.predicate)(&candidate) {
+                    return candidate;
+                }
+            }
+            panic!("prop_filter rejected 65536 candidates: {}", self.whence);
+        }
+    }
+
+    /// Uniform choice among boxed alternatives — the engine behind
+    /// [`prop_oneof!`](crate::prop_oneof).
+    pub struct Union<T> {
+        options: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+            Union { options }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut TestRng) -> T {
+            let idx = rng.below(self.options.len());
+            self.options[idx].sample(rng)
+        }
+    }
+
+    macro_rules! impl_int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let off = ((u128::from(rng.next_u64()) * span) >> 64) as i128;
+                    (self.start as i128 + off) as $t
+                }
+            }
+
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    let (start, end) = (*self.start(), *self.end());
+                    assert!(start <= end, "empty range strategy");
+                    let span = (end as i128 - start as i128) as u128 + 1;
+                    let off = ((u128::from(rng.next_u64()) * span) >> 64) as i128;
+                    (start as i128 + off) as $t
+                }
+            }
+        )*};
+    }
+    impl_int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! impl_float_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    self.start + (rng.unit_f64() as $t) * (self.end - self.start)
+                }
+            }
+
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    let (start, end) = (*self.start(), *self.end());
+                    start + (rng.unit_f64() as $t) * (end - start)
+                }
+            }
+        )*};
+    }
+    impl_float_range_strategy!(f32, f64);
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($name:ident),+))*) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                #[allow(non_snake_case)]
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.sample(rng),)+)
+                }
+            }
+        )*};
+    }
+    impl_tuple_strategy! {
+        (A, B)
+        (A, B, C)
+        (A, B, C, D)
+        (A, B, C, D, E)
+    }
+
+    /// `&str` strategies are regex patterns producing `String`s, as in real
+    /// proptest. Only the simple subset used by this workspace's tests is
+    /// supported; unsupported syntax panics with a clear message.
+    impl Strategy for &str {
+        type Value = String;
+
+        fn sample(&self, rng: &mut TestRng) -> String {
+            crate::string::sample_pattern(self, rng)
+        }
+    }
+
+    impl Strategy for String {
+        type Value = String;
+
+        fn sample(&self, rng: &mut TestRng) -> String {
+            crate::string::sample_pattern(self, rng)
+        }
+    }
+}
+
+/// Tiny regex-subset sampler backing the `&str` strategy.
+///
+/// Grammar: a sequence of atoms, each optionally followed by one
+/// quantifier. Atoms: a literal character, `.` (printable ASCII), or a
+/// character class `[a-z0-9_]` (ranges + singletons, no negation).
+/// Quantifiers: `{n}`, `{m,n}`, `?`, `*`, `+` (`*`/`+` capped at 8 reps).
+pub mod string {
+    use crate::test_runner::TestRng;
+
+    #[derive(Debug, Clone)]
+    enum Atom {
+        Literal(char),
+        Any,
+        Class(Vec<(char, char)>),
+    }
+
+    #[derive(Debug, Clone)]
+    struct Piece {
+        atom: Atom,
+        min: usize,
+        max: usize,
+    }
+
+    fn parse(pattern: &str) -> Vec<Piece> {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut pieces = Vec::new();
+        let mut i = 0;
+        while i < chars.len() {
+            let atom = match chars[i] {
+                '.' => {
+                    i += 1;
+                    Atom::Any
+                }
+                '[' => {
+                    i += 1;
+                    let mut ranges = Vec::new();
+                    while i < chars.len() && chars[i] != ']' {
+                        let lo = chars[i];
+                        if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                            ranges.push((lo, chars[i + 2]));
+                            i += 3;
+                        } else {
+                            ranges.push((lo, lo));
+                            i += 1;
+                        }
+                    }
+                    assert!(
+                        i < chars.len(),
+                        "unterminated character class in pattern {pattern:?}"
+                    );
+                    i += 1; // consume ']'
+                    Atom::Class(ranges)
+                }
+                '\\' => {
+                    assert!(
+                        i + 1 < chars.len(),
+                        "dangling escape in pattern {pattern:?}"
+                    );
+                    i += 2;
+                    Atom::Literal(chars[i - 1])
+                }
+                c => {
+                    assert!(
+                        !matches!(c, '(' | ')' | '|' | '^' | '$'),
+                        "unsupported regex syntax {c:?} in pattern {pattern:?} \
+                         (vendored proptest supports literals, '.', classes, and quantifiers)"
+                    );
+                    i += 1;
+                    Atom::Literal(c)
+                }
+            };
+            let (min, max) = if i < chars.len() {
+                match chars[i] {
+                    '{' => {
+                        let close = chars[i..]
+                            .iter()
+                            .position(|&c| c == '}')
+                            .map(|p| p + i)
+                            .unwrap_or_else(|| panic!("unterminated {{..}} in {pattern:?}"));
+                        let body: String = chars[i + 1..close].iter().collect();
+                        i = close + 1;
+                        match body.split_once(',') {
+                            Some((lo, hi)) => (
+                                lo.trim().parse().expect("bad {m,n} lower bound"),
+                                hi.trim().parse().expect("bad {m,n} upper bound"),
+                            ),
+                            None => {
+                                let n = body.trim().parse().expect("bad {n} count");
+                                (n, n)
+                            }
+                        }
+                    }
+                    '?' => {
+                        i += 1;
+                        (0, 1)
+                    }
+                    '*' => {
+                        i += 1;
+                        (0, 8)
+                    }
+                    '+' => {
+                        i += 1;
+                        (1, 8)
+                    }
+                    _ => (1, 1),
+                }
+            } else {
+                (1, 1)
+            };
+            pieces.push(Piece { atom, min, max });
+        }
+        pieces
+    }
+
+    fn sample_atom(atom: &Atom, rng: &mut TestRng) -> char {
+        match atom {
+            Atom::Literal(c) => *c,
+            // Printable ASCII, like real proptest's default for '.' minus
+            // the exotic unicode planes (the tests only need variety).
+            Atom::Any => char::from_u32(0x20 + rng.below(0x5F) as u32).unwrap(),
+            Atom::Class(ranges) => {
+                let total: usize = ranges
+                    .iter()
+                    .map(|(lo, hi)| (*hi as usize) - (*lo as usize) + 1)
+                    .sum();
+                let mut pick = rng.below(total);
+                for (lo, hi) in ranges {
+                    let span = (*hi as usize) - (*lo as usize) + 1;
+                    if pick < span {
+                        return char::from_u32(*lo as u32 + pick as u32).unwrap();
+                    }
+                    pick -= span;
+                }
+                unreachable!("class pick out of bounds")
+            }
+        }
+    }
+
+    pub fn sample_pattern(pattern: &str, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for piece in parse(pattern) {
+            let reps = piece.min + rng.below(piece.max - piece.min + 1);
+            for _ in 0..reps {
+                out.push(sample_atom(&piece.atom, rng));
+            }
+        }
+        out
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Size specification accepted by [`vec()`] and [`btree_set()`], mirroring
+    /// `proptest::collection::SizeRange`.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        min: usize,
+        max: usize, // inclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max: n }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                min: r.start,
+                max: r.end - 1,
+            }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                min: *r.start(),
+                max: *r.end(),
+            }
+        }
+    }
+
+    impl SizeRange {
+        fn sample(&self, rng: &mut TestRng) -> usize {
+            self.min + rng.below(self.max - self.min + 1)
+        }
+    }
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.size.sample(rng);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// `Vec` of `size` elements drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        type Value = std::collections::BTreeSet<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> std::collections::BTreeSet<S::Value> {
+            // As in real proptest, duplicates may collapse below the target
+            // size; that is fine for set-typed properties.
+            let len = self.size.sample(rng);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// `BTreeSet` of up to `size` elements drawn from `element`.
+    pub fn btree_set<S: Strategy>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S> {
+        BTreeSetStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+pub mod bool {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    pub struct Weighted {
+        probability: f64,
+    }
+
+    impl Strategy for Weighted {
+        type Value = bool;
+
+        fn sample(&self, rng: &mut TestRng) -> bool {
+            rng.unit_f64() < self.probability
+        }
+    }
+
+    /// `true` with the given probability, mirroring `proptest::bool::weighted`.
+    pub fn weighted(probability: f64) -> Weighted {
+        assert!(
+            (0.0..=1.0).contains(&probability),
+            "probability {probability} outside [0,1]"
+        );
+        Weighted { probability }
+    }
+}
+
+pub mod prelude {
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// The main property-test macro. Supports the same surface the workspace
+/// uses: an optional `#![proptest_config(..)]` header followed by one or
+/// more `#[test] fn name(binding in strategy, ..) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (@run ($cfg:expr) $($(#[$meta:meta])* fn $name:ident ($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::test_runner::ProptestConfig = $cfg;
+                let __seed = $crate::test_runner::fingerprint(
+                    concat!(module_path!(), "::", stringify!($name)),
+                );
+                for __case in 0..u64::from(__config.cases) {
+                    let mut __rng = $crate::test_runner::TestRng::from_seed(
+                        __seed ^ __case.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                    );
+                    $(let $arg = $crate::strategy::Strategy::sample(&($strat), &mut __rng);)+
+                    $body
+                }
+            }
+        )*
+    };
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@run ($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@run ($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Assertion inside a property: here a plain `assert!` (no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Uniform choice among strategies, mirroring `proptest::prop_oneof!`.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn ranges_sample_within_bounds() {
+        let mut rng = TestRng::from_seed(1);
+        for _ in 0..2_000 {
+            let v = Strategy::sample(&(3u64..9), &mut rng);
+            assert!((3..9).contains(&v));
+            let w = Strategy::sample(&(1i32..=4), &mut rng);
+            assert!((1..=4).contains(&w));
+            let f = Strategy::sample(&(0.25f64..0.5), &mut rng);
+            assert!((0.25..0.5).contains(&f));
+        }
+    }
+
+    #[test]
+    fn vec_and_set_sizes() {
+        let mut rng = TestRng::from_seed(2);
+        for _ in 0..500 {
+            let v = Strategy::sample(&crate::collection::vec(0u8..4, 2..6), &mut rng);
+            assert!((2..6).contains(&v.len()));
+            let s = Strategy::sample(&crate::collection::btree_set(0u8..200, 5), &mut rng);
+            assert!(s.len() <= 5);
+        }
+    }
+
+    #[test]
+    fn regex_subset_patterns() {
+        let mut rng = TestRng::from_seed(3);
+        for _ in 0..500 {
+            let a = Strategy::sample(&"[a-e]{1,3}", &mut rng);
+            assert!((1..=3).contains(&a.chars().count()));
+            assert!(a.chars().all(|c| ('a'..='e').contains(&c)));
+            let b = Strategy::sample(&".{0,24}", &mut rng);
+            assert!(b.chars().count() <= 24);
+            let c = Strategy::sample(&"x[0-9]?y+", &mut rng);
+            assert!(c.starts_with('x'));
+        }
+    }
+
+    #[test]
+    fn oneof_map_filter_compose() {
+        let strat = prop_oneof![
+            (0usize..4, 0usize..4).prop_map(|(a, b)| a + b),
+            (10usize..12).prop_map(|x| x),
+        ];
+        let even = (0u32..100).prop_filter("even only", |v| v % 2 == 0);
+        let mut rng = TestRng::from_seed(4);
+        for _ in 0..500 {
+            let v = Strategy::sample(&strat, &mut rng);
+            assert!(v <= 11);
+            assert_eq!(Strategy::sample(&even, &mut rng) % 2, 0);
+        }
+    }
+
+    #[test]
+    fn fixed_seed_reproduces_samples() {
+        let strat = crate::collection::vec(0u64..1000, 16);
+        let a = Strategy::sample(&strat, &mut TestRng::from_seed(99));
+        let b = Strategy::sample(&strat, &mut TestRng::from_seed(99));
+        assert_eq!(a, b);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn macro_end_to_end(v in crate::collection::vec(0u32..10, 1..8), flag in crate::bool::weighted(0.5)) {
+            prop_assert!(!v.is_empty() && v.len() < 8);
+            prop_assert!(v.iter().all(|&x| x < 10));
+            prop_assert_eq!(flag as u8 <= 1, true);
+        }
+    }
+}

@@ -1,0 +1,18 @@
+//! Offline stand-in for `serde`.
+//!
+//! See `vendor/serde_derive` for the rationale. This crate exists so that
+//! `use serde::{Deserialize, Serialize};` resolves: the names import both
+//! the (no-op) derive macros and marker traits of the same name, exactly
+//! as with the real crate. No serialization machinery is provided — when
+//! real persistence lands, swap this vendored path dependency for the
+//! crates.io `serde` and the annotated types compile unchanged.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize` (no methods; the no-op derive
+/// does not implement it).
+pub trait SerializeMarker {}
+
+/// Marker trait mirroring `serde::Deserialize` (no methods; the no-op
+/// derive does not implement it).
+pub trait DeserializeMarker {}

@@ -1,0 +1,21 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The build environment cannot reach crates.io, and nothing in this
+//! workspace actually serializes today — the `#[derive(Serialize,
+//! Deserialize)]` annotations on `dc-types` declare *intent* for a future
+//! persistence layer. These derives therefore accept the full attribute
+//! syntax (including `#[serde(...)]` helper attributes) and expand to
+//! nothing, which keeps the type definitions source-compatible with the
+//! real serde when it becomes available.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
