@@ -68,7 +68,7 @@ impl Greedy {
     /// The clusters affected by this round: clusters of touched objects plus
     /// every cluster sharing a stored edge with one of them.
     fn affected_clusters(
-        graph: &SimilarityGraph,
+        agg: &ClusterAggregates,
         clustering: &Clustering,
         touched: &[ObjectId],
     ) -> BTreeSet<ClusterId> {
@@ -78,7 +78,6 @@ impl Greedy {
                 affected.insert(cid);
             }
         }
-        let agg = ClusterAggregates::new(graph, clustering);
         let seeds: Vec<ClusterId> = affected.iter().copied().collect();
         for cid in seeds {
             for n in agg.neighbour_clusters(cid) {
@@ -92,9 +91,9 @@ impl Greedy {
         &self,
         graph: &SimilarityGraph,
         clustering: &Clustering,
+        agg: &ClusterAggregates,
         affected: &BTreeSet<ClusterId>,
     ) -> Option<(GreedyOp, f64)> {
-        let agg = ClusterAggregates::new(graph, clustering);
         let mut best: Option<(GreedyOp, f64)> = None;
         let consider = |op: GreedyOp, delta: f64, best: &mut Option<(GreedyOp, f64)>| {
             if best.as_ref().is_none_or(|(_, d)| delta < *d) {
@@ -111,18 +110,21 @@ impl Greedy {
                 if other <= cid || !affected.contains(&other) {
                     continue;
                 }
-                let delta = self.objective.merge_delta(graph, clustering, cid, other);
+                let delta = self
+                    .objective
+                    .merge_delta_with(agg, graph, clustering, cid, other);
                 consider(GreedyOp::Merge(cid, other), delta, &mut best);
             }
             // Splits and moves of the least cohesive members.
             if clustering.cluster_size(cid) >= 2 {
-                for (oid, _) in agg
-                    .members_by_split_weight(cid)
+                for (oid, _) in ClusterAggregates::members_by_split_weight(graph, clustering, cid)
                     .into_iter()
                     .take(self.config.candidates_per_cluster)
                 {
                     let part: BTreeSet<ObjectId> = [oid].into_iter().collect();
-                    let delta = self.objective.split_delta(graph, clustering, cid, &part);
+                    let delta = self
+                        .objective
+                        .split_delta_with(agg, graph, clustering, cid, &part);
                     consider(GreedyOp::Isolate(cid, oid), delta, &mut best);
 
                     // Move to the most attractive affected neighbour cluster.
@@ -139,7 +141,9 @@ impl Greedy {
                         .into_iter()
                         .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
                     {
-                        let delta = self.objective.move_delta(graph, clustering, oid, target);
+                        let delta = self
+                            .objective
+                            .move_delta_with(agg, graph, clustering, oid, target);
                         consider(GreedyOp::Move(oid, target), delta, &mut best);
                     }
                 }
@@ -176,12 +180,16 @@ impl IncrementalClusterer for Greedy {
             }
         }
 
-        let mut affected = Self::affected_clusters(graph, &working, &touched);
+        // One full aggregate build per round; every applied operation below
+        // is folded back in incrementally.
+        let mut agg = ClusterAggregates::new(graph, &working);
+        let mut affected = Self::affected_clusters(&agg, &working, &touched);
         for _ in 0..self.config.max_iterations {
-            match self.best_operation(graph, &working, &affected) {
+            match self.best_operation(graph, &working, &agg, &affected) {
                 Some((op, delta)) if improves(delta) => match op {
                     GreedyOp::Merge(a, b) => {
                         let merged = working.merge(a, b).expect("affected clusters exist");
+                        agg.apply_merge(a, b, merged);
                         affected.remove(&a);
                         affected.remove(&b);
                         affected.insert(merged);
@@ -189,6 +197,7 @@ impl IncrementalClusterer for Greedy {
                     GreedyOp::Isolate(cid, oid) => {
                         let part: BTreeSet<ObjectId> = [oid].into_iter().collect();
                         let (p, r) = working.split(cid, &part).expect("valid split");
+                        agg.apply_split(graph, &working, cid, p, r);
                         affected.remove(&cid);
                         affected.insert(p);
                         affected.insert(r);
@@ -196,6 +205,7 @@ impl IncrementalClusterer for Greedy {
                     GreedyOp::Move(oid, target) => {
                         let source = working.cluster_of(oid).expect("object clustered");
                         working.move_object(oid, target).expect("target exists");
+                        agg.apply_move(graph, &working, oid, source, target);
                         if !working.contains_cluster(source) {
                             affected.remove(&source);
                         }
@@ -292,7 +302,8 @@ mod tests {
         let mut greedy = greedy_correlation();
         let result = greedy.recluster(&graph, &previous, &batch);
         let affected: BTreeSet<ClusterId> = result.cluster_ids().into_iter().collect();
-        if let Some((_, delta)) = greedy.best_operation(&graph, &result, &affected) {
+        let agg = ClusterAggregates::new(&graph, &result);
+        if let Some((_, delta)) = greedy.best_operation(&graph, &result, &agg, &affected) {
             assert!(!improves(delta));
         }
     }

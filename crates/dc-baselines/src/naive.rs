@@ -46,7 +46,6 @@ impl Naive {
         oid: ObjectId,
         own_cluster: ClusterId,
     ) -> Option<(ClusterId, f64)> {
-        let agg = ClusterAggregates::new(graph, clustering);
         let mut candidates: std::collections::BTreeSet<ClusterId> =
             std::collections::BTreeSet::new();
         for (n, _) in graph.neighbors(oid) {
@@ -58,7 +57,7 @@ impl Naive {
         }
         let mut best: Option<(ClusterId, f64)> = None;
         for cid in candidates {
-            let avg = agg.object_to_cluster_avg(oid, cid);
+            let avg = ClusterAggregates::object_to_cluster_avg(graph, clustering, oid, cid);
             if best.is_none_or(|(_, b)| avg > b) {
                 best = Some((cid, avg));
             }

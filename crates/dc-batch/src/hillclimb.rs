@@ -96,9 +96,9 @@ impl HillClimbing {
         &self,
         graph: &SimilarityGraph,
         clustering: &Clustering,
+        agg: &ClusterAggregates,
         work: &mut u64,
     ) -> Option<(Change, f64)> {
-        let agg = ClusterAggregates::new(graph, clustering);
         let mut best: Option<(Change, f64)> = None;
         let consider = |change: Change, delta: f64, best: &mut Option<(Change, f64)>| {
             if best.as_ref().is_none_or(|(_, d)| delta < *d) {
@@ -113,16 +113,20 @@ impl HillClimbing {
                     continue;
                 }
                 *work += 1;
-                let delta = self.objective.merge_delta(graph, clustering, cid, other);
+                let delta = self
+                    .objective
+                    .merge_delta_with(agg, graph, clustering, cid, other);
                 consider(Change::Merge(cid, other), delta, &mut best);
             }
             // Split / move candidates: the least cohesive members.
             if clustering.cluster_size(cid) >= 2 {
-                let ranked = agg.members_by_split_weight(cid);
+                let ranked = ClusterAggregates::members_by_split_weight(graph, clustering, cid);
                 for (oid, _weight) in ranked.into_iter().take(self.config.candidates_per_cluster) {
                     let part: BTreeSet<ObjectId> = [oid].into_iter().collect();
                     *work += 1;
-                    let delta = self.objective.split_delta(graph, clustering, cid, &part);
+                    let delta = self
+                        .objective
+                        .split_delta_with(agg, graph, clustering, cid, &part);
                     consider(Change::Isolate(cid, oid), delta, &mut best);
 
                     if self.config.consider_moves {
@@ -142,7 +146,9 @@ impl HillClimbing {
                         });
                         if let Some((target, _)) = best_target {
                             *work += 1;
-                            let delta = self.objective.move_delta(graph, clustering, oid, target);
+                            let delta = self
+                                .objective
+                                .move_delta_with(agg, graph, clustering, oid, target);
                             consider(Change::Move(oid, target), delta, &mut best);
                         }
                     }
@@ -152,14 +158,22 @@ impl HillClimbing {
         best
     }
 
-    /// Apply a change, recording the equivalent evolution steps.
-    fn apply_change(clustering: &mut Clustering, trace: &mut EvolutionTrace, change: Change) {
+    /// Apply a change, recording the equivalent evolution steps and folding
+    /// the change into the maintained aggregate.
+    fn apply_change(
+        graph: &SimilarityGraph,
+        clustering: &mut Clustering,
+        agg: &mut ClusterAggregates,
+        trace: &mut EvolutionTrace,
+        change: Change,
+    ) {
         match change {
             Change::Merge(a, b) => {
                 let left = Self::members_of(clustering, a);
                 let right = Self::members_of(clustering, b);
                 trace.push(EvolutionStep::Merge { left, right });
-                clustering.merge(a, b).expect("candidate clusters exist");
+                let merged = clustering.merge(a, b).expect("candidate clusters exist");
+                agg.apply_merge(a, b, merged);
             }
             Change::Isolate(cid, oid) => {
                 let original = Self::members_of(clustering, cid);
@@ -168,7 +182,8 @@ impl HillClimbing {
                     original,
                     part: part.clone(),
                 });
-                clustering.split(cid, &part).expect("valid split candidate");
+                let (p, r) = clustering.split(cid, &part).expect("valid split candidate");
+                agg.apply_split(graph, clustering, cid, p, r);
             }
             Change::Move(oid, target) => {
                 // A move is a split followed by a merge (§4.1).
@@ -189,6 +204,7 @@ impl HillClimbing {
                 clustering
                     .move_object(oid, target)
                     .expect("object and target cluster exist");
+                agg.apply_move(graph, clustering, oid, source, target);
             }
         }
     }
@@ -196,16 +212,17 @@ impl HillClimbing {
     /// Ward-style agglomeration: merge the cheapest pair until `k` clusters
     /// remain, regardless of whether the merge improves the objective (the
     /// k-means cost can only grow as clusters merge).
+    #[allow(clippy::too_many_arguments)]
     fn agglomerate_to_k(
         &self,
         graph: &SimilarityGraph,
         clustering: &mut Clustering,
+        agg: &mut ClusterAggregates,
         trace: &mut EvolutionTrace,
         k: usize,
         work: &mut u64,
     ) {
         while clustering.cluster_count() > k.max(1) {
-            let agg = ClusterAggregates::new(graph, clustering);
             let mut best: Option<(ClusterId, ClusterId, f64)> = None;
             for cid in clustering.cluster_ids() {
                 for other in agg.neighbour_clusters(cid) {
@@ -213,7 +230,9 @@ impl HillClimbing {
                         continue;
                     }
                     *work += 1;
-                    let delta = self.objective.merge_delta(graph, clustering, cid, other);
+                    let delta = self
+                        .objective
+                        .merge_delta_with(agg, graph, clustering, cid, other);
                     if best.is_none_or(|(_, _, d)| delta < d) {
                         best = Some((cid, other, delta));
                     }
@@ -232,28 +251,30 @@ impl HillClimbing {
                     (ids[0], ids[1])
                 }
             };
-            Self::apply_change(clustering, trace, Change::Merge(a, b));
+            Self::apply_change(graph, clustering, agg, trace, Change::Merge(a, b));
         }
     }
 
     /// Improving-only local search.
+    #[allow(clippy::too_many_arguments)]
     fn improve(
         &self,
         graph: &SimilarityGraph,
         clustering: &mut Clustering,
+        agg: &mut ClusterAggregates,
         trace: &mut EvolutionTrace,
         work: &mut u64,
         moves_only: bool,
     ) {
         for _ in 0..self.config.max_steps {
             let candidate = if moves_only {
-                self.best_move_only(graph, clustering, work)
+                self.best_move_only(graph, clustering, agg, work)
             } else {
-                self.best_change(graph, clustering, work)
+                self.best_change(graph, clustering, agg, work)
             };
             match candidate {
                 Some((change, delta)) if improves(delta) => {
-                    Self::apply_change(clustering, trace, change);
+                    Self::apply_change(graph, clustering, agg, trace, change);
                 }
                 _ => break,
             }
@@ -266,6 +287,7 @@ impl HillClimbing {
         &self,
         graph: &SimilarityGraph,
         clustering: &Clustering,
+        agg: &ClusterAggregates,
         work: &mut u64,
     ) -> Option<(Change, f64)> {
         let mut best: Option<(Change, f64)> = None;
@@ -282,7 +304,9 @@ impl HillClimbing {
                 if let Some(target) = clustering.cluster_of(n) {
                     if target != source && seen.insert(target) {
                         *work += 1;
-                        let delta = self.objective.move_delta(graph, clustering, oid, target);
+                        let delta = self
+                            .objective
+                            .move_delta_with(agg, graph, clustering, oid, target);
                         if best.as_ref().is_none_or(|(_, d)| delta < *d) {
                             best = Some((Change::Move(oid, target), delta));
                         }
@@ -296,13 +320,30 @@ impl HillClimbing {
     fn run(&self, graph: &SimilarityGraph, mut clustering: Clustering) -> BatchOutcome {
         let mut trace = EvolutionTrace::new();
         let mut work = 0u64;
+        // One full aggregate build per batch run; the search maintains it
+        // incrementally across every applied change.
+        let mut agg = ClusterAggregates::new(graph, &clustering);
         match self.config.fixed_k {
             Some(k) => {
-                self.agglomerate_to_k(graph, &mut clustering, &mut trace, k, &mut work);
-                self.improve(graph, &mut clustering, &mut trace, &mut work, true);
+                self.agglomerate_to_k(graph, &mut clustering, &mut agg, &mut trace, k, &mut work);
+                self.improve(
+                    graph,
+                    &mut clustering,
+                    &mut agg,
+                    &mut trace,
+                    &mut work,
+                    true,
+                );
             }
             None => {
-                self.improve(graph, &mut clustering, &mut trace, &mut work, false);
+                self.improve(
+                    graph,
+                    &mut clustering,
+                    &mut agg,
+                    &mut trace,
+                    &mut work,
+                    false,
+                );
             }
         }
         BatchOutcome {
@@ -369,7 +410,8 @@ mod tests {
         let hc = correlation_hc();
         let outcome = hc.cluster(&graph);
         let mut work = 0;
-        if let Some((_, delta)) = hc.best_change(&graph, &outcome.clustering, &mut work) {
+        let agg = ClusterAggregates::new(&graph, &outcome.clustering);
+        if let Some((_, delta)) = hc.best_change(&graph, &outcome.clustering, &agg, &mut work) {
             assert!(!improves(delta), "an improving change remains: {delta}");
         }
     }

@@ -67,6 +67,30 @@ fn bench_feature_extraction(c: &mut Criterion) {
     });
 }
 
+fn bench_aggregate_maintenance(c: &mut Criterion) {
+    // The quantity the incremental engine trades away: one full O(E) build
+    // versus one O(degree) delta update.
+    let (graph, clustering) = build_graph_and_clustering();
+    c.bench_function("cluster_aggregates_full_build", |b| {
+        b.iter(|| {
+            let agg = ClusterAggregates::new(&graph, &clustering);
+            black_box(agg.cluster_count())
+        })
+    });
+
+    let agg = ClusterAggregates::new(&graph, &clustering);
+    let ids = clustering.cluster_ids();
+    let (a, bb) = (ids[0], ids[1]);
+    let merged = dc_types::ClusterId::new(u64::MAX);
+    c.bench_function("cluster_aggregates_apply_merge_on_clone", |b| {
+        b.iter(|| {
+            let mut sim = agg.clone();
+            sim.apply_merge(a, bb, merged);
+            black_box(sim.cluster_count())
+        })
+    });
+}
+
 fn bench_model_inference(c: &mut Criterion) {
     // Fit a logistic model on synthetic cluster features and measure
     // single-prediction latency (the quantity multiplied by the number of
@@ -99,6 +123,6 @@ fn bench_model_inference(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_graph_build, bench_objective_evaluation, bench_feature_extraction, bench_model_inference
+    targets = bench_graph_build, bench_objective_evaluation, bench_feature_extraction, bench_aggregate_maintenance, bench_model_inference
 }
 criterion_main!(benches);

@@ -17,7 +17,10 @@
 //!   table4   accuracy & recall of LR / SVM / DT vs #training samples (Table 4)
 //!   table5   LR accuracy & recall vs training fraction (Table 5)
 //!   summary  headline claims (latency saving vs Greedy, F1 gap vs batch)
-//!   all      everything above
+//!   bench-serving  emit BENCH_dynamic_serving.json (ops/sec, comparisons,
+//!                  aggregate-build counts per fixture scenario; --out <path>
+//!                  overrides the output file)
+//!   all      everything above except bench-serving
 //! ```
 //!
 //! Default scales are laptop-sized; `--scale` multiplies every dataset size
@@ -34,9 +37,10 @@ struct Options {
     snapshots: Option<usize>,
 }
 
-fn parse_args() -> (String, Options) {
+fn parse_args() -> (String, Options, Option<String>) {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut command = "all".to_string();
+    let mut out = None;
     let mut options = Options {
         scale: 1.0,
         snapshots: None,
@@ -52,12 +56,44 @@ fn parse_args() -> (String, Options) {
                 options.snapshots = args.get(i + 1).and_then(|s| s.parse().ok());
                 i += 1;
             }
+            "--out" => {
+                out = args.get(i + 1).cloned();
+                i += 1;
+            }
             other if !other.starts_with("--") => command = other.to_string(),
             _ => {}
         }
         i += 1;
     }
-    (command, options)
+    (command, options, out)
+}
+
+// ---------------------------------------------------------------------------
+// BENCH_dynamic_serving.json
+// ---------------------------------------------------------------------------
+fn bench_serving(out: Option<String>) {
+    header("BENCH: dynamic serving (incremental aggregates vs rebuild-per-delta)");
+    let results = dc_bench::run_dynamic_serving_bench();
+    println!(
+        "{:<26} {:>6} {:>8} {:>12} {:>14} {:>12} {:>12}",
+        "scenario", "rounds", "ops", "ops/sec", "ms/round", "agg builds", "slow builds"
+    );
+    for r in &results {
+        println!(
+            "{:<26} {:>6} {:>8} {:>12.1} {:>14.3} {:>12} {:>12}",
+            r.name,
+            r.rounds,
+            r.operations,
+            r.ops_per_sec(),
+            r.mean_ms_per_round(),
+            r.aggregate_full_builds,
+            r.slow_path_full_builds,
+        );
+    }
+    let path = out.unwrap_or_else(|| "BENCH_dynamic_serving.json".to_string());
+    let json = dc_bench::serving_results_to_json(&results);
+    std::fs::write(&path, json).expect("write serving bench output");
+    println!("wrote {path}");
 }
 
 fn config_for(family: DatasetFamily, options: Options) -> ScenarioConfig {
@@ -450,8 +486,9 @@ fn summary(options: Options) {
 }
 
 fn main() {
-    let (command, options) = parse_args();
+    let (command, options, out) = parse_args();
     match command.as_str() {
+        "bench-serving" => bench_serving(out),
         "fig3" => fig3(options),
         "fig5a" => fig5a(options),
         "fig5b" => fig5_density(

@@ -14,5 +14,7 @@
 #![deny(rustdoc::broken_intra_doc_links)]
 
 pub mod scenario;
+pub mod serving;
 
 pub use scenario::{DatasetFamily, MethodKind, RoundResult, RunSummary, Scenario, ScenarioConfig};
+pub use serving::{run_dynamic_serving_bench, serving_results_to_json, ServingScenarioResult};

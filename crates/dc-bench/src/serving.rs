@@ -1,0 +1,269 @@
+//! The `BENCH_dynamic_serving` perf baseline: measured numbers for the
+//! incremental-aggregates serving path on the canned fixture workloads.
+//!
+//! The experiments binary (`experiments bench-serving`) serializes
+//! [`run_dynamic_serving_bench`]'s results to `BENCH_dynamic_serving.json`,
+//! which starts the repository's perf trajectory: every future optimisation
+//! PR re-emits the file so ops/sec, similarity comparisons, and aggregate
+//! full-build counts stay measured and comparable.
+//!
+//! Schema of the emitted JSON (documented in the README):
+//!
+//! ```json
+//! {
+//!   "bench": "dynamic_serving",
+//!   "scenarios": [
+//!     {
+//!       "name": "...",            // fixture workload + objective
+//!       "objective": "...",
+//!       "rounds": 3,               // served rounds (after training)
+//!       "operations": 120,         // workload operations served
+//!       "seconds": 0.01,           // wall-clock for the served rounds
+//!       "ops_per_sec": 12000.0,
+//!       "mean_ms_per_round": 3.3,
+//!       "comparisons": 4200,       // similarity computations during serving
+//!       "merges_applied": 10,
+//!       "splits_applied": 1,
+//!       "objective_evaluations": 99,
+//!       "aggregate_full_builds": 0,        // engine path (steady state)
+//!       "slow_path_full_builds": 250,      // rebuild-per-delta reference
+//!       "build_reduction_factor": 250.0    // slow / max(engine-per-round, 1-per-round)
+//!     }
+//!   ]
+//! }
+//! ```
+
+use dc_batch::{BatchClusterer, HillClimbing};
+use dc_core::{train_on_workload, DynamicC, Engine};
+use dc_datagen::fixtures::{small_access_workload, small_febrl_workload};
+use dc_datagen::DynamicWorkload;
+use dc_objective::{CorrelationObjective, DbIndexObjective, ObjectiveFunction, SlowPathObjective};
+use dc_similarity::{full_build_count, GraphConfig, SimilarityGraph};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Measured serving numbers for one fixture scenario.
+#[derive(Debug, Clone)]
+pub struct ServingScenarioResult {
+    /// Scenario name (fixture + objective).
+    pub name: String,
+    /// Objective used for search and verification.
+    pub objective: String,
+    /// Served rounds (after the training prefix).
+    pub rounds: usize,
+    /// Total workload operations served.
+    pub operations: usize,
+    /// Wall-clock seconds for the served rounds (engine path).
+    pub seconds: f64,
+    /// Similarity computations performed while serving (graph comparisons).
+    pub comparisons: u64,
+    /// Merges applied across the served rounds.
+    pub merges_applied: usize,
+    /// Splits applied across the served rounds.
+    pub splits_applied: usize,
+    /// Objective delta evaluations during verification.
+    pub objective_evaluations: u64,
+    /// Full O(E) aggregate builds on the engine path (0 in steady state).
+    pub aggregate_full_builds: u64,
+    /// Full builds when the same rounds are served through the
+    /// rebuild-per-delta [`SlowPathObjective`] reference.
+    pub slow_path_full_builds: u64,
+}
+
+impl ServingScenarioResult {
+    /// Operations per second on the engine path.
+    pub fn ops_per_sec(&self) -> f64 {
+        if self.seconds > 0.0 {
+            self.operations as f64 / self.seconds
+        } else {
+            0.0
+        }
+    }
+
+    /// Mean serving latency per round in milliseconds.
+    pub fn mean_ms_per_round(&self) -> f64 {
+        if self.rounds > 0 {
+            self.seconds * 1e3 / self.rounds as f64
+        } else {
+            0.0
+        }
+    }
+
+    /// How many times fewer full builds the incremental path performs,
+    /// charging the fast path at least one build per round (the stateless
+    /// `recluster` cost) so the factor stays meaningful when the engine
+    /// performs zero.
+    pub fn build_reduction_factor(&self) -> f64 {
+        let fast = self.aggregate_full_builds.max(self.rounds as u64).max(1);
+        self.slow_path_full_builds as f64 / fast as f64
+    }
+}
+
+fn scenario(
+    name: &str,
+    workload: &DynamicWorkload,
+    graph_config: impl Fn() -> GraphConfig,
+    objective: Arc<dyn ObjectiveFunction>,
+    train_rounds: usize,
+) -> ServingScenarioResult {
+    let batch = HillClimbing::with_objective(objective.clone());
+    let (train, serve) = workload
+        .snapshots
+        .split_at(train_rounds.min(workload.snapshots.len()));
+
+    // Train once; the slow reference twin observes the identical rounds.
+    let mut graph = SimilarityGraph::build(graph_config(), &workload.initial);
+    let initial = batch.cluster(&graph).clustering;
+    let mut fast = DynamicC::with_objective(objective.clone());
+    let report = train_on_workload(&mut fast, &mut graph, &initial, train, &batch);
+    let previous = report.final_clustering(&initial);
+
+    let mut slow = DynamicC::with_objective(Arc::new(SlowPathObjective::new(objective.clone())));
+    let mut slow_graph = SimilarityGraph::build(graph_config(), &workload.initial);
+    let slow_report = train_on_workload(&mut slow, &mut slow_graph, &initial, train, &batch);
+    let slow_previous = slow_report.final_clustering(&initial);
+
+    // Engine (steady-state incremental) path, timed.
+    let stats_before = *fast.stats();
+    let comparisons_before = graph.comparisons();
+    let mut engine = Engine::new(graph, previous, fast);
+    let builds_before = full_build_count();
+    let started = Instant::now();
+    let mut operations = 0usize;
+    for snapshot in serve {
+        operations += snapshot.batch.len();
+        engine.apply_round(&snapshot.batch);
+    }
+    let seconds = started.elapsed().as_secs_f64();
+    let aggregate_full_builds = full_build_count() - builds_before;
+    let stats = engine.stats();
+    let merges_applied = stats.merges_applied - stats_before.merges_applied;
+    let splits_applied = stats.splits_applied - stats_before.splits_applied;
+    let objective_evaluations = stats.objective_evaluations - stats_before.objective_evaluations;
+    let comparisons = engine.graph().comparisons() - comparisons_before;
+
+    // Rebuild-per-delta reference: same rounds through the slow twin.
+    let slow_builds_before = full_build_count();
+    let mut slow_prev = slow_previous;
+    for snapshot in serve {
+        slow_graph.apply_batch(&snapshot.batch);
+        slow_prev = dc_baselines::IncrementalClusterer::recluster(
+            &mut slow,
+            &slow_graph,
+            &slow_prev,
+            &snapshot.batch,
+        );
+    }
+    let slow_path_full_builds = full_build_count() - slow_builds_before;
+
+    ServingScenarioResult {
+        name: name.to_string(),
+        objective: objective.name().to_string(),
+        rounds: serve.len(),
+        operations,
+        seconds,
+        comparisons,
+        merges_applied,
+        splits_applied,
+        objective_evaluations,
+        aggregate_full_builds,
+        slow_path_full_builds,
+    }
+}
+
+/// Run the serving benchmark over the canned fixture workloads.
+pub fn run_dynamic_serving_bench() -> Vec<ServingScenarioResult> {
+    vec![
+        scenario(
+            "febrl_small_dbindex",
+            &small_febrl_workload(),
+            || GraphConfig::textual_febrl(0.6),
+            Arc::new(DbIndexObjective),
+            2,
+        ),
+        scenario(
+            "access_small_correlation",
+            &small_access_workload(),
+            || GraphConfig::numeric_euclidean(1.8, 4.0, 3, 0.25),
+            Arc::new(CorrelationObjective),
+            2,
+        ),
+    ]
+}
+
+/// Serialize the results to the `BENCH_dynamic_serving.json` document.
+pub fn serving_results_to_json(results: &[ServingScenarioResult]) -> String {
+    let mut out = String::from("{\n  \"bench\": \"dynamic_serving\",\n  \"scenarios\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        out.push_str(&format!(
+            concat!(
+                "    {{\n",
+                "      \"name\": \"{}\",\n",
+                "      \"objective\": \"{}\",\n",
+                "      \"rounds\": {},\n",
+                "      \"operations\": {},\n",
+                "      \"seconds\": {:.6},\n",
+                "      \"ops_per_sec\": {:.2},\n",
+                "      \"mean_ms_per_round\": {:.3},\n",
+                "      \"comparisons\": {},\n",
+                "      \"merges_applied\": {},\n",
+                "      \"splits_applied\": {},\n",
+                "      \"objective_evaluations\": {},\n",
+                "      \"aggregate_full_builds\": {},\n",
+                "      \"slow_path_full_builds\": {},\n",
+                "      \"build_reduction_factor\": {:.2}\n",
+                "    }}{}\n",
+            ),
+            r.name,
+            r.objective,
+            r.rounds,
+            r.operations,
+            r.seconds,
+            r.ops_per_sec(),
+            r.mean_ms_per_round(),
+            r.comparisons,
+            r.merges_applied,
+            r.splits_applied,
+            r.objective_evaluations,
+            r.aggregate_full_builds,
+            r.slow_path_full_builds,
+            r.build_reduction_factor(),
+            if i + 1 == results.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serving_bench_measures_the_incremental_win() {
+        let results = run_dynamic_serving_bench();
+        assert_eq!(results.len(), 2);
+        for r in &results {
+            assert!(r.rounds > 0, "{}: no served rounds", r.name);
+            assert!(r.operations > 0, "{}: no operations", r.name);
+            assert_eq!(
+                r.aggregate_full_builds, 0,
+                "{}: the engine path must not rebuild aggregates",
+                r.name
+            );
+        }
+        // Acceptance criterion: >= 5x fewer full builds per recluster round
+        // on the DB-index fixture (the objective whose deltas used to rebuild
+        // per candidate).
+        let dbindex = &results[0];
+        assert!(
+            dbindex.build_reduction_factor() >= 5.0,
+            "{}: reduction factor {:.1} < 5",
+            dbindex.name,
+            dbindex.build_reduction_factor()
+        );
+        let json = serving_results_to_json(&results);
+        assert!(json.contains("\"bench\": \"dynamic_serving\""));
+        assert!(json.contains("build_reduction_factor"));
+    }
+}

@@ -155,12 +155,23 @@ impl DynamicC {
     // Serving (Algorithm 3)
     // ------------------------------------------------------------------
 
-    /// Algorithm 3 applied to an already-prepared working clustering.
-    fn run_full_algorithm(&mut self, graph: &SimilarityGraph, working: &mut Clustering) {
+    /// Algorithm 3 applied to an already-prepared working clustering with an
+    /// already-prepared maintained aggregate: the merge and split passes read
+    /// all candidate state from `agg` and fold every applied change back into
+    /// it, so the whole fixed-point loop performs **no** full aggregate
+    /// builds.  `agg` must describe `(graph, working)` on entry and does so
+    /// again on exit.
+    pub(crate) fn run_full_algorithm(
+        &mut self,
+        graph: &SimilarityGraph,
+        working: &mut Clustering,
+        agg: &mut ClusterAggregates,
+    ) {
         for _ in 0..self.config.max_passes {
             let merged = merge_pass(
                 graph,
                 working,
+                agg,
                 self.objective.as_ref(),
                 &self.models,
                 self.config.theta_scale,
@@ -169,6 +180,7 @@ impl DynamicC {
             let split = split_pass(
                 graph,
                 working,
+                agg,
                 self.objective.as_ref(),
                 &self.models,
                 self.config.theta_scale,
@@ -186,7 +198,8 @@ impl DynamicC {
     /// clustering via [`IncrementalClusterer::recluster`].
     pub fn cluster_from_scratch(&mut self, graph: &SimilarityGraph) -> Clustering {
         let mut working = Clustering::singletons(graph.object_ids());
-        self.run_full_algorithm(graph, &mut working);
+        let mut agg = ClusterAggregates::new(graph, &working);
+        self.run_full_algorithm(graph, &mut working, &mut agg);
         working
     }
 
@@ -225,9 +238,13 @@ impl IncrementalClusterer for DynamicC {
     ) -> Clustering {
         // §6.1 initial processing.
         let (mut working, _isolated) = prepare_working_clustering(graph, previous, batch);
+        // The round's single full aggregate build; everything after this is
+        // maintained incrementally.  (The `Engine` round loop avoids even
+        // this build by carrying the aggregates across rounds.)
+        let mut agg = ClusterAggregates::new(graph, &working);
         // §6.4 full algorithm: alternate merge and split passes to a fixed
         // point, each proposal verified against the objective.
-        self.run_full_algorithm(graph, &mut working);
+        self.run_full_algorithm(graph, &mut working, &mut agg);
         working
     }
 }

@@ -28,12 +28,19 @@
 //!    observed (e.g. whenever the batch algorithm is run occasionally to
 //!    establish a quality baseline), old examples age out of the buffers,
 //!    and [`DynamicC::retrain`] refreshes the models and thresholds.
+//! 4. **Serving at scale** ([`engine`]).  The persistent [`Engine`] owns the
+//!    similarity graph, the clustering, and the incrementally maintained
+//!    cluster aggregates across rounds, so a steady-state round performs no
+//!    full O(E) aggregate rebuild at all — `apply_round(batch)` folds the
+//!    operations into all three states at O(degree) per operation and then
+//!    runs Algorithm 3 against the maintained aggregate.
 
 #![deny(missing_docs)]
 #![deny(rustdoc::broken_intra_doc_links)]
 
 pub mod config;
 pub mod dynamic;
+pub mod engine;
 pub mod merge;
 pub mod models;
 pub mod split;
@@ -41,5 +48,6 @@ pub mod trainer;
 
 pub use config::{DynamicCConfig, DynamicCStats};
 pub use dynamic::DynamicC;
+pub use engine::{Engine, RoundReport};
 pub use models::ModelPair;
 pub use trainer::{train_on_workload, RoundObservation, TrainingReport};

@@ -25,9 +25,15 @@ use std::collections::{BTreeSet, VecDeque};
 
 /// One pass of the merge algorithm.  Returns `true` when at least one merge
 /// was applied.
+///
+/// `agg` is the round's maintained aggregate: the pass reads every feature
+/// and candidate neighbourhood from it and folds every applied merge back in
+/// via [`ClusterAggregates::apply_merge`], so no candidate triggers a full
+/// rebuild.
 pub(crate) fn merge_pass(
     graph: &SimilarityGraph,
     clustering: &mut Clustering,
+    agg: &mut ClusterAggregates,
     objective: &dyn ObjectiveFunction,
     models: &ModelPair,
     theta_scale: f64,
@@ -35,13 +41,10 @@ pub(crate) fn merge_pass(
 ) -> bool {
     // Line 2 of Algorithm 1: collect the clusters the merge model flags.
     let mut candidates: BTreeSet<ClusterId> = BTreeSet::new();
-    {
-        let agg = ClusterAggregates::new(graph, clustering);
-        for cid in clustering.cluster_ids() {
-            let features = merge_features(&agg, cid);
-            if models.predicts_merge(&features, theta_scale) {
-                candidates.insert(cid);
-            }
+    for cid in clustering.cluster_ids() {
+        let features = merge_features(agg, cid);
+        if models.predicts_merge(&features, theta_scale) {
+            candidates.insert(cid);
         }
     }
     stats.merge_candidates += candidates.len();
@@ -55,7 +58,6 @@ pub(crate) fn merge_pass(
         if !candidates.contains(&cid) || !clustering.contains_cluster(cid) {
             continue;
         }
-        let agg = ClusterAggregates::new(graph, clustering);
         // Partners: candidate clusters sharing at least one edge with `cid`.
         // When no neighbouring cluster was flagged (the merge model can be
         // conservative about large, already-cohesive clusters that are about
@@ -102,11 +104,12 @@ pub(crate) fn merge_pass(
         for (partner, _) in ranked {
             // Verification: only apply the merge if the objective improves.
             stats.objective_evaluations += 1;
-            let delta = objective.merge_delta(graph, clustering, cid, partner);
+            let delta = objective.merge_delta_with(agg, graph, clustering, cid, partner);
             if improves(delta) {
                 let merged = clustering
                     .merge(cid, partner)
                     .expect("both clusters are live");
+                agg.apply_merge(cid, partner, merged);
                 candidates.remove(&cid);
                 candidates.remove(&partner);
                 // The merged cluster may merge again; enqueue it so
@@ -195,9 +198,11 @@ mod tests {
         let mut clustering = Clustering::singletons((1..=4).map(oid));
         let models = trained_models();
         let mut stats = DynamicCStats::default();
+        let mut agg = ClusterAggregates::new(&graph, &clustering);
         let changed = merge_pass(
             &graph,
             &mut clustering,
+            &mut agg,
             &CorrelationObjective,
             &models,
             1.0,
@@ -220,9 +225,11 @@ mod tests {
         let models = trained_models();
         let mut stats = DynamicCStats::default();
         // Force candidate generation by scaling θ down to near zero.
+        let mut agg = ClusterAggregates::new(&graph, &clustering);
         let changed = merge_pass(
             &graph,
             &mut clustering,
+            &mut agg,
             &CorrelationObjective,
             &models,
             0.01,
@@ -242,9 +249,11 @@ mod tests {
         let mut clustering = Clustering::singletons((1..=3).map(oid));
         let models = trained_models();
         let mut stats = DynamicCStats::default();
+        let mut agg = ClusterAggregates::new(&graph, &clustering);
         merge_pass(
             &graph,
             &mut clustering,
+            &mut agg,
             &CorrelationObjective,
             &models,
             1.0,
@@ -263,9 +272,11 @@ mod tests {
         let mut clustering = Clustering::singletons((1..=4).map(oid));
         let models = ModelPair::new(ModelKind::LogisticRegression, 10);
         let mut stats = DynamicCStats::default();
+        let mut agg = ClusterAggregates::new(&graph, &clustering);
         merge_pass(
             &graph,
             &mut clustering,
+            &mut agg,
             &CorrelationObjective,
             &models,
             1.0,

@@ -19,9 +19,17 @@ use std::collections::BTreeSet;
 
 /// One pass of the split algorithm.  Returns `true` when at least one split
 /// was applied.
+///
+/// `agg` is the round's maintained aggregate: candidate features are read
+/// from it and every applied split is folded back in via
+/// [`ClusterAggregates::apply_split`].  This also removes the historical
+/// duplicate build (one aggregate per candidate ranking, discarded and
+/// rebuilt per candidate even when the clustering had not changed): the pass
+/// performs **zero** full aggregate builds.
 pub(crate) fn split_pass(
     graph: &SimilarityGraph,
     clustering: &mut Clustering,
+    agg: &mut ClusterAggregates,
     objective: &dyn ObjectiveFunction,
     models: &ModelPair,
     theta_scale: f64,
@@ -30,16 +38,13 @@ pub(crate) fn split_pass(
     // Line 2 of Algorithm 2: clusters the split model flags (singletons can
     // never split, so they are skipped outright).
     let mut candidates: Vec<ClusterId> = Vec::new();
-    {
-        let agg = ClusterAggregates::new(graph, clustering);
-        for cid in clustering.cluster_ids() {
-            if clustering.cluster_size(cid) < 2 {
-                continue;
-            }
-            let features = split_features(&agg, cid);
-            if models.predicts_split(&features, theta_scale) {
-                candidates.push(cid);
-            }
+    for cid in clustering.cluster_ids() {
+        if clustering.cluster_size(cid) < 2 {
+            continue;
+        }
+        let features = split_features(agg, cid);
+        if models.predicts_split(&features, theta_scale) {
+            candidates.push(cid);
         }
     }
     stats.split_candidates += candidates.len();
@@ -50,21 +55,19 @@ pub(crate) fn split_pass(
             continue;
         }
         // Step 1: rank members by decreasing split weight (most different
-        // first).
-        let ranked = {
-            let agg = ClusterAggregates::new(graph, clustering);
-            agg.members_by_split_weight(cid)
-        };
+        // first) — a per-object edge walk, no aggregate rebuild.
+        let ranked = ClusterAggregates::members_by_split_weight(graph, clustering, cid);
         // Steps 2–3: find the first member whose isolation improves the
         // objective and split it out.
         for (oid, _weight) in ranked {
             let part: BTreeSet<ObjectId> = [oid].into_iter().collect();
             stats.objective_evaluations += 1;
-            let delta = objective.split_delta(graph, clustering, cid, &part);
+            let delta = objective.split_delta_with(agg, graph, clustering, cid, &part);
             if improves(delta) {
-                clustering
+                let (part_id, rest_id) = clustering
                     .split(cid, &part)
                     .expect("candidate member of a live cluster");
+                agg.apply_split(graph, clustering, cid, part_id, rest_id);
                 stats.splits_applied += 1;
                 changed = true;
                 break;
@@ -104,9 +107,11 @@ mod tests {
             Clustering::from_groups([vec![oid(1), oid(2), oid(3), oid(4)]]).unwrap();
         let models = permissive_models();
         let mut stats = DynamicCStats::default();
+        let mut agg = ClusterAggregates::new(&graph, &clustering);
         let changed = split_pass(
             &graph,
             &mut clustering,
+            &mut agg,
             &CorrelationObjective,
             &models,
             1.0,
@@ -129,9 +134,11 @@ mod tests {
         let mut clustering = Clustering::from_groups([vec![oid(1), oid(2), oid(3)]]).unwrap();
         let models = permissive_models();
         let mut stats = DynamicCStats::default();
+        let mut agg = ClusterAggregates::new(&graph, &clustering);
         let changed = split_pass(
             &graph,
             &mut clustering,
+            &mut agg,
             &CorrelationObjective,
             &models,
             1.0,
@@ -149,9 +156,11 @@ mod tests {
         let mut clustering = Clustering::singletons((1..=2).map(oid));
         let models = permissive_models();
         let mut stats = DynamicCStats::default();
+        let mut agg = ClusterAggregates::new(&graph, &clustering);
         let changed = split_pass(
             &graph,
             &mut clustering,
+            &mut agg,
             &CorrelationObjective,
             &models,
             1.0,
@@ -159,6 +168,36 @@ mod tests {
         );
         assert!(!changed);
         assert_eq!(stats.split_candidates, 0);
+    }
+
+    #[test]
+    fn split_pass_performs_no_full_aggregate_builds() {
+        // Regression for the historical duplicate rebuild: the pass used to
+        // build one aggregate for candidate collection and another one per
+        // candidate ranking.  With the maintained aggregate threaded in, a
+        // whole pass must not trigger a single full build.
+        let graph = graph_from_edges(4, &[(1, 2, 0.9), (1, 3, 0.9), (2, 3, 0.9), (3, 4, 0.1)]);
+        let mut clustering =
+            Clustering::from_groups([vec![oid(1), oid(2), oid(3), oid(4)]]).unwrap();
+        let models = permissive_models();
+        let mut stats = DynamicCStats::default();
+        let mut agg = ClusterAggregates::new(&graph, &clustering);
+        let before = dc_similarity::full_build_count();
+        let changed = split_pass(
+            &graph,
+            &mut clustering,
+            &mut agg,
+            &CorrelationObjective,
+            &models,
+            1.0,
+            &mut stats,
+        );
+        assert!(changed);
+        assert_eq!(
+            dc_similarity::full_build_count(),
+            before,
+            "split_pass must stay on the incremental path"
+        );
     }
 
     #[test]
@@ -171,9 +210,11 @@ mod tests {
             Clustering::from_groups([vec![oid(1), oid(2), oid(3), oid(4)]]).unwrap();
         let models = permissive_models();
         let mut stats = DynamicCStats::default();
+        let mut agg = ClusterAggregates::new(&graph, &clustering);
         split_pass(
             &graph,
             &mut clustering,
+            &mut agg,
             &CorrelationObjective,
             &models,
             1.0,
@@ -183,6 +224,7 @@ mod tests {
         split_pass(
             &graph,
             &mut clustering,
+            &mut agg,
             &CorrelationObjective,
             &models,
             1.0,

@@ -1,0 +1,171 @@
+//! End-to-end equivalence regression tests for the incremental-aggregates
+//! serving path.
+//!
+//! Three facts are locked down on the canned `dc_datagen::fixtures`
+//! workloads:
+//!
+//! 1. serving with the aggregate-reusing objective hooks produces the
+//!    *identical* clustering and `DynamicCStats` counters as serving with the
+//!    rebuild-per-delta slow path ([`SlowPathObjective`]);
+//! 2. the persistent [`Engine`] round loop produces the identical clustering
+//!    as the stateless `DynamicC::recluster`, with **zero** full aggregate
+//!    builds per round (recluster itself performs exactly one);
+//! 3. the served clustering and counters are pinned as golden values, so any
+//!    behavioural drift in the serving path fails loudly.
+
+use dc_baselines::IncrementalClusterer;
+use dc_batch::{BatchClusterer, HillClimbing};
+use dc_core::{train_on_workload, DynamicC, Engine};
+use dc_datagen::fixtures::small_febrl_workload;
+use dc_objective::{DbIndexObjective, ObjectiveFunction, SlowPathObjective};
+use dc_similarity::{full_build_count, GraphConfig, SimilarityGraph};
+use dc_types::{Clustering, Snapshot};
+use std::sync::Arc;
+
+const TRAIN_ROUNDS: usize = 2;
+
+/// Build the graph up to the end of the training prefix, train a DynamicC
+/// with the given verification objective on it, and return everything needed
+/// to serve the remaining snapshots.
+fn trained_setup(
+    objective: Arc<dyn ObjectiveFunction>,
+) -> (SimilarityGraph, Clustering, Vec<Snapshot>, DynamicC) {
+    let workload = small_febrl_workload();
+    let mut graph = SimilarityGraph::build(GraphConfig::textual_febrl(0.6), &workload.initial);
+    let batch = HillClimbing::with_objective(Arc::new(DbIndexObjective));
+    let initial = batch.cluster(&graph).clustering;
+    let mut dynamicc = DynamicC::with_objective(objective);
+    let (train, serve) = workload.snapshots.split_at(TRAIN_ROUNDS);
+    let report = train_on_workload(&mut dynamicc, &mut graph, &initial, train, &batch);
+    let previous = report.final_clustering(&initial);
+    (graph, previous, serve.to_vec(), dynamicc)
+}
+
+/// Serve every remaining snapshot through `DynamicC::recluster`, returning
+/// the per-round clusterings and the full-build count consumed while
+/// serving.
+fn serve_all(
+    graph: &mut SimilarityGraph,
+    mut previous: Clustering,
+    serve: &[Snapshot],
+    dynamicc: &mut DynamicC,
+) -> (Vec<Clustering>, u64) {
+    let builds_before = full_build_count();
+    let mut produced = Vec::new();
+    for snapshot in serve {
+        graph.apply_batch(&snapshot.batch);
+        let result = dynamicc.recluster(graph, &previous, &snapshot.batch);
+        result.check_invariants().unwrap();
+        produced.push(result.clone());
+        previous = result;
+    }
+    (produced, full_build_count() - builds_before)
+}
+
+#[test]
+fn fast_and_slow_objective_paths_produce_identical_clusterings_and_stats() {
+    let (mut fast_graph, fast_prev, serve, mut fast) = trained_setup(Arc::new(DbIndexObjective));
+    let (mut slow_graph, slow_prev, _, mut slow) =
+        trained_setup(Arc::new(SlowPathObjective::new(Arc::new(DbIndexObjective))));
+
+    let fast_stats_before = *fast.stats();
+    let slow_stats_before = *slow.stats();
+    assert_eq!(
+        fast_stats_before, slow_stats_before,
+        "identical training must produce identical pre-serving stats"
+    );
+
+    let (fast_rounds, fast_builds) = serve_all(&mut fast_graph, fast_prev, &serve, &mut fast);
+    let (slow_rounds, slow_builds) = serve_all(&mut slow_graph, slow_prev, &serve, &mut slow);
+
+    for (i, (f, s)) in fast_rounds.iter().zip(&slow_rounds).enumerate() {
+        assert!(
+            f.delta(s).is_unchanged(),
+            "round {i}: fast and slow paths diverged"
+        );
+    }
+    assert_eq!(
+        fast.stats(),
+        slow.stats(),
+        "verification counters must not depend on the aggregate fast path"
+    );
+
+    // The whole point: one O(E) build per round on the fast path, and at
+    // least 5x that on the rebuild-per-delta slow path.
+    assert_eq!(
+        fast_builds,
+        serve.len() as u64,
+        "recluster must perform exactly one full aggregate build per round"
+    );
+    assert!(
+        slow_builds >= 5 * fast_builds,
+        "slow path performed {slow_builds} builds vs {fast_builds} fast — expected >= 5x"
+    );
+}
+
+#[test]
+fn engine_rounds_match_recluster_exactly() {
+    let (mut graph_a, prev_a, serve, mut via_recluster) = trained_setup(Arc::new(DbIndexObjective));
+    let (graph_b, prev_b, _, via_engine) = trained_setup(Arc::new(DbIndexObjective));
+
+    let mut engine = Engine::new(graph_b, prev_b.clone(), via_engine);
+    let mut previous = prev_a;
+    for (i, snapshot) in serve.iter().enumerate() {
+        graph_a.apply_batch(&snapshot.batch);
+        let expected = via_recluster.recluster(&graph_a, &previous, &snapshot.batch);
+
+        let report = engine.apply_round(&snapshot.batch);
+        assert!(
+            engine.clustering().delta(&expected).is_unchanged(),
+            "round {i}: engine and recluster diverged"
+        );
+        assert_eq!(
+            report.full_aggregate_builds, 0,
+            "round {i}: the engine must not rebuild aggregates"
+        );
+        assert_eq!(report.objects, expected.object_count());
+        assert_eq!(report.clusters, expected.cluster_count());
+        previous = expected;
+    }
+    // Identical decisions imply identical counters (the engine's DynamicC
+    // observed the same training rounds).
+    assert_eq!(engine.stats(), via_recluster.stats());
+    assert_eq!(engine.rounds_served(), serve.len());
+}
+
+#[test]
+fn served_clustering_and_counters_match_golden_values() {
+    // Run the full train-then-serve pipeline twice and require bit-identical
+    // outcomes (determinism), then pin the outcome itself.
+    let mut finals = Vec::new();
+    for _ in 0..2 {
+        let (mut graph, previous, serve, mut dynamicc) = trained_setup(Arc::new(DbIndexObjective));
+        let (rounds, _) = serve_all(&mut graph, previous, &serve, &mut dynamicc);
+        finals.push((rounds.last().unwrap().clone(), *dynamicc.stats()));
+    }
+    let (ref final_a, stats_a) = finals[0];
+    let (ref final_b, stats_b) = finals[1];
+    assert!(
+        final_a.delta(final_b).is_unchanged(),
+        "non-deterministic serving"
+    );
+    assert_eq!(stats_a, stats_b, "non-deterministic counters");
+
+    // Golden values for the small Febrl fixture (seed 3, threshold 0.6,
+    // 2 training + 3 served rounds).  These pin the *behaviour* of the
+    // serving path: a change here means the refactor changed what DynamicC
+    // does, not just how fast it does it.
+    assert_eq!(final_a.object_count(), 193, "golden: served objects");
+    assert_eq!(final_a.cluster_count(), 71, "golden: served clusters");
+    assert_eq!(stats_a.observed_rounds, 2, "golden: observed rounds");
+    assert_eq!(stats_a.merges_applied, 94, "golden: merges applied");
+    assert_eq!(stats_a.merges_rejected, 2, "golden: merges rejected");
+    assert_eq!(stats_a.splits_applied, 1, "golden: splits applied");
+    assert_eq!(stats_a.splits_rejected, 920, "golden: splits rejected");
+    assert_eq!(stats_a.merge_candidates, 172, "golden: merge candidates");
+    assert_eq!(stats_a.split_candidates, 349, "golden: split candidates");
+    assert_eq!(
+        stats_a.objective_evaluations, 1017,
+        "golden: objective evaluations"
+    );
+}

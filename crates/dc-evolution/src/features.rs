@@ -48,19 +48,20 @@ impl LabeledExample {
     }
 }
 
-/// Merge-model features `(f1, f2, f3, f4)` of an existing cluster.
-pub fn merge_features(agg: &ClusterAggregates<'_>, cid: ClusterId) -> [f64; MERGE_FEATURE_DIM] {
+/// Merge-model features `(f1, f2, f3, f4)` of an existing cluster, read off
+/// the maintained aggregates (no graph edges are walked).
+pub fn merge_features(agg: &ClusterAggregates, cid: ClusterId) -> [f64; MERGE_FEATURE_DIM] {
     let f1 = agg.intra_avg(cid);
     let (f2, f4) = match agg.max_inter_avg(cid) {
-        Some((other, avg)) => (avg, agg.clustering().cluster_size(other) as f64),
+        Some((other, avg)) => (avg, agg.cluster_size(other) as f64),
         None => (0.0, 0.0),
     };
-    let f3 = agg.clustering().cluster_size(cid) as f64;
+    let f3 = agg.cluster_size(cid) as f64;
     [f1, f2, f3, f4]
 }
 
 /// Split-model features `(f1, f2, f3)` of an existing cluster.
-pub fn split_features(agg: &ClusterAggregates<'_>, cid: ClusterId) -> [f64; SPLIT_FEATURE_DIM] {
+pub fn split_features(agg: &ClusterAggregates, cid: ClusterId) -> [f64; SPLIT_FEATURE_DIM] {
     let m = merge_features(agg, cid);
     [m[0], m[1], m[2]]
 }

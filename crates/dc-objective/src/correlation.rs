@@ -45,6 +45,24 @@ impl CorrelationObjective {
         }
         sum
     }
+
+    /// The disagreement cost read off materialized aggregates: one pass over
+    /// the per-cluster sums, no graph edges touched.
+    fn cost_from_aggregates(agg: &ClusterAggregates) -> f64 {
+        let mut cost = 0.0;
+        for cid in agg.cluster_ids() {
+            let n = agg.cluster_size(cid);
+            let pairs = (n * (n - 1) / 2) as f64;
+            cost += pairs - agg.intra_sum(cid);
+            for (other, sum) in agg.neighbour_cluster_sums(cid) {
+                // Each unordered cluster pair contributes once.
+                if other > cid {
+                    cost += sum;
+                }
+            }
+        }
+        cost
+    }
 }
 
 impl ObjectiveFunction for CorrelationObjective {
@@ -59,30 +77,11 @@ impl ObjectiveFunction for CorrelationObjective {
     fn evaluate(&self, graph: &SimilarityGraph, clustering: &Clustering) -> f64 {
         // Intra term: for every cluster, the number of member pairs minus the
         // similarity mass inside the cluster (pairs without a stored edge
-        // contribute a full unit of disagreement).
-        let agg = ClusterAggregates::new(graph, clustering);
-        let mut cost = 0.0;
-        for (cid, cluster) in clustering.iter() {
-            let n = cluster.len();
-            let pairs = (n * (n - 1) / 2) as f64;
-            cost += pairs - agg.intra_sum(cid);
-        }
-        // Inter term: every stored edge whose endpoints are in different
-        // clusters contributes its similarity.  Edges to objects that are not
-        // clustered (e.g. not yet processed) are ignored.
-        for a in clustering.object_ids() {
-            let ca = clustering.cluster_of(a);
-            for (b, sim) in graph.neighbors(a) {
-                if b > a {
-                    if let (Some(ca), Some(cb)) = (ca, clustering.cluster_of(b)) {
-                        if ca != cb {
-                            cost += sim;
-                        }
-                    }
-                }
-            }
-        }
-        cost
+        // contribute a full unit of disagreement).  Inter term: every stored
+        // edge whose endpoints are in different clusters contributes its
+        // similarity.  Edges to objects that are not clustered (e.g. not yet
+        // processed) are ignored.  Both terms come out of one aggregate build.
+        Self::cost_from_aggregates(&ClusterAggregates::new(graph, clustering))
     }
 
     fn merge_delta(
@@ -98,9 +97,8 @@ impl ObjectiveFunction for CorrelationObjective {
         let (Some(ca), Some(cb)) = (clustering.cluster(a), clustering.cluster(b)) else {
             return 0.0;
         };
-        let agg = ClusterAggregates::new(graph, clustering);
         let cross_pairs = (ca.len() * cb.len()) as f64;
-        let cross_sim = agg.inter_sum(a, b);
+        let cross_sim = ClusterAggregates::inter_sum_of_members(graph, ca, cb);
         cross_pairs - 2.0 * cross_sim
     }
 
@@ -158,6 +156,35 @@ impl ObjectiveFunction for CorrelationObjective {
         let join_pairs = target_cluster.len() as f64;
         let join_delta = join_pairs - 2.0 * join_sim;
         leave_delta + join_delta
+    }
+
+    fn evaluate_with(
+        &self,
+        agg: &ClusterAggregates,
+        _graph: &SimilarityGraph,
+        _clustering: &Clustering,
+    ) -> f64 {
+        Self::cost_from_aggregates(agg)
+    }
+
+    fn merge_delta_with(
+        &self,
+        agg: &ClusterAggregates,
+        _graph: &SimilarityGraph,
+        clustering: &Clustering,
+        a: ClusterId,
+        b: ClusterId,
+    ) -> f64 {
+        if a == b {
+            return 0.0;
+        }
+        let (Some(ca), Some(cb)) = (clustering.cluster(a), clustering.cluster(b)) else {
+            return 0.0;
+        };
+        // The maintained cross-edge sum turns the closed form into an O(log)
+        // lookup: no edges are walked at all.
+        let cross_pairs = (ca.len() * cb.len()) as f64;
+        cross_pairs - 2.0 * agg.inter_sum(a, b)
     }
 }
 

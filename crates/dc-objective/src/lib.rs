@@ -46,4 +46,6 @@ pub use correlation::CorrelationObjective;
 pub use dbindex::DbIndexObjective;
 pub use density::DensityObjective;
 pub use kmeans::KMeansObjective;
-pub use traits::{improves, ObjectiveFunction, ObjectiveKind, IMPROVEMENT_EPSILON};
+pub use traits::{
+    improves, ObjectiveFunction, ObjectiveKind, SlowPathObjective, IMPROVEMENT_EPSILON,
+};

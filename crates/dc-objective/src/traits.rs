@@ -1,8 +1,9 @@
 //! The [`ObjectiveFunction`] trait and shared helpers.
 
-use dc_similarity::SimilarityGraph;
+use dc_similarity::{ClusterAggregates, SimilarityGraph};
 use dc_types::{ClusterId, Clustering, ObjectId};
 use std::collections::BTreeSet;
+use std::sync::Arc;
 
 /// Deltas smaller than this (in absolute value) are treated as "no change";
 /// an operation must reduce the objective by more than this epsilon to count
@@ -118,6 +119,131 @@ pub trait ObjectiveFunction: Send + Sync {
             .move_object(oid, target)
             .expect("object and target exist");
         self.evaluate(graph, &after) - before
+    }
+
+    // ------------------------------------------------------------------
+    // Aggregate-reusing hooks
+    // ------------------------------------------------------------------
+    //
+    // The serving path maintains one `ClusterAggregates` incrementally and
+    // calls these `_with` variants so that verification does not re-scan the
+    // graph.  The defaults ignore the aggregates and fall back to the plain
+    // (rebuild-as-needed) implementations, so an objective that cannot
+    // exploit the materialized state stays exactly as correct — and exactly
+    // as slow — as before.  `agg` must describe `(graph, clustering)`.
+
+    /// Full cost of a clustering given its maintained aggregates.
+    fn evaluate_with(
+        &self,
+        agg: &ClusterAggregates,
+        graph: &SimilarityGraph,
+        clustering: &Clustering,
+    ) -> f64 {
+        let _ = agg;
+        self.evaluate(graph, clustering)
+    }
+
+    /// [`ObjectiveFunction::merge_delta`] given maintained aggregates.
+    fn merge_delta_with(
+        &self,
+        agg: &ClusterAggregates,
+        graph: &SimilarityGraph,
+        clustering: &Clustering,
+        a: ClusterId,
+        b: ClusterId,
+    ) -> f64 {
+        let _ = agg;
+        self.merge_delta(graph, clustering, a, b)
+    }
+
+    /// [`ObjectiveFunction::split_delta`] given maintained aggregates.
+    fn split_delta_with(
+        &self,
+        agg: &ClusterAggregates,
+        graph: &SimilarityGraph,
+        clustering: &Clustering,
+        cid: ClusterId,
+        part: &BTreeSet<ObjectId>,
+    ) -> f64 {
+        let _ = agg;
+        self.split_delta(graph, clustering, cid, part)
+    }
+
+    /// [`ObjectiveFunction::move_delta`] given maintained aggregates.
+    fn move_delta_with(
+        &self,
+        agg: &ClusterAggregates,
+        graph: &SimilarityGraph,
+        clustering: &Clustering,
+        oid: ObjectId,
+        target: ClusterId,
+    ) -> f64 {
+        let _ = agg;
+        self.move_delta(graph, clustering, oid, target)
+    }
+}
+
+/// A wrapper that deliberately disables an objective's aggregate-reusing
+/// `_with` overrides: every `_with` call falls through the trait defaults to
+/// the inner objective's plain (rebuild-as-needed) implementation.
+///
+/// This is the reference "slow path" used by the equivalence tests and the
+/// `BENCH_dynamic_serving` baseline: running the same serving code once with
+/// the bare objective and once wrapped in `SlowPathObjective` must produce
+/// the identical clustering, while the full-build counter quantifies how
+/// many O(E) rebuilds the incremental path avoided.
+pub struct SlowPathObjective {
+    inner: Arc<dyn ObjectiveFunction>,
+}
+
+impl SlowPathObjective {
+    /// Wrap an objective, hiding its `_with` overrides.
+    pub fn new(inner: Arc<dyn ObjectiveFunction>) -> Self {
+        SlowPathObjective { inner }
+    }
+}
+
+impl ObjectiveFunction for SlowPathObjective {
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+
+    fn kind(&self) -> ObjectiveKind {
+        self.inner.kind()
+    }
+
+    fn evaluate(&self, graph: &SimilarityGraph, clustering: &Clustering) -> f64 {
+        self.inner.evaluate(graph, clustering)
+    }
+
+    fn merge_delta(
+        &self,
+        graph: &SimilarityGraph,
+        clustering: &Clustering,
+        a: ClusterId,
+        b: ClusterId,
+    ) -> f64 {
+        self.inner.merge_delta(graph, clustering, a, b)
+    }
+
+    fn split_delta(
+        &self,
+        graph: &SimilarityGraph,
+        clustering: &Clustering,
+        cid: ClusterId,
+        part: &BTreeSet<ObjectId>,
+    ) -> f64 {
+        self.inner.split_delta(graph, clustering, cid, part)
+    }
+
+    fn move_delta(
+        &self,
+        graph: &SimilarityGraph,
+        clustering: &Clustering,
+        oid: ObjectId,
+        target: ClusterId,
+    ) -> f64 {
+        self.inner.move_delta(graph, clustering, oid, target)
     }
 }
 

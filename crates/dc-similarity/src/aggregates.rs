@@ -1,4 +1,4 @@
-//! Cluster-level similarity aggregates.
+//! Cluster-level similarity aggregates, maintained incrementally.
 //!
 //! The paper's features (§5.1) and objective functions (§3.2) are all built
 //! from a small number of cluster-level aggregates of the similarity graph:
@@ -13,51 +13,615 @@
 //! * **object weight** — the average similarity between one object and the
 //!   rest of its cluster, which drives the split heuristic of §6.3.
 //!
-//! [`ClusterAggregates`] computes all of these against a
-//! [`dc_types::Clustering`] without materializing anything per
-//! pair of clusters: it walks only the stored (thresholded) edges, so the
-//! cost is proportional to the number of edges incident to the clusters
-//! involved.
+//! [`ClusterAggregates`] *owns* the materialized per-cluster state: intra
+//! sums, cluster sizes, and the symmetric per-cluster-pair cross-edge sums.
+//! A full build ([`ClusterAggregates::new`]) walks every stored edge once —
+//! O(E) — and every structural change afterwards is folded in by a delta
+//! update whose cost is proportional to the degree of the touched members:
+//!
+//! * [`ClusterAggregates::apply_merge`] — O(neighbour clusters of both sides);
+//! * [`ClusterAggregates::apply_split`] — O(Σ degree of the split cluster's
+//!   members);
+//! * [`ClusterAggregates::apply_move`] — O(degree of the moved object);
+//! * [`ClusterAggregates::apply_batch`] — O(Σ degree of the touched objects).
+//!
+//! This is the invariant the serving path relies on: `merge_pass`,
+//! `split_pass`, and the `Engine` round loop thread **one** maintained
+//! aggregate through all candidate evaluations instead of rebuilding from
+//! scratch per candidate.  [`full_build_count`] counts the O(E) builds per
+//! thread so tests and benches can assert the serving path stays on the
+//! incremental path.
+//!
+//! Per-object quantities (cohesion, split weights) depend on one object's
+//! edges only; they are exposed as associated functions that walk the graph
+//! directly and need no materialized state.
 
 use crate::graph::SimilarityGraph;
-use dc_types::{Cluster, ClusterId, Clustering, ObjectId};
+use dc_types::{Cluster, ClusterId, Clustering, ObjectId, Operation, OperationBatch};
+use std::cell::Cell;
 use std::collections::BTreeMap;
+use std::collections::BTreeSet;
 
-/// A view that answers cluster-level similarity queries for one
-/// `(similarity graph, clustering)` pair.
-pub struct ClusterAggregates<'a> {
-    graph: &'a SimilarityGraph,
-    clustering: &'a Clustering,
+/// Cross-edge sums whose absolute value falls below this after a subtraction
+/// are treated as zero and pruned: stored edges always have strictly positive
+/// similarity, so a residue this small can only be floating-point noise left
+/// behind by an incremental update.
+const RESIDUE_EPSILON: f64 = 1e-9;
+
+thread_local! {
+    static FULL_BUILDS: Cell<u64> = const { Cell::new(0) };
 }
 
-impl<'a> ClusterAggregates<'a> {
-    /// Create an aggregate view.
-    pub fn new(graph: &'a SimilarityGraph, clustering: &'a Clustering) -> Self {
-        ClusterAggregates { graph, clustering }
+/// Number of full O(E) [`ClusterAggregates::new`] builds performed by the
+/// current thread since it started.  Diagnostics for tests and benches: the
+/// serving path is expected to build once per round (or never, inside an
+/// `Engine`), and this counter is how that contract is enforced.
+pub fn full_build_count() -> u64 {
+    FULL_BUILDS.with(|c| c.get())
+}
+
+/// Materialized cluster-level aggregates for one
+/// `(similarity graph, clustering)` pair, maintained incrementally.
+///
+/// The structure stores, for every live cluster, its size, the sum of its
+/// intra-cluster edge similarities, and a map from each neighbouring cluster
+/// to the total similarity of the edges crossing into it (kept exactly
+/// symmetric).  All read accessors are O(log n) lookups or walks of the
+/// materialized maps — no graph edges are touched.
+#[derive(Debug, Clone, Default)]
+pub struct ClusterAggregates {
+    /// Cluster sizes (mirror of the clustering).
+    sizes: BTreeMap<ClusterId, usize>,
+    /// `Σ sim` over stored intra-cluster edges, per cluster.
+    intra: BTreeMap<ClusterId, f64>,
+    /// Symmetric cross-edge sums: `inter[a][b] == inter[b][a] == Σ sim` over
+    /// stored edges with one endpoint in `a` and the other in `b`.
+    inter: BTreeMap<ClusterId, BTreeMap<ClusterId, f64>>,
+}
+
+impl ClusterAggregates {
+    /// Full build: walk every stored edge of the graph once — O(E).
+    ///
+    /// Edges with an unclustered endpoint are ignored, exactly as every
+    /// consumer of the aggregates expects.
+    pub fn new(graph: &SimilarityGraph, clustering: &Clustering) -> Self {
+        FULL_BUILDS.with(|c| c.set(c.get() + 1));
+        let mut agg = ClusterAggregates::default();
+        for (cid, cluster) in clustering.iter() {
+            agg.sizes.insert(cid, cluster.len());
+            agg.intra.insert(cid, 0.0);
+            agg.inter.insert(cid, BTreeMap::new());
+        }
+        // Visit each unordered edge exactly once (b > a) so the symmetric
+        // inter entries receive bit-identical sums on both sides.
+        for a in clustering.object_ids() {
+            let Some(ca) = clustering.cluster_of(a) else {
+                continue;
+            };
+            for (b, sim) in graph.neighbors(a) {
+                if b <= a {
+                    continue;
+                }
+                match clustering.cluster_of(b) {
+                    Some(cb) if cb == ca => {
+                        *agg.intra.get_mut(&ca).expect("live cluster") += sim;
+                    }
+                    Some(cb) => {
+                        agg.add_inter(ca, cb, sim);
+                    }
+                    None => {}
+                }
+            }
+        }
+        agg
     }
 
-    /// The underlying graph.
-    pub fn graph(&self) -> &SimilarityGraph {
-        self.graph
-    }
-
-    /// The underlying clustering.
-    pub fn clustering(&self) -> &Clustering {
-        self.clustering
+    /// An empty aggregate (the state of an [`ClusterAggregates::new`] over an
+    /// empty clustering, without counting as a full build).
+    pub fn empty() -> Self {
+        ClusterAggregates::default()
     }
 
     // ------------------------------------------------------------------
-    // Intra-cluster quantities
+    // Read access
     // ------------------------------------------------------------------
+
+    /// Number of live clusters.
+    pub fn cluster_count(&self) -> usize {
+        self.sizes.len()
+    }
+
+    /// All live cluster ids in id order.
+    pub fn cluster_ids(&self) -> Vec<ClusterId> {
+        self.sizes.keys().copied().collect()
+    }
+
+    /// Whether the cluster is tracked.
+    pub fn contains_cluster(&self, cid: ClusterId) -> bool {
+        self.sizes.contains_key(&cid)
+    }
+
+    /// The largest tracked cluster id, if any.  Simulation code uses this to
+    /// pick scratch ids guaranteed not to collide with live clusters.
+    pub fn max_cluster_id(&self) -> Option<ClusterId> {
+        self.sizes.last_key_value().map(|(&c, _)| c)
+    }
+
+    /// Size of cluster `cid` (0 if absent).
+    pub fn cluster_size(&self, cid: ClusterId) -> usize {
+        self.sizes.get(&cid).copied().unwrap_or(0)
+    }
 
     /// Sum of pairwise similarities between members of the cluster
     /// (`S_intra(C)` of §3.2, in its *sum* form).
     pub fn intra_sum(&self, cid: ClusterId) -> f64 {
-        let Some(cluster) = self.clustering.cluster(cid) else {
+        self.intra.get(&cid).copied().unwrap_or(0.0)
+    }
+
+    /// Average pairwise similarity inside the cluster.  Singleton clusters
+    /// are defined to have cohesion 1 (they cannot be any more cohesive),
+    /// which keeps the feature `f1 ∈ [0, 1]` of §5.2 well defined for the
+    /// fresh singleton clusters created by initial processing (§6.1).
+    /// Unknown clusters score 0.
+    pub fn intra_avg(&self, cid: ClusterId) -> f64 {
+        let Some(&n) = self.sizes.get(&cid) else {
             return 0.0;
         };
-        Self::intra_sum_of_members(self.graph, cluster)
+        if n <= 1 {
+            return 1.0;
+        }
+        let pairs = (n * (n - 1) / 2) as f64;
+        self.intra_sum(cid) / pairs
     }
+
+    /// Sum of similarities across two distinct clusters (`S_inter(C, C')`).
+    pub fn inter_sum(&self, a: ClusterId, b: ClusterId) -> f64 {
+        if a == b {
+            return 0.0;
+        }
+        self.inter
+            .get(&a)
+            .and_then(|m| m.get(&b))
+            .copied()
+            .unwrap_or(0.0)
+    }
+
+    /// Average similarity across two distinct clusters (sum divided by the
+    /// number of cross pairs `|C|·|C'|`).
+    pub fn inter_avg(&self, a: ClusterId, b: ClusterId) -> f64 {
+        if a == b {
+            return 0.0;
+        }
+        let (Some(&sa), Some(&sb)) = (self.sizes.get(&a), self.sizes.get(&b)) else {
+            return 0.0;
+        };
+        let pairs = (sa * sb) as f64;
+        if pairs == 0.0 {
+            0.0
+        } else {
+            self.inter_sum(a, b) / pairs
+        }
+    }
+
+    /// Per-neighbour-cluster sums of cross-edge similarity for cluster `cid`:
+    /// `(neighbour cluster id, Σ sim)` over stored edges leaving the cluster,
+    /// in cluster-id order.
+    pub fn neighbour_cluster_sums(
+        &self,
+        cid: ClusterId,
+    ) -> impl Iterator<Item = (ClusterId, f64)> + '_ {
+        self.inter
+            .get(&cid)
+            .into_iter()
+            .flat_map(|m| m.iter().map(|(&c, &s)| (c, s)))
+    }
+
+    /// Clusters that share at least one stored edge with `cid`.
+    pub fn neighbour_clusters(&self, cid: ClusterId) -> Vec<ClusterId> {
+        self.neighbour_cluster_sums(cid).map(|(c, _)| c).collect()
+    }
+
+    /// The maximal *average* inter-similarity between `cid` and any other
+    /// cluster, together with the neighbour attaining it (`f2` and the source
+    /// of `f4` of §5.2).  Returns `None` when the cluster has no cross edges.
+    pub fn max_inter_avg(&self, cid: ClusterId) -> Option<(ClusterId, f64)> {
+        let size = self.cluster_size(cid);
+        if size == 0 {
+            return None;
+        }
+        let mut best: Option<(ClusterId, f64)> = None;
+        for (other, sum) in self.neighbour_cluster_sums(cid) {
+            let other_size = self.cluster_size(other);
+            if other_size == 0 {
+                continue;
+            }
+            let avg = sum / (size * other_size) as f64;
+            match best {
+                Some((_, b)) if b >= avg => {}
+                _ => best = Some((other, avg)),
+            }
+        }
+        best
+    }
+
+    // ------------------------------------------------------------------
+    // Incremental maintenance
+    // ------------------------------------------------------------------
+
+    /// Fold a merge of clusters `a` and `b` into the new cluster `merged`
+    /// (the id returned by [`Clustering::merge`]) into the aggregates.
+    ///
+    /// Cost: O(number of neighbour clusters of `a` and `b`) — no graph edges
+    /// are touched, because a merge only re-labels existing sums.
+    pub fn apply_merge(&mut self, a: ClusterId, b: ClusterId, merged: ClusterId) {
+        let ia = self.intra.remove(&a).unwrap_or(0.0);
+        let ib = self.intra.remove(&b).unwrap_or(0.0);
+        let sa = self.sizes.remove(&a).unwrap_or(0);
+        let sb = self.sizes.remove(&b).unwrap_or(0);
+        let ma = self.inter.remove(&a).unwrap_or_default();
+        let mb = self.inter.remove(&b).unwrap_or_default();
+        let cross = ma.get(&b).copied().unwrap_or(0.0);
+
+        let mut merged_map: BTreeMap<ClusterId, f64> = BTreeMap::new();
+        for (x, s) in ma.into_iter().chain(mb) {
+            if x != a && x != b {
+                *merged_map.entry(x).or_insert(0.0) += s;
+            }
+        }
+        for (&x, &s) in &merged_map {
+            if let Some(mx) = self.inter.get_mut(&x) {
+                mx.remove(&a);
+                mx.remove(&b);
+                mx.insert(merged, s);
+            }
+        }
+        self.intra.insert(merged, ia + ib + cross);
+        self.sizes.insert(merged, sa + sb);
+        self.inter.insert(merged, merged_map);
+    }
+
+    /// Fold a split of cluster `original` into `part_id` and `rest_id` (the
+    /// ids returned by [`Clustering::split`]) into the aggregates, reading the
+    /// two member sets from the post-split `clustering`.
+    ///
+    /// Cost: O(Σ degree of the split cluster's members).
+    pub fn apply_split(
+        &mut self,
+        graph: &SimilarityGraph,
+        clustering: &Clustering,
+        original: ClusterId,
+        part_id: ClusterId,
+        rest_id: ClusterId,
+    ) {
+        let part = clustering
+            .cluster(part_id)
+            .expect("part cluster exists after the split")
+            .members()
+            .clone();
+        let rest = clustering
+            .cluster(rest_id)
+            .expect("rest cluster exists after the split")
+            .members()
+            .clone();
+        self.apply_split_members(graph, clustering, original, part_id, &part, rest_id, &rest);
+    }
+
+    /// Like [`ClusterAggregates::apply_split`] but with explicit member sets,
+    /// so callers can *simulate* a split (e.g. for a delta evaluation) before
+    /// mutating the clustering.  `clustering` may reflect the state before or
+    /// after the split: it is consulted only for objects outside
+    /// `part ∪ rest`, whose membership a split does not change.
+    #[allow(clippy::too_many_arguments)]
+    pub fn apply_split_members(
+        &mut self,
+        graph: &SimilarityGraph,
+        clustering: &Clustering,
+        original: ClusterId,
+        part_id: ClusterId,
+        part: &BTreeSet<ObjectId>,
+        rest_id: ClusterId,
+        rest: &BTreeSet<ObjectId>,
+    ) {
+        // Retire the original cluster everywhere.
+        let old_map = self.inter.remove(&original).unwrap_or_default();
+        for x in old_map.keys() {
+            if let Some(mx) = self.inter.get_mut(x) {
+                mx.remove(&original);
+            }
+        }
+        self.intra.remove(&original);
+        self.sizes.remove(&original);
+
+        // Recompute both sides fresh from their members' edges: residue-free
+        // and still local to the split cluster.
+        let mut intra_part = 0.0;
+        let mut cross = 0.0;
+        let mut part_out: BTreeMap<ClusterId, f64> = BTreeMap::new();
+        for &a in part {
+            for (b, sim) in graph.neighbors(a) {
+                if part.contains(&b) {
+                    if b > a {
+                        intra_part += sim;
+                    }
+                } else if rest.contains(&b) {
+                    cross += sim;
+                } else if let Some(x) = clustering.cluster_of(b) {
+                    *part_out.entry(x).or_insert(0.0) += sim;
+                }
+            }
+        }
+        let mut intra_rest = 0.0;
+        let mut rest_out: BTreeMap<ClusterId, f64> = BTreeMap::new();
+        for &a in rest {
+            for (b, sim) in graph.neighbors(a) {
+                if rest.contains(&b) {
+                    if b > a {
+                        intra_rest += sim;
+                    }
+                } else if !part.contains(&b) {
+                    if let Some(x) = clustering.cluster_of(b) {
+                        *rest_out.entry(x).or_insert(0.0) += sim;
+                    }
+                }
+            }
+        }
+        if cross > 0.0 {
+            part_out.insert(rest_id, cross);
+            rest_out.insert(part_id, cross);
+        }
+        for (&x, &s) in &part_out {
+            if x != rest_id {
+                self.inter.entry(x).or_default().insert(part_id, s);
+            }
+        }
+        for (&x, &s) in &rest_out {
+            if x != part_id {
+                self.inter.entry(x).or_default().insert(rest_id, s);
+            }
+        }
+        self.intra.insert(part_id, intra_part);
+        self.intra.insert(rest_id, intra_rest);
+        self.sizes.insert(part_id, part.len());
+        self.sizes.insert(rest_id, rest.len());
+        self.inter.insert(part_id, part_out);
+        self.inter.insert(rest_id, rest_out);
+    }
+
+    /// Fold a move of object `oid` from cluster `from` into cluster `to`.
+    /// `clustering` may reflect the state before or after the move: only the
+    /// memberships of `oid`'s *neighbours* are consulted, and a move changes
+    /// none of them.  If `from` is left empty it is dropped, matching
+    /// [`Clustering::move_object`].
+    ///
+    /// Cost: O(degree of `oid`).
+    pub fn apply_move(
+        &mut self,
+        graph: &SimilarityGraph,
+        clustering: &Clustering,
+        oid: ObjectId,
+        from: ClusterId,
+        to: ClusterId,
+    ) {
+        if from == to {
+            return;
+        }
+        // Per-neighbour-cluster similarity sums of the moved object.
+        let mut sums: BTreeMap<ClusterId, f64> = BTreeMap::new();
+        for (n, sim) in graph.neighbors(oid) {
+            if n == oid {
+                continue;
+            }
+            if let Some(cn) = clustering.cluster_of(n) {
+                *sums.entry(cn).or_insert(0.0) += sim;
+            }
+        }
+        let to_from = sums.get(&from).copied().unwrap_or(0.0);
+        let to_to = sums.get(&to).copied().unwrap_or(0.0);
+        let from_drops = self.sizes.get(&from).copied().unwrap_or(0) <= 1;
+
+        // Edges to members of `from` flip intra → cross; edges to members of
+        // `to` flip cross → intra; edges to any other cluster X move from
+        // `from`'s column to `to`'s.
+        self.sub_intra(from, to_from);
+        *self.intra.entry(to).or_insert(0.0) += to_to;
+        for (&x, &s) in &sums {
+            if x == from || x == to {
+                continue;
+            }
+            self.sub_inter(from, x, s);
+            self.add_inter(to, x, s);
+        }
+        self.sub_inter(from, to, to_to);
+        self.add_inter(from, to, to_from);
+
+        *self.sizes.entry(to).or_insert(0) += 1;
+        if from_drops {
+            self.drop_cluster(from);
+        } else if let Some(s) = self.sizes.get_mut(&from) {
+            *s -= 1;
+        }
+    }
+
+    /// Attach a freshly clustered object: `oid` must already be present in
+    /// both the graph (with its final edges) and the clustering.  Used when
+    /// an added or updated object enters the clustering as a singleton, and
+    /// when an object joins an existing cluster.
+    ///
+    /// Cost: O(degree of `oid`).
+    pub fn apply_add(&mut self, graph: &SimilarityGraph, clustering: &Clustering, oid: ObjectId) {
+        let Some(cid) = clustering.cluster_of(oid) else {
+            return;
+        };
+        let mut to_self = 0.0;
+        let mut per: BTreeMap<ClusterId, f64> = BTreeMap::new();
+        for (n, sim) in graph.neighbors(oid) {
+            if n == oid {
+                continue;
+            }
+            match clustering.cluster_of(n) {
+                Some(cn) if cn == cid => to_self += sim,
+                Some(cn) => *per.entry(cn).or_insert(0.0) += sim,
+                None => {}
+            }
+        }
+        *self.sizes.entry(cid).or_insert(0) += 1;
+        *self.intra.entry(cid).or_insert(0.0) += to_self;
+        self.inter.entry(cid).or_default();
+        for (cn, s) in per {
+            self.add_inter(cid, cn, s);
+        }
+    }
+
+    /// Detach an object that is about to leave the clustering: `oid`'s edges
+    /// must still be present in the graph, and `from` is the cluster it is
+    /// leaving.  Only the memberships of `oid`'s neighbours are consulted, so
+    /// `clustering` may reflect the state before or after the removal.
+    ///
+    /// Cost: O(degree of `oid`).
+    pub fn apply_remove(
+        &mut self,
+        graph: &SimilarityGraph,
+        clustering: &Clustering,
+        oid: ObjectId,
+        from: ClusterId,
+    ) {
+        for (n, sim) in graph.neighbors(oid) {
+            if n == oid {
+                continue;
+            }
+            match clustering.cluster_of(n) {
+                Some(cn) if cn == from => self.sub_intra(from, sim),
+                Some(cn) => self.sub_inter(from, cn, sim),
+                None => {}
+            }
+        }
+        let remaining = self
+            .sizes
+            .get(&from)
+            .copied()
+            .unwrap_or(0)
+            .saturating_sub(1);
+        if remaining == 0 {
+            self.drop_cluster(from);
+        } else if let Some(s) = self.sizes.get_mut(&from) {
+            *s = remaining;
+        }
+    }
+
+    /// Apply one round's operations to the graph, the clustering, and the
+    /// aggregates in lockstep, mirroring the initial-processing step (§6.1):
+    /// added and updated objects enter as fresh singleton clusters, removed
+    /// objects leave the clustering, and every change is folded into the
+    /// aggregates at O(degree) per operation.  Returns the ids that were
+    /// newly isolated (the same contract as `prepare_working_clustering`).
+    pub fn apply_batch(
+        &mut self,
+        graph: &mut SimilarityGraph,
+        clustering: &mut Clustering,
+        batch: &OperationBatch,
+    ) -> Vec<ObjectId> {
+        let mut isolated = Vec::new();
+        for op in batch.iter() {
+            match op {
+                Operation::Add { id, record } => {
+                    if let Some(cid) = clustering.cluster_of(*id) {
+                        // Re-add of a live object: its edges are replaced but
+                        // — matching initial processing, which ignores adds of
+                        // already-clustered objects — it keeps its cluster.
+                        self.apply_remove(graph, clustering, *id, cid);
+                        graph.add_object(*id, record.clone());
+                        self.apply_add(graph, clustering, *id);
+                    } else {
+                        graph.add_object(*id, record.clone());
+                        let _ = clustering.create_cluster([*id]).expect("fresh object");
+                        self.apply_add(graph, clustering, *id);
+                        isolated.push(*id);
+                    }
+                }
+                Operation::Remove { id } => {
+                    if let Some(cid) = clustering.cluster_of(*id) {
+                        self.apply_remove(graph, clustering, *id, cid);
+                        clustering.remove_object(*id).expect("object present");
+                    }
+                    graph.remove_object(*id);
+                }
+                Operation::Update { id, record } => {
+                    if let Some(cid) = clustering.cluster_of(*id) {
+                        self.apply_remove(graph, clustering, *id, cid);
+                        clustering.remove_object(*id).expect("object present");
+                    }
+                    graph.update_object(*id, record.clone());
+                    if graph.contains(*id) {
+                        let _ = clustering
+                            .create_cluster([*id])
+                            .expect("object just removed");
+                        self.apply_add(graph, clustering, *id);
+                        isolated.push(*id);
+                    }
+                }
+            }
+        }
+        isolated
+    }
+
+    // ------------------------------------------------------------------
+    // Internal bookkeeping
+    // ------------------------------------------------------------------
+
+    fn add_inter(&mut self, a: ClusterId, b: ClusterId, s: f64) {
+        if s == 0.0 || a == b {
+            return;
+        }
+        *self.inter.entry(a).or_default().entry(b).or_insert(0.0) += s;
+        *self.inter.entry(b).or_default().entry(a).or_insert(0.0) += s;
+    }
+
+    fn sub_inter(&mut self, a: ClusterId, b: ClusterId, s: f64) {
+        if s == 0.0 || a == b {
+            return;
+        }
+        let mut prune = false;
+        if let Some(v) = self.inter.get_mut(&a).and_then(|m| m.get_mut(&b)) {
+            *v -= s;
+            prune = v.abs() < RESIDUE_EPSILON;
+        }
+        if let Some(v) = self.inter.get_mut(&b).and_then(|m| m.get_mut(&a)) {
+            *v -= s;
+        }
+        if prune {
+            if let Some(m) = self.inter.get_mut(&a) {
+                m.remove(&b);
+            }
+            if let Some(m) = self.inter.get_mut(&b) {
+                m.remove(&a);
+            }
+        }
+    }
+
+    fn sub_intra(&mut self, cid: ClusterId, s: f64) {
+        if let Some(v) = self.intra.get_mut(&cid) {
+            *v -= s;
+            if v.abs() < RESIDUE_EPSILON {
+                *v = 0.0;
+            }
+        }
+    }
+
+    fn drop_cluster(&mut self, cid: ClusterId) {
+        self.intra.remove(&cid);
+        self.sizes.remove(&cid);
+        if let Some(m) = self.inter.remove(&cid) {
+            for x in m.keys() {
+                if let Some(mx) = self.inter.get_mut(x) {
+                    mx.remove(&cid);
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Member-set and per-object quantities (direct graph walks)
+    // ------------------------------------------------------------------
 
     /// Sum of pairwise similarities inside an explicit member set (used for
     /// hypothetical clusters that are not part of the clustering yet).
@@ -74,15 +638,24 @@ impl<'a> ClusterAggregates<'a> {
         sum
     }
 
-    /// Average pairwise similarity inside the cluster.  Singleton clusters
-    /// are defined to have cohesion 1 (they cannot be any more cohesive),
-    /// which keeps the feature `f1 ∈ [0, 1]` of §5.2 well defined for the
-    /// fresh singleton clusters created by initial processing (§6.1).
-    pub fn intra_avg(&self, cid: ClusterId) -> f64 {
-        let Some(cluster) = self.clustering.cluster(cid) else {
-            return 0.0;
+    /// Sum of stored similarities between two explicit member sets, walking
+    /// the smaller side's edges (the spot query used when no materialized
+    /// state is available for the pair).
+    pub fn inter_sum_of_members(graph: &SimilarityGraph, ca: &Cluster, cb: &Cluster) -> f64 {
+        let (small, large) = if ca.len() <= cb.len() {
+            (ca, cb)
+        } else {
+            (cb, ca)
         };
-        Self::intra_avg_of_members(self.graph, cluster)
+        let mut sum = 0.0;
+        for o in small.iter() {
+            for (n, sim) in graph.neighbors(o) {
+                if large.contains(n) {
+                    sum += sim;
+                }
+            }
+        }
+        sum
     }
 
     /// Average pairwise similarity inside an explicit member set.
@@ -95,108 +668,16 @@ impl<'a> ClusterAggregates<'a> {
         Self::intra_sum_of_members(graph, cluster) / pairs
     }
 
-    // ------------------------------------------------------------------
-    // Inter-cluster quantities
-    // ------------------------------------------------------------------
-
-    /// Sum of similarities across two distinct clusters (`S_inter(C, C')`).
-    pub fn inter_sum(&self, a: ClusterId, b: ClusterId) -> f64 {
-        if a == b {
-            return 0.0;
-        }
-        let (Some(ca), Some(cb)) = (self.clustering.cluster(a), self.clustering.cluster(b)) else {
-            return 0.0;
-        };
-        // Walk the smaller cluster's edges.
-        let (small, large) = if ca.len() <= cb.len() {
-            (ca, cb)
-        } else {
-            (cb, ca)
-        };
-        let mut sum = 0.0;
-        for o in small.iter() {
-            for (n, sim) in self.graph.neighbors(o) {
-                if large.contains(n) {
-                    sum += sim;
-                }
-            }
-        }
-        sum
-    }
-
-    /// Average similarity across two distinct clusters (sum divided by the
-    /// number of cross pairs `|C|·|C'|`).
-    pub fn inter_avg(&self, a: ClusterId, b: ClusterId) -> f64 {
-        if a == b {
-            return 0.0;
-        }
-        let (Some(ca), Some(cb)) = (self.clustering.cluster(a), self.clustering.cluster(b)) else {
-            return 0.0;
-        };
-        let pairs = (ca.len() * cb.len()) as f64;
-        if pairs == 0.0 {
-            0.0
-        } else {
-            self.inter_sum(a, b) / pairs
-        }
-    }
-
-    /// Per-neighbour-cluster sums of cross-edge similarity for cluster `cid`:
-    /// `neighbour cluster id → Σ sim` over stored edges leaving the cluster.
-    pub fn neighbour_cluster_sums(&self, cid: ClusterId) -> BTreeMap<ClusterId, f64> {
-        let mut sums: BTreeMap<ClusterId, f64> = BTreeMap::new();
-        let Some(cluster) = self.clustering.cluster(cid) else {
-            return sums;
-        };
-        for o in cluster.iter() {
-            for (n, sim) in self.graph.neighbors(o) {
-                if let Some(other) = self.clustering.cluster_of(n) {
-                    if other != cid {
-                        *sums.entry(other).or_insert(0.0) += sim;
-                    }
-                }
-            }
-        }
-        sums
-    }
-
-    /// Clusters that share at least one stored edge with `cid`.
-    pub fn neighbour_clusters(&self, cid: ClusterId) -> Vec<ClusterId> {
-        self.neighbour_cluster_sums(cid).into_keys().collect()
-    }
-
-    /// The maximal *average* inter-similarity between `cid` and any other
-    /// cluster, together with the neighbour attaining it (`f2` and the source
-    /// of `f4` of §5.2).  Returns `None` when the cluster has no cross edges.
-    pub fn max_inter_avg(&self, cid: ClusterId) -> Option<(ClusterId, f64)> {
-        let size = self.clustering.cluster_size(cid);
-        if size == 0 {
-            return None;
-        }
-        let mut best: Option<(ClusterId, f64)> = None;
-        for (other, sum) in self.neighbour_cluster_sums(cid) {
-            let other_size = self.clustering.cluster_size(other);
-            if other_size == 0 {
-                continue;
-            }
-            let avg = sum / (size * other_size) as f64;
-            match best {
-                Some((_, b)) if b >= avg => {}
-                _ => best = Some((other, avg)),
-            }
-        }
-        best
-    }
-
-    // ------------------------------------------------------------------
-    // Per-object quantities
-    // ------------------------------------------------------------------
-
     /// Average similarity between object `oid` and the *other* members of
     /// cluster `cid`.  Returns 1 when the cluster is a singleton (the object
     /// is trivially cohesive with itself).
-    pub fn object_cohesion(&self, oid: ObjectId, cid: ClusterId) -> f64 {
-        let Some(cluster) = self.clustering.cluster(cid) else {
+    pub fn object_cohesion(
+        graph: &SimilarityGraph,
+        clustering: &Clustering,
+        oid: ObjectId,
+        cid: ClusterId,
+    ) -> f64 {
+        let Some(cluster) = clustering.cluster(cid) else {
             return 0.0;
         };
         let others = cluster.len().saturating_sub(1);
@@ -204,7 +685,7 @@ impl<'a> ClusterAggregates<'a> {
             return 1.0;
         }
         let mut sum = 0.0;
-        for (n, sim) in self.graph.neighbors(oid) {
+        for (n, sim) in graph.neighbors(oid) {
             if n != oid && cluster.contains(n) {
                 sum += sim;
             }
@@ -215,19 +696,28 @@ impl<'a> ClusterAggregates<'a> {
     /// The split-heuristic weight of §6.3: how *different* the object is from
     /// the rest of its cluster, `1 − object_cohesion`.  Larger weight ⇒ split
     /// out first.
-    pub fn split_weight(&self, oid: ObjectId, cid: ClusterId) -> f64 {
-        1.0 - self.object_cohesion(oid, cid)
+    pub fn split_weight(
+        graph: &SimilarityGraph,
+        clustering: &Clustering,
+        oid: ObjectId,
+        cid: ClusterId,
+    ) -> f64 {
+        1.0 - Self::object_cohesion(graph, clustering, oid, cid)
     }
 
     /// Members of cluster `cid` ranked by decreasing split weight (most
     /// different first), as required by step 1 of the split heuristic.
-    pub fn members_by_split_weight(&self, cid: ClusterId) -> Vec<(ObjectId, f64)> {
-        let Some(cluster) = self.clustering.cluster(cid) else {
+    pub fn members_by_split_weight(
+        graph: &SimilarityGraph,
+        clustering: &Clustering,
+        cid: ClusterId,
+    ) -> Vec<(ObjectId, f64)> {
+        let Some(cluster) = clustering.cluster(cid) else {
             return Vec::new();
         };
         let mut weighted: Vec<(ObjectId, f64)> = cluster
             .iter()
-            .map(|o| (o, self.split_weight(o, cid)))
+            .map(|o| (o, Self::split_weight(graph, clustering, o, cid)))
             .collect();
         weighted.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
         weighted
@@ -235,15 +725,20 @@ impl<'a> ClusterAggregates<'a> {
 
     /// Average similarity between one object and every member of a *different*
     /// cluster (used when deciding which cluster a new object should join).
-    pub fn object_to_cluster_avg(&self, oid: ObjectId, cid: ClusterId) -> f64 {
-        let Some(cluster) = self.clustering.cluster(cid) else {
+    pub fn object_to_cluster_avg(
+        graph: &SimilarityGraph,
+        clustering: &Clustering,
+        oid: ObjectId,
+        cid: ClusterId,
+    ) -> f64 {
+        let Some(cluster) = clustering.cluster(cid) else {
             return 0.0;
         };
         if cluster.is_empty() {
             return 0.0;
         }
         let mut sum = 0.0;
-        for (n, sim) in self.graph.neighbors(oid) {
+        for (n, sim) in graph.neighbors(oid) {
             if cluster.contains(n) && n != oid {
                 sum += sim;
             }
@@ -340,7 +835,10 @@ mod tests {
         let agg = ClusterAggregates::new(&graph, &clustering);
         let c = clustering.cluster_of(oid(1)).unwrap();
         assert_eq!(agg.intra_avg(c), 1.0);
-        assert_eq!(agg.object_cohesion(oid(1), c), 1.0);
+        assert_eq!(
+            ClusterAggregates::object_cohesion(&graph, &clustering, oid(1), c),
+            1.0
+        );
     }
 
     #[test]
@@ -381,10 +879,12 @@ mod tests {
         let (graph, _) = figure1_setup();
         let clustering =
             Clustering::from_groups([vec![oid(1), oid(2), oid(3), oid(4)], vec![oid(5)]]).unwrap();
-        let agg = ClusterAggregates::new(&graph, &clustering);
         let big = clustering.cluster_of(oid(1)).unwrap();
-        assert!(agg.object_cohesion(oid(1), big) > agg.object_cohesion(oid(4), big));
-        let ranked = agg.members_by_split_weight(big);
+        assert!(
+            ClusterAggregates::object_cohesion(&graph, &clustering, oid(1), big)
+                > ClusterAggregates::object_cohesion(&graph, &clustering, oid(4), big)
+        );
+        let ranked = ClusterAggregates::members_by_split_weight(&graph, &clustering, big);
         assert_eq!(ranked.first().unwrap().0, oid(4), "outlier ranks first");
         assert!(ranked.first().unwrap().1 > ranked.last().unwrap().1);
     }
@@ -392,13 +892,18 @@ mod tests {
     #[test]
     fn object_to_cluster_avg_for_external_object() {
         let (graph, clustering) = figure1_setup();
-        let agg = ClusterAggregates::new(&graph, &clustering);
         let c1 = clustering.cluster_of(oid(1)).unwrap();
         let c2 = clustering.cluster_of(oid(4)).unwrap();
         // r3 belongs to C1, so against C1 it averages over the other 2 members.
-        assert!((agg.object_to_cluster_avg(oid(3), c1) - 0.9).abs() < 1e-9);
+        assert!(
+            (ClusterAggregates::object_to_cluster_avg(&graph, &clustering, oid(3), c1) - 0.9).abs()
+                < 1e-9
+        );
         // Against C2 it has no edges.
-        assert_eq!(agg.object_to_cluster_avg(oid(3), c2), 0.0);
+        assert_eq!(
+            ClusterAggregates::object_to_cluster_avg(&graph, &clustering, oid(3), c2),
+            0.0
+        );
     }
 
     #[test]
@@ -410,7 +915,9 @@ mod tests {
         assert_eq!(agg.intra_avg(missing), 0.0);
         assert_eq!(agg.inter_avg(missing, missing), 0.0);
         assert!(agg.max_inter_avg(missing).is_none());
-        assert!(agg.members_by_split_weight(missing).is_empty());
+        assert!(
+            ClusterAggregates::members_by_split_weight(&graph, &clustering, missing).is_empty()
+        );
     }
 
     #[test]
@@ -423,5 +930,76 @@ mod tests {
         );
         let avg = ClusterAggregates::intra_avg_of_members(&graph, &hypothetical);
         assert!((avg - 0.3).abs() < 1e-9);
+        // Member-set inter sum: {1,2} vs {3} crosses the (1,3) and (2,3)
+        // edges at 0.9 each.
+        let left = Cluster::from_members([oid(1), oid(2)]);
+        let right = Cluster::from_members([oid(3)]);
+        assert!(
+            (ClusterAggregates::inter_sum_of_members(&graph, &left, &right) - 1.8).abs() < 1e-9
+        );
+    }
+
+    #[test]
+    fn apply_merge_matches_rebuild() {
+        let (graph, mut clustering) = figure1_setup();
+        let mut agg = ClusterAggregates::new(&graph, &clustering);
+        let c1 = clustering.cluster_of(oid(1)).unwrap();
+        let c2 = clustering.cluster_of(oid(4)).unwrap();
+        let merged = clustering.merge(c1, c2).unwrap();
+        agg.apply_merge(c1, c2, merged);
+        let rebuilt = ClusterAggregates::new(&graph, &clustering);
+        assert_eq!(agg.cluster_ids(), rebuilt.cluster_ids());
+        assert!((agg.intra_sum(merged) - rebuilt.intra_sum(merged)).abs() < 1e-9);
+        assert_eq!(agg.cluster_size(merged), 5);
+        assert!(!agg.contains_cluster(c1));
+    }
+
+    #[test]
+    fn apply_split_matches_rebuild() {
+        let (graph, _) = figure1_setup();
+        let mut clustering =
+            Clustering::from_groups([vec![oid(1), oid(2), oid(3), oid(4), oid(5)]]).unwrap();
+        let mut agg = ClusterAggregates::new(&graph, &clustering);
+        let big = clustering.cluster_of(oid(1)).unwrap();
+        let part: BTreeSet<ObjectId> = [oid(4), oid(5)].into_iter().collect();
+        let (p, r) = clustering.split(big, &part).unwrap();
+        agg.apply_split(&graph, &clustering, big, p, r);
+        let rebuilt = ClusterAggregates::new(&graph, &clustering);
+        for cid in rebuilt.cluster_ids() {
+            assert!((agg.intra_sum(cid) - rebuilt.intra_sum(cid)).abs() < 1e-9);
+            assert_eq!(agg.cluster_size(cid), rebuilt.cluster_size(cid));
+        }
+        assert_eq!(agg.neighbour_clusters(p), rebuilt.neighbour_clusters(p));
+    }
+
+    #[test]
+    fn apply_move_matches_rebuild_and_drops_empty_source() {
+        let (graph, _) = figure1_setup();
+        let mut clustering =
+            Clustering::from_groups([vec![oid(1), oid(2)], vec![oid(3)], vec![oid(4), oid(5)]])
+                .unwrap();
+        let mut agg = ClusterAggregates::new(&graph, &clustering);
+        let c12 = clustering.cluster_of(oid(1)).unwrap();
+        let c3 = clustering.cluster_of(oid(3)).unwrap();
+        clustering.move_object(oid(3), c12).unwrap();
+        agg.apply_move(&graph, &clustering, oid(3), c3, c12);
+        let rebuilt = ClusterAggregates::new(&graph, &clustering);
+        assert!(!agg.contains_cluster(c3), "empty source cluster is dropped");
+        for cid in rebuilt.cluster_ids() {
+            assert!((agg.intra_sum(cid) - rebuilt.intra_sum(cid)).abs() < 1e-9);
+            assert_eq!(agg.cluster_size(cid), rebuilt.cluster_size(cid));
+            assert_eq!(agg.neighbour_clusters(cid), rebuilt.neighbour_clusters(cid));
+        }
+    }
+
+    #[test]
+    fn full_build_counter_increments_per_build() {
+        let (graph, clustering) = figure1_setup();
+        let before = full_build_count();
+        let _a = ClusterAggregates::new(&graph, &clustering);
+        let _b = ClusterAggregates::new(&graph, &clustering);
+        assert_eq!(full_build_count() - before, 2);
+        let _c = ClusterAggregates::empty();
+        assert_eq!(full_build_count() - before, 2, "empty() is not a build");
     }
 }

@@ -20,7 +20,10 @@
 //! * [`aggregates`] — the cluster-level quantities the paper's features and
 //!   objectives are built from: average intra-cluster similarity, average
 //!   inter-cluster similarity between cluster pairs, maximal inter-cluster
-//!   similarity, and per-object cohesion weights.
+//!   similarity, and per-object cohesion weights.  The aggregates are an
+//!   owned, materialized structure maintained *incrementally* (O(degree)
+//!   per merge / split / move / workload operation) so the serving hot path
+//!   never rebuilds them per candidate.
 
 #![deny(missing_docs)]
 #![deny(rustdoc::broken_intra_doc_links)]
@@ -32,7 +35,7 @@ pub mod graph;
 pub mod measures;
 pub mod text;
 
-pub use aggregates::ClusterAggregates;
+pub use aggregates::{full_build_count, ClusterAggregates};
 pub use blocking::{BlockingStrategy, GridBlocking, TokenBlocking};
 pub use graph::{GraphConfig, SimilarityGraph};
 pub use measures::{

@@ -1,0 +1,255 @@
+//! Property-test harness for the incremental [`ClusterAggregates`]: after an
+//! arbitrary sequence of merge / split / move / add / remove / update
+//! operations, every materialized aggregate field must equal a from-scratch
+//! [`ClusterAggregates::new`] rebuild to 1e-9 (mirroring the dc-objective
+//! delta-vs-recompute proptests).
+
+use dc_similarity::blocking::ExhaustiveBlocking;
+use dc_similarity::fixtures::{fixture_record, EdgeTableMeasure};
+use dc_similarity::{ClusterAggregates, GraphConfig, SimilarityGraph};
+use dc_types::{Clustering, ObjectId, Operation, OperationBatch};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+
+const TOLERANCE: f64 = 1e-9;
+/// Objects 1..=LIVE start in the graph; ids above LIVE arrive via `Add`.
+const LIVE: u64 = 14;
+const UNIVERSE: u64 = 22;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Merge(usize, usize),
+    Isolate(usize),
+    SplitHalf(usize),
+    Move(usize, usize),
+    Add(u64),
+    Remove(usize),
+    Update(usize),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0usize..32, 0usize..32).prop_map(|(a, b)| Op::Merge(a, b)),
+        (0usize..32).prop_map(Op::Isolate),
+        (0usize..32).prop_map(Op::SplitHalf),
+        (0usize..32, 0usize..32).prop_map(|(a, b)| Op::Move(a, b)),
+        (1u64..=UNIVERSE).prop_map(Op::Add),
+        (0usize..32).prop_map(Op::Remove),
+        (0usize..32).prop_map(Op::Update),
+    ]
+}
+
+fn arbitrary_edges() -> impl Strategy<Value = Vec<(u64, u64, f64)>> {
+    proptest::collection::vec(
+        (1u64..=UNIVERSE, 1u64..=UNIVERSE, 0.05f64..1.0)
+            .prop_filter("no self loops", |(a, b, _)| a != b),
+        0..60,
+    )
+}
+
+/// A graph whose edge weights come from an explicit table, over the initial
+/// live objects, so that added objects connect according to the same table.
+fn build_graph(edges: &[(u64, u64, f64)]) -> SimilarityGraph {
+    let measure = EdgeTableMeasure::from_edges(edges);
+    let config = GraphConfig::new(Box::new(measure), Box::new(ExhaustiveBlocking::new()), 0.0);
+    let mut graph = SimilarityGraph::empty(config);
+    for id in 1..=LIVE {
+        graph.add_object(ObjectId::new(id), fixture_record(id));
+    }
+    graph
+}
+
+fn clustering_from_assignment(graph: &SimilarityGraph, assignment: &[u64]) -> Clustering {
+    let mut groups: BTreeMap<u64, Vec<ObjectId>> = BTreeMap::new();
+    for (i, &g) in assignment.iter().enumerate() {
+        let id = ObjectId::new(i as u64 + 1);
+        if graph.contains(id) {
+            groups.entry(g).or_default().push(id);
+        }
+    }
+    Clustering::from_groups(groups.into_values()).unwrap()
+}
+
+/// Every materialized field of `agg` equals a from-scratch rebuild to 1e-9.
+fn assert_matches_rebuild(
+    agg: &ClusterAggregates,
+    graph: &SimilarityGraph,
+    clustering: &Clustering,
+) {
+    let rebuilt = ClusterAggregates::new(graph, clustering);
+    prop_assert_eq!(agg.cluster_ids(), rebuilt.cluster_ids(), "cluster id sets");
+    for cid in rebuilt.cluster_ids() {
+        prop_assert_eq!(
+            agg.cluster_size(cid),
+            rebuilt.cluster_size(cid),
+            "size {}",
+            cid
+        );
+        prop_assert!(
+            (agg.intra_sum(cid) - rebuilt.intra_sum(cid)).abs() < TOLERANCE,
+            "intra_sum {}: {} vs {}",
+            cid,
+            agg.intra_sum(cid),
+            rebuilt.intra_sum(cid)
+        );
+        prop_assert!(
+            (agg.intra_avg(cid) - rebuilt.intra_avg(cid)).abs() < TOLERANCE,
+            "intra_avg {}",
+            cid
+        );
+        // Neighbour-cluster sums: union of both key sets, missing = 0.
+        let a: BTreeMap<_, _> = agg.neighbour_cluster_sums(cid).collect();
+        let b: BTreeMap<_, _> = rebuilt.neighbour_cluster_sums(cid).collect();
+        for other in a.keys().chain(b.keys()) {
+            let va = a.get(other).copied().unwrap_or(0.0);
+            let vb = b.get(other).copied().unwrap_or(0.0);
+            prop_assert!(
+                (va - vb).abs() < TOLERANCE,
+                "inter sum {} -> {}: {} vs {}",
+                cid,
+                other,
+                va,
+                vb
+            );
+            prop_assert!(
+                (agg.inter_avg(cid, *other) - rebuilt.inter_avg(cid, *other)).abs() < TOLERANCE,
+                "inter_avg {} -> {}",
+                cid,
+                other
+            );
+        }
+        // The maximal average inter-similarity (feature f2) must agree in
+        // value; the attaining neighbour may differ only on exact ties.
+        let ma = agg.max_inter_avg(cid).map(|(_, v)| v).unwrap_or(0.0);
+        let mb = rebuilt.max_inter_avg(cid).map(|(_, v)| v).unwrap_or(0.0);
+        prop_assert!((ma - mb).abs() < TOLERANCE, "max_inter_avg {}", cid);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn incremental_aggregates_match_rebuild_under_random_operations(
+        edges in arbitrary_edges(),
+        assignment in proptest::collection::vec(0u64..5, LIVE as usize),
+        ops in proptest::collection::vec(op_strategy(), 1..40),
+    ) {
+        let mut graph = build_graph(&edges);
+        let mut clustering = clustering_from_assignment(&graph, &assignment);
+        let mut agg = ClusterAggregates::new(&graph, &clustering);
+        assert_matches_rebuild(&agg, &graph, &clustering);
+
+        for op in ops {
+            let cids = clustering.cluster_ids();
+            let oids = clustering.object_ids();
+            match op {
+                Op::Merge(a, b) => {
+                    if cids.len() >= 2 {
+                        let a = cids[a % cids.len()];
+                        let b = cids[b % cids.len()];
+                        if a != b {
+                            let merged = clustering.merge(a, b).unwrap();
+                            agg.apply_merge(a, b, merged);
+                        }
+                    }
+                }
+                Op::Isolate(i) => {
+                    if oids.is_empty() { continue; }
+                    let o = oids[i % oids.len()];
+                    let cid = clustering.cluster_of(o).unwrap();
+                    if clustering.cluster_size(cid) >= 2 {
+                        let part: BTreeSet<ObjectId> = [o].into_iter().collect();
+                        let (p, r) = clustering.split(cid, &part).unwrap();
+                        agg.apply_split(&graph, &clustering, cid, p, r);
+                    }
+                }
+                Op::SplitHalf(i) => {
+                    if cids.is_empty() { continue; }
+                    let cid = cids[i % cids.len()];
+                    let members: Vec<ObjectId> =
+                        clustering.cluster(cid).unwrap().iter().collect();
+                    if members.len() >= 2 {
+                        let part: BTreeSet<ObjectId> =
+                            members[..members.len() / 2].iter().copied().collect();
+                        let (p, r) = clustering.split(cid, &part).unwrap();
+                        agg.apply_split(&graph, &clustering, cid, p, r);
+                    }
+                }
+                Op::Move(i, j) => {
+                    if oids.is_empty() || cids.is_empty() { continue; }
+                    let o = oids[i % oids.len()];
+                    let target = cids[j % cids.len()];
+                    let source = clustering.cluster_of(o).unwrap();
+                    if source != target && clustering.contains_cluster(target) {
+                        clustering.move_object(o, target).unwrap();
+                        agg.apply_move(&graph, &clustering, o, source, target);
+                    }
+                }
+                Op::Add(raw) => {
+                    // May be a fresh arrival or a re-add of a live object;
+                    // apply_batch handles both.
+                    let mut batch = OperationBatch::new();
+                    batch.push(Operation::Add {
+                        id: ObjectId::new(raw),
+                        record: fixture_record(raw),
+                    });
+                    agg.apply_batch(&mut graph, &mut clustering, &batch);
+                }
+                Op::Remove(i) => {
+                    if oids.is_empty() { continue; }
+                    let o = oids[i % oids.len()];
+                    let mut batch = OperationBatch::new();
+                    batch.push(Operation::Remove { id: o });
+                    agg.apply_batch(&mut graph, &mut clustering, &batch);
+                }
+                Op::Update(i) => {
+                    if oids.is_empty() { continue; }
+                    let o = oids[i % oids.len()];
+                    let mut batch = OperationBatch::new();
+                    batch.push(Operation::Update {
+                        id: o,
+                        record: fixture_record(o.raw()),
+                    });
+                    agg.apply_batch(&mut graph, &mut clustering, &batch);
+                }
+            }
+            prop_assert!(clustering.check_invariants().is_ok());
+            assert_matches_rebuild(&agg, &graph, &clustering);
+        }
+    }
+
+    /// `apply_batch` over a whole multi-operation batch (not op-by-op) also
+    /// lands on the rebuilt state, and reports the isolated ids like the
+    /// initial-processing step does.
+    #[test]
+    fn apply_batch_matches_rebuild(
+        edges in arbitrary_edges(),
+        assignment in proptest::collection::vec(0u64..4, LIVE as usize),
+        arrivals in proptest::collection::vec(1u64..=UNIVERSE, 1..8),
+    ) {
+        let mut graph = build_graph(&edges);
+        let mut clustering = clustering_from_assignment(&graph, &assignment);
+        let mut agg = ClusterAggregates::new(&graph, &clustering);
+
+        let mut batch = OperationBatch::new();
+        for raw in arrivals {
+            batch.push(Operation::Add {
+                id: ObjectId::new(raw),
+                record: fixture_record(raw),
+            });
+        }
+        let isolated = agg.apply_batch(&mut graph, &mut clustering, &batch);
+        // Every genuinely new object must be isolated into a singleton.
+        for id in &isolated {
+            prop_assert!(clustering.cluster_of(*id).is_some());
+            prop_assert!(clustering
+                .cluster(clustering.cluster_of(*id).unwrap())
+                .unwrap()
+                .is_singleton());
+        }
+        prop_assert!(clustering.check_invariants().is_ok());
+        assert_matches_rebuild(&agg, &graph, &clustering);
+    }
+}

@@ -78,7 +78,9 @@ pub mod prelude {
         BatchClusterer, BatchOutcome, Dbscan, DbscanConfig, HillClimbing, HillClimbingConfig,
         KMeans, KMeansConfig,
     };
-    pub use dc_core::{train_on_workload, DynamicC, DynamicCConfig, TrainingReport};
+    pub use dc_core::{
+        train_on_workload, DynamicC, DynamicCConfig, Engine, RoundReport, TrainingReport,
+    };
     pub use dc_datagen::{
         ground_truth, AccessLikeGenerator, CoraLikeGenerator, DuplicateDistribution,
         DynamicWorkload, FebrlLikeGenerator, MusicLikeGenerator, RoadLikeGenerator, WorkloadConfig,
@@ -87,9 +89,9 @@ pub mod prelude {
     pub use dc_ml::{BinaryClassifier, ModelKind};
     pub use dc_objective::{
         CorrelationObjective, DbIndexObjective, DensityObjective, KMeansObjective,
-        ObjectiveFunction,
+        ObjectiveFunction, SlowPathObjective,
     };
-    pub use dc_similarity::{GraphConfig, SimilarityGraph, SimilarityMeasure};
+    pub use dc_similarity::{ClusterAggregates, GraphConfig, SimilarityGraph, SimilarityMeasure};
     pub use dc_types::{
         Clustering, Dataset, ObjectId, Operation, OperationBatch, Record, RecordBuilder, Snapshot,
     };
