@@ -20,7 +20,10 @@
 //!   bench-serving  emit BENCH_dynamic_serving.json (ops/sec, comparisons,
 //!                  aggregate-build counts per fixture scenario; --out <path>
 //!                  overrides the output file)
-//!   all      everything above except bench-serving
+//!   bench-durability  emit BENCH_durability.json (WAL append ops/sec,
+//!                  checkpoint seconds, recovery vs full-replay seconds per
+//!                  fixture scenario; --out <path> overrides the output file)
+//!   all      everything above except the bench-* subcommands
 //! ```
 //!
 //! Default scales are laptop-sized; `--scale` multiplies every dataset size
@@ -93,6 +96,47 @@ fn bench_serving(out: Option<String>) {
     let path = out.unwrap_or_else(|| "BENCH_dynamic_serving.json".to_string());
     let json = dc_bench::serving_results_to_json(&results);
     std::fs::write(&path, json).expect("write serving bench output");
+    println!("wrote {path}");
+}
+
+// ---------------------------------------------------------------------------
+// BENCH_durability.json
+// ---------------------------------------------------------------------------
+fn bench_durability(out: Option<String>) {
+    header("BENCH: durability (WAL append, checkpoint, recovery vs full replay)");
+    let results = dc_bench::run_durability_bench();
+    println!(
+        "{:<26} {:>6} {:>8} {:>12} {:>10} {:>12} {:>12} {:>9}",
+        "scenario",
+        "rounds",
+        "ops",
+        "append/sec",
+        "ckpt(ms)",
+        "recover(ms)",
+        "replay(ms)",
+        "speedup"
+    );
+    for r in &results {
+        println!(
+            "{:<26} {:>6} {:>8} {:>12.1} {:>10.3} {:>12.3} {:>12.3} {:>8.1}x",
+            r.name,
+            r.rounds,
+            r.operations,
+            r.wal_appends_per_sec(),
+            r.checkpoint_seconds * 1e3,
+            r.recovery_seconds * 1e3,
+            r.full_replay_seconds * 1e3,
+            r.recovery_speedup(),
+        );
+        assert!(
+            r.recovery_matches,
+            "{}: recovered state diverged from the pre-kill engine",
+            r.name
+        );
+    }
+    let path = out.unwrap_or_else(|| "BENCH_durability.json".to_string());
+    let json = dc_bench::durability_results_to_json(&results);
+    std::fs::write(&path, json).expect("write durability bench output");
     println!("wrote {path}");
 }
 
@@ -489,6 +533,7 @@ fn main() {
     let (command, options, out) = parse_args();
     match command.as_str() {
         "bench-serving" => bench_serving(out),
+        "bench-durability" => bench_durability(out),
         "fig3" => fig3(options),
         "fig5a" => fig5a(options),
         "fig5b" => fig5_density(

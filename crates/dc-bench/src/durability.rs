@@ -1,0 +1,417 @@
+//! The `BENCH_durability` perf baseline: measured costs of the `dc-storage`
+//! durability subsystem around the serving engine.
+//!
+//! The experiments binary (`experiments bench-durability`) serializes
+//! [`run_durability_bench`]'s results to `BENCH_durability.json`.  Four
+//! costs matter for durable serving, and each scenario measures all of
+//! them on a fixture workload:
+//!
+//! * **log append** — the per-round WAL fsync tax, reported as appended
+//!   operations per second;
+//! * **checkpoint** — writing the atomic engine snapshot and pruning the
+//!   obsolete segments;
+//! * **recovery** — reopening the state directory (snapshot load + WAL tail
+//!   replay), with the engine killed one round after its last checkpoint so
+//!   the replayed tail is realistic rather than empty;
+//! * **full replay** — what rebuilding the serving state costs *without*
+//!   the subsystem: re-serve every round from round zero;
+//! * **setup** — the deterministic reconstruction of the open-time inputs
+//!   (graph config + trained models), which a restart pays *either way*
+//!   and which is therefore reported separately and excluded from both
+//!   sides of the headline ratio.
+//!
+//! The headline ratio `full_replay_seconds / recovery_seconds` is the
+//! acceptance criterion of the durability issue: snapshot + tail replay
+//! must recover at least 5x faster than full replay on the db-index
+//! fixture.  `restart_speedup` additionally reports the whole-process view
+//! with the shared setup added to both sides.  Each scenario also
+//! cross-checks that the recovered engine's clustering and counters are
+//! bit-identical to the pre-kill ones (`recovery_matches`), so the speedup
+//! is never bought with wrong state.
+//!
+//! Schema of the emitted JSON (documented in the README):
+//!
+//! ```json
+//! {
+//!   "bench": "durability",
+//!   "scenarios": [
+//!     {
+//!       "name": "...",               // fixture workload + objective
+//!       "objective": "...",
+//!       "rounds": 3,                  // served rounds (after training)
+//!       "operations": 120,            // workload operations served
+//!       "wal_append_seconds": 0.001,  // total durable-append time
+//!       "wal_appends_per_sec": 3000.0,// operations logged per second
+//!       "wal_bytes": 93411,           // bytes appended to the log
+//!       "checkpoint_seconds": 0.004,  // one checkpoint (snapshot + prune)
+//!       "snapshot_bytes": 401220,     // size of the snapshot file
+//!       "setup_seconds": 0.03,        // model reconstruction (paid either way)
+//!       "recovery_seconds": 0.01,     // open(): snapshot load + tail replay
+//!       "replayed_rounds": 1,         // WAL rounds replayed by recovery
+//!       "full_replay_seconds": 1.2,   // re-serve every round from zero
+//!       "recovery_speedup": 120.0,    // full_replay / recovery
+//!       "restart_speedup": 30.0,      // (setup+full_replay) / (setup+recovery)
+//!       "recovery_matches": true      // recovered state is bit-identical
+//!     }
+//!   ]
+//! }
+//! ```
+
+use dc_batch::{BatchClusterer, HillClimbing};
+use dc_core::{train_on_workload, DurabilityOptions, DurableEngine, DynamicC, Engine};
+use dc_datagen::fixtures::{febrl_dataset_with_seed, small_access_workload, FIXTURE_SEED};
+use dc_datagen::{DynamicWorkload, WorkloadConfig};
+use dc_objective::{CorrelationObjective, DbIndexObjective, ObjectiveFunction};
+use dc_similarity::{GraphConfig, SimilarityGraph};
+use dc_types::Clustering;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Measured durability numbers for one fixture scenario.
+#[derive(Debug, Clone)]
+pub struct DurabilityScenarioResult {
+    /// Scenario name (fixture + objective).
+    pub name: String,
+    /// Objective used for search and verification.
+    pub objective: String,
+    /// Served rounds (after the training prefix).
+    pub rounds: usize,
+    /// Total workload operations served (and logged).
+    pub operations: usize,
+    /// Total wall-clock seconds spent in durable WAL appends.
+    pub wal_append_seconds: f64,
+    /// Bytes appended to the WAL across the served rounds.
+    pub wal_bytes: u64,
+    /// Wall-clock seconds for one checkpoint (snapshot write + prune).
+    pub checkpoint_seconds: f64,
+    /// Size of the snapshot file the checkpoint wrote.
+    pub snapshot_bytes: u64,
+    /// Wall-clock seconds to deterministically reconstruct the open-time
+    /// inputs (graph config + trained models) that both a durable restart
+    /// and a full replay must pay before serving.
+    pub setup_seconds: f64,
+    /// Wall-clock seconds for recovery (snapshot load + WAL tail replay).
+    pub recovery_seconds: f64,
+    /// WAL rounds the recovery replayed on top of the snapshot.
+    pub replayed_rounds: usize,
+    /// Wall-clock seconds to rebuild the serving state from round zero
+    /// (initial aggregate build + serving every round), excluding the
+    /// model-reconstruction setup that both alternatives pay.
+    pub full_replay_seconds: f64,
+    /// Whether the recovered engine matched the pre-kill engine bit-for-bit
+    /// (clustering and stats).
+    pub recovery_matches: bool,
+}
+
+impl DurabilityScenarioResult {
+    /// Operations durably logged per second.
+    pub fn wal_appends_per_sec(&self) -> f64 {
+        if self.wal_append_seconds > 0.0 {
+            self.operations as f64 / self.wal_append_seconds
+        } else {
+            0.0
+        }
+    }
+
+    /// How many times faster the durability subsystem's recovery (snapshot
+    /// load + WAL tail replay) is than re-serving every round from round
+    /// zero.  This isolates the subsystem; both alternatives additionally
+    /// pay [`DurabilityScenarioResult::setup_seconds`] to reconstruct the
+    /// trained models — see `restart_speedup` for the whole-restart view.
+    pub fn recovery_speedup(&self) -> f64 {
+        if self.recovery_seconds > 0.0 {
+            self.full_replay_seconds / self.recovery_seconds
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// Whole-process restart speedup: `(setup + full serve from zero)` over
+    /// `(setup + recovery)`.  Lower than `recovery_speedup` because the
+    /// deterministic model reconstruction is paid on both sides.
+    pub fn restart_speedup(&self) -> f64 {
+        let restart = self.setup_seconds + self.recovery_seconds;
+        if restart > 0.0 {
+            (self.setup_seconds + self.full_replay_seconds) / restart
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+fn temp_state_dir(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("dc-bench-durability-{tag}-{}", std::process::id()))
+}
+
+/// Deterministic train-then-previous pipeline shared by the durable run and
+/// the full-replay baseline (this *is* the work full replay has to redo).
+fn trained_setup(
+    workload: &DynamicWorkload,
+    graph_config: impl Fn() -> GraphConfig,
+    objective: Arc<dyn ObjectiveFunction>,
+    train_rounds: usize,
+) -> (SimilarityGraph, Clustering, DynamicC) {
+    let mut graph = SimilarityGraph::build(graph_config(), &workload.initial);
+    let batch = HillClimbing::with_objective(objective.clone());
+    let initial = batch.cluster(&graph).clustering;
+    let mut dynamicc = DynamicC::with_objective(objective);
+    let train = &workload.snapshots[..train_rounds.min(workload.snapshots.len())];
+    let report = train_on_workload(&mut dynamicc, &mut graph, &initial, train, &batch);
+    let previous = report.final_clustering(&initial);
+    (graph, previous, dynamicc)
+}
+
+fn scenario(
+    name: &str,
+    workload: &DynamicWorkload,
+    graph_config: impl Fn() -> GraphConfig + Copy,
+    objective: Arc<dyn ObjectiveFunction>,
+    train_rounds: usize,
+) -> DurabilityScenarioResult {
+    let serve = &workload.snapshots[train_rounds.min(workload.snapshots.len())..];
+    let dir = temp_state_dir(name);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Durable serving run.  Checkpoints are manual so the kill point lands
+    // exactly one round after the last checkpoint — recovery then has a
+    // realistic one-round tail to replay instead of an empty one.
+    let (graph, previous, dynamicc) =
+        trained_setup(workload, graph_config, objective.clone(), train_rounds);
+    let config = graph.config().clone();
+    let options = DurabilityOptions {
+        checkpoint_every_rounds: 0,
+    };
+    let (mut durable, _) =
+        DurableEngine::open(&dir, config, dynamicc, options, move || (graph, previous))
+            .expect("fresh open");
+    let mut operations = 0usize;
+    let mut checkpoint_seconds = 0.0;
+    let mut wal_bytes = 0u64;
+    for (i, snapshot) in serve.iter().enumerate() {
+        operations += snapshot.batch.len();
+        durable.apply_round(&snapshot.batch).expect("apply round");
+        if i + 2 == serve.len() {
+            // Checkpoint after the second-to-last round, so the engine dies
+            // with exactly one logged-but-uncheckpointed round behind it.
+            wal_bytes += durable.wal_bytes(); // segment the rotation retires
+            let started = Instant::now();
+            durable.checkpoint().expect("checkpoint");
+            checkpoint_seconds = started.elapsed().as_secs_f64();
+        }
+    }
+    wal_bytes += durable.wal_bytes();
+    let snapshot_bytes = durable
+        .artifact_paths()
+        .expect("list artifacts")
+        .iter()
+        .filter(|p| p.extension().is_some_and(|e| e == "dcsnap"))
+        .map(|p| std::fs::metadata(p).map(|m| m.len()).unwrap_or(0))
+        .sum();
+    let final_clustering = durable.clustering().clone();
+    let final_stats = *durable.stats();
+    drop(durable); // the kill
+
+    // Isolated WAL-append cost: replay the same batches into a bare log.
+    let append_dir = temp_state_dir(&format!("{name}-append"));
+    let _ = std::fs::remove_dir_all(&append_dir);
+    std::fs::create_dir_all(&append_dir).expect("create append dir");
+    let wal_append_seconds = {
+        let mut wal = dc_storage::Wal::create(&append_dir, 0).expect("create log");
+        let started = Instant::now();
+        for (i, snapshot) in serve.iter().enumerate() {
+            wal.append(&dc_storage::WalRecord {
+                round: i as u64 + 1,
+                batch: snapshot.batch.clone(),
+            })
+            .expect("append");
+        }
+        started.elapsed().as_secs_f64()
+    };
+    let _ = std::fs::remove_dir_all(&append_dir);
+
+    // Recovery: snapshot load + one-round tail replay.  The trained-model
+    // reconstruction is timed separately — a real restart pays it too, but
+    // so does the full-replay alternative, so it belongs to neither ratio's
+    // numerator exclusively.
+    let setup_started = Instant::now();
+    let (graph, _, dynamicc) =
+        trained_setup(workload, graph_config, objective.clone(), train_rounds);
+    let setup_seconds = setup_started.elapsed().as_secs_f64();
+    let config = graph.config().clone();
+    let started = Instant::now();
+    let (recovered, report) = DurableEngine::open(&dir, config, dynamicc, options, || {
+        unreachable!("recovery must not bootstrap")
+    })
+    .expect("recovery");
+    let recovery_seconds = started.elapsed().as_secs_f64();
+    let recovery_matches = recovered
+        .clustering()
+        .delta(&final_clustering)
+        .is_unchanged()
+        && recovered.clustering().cluster_ids() == final_clustering.cluster_ids()
+        && recovered.stats() == &final_stats;
+    let replayed_rounds = report.replayed_rounds;
+    drop(recovered);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Full replay from round zero: what serving state costs to rebuild
+    // without the durability subsystem — batch-cluster the initial data and
+    // re-serve every round (the trained-model setup is timed apart, above,
+    // since a durable restart pays it too).
+    let (graph, previous, dynamicc) =
+        trained_setup(workload, graph_config, objective, train_rounds);
+    let started = Instant::now();
+    let mut engine = Engine::new(graph, previous, dynamicc);
+    for snapshot in serve {
+        engine.apply_round(&snapshot.batch);
+    }
+    let full_replay_seconds = started.elapsed().as_secs_f64();
+
+    DurabilityScenarioResult {
+        name: name.to_string(),
+        objective: engine.dynamicc().objective().name().to_string(),
+        rounds: serve.len(),
+        operations,
+        wal_append_seconds,
+        wal_bytes,
+        checkpoint_seconds,
+        snapshot_bytes,
+        setup_seconds,
+        recovery_seconds,
+        replayed_rounds,
+        full_replay_seconds,
+        recovery_matches,
+    }
+}
+
+/// A longer dynamic workload over the small Febrl fixture dataset: same
+/// data and seed discipline as `small_febrl_workload`, but 10 snapshots, so
+/// "replay everything from round zero" is a realistic restart cost rather
+/// than three rounds.
+fn long_febrl_workload() -> DynamicWorkload {
+    DynamicWorkload::generate(
+        &febrl_dataset_with_seed(FIXTURE_SEED),
+        WorkloadConfig {
+            initial_fraction: 0.35,
+            snapshots: 10,
+            seed: FIXTURE_SEED ^ 0xABCD,
+            ..WorkloadConfig::default()
+        },
+    )
+}
+
+/// Run the durability benchmark over the canned fixture workloads.
+pub fn run_durability_bench() -> Vec<DurabilityScenarioResult> {
+    vec![
+        scenario(
+            "febrl_dbindex_long",
+            &long_febrl_workload(),
+            || GraphConfig::textual_febrl(0.6),
+            Arc::new(DbIndexObjective),
+            2,
+        ),
+        scenario(
+            "access_small_correlation",
+            &small_access_workload(),
+            || GraphConfig::numeric_euclidean(1.8, 4.0, 3, 0.25),
+            Arc::new(CorrelationObjective),
+            2,
+        ),
+    ]
+}
+
+/// Serialize the results to the `BENCH_durability.json` document.
+pub fn durability_results_to_json(results: &[DurabilityScenarioResult]) -> String {
+    let mut out = String::from("{\n  \"bench\": \"durability\",\n  \"scenarios\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        out.push_str(&format!(
+            concat!(
+                "    {{\n",
+                "      \"name\": \"{}\",\n",
+                "      \"objective\": \"{}\",\n",
+                "      \"rounds\": {},\n",
+                "      \"operations\": {},\n",
+                "      \"wal_append_seconds\": {:.6},\n",
+                "      \"wal_appends_per_sec\": {:.2},\n",
+                "      \"wal_bytes\": {},\n",
+                "      \"checkpoint_seconds\": {:.6},\n",
+                "      \"snapshot_bytes\": {},\n",
+                "      \"setup_seconds\": {:.6},\n",
+                "      \"recovery_seconds\": {:.6},\n",
+                "      \"replayed_rounds\": {},\n",
+                "      \"full_replay_seconds\": {:.6},\n",
+                "      \"recovery_speedup\": {:.2},\n",
+                "      \"restart_speedup\": {:.2},\n",
+                "      \"recovery_matches\": {}\n",
+                "    }}{}\n",
+            ),
+            r.name,
+            r.objective,
+            r.rounds,
+            r.operations,
+            r.wal_append_seconds,
+            r.wal_appends_per_sec(),
+            r.wal_bytes,
+            r.checkpoint_seconds,
+            r.snapshot_bytes,
+            r.setup_seconds,
+            r.recovery_seconds,
+            r.replayed_rounds,
+            r.full_replay_seconds,
+            r.recovery_speedup(),
+            r.restart_speedup(),
+            r.recovery_matches,
+            if i + 1 == results.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn durability_bench_recovers_fast_and_exactly() {
+        let results = run_durability_bench();
+        assert_eq!(results.len(), 2);
+        for r in &results {
+            assert!(r.rounds > 0, "{}: no served rounds", r.name);
+            assert!(r.operations > 0, "{}: no operations", r.name);
+            assert!(r.wal_bytes > 0, "{}: nothing was logged", r.name);
+            assert!(r.snapshot_bytes > 0, "{}: no snapshot", r.name);
+            assert_eq!(
+                r.replayed_rounds, 1,
+                "{}: the kill point must leave a one-round tail",
+                r.name
+            );
+            assert!(
+                r.recovery_matches,
+                "{}: recovered state must be bit-identical",
+                r.name
+            );
+        }
+        // Acceptance criterion: snapshot + tail replay recovers at least 5x
+        // faster than a full replay from round zero on the db-index fixture.
+        let dbindex = &results[0];
+        assert!(
+            dbindex.recovery_speedup() >= 5.0,
+            "{}: recovery speedup {:.1} < 5",
+            dbindex.name,
+            dbindex.recovery_speedup()
+        );
+        assert!(
+            dbindex.restart_speedup() > 1.0,
+            "{}: a durable restart must beat a full replay end to end \
+             (restart speedup {:.2})",
+            dbindex.name,
+            dbindex.restart_speedup()
+        );
+        let json = durability_results_to_json(&results);
+        assert!(json.contains("\"bench\": \"durability\""));
+        assert!(json.contains("recovery_speedup"));
+        assert!(json.contains("\"recovery_matches\": true"));
+    }
+}

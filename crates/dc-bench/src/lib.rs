@@ -13,8 +13,10 @@
 
 #![deny(rustdoc::broken_intra_doc_links)]
 
+pub mod durability;
 pub mod scenario;
 pub mod serving;
 
+pub use durability::{durability_results_to_json, run_durability_bench, DurabilityScenarioResult};
 pub use scenario::{DatasetFamily, MethodKind, RoundResult, RunSummary, Scenario, ScenarioConfig};
 pub use serving::{run_dynamic_serving_bench, serving_results_to_json, ServingScenarioResult};

@@ -38,7 +38,7 @@ use dc_core::{train_on_workload, DynamicC, Engine};
 use dc_datagen::fixtures::{small_access_workload, small_febrl_workload};
 use dc_datagen::DynamicWorkload;
 use dc_objective::{CorrelationObjective, DbIndexObjective, ObjectiveFunction, SlowPathObjective};
-use dc_similarity::{full_build_count, GraphConfig, SimilarityGraph};
+use dc_similarity::{BuildCounter, GraphConfig, SimilarityGraph};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -127,15 +127,15 @@ fn scenario(
     let stats_before = *fast.stats();
     let comparisons_before = graph.comparisons();
     let mut engine = Engine::new(graph, previous, fast);
-    let builds_before = full_build_count();
     let started = Instant::now();
     let mut operations = 0usize;
-    for snapshot in serve {
-        operations += snapshot.batch.len();
-        engine.apply_round(&snapshot.batch);
-    }
+    let ((), aggregate_full_builds) = BuildCounter::scope(|| {
+        for snapshot in serve {
+            operations += snapshot.batch.len();
+            engine.apply_round(&snapshot.batch);
+        }
+    });
     let seconds = started.elapsed().as_secs_f64();
-    let aggregate_full_builds = full_build_count() - builds_before;
     let stats = engine.stats();
     let merges_applied = stats.merges_applied - stats_before.merges_applied;
     let splits_applied = stats.splits_applied - stats_before.splits_applied;
@@ -143,18 +143,18 @@ fn scenario(
     let comparisons = engine.graph().comparisons() - comparisons_before;
 
     // Rebuild-per-delta reference: same rounds through the slow twin.
-    let slow_builds_before = full_build_count();
-    let mut slow_prev = slow_previous;
-    for snapshot in serve {
-        slow_graph.apply_batch(&snapshot.batch);
-        slow_prev = dc_baselines::IncrementalClusterer::recluster(
-            &mut slow,
-            &slow_graph,
-            &slow_prev,
-            &snapshot.batch,
-        );
-    }
-    let slow_path_full_builds = full_build_count() - slow_builds_before;
+    let (_, slow_path_full_builds) = BuildCounter::scope(|| {
+        let mut slow_prev = slow_previous;
+        for snapshot in serve {
+            slow_graph.apply_batch(&snapshot.batch);
+            slow_prev = dc_baselines::IncrementalClusterer::recluster(
+                &mut slow,
+                &slow_graph,
+                &slow_prev,
+                &snapshot.batch,
+            );
+        }
+    });
 
     ServingScenarioResult {
         name: name.to_string(),

@@ -61,6 +61,14 @@ impl DynamicC {
         &self.stats
     }
 
+    /// Overwrite the cumulative statistics.  Crash recovery uses this: the
+    /// durable engine restores the counters recorded in the snapshot before
+    /// replaying the WAL tail, so a recovered engine's statistics match a
+    /// never-restarted one's exactly.
+    pub fn restore_stats(&mut self, stats: DynamicCStats) {
+        self.stats = stats;
+    }
+
     /// The model pair (exposed for the ML-evaluation experiments of §7.3).
     pub fn models(&self) -> &ModelPair {
         &self.models

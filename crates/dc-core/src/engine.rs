@@ -79,6 +79,30 @@ impl Engine {
         }
     }
 
+    /// Reassemble an engine from recovered state — the constructor used by
+    /// [`DurableEngine`](crate::DurableEngine) after loading a snapshot.
+    ///
+    /// Unlike [`Engine::new`], **no** full aggregate build is performed: the
+    /// caller vouches that `aggregates` describes `(graph, clustering)`
+    /// exactly (the durability layer restores it bit-for-bit from the
+    /// snapshot, which is what keeps a recovered engine's decisions
+    /// identical to an uninterrupted one's).
+    pub fn from_parts(
+        graph: SimilarityGraph,
+        clustering: Clustering,
+        aggregates: ClusterAggregates,
+        dynamicc: DynamicC,
+        rounds_served: usize,
+    ) -> Self {
+        Engine {
+            graph,
+            clustering,
+            aggregates,
+            dynamicc,
+            rounds_served,
+        }
+    }
+
     /// The owned similarity graph.
     pub fn graph(&self) -> &SimilarityGraph {
         &self.graph

@@ -34,11 +34,17 @@
 //!    full O(E) aggregate rebuild at all — `apply_round(batch)` folds the
 //!    operations into all three states at O(degree) per operation and then
 //!    runs Algorithm 3 against the maintained aggregate.
+//! 5. **Durable serving** ([`durable`]).  The [`DurableEngine`] wraps the
+//!    engine with `dc-storage`'s write-ahead log and snapshot subsystem:
+//!    rounds are logged before they are applied, checkpoints bound recovery
+//!    replay, and a recovered instance is bit-identical to a never-restarted
+//!    one.
 
 #![deny(missing_docs)]
 #![deny(rustdoc::broken_intra_doc_links)]
 
 pub mod config;
+pub mod durable;
 pub mod dynamic;
 pub mod engine;
 pub mod merge;
@@ -47,7 +53,10 @@ pub mod split;
 pub mod trainer;
 
 pub use config::{DynamicCConfig, DynamicCStats};
+pub use durable::{DurabilityOptions, DurableEngine, RecoveryReport};
 pub use dynamic::DynamicC;
 pub use engine::{Engine, RoundReport};
 pub use models::ModelPair;
 pub use trainer::{train_on_workload, RoundObservation, TrainingReport};
+
+pub use dc_storage::StorageError;

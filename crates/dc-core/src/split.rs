@@ -182,22 +182,19 @@ mod tests {
         let models = permissive_models();
         let mut stats = DynamicCStats::default();
         let mut agg = ClusterAggregates::new(&graph, &clustering);
-        let before = dc_similarity::full_build_count();
-        let changed = split_pass(
-            &graph,
-            &mut clustering,
-            &mut agg,
-            &CorrelationObjective,
-            &models,
-            1.0,
-            &mut stats,
-        );
+        let (changed, builds) = dc_similarity::BuildCounter::scope(|| {
+            split_pass(
+                &graph,
+                &mut clustering,
+                &mut agg,
+                &CorrelationObjective,
+                &models,
+                1.0,
+                &mut stats,
+            )
+        });
         assert!(changed);
-        assert_eq!(
-            dc_similarity::full_build_count(),
-            before,
-            "split_pass must stay on the incremental path"
-        );
+        assert_eq!(builds, 0, "split_pass must stay on the incremental path");
     }
 
     #[test]

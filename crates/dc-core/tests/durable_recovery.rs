@@ -1,0 +1,254 @@
+//! Recovery-equivalence regression tests for the durable serving path.
+//!
+//! The invariant under test: a [`DurableEngine`] that is killed and reopened
+//! between (every pair of) rounds produces **bit-identical** clusterings —
+//! down to the cluster ids — and bit-identical [`DynamicCStats`] counters to
+//! an [`Engine`] that served the same workload without ever restarting.
+//! Checked on both fixture families (textual Febrl + DB-index objective,
+//! numeric Access + correlation objective), with checkpoints landing both on
+//! and off the kill points, and with recovery required to perform **zero**
+//! full O(E) aggregate builds (the snapshot restores the maintained
+//! aggregates bit-for-bit instead of rebuilding them).
+
+use dc_batch::{BatchClusterer, HillClimbing};
+use dc_core::{train_on_workload, DurabilityOptions, DurableEngine, DynamicC, Engine, RoundReport};
+use dc_datagen::fixtures::{small_access_workload, small_febrl_workload};
+use dc_datagen::DynamicWorkload;
+use dc_objective::{CorrelationObjective, DbIndexObjective, ObjectiveFunction};
+use dc_similarity::{BuildCounter, GraphConfig, SimilarityGraph};
+use dc_types::{Clustering, Snapshot};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+const TRAIN_ROUNDS: usize = 2;
+
+/// Deterministically build the graph over the training prefix and train a
+/// DynamicC on it — called repeatedly to model independent process starts
+/// that all load "the same trained model".
+fn trained_setup(
+    workload: &DynamicWorkload,
+    graph_config: impl Fn() -> GraphConfig,
+    objective: Arc<dyn ObjectiveFunction>,
+) -> (SimilarityGraph, Clustering, Vec<Snapshot>, DynamicC) {
+    let mut graph = SimilarityGraph::build(graph_config(), &workload.initial);
+    let batch = HillClimbing::with_objective(objective.clone());
+    let initial = batch.cluster(&graph).clustering;
+    let mut dynamicc = DynamicC::with_objective(objective);
+    let (train, serve) = workload
+        .snapshots
+        .split_at(TRAIN_ROUNDS.min(workload.snapshots.len()));
+    let report = train_on_workload(&mut dynamicc, &mut graph, &initial, train, &batch);
+    let previous = report.final_clustering(&initial);
+    (graph, previous, serve.to_vec(), dynamicc)
+}
+
+/// Scratch state directory removed on drop, so failed assertions do not
+/// leave litter behind.
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> Self {
+        let dir = std::env::temp_dir().join(format!("dc-recovery-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        TempDir(dir)
+    }
+
+    fn path(&self) -> &std::path::Path {
+        &self.0
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// Bit-identity for clusterings: identical cluster ids mapping to identical
+/// member sets (strictly stronger than `delta().is_unchanged()`).
+fn assert_clusterings_identical(a: &Clustering, b: &Clustering, context: &str) {
+    assert_eq!(a.cluster_ids(), b.cluster_ids(), "{context}: cluster ids");
+    for cid in a.cluster_ids() {
+        assert_eq!(
+            a.cluster(cid).unwrap().members(),
+            b.cluster(cid).unwrap().members(),
+            "{context}: members of {cid}"
+        );
+    }
+    assert!(a.delta(b).is_unchanged(), "{context}: delta");
+}
+
+/// Serve every round through an uninterrupted engine, then again through a
+/// durable engine that is killed and reopened around every single round, and
+/// require the two runs to be indistinguishable.
+fn check_recovery_equivalence(
+    tag: &str,
+    workload: &DynamicWorkload,
+    graph_config: impl Fn() -> GraphConfig + Copy,
+    objective: Arc<dyn ObjectiveFunction>,
+    options: DurabilityOptions,
+) {
+    // Reference: never restarted.
+    let (graph, previous, serve, dynamicc) =
+        trained_setup(workload, graph_config, objective.clone());
+    let mut uninterrupted = Engine::new(graph, previous, dynamicc);
+    let mut expected_reports: Vec<RoundReport> = Vec::new();
+    let mut expected_clusterings: Vec<Clustering> = Vec::new();
+    for snapshot in &serve {
+        expected_reports.push(uninterrupted.apply_round(&snapshot.batch));
+        expected_clusterings.push(uninterrupted.clustering().clone());
+    }
+
+    // Durable twin: a fresh process for every round.
+    let tmp = TempDir::new(tag);
+    let dir = tmp.path();
+    {
+        let (graph, previous, _, dynamicc) =
+            trained_setup(workload, graph_config, objective.clone());
+        let config = graph.config().clone();
+        let (_engine, report) =
+            DurableEngine::open(dir, config, dynamicc, options, move || (graph, previous)).unwrap();
+        assert!(!report.recovered, "{tag}: first open must be fresh");
+    }
+    for (i, snapshot) in serve.iter().enumerate() {
+        // Every reopen is a simulated crash recovery: a new process with the
+        // same config and the same deterministically trained models.
+        let (graph, _, _, dynamicc) = trained_setup(workload, graph_config, objective.clone());
+        let config = graph.config().clone();
+        let ((mut engine, report), recovery_builds) = BuildCounter::scope(|| {
+            DurableEngine::open(dir, config, dynamicc, options, || {
+                unreachable!("recovery must not bootstrap")
+            })
+            .unwrap()
+        });
+        assert!(report.recovered, "{tag}: round {i}: open must recover");
+        assert_eq!(
+            recovery_builds, 0,
+            "{tag}: round {i}: recovery must not rebuild aggregates"
+        );
+        assert_eq!(engine.rounds_served(), i, "{tag}: round {i}: resume point");
+
+        let round_report = engine.apply_round(&snapshot.batch).unwrap();
+        assert_eq!(
+            round_report, expected_reports[i],
+            "{tag}: round {i}: report diverged"
+        );
+        assert_clusterings_identical(
+            engine.clustering(),
+            &expected_clusterings[i],
+            &format!("{tag}: round {i}"),
+        );
+        // Killed here: `engine` is dropped without any shutdown hook.
+    }
+
+    // Final state: one more recovery, then compare everything.
+    let (graph, _, _, dynamicc) = trained_setup(workload, graph_config, objective.clone());
+    let config = graph.config().clone();
+    let (engine, report) = DurableEngine::open(dir, config, dynamicc, options, || {
+        unreachable!("recovery must not bootstrap")
+    })
+    .unwrap();
+    assert!(report.recovered);
+    assert_eq!(engine.rounds_served(), serve.len());
+    assert_clusterings_identical(
+        engine.clustering(),
+        uninterrupted.clustering(),
+        &format!("{tag}: final"),
+    );
+    assert_eq!(
+        engine.stats(),
+        uninterrupted.stats(),
+        "{tag}: DynamicCStats diverged across restarts"
+    );
+    assert_eq!(
+        engine.engine().graph().comparisons(),
+        uninterrupted.graph().comparisons(),
+        "{tag}: similarity work counters diverged"
+    );
+}
+
+#[test]
+fn febrl_dbindex_recovery_is_bit_identical_with_checkpoints_on_kill_points() {
+    check_recovery_equivalence(
+        "febrl-ckpt2",
+        &small_febrl_workload(),
+        || GraphConfig::textual_febrl(0.6),
+        Arc::new(DbIndexObjective),
+        DurabilityOptions {
+            checkpoint_every_rounds: 2,
+        },
+    );
+}
+
+#[test]
+fn febrl_dbindex_recovery_is_bit_identical_replaying_the_whole_log() {
+    // No automatic checkpoints: every recovery replays every round from the
+    // initial snapshot.
+    check_recovery_equivalence(
+        "febrl-replay",
+        &small_febrl_workload(),
+        || GraphConfig::textual_febrl(0.6),
+        Arc::new(DbIndexObjective),
+        DurabilityOptions {
+            checkpoint_every_rounds: 0,
+        },
+    );
+}
+
+#[test]
+fn access_correlation_recovery_is_bit_identical() {
+    check_recovery_equivalence(
+        "access",
+        &small_access_workload(),
+        || GraphConfig::numeric_euclidean(1.8, 4.0, 3, 0.25),
+        Arc::new(CorrelationObjective),
+        DurabilityOptions {
+            checkpoint_every_rounds: 1,
+        },
+    );
+}
+
+#[test]
+fn manual_checkpoint_prunes_the_log_and_survives_recovery() {
+    let workload = small_febrl_workload();
+    let graph_config = || GraphConfig::textual_febrl(0.6);
+    let objective: Arc<dyn ObjectiveFunction> = Arc::new(DbIndexObjective);
+    let tmp = TempDir::new("manual-ckpt");
+    let dir = tmp.path();
+
+    let (graph, previous, serve, dynamicc) =
+        trained_setup(&workload, graph_config, objective.clone());
+    let config = graph.config().clone();
+    let options = DurabilityOptions {
+        checkpoint_every_rounds: 0,
+    };
+    let (mut engine, _) =
+        DurableEngine::open(dir, config, dynamicc, options, move || (graph, previous)).unwrap();
+    for snapshot in &serve {
+        engine.apply_round(&snapshot.batch).unwrap();
+    }
+    assert_eq!(engine.rounds_since_checkpoint(), serve.len() as u64);
+    let round = engine.checkpoint().unwrap();
+    assert_eq!(round, serve.len() as u64);
+    assert_eq!(engine.rounds_since_checkpoint(), 0);
+    // Exactly one snapshot and one (fresh, empty) segment remain.
+    assert_eq!(engine.artifact_paths().unwrap().len(), 2);
+    let final_clustering = engine.clustering().clone();
+    let final_stats = *engine.stats();
+    drop(engine);
+
+    let (graph, _, _, dynamicc) = trained_setup(&workload, graph_config, objective);
+    let config = graph.config().clone();
+    let (engine, report) = DurableEngine::open(dir, config, dynamicc, options, || {
+        unreachable!("recovery must not bootstrap")
+    })
+    .unwrap();
+    assert!(report.recovered);
+    assert_eq!(report.snapshot_round, serve.len() as u64);
+    assert_eq!(
+        report.replayed_rounds, 0,
+        "post-checkpoint recovery replays nothing"
+    );
+    assert_clusterings_identical(engine.clustering(), &final_clustering, "manual checkpoint");
+    assert_eq!(engine.stats(), &final_stats);
+}

@@ -18,7 +18,7 @@ use dc_batch::{BatchClusterer, HillClimbing};
 use dc_core::{train_on_workload, DynamicC, Engine};
 use dc_datagen::fixtures::small_febrl_workload;
 use dc_objective::{DbIndexObjective, ObjectiveFunction, SlowPathObjective};
-use dc_similarity::{full_build_count, GraphConfig, SimilarityGraph};
+use dc_similarity::{BuildCounter, GraphConfig, SimilarityGraph};
 use dc_types::{Clustering, Snapshot};
 use std::sync::Arc;
 
@@ -50,16 +50,17 @@ fn serve_all(
     serve: &[Snapshot],
     dynamicc: &mut DynamicC,
 ) -> (Vec<Clustering>, u64) {
-    let builds_before = full_build_count();
-    let mut produced = Vec::new();
-    for snapshot in serve {
-        graph.apply_batch(&snapshot.batch);
-        let result = dynamicc.recluster(graph, &previous, &snapshot.batch);
-        result.check_invariants().unwrap();
-        produced.push(result.clone());
-        previous = result;
-    }
-    (produced, full_build_count() - builds_before)
+    BuildCounter::scope(|| {
+        let mut produced = Vec::new();
+        for snapshot in serve {
+            graph.apply_batch(&snapshot.batch);
+            let result = dynamicc.recluster(graph, &previous, &snapshot.batch);
+            result.check_invariants().unwrap();
+            produced.push(result.clone());
+            previous = result;
+        }
+        produced
+    })
 }
 
 #[test]

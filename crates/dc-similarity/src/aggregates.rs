@@ -60,6 +60,34 @@ pub fn full_build_count() -> u64 {
     FULL_BUILDS.with(|c| c.get())
 }
 
+/// Scoped access to the full-build diagnostic counter.
+///
+/// Tests and benches used to bracket code with manual
+/// `let before = full_build_count(); ...; full_build_count() - before`
+/// arithmetic; [`BuildCounter::scope`] packages that pattern.
+///
+/// # Thread locality
+///
+/// The underlying counter is **thread-local**: it counts only the builds
+/// performed by the calling thread, which makes count assertions safe under
+/// `cargo test`'s parallel test execution.  Two contracts follow:
+///
+/// 1. the closure must perform its builds *on the calling thread* — builds
+///    delegated to other threads are invisible to the scope;
+/// 2. a scope never observes builds from concurrently running tests, so the
+///    returned delta is exact, not approximate.
+pub struct BuildCounter;
+
+impl BuildCounter {
+    /// Run `f` and return `(f's result, number of full O(E) aggregate builds
+    /// the calling thread performed inside the closure)`.
+    pub fn scope<R>(f: impl FnOnce() -> R) -> (R, u64) {
+        let before = full_build_count();
+        let result = f();
+        (result, full_build_count() - before)
+    }
+}
+
 /// Materialized cluster-level aggregates for one
 /// `(similarity graph, clustering)` pair, maintained incrementally.
 ///
@@ -564,6 +592,22 @@ impl ClusterAggregates {
         isolated
     }
 
+    /// Reassemble an aggregate from validated snapshot parts (see
+    /// `persist`).  Deliberately *not* counted as a full build: no graph
+    /// edge is touched, and the installed sums keep the exact bits they
+    /// were exported with.
+    pub(crate) fn from_restored_parts(
+        sizes: BTreeMap<ClusterId, usize>,
+        intra: BTreeMap<ClusterId, f64>,
+        inter: BTreeMap<ClusterId, BTreeMap<ClusterId, f64>>,
+    ) -> Self {
+        ClusterAggregates {
+            sizes,
+            intra,
+            inter,
+        }
+    }
+
     // ------------------------------------------------------------------
     // Internal bookkeeping
     // ------------------------------------------------------------------
@@ -1001,5 +1045,15 @@ mod tests {
         assert_eq!(full_build_count() - before, 2);
         let _c = ClusterAggregates::empty();
         assert_eq!(full_build_count() - before, 2, "empty() is not a build");
+    }
+
+    #[test]
+    fn build_counter_scope_reports_builds_and_passes_the_result_through() {
+        let (graph, clustering) = figure1_setup();
+        let (agg, builds) = BuildCounter::scope(|| ClusterAggregates::new(&graph, &clustering));
+        assert_eq!(builds, 1);
+        assert_eq!(agg.cluster_count(), clustering.cluster_count());
+        let ((), builds) = BuildCounter::scope(|| ());
+        assert_eq!(builds, 0);
     }
 }

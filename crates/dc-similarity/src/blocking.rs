@@ -30,6 +30,14 @@ pub trait BlockingStrategy: Send + Sync + CloneBlocking {
     /// Remove a record from the index.
     fn unindex(&mut self, id: ObjectId, record: &Record);
 
+    /// Forget every indexed record, returning the strategy to its freshly
+    /// constructed state.  [`SimilarityGraph`](crate::SimilarityGraph) calls
+    /// this when adopting a configuration, so a config cloned off a live
+    /// graph does not smuggle that graph's index into the new one (which
+    /// would corrupt candidate generation — e.g. updated objects would stay
+    /// findable under their old tokens).
+    fn reset(&mut self);
+
     /// Objects that share at least one block with `record` (may include ids
     /// that are not live any more or the queried id itself; callers filter).
     fn candidates(&self, record: &Record) -> BTreeSet<ObjectId>;
@@ -95,6 +103,10 @@ impl BlockingStrategy for TokenBlocking {
                 }
             }
         }
+    }
+
+    fn reset(&mut self) {
+        self.blocks.clear();
     }
 
     fn candidates(&self, record: &Record) -> BTreeSet<ObjectId> {
@@ -190,6 +202,10 @@ impl BlockingStrategy for GridBlocking {
         }
     }
 
+    fn reset(&mut self) {
+        self.cells.clear();
+    }
+
     fn candidates(&self, record: &Record) -> BTreeSet<ObjectId> {
         let cell = self.cell_of(record);
         let mut out = BTreeSet::new();
@@ -227,6 +243,10 @@ impl BlockingStrategy for ExhaustiveBlocking {
 
     fn unindex(&mut self, id: ObjectId, _record: &Record) {
         self.all.remove(&id);
+    }
+
+    fn reset(&mut self) {
+        self.all.clear();
     }
 
     fn candidates(&self, _record: &Record) -> BTreeSet<ObjectId> {
@@ -353,6 +373,23 @@ mod tests {
         assert_eq!(e.candidates(&textual("anything")).len(), 2);
         e.unindex(oid(1), &textual("a"));
         assert_eq!(e.candidates(&textual("anything")).len(), 1);
+    }
+
+    #[test]
+    fn reset_forgets_every_index_entry() {
+        let mut b = TokenBlocking::new(0);
+        b.index(oid(1), &textual("alpha beta"));
+        b.reset();
+        assert_eq!(b.block_count(), 0);
+        assert!(b.candidates(&textual("alpha")).is_empty());
+        let mut g = GridBlocking::new(1.0, 2);
+        g.index(oid(1), &numeric(vec![0.5, 0.5]));
+        g.reset();
+        assert_eq!(g.cell_count(), 0);
+        let mut e = ExhaustiveBlocking::new();
+        e.index(oid(1), &textual("x"));
+        e.reset();
+        assert!(e.candidates(&textual("x")).is_empty());
     }
 
     #[test]

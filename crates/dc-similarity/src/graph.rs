@@ -118,7 +118,13 @@ pub struct SimilarityGraph {
 
 impl SimilarityGraph {
     /// Create an empty graph with the given configuration.
-    pub fn empty(config: GraphConfig) -> Self {
+    ///
+    /// The configuration's blocking index is reset on adoption: a config
+    /// cloned off a live graph (e.g. [`SimilarityGraph::config`]) carries
+    /// that graph's index, and inheriting it would corrupt candidate
+    /// generation — the empty graph's index must describe the empty graph.
+    pub fn empty(mut config: GraphConfig) -> Self {
+        config.blocking.reset();
         SimilarityGraph {
             config,
             records: BTreeMap::new(),
@@ -209,6 +215,27 @@ impl SimilarityGraph {
     /// The edge threshold.
     pub fn edge_threshold(&self) -> f64 {
         self.config.edge_threshold
+    }
+
+    /// The full configuration (measure, blocking, threshold).  Cloning it
+    /// yields a config equivalent to the one the graph was built with —
+    /// which is exactly what [`SimilarityGraph::import_state`] needs to
+    /// reconstruct a snapshotted graph.
+    pub fn config(&self) -> &GraphConfig {
+        &self.config
+    }
+
+    /// Iterate over every stored edge exactly once, as `(a, b, similarity)`
+    /// triples with `a < b`, in lexicographic order.  This is the canonical
+    /// edge enumeration used by snapshotting and by consumers that need each
+    /// unordered pair once.
+    pub fn edges(&self) -> impl Iterator<Item = (ObjectId, ObjectId, f64)> + '_ {
+        self.adj.iter().flat_map(|(&a, neigh)| {
+            neigh
+                .iter()
+                .filter(move |(&b, _)| b > a)
+                .map(move |(&b, &s)| (a, b, s))
+        })
     }
 
     /// The connected components of the graph (isolated objects form their own
@@ -313,6 +340,36 @@ impl SimilarityGraph {
         for op in batch.iter() {
             self.apply_operation(op);
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Snapshot restoration (see `persist`)
+    // ------------------------------------------------------------------
+
+    /// Install a record without computing any similarity, indexing it into
+    /// the blocking strategy.  Returns the previous record if the id was
+    /// already present (which import treats as corruption).
+    pub(crate) fn restore_record(&mut self, id: ObjectId, record: Record) -> Option<Record> {
+        self.config.blocking.index(id, &record);
+        self.adj.entry(id).or_default();
+        self.records.insert(id, record)
+    }
+
+    /// Install a stored edge verbatim (both directions).  Returns false when
+    /// the edge already exists.
+    pub(crate) fn restore_edge(&mut self, a: ObjectId, b: ObjectId, sim: f64) -> bool {
+        if self.adj.get(&a).is_some_and(|m| m.contains_key(&b)) {
+            return false;
+        }
+        self.adj.entry(a).or_default().insert(b, sim);
+        self.adj.entry(b).or_default().insert(a, sim);
+        self.edge_count += 1;
+        true
+    }
+
+    /// Restore the comparison counter recorded in a snapshot.
+    pub(crate) fn restore_comparisons(&mut self, comparisons: u64) {
+        self.comparisons = comparisons;
     }
 }
 

@@ -33,12 +33,14 @@ pub mod blocking;
 pub mod fixtures;
 pub mod graph;
 pub mod measures;
+pub mod persist;
 pub mod text;
 
-pub use aggregates::{full_build_count, ClusterAggregates};
+pub use aggregates::{full_build_count, BuildCounter, ClusterAggregates};
 pub use blocking::{BlockingStrategy, GridBlocking, TokenBlocking};
 pub use graph::{GraphConfig, SimilarityGraph};
 pub use measures::{
     CompositeMeasure, EuclideanSimilarity, JaccardSimilarity, NormalizedLevenshtein,
     SimilarityMeasure, TrigramCosine,
 };
+pub use persist::{AggregatesState, GraphState};

@@ -1,0 +1,330 @@
+//! Exact state export / import for the similarity graph and the cluster
+//! aggregates — the hooks the `dc-storage` snapshot subsystem is built on.
+//!
+//! Neither structure can be serialized wholesale: a [`SimilarityGraph`] owns
+//! boxed measure/blocking trait objects (its *configuration*, supplied by the
+//! caller at open time), and a [`ClusterAggregates`] is meaningful only
+//! relative to a `(graph, clustering)` pair.  What *is* persisted is the pure
+//! data underneath:
+//!
+//! * [`GraphState`] — every `(id, record)` pair, every stored edge (each
+//!   unordered pair once, `a < b`), and the comparison counter.  Importing
+//!   re-indexes the blocking strategy from the records and re-installs the
+//!   adjacency *without recomputing a single similarity*: the blocking
+//!   indexes are pure set-state (order-independent functions of the live
+//!   records), so the reconstructed graph is bit-identical to the exported
+//!   one.
+//! * [`AggregatesState`] — the materialized sizes / intra sums / upper-
+//!   triangle cross-edge sums.  Importing restores the exact `f64` bit
+//!   patterns, which is what lets a recovered engine reproduce the exact
+//!   merge/split decisions of a never-restarted one (an O(E) rebuild would
+//!   re-derive the sums in a different addition order and could flip an
+//!   exact tie).  Importing performs **no** full build — the
+//!   [`full_build_count`](crate::full_build_count) diagnostic stays put.
+//!
+//! Both states implement [`BinCodec`]; the file framing (checksums, versions,
+//! atomic renames) lives in `dc-storage`.
+
+use crate::aggregates::ClusterAggregates;
+use crate::graph::{GraphConfig, SimilarityGraph};
+use dc_types::codec::{BinCodec, ByteReader, ByteWriter, CodecError};
+use dc_types::{ClusterId, ObjectId, Record};
+use std::collections::BTreeMap;
+
+/// The pure data of a [`SimilarityGraph`], decoupled from its configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphState {
+    /// Every live `(id, record)` pair, in id order.
+    pub records: Vec<(ObjectId, Record)>,
+    /// Every stored edge exactly once, as `(a, b, similarity)` with `a < b`,
+    /// in lexicographic order.
+    pub edges: Vec<(ObjectId, ObjectId, f64)>,
+    /// Pairwise similarity computations performed over the graph's lifetime
+    /// (restored so recovered work counters match an uninterrupted run).
+    pub comparisons: u64,
+}
+
+impl BinCodec for GraphState {
+    fn encode(&self, w: &mut ByteWriter) {
+        self.records.encode(w);
+        self.edges.encode(w);
+        w.put_u64(self.comparisons);
+    }
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        Ok(GraphState {
+            records: Vec::decode(r)?,
+            edges: Vec::decode(r)?,
+            comparisons: r.get_u64()?,
+        })
+    }
+}
+
+/// The materialized state of a [`ClusterAggregates`], exact to the bit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggregatesState {
+    /// Cluster sizes.
+    pub sizes: Vec<(ClusterId, u64)>,
+    /// Per-cluster intra-edge similarity sums.
+    pub intra: Vec<(ClusterId, f64)>,
+    /// Upper triangle (`a < b`) of the symmetric cross-edge sums.
+    pub inter: Vec<(ClusterId, ClusterId, f64)>,
+}
+
+impl BinCodec for AggregatesState {
+    fn encode(&self, w: &mut ByteWriter) {
+        self.sizes.encode(w);
+        self.intra.encode(w);
+        self.inter.encode(w);
+    }
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        Ok(AggregatesState {
+            sizes: Vec::decode(r)?,
+            intra: Vec::decode(r)?,
+            inter: Vec::decode(r)?,
+        })
+    }
+}
+
+impl SimilarityGraph {
+    /// Export the graph's pure data for snapshotting.  The configuration
+    /// (measure, blocking, threshold) is *not* part of the state; the caller
+    /// supplies an equivalent [`GraphConfig`] again on import.
+    pub fn export_state(&self) -> GraphState {
+        let mut records = Vec::with_capacity(self.object_count());
+        for id in self.object_ids() {
+            records.push((id, self.record(id).expect("live object").clone()));
+        }
+        GraphState {
+            records,
+            edges: self.edges().collect(),
+            comparisons: self.comparisons(),
+        }
+    }
+
+    /// Reconstruct a graph from an exported state and a configuration
+    /// equivalent to the one it was exported under.
+    ///
+    /// Records are re-indexed into the blocking strategy (pure set-state, so
+    /// insertion order does not matter) and the adjacency is re-installed
+    /// verbatim; **no similarity is recomputed**, which both makes import
+    /// O(V + E) and guarantees the stored edge weights keep their exact
+    /// bits.  Edges referencing unknown objects, self-loops, duplicate
+    /// edges, or violations of the `a < b` canonical form are rejected.
+    pub fn import_state(config: GraphConfig, state: GraphState) -> Result<Self, CodecError> {
+        let mut graph = SimilarityGraph::empty(config);
+        for (id, record) in &state.records {
+            if graph.restore_record(*id, record.clone()).is_some() {
+                return Err(CodecError::Invalid(format!("duplicate record for {id}")));
+            }
+        }
+        for &(a, b, sim) in &state.edges {
+            if a >= b {
+                return Err(CodecError::Invalid(format!(
+                    "edge ({a}, {b}) violates the a < b canonical form"
+                )));
+            }
+            if !graph.contains(a) || !graph.contains(b) {
+                return Err(CodecError::Invalid(format!(
+                    "edge ({a}, {b}) references an unknown object"
+                )));
+            }
+            if !graph.restore_edge(a, b, sim) {
+                return Err(CodecError::Invalid(format!("duplicate edge ({a}, {b})")));
+            }
+        }
+        graph.restore_comparisons(state.comparisons);
+        Ok(graph)
+    }
+}
+
+impl ClusterAggregates {
+    /// Export the materialized aggregate state, exact to the bit.
+    pub fn export_state(&self) -> AggregatesState {
+        let mut sizes = Vec::with_capacity(self.cluster_count());
+        let mut intra = Vec::with_capacity(self.cluster_count());
+        let mut inter = Vec::new();
+        for cid in self.cluster_ids() {
+            sizes.push((cid, self.cluster_size(cid) as u64));
+            intra.push((cid, self.intra_sum(cid)));
+            for (other, sum) in self.neighbour_cluster_sums(cid) {
+                if cid < other {
+                    inter.push((cid, other, sum));
+                }
+            }
+        }
+        AggregatesState {
+            sizes,
+            intra,
+            inter,
+        }
+    }
+
+    /// Rebuild an aggregate from an exported state.
+    ///
+    /// This is *not* a full build — it installs the recorded sums verbatim
+    /// (symmetrizing the upper triangle) without touching any graph edge, so
+    /// [`full_build_count`](crate::full_build_count) is unaffected and the
+    /// restored sums carry the exact bits of the exported ones.
+    pub fn import_state(state: AggregatesState) -> Result<Self, CodecError> {
+        let mut sizes = BTreeMap::new();
+        let mut intra = BTreeMap::new();
+        let mut inter: BTreeMap<ClusterId, BTreeMap<ClusterId, f64>> = BTreeMap::new();
+        for &(cid, size) in &state.sizes {
+            if size == 0 {
+                return Err(CodecError::Invalid(format!("cluster {cid} has size 0")));
+            }
+            if sizes.insert(cid, size as usize).is_some() {
+                return Err(CodecError::Invalid(format!("duplicate cluster {cid}")));
+            }
+            inter.insert(cid, BTreeMap::new());
+        }
+        for &(cid, sum) in &state.intra {
+            if !sizes.contains_key(&cid) {
+                return Err(CodecError::Invalid(format!("intra sum for unknown {cid}")));
+            }
+            if intra.insert(cid, sum).is_some() {
+                return Err(CodecError::Invalid(format!("duplicate intra sum {cid}")));
+            }
+        }
+        if intra.len() != sizes.len() {
+            return Err(CodecError::Invalid(
+                "every cluster needs exactly one intra sum".into(),
+            ));
+        }
+        for &(a, b, sum) in &state.inter {
+            if a >= b {
+                return Err(CodecError::Invalid(format!(
+                    "inter sum ({a}, {b}) violates the a < b canonical form"
+                )));
+            }
+            if !sizes.contains_key(&a) || !sizes.contains_key(&b) {
+                return Err(CodecError::Invalid(format!(
+                    "inter sum ({a}, {b}) references an unknown cluster"
+                )));
+            }
+            let dup = inter
+                .get_mut(&a)
+                .expect("seeded above")
+                .insert(b, sum)
+                .is_some();
+            inter.get_mut(&b).expect("seeded above").insert(a, sum);
+            if dup {
+                return Err(CodecError::Invalid(format!(
+                    "duplicate inter sum ({a}, {b})"
+                )));
+            }
+        }
+        Ok(ClusterAggregates::from_restored_parts(sizes, intra, inter))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::graph_from_edges;
+    use crate::full_build_count;
+    use dc_types::Clustering;
+
+    fn oid(raw: u64) -> ObjectId {
+        ObjectId::new(raw)
+    }
+
+    fn sample_graph() -> SimilarityGraph {
+        graph_from_edges(5, &[(1, 2, 0.9), (2, 3, 0.7), (4, 5, 0.55)])
+    }
+
+    #[test]
+    fn graph_state_roundtrips_through_the_codec() {
+        let state = sample_graph().export_state();
+        let bytes = state.encode_to_vec();
+        assert_eq!(GraphState::decode_exact(&bytes).unwrap(), state);
+    }
+
+    #[test]
+    fn graph_import_restores_objects_edges_and_counters() {
+        let graph = sample_graph();
+        let state = graph.export_state();
+        let restored = SimilarityGraph::import_state(graph.config().clone(), state).unwrap();
+        assert_eq!(restored.object_count(), graph.object_count());
+        assert_eq!(restored.edge_count(), graph.edge_count());
+        assert_eq!(restored.comparisons(), graph.comparisons());
+        for a in graph.object_ids() {
+            for (b, sim) in graph.neighbors(a) {
+                assert_eq!(restored.similarity(a, b).to_bits(), sim.to_bits());
+            }
+        }
+        // The re-indexed blocking keeps working: a new object still finds
+        // its candidates.
+        let mut restored = restored;
+        restored.add_object(oid(9), crate::fixtures::fixture_record(1));
+        assert!(restored.similarity(oid(9), oid(1)) > 0.0);
+    }
+
+    #[test]
+    fn graph_import_rejects_corrupt_states() {
+        let graph = sample_graph();
+        let config = || graph.config().clone();
+        let mut bad = graph.export_state();
+        bad.edges.push((oid(99), oid(100), 0.5));
+        assert!(SimilarityGraph::import_state(config(), bad).is_err());
+        let mut bad = graph.export_state();
+        bad.edges[0] = (bad.edges[0].1, bad.edges[0].0, bad.edges[0].2);
+        assert!(SimilarityGraph::import_state(config(), bad).is_err());
+        let mut bad = graph.export_state();
+        let dup = bad.edges[0];
+        bad.edges.push(dup);
+        assert!(SimilarityGraph::import_state(config(), bad).is_err());
+        let mut bad = graph.export_state();
+        let dup = bad.records[0].clone();
+        bad.records.push(dup);
+        assert!(SimilarityGraph::import_state(config(), bad).is_err());
+    }
+
+    #[test]
+    fn aggregates_state_roundtrips_bit_exactly_without_a_build() {
+        let graph = sample_graph();
+        let clustering =
+            Clustering::from_groups([vec![oid(1), oid(2)], vec![oid(3)], vec![oid(4), oid(5)]])
+                .unwrap();
+        let agg = ClusterAggregates::new(&graph, &clustering);
+        let state = agg.export_state();
+        let bytes = state.encode_to_vec();
+        assert_eq!(AggregatesState::decode_exact(&bytes).unwrap(), state);
+
+        let builds_before = full_build_count();
+        let restored = ClusterAggregates::import_state(state).unwrap();
+        assert_eq!(
+            full_build_count(),
+            builds_before,
+            "import must not count as a full build"
+        );
+        assert_eq!(restored.cluster_ids(), agg.cluster_ids());
+        for cid in agg.cluster_ids() {
+            assert_eq!(restored.cluster_size(cid), agg.cluster_size(cid));
+            assert_eq!(
+                restored.intra_sum(cid).to_bits(),
+                agg.intra_sum(cid).to_bits()
+            );
+            for (other, sum) in agg.neighbour_cluster_sums(cid) {
+                assert_eq!(restored.inter_sum(cid, other).to_bits(), sum.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn aggregates_import_rejects_corrupt_states() {
+        let graph = sample_graph();
+        let clustering = Clustering::from_groups([vec![oid(1), oid(2)], vec![oid(3)]]).unwrap();
+        let agg = ClusterAggregates::new(&graph, &clustering);
+        let mut bad = agg.export_state();
+        bad.sizes[0].1 = 0;
+        assert!(ClusterAggregates::import_state(bad).is_err());
+        let mut bad = agg.export_state();
+        bad.intra.clear();
+        assert!(ClusterAggregates::import_state(bad).is_err());
+        let mut bad = agg.export_state();
+        bad.inter
+            .push((ClusterId::new(998), ClusterId::new(999), 1.0));
+        assert!(ClusterAggregates::import_state(bad).is_err());
+    }
+}

@@ -1,0 +1,158 @@
+//! # dc-storage
+//!
+//! The durability subsystem of the DynamicC serving stack: a write-ahead log
+//! for operation batches, atomic snapshots of materialized engine state, and
+//! the crash-recovery protocol combining the two.
+//!
+//! The design follows the classic storage-engine recipe (write-ahead logging
+//! plus checkpoints, as in the SimpleDB/BusTub lineage), specialized to the
+//! paper's §6 serving model — a *round* is one batch of add/remove/update
+//! operations followed by re-clustering, which maps onto a WAL one-to-one:
+//!
+//! * [`Wal`] — an append-only segment of length-prefixed, CRC-guarded
+//!   records, one per served round.  Opening a segment replays its records
+//!   and distinguishes a *torn tail* (a crash mid-append: the final record
+//!   is truncated or fails its checksum — silently dropped and the file
+//!   truncated back to the last complete record) from *mid-log corruption*
+//!   (a bad record with valid data after it — reported as an error, never
+//!   silently skipped).
+//! * [`Snapshotter`] — writes versioned, checksummed snapshot files
+//!   atomically (tmp file + fsync + rename) and prunes WAL segments and
+//!   older snapshots that a new checkpoint has made obsolete.
+//!
+//! The subsystem is generic over *what* is snapshotted: any
+//! [`BinCodec`](dc_types::codec::BinCodec) payload works.  `dc-core`'s
+//! `DurableEngine` supplies the engine state (graph + clustering +
+//! aggregates + counters, via `dc-similarity`'s exact state hooks) and owns
+//! the recovery protocol: load the latest snapshot, replay the WAL tail,
+//! serve — logging each new round before applying it.
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+pub mod snapshot;
+pub mod wal;
+
+pub use snapshot::{PruneReport, Snapshotter};
+pub use wal::{Wal, WalOpenOutcome, WalRecord};
+
+use dc_types::codec::CodecError;
+use std::fmt;
+use std::path::PathBuf;
+
+/// Errors raised by the durability subsystem.
+#[derive(Debug)]
+pub enum StorageError {
+    /// An underlying filesystem operation failed.
+    Io {
+        /// The file (or directory) involved.
+        path: PathBuf,
+        /// The failing operation, e.g. `"append"` or `"rename"`.
+        op: &'static str,
+        /// The OS error.
+        source: std::io::Error,
+    },
+    /// A durable artifact failed to decode.
+    Codec {
+        /// The file involved.
+        path: PathBuf,
+        /// The decode failure.
+        source: CodecError,
+    },
+    /// A durable artifact is corrupt in a way that must not be silently
+    /// repaired (e.g. a bad WAL record *followed by* valid data).
+    Corrupt {
+        /// The file involved.
+        path: PathBuf,
+        /// What was found.
+        detail: String,
+    },
+    /// The set of durable artifacts is inconsistent (e.g. the WAL is missing
+    /// rounds between the snapshot and its tail).
+    Inconsistent(String),
+}
+
+impl StorageError {
+    pub(crate) fn io(path: impl Into<PathBuf>, op: &'static str, source: std::io::Error) -> Self {
+        StorageError::Io {
+            path: path.into(),
+            op,
+            source,
+        }
+    }
+
+    pub(crate) fn corrupt(path: impl Into<PathBuf>, detail: impl Into<String>) -> Self {
+        StorageError::Corrupt {
+            path: path.into(),
+            detail: detail.into(),
+        }
+    }
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::Io { path, op, source } => {
+                write!(f, "{op} failed on {}: {source}", path.display())
+            }
+            StorageError::Codec { path, source } => {
+                write!(f, "failed to decode {}: {source}", path.display())
+            }
+            StorageError::Corrupt { path, detail } => {
+                write!(f, "{} is corrupt: {detail}", path.display())
+            }
+            StorageError::Inconsistent(msg) => write!(f, "durable state is inconsistent: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StorageError::Io { source, .. } => Some(source),
+            StorageError::Codec { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+/// Flush a file's contents and metadata to stable storage, attributing
+/// failures to `op`.
+pub(crate) fn sync_file(
+    file: &std::fs::File,
+    path: &std::path::Path,
+    op: &'static str,
+) -> Result<(), StorageError> {
+    file.sync_all().map_err(|e| StorageError::io(path, op, e))
+}
+
+/// Best-effort directory fsync so renames/creates in `dir` survive a crash.
+/// Directories cannot be opened for reading on every platform; failures to
+/// *open* are ignored, failures to *sync* an opened handle are not.
+pub(crate) fn sync_dir(dir: &std::path::Path) -> Result<(), StorageError> {
+    if let Ok(handle) = std::fs::File::open(dir) {
+        sync_file(&handle, dir, "fsync directory")?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display_names_the_file_and_operation() {
+        let e = StorageError::io(
+            "/tmp/x.wal",
+            "append",
+            std::io::Error::other("disk on fire"),
+        );
+        let msg = e.to_string();
+        assert!(msg.contains("append"));
+        assert!(msg.contains("x.wal"));
+        let e = StorageError::corrupt("/tmp/y.wal", "bad crc mid-log");
+        assert!(e.to_string().contains("bad crc mid-log"));
+        let e = StorageError::Inconsistent("missing rounds".into());
+        assert!(e.to_string().contains("missing rounds"));
+    }
+}

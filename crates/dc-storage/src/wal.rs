@@ -1,0 +1,352 @@
+//! The append-only write-ahead log.
+//!
+//! A WAL *segment* is one file holding the operation batches of a contiguous
+//! range of rounds.  Segments are named `wal-<start>.dcwal`, where `start`
+//! is the round the owning engine had already served when the segment was
+//! created — every record in the segment therefore carries a round number
+//! strictly greater than `start`, and a checkpoint at round `k` makes every
+//! segment with `start < k` obsolete (all of its rounds are covered by the
+//! snapshot), which is what [`Snapshotter::prune_obsolete`] deletes.
+//!
+//! ## File format (version 1)
+//!
+//! ```text
+//! header:  "DCWL" | version: u32 LE | start_round: u64 LE          (16 bytes)
+//! record:  len: u32 LE | crc32(payload): u32 LE | payload           (8 + len)
+//! payload: round: u64 LE | OperationBatch (BinCodec)
+//! ```
+//!
+//! Appends write one frame with a single `write` call and then fsync, so a
+//! crash can only ever leave a *prefix* of a frame at the physical end of
+//! the file.  [`Wal::open`] exploits that:
+//!
+//! * a record whose frame runs past the end of the file, or whose checksum
+//!   fails **at the physical tail**, is a torn append — it was never
+//!   acknowledged, so it is dropped and the file truncated back to the last
+//!   complete record;
+//! * a record that fails its checksum with *more data after it* cannot be a
+//!   torn append — that is real corruption, and it is reported as
+//!   [`StorageError::Corrupt`] rather than silently repaired (dropping a
+//!   mid-log record would silently lose acknowledged rounds).
+//!
+//! [`Snapshotter::prune_obsolete`]: crate::Snapshotter::prune_obsolete
+
+use crate::{sync_dir, sync_file, StorageError};
+use dc_types::codec::{crc32, BinCodec, ByteReader, ByteWriter, CodecError};
+use dc_types::OperationBatch;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+const MAGIC: &[u8; 4] = b"DCWL";
+const VERSION: u32 = 1;
+const HEADER_LEN: u64 = 16;
+const FRAME_HEADER_LEN: u64 = 8;
+
+/// One logged round: its 1-based round number and the operation batch the
+/// round applied.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WalRecord {
+    /// 1-based round number within the owning engine's lifetime.
+    pub round: u64,
+    /// The operations the round applied.
+    pub batch: OperationBatch,
+}
+
+impl BinCodec for WalRecord {
+    fn encode(&self, w: &mut ByteWriter) {
+        w.put_u64(self.round);
+        self.batch.encode(w);
+    }
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        Ok(WalRecord {
+            round: r.get_u64()?,
+            batch: OperationBatch::decode(r)?,
+        })
+    }
+}
+
+/// What [`Wal::open`] found while replaying a segment.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WalOpenOutcome {
+    /// Whether a torn (truncated or checksum-failing) tail record was
+    /// dropped.
+    pub dropped_torn_tail: bool,
+    /// Bytes truncated off the end of the file to remove the torn tail.
+    pub truncated_bytes: u64,
+}
+
+/// An open, append-position WAL segment.
+pub struct Wal {
+    file: File,
+    path: PathBuf,
+    start_round: u64,
+    /// Round number of the last record in the segment (== `start_round`
+    /// while the segment is empty).
+    last_round: u64,
+    len: u64,
+}
+
+/// The canonical file name of the segment starting after `start_round`.
+pub fn segment_file_name(start_round: u64) -> String {
+    format!("wal-{start_round:020}.dcwal")
+}
+
+/// Parse a segment file name back into its start round.
+pub fn parse_segment_file_name(name: &str) -> Option<u64> {
+    let digits = name.strip_prefix("wal-")?.strip_suffix(".dcwal")?;
+    if digits.len() != 20 || !digits.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    digits.parse().ok()
+}
+
+/// List the WAL segments in `dir` as `(start_round, path)`, sorted by start
+/// round.  Files that do not match the segment naming scheme are ignored.
+pub fn list_segments(dir: &Path) -> Result<Vec<(u64, PathBuf)>, StorageError> {
+    let mut out = Vec::new();
+    let entries = std::fs::read_dir(dir).map_err(|e| StorageError::io(dir, "read_dir", e))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| StorageError::io(dir, "read_dir", e))?;
+        let name = entry.file_name();
+        if let Some(start) = name.to_str().and_then(parse_segment_file_name) {
+            out.push((start, entry.path()));
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+impl Wal {
+    /// Create a fresh segment in `dir` starting after `start_round`.  Fails
+    /// if the segment file already exists.
+    pub fn create(dir: &Path, start_round: u64) -> Result<Self, StorageError> {
+        let path = dir.join(segment_file_name(start_round));
+        let mut file = OpenOptions::new()
+            .write(true)
+            .create_new(true)
+            .open(&path)
+            .map_err(|e| StorageError::io(&path, "create segment", e))?;
+        let mut header = Vec::with_capacity(HEADER_LEN as usize);
+        header.extend_from_slice(MAGIC);
+        header.extend_from_slice(&VERSION.to_le_bytes());
+        header.extend_from_slice(&start_round.to_le_bytes());
+        file.write_all(&header)
+            .map_err(|e| StorageError::io(&path, "write header", e))?;
+        sync_file(&file, &path, "fsync header")?;
+        sync_dir(dir)?;
+        Ok(Wal {
+            file,
+            path,
+            start_round,
+            last_round: start_round,
+            len: HEADER_LEN,
+        })
+    }
+
+    /// Open an existing segment, replaying its records.
+    ///
+    /// Returns the segment positioned for appending, the complete records in
+    /// order, and whether a torn tail was dropped (see the module docs for
+    /// the torn-tail / mid-log-corruption distinction).  A segment whose
+    /// very header is incomplete — a crash during segment creation, before
+    /// any record could have been acknowledged — is re-initialized in place.
+    pub fn open(path: &Path) -> Result<(Self, Vec<WalRecord>, WalOpenOutcome), StorageError> {
+        let name = path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or_default();
+        let Some(start_round) = parse_segment_file_name(name) else {
+            return Err(StorageError::corrupt(
+                path,
+                format!("'{name}' is not a WAL segment file name"),
+            ));
+        };
+
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(path)
+            .map_err(|e| StorageError::io(path, "open segment", e))?;
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes)
+            .map_err(|e| StorageError::io(path, "read segment", e))?;
+
+        if (bytes.len() as u64) < HEADER_LEN {
+            // Torn segment creation: the header fsync never completed, so no
+            // record can have been acknowledged.  Rebuild the header.
+            drop(file);
+            std::fs::remove_file(path).map_err(|e| StorageError::io(path, "remove torn", e))?;
+            let dir = path.parent().unwrap_or(Path::new("."));
+            let wal = Wal::create(dir, start_round)?;
+            let outcome = WalOpenOutcome {
+                dropped_torn_tail: false,
+                truncated_bytes: bytes.len() as u64,
+            };
+            return Ok((wal, Vec::new(), outcome));
+        }
+        if &bytes[0..4] != MAGIC {
+            return Err(StorageError::corrupt(path, "bad magic"));
+        }
+        let version = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes"));
+        if version != VERSION {
+            return Err(StorageError::corrupt(
+                path,
+                format!("unsupported WAL version {version} (expected {VERSION})"),
+            ));
+        }
+        let header_start = u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes"));
+        if header_start != start_round {
+            return Err(StorageError::corrupt(
+                path,
+                format!("header start round {header_start} disagrees with file name"),
+            ));
+        }
+
+        let file_len = bytes.len() as u64;
+        let mut records = Vec::new();
+        let mut offset = HEADER_LEN;
+        let mut outcome = WalOpenOutcome::default();
+        let mut last_round = start_round;
+        while offset < file_len {
+            let remaining = file_len - offset;
+            let torn = |offset: u64| WalOpenOutcome {
+                dropped_torn_tail: true,
+                truncated_bytes: file_len - offset,
+            };
+            if remaining < FRAME_HEADER_LEN {
+                outcome = torn(offset);
+                break;
+            }
+            let o = offset as usize;
+            let len = u32::from_le_bytes(bytes[o..o + 4].try_into().expect("4 bytes")) as u64;
+            let stored_crc = u32::from_le_bytes(bytes[o + 4..o + 8].try_into().expect("4 bytes"));
+            let frame_end = offset + FRAME_HEADER_LEN + len;
+            if frame_end > file_len {
+                // The frame runs past the physical end of the file: a torn
+                // append (or a corrupt length at the tail — either way, no
+                // complete record follows, so truncating loses nothing that
+                // was ever acknowledged).
+                outcome = torn(offset);
+                break;
+            }
+            let payload = &bytes[o + 8..frame_end as usize];
+            if crc32(payload) != stored_crc {
+                if frame_end == file_len {
+                    // Checksum failure at the physical tail: torn append.
+                    outcome = torn(offset);
+                    break;
+                }
+                return Err(StorageError::corrupt(
+                    path,
+                    format!(
+                        "record at offset {offset} fails its checksum with \
+                         {} bytes of log after it (mid-log corruption)",
+                        file_len - frame_end
+                    ),
+                ));
+            }
+            let record =
+                WalRecord::decode_exact(payload).map_err(|source| StorageError::Codec {
+                    path: path.to_path_buf(),
+                    source,
+                })?;
+            if record.round != last_round + 1 {
+                return Err(StorageError::corrupt(
+                    path,
+                    format!(
+                        "record at offset {offset} has round {} after round {last_round}",
+                        record.round
+                    ),
+                ));
+            }
+            last_round = record.round;
+            records.push(record);
+            offset = frame_end;
+        }
+
+        if outcome.dropped_torn_tail || outcome.truncated_bytes > 0 {
+            file.set_len(offset)
+                .map_err(|e| StorageError::io(path, "truncate torn tail", e))?;
+            sync_file(&file, path, "fsync truncation")?;
+        }
+        file.seek(SeekFrom::Start(offset))
+            .map_err(|e| StorageError::io(path, "seek", e))?;
+        let wal = Wal {
+            file,
+            path: path.to_path_buf(),
+            start_round,
+            last_round,
+            len: offset,
+        };
+        Ok((wal, records, outcome))
+    }
+
+    /// The round this segment starts after (== the checkpoint round that
+    /// created it).
+    pub fn start_round(&self) -> u64 {
+        self.start_round
+    }
+
+    /// The round of the last record in the segment (== [`Wal::start_round`]
+    /// while empty).
+    pub fn last_round(&self) -> u64 {
+        self.last_round
+    }
+
+    /// The segment file's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Bytes currently in the segment (header included).
+    pub fn len_bytes(&self) -> u64 {
+        self.len
+    }
+
+    /// Durably append one record: the frame is written with a single
+    /// `write` call and fsynced before returning, so an acknowledged append
+    /// survives a crash and an unacknowledged one is at worst a torn tail.
+    /// Records must arrive in round order (`last_round + 1`).
+    pub fn append(&mut self, record: &WalRecord) -> Result<(), StorageError> {
+        self.append_round(record.round, &record.batch)
+    }
+
+    /// Like [`Wal::append`], but encoding straight from a borrowed batch —
+    /// the serving hot path uses this to log a round without cloning its
+    /// operations into a [`WalRecord`] first.
+    pub fn append_round(&mut self, round: u64, batch: &OperationBatch) -> Result<(), StorageError> {
+        if round != self.last_round + 1 {
+            return Err(StorageError::Inconsistent(format!(
+                "append of round {round} after round {} (rounds must be contiguous)",
+                self.last_round
+            )));
+        }
+        let mut w = ByteWriter::new();
+        w.put_u64(round);
+        batch.encode(&mut w);
+        let payload = w.into_bytes();
+        let mut frame = Vec::with_capacity(FRAME_HEADER_LEN as usize + payload.len());
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&crc32(&payload).to_le_bytes());
+        frame.extend_from_slice(&payload);
+        self.file
+            .write_all(&frame)
+            .map_err(|e| StorageError::io(&self.path, "append", e))?;
+        sync_file(&self.file, &self.path, "fsync append")?;
+        self.last_round = round;
+        self.len += frame.len() as u64;
+        Ok(())
+    }
+}
+
+impl std::fmt::Debug for Wal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Wal")
+            .field("path", &self.path)
+            .field("start_round", &self.start_round)
+            .field("last_round", &self.last_round)
+            .field("bytes", &self.len)
+            .finish()
+    }
+}

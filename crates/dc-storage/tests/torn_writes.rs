@@ -1,0 +1,271 @@
+//! Crash-consistency tests for the WAL and the snapshot files.
+//!
+//! The central property: recovery after a crash always lands on exactly the
+//! last *complete* round.  A torn append (any prefix of the final frame on
+//! disk, or a checksum failure at the physical tail) is dropped; corruption
+//! anywhere before the tail is reported, never silently skipped.  The torn
+//! tail case is checked *exhaustively*: the fixture log is truncated at
+//! every byte offset inside its final record.
+
+use dc_storage::wal::{list_segments, segment_file_name};
+use dc_storage::{snapshot, StorageError, Wal, WalRecord};
+use dc_types::codec::BinCodec;
+use dc_types::{ObjectId, Operation, OperationBatch, RecordBuilder};
+use std::path::{Path, PathBuf};
+
+/// A scratch directory deleted on drop.
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> Self {
+        let dir =
+            std::env::temp_dir().join(format!("dc-storage-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("create temp dir");
+        TempDir(dir)
+    }
+
+    fn path(&self) -> &Path {
+        &self.0
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn batch(round: u64, ops: usize) -> OperationBatch {
+    let mut b = OperationBatch::new();
+    for i in 0..ops {
+        b.push(Operation::Add {
+            id: ObjectId::new(round * 100 + i as u64),
+            record: RecordBuilder::new()
+                .text("name", format!("object {round}/{i}"))
+                .number("round", round as f64)
+                .build(),
+        });
+    }
+    b
+}
+
+fn record(round: u64) -> WalRecord {
+    WalRecord {
+        round,
+        batch: batch(round, 3),
+    }
+}
+
+/// Write a 3-record segment and return (path, bytes, offset where the final
+/// record's frame starts).
+fn fixture_segment(dir: &Path) -> (PathBuf, Vec<u8>, u64) {
+    let mut wal = Wal::create(dir, 0).expect("create");
+    wal.append(&record(1)).unwrap();
+    wal.append(&record(2)).unwrap();
+    let before_last = wal.len_bytes();
+    wal.append(&record(3)).unwrap();
+    let path = wal.path().to_path_buf();
+    drop(wal);
+    let bytes = std::fs::read(&path).unwrap();
+    (path, bytes, before_last)
+}
+
+#[test]
+fn append_then_reopen_replays_every_record() {
+    let tmp = TempDir::new("roundtrip");
+    let (path, _, _) = fixture_segment(tmp.path());
+    let (wal, records, outcome) = Wal::open(&path).expect("open");
+    assert_eq!(records, vec![record(1), record(2), record(3)]);
+    assert!(!outcome.dropped_torn_tail);
+    assert_eq!(outcome.truncated_bytes, 0);
+    assert_eq!(wal.last_round(), 3);
+    assert_eq!(wal.start_round(), 0);
+}
+
+#[test]
+fn truncation_at_every_offset_of_the_final_record_recovers_the_prefix() {
+    let tmp = TempDir::new("torn-tail");
+    let (path, bytes, last_start) = fixture_segment(tmp.path());
+    // Every strictly-partial prefix of the final frame, including the empty
+    // one (clean truncation right after round 2).
+    for cut in last_start..bytes.len() as u64 {
+        std::fs::write(&path, &bytes[..cut as usize]).unwrap();
+        let (mut wal, records, outcome) =
+            Wal::open(&path).unwrap_or_else(|e| panic!("cut at {cut}: {e}"));
+        assert_eq!(
+            records,
+            vec![record(1), record(2)],
+            "cut at {cut}: recovery must land on the last complete round"
+        );
+        assert_eq!(outcome.dropped_torn_tail, cut != last_start, "cut at {cut}");
+        assert_eq!(outcome.truncated_bytes, cut - last_start, "cut at {cut}");
+        // The torn tail is physically gone and the log accepts round 3 again.
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), last_start);
+        wal.append(&record(3)).unwrap();
+        let (_, records, _) = Wal::open(&path).unwrap();
+        assert_eq!(records.len(), 3);
+    }
+}
+
+#[test]
+fn tail_checksum_failure_is_dropped_but_midlog_failure_is_an_error() {
+    let tmp = TempDir::new("crc");
+    let (path, bytes, last_start) = fixture_segment(tmp.path());
+
+    // Flip one payload byte of the *final* record: torn tail, dropped.
+    let mut corrupt = bytes.clone();
+    let idx = last_start as usize + 8;
+    corrupt[idx] ^= 0xFF;
+    std::fs::write(&path, &corrupt).unwrap();
+    let (_, records, outcome) = Wal::open(&path).expect("tail corruption is recoverable");
+    assert_eq!(records, vec![record(1), record(2)]);
+    assert!(outcome.dropped_torn_tail);
+
+    // Flip one payload byte of the *first* record: mid-log corruption, and
+    // silently dropping it would lose acknowledged rounds 2 and 3 — so it
+    // must be a hard error.
+    let mut corrupt = bytes.clone();
+    corrupt[16 + 8] ^= 0xFF; // segment header is 16 bytes, frame header 8
+    std::fs::write(&path, &corrupt).unwrap();
+    match Wal::open(&path) {
+        Err(StorageError::Corrupt { detail, .. }) => {
+            assert!(detail.contains("mid-log"), "unexpected detail: {detail}")
+        }
+        other => panic!("mid-log corruption must be rejected, got {other:?}"),
+    }
+}
+
+#[test]
+fn torn_segment_creation_is_reinitialized() {
+    let tmp = TempDir::new("torn-header");
+    let path = tmp.path().join(segment_file_name(7));
+    std::fs::write(&path, b"DCWL\x01").unwrap(); // header cut mid-write
+    let (wal, records, outcome) = Wal::open(&path).expect("torn header is recoverable");
+    assert!(records.is_empty());
+    assert_eq!(outcome.truncated_bytes, 5);
+    assert_eq!(wal.start_round(), 7);
+    assert_eq!(wal.last_round(), 7);
+}
+
+#[test]
+fn header_and_round_sequence_corruption_are_rejected() {
+    let tmp = TempDir::new("bad-header");
+    let (path, bytes, _) = fixture_segment(tmp.path());
+
+    // Wrong magic.
+    let mut bad = bytes.clone();
+    bad[0] = b'X';
+    std::fs::write(&path, &bad).unwrap();
+    assert!(matches!(
+        Wal::open(&path),
+        Err(StorageError::Corrupt { .. })
+    ));
+
+    // Unsupported version.
+    let mut bad = bytes.clone();
+    bad[4] = 99;
+    std::fs::write(&path, &bad).unwrap();
+    assert!(matches!(
+        Wal::open(&path),
+        Err(StorageError::Corrupt { .. })
+    ));
+
+    // Header start round disagreeing with the file name.
+    let mut bad = bytes.clone();
+    bad[8] = 9;
+    std::fs::write(&path, &bad).unwrap();
+    assert!(matches!(
+        Wal::open(&path),
+        Err(StorageError::Corrupt { .. })
+    ));
+
+    // Out-of-order appends are refused at write time too.
+    std::fs::write(&path, &bytes).unwrap();
+    let (mut wal, _, _) = Wal::open(&path).unwrap();
+    assert!(matches!(
+        wal.append(&record(9)),
+        Err(StorageError::Inconsistent(_))
+    ));
+}
+
+#[test]
+fn snapshots_roundtrip_and_reject_corruption() {
+    let tmp = TempDir::new("snapshot");
+    let snapshotter = dc_storage::Snapshotter::new(tmp.path()).unwrap();
+    assert_eq!(snapshotter.load_latest::<OperationBatch>().unwrap(), None);
+
+    let payload = batch(5, 4);
+    snapshotter.write(5, &payload).unwrap();
+    let (round, loaded) = snapshotter
+        .load_latest::<OperationBatch>()
+        .unwrap()
+        .expect("snapshot present");
+    assert_eq!(round, 5);
+    assert_eq!(loaded, payload);
+
+    // Newer snapshots win; a stray .tmp is ignored.
+    let newer = batch(6, 2);
+    snapshotter.write(6, &newer).unwrap();
+    std::fs::write(
+        tmp.path()
+            .join(format!("{}.tmp", snapshot::snapshot_file_name(7))),
+        b"half-written",
+    )
+    .unwrap();
+    let (round, loaded) = snapshotter
+        .load_latest::<OperationBatch>()
+        .unwrap()
+        .expect("snapshot present");
+    assert_eq!(round, 6);
+    assert_eq!(loaded, newer);
+
+    // Corrupting the latest snapshot's payload is a loud error.
+    let path = tmp.path().join(snapshot::snapshot_file_name(6));
+    let mut bytes = std::fs::read(&path).unwrap();
+    let last = bytes.len() - 1;
+    bytes[last] ^= 0xFF;
+    std::fs::write(&path, &bytes).unwrap();
+    assert!(matches!(
+        snapshotter.load_latest::<OperationBatch>(),
+        Err(StorageError::Corrupt { .. })
+    ));
+}
+
+#[test]
+fn checkpoint_prune_deletes_only_obsolete_artifacts() {
+    let tmp = TempDir::new("prune");
+    let snapshotter = dc_storage::Snapshotter::new(tmp.path()).unwrap();
+
+    // Rounds 1..=2 in segment wal-0; checkpoint at 2 starts segment wal-2.
+    let mut seg0 = Wal::create(tmp.path(), 0).unwrap();
+    seg0.append(&record(1)).unwrap();
+    seg0.append(&record(2)).unwrap();
+    snapshotter.write(2, &batch(2, 1)).unwrap();
+    let _seg2 = Wal::create(tmp.path(), 2).unwrap();
+    std::fs::write(tmp.path().join("leftover.tmp"), b"junk").unwrap();
+
+    let report = snapshotter.prune_obsolete(2).unwrap();
+    assert_eq!(report.segments_deleted, 1);
+    assert_eq!(report.snapshots_deleted, 0);
+    assert_eq!(report.tmp_files_deleted, 1);
+
+    let segments = list_segments(tmp.path()).unwrap();
+    assert_eq!(segments.len(), 1);
+    assert_eq!(segments[0].0, 2);
+
+    // A later checkpoint deletes the round-2 snapshot and segment wal-2.
+    snapshotter.write(4, &batch(4, 1)).unwrap();
+    let _seg4 = Wal::create(tmp.path(), 4).unwrap();
+    let report = snapshotter.prune_obsolete(4).unwrap();
+    assert_eq!(report.snapshots_deleted, 1);
+    assert_eq!(report.segments_deleted, 1);
+    assert_eq!(snapshotter.list().unwrap().len(), 1);
+}
+
+#[test]
+fn wal_record_codec_roundtrips() {
+    let r = record(12);
+    let bytes = r.encode_to_vec();
+    assert_eq!(WalRecord::decode_exact(&bytes).unwrap(), r);
+}

@@ -468,6 +468,68 @@ impl ClusteringDelta {
     }
 }
 
+impl crate::codec::BinCodec for Cluster {
+    fn encode(&self, w: &mut crate::codec::ByteWriter) {
+        self.members.encode(w);
+    }
+    fn decode(
+        r: &mut crate::codec::ByteReader<'_>,
+    ) -> std::result::Result<Self, crate::codec::CodecError> {
+        let members = BTreeSet::<ObjectId>::decode(r)?;
+        if members.is_empty() {
+            return Err(crate::codec::CodecError::Invalid("empty cluster".into()));
+        }
+        Ok(Cluster { members })
+    }
+}
+
+impl crate::codec::BinCodec for Clustering {
+    /// A clustering is encoded as its cluster map plus the id generator's
+    /// watermark.  The watermark matters for recovery bit-identity: the next
+    /// merge or split after a restart must allocate exactly the cluster id
+    /// the uninterrupted run would have allocated.
+    fn encode(&self, w: &mut crate::codec::ByteWriter) {
+        w.put_u64(self.ids.peek());
+        w.put_usize(self.clusters.len());
+        for (cid, cluster) in &self.clusters {
+            cid.encode(w);
+            cluster.encode(w);
+        }
+    }
+    fn decode(
+        r: &mut crate::codec::ByteReader<'_>,
+    ) -> std::result::Result<Self, crate::codec::CodecError> {
+        use crate::codec::CodecError;
+        let next_id = r.get_u64()?;
+        // A cluster entry is at least an 8-byte id plus a set with an 8-byte
+        // length prefix and one 8-byte member.
+        let count = r.get_length_prefix(24)?;
+        let mut clustering = Clustering::new();
+        clustering.ids = IdGenerator::starting_at(next_id);
+        for _ in 0..count {
+            let cid = ClusterId::decode(r)?;
+            let cluster = Cluster::decode(r)?;
+            if cid.raw() >= next_id {
+                return Err(CodecError::Invalid(format!(
+                    "cluster id {cid} at or above the id watermark {next_id}"
+                )));
+            }
+            if clustering.clusters.contains_key(&cid) {
+                return Err(CodecError::Invalid(format!("duplicate cluster id {cid}")));
+            }
+            for oid in cluster.iter() {
+                if clustering.membership.insert(oid, cid).is_some() {
+                    return Err(CodecError::Invalid(format!(
+                        "object {oid} appears in more than one cluster"
+                    )));
+                }
+            }
+            clustering.clusters.insert(cid, cluster);
+        }
+        Ok(clustering)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -127,6 +127,24 @@ impl IdGenerator {
     }
 }
 
+impl crate::codec::BinCodec for ObjectId {
+    fn encode(&self, w: &mut crate::codec::ByteWriter) {
+        w.put_u64(self.raw());
+    }
+    fn decode(r: &mut crate::codec::ByteReader<'_>) -> Result<Self, crate::codec::CodecError> {
+        Ok(ObjectId::new(r.get_u64()?))
+    }
+}
+
+impl crate::codec::BinCodec for ClusterId {
+    fn encode(&self, w: &mut crate::codec::ByteWriter) {
+        w.put_u64(self.raw());
+    }
+    fn decode(r: &mut crate::codec::ByteReader<'_>) -> Result<Self, crate::codec::CodecError> {
+        Ok(ClusterId::new(r.get_u64()?))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

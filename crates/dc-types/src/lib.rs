@@ -20,6 +20,9 @@
 //!   operations applied between two re-clusterings.
 //! * [`Clustering`] / [`Cluster`] — a partition of the live objects, with the
 //!   structural mutations the paper reasons about (merge, split, move).
+//! * [`codec`] — the hand-rolled binary wire format ([`BinCodec`]) used by
+//!   the `dc-storage` durability subsystem, with impls living next to the
+//!   types they serialize.
 //!
 //! Everything here is deliberately free of similarity or objective logic:
 //! those live in `dc-similarity` and `dc-objective`.
@@ -28,6 +31,7 @@
 #![deny(rustdoc::broken_intra_doc_links)]
 
 pub mod clustering;
+pub mod codec;
 pub mod dataset;
 pub mod error;
 pub mod id;
@@ -36,6 +40,7 @@ pub mod record;
 pub mod snapshot;
 
 pub use clustering::{Cluster, Clustering, ClusteringDelta};
+pub use codec::{crc32, BinCodec, ByteReader, ByteWriter, CodecError};
 pub use dataset::Dataset;
 pub use error::TypeError;
 pub use id::{ClusterId, ObjectId};

@@ -189,6 +189,68 @@ impl<'a> IntoIterator for &'a OperationBatch {
     }
 }
 
+const OP_TAG_ADD: u8 = 0;
+const OP_TAG_REMOVE: u8 = 1;
+const OP_TAG_UPDATE: u8 = 2;
+
+impl crate::codec::BinCodec for Operation {
+    fn encode(&self, w: &mut crate::codec::ByteWriter) {
+        match self {
+            Operation::Add { id, record } => {
+                w.put_u8(OP_TAG_ADD);
+                id.encode(w);
+                record.encode(w);
+            }
+            Operation::Remove { id } => {
+                w.put_u8(OP_TAG_REMOVE);
+                id.encode(w);
+            }
+            Operation::Update { id, record } => {
+                w.put_u8(OP_TAG_UPDATE);
+                id.encode(w);
+                record.encode(w);
+            }
+        }
+    }
+    fn decode(r: &mut crate::codec::ByteReader<'_>) -> Result<Self, crate::codec::CodecError> {
+        match r.get_u8()? {
+            OP_TAG_ADD => Ok(Operation::Add {
+                id: ObjectId::decode(r)?,
+                record: Record::decode(r)?,
+            }),
+            OP_TAG_REMOVE => Ok(Operation::Remove {
+                id: ObjectId::decode(r)?,
+            }),
+            OP_TAG_UPDATE => Ok(Operation::Update {
+                id: ObjectId::decode(r)?,
+                record: Record::decode(r)?,
+            }),
+            tag => Err(crate::codec::CodecError::BadTag {
+                what: "Operation",
+                tag,
+            }),
+        }
+    }
+}
+
+impl crate::codec::BinCodec for OperationBatch {
+    fn encode(&self, w: &mut crate::codec::ByteWriter) {
+        w.put_usize(self.ops.len());
+        for op in &self.ops {
+            op.encode(w);
+        }
+    }
+    fn decode(r: &mut crate::codec::ByteReader<'_>) -> Result<Self, crate::codec::CodecError> {
+        // The smallest operation is a Remove: 1 tag byte + 8 id bytes.
+        let len = r.get_length_prefix(9)?;
+        let mut ops = Vec::with_capacity(len);
+        for _ in 0..len {
+            ops.push(Operation::decode(r)?);
+        }
+        Ok(OperationBatch { ops })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -238,6 +238,71 @@ impl RecordBuilder {
     }
 }
 
+const FIELD_TAG_TEXT: u8 = 0;
+const FIELD_TAG_NUMBER: u8 = 1;
+
+impl crate::codec::BinCodec for FieldValue {
+    fn encode(&self, w: &mut crate::codec::ByteWriter) {
+        match self {
+            FieldValue::Text(s) => {
+                w.put_u8(FIELD_TAG_TEXT);
+                w.put_str(s);
+            }
+            FieldValue::Number(x) => {
+                w.put_u8(FIELD_TAG_NUMBER);
+                w.put_f64(*x);
+            }
+        }
+    }
+    fn decode(r: &mut crate::codec::ByteReader<'_>) -> Result<Self, crate::codec::CodecError> {
+        match r.get_u8()? {
+            FIELD_TAG_TEXT => Ok(FieldValue::Text(r.get_str()?)),
+            FIELD_TAG_NUMBER => Ok(FieldValue::Number(r.get_f64()?)),
+            tag => Err(crate::codec::CodecError::BadTag {
+                what: "FieldValue",
+                tag,
+            }),
+        }
+    }
+}
+
+impl crate::codec::BinCodec for Record {
+    fn encode(&self, w: &mut crate::codec::ByteWriter) {
+        w.put_usize(self.field_count());
+        for (name, value) in self.fields() {
+            w.put_str(name);
+            value.encode(w);
+        }
+        w.put_usize(self.vector.len());
+        for &x in &self.vector {
+            w.put_f64(x);
+        }
+        self.entity.encode(w);
+    }
+    fn decode(r: &mut crate::codec::ByteReader<'_>) -> Result<Self, crate::codec::CodecError> {
+        use crate::codec::CodecError;
+        let mut record = Record::new();
+        // A named field is at least a length-prefixed name (8 bytes) plus a
+        // tagged value (9 bytes); a vector element is 8 bytes.
+        let fields = r.get_length_prefix(17)?;
+        for _ in 0..fields {
+            let name = r.get_str()?;
+            let value = FieldValue::decode(r)?;
+            if record.fields.insert(name.clone(), value).is_some() {
+                return Err(CodecError::Invalid(format!("duplicate field '{name}'")));
+            }
+        }
+        let dims = r.get_length_prefix(8)?;
+        let mut vector = Vec::with_capacity(dims);
+        for _ in 0..dims {
+            vector.push(r.get_f64()?);
+        }
+        record.vector = vector;
+        record.entity = Option::<u64>::decode(r)?;
+        Ok(record)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

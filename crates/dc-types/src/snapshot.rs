@@ -12,7 +12,7 @@ use crate::{OperationBatch, OperationKind};
 use serde::{Deserialize, Serialize};
 
 /// One round of the dynamic workload.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct Snapshot {
     /// 1-based index of the snapshot in its workload.
     pub index: usize,
@@ -70,6 +70,18 @@ impl SnapshotStats {
             OperationKind::Update => self.updates,
         };
         100.0 * count as f64 / base as f64
+    }
+}
+
+impl crate::codec::BinCodec for Snapshot {
+    fn encode(&self, w: &mut crate::codec::ByteWriter) {
+        w.put_usize(self.index);
+        self.batch.encode(w);
+    }
+    fn decode(r: &mut crate::codec::ByteReader<'_>) -> Result<Self, crate::codec::CodecError> {
+        let index = r.get_usize()?;
+        let batch = OperationBatch::decode(r)?;
+        Ok(Snapshot::new(index, batch))
     }
 }
 

@@ -17,6 +17,7 @@
 //! |---|---|
 //! | [`types`] | objects, records, datasets, operations, clusterings |
 //! | [`similarity`] | similarity measures, blocking, the sparse similarity graph |
+//! | [`storage`] | durability: write-ahead log, atomic snapshots, crash recovery |
 //! | [`objective`] | correlation / k-means / DB-index / density objectives with delta evaluation |
 //! | [`batch`] | hill-climbing, DBSCAN, Lloyd's k-means batch algorithms |
 //! | [`ml`] | logistic regression, linear SVM, decision tree, metrics, θ selection |
@@ -69,6 +70,7 @@ pub use dc_evolution as evolution;
 pub use dc_ml as ml;
 pub use dc_objective as objective;
 pub use dc_similarity as similarity;
+pub use dc_storage as storage;
 pub use dc_types as types;
 
 /// The most commonly used items, re-exported flat.
@@ -79,7 +81,8 @@ pub mod prelude {
         KMeans, KMeansConfig,
     };
     pub use dc_core::{
-        train_on_workload, DynamicC, DynamicCConfig, Engine, RoundReport, TrainingReport,
+        train_on_workload, DurabilityOptions, DurableEngine, DynamicC, DynamicCConfig, Engine,
+        RecoveryReport, RoundReport, StorageError, TrainingReport,
     };
     pub use dc_datagen::{
         ground_truth, AccessLikeGenerator, CoraLikeGenerator, DuplicateDistribution,
