@@ -23,6 +23,10 @@
 //!   bench-durability  emit BENCH_durability.json (WAL append ops/sec,
 //!                  checkpoint seconds, recovery vs full-replay seconds per
 //!                  fixture scenario; --out <path> overrides the output file)
+//!   bench-sharding  emit BENCH_sharding.json (wall-clock and ops/sec per
+//!                  shard count in {1,2,4,8}, merged structural counters,
+//!                  cross-shard edge drops; --out <path> overrides the
+//!                  output file)
 //!   all      everything above except the bench-* subcommands
 //! ```
 //!
@@ -137,6 +141,53 @@ fn bench_durability(out: Option<String>) {
     let path = out.unwrap_or_else(|| "BENCH_durability.json".to_string());
     let json = dc_bench::durability_results_to_json(&results);
     std::fs::write(&path, json).expect("write durability bench output");
+    println!("wrote {path}");
+}
+
+// ---------------------------------------------------------------------------
+// BENCH_sharding.json
+// ---------------------------------------------------------------------------
+fn bench_sharding(out: Option<String>) {
+    header("BENCH: sharding (wall-clock scaling over shard counts)");
+    let results = dc_bench::run_sharding_bench();
+    for scenario in &results {
+        println!(
+            "-- {} ({} rounds, {} ops; unsharded engine {:.3}s)",
+            scenario.name, scenario.rounds, scenario.operations, scenario.baseline_engine_seconds
+        );
+        println!(
+            "{:>7} {:>10} {:>12} {:>9} {:>9} {:>10} {:>12} {:>12}",
+            "shards",
+            "seconds",
+            "ops/sec",
+            "speedup",
+            "clusters",
+            "merges",
+            "comparisons",
+            "edges dropped"
+        );
+        for run in &scenario.runs {
+            println!(
+                "{:>7} {:>10.3} {:>12.1} {:>8.2}x {:>9} {:>10} {:>12} {:>12}",
+                run.shards,
+                run.seconds,
+                run.ops_per_sec(scenario.operations),
+                scenario.speedup(run.shards),
+                run.clusters,
+                run.merges_applied,
+                run.comparisons,
+                run.cross_shard_edges_dropped,
+            );
+            assert_eq!(
+                run.aggregate_full_builds, 0,
+                "{}: {} shards fell off the incremental path",
+                scenario.name, run.shards
+            );
+        }
+    }
+    let path = out.unwrap_or_else(|| "BENCH_sharding.json".to_string());
+    let json = dc_bench::sharding_results_to_json(&results);
+    std::fs::write(&path, json).expect("write sharding bench output");
     println!("wrote {path}");
 }
 
@@ -534,6 +585,7 @@ fn main() {
     match command.as_str() {
         "bench-serving" => bench_serving(out),
         "bench-durability" => bench_durability(out),
+        "bench-sharding" => bench_sharding(out),
         "fig3" => fig3(options),
         "fig5a" => fig5a(options),
         "fig5b" => fig5_density(

@@ -1,0 +1,429 @@
+//! The `BENCH_sharding` perf baseline: measured scaling of the
+//! [`ShardedEngine`] over shard counts on the largest fixture workloads.
+//!
+//! The experiments binary (`experiments bench-sharding`) serializes
+//! [`run_sharding_bench`]'s results to `BENCH_sharding.json`.  Each scenario
+//! serves the identical workload through a sharded engine with 1, 2, 4, and
+//! 8 shards (plus an unsharded [`Engine`] reference, to show the one-shard
+//! facade adds no overhead) and records, per shard count:
+//!
+//! * wall-clock and ops/sec for the served rounds (partitioning and model
+//!   training excluded — both are one-off construction costs);
+//! * the structural outcome — live objects, merged clusters, merges/splits
+//!   applied, objective evaluations, similarity comparisons — which is
+//!   **deterministic**: CI runs the bench twice and diffs everything except
+//!   the timing fields;
+//! * the serving-path full-aggregate-build count, which must be **zero** for
+//!   every shard count (each shard stays on the incremental path).
+//!
+//! The acceptance criterion of the sharding issue: 4 shards serve the
+//! largest fixture at least 1.5x faster than 1 shard, enforced by this
+//! module's test.
+//!
+//! Schema of the emitted JSON (documented in the README):
+//!
+//! ```json
+//! {
+//!   "bench": "sharding",
+//!   "scenarios": [
+//!     {
+//!       "name": "...",                  // fixture workload + objective
+//!       "objective": "...",
+//!       "rounds": 6,                    // served rounds (after training)
+//!       "operations": 720,              // workload operations served
+//!       "baseline_engine_seconds": 1.0, // unsharded Engine reference
+//!       "runs": [
+//!         {
+//!           "shards": 1,
+//!           "seconds": 1.01,            // wall-clock for the served rounds
+//!           "ops_per_sec": 712.0,
+//!           "mean_ms_per_round": 168.0,
+//!           "speedup_vs_one_shard": 1.0,
+//!           "objects": 560,             // live objects after the last round
+//!           "clusters": 199,            // merged clusters after the last round
+//!           "merges_applied": 120,
+//!           "splits_applied": 3,
+//!           "objective_evaluations": 900,
+//!           "comparisons": 42000,       // similarity computations while serving
+//!           "aggregate_full_builds": 0, // serving steady state (must stay 0)
+//!           "cross_shard_edges_dropped": 0
+//!         }
+//!       ]
+//!     }
+//!   ]
+//! }
+//! ```
+
+use dc_batch::{BatchClusterer, HillClimbing};
+use dc_core::{train_on_workload, DynamicC, Engine, ShardedEngine};
+use dc_datagen::fixtures::{small_access_workload, FIXTURE_SEED};
+use dc_datagen::{DynamicWorkload, WorkloadConfig};
+use dc_objective::{CorrelationObjective, DbIndexObjective, ObjectiveFunction};
+use dc_similarity::{BuildCounter, GraphConfig, ShardRouter, SimilarityGraph};
+use dc_types::Clustering;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Shard counts every scenario is measured at.
+pub const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// Measured numbers for one shard count within a scenario.
+#[derive(Debug, Clone)]
+pub struct ShardingRunResult {
+    /// Number of shards.
+    pub shards: usize,
+    /// Wall-clock seconds for the served rounds.
+    pub seconds: f64,
+    /// Live objects after the last round (shard-count independent).
+    pub objects: usize,
+    /// Merged clusters after the last round.
+    pub clusters: usize,
+    /// Merges applied across the served rounds (summed over shards).
+    pub merges_applied: usize,
+    /// Splits applied across the served rounds (summed over shards).
+    pub splits_applied: usize,
+    /// Objective delta evaluations during verification (summed over shards).
+    pub objective_evaluations: u64,
+    /// Similarity computations performed while serving (summed over shards).
+    pub comparisons: u64,
+    /// Full O(E) aggregate builds during serving (0 in steady state, for
+    /// every shard count).
+    pub aggregate_full_builds: u64,
+    /// Similarity edges dropped by the initial partition because their
+    /// endpoints routed to different shards.
+    pub cross_shard_edges_dropped: usize,
+}
+
+/// Measured numbers for one fixture scenario across all shard counts.
+#[derive(Debug, Clone)]
+pub struct ShardingScenarioResult {
+    /// Scenario name (fixture + objective).
+    pub name: String,
+    /// Objective used for search and verification.
+    pub objective: String,
+    /// Served rounds (after the training prefix).
+    pub rounds: usize,
+    /// Total workload operations served.
+    pub operations: usize,
+    /// Wall-clock seconds for the same rounds through an unsharded
+    /// [`Engine`] (the one-shard run should be within noise of this).
+    pub baseline_engine_seconds: f64,
+    /// One entry per element of [`SHARD_COUNTS`].
+    pub runs: Vec<ShardingRunResult>,
+}
+
+impl ShardingScenarioResult {
+    /// The run for a given shard count.
+    pub fn run(&self, shards: usize) -> &ShardingRunResult {
+        self.runs
+            .iter()
+            .find(|r| r.shards == shards)
+            .expect("shard count was measured")
+    }
+
+    /// Wall-clock speedup of `shards` shards over one shard.
+    pub fn speedup(&self, shards: usize) -> f64 {
+        let one = self.run(1).seconds;
+        let n = self.run(shards).seconds;
+        if n > 0.0 {
+            one / n
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+impl ShardingRunResult {
+    /// Operations per second, given the scenario's operation count.
+    pub fn ops_per_sec(&self, operations: usize) -> f64 {
+        if self.seconds > 0.0 {
+            operations as f64 / self.seconds
+        } else {
+            0.0
+        }
+    }
+
+    /// Mean serving latency per round in milliseconds.
+    pub fn mean_ms_per_round(&self, rounds: usize) -> f64 {
+        if rounds > 0 {
+            self.seconds * 1e3 / rounds as f64
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Deterministic train-then-previous pipeline, built once per scenario;
+/// every run starts from an independent clone of the identical state (the
+/// pipeline is deterministic, so cloning and rebuilding are
+/// indistinguishable — the equivalence tests pin that).
+fn trained_setup(
+    workload: &DynamicWorkload,
+    graph_config: impl Fn() -> GraphConfig,
+    objective: Arc<dyn ObjectiveFunction>,
+    train_rounds: usize,
+) -> (SimilarityGraph, Clustering, DynamicC) {
+    let mut graph = SimilarityGraph::build(graph_config(), &workload.initial);
+    let batch = HillClimbing::with_objective(objective.clone());
+    let initial = batch.cluster(&graph).clustering;
+    let mut dynamicc = DynamicC::with_objective(objective);
+    let train = &workload.snapshots[..train_rounds.min(workload.snapshots.len())];
+    let report = train_on_workload(&mut dynamicc, &mut graph, &initial, train, &batch);
+    let previous = report.final_clustering(&initial);
+    (graph, previous, dynamicc)
+}
+
+fn scenario(
+    name: &str,
+    workload: &DynamicWorkload,
+    graph_config: impl Fn() -> GraphConfig + Copy,
+    objective: Arc<dyn ObjectiveFunction>,
+    train_rounds: usize,
+) -> ShardingScenarioResult {
+    let serve = &workload.snapshots[train_rounds.min(workload.snapshots.len())..];
+    let operations: usize = serve.iter().map(|s| s.batch.len()).sum();
+
+    let (trained_graph, trained_previous, trained_dynamicc) =
+        trained_setup(workload, graph_config, objective.clone(), train_rounds);
+    let objective_name = trained_dynamicc.objective().name().to_string();
+
+    // Unsharded reference.
+    let mut engine = Engine::new(
+        trained_graph.clone(),
+        trained_previous.clone(),
+        trained_dynamicc.clone(),
+    );
+    let started = Instant::now();
+    for snapshot in serve {
+        engine.apply_round(&snapshot.batch);
+    }
+    let baseline_engine_seconds = started.elapsed().as_secs_f64();
+
+    let mut runs = Vec::with_capacity(SHARD_COUNTS.len());
+    for shards in SHARD_COUNTS {
+        let (graph, previous, dynamicc) = (
+            trained_graph.clone(),
+            trained_previous.clone(),
+            trained_dynamicc.clone(),
+        );
+        let router = ShardRouter::for_config(shards, graph.config());
+        let comparisons_before = graph.comparisons();
+        let mut sharded = ShardedEngine::new(router, graph, previous, dynamicc);
+        let cross_shard_edges_dropped = sharded.cross_shard_edges_dropped();
+        let stats_before = sharded.stats();
+
+        let started = Instant::now();
+        let ((), aggregate_full_builds) = BuildCounter::scope(|| {
+            for snapshot in serve {
+                sharded.apply_round(&snapshot.batch);
+            }
+        });
+        let seconds = started.elapsed().as_secs_f64();
+
+        let stats = sharded.stats();
+        runs.push(ShardingRunResult {
+            shards,
+            seconds,
+            objects: sharded.object_count(),
+            clusters: sharded.merged_clustering().cluster_count(),
+            merges_applied: stats.merges_applied - stats_before.merges_applied,
+            splits_applied: stats.splits_applied - stats_before.splits_applied,
+            objective_evaluations: stats.objective_evaluations - stats_before.objective_evaluations,
+            comparisons: sharded.comparisons() - comparisons_before,
+            aggregate_full_builds,
+            cross_shard_edges_dropped,
+        });
+    }
+
+    ShardingScenarioResult {
+        name: name.to_string(),
+        objective: objective_name,
+        rounds: serve.len(),
+        operations,
+        baseline_engine_seconds,
+        runs,
+    }
+}
+
+/// The largest fixture workload in the repository: a Febrl-like dataset of
+/// 300 original entities (~840 records with duplicates) under a 6-snapshot
+/// dynamic workload.  Big enough that a round's serving work dominates the
+/// scoped-thread-pool overhead, which is what makes the shard-count scaling
+/// measurement meaningful.
+pub fn large_febrl_workload() -> DynamicWorkload {
+    let dataset = dc_datagen::FebrlLikeGenerator {
+        originals: 300,
+        duplicates_per_original: 1.8,
+        seed: FIXTURE_SEED,
+        ..dc_datagen::FebrlLikeGenerator::default()
+    }
+    .generate();
+    DynamicWorkload::generate(
+        &dataset,
+        WorkloadConfig {
+            initial_fraction: 0.35,
+            snapshots: 6,
+            seed: FIXTURE_SEED ^ 0x51AD,
+            ..WorkloadConfig::default()
+        },
+    )
+}
+
+/// The graph configuration the textual sharding scenario measures under:
+/// the Febrl composite measure with **exact** token blocking (no stop-word
+/// cutoff).  `GraphConfig::textual_febrl`'s cutoff of 256 skips blocks
+/// larger than 256 records when querying, which makes the candidate
+/// semantics depend on shard size (a block that is over the cutoff in the
+/// full graph falls under it in a quarter-size shard and suddenly produces
+/// comparisons).  Exact blocking gives every shard count the same
+/// semantics, so the measured scaling is the partition's, not the cutoff's.
+fn sharded_febrl_config() -> GraphConfig {
+    GraphConfig::new(
+        Box::new(dc_similarity::measures::CompositeMeasure::febrl_default()),
+        Box::new(dc_similarity::TokenBlocking::new(0)),
+        0.6,
+    )
+}
+
+/// Run the sharding benchmark over the fixture workloads.  The first
+/// scenario is the largest (the one the acceptance ratio is enforced on).
+pub fn run_sharding_bench() -> Vec<ShardingScenarioResult> {
+    vec![
+        scenario(
+            "febrl_large_dbindex",
+            &large_febrl_workload(),
+            sharded_febrl_config,
+            Arc::new(DbIndexObjective),
+            2,
+        ),
+        scenario(
+            "access_small_correlation",
+            &small_access_workload(),
+            || GraphConfig::numeric_euclidean(1.8, 4.0, 3, 0.25),
+            Arc::new(CorrelationObjective),
+            2,
+        ),
+    ]
+}
+
+/// Serialize the results to the `BENCH_sharding.json` document.
+pub fn sharding_results_to_json(results: &[ShardingScenarioResult]) -> String {
+    let mut out = String::from("{\n  \"bench\": \"sharding\",\n  \"scenarios\": [\n");
+    for (i, scenario) in results.iter().enumerate() {
+        out.push_str(&format!(
+            concat!(
+                "    {{\n",
+                "      \"name\": \"{}\",\n",
+                "      \"objective\": \"{}\",\n",
+                "      \"rounds\": {},\n",
+                "      \"operations\": {},\n",
+                "      \"baseline_engine_seconds\": {:.6},\n",
+                "      \"runs\": [\n",
+            ),
+            scenario.name,
+            scenario.objective,
+            scenario.rounds,
+            scenario.operations,
+            scenario.baseline_engine_seconds,
+        ));
+        for (j, run) in scenario.runs.iter().enumerate() {
+            out.push_str(&format!(
+                concat!(
+                    "        {{\n",
+                    "          \"shards\": {},\n",
+                    "          \"seconds\": {:.6},\n",
+                    "          \"ops_per_sec\": {:.2},\n",
+                    "          \"mean_ms_per_round\": {:.3},\n",
+                    "          \"speedup_vs_one_shard\": {:.2},\n",
+                    "          \"objects\": {},\n",
+                    "          \"clusters\": {},\n",
+                    "          \"merges_applied\": {},\n",
+                    "          \"splits_applied\": {},\n",
+                    "          \"objective_evaluations\": {},\n",
+                    "          \"comparisons\": {},\n",
+                    "          \"aggregate_full_builds\": {},\n",
+                    "          \"cross_shard_edges_dropped\": {}\n",
+                    "        }}{}\n",
+                ),
+                run.shards,
+                run.seconds,
+                run.ops_per_sec(scenario.operations),
+                run.mean_ms_per_round(scenario.rounds),
+                scenario.speedup(run.shards),
+                run.objects,
+                run.clusters,
+                run.merges_applied,
+                run.splits_applied,
+                run.objective_evaluations,
+                run.comparisons,
+                run.aggregate_full_builds,
+                run.cross_shard_edges_dropped,
+                if j + 1 == scenario.runs.len() {
+                    ""
+                } else {
+                    ","
+                },
+            ));
+        }
+        out.push_str(&format!(
+            "      ]\n    }}{}\n",
+            if i + 1 == results.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sharding_bench_scales_and_stays_on_the_incremental_path() {
+        let results = run_sharding_bench();
+        assert_eq!(results.len(), 2);
+        for scenario in &results {
+            assert!(scenario.rounds > 0, "{}: no served rounds", scenario.name);
+            assert!(scenario.operations > 0, "{}: no operations", scenario.name);
+            assert_eq!(scenario.runs.len(), SHARD_COUNTS.len());
+            let objects = scenario.run(1).objects;
+            for run in &scenario.runs {
+                // Zero full aggregate builds per shard per round, at every
+                // shard count: sharding must not fall off the incremental
+                // path.
+                assert_eq!(
+                    run.aggregate_full_builds, 0,
+                    "{}: {} shards rebuilt aggregates while serving",
+                    scenario.name, run.shards
+                );
+                // Coverage is shard-count independent.
+                assert_eq!(
+                    run.objects, objects,
+                    "{}: {} shards changed the live-object count",
+                    scenario.name, run.shards
+                );
+            }
+            assert_eq!(
+                scenario.run(1).cross_shard_edges_dropped,
+                0,
+                "{}: one shard must not drop edges",
+                scenario.name
+            );
+        }
+        // Acceptance criterion: >= 1.5x wall-clock speedup at 4 shards on
+        // the largest fixture.
+        let largest = &results[0];
+        assert!(
+            largest.speedup(4) >= 1.5,
+            "{}: 4-shard speedup {:.2} < 1.5 (1 shard {:.3}s, 4 shards {:.3}s)",
+            largest.name,
+            largest.speedup(4),
+            largest.run(1).seconds,
+            largest.run(4).seconds,
+        );
+        let json = sharding_results_to_json(&results);
+        assert!(json.contains("\"bench\": \"sharding\""));
+        assert!(json.contains("speedup_vs_one_shard"));
+        assert!(json.contains("cross_shard_edges_dropped"));
+    }
+}

@@ -91,6 +91,31 @@ impl DynamicCStats {
     pub fn changes_applied(&self) -> usize {
         self.merges_applied + self.splits_applied
     }
+
+    /// Fold another instance's counters into this one, field by field.
+    pub fn accumulate(&mut self, other: &DynamicCStats) {
+        self.observed_rounds += other.observed_rounds;
+        self.retrain_count += other.retrain_count;
+        self.merge_candidates += other.merge_candidates;
+        self.merges_applied += other.merges_applied;
+        self.merges_rejected += other.merges_rejected;
+        self.split_candidates += other.split_candidates;
+        self.splits_applied += other.splits_applied;
+        self.splits_rejected += other.splits_rejected;
+        self.objective_evaluations += other.objective_evaluations;
+    }
+
+    /// The field-wise sum of a collection of per-shard statistics — the
+    /// global view a sharded engine reports.  Summing a single instance
+    /// returns it unchanged, which is what keeps a one-shard engine's
+    /// merged stats identical to an unsharded engine's.
+    pub fn merged<I: IntoIterator<Item = DynamicCStats>>(stats: I) -> DynamicCStats {
+        let mut out = DynamicCStats::default();
+        for s in stats {
+            out.accumulate(&s);
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -105,6 +130,29 @@ mod tests {
         assert!((c.sampler.inactive_weight - 0.3).abs() < 1e-12);
         assert_eq!(c.theta_scale, 1.0);
         assert!(c.max_passes > 0);
+    }
+
+    #[test]
+    fn merged_stats_are_the_field_wise_sum() {
+        let a = DynamicCStats {
+            observed_rounds: 1,
+            merges_applied: 2,
+            objective_evaluations: 10,
+            ..DynamicCStats::default()
+        };
+        let b = DynamicCStats {
+            splits_applied: 3,
+            objective_evaluations: 5,
+            ..DynamicCStats::default()
+        };
+        let m = DynamicCStats::merged([a, b]);
+        assert_eq!(m.observed_rounds, 1);
+        assert_eq!(m.merges_applied, 2);
+        assert_eq!(m.splits_applied, 3);
+        assert_eq!(m.objective_evaluations, 15);
+        // Summing one instance is the identity.
+        assert_eq!(DynamicCStats::merged([a]), a);
+        assert_eq!(DynamicCStats::merged([]), DynamicCStats::default());
     }
 
     #[test]

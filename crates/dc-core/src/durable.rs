@@ -179,6 +179,23 @@ impl DurableEngine {
         options: DurabilityOptions,
         bootstrap: impl FnOnce() -> (SimilarityGraph, Clustering),
     ) -> Result<(Self, RecoveryReport), StorageError> {
+        Self::open_with_replay_cap(dir, graph_config, dynamicc, options, None, bootstrap)
+    }
+
+    /// [`DurableEngine::open`] with an optional *replay cap*: recovery stops
+    /// at round `cap` and physically truncates any logged-but-uncommitted
+    /// rounds beyond it (see [`Wal::open_capped`]).  The sharded durable
+    /// engine uses this to roll every shard back to the globally committed
+    /// round — a round that reached only some shard WALs before a crash was
+    /// never acknowledged and must be forgotten everywhere.
+    pub(crate) fn open_with_replay_cap(
+        dir: impl AsRef<Path>,
+        graph_config: GraphConfig,
+        dynamicc: DynamicC,
+        options: DurabilityOptions,
+        replay_cap: Option<u64>,
+        bootstrap: impl FnOnce() -> (SimilarityGraph, Clustering),
+    ) -> Result<(Self, RecoveryReport), StorageError> {
         let dir = dir.as_ref();
         let snapshotter = Snapshotter::new(dir)?;
         match snapshotter.load_latest::<EngineSnapshot>()? {
@@ -188,6 +205,7 @@ impl DurableEngine {
                 graph_config,
                 dynamicc,
                 options,
+                replay_cap,
                 round,
                 snapshot,
             ),
@@ -221,12 +239,14 @@ impl DurableEngine {
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn recover(
         dir: &Path,
         snapshotter: Snapshotter,
         graph_config: GraphConfig,
         mut dynamicc: DynamicC,
         options: DurabilityOptions,
+        replay_cap: Option<u64>,
         snapshot_round: u64,
         snapshot: EngineSnapshot,
     ) -> Result<(Self, RecoveryReport), StorageError> {
@@ -234,6 +254,16 @@ impl DurableEngine {
             return Err(StorageError::Inconsistent(format!(
                 "snapshot file for round {snapshot_round} records rounds_served = {}",
                 snapshot.rounds_served
+            )));
+        }
+        if replay_cap.is_some_and(|cap| snapshot_round > cap) {
+            // A snapshot beyond the cap would mean a checkpoint of a round
+            // that was never globally committed — the sharded protocol only
+            // checkpoints after a round completed on every shard, so this is
+            // damage, not a crash window.
+            return Err(StorageError::Inconsistent(format!(
+                "snapshot at round {snapshot_round} exceeds the replay cap {}",
+                replay_cap.unwrap_or_default()
             )));
         }
         let codec_err = |source: CodecError| StorageError::Codec {
@@ -263,7 +293,7 @@ impl DurableEngine {
         };
         let mut tail_wal: Option<Wal> = None;
         for (_, path) in list_segments(dir)? {
-            let (wal, records, outcome) = Wal::open(&path)?;
+            let (wal, records, outcome) = Wal::open_capped(&path, replay_cap)?;
             report.dropped_torn_tail |= outcome.dropped_torn_tail;
             for record in records {
                 if record.round <= engine.rounds_served() as u64 {
@@ -382,6 +412,42 @@ impl DurableEngine {
     /// Bytes currently in the active WAL segment.
     pub fn wal_bytes(&self) -> u64 {
         self.wal.len_bytes()
+    }
+
+    /// The newest round any durable artifact in `dir` can recover to: the
+    /// latest snapshot round or the last complete WAL record, whichever is
+    /// greater — `(None, _)` when the directory holds no durable state at
+    /// all.  Torn tails are repaired (truncated) as a side effect, exactly
+    /// as a full open would — the second component reports whether one was
+    /// dropped, since a subsequent open will find the file already clean.
+    /// Complete records are never touched.
+    ///
+    /// This is the first pass of sharded recovery: peek every shard's
+    /// recoverable round, take the minimum as the globally committed round,
+    /// then reopen each shard with that cap.
+    pub(crate) fn last_durable_round(dir: &Path) -> Result<(Option<u64>, bool), StorageError> {
+        if !dir.is_dir() {
+            return Ok((None, false));
+        }
+        let snapshotter = Snapshotter::new(dir)?;
+        let snapshots = snapshotter.list()?;
+        let segments = list_segments(dir)?;
+        let Some(mut last) = snapshots.iter().map(|(round, _)| *round).max() else {
+            if segments.is_empty() {
+                return Ok((None, false));
+            }
+            return Err(StorageError::Inconsistent(format!(
+                "{} holds WAL segments but no snapshot",
+                dir.display()
+            )));
+        };
+        let mut dropped_torn_tail = false;
+        for (_, path) in segments {
+            let (wal, _, outcome) = Wal::open(&path)?;
+            dropped_torn_tail |= outcome.dropped_torn_tail;
+            last = last.max(wal.last_round());
+        }
+        Ok((Some(last), dropped_torn_tail))
     }
 
     /// Paths of the durable artifacts currently on disk (snapshots, then

@@ -39,6 +39,12 @@
 //!    rounds are logged before they are applied, checkpoints bound recovery
 //!    replay, and a recovered instance is bit-identical to a never-restarted
 //!    one.
+//! 6. **Sharded serving** ([`shard`]).  The [`ShardedEngine`] partitions
+//!    the live objects across N independent engines by their blocking keys
+//!    (`dc_similarity::ShardRouter`) and serves each round's sub-batches in
+//!    parallel on a scoped-thread pool; [`ShardedDurableEngine`] adds one
+//!    WAL + snapshot directory per shard with min-committed-round crash
+//!    recovery.  One shard is bit-identical to the unsharded engine.
 
 #![deny(missing_docs)]
 #![deny(rustdoc::broken_intra_doc_links)]
@@ -49,6 +55,7 @@ pub mod dynamic;
 pub mod engine;
 pub mod merge;
 pub mod models;
+pub mod shard;
 pub mod split;
 pub mod trainer;
 
@@ -57,6 +64,7 @@ pub use durable::{DurabilityOptions, DurableEngine, RecoveryReport};
 pub use dynamic::DynamicC;
 pub use engine::{Engine, RoundReport};
 pub use models::ModelPair;
+pub use shard::{ShardedDurableEngine, ShardedEngine, ShardedRecoveryReport, ShardedRoundReport};
 pub use trainer::{train_on_workload, RoundObservation, TrainingReport};
 
 pub use dc_storage::StorageError;

@@ -1,0 +1,838 @@
+//! Sharded parallel serving: N independent [`Engine`]s behind one facade.
+//!
+//! The serving loop is embarrassingly partitionable across blocking keys
+//! (§6, Algorithm 3): similarity edges only ever form between records that
+//! share a block, so partitioning objects by their canonical blocking key
+//! ([`ShardRouter`]) yields shards whose engines never need to talk to each
+//! other.  A shard is an [`Engine`], a round is one `apply_round` call per
+//! shard, and the N calls run in parallel on a hand-rolled scoped-thread
+//! pool (`std::thread::scope`; no dependencies).
+//!
+//! ## What the partition preserves
+//!
+//! * **Objects** — every live object is owned by exactly one shard, decided
+//!   by the router at first sight and sticky until the object is removed.
+//! * **Cluster-id namespaces** — shard `i` allocates cluster ids from
+//!   `shard_id_base(i) + watermark` upward (the watermark scheme the
+//!   [`Clustering`] codec already persists), so per-shard clusterings merge
+//!   into one global view without id collisions.  Clusters inherited whole
+//!   from the pre-partition clustering keep their original ids.
+//! * **Statistics** — the global [`DynamicCStats`] / comparison counters /
+//!   [`RoundReport`]s are the field-wise sums of the per-shard ones.
+//!
+//! What it deliberately drops: similarity edges *between* shards.  Records
+//! whose blocking keys route apart would rarely have shared a block, but the
+//! partition is still lossy — that is the price of linear scaling, and the
+//! `bench-sharding` benchmark measures both sides of the trade.
+//!
+//! With **one** shard nothing is dropped and nothing is renumbered: the
+//! sub-batch is the input batch, the namespace base is 0, and the sharded
+//! engine is bit-identical to an unsharded [`Engine`] — clusterings
+//! (including cluster ids), stats, and comparison counters.  This is pinned
+//! by `tests/sharded_equivalence.rs`.
+//!
+//! ## Durable sharding
+//!
+//! [`ShardedDurableEngine`] gives every shard its own WAL + snapshot
+//! directory (`shard-000/`, `shard-001/`, …) wrapped in a [`DurableEngine`].
+//! A round is durable once *every* shard has logged its sub-batch, so the
+//! globally committed round is the **minimum** over the shards' recoverable
+//! rounds.  Recovery peeks that minimum first, then reopens each shard
+//! capped at it — shards that logged a never-acknowledged round (a crash
+//! mid-distribution, or a torn tail in one shard) are physically rolled
+//! back, keeping all shards bit-identical to a never-restarted sharded run.
+//! Checkpoints are driven globally (after a round has completed on every
+//! shard), never by the shards themselves, so no snapshot can ever get ahead
+//! of the committed round.
+
+use crate::config::DynamicCStats;
+use crate::durable::{DurabilityOptions, RecoveryReport};
+use crate::dynamic::DynamicC;
+use crate::engine::{Engine, RoundReport};
+use crate::DurableEngine;
+use dc_similarity::persist::GraphState;
+use dc_similarity::{BuildCounter, GraphConfig, ShardRouter, SimilarityGraph};
+use dc_storage::StorageError;
+use dc_types::{shard_id_base, Clustering, ObjectId, OperationBatch};
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+/// The per-shard bootstrap state produced by [`partition_state`].
+struct ShardSeed {
+    graph: SimilarityGraph,
+    clustering: Clustering,
+}
+
+/// Everything a partition computes besides the seeds themselves.
+struct Partition {
+    seeds: Vec<ShardSeed>,
+    assignment: BTreeMap<ObjectId, usize>,
+    cross_shard_edges_dropped: usize,
+}
+
+/// Deterministically split one `(graph, clustering)` into per-shard seeds:
+/// records by routing key, edges surviving only within a shard, clusters
+/// kept verbatim when they land whole in one shard and re-created with
+/// fresh shard-tagged ids when the router splits them.
+fn partition_state(
+    router: &ShardRouter,
+    graph: &SimilarityGraph,
+    clustering: &Clustering,
+) -> Partition {
+    let n = router.n_shards();
+    let watermark = clustering.id_watermark();
+    assert!(
+        n == 1 || watermark <= shard_id_base(1),
+        "cluster-id watermark {watermark} overflows the shard-0 namespace"
+    );
+
+    let mut assignment: BTreeMap<ObjectId, usize> = BTreeMap::new();
+    for id in graph.object_ids() {
+        let record = graph.record(id).expect("live object");
+        assignment.insert(id, router.route(record));
+    }
+
+    // Graph: records and intra-shard edges; the donor's comparison counter
+    // is inherited by shard 0 so the merged counter stays continuous.
+    let full = graph.export_state();
+    let mut states: Vec<GraphState> = (0..n)
+        .map(|shard| GraphState {
+            records: Vec::new(),
+            edges: Vec::new(),
+            comparisons: if shard == 0 { full.comparisons } else { 0 },
+        })
+        .collect();
+    for (id, record) in full.records {
+        states[assignment[&id]].records.push((id, record));
+    }
+    let mut cross_shard_edges_dropped = 0usize;
+    for (a, b, sim) in full.edges {
+        let (sa, sb) = (assignment[&a], assignment[&b]);
+        if sa == sb {
+            states[sa].edges.push((a, b, sim));
+        } else {
+            cross_shard_edges_dropped += 1;
+        }
+    }
+
+    // Clustering: split donor clusters by shard.  Whole clusters keep their
+    // ids; split pieces get fresh ids from the owning shard's namespace.
+    let mut kept: Vec<Vec<(dc_types::ClusterId, Vec<ObjectId>)>> = vec![Vec::new(); n];
+    let mut fresh: Vec<Vec<Vec<ObjectId>>> = vec![Vec::new(); n];
+    for (cid, cluster) in clustering.iter() {
+        let mut pieces: BTreeMap<usize, Vec<ObjectId>> = BTreeMap::new();
+        for oid in cluster.iter() {
+            let shard = *assignment
+                .get(&oid)
+                .expect("clustered object must be in the graph");
+            pieces.entry(shard).or_default().push(oid);
+        }
+        if pieces.len() == 1 {
+            let (shard, members) = pieces.into_iter().next().expect("non-empty cluster");
+            kept[shard].push((cid, members));
+        } else {
+            for (shard, members) in pieces {
+                fresh[shard].push(members);
+            }
+        }
+    }
+
+    let config = graph.config();
+    let mut seeds = Vec::with_capacity(n);
+    for (shard, state) in states.into_iter().enumerate() {
+        let mut shard_clustering = Clustering::new();
+        for (cid, members) in kept[shard].drain(..) {
+            shard_clustering
+                .insert_cluster_with_id(cid, members)
+                .expect("donor cluster ids are globally unique");
+        }
+        shard_clustering.set_id_watermark(shard_id_base(shard) + watermark);
+        for members in fresh[shard].drain(..) {
+            shard_clustering
+                .create_cluster(members)
+                .expect("partition pieces are disjoint");
+        }
+        let shard_graph = SimilarityGraph::import_state(config.clone(), state)
+            .expect("partitioned state is well-formed by construction");
+        seeds.push(ShardSeed {
+            graph: shard_graph,
+            clustering: shard_clustering,
+        });
+    }
+    Partition {
+        seeds,
+        assignment,
+        cross_shard_edges_dropped,
+    }
+}
+
+/// Distribute one trained [`DynamicC`] across `n` shards: shard 0 inherits
+/// the donor (with its training statistics), the others carry the same
+/// models with zeroed counters — so the merged statistics stay the plain
+/// sum of the per-shard ones, continuous with the donor's history.
+fn distribute_dynamicc(donor: DynamicC, n: usize) -> Vec<DynamicC> {
+    (0..n)
+        .map(|shard| {
+            if shard == 0 {
+                donor.clone()
+            } else {
+                let mut d = donor.clone();
+                d.restore_stats(DynamicCStats::default());
+                d
+            }
+        })
+        .collect()
+}
+
+/// Run `f` once per `(shard, batch)` pair on a scoped thread pool of at most
+/// `max_threads` workers (contiguous chunks of shards per worker), and fold
+/// the workers' thread-local full-build counters back into the calling
+/// thread so [`BuildCounter::scope`] assertions stay exact across the
+/// fan-out.  Results come back in shard order.
+fn parallel_shard_rounds<T: Send, R: Send>(
+    shards: &mut [T],
+    batches: &[OperationBatch],
+    max_threads: usize,
+    f: impl Fn(&mut T, &OperationBatch) -> R + Sync,
+) -> Vec<R> {
+    assert_eq!(shards.len(), batches.len());
+    let n = shards.len();
+    let threads = max_threads.clamp(1, n.max(1));
+    let chunk = n.div_ceil(threads);
+    let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    let worker_builds: u64 = std::thread::scope(|scope| {
+        let f = &f;
+        let mut handles = Vec::with_capacity(threads);
+        for ((shard_chunk, batch_chunk), out_chunk) in shards
+            .chunks_mut(chunk)
+            .zip(batches.chunks(chunk))
+            .zip(out.chunks_mut(chunk))
+        {
+            handles.push(scope.spawn(move || {
+                let mut builds = 0u64;
+                for ((shard, batch), slot) in shard_chunk
+                    .iter_mut()
+                    .zip(batch_chunk)
+                    .zip(out_chunk.iter_mut())
+                {
+                    let (result, shard_builds) = BuildCounter::scope(|| f(shard, batch));
+                    builds += shard_builds;
+                    *slot = Some(result);
+                }
+                builds
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("shard worker panicked"))
+            .sum()
+    });
+    BuildCounter::merge_from_threads(worker_builds);
+    out.into_iter()
+        .map(|r| r.expect("every shard served"))
+        .collect()
+}
+
+/// What one sharded round did: the merged global view plus the per-shard
+/// reports it was summed from.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardedRoundReport {
+    /// The global view: every counter is the field-wise sum of the per-shard
+    /// reports (and `score` the sum of the per-shard objective scores).
+    pub merged: RoundReport,
+    /// One [`RoundReport`] per shard, in shard order.
+    pub per_shard: Vec<RoundReport>,
+}
+
+fn merge_round_reports(round: usize, per_shard: Vec<RoundReport>) -> ShardedRoundReport {
+    let mut merged = RoundReport {
+        round,
+        operations: 0,
+        isolated: 0,
+        objects: 0,
+        clusters: 0,
+        merges_applied: 0,
+        splits_applied: 0,
+        objective_evaluations: 0,
+        full_aggregate_builds: 0,
+        score: 0.0,
+    };
+    for r in &per_shard {
+        merged.operations += r.operations;
+        merged.isolated += r.isolated;
+        merged.objects += r.objects;
+        merged.clusters += r.clusters;
+        merged.merges_applied += r.merges_applied;
+        merged.splits_applied += r.splits_applied;
+        merged.objective_evaluations += r.objective_evaluations;
+        merged.full_aggregate_builds += r.full_aggregate_builds;
+        merged.score += r.score;
+    }
+    ShardedRoundReport { merged, per_shard }
+}
+
+/// N independent [`Engine`] shards served in parallel behind one facade.
+pub struct ShardedEngine {
+    shards: Vec<Engine>,
+    router: ShardRouter,
+    assignment: BTreeMap<ObjectId, usize>,
+    rounds_served: usize,
+    max_threads: usize,
+    cross_shard_edges_dropped: usize,
+}
+
+impl ShardedEngine {
+    /// Partition an already-populated `(graph, clustering)` pair (typically
+    /// the batch algorithm's output, like [`Engine::new`]) across the
+    /// router's shards and stand up one engine per shard.  Performs one full
+    /// aggregate build per shard — the same one-off cost `Engine::new` pays,
+    /// split N ways.
+    ///
+    /// The clustering's id watermark must fit the shard-0 namespace (ids
+    /// below `1 << 56`) when partitioning across more than one shard —
+    /// true for any clustering produced by the batch algorithms or a plain
+    /// [`Engine`].  A [`ShardedEngine::merged_clustering`] from a previous
+    /// *multi-shard* run does **not** qualify (its watermark lives in the
+    /// last shard's namespace): the shard count of a partition is fixed for
+    /// its lifetime, and this constructor panics rather than silently
+    /// re-tagging ids.  Re-sharding means re-clustering from the records.
+    pub fn new(
+        router: ShardRouter,
+        graph: SimilarityGraph,
+        clustering: Clustering,
+        dynamicc: DynamicC,
+    ) -> Self {
+        let n = router.n_shards();
+        let partition = partition_state(&router, &graph, &clustering);
+        let shards = partition
+            .seeds
+            .into_iter()
+            .zip(distribute_dynamicc(dynamicc, n))
+            .map(|(seed, d)| Engine::new(seed.graph, seed.clustering, d))
+            .collect();
+        ShardedEngine {
+            shards,
+            router,
+            assignment: partition.assignment,
+            rounds_served: 0,
+            max_threads: n,
+            cross_shard_edges_dropped: partition.cross_shard_edges_dropped,
+        }
+    }
+
+    /// Cap the number of worker threads a round fans out to (default: one
+    /// per shard).  Thread count never changes results — shards are
+    /// independent — only wall-clock.
+    pub fn with_max_threads(mut self, max_threads: usize) -> Self {
+        self.max_threads = max_threads.max(1);
+        self
+    }
+
+    /// Serve one round: split the batch into per-shard sub-batches with the
+    /// sticky router, run every shard's [`Engine::apply_round`] in parallel,
+    /// and merge the reports.  No shard performs a full aggregate build in
+    /// steady state, and the merged report's `full_aggregate_builds` (kept
+    /// visible to the calling thread via
+    /// [`BuildCounter::merge_from_threads`]) proves it.
+    pub fn apply_round(&mut self, batch: &OperationBatch) -> ShardedRoundReport {
+        let sub_batches = self.router.split_batch(batch, &mut self.assignment);
+        let reports = parallel_shard_rounds(
+            &mut self.shards,
+            &sub_batches,
+            self.max_threads,
+            |engine, sub| engine.apply_round(sub),
+        );
+        self.rounds_served += 1;
+        merge_round_reports(self.rounds_served, reports)
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The per-shard engines, in shard order.
+    pub fn shards(&self) -> &[Engine] {
+        &self.shards
+    }
+
+    /// The router in use.
+    pub fn router(&self) -> &ShardRouter {
+        &self.router
+    }
+
+    /// Rounds served so far.
+    pub fn rounds_served(&self) -> usize {
+        self.rounds_served
+    }
+
+    /// The shard currently owning `id`, if the object is live.
+    pub fn shard_of(&self, id: ObjectId) -> Option<usize> {
+        self.assignment.get(&id).copied()
+    }
+
+    /// Live objects across all shards.
+    pub fn object_count(&self) -> usize {
+        self.assignment.len()
+    }
+
+    /// Similarity edges the initial partition dropped because their
+    /// endpoints routed to different shards.
+    pub fn cross_shard_edges_dropped(&self) -> usize {
+        self.cross_shard_edges_dropped
+    }
+
+    /// The global [`DynamicCStats`]: the field-wise sum of the per-shard
+    /// statistics.
+    pub fn stats(&self) -> DynamicCStats {
+        DynamicCStats::merged(self.shards.iter().map(|s| *s.stats()))
+    }
+
+    /// Total pairwise similarity computations across all shards.
+    pub fn comparisons(&self) -> u64 {
+        self.shards.iter().map(|s| s.graph().comparisons()).sum()
+    }
+
+    /// The merged global clustering: the union of the per-shard clusterings
+    /// under their disjoint id namespaces, with the watermark at the maximum
+    /// of the per-shard watermarks.
+    pub fn merged_clustering(&self) -> Clustering {
+        merge_clusterings(self.shards.iter().map(|s| s.clustering()))
+    }
+}
+
+impl std::fmt::Debug for ShardedEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedEngine")
+            .field("shards", &self.shards.len())
+            .field("objects", &self.assignment.len())
+            .field("rounds_served", &self.rounds_served)
+            .field("router", &self.router)
+            .finish()
+    }
+}
+
+/// Union per-shard clusterings into one global clustering (the id
+/// namespaces are disjoint by construction, so this cannot collide).
+fn merge_clusterings<'a>(clusterings: impl Iterator<Item = &'a Clustering>) -> Clustering {
+    let mut merged = Clustering::new();
+    let mut watermark = 0u64;
+    for clustering in clusterings {
+        for (cid, cluster) in clustering.iter() {
+            merged
+                .insert_cluster_with_id(cid, cluster.iter())
+                .expect("shard id namespaces are disjoint");
+        }
+        watermark = watermark.max(clustering.id_watermark());
+    }
+    merged.set_id_watermark(watermark);
+    merged
+}
+
+/// What [`ShardedDurableEngine::open`] did to reach a servable state.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ShardedRecoveryReport {
+    /// Whether existing durable state was recovered (vs a fresh partition of
+    /// the bootstrap state).
+    pub recovered: bool,
+    /// The globally committed round recovery landed on — the minimum of the
+    /// shards' recoverable rounds.
+    pub committed_round: u64,
+    /// WAL rounds replayed, summed over the shards.
+    pub replayed_rounds: usize,
+    /// Whether any shard dropped a torn WAL tail.
+    pub dropped_torn_tail: bool,
+    /// How far ahead the furthest shard had logged beyond the committed
+    /// round (those rounds were never acknowledged and were rolled back).
+    pub rolled_back_rounds: u64,
+    /// One [`RecoveryReport`] per shard, in shard order.
+    pub per_shard: Vec<RecoveryReport>,
+}
+
+/// A crash-safe [`ShardedEngine`]: one WAL + snapshot directory per shard,
+/// globally coordinated checkpoints, and min-committed-round recovery.
+pub struct ShardedDurableEngine {
+    shards: Vec<DurableEngine>,
+    router: ShardRouter,
+    assignment: BTreeMap<ObjectId, usize>,
+    rounds_served: usize,
+    max_threads: usize,
+    options: DurabilityOptions,
+    dir: PathBuf,
+}
+
+/// Shards never checkpoint on their own: a per-shard auto-checkpoint could
+/// snapshot a round that other shards have not yet logged, putting durable
+/// state ahead of the globally committed round.
+const PER_SHARD_OPTIONS: DurabilityOptions = DurabilityOptions {
+    checkpoint_every_rounds: 0,
+};
+
+fn shard_dir(dir: &Path, shard: usize) -> PathBuf {
+    dir.join(format!("shard-{shard:03}"))
+}
+
+impl ShardedDurableEngine {
+    /// Open the sharded durable engine rooted at `dir` (one subdirectory per
+    /// shard): recover every shard to the globally committed round if
+    /// durable state exists, otherwise partition the bootstrap state and
+    /// write each shard's initial checkpoint.
+    ///
+    /// As with [`DurableEngine::open`], `graph_config` and `dynamicc` are
+    /// construction-time inputs supplied by the caller on every open; the
+    /// router must be configured identically across restarts (same shard
+    /// count, same blocking-derived keys), since the on-disk partition was
+    /// produced by it.
+    pub fn open(
+        dir: impl AsRef<Path>,
+        router: ShardRouter,
+        graph_config: GraphConfig,
+        dynamicc: DynamicC,
+        options: DurabilityOptions,
+        bootstrap: impl FnOnce() -> (SimilarityGraph, Clustering),
+    ) -> Result<(Self, ShardedRecoveryReport), StorageError> {
+        let dir = dir.as_ref();
+        let n = router.n_shards();
+        std::fs::create_dir_all(dir).map_err(|e| StorageError::Io {
+            path: dir.to_path_buf(),
+            op: "create dir",
+            source: e,
+        })?;
+        if shard_dir(dir, n).is_dir() {
+            return Err(StorageError::Inconsistent(format!(
+                "{} was partitioned for more than {n} shards",
+                dir.display()
+            )));
+        }
+
+        // Pass 1: the globally committed round is the minimum over every
+        // shard's recoverable round.  A shard without durable state forces
+        // the fresh path (a crash during a fresh open leaves a prefix of
+        // shards initialized at round 0; re-running the fresh path below
+        // recovers those and bootstraps the rest).
+        let mut durable_rounds = Vec::with_capacity(n);
+        let mut peek_dropped_torn_tail = false;
+        for shard in 0..n {
+            let (round, dropped) = DurableEngine::last_durable_round(&shard_dir(dir, shard))?;
+            peek_dropped_torn_tail |= dropped;
+            durable_rounds.push(round);
+        }
+        let committed = durable_rounds.iter().copied().min().flatten();
+
+        let dynamiccs = distribute_dynamicc(dynamicc, n);
+        let mut shards = Vec::with_capacity(n);
+        let mut report = ShardedRecoveryReport {
+            per_shard: Vec::with_capacity(n),
+            ..ShardedRecoveryReport::default()
+        };
+        match committed {
+            Some(committed) => {
+                report.recovered = true;
+                report.committed_round = committed;
+                report.dropped_torn_tail = peek_dropped_torn_tail;
+                report.rolled_back_rounds = durable_rounds
+                    .iter()
+                    .map(|r| r.expect("all shards have state") - committed)
+                    .max()
+                    .unwrap_or(0);
+                for (shard, d) in dynamiccs.into_iter().enumerate() {
+                    let (engine, shard_report) = DurableEngine::open_with_replay_cap(
+                        shard_dir(dir, shard),
+                        graph_config.clone(),
+                        d,
+                        PER_SHARD_OPTIONS,
+                        Some(committed),
+                        || unreachable!("recovery must not bootstrap"),
+                    )?;
+                    if engine.rounds_served() as u64 != committed {
+                        return Err(StorageError::Inconsistent(format!(
+                            "shard {shard} recovered to round {} but the committed round is \
+                             {committed}",
+                            engine.rounds_served()
+                        )));
+                    }
+                    report.replayed_rounds += shard_report.replayed_rounds;
+                    report.dropped_torn_tail |= shard_report.dropped_torn_tail;
+                    report.per_shard.push(shard_report);
+                    shards.push(engine);
+                }
+            }
+            None => {
+                let (graph, clustering) = bootstrap();
+                let partition = partition_state(&router, &graph, &clustering);
+                for ((shard, seed), d) in partition.seeds.into_iter().enumerate().zip(dynamiccs) {
+                    let (engine, shard_report) = DurableEngine::open(
+                        shard_dir(dir, shard),
+                        graph_config.clone(),
+                        d,
+                        PER_SHARD_OPTIONS,
+                        move || (seed.graph, seed.clustering),
+                    )?;
+                    if engine.rounds_served() != 0 {
+                        return Err(StorageError::Inconsistent(format!(
+                            "shard {shard} has {} served rounds but other shards are fresh",
+                            engine.rounds_served()
+                        )));
+                    }
+                    report.per_shard.push(shard_report);
+                    shards.push(engine);
+                }
+            }
+        }
+
+        // The object-to-shard assignment is derived, not persisted: each
+        // shard's recovered graph knows exactly which objects it owns.
+        let mut assignment: BTreeMap<ObjectId, usize> = BTreeMap::new();
+        for (shard, engine) in shards.iter().enumerate() {
+            for id in engine.engine().graph().object_ids() {
+                if assignment.insert(id, shard).is_some() {
+                    return Err(StorageError::Inconsistent(format!(
+                        "object {id} is owned by more than one shard"
+                    )));
+                }
+            }
+        }
+
+        let rounds_served = shards[0].rounds_served();
+        Ok((
+            ShardedDurableEngine {
+                shards,
+                router,
+                assignment,
+                rounds_served,
+                max_threads: n,
+                options,
+                dir: dir.to_path_buf(),
+            },
+            report,
+        ))
+    }
+
+    /// Cap the number of worker threads a round fans out to (default: one
+    /// per shard).
+    pub fn with_max_threads(mut self, max_threads: usize) -> Self {
+        self.max_threads = max_threads.max(1);
+        self
+    }
+
+    /// Serve one round durably: split the batch, then let every shard
+    /// log-then-apply its sub-batch in parallel.  The round is committed
+    /// once every shard has logged it; a crash that reaches only some shards
+    /// is rolled back by the next open.  Checkpoints run globally per
+    /// [`DurabilityOptions::checkpoint_every_rounds`], after the round has
+    /// completed on every shard.
+    ///
+    /// An `Err` leaves the engine in an unspecified in-memory state (some
+    /// shards may have applied the round); drop it and reopen.
+    pub fn apply_round(
+        &mut self,
+        batch: &OperationBatch,
+    ) -> Result<ShardedRoundReport, StorageError> {
+        let sub_batches = self.router.split_batch(batch, &mut self.assignment);
+        let results = parallel_shard_rounds(
+            &mut self.shards,
+            &sub_batches,
+            self.max_threads,
+            |shard, sub| shard.apply_round(sub),
+        );
+        let mut reports = Vec::with_capacity(results.len());
+        for result in results {
+            reports.push(result?);
+        }
+        self.rounds_served += 1;
+        let every = self.options.checkpoint_every_rounds as u64;
+        if every > 0 && (self.rounds_served as u64).is_multiple_of(every) {
+            self.checkpoint()?;
+        }
+        Ok(merge_round_reports(self.rounds_served, reports))
+    }
+
+    /// Checkpoint every shard now (snapshot + WAL rotation + prune per
+    /// shard).  Returns the checkpointed round.
+    pub fn checkpoint(&mut self) -> Result<u64, StorageError> {
+        for shard in &mut self.shards {
+            shard.checkpoint()?;
+        }
+        Ok(self.rounds_served as u64)
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The per-shard durable engines, in shard order.
+    pub fn shards(&self) -> &[DurableEngine] {
+        &self.shards
+    }
+
+    /// Rounds served across the engine's whole (possibly multi-process)
+    /// lifetime.
+    pub fn rounds_served(&self) -> usize {
+        self.rounds_served
+    }
+
+    /// The state directory this engine is rooted at.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The shard currently owning `id`, if the object is live.
+    pub fn shard_of(&self, id: ObjectId) -> Option<usize> {
+        self.assignment.get(&id).copied()
+    }
+
+    /// The global [`DynamicCStats`]: the field-wise sum of the per-shard
+    /// statistics.
+    pub fn stats(&self) -> DynamicCStats {
+        DynamicCStats::merged(self.shards.iter().map(|s| *s.stats()))
+    }
+
+    /// Total pairwise similarity computations across all shards.
+    pub fn comparisons(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.engine().graph().comparisons())
+            .sum()
+    }
+
+    /// The merged global clustering (see
+    /// [`ShardedEngine::merged_clustering`]).
+    pub fn merged_clustering(&self) -> Clustering {
+        merge_clusterings(self.shards.iter().map(|s| s.clustering()))
+    }
+}
+
+impl std::fmt::Debug for ShardedDurableEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedDurableEngine")
+            .field("dir", &self.dir)
+            .field("shards", &self.shards.len())
+            .field("objects", &self.assignment.len())
+            .field("rounds_served", &self.rounds_served)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dc_objective::CorrelationObjective;
+    use dc_similarity::blocking::ExhaustiveBlocking;
+    use dc_similarity::fixtures::{fixture_record, graph_from_edges};
+    use dc_types::{ClusterId, ObjectId, Operation};
+    use std::sync::Arc;
+
+    fn oid(raw: u64) -> ObjectId {
+        ObjectId::new(raw)
+    }
+
+    fn toy_setup() -> (SimilarityGraph, Clustering, DynamicC) {
+        let graph = graph_from_edges(4, &[(1, 2, 0.9), (3, 4, 0.8)]);
+        let clustering =
+            Clustering::from_groups([vec![oid(1), oid(2)], vec![oid(3), oid(4)]]).unwrap();
+        let dynamicc = DynamicC::with_objective(Arc::new(CorrelationObjective));
+        (graph, clustering, dynamicc)
+    }
+
+    #[test]
+    fn one_shard_partition_is_the_identity() {
+        let (graph, clustering, dynamicc) = toy_setup();
+        let router = ShardRouter::new(1, Box::new(ExhaustiveBlocking::new()));
+        let engine = ShardedEngine::new(router, graph.clone(), clustering.clone(), dynamicc);
+        assert_eq!(engine.shard_count(), 1);
+        assert_eq!(engine.cross_shard_edges_dropped(), 0);
+        assert_eq!(engine.object_count(), 4);
+        assert_eq!(engine.comparisons(), graph.comparisons());
+        let merged = engine.merged_clustering();
+        assert_eq!(merged.cluster_ids(), clustering.cluster_ids());
+        assert_eq!(merged.id_watermark(), clustering.id_watermark());
+    }
+
+    #[test]
+    fn partition_covers_every_object_exactly_once() {
+        let (graph, clustering, dynamicc) = toy_setup();
+        let router = ShardRouter::new(4, Box::new(ExhaustiveBlocking::new()));
+        let engine = ShardedEngine::new(router, graph, clustering, dynamicc);
+        let mut seen = 0usize;
+        for shard in engine.shards() {
+            seen += shard.clustering().object_count();
+            assert_eq!(
+                shard.clustering().object_count(),
+                shard.graph().object_count(),
+                "shard graph and clustering must agree"
+            );
+        }
+        assert_eq!(seen, 4);
+        let merged = engine.merged_clustering();
+        merged.check_invariants().unwrap();
+        assert_eq!(merged.object_count(), 4);
+    }
+
+    #[test]
+    fn split_donor_clusters_get_shard_tagged_ids() {
+        // Force objects of one donor cluster into different shards by
+        // routing on content hashes (exhaustive blocking's default key).
+        let (graph, clustering, dynamicc) = toy_setup();
+        let donor_watermark = clustering.id_watermark();
+        let router = ShardRouter::new(4, Box::new(ExhaustiveBlocking::new()));
+        let engine = ShardedEngine::new(router, graph, clustering, dynamicc);
+        for (shard_index, shard) in engine.shards().iter().enumerate() {
+            for cid in shard.clustering().cluster_ids() {
+                let inherited = cid.raw() < donor_watermark;
+                assert!(
+                    inherited || cid.shard_tag() == shard_index,
+                    "fresh id {cid} in shard {shard_index} must carry the shard tag"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rounds_merge_reports_and_track_assignment() {
+        let (graph, clustering, dynamicc) = toy_setup();
+        let router = ShardRouter::new(2, Box::new(ExhaustiveBlocking::new()));
+        let mut engine = ShardedEngine::new(router, graph, clustering, dynamicc);
+        let mut batch = OperationBatch::new();
+        batch.push(Operation::Add {
+            id: oid(5),
+            record: fixture_record(5),
+        });
+        batch.push(Operation::Remove { id: oid(4) });
+        let report = engine.apply_round(&batch);
+        assert_eq!(report.merged.round, 1);
+        assert_eq!(report.merged.operations, 2);
+        assert_eq!(report.per_shard.len(), 2);
+        assert_eq!(
+            report.merged.operations,
+            report.per_shard.iter().map(|r| r.operations).sum::<usize>()
+        );
+        assert_eq!(
+            report.merged.full_aggregate_builds, 0,
+            "steady-state rounds must not rebuild aggregates in any shard"
+        );
+        assert_eq!(engine.object_count(), 4);
+        assert!(engine.shard_of(oid(5)).is_some());
+        assert!(engine.shard_of(oid(4)).is_none());
+        engine.merged_clustering().check_invariants().unwrap();
+        assert_eq!(engine.rounds_served(), 1);
+    }
+
+    #[test]
+    fn merged_clustering_watermark_survives_namespace_merges() {
+        let mut a = Clustering::new();
+        a.insert_cluster_with_id(ClusterId::new(3), [oid(1)])
+            .unwrap();
+        let mut b = Clustering::new();
+        b.insert_cluster_with_id(ClusterId::new(shard_id_base(1) + 7), [oid(2)])
+            .unwrap();
+        let merged = merge_clusterings([&a, &b].into_iter());
+        merged.check_invariants().unwrap();
+        assert_eq!(merged.cluster_count(), 2);
+        assert_eq!(
+            merged.id_watermark(),
+            b.id_watermark(),
+            "the merged watermark is the max of the shard watermarks"
+        );
+    }
+}

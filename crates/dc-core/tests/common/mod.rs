@@ -1,0 +1,72 @@
+//! Shared helpers for dc-core's integration-test binaries.
+//!
+//! Each test binary compiles this module independently and uses a different
+//! subset of it, so unused-item warnings are expected per binary.
+#![allow(dead_code)]
+
+use dc_batch::{BatchClusterer, HillClimbing};
+use dc_core::{train_on_workload, DynamicC};
+use dc_datagen::DynamicWorkload;
+use dc_objective::ObjectiveFunction;
+use dc_similarity::{GraphConfig, SimilarityGraph};
+use dc_types::{Clustering, Snapshot};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// Deterministically build the graph over the first `train_rounds` snapshots
+/// and train a DynamicC on them — called repeatedly to model independent
+/// process starts that all reconstruct "the same trained model".
+pub fn trained_setup(
+    workload: &DynamicWorkload,
+    graph_config: impl Fn() -> GraphConfig,
+    objective: Arc<dyn ObjectiveFunction>,
+    train_rounds: usize,
+) -> (SimilarityGraph, Clustering, Vec<Snapshot>, DynamicC) {
+    let mut graph = SimilarityGraph::build(graph_config(), &workload.initial);
+    let batch = HillClimbing::with_objective(objective.clone());
+    let initial = batch.cluster(&graph).clustering;
+    let mut dynamicc = DynamicC::with_objective(objective);
+    let (train, serve) = workload
+        .snapshots
+        .split_at(train_rounds.min(workload.snapshots.len()));
+    let report = train_on_workload(&mut dynamicc, &mut graph, &initial, train, &batch);
+    let previous = report.final_clustering(&initial);
+    (graph, previous, serve.to_vec(), dynamicc)
+}
+
+/// Bit-identity for clusterings: identical cluster ids mapping to identical
+/// member sets, and an identical id watermark (so the *next* allocation
+/// agrees too).  Strictly stronger than `delta().is_unchanged()`.
+pub fn assert_clusterings_identical(a: &Clustering, b: &Clustering, context: &str) {
+    assert_eq!(a.cluster_ids(), b.cluster_ids(), "{context}: cluster ids");
+    for cid in a.cluster_ids() {
+        assert_eq!(
+            a.cluster(cid).unwrap().members(),
+            b.cluster(cid).unwrap().members(),
+            "{context}: members of {cid}"
+        );
+    }
+    assert_eq!(a.id_watermark(), b.id_watermark(), "{context}: watermark");
+}
+
+/// Scratch state directory removed on drop, so failed assertions do not
+/// leave litter behind.
+pub struct TempDir(PathBuf);
+
+impl TempDir {
+    pub fn new(tag: &str) -> Self {
+        let dir = std::env::temp_dir().join(format!("dc-core-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        TempDir(dir)
+    }
+
+    pub fn path(&self) -> &Path {
+        &self.0
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}

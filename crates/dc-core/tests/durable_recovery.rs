@@ -10,15 +10,16 @@
 //! full O(E) aggregate builds (the snapshot restores the maintained
 //! aggregates bit-for-bit instead of rebuilding them).
 
-use dc_batch::{BatchClusterer, HillClimbing};
-use dc_core::{train_on_workload, DurabilityOptions, DurableEngine, DynamicC, Engine, RoundReport};
+use dc_core::{DurabilityOptions, DurableEngine, DynamicC, Engine, RoundReport};
 use dc_datagen::fixtures::{small_access_workload, small_febrl_workload};
 use dc_datagen::DynamicWorkload;
 use dc_objective::{CorrelationObjective, DbIndexObjective, ObjectiveFunction};
 use dc_similarity::{BuildCounter, GraphConfig, SimilarityGraph};
 use dc_types::{Clustering, Snapshot};
-use std::path::PathBuf;
 use std::sync::Arc;
+
+mod common;
+use common::{assert_clusterings_identical, TempDir};
 
 const TRAIN_ROUNDS: usize = 2;
 
@@ -30,52 +31,7 @@ fn trained_setup(
     graph_config: impl Fn() -> GraphConfig,
     objective: Arc<dyn ObjectiveFunction>,
 ) -> (SimilarityGraph, Clustering, Vec<Snapshot>, DynamicC) {
-    let mut graph = SimilarityGraph::build(graph_config(), &workload.initial);
-    let batch = HillClimbing::with_objective(objective.clone());
-    let initial = batch.cluster(&graph).clustering;
-    let mut dynamicc = DynamicC::with_objective(objective);
-    let (train, serve) = workload
-        .snapshots
-        .split_at(TRAIN_ROUNDS.min(workload.snapshots.len()));
-    let report = train_on_workload(&mut dynamicc, &mut graph, &initial, train, &batch);
-    let previous = report.final_clustering(&initial);
-    (graph, previous, serve.to_vec(), dynamicc)
-}
-
-/// Scratch state directory removed on drop, so failed assertions do not
-/// leave litter behind.
-struct TempDir(PathBuf);
-
-impl TempDir {
-    fn new(tag: &str) -> Self {
-        let dir = std::env::temp_dir().join(format!("dc-recovery-{tag}-{}", std::process::id()));
-        let _ = std::fs::remove_dir_all(&dir);
-        TempDir(dir)
-    }
-
-    fn path(&self) -> &std::path::Path {
-        &self.0
-    }
-}
-
-impl Drop for TempDir {
-    fn drop(&mut self) {
-        let _ = std::fs::remove_dir_all(&self.0);
-    }
-}
-
-/// Bit-identity for clusterings: identical cluster ids mapping to identical
-/// member sets (strictly stronger than `delta().is_unchanged()`).
-fn assert_clusterings_identical(a: &Clustering, b: &Clustering, context: &str) {
-    assert_eq!(a.cluster_ids(), b.cluster_ids(), "{context}: cluster ids");
-    for cid in a.cluster_ids() {
-        assert_eq!(
-            a.cluster(cid).unwrap().members(),
-            b.cluster(cid).unwrap().members(),
-            "{context}: members of {cid}"
-        );
-    }
-    assert!(a.delta(b).is_unchanged(), "{context}: delta");
+    common::trained_setup(workload, graph_config, objective, TRAIN_ROUNDS)
 }
 
 /// Serve every round through an uninterrupted engine, then again through a

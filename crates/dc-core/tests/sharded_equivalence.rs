@@ -1,0 +1,235 @@
+//! Equivalence battery for the sharded serving path.
+//!
+//! Two families of facts are locked down on the canned fixture workloads
+//! (textual Febrl + DB-index objective, numeric Access + correlation
+//! objective):
+//!
+//! 1. **N = 1 is the identity.**  A [`ShardedEngine`] with one shard is
+//!    *bit-identical* to a plain [`Engine`] on the same workload: the same
+//!    clusterings down to the cluster ids and the id watermark, the same
+//!    [`DynamicCStats`], the same comparison counters, and the same
+//!    per-round [`RoundReport`]s.
+//! 2. **N > 1 partitions, never duplicates or loses.**  For 2 and 4 shards,
+//!    every live object is owned by exactly one shard and appears in exactly
+//!    one cluster of the merged clustering; the merged statistics are the
+//!    field-wise sum of the per-shard statistics; cluster-id namespaces stay
+//!    disjoint; and no shard performs a full aggregate build in steady
+//!    state.
+
+use dc_core::{DynamicC, DynamicCStats, Engine, ShardedEngine};
+use dc_datagen::fixtures::{small_access_workload, small_febrl_workload};
+use dc_datagen::DynamicWorkload;
+use dc_objective::{CorrelationObjective, DbIndexObjective, ObjectiveFunction};
+use dc_similarity::{GraphConfig, ShardRouter, SimilarityGraph};
+use dc_types::{Clustering, Snapshot};
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+mod common;
+use common::assert_clusterings_identical;
+
+const TRAIN_ROUNDS: usize = 2;
+
+fn trained_setup(
+    workload: &DynamicWorkload,
+    graph_config: impl Fn() -> GraphConfig,
+    objective: Arc<dyn ObjectiveFunction>,
+) -> (SimilarityGraph, Clustering, Vec<Snapshot>, DynamicC) {
+    common::trained_setup(workload, graph_config, objective, TRAIN_ROUNDS)
+}
+
+fn check_one_shard_bit_identity(
+    tag: &str,
+    workload: &DynamicWorkload,
+    graph_config: impl Fn() -> GraphConfig + Copy,
+    objective: Arc<dyn ObjectiveFunction>,
+) {
+    let (graph_a, prev_a, serve, dynamicc_a) =
+        trained_setup(workload, graph_config, objective.clone());
+    let (graph_b, prev_b, _, dynamicc_b) = trained_setup(workload, graph_config, objective);
+
+    let mut engine = Engine::new(graph_a, prev_a, dynamicc_a);
+    let router = ShardRouter::for_config(1, graph_b.config());
+    let mut sharded = ShardedEngine::new(router, graph_b, prev_b, dynamicc_b);
+    assert_eq!(sharded.cross_shard_edges_dropped(), 0, "{tag}: one shard");
+
+    for (i, snapshot) in serve.iter().enumerate() {
+        let expected = engine.apply_round(&snapshot.batch);
+        let report = sharded.apply_round(&snapshot.batch);
+        assert_eq!(
+            report.merged, expected,
+            "{tag}: round {i}: merged report diverged"
+        );
+        assert_eq!(report.per_shard.len(), 1);
+        assert_eq!(report.per_shard[0], expected, "{tag}: round {i}");
+        assert_clusterings_identical(
+            &sharded.merged_clustering(),
+            engine.clustering(),
+            &format!("{tag}: round {i}"),
+        );
+    }
+    assert_eq!(&sharded.stats(), engine.stats(), "{tag}: stats diverged");
+    assert_eq!(
+        sharded.comparisons(),
+        engine.graph().comparisons(),
+        "{tag}: comparison counters diverged"
+    );
+    assert_eq!(sharded.rounds_served(), serve.len());
+}
+
+#[test]
+fn one_shard_is_bit_identical_to_the_engine_on_febrl() {
+    check_one_shard_bit_identity(
+        "febrl",
+        &small_febrl_workload(),
+        || GraphConfig::textual_febrl(0.6),
+        Arc::new(DbIndexObjective),
+    );
+}
+
+#[test]
+fn one_shard_is_bit_identical_to_the_engine_on_access() {
+    check_one_shard_bit_identity(
+        "access",
+        &small_access_workload(),
+        || GraphConfig::numeric_euclidean(1.8, 4.0, 3, 0.25),
+        Arc::new(CorrelationObjective),
+    );
+}
+
+fn check_multi_shard_invariants(
+    tag: &str,
+    n_shards: usize,
+    workload: &DynamicWorkload,
+    graph_config: impl Fn() -> GraphConfig + Copy,
+    objective: Arc<dyn ObjectiveFunction>,
+) {
+    let (graph, previous, serve, dynamicc) = trained_setup(workload, graph_config, objective);
+    let donor_stats = *dynamicc.stats();
+    let donor_objects = graph.object_count();
+    let router = ShardRouter::for_config(n_shards, graph.config());
+    let mut sharded = ShardedEngine::new(router, graph, previous, dynamicc);
+    assert_eq!(sharded.shard_count(), n_shards);
+    assert_eq!(sharded.object_count(), donor_objects, "{tag}: coverage");
+
+    for (i, snapshot) in serve.iter().enumerate() {
+        let context = format!("{tag}: {n_shards} shards: round {i}");
+        let report = sharded.apply_round(&snapshot.batch);
+
+        // Zero full aggregate builds per shard per round in steady state.
+        assert_eq!(report.merged.full_aggregate_builds, 0, "{context}: builds");
+        for (s, shard_report) in report.per_shard.iter().enumerate() {
+            assert_eq!(
+                shard_report.full_aggregate_builds, 0,
+                "{context}: shard {s} rebuilt aggregates"
+            );
+        }
+        assert_eq!(
+            report.merged.operations,
+            snapshot.batch.len(),
+            "{context}: sub-batches must partition the batch"
+        );
+
+        // Merged stats are the field-wise sum of the per-shard stats.
+        let summed = DynamicCStats::merged(sharded.shards().iter().map(|s| *s.stats()));
+        assert_eq!(sharded.stats(), summed, "{context}: stats sum");
+        assert_eq!(
+            sharded.stats().observed_rounds,
+            donor_stats.observed_rounds,
+            "{context}: only shard 0 carries the training history"
+        );
+
+        // Every live object is owned by exactly one shard and appears in
+        // exactly one cluster of exactly that shard's clustering.
+        let mut seen: BTreeSet<dc_types::ObjectId> = BTreeSet::new();
+        for (s, shard) in sharded.shards().iter().enumerate() {
+            shard.clustering().check_invariants().unwrap();
+            assert_eq!(
+                shard.clustering().object_count(),
+                shard.graph().object_count(),
+                "{context}: shard {s} graph/clustering disagree"
+            );
+            for id in shard.clustering().object_ids() {
+                assert!(seen.insert(id), "{context}: {id} lives in two shards");
+                assert_eq!(
+                    sharded.shard_of(id),
+                    Some(s),
+                    "{context}: assignment disagrees for {id}"
+                );
+            }
+        }
+        assert_eq!(seen.len(), sharded.object_count(), "{context}: coverage");
+
+        // Cluster-id namespaces stay disjoint: the merged clustering is a
+        // valid partition covering every live object, and its size is the
+        // sum of the per-shard clusterings.
+        let merged = sharded.merged_clustering();
+        merged.check_invariants().unwrap();
+        assert_eq!(merged.object_count(), seen.len(), "{context}");
+        assert_eq!(
+            merged.cluster_count(),
+            sharded
+                .shards()
+                .iter()
+                .map(|s| s.clustering().cluster_count())
+                .sum::<usize>(),
+            "{context}: merged clusters"
+        );
+        assert_eq!(report.merged.objects, merged.object_count(), "{context}");
+        assert_eq!(report.merged.clusters, merged.cluster_count(), "{context}");
+    }
+}
+
+#[test]
+fn multi_shard_runs_partition_objects_stats_and_ids_on_febrl() {
+    for n_shards in [2, 4] {
+        check_multi_shard_invariants(
+            "febrl",
+            n_shards,
+            &small_febrl_workload(),
+            || GraphConfig::textual_febrl(0.6),
+            Arc::new(DbIndexObjective),
+        );
+    }
+}
+
+#[test]
+fn multi_shard_runs_partition_objects_stats_and_ids_on_access() {
+    for n_shards in [2, 4] {
+        check_multi_shard_invariants(
+            "access",
+            n_shards,
+            &small_access_workload(),
+            || GraphConfig::numeric_euclidean(1.8, 4.0, 3, 0.25),
+            Arc::new(CorrelationObjective),
+        );
+    }
+}
+
+/// Thread count must never change results: the same sharded workload served
+/// with one worker thread and with one thread per shard is bit-identical.
+#[test]
+fn thread_count_does_not_change_results() {
+    let workload = small_febrl_workload();
+    let graph_config = || GraphConfig::textual_febrl(0.6);
+    let objective: Arc<dyn ObjectiveFunction> = Arc::new(DbIndexObjective);
+    let (graph_a, prev_a, serve, dynamicc_a) =
+        trained_setup(&workload, graph_config, objective.clone());
+    let (graph_b, prev_b, _, dynamicc_b) = trained_setup(&workload, graph_config, objective);
+
+    let router_a = ShardRouter::for_config(4, graph_a.config());
+    let router_b = ShardRouter::for_config(4, graph_b.config());
+    let mut wide = ShardedEngine::new(router_a, graph_a, prev_a, dynamicc_a);
+    let mut narrow = ShardedEngine::new(router_b, graph_b, prev_b, dynamicc_b).with_max_threads(1);
+    for snapshot in &serve {
+        let ra = wide.apply_round(&snapshot.batch);
+        let rb = narrow.apply_round(&snapshot.batch);
+        assert_eq!(ra, rb, "thread count changed a round report");
+    }
+    assert_clusterings_identical(
+        &wide.merged_clustering(),
+        &narrow.merged_clustering(),
+        "threads",
+    );
+    assert_eq!(wide.stats(), narrow.stats());
+}

@@ -1,0 +1,247 @@
+//! Recovery-equivalence tests for the sharded durable serving path,
+//! mirroring the `durable_recovery.rs` harness.
+//!
+//! The invariant: a 4-shard [`ShardedDurableEngine`] that is killed and
+//! reopened around **every** round produces bit-identical merged
+//! clusterings, [`DynamicCStats`], and comparison counters to a
+//! [`ShardedEngine`] that served the same workload in memory without ever
+//! restarting.  Additionally, tearing the tail of **one shard's** WAL rolls
+//! the entire round back on every shard (min-committed-round recovery), and
+//! re-serving it converges to the same final state.
+
+use dc_core::{DurabilityOptions, ShardedDurableEngine, ShardedEngine, ShardedRoundReport};
+use dc_datagen::fixtures::small_febrl_workload;
+use dc_datagen::DynamicWorkload;
+use dc_objective::{DbIndexObjective, ObjectiveFunction};
+use dc_similarity::{BuildCounter, GraphConfig, ShardRouter, SimilarityGraph};
+use dc_storage::wal::list_segments;
+use dc_types::{Clustering, Snapshot};
+use std::sync::Arc;
+
+mod common;
+use common::{assert_clusterings_identical, TempDir};
+
+const TRAIN_ROUNDS: usize = 2;
+const N_SHARDS: usize = 4;
+
+fn trained_setup(
+    workload: &DynamicWorkload,
+    objective: Arc<dyn ObjectiveFunction>,
+) -> (
+    SimilarityGraph,
+    Clustering,
+    Vec<Snapshot>,
+    dc_core::DynamicC,
+) {
+    common::trained_setup(
+        workload,
+        || GraphConfig::textual_febrl(0.6),
+        objective,
+        TRAIN_ROUNDS,
+    )
+}
+
+/// The never-restarted in-memory reference: per-round reports and merged
+/// clusterings.
+fn reference_run(
+    workload: &DynamicWorkload,
+    objective: Arc<dyn ObjectiveFunction>,
+) -> (ShardedEngine, Vec<ShardedRoundReport>, Vec<Clustering>) {
+    let (graph, previous, serve, dynamicc) = trained_setup(workload, objective);
+    let router = ShardRouter::for_config(N_SHARDS, graph.config());
+    let mut engine = ShardedEngine::new(router, graph, previous, dynamicc);
+    let mut reports = Vec::new();
+    let mut clusterings = Vec::new();
+    for snapshot in &serve {
+        reports.push(engine.apply_round(&snapshot.batch));
+        clusterings.push(engine.merged_clustering());
+    }
+    (engine, reports, clusterings)
+}
+
+#[test]
+fn four_shard_kill_reopen_around_every_round_is_bit_identical() {
+    let workload = small_febrl_workload();
+    let objective: Arc<dyn ObjectiveFunction> = Arc::new(DbIndexObjective);
+    let (reference, expected_reports, expected_clusterings) =
+        reference_run(&workload, objective.clone());
+    let (_, _, serve, _) = trained_setup(&workload, objective.clone());
+
+    let options = DurabilityOptions {
+        checkpoint_every_rounds: 2,
+    };
+    let tmp = TempDir::new("kill-reopen");
+    let dir = tmp.path();
+    {
+        let (graph, previous, _, dynamicc) = trained_setup(&workload, objective.clone());
+        let router = ShardRouter::for_config(N_SHARDS, graph.config());
+        let config = graph.config().clone();
+        let (_engine, report) =
+            ShardedDurableEngine::open(dir, router, config, dynamicc, options, move || {
+                (graph, previous)
+            })
+            .unwrap();
+        assert!(!report.recovered, "first open must be fresh");
+        // Killed before serving anything.
+    }
+
+    for (i, snapshot) in serve.iter().enumerate() {
+        // A fresh "process": reconstruct the deterministic open-time inputs.
+        let (graph, _, _, dynamicc) = trained_setup(&workload, objective.clone());
+        let router = ShardRouter::for_config(N_SHARDS, graph.config());
+        let config = graph.config().clone();
+        let ((mut engine, report), recovery_builds) = BuildCounter::scope(|| {
+            ShardedDurableEngine::open(dir, router, config, dynamicc, options, || {
+                unreachable!("recovery must not bootstrap")
+            })
+            .unwrap()
+        });
+        assert!(report.recovered, "round {i}: open must recover");
+        assert_eq!(report.committed_round, i as u64, "round {i}: resume point");
+        assert_eq!(report.rolled_back_rounds, 0, "round {i}: clean kill");
+        assert_eq!(
+            recovery_builds, 0,
+            "round {i}: recovery must not rebuild aggregates"
+        );
+        assert_eq!(engine.rounds_served(), i);
+
+        let round_report = engine.apply_round(&snapshot.batch).unwrap();
+        assert_eq!(
+            round_report, expected_reports[i],
+            "round {i}: report diverged"
+        );
+        assert_clusterings_identical(
+            &engine.merged_clustering(),
+            &expected_clusterings[i],
+            &format!("round {i}"),
+        );
+        // Killed here: dropped without a shutdown hook.
+    }
+
+    // Final recovery, then compare everything.
+    let (graph, _, _, dynamicc) = trained_setup(&workload, objective.clone());
+    let router = ShardRouter::for_config(N_SHARDS, graph.config());
+    let config = graph.config().clone();
+    let (engine, report) =
+        ShardedDurableEngine::open(dir, router, config, dynamicc, options, || {
+            unreachable!("recovery must not bootstrap")
+        })
+        .unwrap();
+    assert!(report.recovered);
+    assert_eq!(engine.rounds_served(), serve.len());
+    assert_clusterings_identical(
+        &engine.merged_clustering(),
+        &reference.merged_clustering(),
+        "final",
+    );
+    assert_eq!(engine.stats(), reference.stats(), "stats diverged");
+    assert_eq!(
+        engine.comparisons(),
+        reference.comparisons(),
+        "similarity work counters diverged"
+    );
+}
+
+#[test]
+fn one_shard_torn_tail_rolls_the_whole_round_back() {
+    let workload = small_febrl_workload();
+    let objective: Arc<dyn ObjectiveFunction> = Arc::new(DbIndexObjective);
+    let (reference, expected_reports, expected_clusterings) =
+        reference_run(&workload, objective.clone());
+    let (_, _, serve, _) = trained_setup(&workload, objective.clone());
+    assert!(serve.len() >= 2, "need at least two rounds for this test");
+
+    // No automatic checkpoints: the torn round must be recovered from the
+    // WAL alone.
+    let options = DurabilityOptions {
+        checkpoint_every_rounds: 0,
+    };
+    let tmp = TempDir::new("torn-tail");
+    let dir = tmp.path();
+    {
+        let (graph, previous, _, dynamicc) = trained_setup(&workload, objective.clone());
+        let router = ShardRouter::for_config(N_SHARDS, graph.config());
+        let config = graph.config().clone();
+        let (mut engine, _) =
+            ShardedDurableEngine::open(dir, router, config, dynamicc, options, move || {
+                (graph, previous)
+            })
+            .unwrap();
+        let report = engine.apply_round(&serve[0].batch).unwrap();
+        assert_eq!(report, expected_reports[0]);
+        // Killed after round 1 was fully served and logged everywhere.
+    }
+
+    // Tear the tail of shard 2's round-1 WAL record: every shard logged the
+    // round, but one of them now cannot recover it.
+    let shard_dir = dir.join("shard-002");
+    let (_, seg_path) = list_segments(&shard_dir).unwrap().pop().expect("segment");
+    let len = std::fs::metadata(&seg_path).unwrap().len();
+    let file = std::fs::OpenOptions::new()
+        .write(true)
+        .open(&seg_path)
+        .unwrap();
+    file.set_len(len - 3).unwrap();
+    drop(file);
+
+    // Reopen: the committed round is the *minimum* over the shards (0), so
+    // the other three shards' round-1 records are rolled back too.
+    let (graph, _, _, dynamicc) = trained_setup(&workload, objective.clone());
+    let router = ShardRouter::for_config(N_SHARDS, graph.config());
+    let config = graph.config().clone();
+    let (mut engine, report) =
+        ShardedDurableEngine::open(dir, router, config, dynamicc, options, || {
+            unreachable!("recovery must not bootstrap")
+        })
+        .unwrap();
+    assert!(report.recovered);
+    assert!(report.dropped_torn_tail, "the torn tail must be detected");
+    assert_eq!(report.committed_round, 0, "round 1 was never acknowledged");
+    assert_eq!(report.rolled_back_rounds, 1, "three shards rolled back");
+    assert_eq!(engine.rounds_served(), 0);
+
+    // Re-serving the rolled-back round reproduces it exactly, and the rest
+    // of the workload lands on the reference state.
+    for (i, snapshot) in serve.iter().enumerate() {
+        let round_report = engine.apply_round(&snapshot.batch).unwrap();
+        assert_eq!(
+            round_report, expected_reports[i],
+            "round {i}: report diverged after rollback"
+        );
+        assert_clusterings_identical(
+            &engine.merged_clustering(),
+            &expected_clusterings[i],
+            &format!("post-rollback round {i}"),
+        );
+    }
+    assert_eq!(engine.stats(), reference.stats());
+    assert_eq!(engine.comparisons(), reference.comparisons());
+}
+
+#[test]
+fn reopening_with_a_different_shard_count_is_rejected() {
+    let workload = small_febrl_workload();
+    let objective: Arc<dyn ObjectiveFunction> = Arc::new(DbIndexObjective);
+    let options = DurabilityOptions::default();
+    let tmp = TempDir::new("shard-count");
+    let dir = tmp.path();
+    {
+        let (graph, previous, _, dynamicc) = trained_setup(&workload, objective.clone());
+        let router = ShardRouter::for_config(N_SHARDS, graph.config());
+        let config = graph.config().clone();
+        ShardedDurableEngine::open(dir, router, config, dynamicc, options, move || {
+            (graph, previous)
+        })
+        .unwrap();
+    }
+    let (graph, previous, _, dynamicc) = trained_setup(&workload, objective);
+    let router = ShardRouter::for_config(2, graph.config());
+    let config = graph.config().clone();
+    let result = ShardedDurableEngine::open(dir, router, config, dynamicc, options, move || {
+        (graph, previous)
+    });
+    assert!(
+        matches!(result, Err(dc_core::StorageError::Inconsistent(_))),
+        "fewer shards than on disk must be rejected, got {result:?}"
+    );
+}

@@ -86,6 +86,22 @@ impl BuildCounter {
         let result = f();
         (result, full_build_count() - before)
     }
+
+    /// Fold builds observed on *worker* threads into the calling thread's
+    /// counter.
+    ///
+    /// Contract 1 above means builds delegated to other threads are
+    /// invisible to a [`BuildCounter::scope`] on the spawning thread — a
+    /// sharded round that fans `apply_round` calls out to a thread pool
+    /// would under-report its builds.  The fix is cooperative: each worker
+    /// measures its own builds (its counter starts at whatever it was when
+    /// the worker last reported; scoped pools use fresh threads, so a plain
+    /// [`full_build_count`] works too) and the spawning thread merges the
+    /// returned deltas here, keeping scope-based assertions exact across the
+    /// fan-out.
+    pub fn merge_from_threads(builds: u64) {
+        FULL_BUILDS.with(|c| c.set(c.get() + builds));
+    }
 }
 
 /// Materialized cluster-level aggregates for one
@@ -1055,5 +1071,30 @@ mod tests {
         assert_eq!(agg.cluster_count(), clustering.cluster_count());
         let ((), builds) = BuildCounter::scope(|| ());
         assert_eq!(builds, 0);
+    }
+
+    #[test]
+    fn merge_from_threads_makes_worker_builds_visible_to_a_scope() {
+        let (graph, clustering) = figure1_setup();
+        let ((), builds) = BuildCounter::scope(|| {
+            // Two builds on worker threads, one on the calling thread.  The
+            // workers' builds land in *their* thread-local counters; without
+            // the merge the scope would report 1.
+            let worker_builds: u64 = std::thread::scope(|s| {
+                let handles: Vec<_> = (0..2)
+                    .map(|_| {
+                        s.spawn(|| {
+                            let (_agg, builds) =
+                                BuildCounter::scope(|| ClusterAggregates::new(&graph, &clustering));
+                            builds
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).sum()
+            });
+            let _local = ClusterAggregates::new(&graph, &clustering);
+            BuildCounter::merge_from_threads(worker_builds);
+        });
+        assert_eq!(builds, 3, "scope must see worker builds after the merge");
     }
 }

@@ -42,6 +42,20 @@ pub trait BlockingStrategy: Send + Sync + CloneBlocking {
     /// that are not live any more or the queried id itself; callers filter).
     fn candidates(&self, record: &Record) -> BTreeSet<ObjectId>;
 
+    /// The record's canonical *routing key*: a pure, total function of the
+    /// record's content used by [`ShardRouter`](crate::ShardRouter) to pick
+    /// a shard.  Strategies derive it from the same key material as their
+    /// blocks (the smallest token for [`TokenBlocking`], the grid cell for
+    /// [`GridBlocking`]), so records that routing separates would mostly not
+    /// have shared a block anyway — routing and blocking agree.
+    ///
+    /// Must not depend on the strategy's mutable index state: the same
+    /// record yields the same key no matter what has been indexed, unindexed
+    /// or reset before the call.
+    fn shard_key(&self, record: &Record) -> u64 {
+        crate::router::content_shard_key(record)
+    }
+
     /// Human-readable name.
     fn name(&self) -> &'static str;
 }
@@ -120,6 +134,15 @@ impl BlockingStrategy for TokenBlocking {
             }
         }
         out
+    }
+
+    fn shard_key(&self, record: &Record) -> u64 {
+        // The lexicographically smallest token is the record's primary
+        // blocking key; records with no tokens all share one key.
+        match Self::keys(record).into_iter().min() {
+            Some(token) => crate::router::fnv1a(token.as_bytes()),
+            None => crate::router::fnv1a(b""),
+        }
     }
 
     fn name(&self) -> &'static str {
@@ -215,6 +238,14 @@ impl BlockingStrategy for GridBlocking {
             }
         }
         out
+    }
+
+    fn shard_key(&self, record: &Record) -> u64 {
+        let mut bytes = Vec::with_capacity(self.max_dims * 8);
+        for coord in self.cell_of(record) {
+            bytes.extend_from_slice(&coord.to_le_bytes());
+        }
+        crate::router::fnv1a(&bytes)
     }
 
     fn name(&self) -> &'static str {

@@ -24,6 +24,9 @@
 //!   owned, materialized structure maintained *incrementally* (O(degree)
 //!   per merge / split / move / workload operation) so the serving hot path
 //!   never rebuilds them per candidate.
+//! * [`router`] — the deterministic [`ShardRouter`] mapping records to
+//!   shards via the blocking layer's canonical routing keys, so sharded
+//!   serving partitions the objects the same way blocking groups them.
 
 #![deny(missing_docs)]
 #![deny(rustdoc::broken_intra_doc_links)]
@@ -34,6 +37,7 @@ pub mod fixtures;
 pub mod graph;
 pub mod measures;
 pub mod persist;
+pub mod router;
 pub mod text;
 
 pub use aggregates::{full_build_count, BuildCounter, ClusterAggregates};
@@ -44,3 +48,4 @@ pub use measures::{
     SimilarityMeasure, TrigramCosine,
 };
 pub use persist::{AggregatesState, GraphState};
+pub use router::ShardRouter;

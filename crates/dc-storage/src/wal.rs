@@ -72,8 +72,12 @@ pub struct WalOpenOutcome {
     /// Whether a torn (truncated or checksum-failing) tail record was
     /// dropped.
     pub dropped_torn_tail: bool,
-    /// Bytes truncated off the end of the file to remove the torn tail.
+    /// Bytes truncated off the end of the file to remove the torn tail
+    /// and/or any beyond-cap records.
     pub truncated_bytes: u64,
+    /// Complete records truncated because their round exceeded the caller's
+    /// cap (see [`Wal::open_capped`]; always 0 for [`Wal::open`]).
+    pub dropped_beyond_cap: u64,
 }
 
 /// An open, append-position WAL segment.
@@ -152,6 +156,25 @@ impl Wal {
     /// very header is incomplete — a crash during segment creation, before
     /// any record could have been acknowledged — is re-initialized in place.
     pub fn open(path: &Path) -> Result<(Self, Vec<WalRecord>, WalOpenOutcome), StorageError> {
+        Self::open_capped(path, None)
+    }
+
+    /// Like [`Wal::open`], but records whose round exceeds `cap` are
+    /// **truncated off the end of the segment** instead of being returned.
+    ///
+    /// This is the sharded recovery primitive: a crash while a round was
+    /// being distributed across shard WALs can leave the round durably
+    /// logged in some shards but not all.  Such a round was never
+    /// acknowledged, so the shards that did log it must forget it — the
+    /// sharded engine computes the globally committed round (the minimum
+    /// over all shards) and reopens every shard capped at it.  Because
+    /// rounds are appended in order, beyond-cap records are always a suffix;
+    /// truncating them is exactly the torn-tail repair applied a few records
+    /// earlier.
+    pub fn open_capped(
+        path: &Path,
+        cap: Option<u64>,
+    ) -> Result<(Self, Vec<WalRecord>, WalOpenOutcome), StorageError> {
         let name = path
             .file_name()
             .and_then(|n| n.to_str())
@@ -182,6 +205,7 @@ impl Wal {
             let outcome = WalOpenOutcome {
                 dropped_torn_tail: false,
                 truncated_bytes: bytes.len() as u64,
+                dropped_beyond_cap: 0,
             };
             return Ok((wal, Vec::new(), outcome));
         }
@@ -207,15 +231,22 @@ impl Wal {
         let mut records = Vec::new();
         let mut offset = HEADER_LEN;
         let mut outcome = WalOpenOutcome::default();
+        // `last_round` tracks the last *kept* record (what the reopened
+        // segment appends after); `contiguity_round` tracks the last parsed
+        // record, capped or not, for the round-contiguity check.
         let mut last_round = start_round;
+        let mut contiguity_round = start_round;
+        let mut cap_cut: Option<u64> = None;
         while offset < file_len {
             let remaining = file_len - offset;
-            let torn = |offset: u64| WalOpenOutcome {
+            // Preserves any beyond-cap count accumulated so far.
+            let torn = |outcome: WalOpenOutcome, offset: u64| WalOpenOutcome {
                 dropped_torn_tail: true,
                 truncated_bytes: file_len - offset,
+                ..outcome
             };
             if remaining < FRAME_HEADER_LEN {
-                outcome = torn(offset);
+                outcome = torn(outcome, offset);
                 break;
             }
             let o = offset as usize;
@@ -227,14 +258,14 @@ impl Wal {
                 // append (or a corrupt length at the tail — either way, no
                 // complete record follows, so truncating loses nothing that
                 // was ever acknowledged).
-                outcome = torn(offset);
+                outcome = torn(outcome, offset);
                 break;
             }
             let payload = &bytes[o + 8..frame_end as usize];
             if crc32(payload) != stored_crc {
                 if frame_end == file_len {
                     // Checksum failure at the physical tail: torn append.
-                    outcome = torn(offset);
+                    outcome = torn(outcome, offset);
                     break;
                 }
                 return Err(StorageError::corrupt(
@@ -251,18 +282,35 @@ impl Wal {
                     path: path.to_path_buf(),
                     source,
                 })?;
-            if record.round != last_round + 1 {
+            if record.round != contiguity_round + 1 {
                 return Err(StorageError::corrupt(
                     path,
                     format!(
-                        "record at offset {offset} has round {} after round {last_round}",
+                        "record at offset {offset} has round {} after round {contiguity_round}",
                         record.round
                     ),
                 ));
             }
-            last_round = record.round;
-            records.push(record);
+            contiguity_round = record.round;
+            if cap.is_some_and(|cap| record.round > cap) {
+                // Rounds are contiguous, so this record and everything after
+                // it are beyond the cap: remember where the cut goes and keep
+                // walking so mid-log corruption is still distinguished from a
+                // torn tail.
+                if cap_cut.is_none() {
+                    cap_cut = Some(offset);
+                }
+                outcome.dropped_beyond_cap += 1;
+            } else {
+                last_round = record.round;
+                records.push(record);
+            }
             offset = frame_end;
+        }
+        if let Some(cut) = cap_cut {
+            // The cap cut subsumes any torn-tail cut further right.
+            offset = cut;
+            outcome.truncated_bytes = file_len - cut;
         }
 
         if outcome.dropped_torn_tail || outcome.truncated_bytes > 0 {

@@ -109,6 +109,48 @@ fn truncation_at_every_offset_of_the_final_record_recovers_the_prefix() {
 }
 
 #[test]
+fn open_capped_truncates_beyond_cap_records_like_a_torn_tail() {
+    let tmp = TempDir::new("capped");
+    let (path, bytes, _) = fixture_segment(tmp.path());
+
+    // Cap at round 1: rounds 2 and 3 are an unacknowledged suffix and must
+    // be physically truncated so a later uncapped open does not resurrect
+    // them.
+    let (mut wal, records, outcome) = Wal::open_capped(&path, Some(1)).expect("capped open");
+    assert_eq!(records, vec![record(1)]);
+    assert_eq!(outcome.dropped_beyond_cap, 2);
+    assert!(outcome.truncated_bytes > 0);
+    assert!(!outcome.dropped_torn_tail);
+    assert_eq!(wal.last_round(), 1);
+    // The segment accepts round 2 again and the stale suffix stays gone.
+    wal.append(&record(2)).unwrap();
+    drop(wal);
+    let (_, records, outcome) = Wal::open(&path).expect("reopen");
+    assert_eq!(records, vec![record(1), record(2)]);
+    assert_eq!(outcome.dropped_beyond_cap, 0);
+
+    // A cap at or above the last round changes nothing.
+    std::fs::write(&path, &bytes).unwrap();
+    let (_, records, outcome) = Wal::open_capped(&path, Some(3)).unwrap();
+    assert_eq!(records.len(), 3);
+    assert_eq!(outcome, Default::default());
+}
+
+#[test]
+fn open_capped_handles_a_torn_tail_behind_the_cap_cut() {
+    let tmp = TempDir::new("capped-torn");
+    let (path, bytes, last_start) = fixture_segment(tmp.path());
+    // Tear the final record *and* cap below the surviving ones: the cut
+    // lands at the cap, subsuming the torn-tail cut.
+    std::fs::write(&path, &bytes[..last_start as usize + 5]).unwrap();
+    let (wal, records, outcome) = Wal::open_capped(&path, Some(1)).expect("capped open");
+    assert_eq!(records, vec![record(1)]);
+    assert_eq!(outcome.dropped_beyond_cap, 1);
+    assert!(outcome.dropped_torn_tail);
+    assert_eq!(wal.last_round(), 1);
+}
+
+#[test]
 fn tail_checksum_failure_is_dropped_but_midlog_failure_is_an_error() {
     let tmp = TempDir::new("crc");
     let (path, bytes, last_start) = fixture_segment(tmp.path());

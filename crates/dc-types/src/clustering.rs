@@ -179,9 +179,60 @@ impl Clustering {
         self.clusters.values().map(|c| c.iter().collect()).collect()
     }
 
+    /// The id-generator watermark: the raw value the next allocated cluster
+    /// id would take.  Persisted by the codec and partitioned by the sharded
+    /// engine, because replaying the same structural changes from the same
+    /// watermark must allocate the same ids.
+    pub fn id_watermark(&self) -> u64 {
+        self.ids.peek()
+    }
+
+    /// Raise the id watermark so the next allocated cluster id is at least
+    /// `raw` (never lowers it).  Sharded serving uses this to move a shard's
+    /// allocations into its own disjoint namespace — see
+    /// [`shard_id_base`](crate::shard_id_base).
+    pub fn set_id_watermark(&mut self, raw: u64) {
+        self.ids.raise_to(raw);
+    }
+
     // ------------------------------------------------------------------
     // Structural mutations
     // ------------------------------------------------------------------
+
+    /// Insert a cluster under a caller-chosen id (rather than allocating a
+    /// fresh one).  The id must be unused and the members unclustered; the
+    /// id watermark is bumped past `cid` so later allocations cannot collide
+    /// with it.  This is how the sharded engine re-creates clusters that
+    /// keep their pre-partition ids, and how per-shard clusterings are
+    /// merged back into one global view.
+    pub fn insert_cluster_with_id<I: IntoIterator<Item = ObjectId>>(
+        &mut self,
+        cid: ClusterId,
+        members: I,
+    ) -> Result<()> {
+        let members: BTreeSet<ObjectId> = members.into_iter().collect();
+        if members.is_empty() {
+            return Err(TypeError::InvariantViolation(
+                "cannot create an empty cluster".into(),
+            ));
+        }
+        if self.clusters.contains_key(&cid) {
+            return Err(TypeError::InvariantViolation(format!(
+                "cluster id {cid} is already in use"
+            )));
+        }
+        for &o in &members {
+            if let Some(existing) = self.membership.get(&o) {
+                return Err(TypeError::AlreadyClustered(o, *existing));
+            }
+        }
+        for &o in &members {
+            self.membership.insert(o, cid);
+        }
+        self.clusters.insert(cid, Cluster { members });
+        self.ids.bump_past(cid.raw());
+        Ok(())
+    }
 
     /// Create a new cluster containing exactly the given objects (which must
     /// not already be clustered).  Returns the new cluster's id.
@@ -668,6 +719,39 @@ mod tests {
             c.add_to_cluster(oid(3), ClusterId::new(1234)),
             Err(TypeError::UnknownCluster(_))
         ));
+    }
+
+    #[test]
+    fn insert_cluster_with_id_keeps_the_id_and_bumps_the_watermark() {
+        let mut c = Clustering::new();
+        c.insert_cluster_with_id(ClusterId::new(7), [oid(1), oid(2)])
+            .unwrap();
+        assert_eq!(c.cluster_of(oid(1)), Some(ClusterId::new(7)));
+        assert!(c.id_watermark() > 7, "watermark must move past the id");
+        c.check_invariants().unwrap();
+        // Duplicate ids and already-clustered members are rejected.
+        assert!(c
+            .insert_cluster_with_id(ClusterId::new(7), [oid(3)])
+            .is_err());
+        assert!(matches!(
+            c.insert_cluster_with_id(ClusterId::new(9), [oid(1)]),
+            Err(TypeError::AlreadyClustered(_, _))
+        ));
+        assert!(c
+            .insert_cluster_with_id(ClusterId::new(10), std::iter::empty())
+            .is_err());
+    }
+
+    #[test]
+    fn set_id_watermark_raises_but_never_lowers() {
+        let mut c = Clustering::singletons([oid(1), oid(2)]);
+        let before = c.id_watermark();
+        c.set_id_watermark(before + 100);
+        assert_eq!(c.id_watermark(), before + 100);
+        c.set_id_watermark(1);
+        assert_eq!(c.id_watermark(), before + 100);
+        let fresh = c.create_cluster([oid(3)]).unwrap();
+        assert_eq!(fresh.raw(), before + 100);
     }
 
     #[test]

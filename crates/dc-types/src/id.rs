@@ -77,6 +77,39 @@ impl From<u64> for ClusterId {
     }
 }
 
+/// Number of high bits of a cluster id reserved for the allocating shard's
+/// index when a clustering is served by a sharded engine.
+///
+/// Sharded serving runs one independent engine per shard and merges the
+/// per-shard clusterings into one global view, so cluster ids allocated by
+/// different shards must never collide.  The scheme mirrors the watermark
+/// the [`Clustering`](crate::Clustering) codec already persists: shard `i`
+/// allocates from `(i << SHARD_ID_SHIFT) + watermark` upward, so every id it
+/// creates carries `i` in its high byte while ids inherited from the
+/// pre-shard clustering (all below the watermark, which must fit the shard-0
+/// namespace) stay untouched.
+pub const SHARD_ID_BITS: u32 = 8;
+
+/// Bit position of the shard tag within a cluster id (`64 - SHARD_ID_BITS`).
+pub const SHARD_ID_SHIFT: u32 = 64 - SHARD_ID_BITS;
+
+/// Maximum number of shards representable by the shard-tagged id scheme.
+pub const MAX_SHARDS: usize = 1 << SHARD_ID_BITS;
+
+/// The first raw id of shard `shard`'s allocation namespace.
+pub fn shard_id_base(shard: usize) -> u64 {
+    assert!(shard < MAX_SHARDS, "shard {shard} exceeds MAX_SHARDS");
+    (shard as u64) << SHARD_ID_SHIFT
+}
+
+impl ClusterId {
+    /// The shard tag carried in the id's high bits (0 for ids allocated
+    /// outside any sharded engine).
+    pub fn shard_tag(self) -> usize {
+        (self.0 >> SHARD_ID_SHIFT) as usize
+    }
+}
+
 /// A monotonically increasing generator of fresh identifiers.
 ///
 /// Both [`Dataset`](crate::Dataset) and [`Clustering`](crate::Clustering) own
@@ -118,6 +151,16 @@ impl IdGenerator {
     pub fn bump_past(&mut self, raw: u64) {
         if raw >= self.next {
             self.next = raw + 1;
+        }
+    }
+
+    /// Raise the generator so the next id is at least `raw` (no-op when the
+    /// generator is already past it).  Unlike [`IdGenerator::bump_past`],
+    /// `raw` itself remains available — this installs an exact watermark,
+    /// which is what sharded id partitioning needs.
+    pub fn raise_to(&mut self, raw: u64) {
+        if raw > self.next {
+            self.next = raw;
         }
     }
 
@@ -188,6 +231,36 @@ mod tests {
         // Bumping below the current watermark is a no-op.
         g.bump_past(3);
         assert_eq!(g.next_raw(), 102);
+    }
+
+    #[test]
+    fn shard_tagged_namespaces_are_disjoint() {
+        assert_eq!(shard_id_base(0), 0);
+        assert_eq!(shard_id_base(1), 1 << SHARD_ID_SHIFT);
+        assert_eq!(ClusterId::new(5).shard_tag(), 0);
+        assert_eq!(ClusterId::new(shard_id_base(3) + 42).shard_tag(), 3);
+        // A generator seeded at a shard base stays inside that namespace for
+        // any realistic number of allocations.
+        let mut g = IdGenerator::starting_at(shard_id_base(2));
+        let id = g.next_cluster();
+        assert_eq!(id.shard_tag(), 2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn shard_id_base_rejects_out_of_range_shards() {
+        shard_id_base(MAX_SHARDS);
+    }
+
+    #[test]
+    fn raise_to_installs_an_exact_watermark() {
+        let mut g = IdGenerator::new();
+        g.raise_to(10);
+        assert_eq!(g.peek(), 10);
+        assert_eq!(g.next_raw(), 10);
+        // Raising below the current position is a no-op.
+        g.raise_to(3);
+        assert_eq!(g.next_raw(), 11);
     }
 
     #[test]

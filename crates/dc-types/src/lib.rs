@@ -43,7 +43,7 @@ pub use clustering::{Cluster, Clustering, ClusteringDelta};
 pub use codec::{crc32, BinCodec, ByteReader, ByteWriter, CodecError};
 pub use dataset::Dataset;
 pub use error::TypeError;
-pub use id::{ClusterId, ObjectId};
+pub use id::{shard_id_base, ClusterId, ObjectId, MAX_SHARDS, SHARD_ID_BITS, SHARD_ID_SHIFT};
 pub use operation::{Operation, OperationBatch, OperationKind};
 pub use record::{FieldValue, Record, RecordBuilder, RecordKind};
 pub use snapshot::{Snapshot, SnapshotStats};

@@ -82,7 +82,8 @@ pub mod prelude {
     };
     pub use dc_core::{
         train_on_workload, DurabilityOptions, DurableEngine, DynamicC, DynamicCConfig, Engine,
-        RecoveryReport, RoundReport, StorageError, TrainingReport,
+        RecoveryReport, RoundReport, ShardedDurableEngine, ShardedEngine, ShardedRecoveryReport,
+        ShardedRoundReport, StorageError, TrainingReport,
     };
     pub use dc_datagen::{
         ground_truth, AccessLikeGenerator, CoraLikeGenerator, DuplicateDistribution,
@@ -94,7 +95,9 @@ pub mod prelude {
         CorrelationObjective, DbIndexObjective, DensityObjective, KMeansObjective,
         ObjectiveFunction, SlowPathObjective,
     };
-    pub use dc_similarity::{ClusterAggregates, GraphConfig, SimilarityGraph, SimilarityMeasure};
+    pub use dc_similarity::{
+        ClusterAggregates, GraphConfig, ShardRouter, SimilarityGraph, SimilarityMeasure,
+    };
     pub use dc_types::{
         Clustering, Dataset, ObjectId, Operation, OperationBatch, Record, RecordBuilder, Snapshot,
     };
