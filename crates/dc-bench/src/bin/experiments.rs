@@ -24,9 +24,12 @@
 //!                  checkpoint seconds, recovery vs full-replay seconds per
 //!                  fixture scenario; --out <path> overrides the output file)
 //!   bench-sharding  emit BENCH_sharding.json (wall-clock and ops/sec per
-//!                  shard count in {1,2,4,8}, merged structural counters,
-//!                  cross-shard edge drops; --out <path> overrides the
-//!                  output file)
+//!                  shard count in {1,2,4,8} in raw mode, merged structural
+//!                  counters; --out <path> overrides the output file)
+//!   bench-shard-quality  emit BENCH_shard_quality.json (pair P/R/F1 of the
+//!                  sharded clustering vs the unsharded engine, before and
+//!                  after cross-shard refinement, per shard count in
+//!                  {1,2,4,8}; --out <path> overrides the output file)
 //!   all      everything above except the bench-* subcommands
 //! ```
 //!
@@ -156,19 +159,12 @@ fn bench_sharding(out: Option<String>) {
             scenario.name, scenario.rounds, scenario.operations, scenario.baseline_engine_seconds
         );
         println!(
-            "{:>7} {:>10} {:>12} {:>9} {:>9} {:>10} {:>12} {:>12}",
-            "shards",
-            "seconds",
-            "ops/sec",
-            "speedup",
-            "clusters",
-            "merges",
-            "comparisons",
-            "edges dropped"
+            "{:>7} {:>10} {:>12} {:>9} {:>9} {:>10} {:>12}",
+            "shards", "seconds", "ops/sec", "speedup", "clusters", "merges", "comparisons"
         );
         for run in &scenario.runs {
             println!(
-                "{:>7} {:>10.3} {:>12.1} {:>8.2}x {:>9} {:>10} {:>12} {:>12}",
+                "{:>7} {:>10.3} {:>12.1} {:>8.2}x {:>9} {:>10} {:>12}",
                 run.shards,
                 run.seconds,
                 run.ops_per_sec(scenario.operations),
@@ -176,7 +172,6 @@ fn bench_sharding(out: Option<String>) {
                 run.clusters,
                 run.merges_applied,
                 run.comparisons,
-                run.cross_shard_edges_dropped,
             );
             assert_eq!(
                 run.aggregate_full_builds, 0,
@@ -188,6 +183,56 @@ fn bench_sharding(out: Option<String>) {
     let path = out.unwrap_or_else(|| "BENCH_sharding.json".to_string());
     let json = dc_bench::sharding_results_to_json(&results);
     std::fs::write(&path, json).expect("write sharding bench output");
+    println!("wrote {path}");
+}
+
+// ---------------------------------------------------------------------------
+// BENCH_shard_quality.json
+// ---------------------------------------------------------------------------
+fn bench_shard_quality(out: Option<String>) {
+    header("BENCH: shard quality (sharded vs unsharded pair sets, pre/post refinement)");
+    let results = dc_bench::run_shard_quality_bench();
+    for scenario in &results {
+        println!(
+            "-- {} ({} rounds, {} ops)",
+            scenario.name, scenario.rounds, scenario.operations
+        );
+        println!(
+            "{:>7} {:>9} {:>9} {:>13} {:>12} {:>12} {:>12} {:>10}",
+            "shards",
+            "pre F1",
+            "post F1",
+            "pairs missing",
+            "edges recov",
+            "repair merges",
+            "refined(s)",
+            "raw(s)"
+        );
+        for run in &scenario.runs {
+            println!(
+                "{:>7} {:>9.6} {:>9.6} {:>6} -> {:>4} {:>12} {:>13} {:>12.3} {:>10.3}",
+                run.shards,
+                run.pre_f1,
+                run.post_f1,
+                run.pre_pairs_missing,
+                run.post_pairs_missing,
+                run.cross_edges_recovered,
+                run.refine_merges_applied,
+                run.seconds_refined,
+                run.seconds_raw,
+            );
+            assert_eq!(
+                (run.post_pairs_missing, run.post_pairs_extra),
+                (0, 0),
+                "{}: {} shards: refined pair sets diverged from the unsharded engine",
+                scenario.name,
+                run.shards
+            );
+        }
+    }
+    let path = out.unwrap_or_else(|| "BENCH_shard_quality.json".to_string());
+    let json = dc_bench::shard_quality_results_to_json(&results);
+    std::fs::write(&path, json).expect("write shard quality bench output");
     println!("wrote {path}");
 }
 
@@ -586,6 +631,7 @@ fn main() {
         "bench-serving" => bench_serving(out),
         "bench-durability" => bench_durability(out),
         "bench-sharding" => bench_sharding(out),
+        "bench-shard-quality" => bench_shard_quality(out),
         "fig3" => fig3(options),
         "fig5a" => fig5a(options),
         "fig5b" => fig5_density(

@@ -16,11 +16,16 @@
 pub mod durability;
 pub mod scenario;
 pub mod serving;
+pub mod shard_quality;
 pub mod sharding;
 
 pub use durability::{durability_results_to_json, run_durability_bench, DurabilityScenarioResult};
 pub use scenario::{DatasetFamily, MethodKind, RoundResult, RunSummary, Scenario, ScenarioConfig};
 pub use serving::{run_dynamic_serving_bench, serving_results_to_json, ServingScenarioResult};
+pub use shard_quality::{
+    run_shard_quality_bench, shard_quality_results_to_json, ShardQualityRunResult,
+    ShardQualityScenarioResult,
+};
 pub use sharding::{
     run_sharding_bench, sharding_results_to_json, ShardingRunResult, ShardingScenarioResult,
 };

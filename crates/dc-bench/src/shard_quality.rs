@@ -1,0 +1,414 @@
+//! The `BENCH_shard_quality` baseline: pair-level quality of sharded vs
+//! unsharded serving, before and after cross-shard refinement.
+//!
+//! The experiments binary (`experiments bench-shard-quality`) serializes
+//! [`run_shard_quality_bench`]'s results to `BENCH_shard_quality.json`.
+//! Each scenario serves the identical fixture workload through
+//!
+//! * an unsharded [`Engine`] (the quality reference),
+//! * a **refined** [`ShardedEngine`] (the default mode: boundary pair
+//!   exchange + global merge repair after every round), and
+//! * a **raw** [`ShardedEngine::new_raw`] (the pre-refinement semantics:
+//!   cross-shard edges silently dropped),
+//!
+//! at every shard count in {1, 2, 4, 8}, and reports pair
+//! precision/recall/F1 of both sharded clusterings against the unsharded
+//! engine's after the final round, the recovered-edge and boundary-pair
+//! counters, and the wall-clock of both modes (the measured price of
+//! quality-exact sharding).
+//!
+//! The acceptance gate of the refinement issue, enforced by this module's
+//! test: at N ∈ {2, 4} on both fixture families the **post-refinement pair
+//! sets are bit-equal** to the unsharded engine's (zero disagreeing pairs in
+//! either direction, so the F1 gap is 0 ≤ 1e-9), while N = 1 stays
+//! bit-identical by construction.  Everything except the two timing fields
+//! is deterministic; CI runs the bench twice and diffs the structural
+//! fields.
+//!
+//! Schema of the emitted JSON (documented in the README):
+//!
+//! ```json
+//! {
+//!   "bench": "shard_quality",
+//!   "scenarios": [
+//!     {
+//!       "name": "...",                 // fixture workload + objective
+//!       "objective": "...",
+//!       "rounds": 4,                   // served rounds (after training)
+//!       "operations": 240,
+//!       "runs": [
+//!         {
+//!           "shards": 2,
+//!           "pre_precision": 1.0,      // merged (raw view) vs unsharded
+//!           "pre_recall": 0.82,
+//!           "pre_f1": 0.90,
+//!           "pre_pairs_missing": 31,   // pairs the raw merge lost
+//!           "post_precision": 1.0,     // refined vs unsharded
+//!           "post_recall": 1.0,
+//!           "post_f1": 1.0,
+//!           "post_pairs_missing": 0,   // must be 0 at N in {2, 4}
+//!           "post_pairs_extra": 0,     // must be 0 at N in {2, 4}
+//!           "cross_edges_recovered": 57,
+//!           "boundary_pairs_computed": 412,  // total, initial build + rounds
+//!           "refine_merges_applied": 63,     // repair merges across rounds
+//!           "seconds_refined": 0.41,   // wall-clock, refined mode
+//!           "seconds_raw": 0.22        // wall-clock, raw mode
+//!         }
+//!       ]
+//!     }
+//!   ]
+//! }
+//! ```
+
+use dc_batch::{BatchClusterer, HillClimbing};
+use dc_core::{train_on_workload, DynamicC, Engine, ShardedEngine};
+use dc_datagen::fixtures::{small_access_workload, small_febrl_workload};
+use dc_datagen::DynamicWorkload;
+use dc_eval::pair_counts;
+use dc_objective::{CorrelationObjective, DbIndexObjective, ObjectiveFunction};
+use dc_similarity::{GraphConfig, ShardRouter, SimilarityGraph, TokenBlocking};
+use dc_types::Clustering;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Shard counts every scenario is measured at.
+pub const QUALITY_SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// Shard counts the zero-gap acceptance bound is enforced at.
+pub const ENFORCED_SHARD_COUNTS: [usize; 2] = [2, 4];
+
+/// Measured quality numbers for one shard count within a scenario.
+#[derive(Debug, Clone, Copy)]
+pub struct ShardQualityRunResult {
+    /// Number of shards.
+    pub shards: usize,
+    /// Pair precision of the *merged* (pre-refinement) clustering against
+    /// the unsharded engine's, after the final round.
+    pub pre_precision: f64,
+    /// Pair recall of the merged clustering.
+    pub pre_recall: f64,
+    /// Pair F1 of the merged clustering.
+    pub pre_f1: f64,
+    /// Pairs the unsharded engine has that the merged clustering lost.
+    pub pre_pairs_missing: u64,
+    /// Pair precision of the *refined* clustering against the unsharded
+    /// engine's.
+    pub post_precision: f64,
+    /// Pair recall of the refined clustering.
+    pub post_recall: f64,
+    /// Pair F1 of the refined clustering.
+    pub post_f1: f64,
+    /// Pairs the unsharded engine has that the refined clustering lost
+    /// (0 when the gap is closed).
+    pub post_pairs_missing: u64,
+    /// Pairs the refined clustering has that the unsharded engine does not
+    /// (0 when the gap is closed).
+    pub post_pairs_extra: u64,
+    /// Cross-shard edges recovered after the final round.
+    pub cross_edges_recovered: usize,
+    /// Boundary-pair similarities computed in total (initial build plus
+    /// every served round).
+    pub boundary_pairs_computed: usize,
+    /// Repair merges applied by the refinement pass across the served
+    /// rounds (including the initial repair).
+    pub refine_merges_applied: usize,
+    /// Wall-clock seconds serving the rounds in refined mode.
+    pub seconds_refined: f64,
+    /// Wall-clock seconds serving the rounds in raw mode.
+    pub seconds_raw: f64,
+}
+
+/// Measured numbers for one fixture scenario across all shard counts.
+#[derive(Debug, Clone)]
+pub struct ShardQualityScenarioResult {
+    /// Scenario name (fixture + objective).
+    pub name: String,
+    /// Objective used for search and verification.
+    pub objective: String,
+    /// Served rounds (after the training prefix).
+    pub rounds: usize,
+    /// Total workload operations served.
+    pub operations: usize,
+    /// One entry per element of [`QUALITY_SHARD_COUNTS`].
+    pub runs: Vec<ShardQualityRunResult>,
+}
+
+impl ShardQualityScenarioResult {
+    /// The run for a given shard count.
+    pub fn run(&self, shards: usize) -> &ShardQualityRunResult {
+        self.runs
+            .iter()
+            .find(|r| r.shards == shards)
+            .expect("shard count was measured")
+    }
+}
+
+const TRAIN_ROUNDS: usize = 2;
+
+/// Deterministic train-then-previous pipeline (see `sharding.rs`).
+fn trained_setup(
+    workload: &DynamicWorkload,
+    graph_config: impl Fn() -> GraphConfig,
+    objective: Arc<dyn ObjectiveFunction>,
+) -> (SimilarityGraph, Clustering, DynamicC) {
+    let mut graph = SimilarityGraph::build(graph_config(), &workload.initial);
+    let batch = HillClimbing::with_objective(objective.clone());
+    let initial = batch.cluster(&graph).clustering;
+    let mut dynamicc = DynamicC::with_objective(objective);
+    let train = &workload.snapshots[..TRAIN_ROUNDS.min(workload.snapshots.len())];
+    let report = train_on_workload(&mut dynamicc, &mut graph, &initial, train, &batch);
+    let previous = report.final_clustering(&initial);
+    (graph, previous, dynamicc)
+}
+
+fn scenario(
+    name: &str,
+    workload: &DynamicWorkload,
+    graph_config: impl Fn() -> GraphConfig + Copy,
+    objective: Arc<dyn ObjectiveFunction>,
+) -> ShardQualityScenarioResult {
+    let serve = &workload.snapshots[TRAIN_ROUNDS.min(workload.snapshots.len())..];
+    let operations: usize = serve.iter().map(|s| s.batch.len()).sum();
+
+    let (graph, previous, dynamicc) = trained_setup(workload, graph_config, objective);
+    let objective_name = dynamicc.objective().name().to_string();
+
+    // The unsharded quality reference.
+    let mut reference = Engine::new(graph.clone(), previous.clone(), dynamicc.clone());
+    for snapshot in serve {
+        reference.apply_round(&snapshot.batch);
+    }
+
+    let mut runs = Vec::with_capacity(QUALITY_SHARD_COUNTS.len());
+    for shards in QUALITY_SHARD_COUNTS {
+        // Refined mode (the default): quality-exact, serial repair pass.
+        let router = ShardRouter::for_config(shards, graph.config());
+        let mut refined_engine =
+            ShardedEngine::new(router, graph.clone(), previous.clone(), dynamicc.clone())
+                .expect("fixture clustering fits the shard-0 namespace");
+        let mut boundary_pairs_computed = 0usize;
+        let mut refine_merges_applied = 0usize;
+        if let Some(initial) = refined_engine.last_refine_report() {
+            boundary_pairs_computed += initial.boundary_pairs_computed;
+            refine_merges_applied += initial.merges_applied;
+        }
+        let started = Instant::now();
+        for snapshot in serve {
+            let report = refined_engine.apply_round(&snapshot.batch);
+            if let Some(refine) = report.refine {
+                boundary_pairs_computed += refine.boundary_pairs_computed;
+                refine_merges_applied += refine.merges_applied;
+            }
+        }
+        let seconds_refined = started.elapsed().as_secs_f64();
+
+        // Raw mode: the pre-refinement semantics, for the cost comparison.
+        let router = ShardRouter::for_config(shards, graph.config());
+        let mut raw_engine =
+            ShardedEngine::new_raw(router, graph.clone(), previous.clone(), dynamicc.clone())
+                .expect("fixture clustering fits the shard-0 namespace");
+        let started = Instant::now();
+        for snapshot in serve {
+            raw_engine.apply_round(&snapshot.batch);
+        }
+        let seconds_raw = started.elapsed().as_secs_f64();
+
+        let pre = pair_counts(&refined_engine.merged_clustering(), reference.clustering());
+        let post = pair_counts(&refined_engine.refined_clustering(), reference.clustering());
+        runs.push(ShardQualityRunResult {
+            shards,
+            pre_precision: pre.precision(),
+            pre_recall: pre.recall(),
+            pre_f1: pre.f1(),
+            pre_pairs_missing: pre.together_reference_only,
+            post_precision: post.precision(),
+            post_recall: post.recall(),
+            post_f1: post.f1(),
+            post_pairs_missing: post.together_reference_only,
+            post_pairs_extra: post.together_result_only,
+            cross_edges_recovered: refined_engine.cross_shard_edges_recovered(),
+            boundary_pairs_computed,
+            refine_merges_applied,
+            seconds_refined,
+            seconds_raw,
+        });
+    }
+
+    ShardQualityScenarioResult {
+        name: name.to_string(),
+        objective: objective_name,
+        rounds: serve.len(),
+        operations,
+        runs,
+    }
+}
+
+/// Febrl under **exact** token blocking (no stop-word cutoff), so blocking
+/// semantics do not depend on shard size and the sharded engine provably has
+/// the same information as the unsharded one.
+fn exact_febrl_config() -> GraphConfig {
+    GraphConfig::new(
+        Box::new(dc_similarity::measures::CompositeMeasure::febrl_default()),
+        Box::new(TokenBlocking::new(0)),
+        0.6,
+    )
+}
+
+/// Run the shard-quality benchmark over both fixture families.
+pub fn run_shard_quality_bench() -> Vec<ShardQualityScenarioResult> {
+    vec![
+        scenario(
+            "febrl_small_dbindex",
+            &small_febrl_workload(),
+            exact_febrl_config,
+            Arc::new(DbIndexObjective),
+        ),
+        scenario(
+            "access_small_correlation",
+            &small_access_workload(),
+            || GraphConfig::numeric_euclidean(1.8, 4.0, 3, 0.25),
+            Arc::new(CorrelationObjective),
+        ),
+    ]
+}
+
+/// Serialize the results to the `BENCH_shard_quality.json` document.
+pub fn shard_quality_results_to_json(results: &[ShardQualityScenarioResult]) -> String {
+    let mut out = String::from("{\n  \"bench\": \"shard_quality\",\n  \"scenarios\": [\n");
+    for (i, scenario) in results.iter().enumerate() {
+        out.push_str(&format!(
+            concat!(
+                "    {{\n",
+                "      \"name\": \"{}\",\n",
+                "      \"objective\": \"{}\",\n",
+                "      \"rounds\": {},\n",
+                "      \"operations\": {},\n",
+                "      \"runs\": [\n",
+            ),
+            scenario.name, scenario.objective, scenario.rounds, scenario.operations,
+        ));
+        for (j, run) in scenario.runs.iter().enumerate() {
+            out.push_str(&format!(
+                concat!(
+                    "        {{\n",
+                    "          \"shards\": {},\n",
+                    "          \"pre_precision\": {:.9},\n",
+                    "          \"pre_recall\": {:.9},\n",
+                    "          \"pre_f1\": {:.9},\n",
+                    "          \"pre_pairs_missing\": {},\n",
+                    "          \"post_precision\": {:.9},\n",
+                    "          \"post_recall\": {:.9},\n",
+                    "          \"post_f1\": {:.9},\n",
+                    "          \"post_pairs_missing\": {},\n",
+                    "          \"post_pairs_extra\": {},\n",
+                    "          \"cross_edges_recovered\": {},\n",
+                    "          \"boundary_pairs_computed\": {},\n",
+                    "          \"refine_merges_applied\": {},\n",
+                    "          \"seconds_refined\": {:.6},\n",
+                    "          \"seconds_raw\": {:.6}\n",
+                    "        }}{}\n",
+                ),
+                run.shards,
+                run.pre_precision,
+                run.pre_recall,
+                run.pre_f1,
+                run.pre_pairs_missing,
+                run.post_precision,
+                run.post_recall,
+                run.post_f1,
+                run.post_pairs_missing,
+                run.post_pairs_extra,
+                run.cross_edges_recovered,
+                run.boundary_pairs_computed,
+                run.refine_merges_applied,
+                run.seconds_refined,
+                run.seconds_raw,
+                if j + 1 == scenario.runs.len() {
+                    ""
+                } else {
+                    ","
+                },
+            ));
+        }
+        out.push_str(&format!(
+            "      ]\n    }}{}\n",
+            if i + 1 == results.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The refinement acceptance gate: at N ∈ {2, 4} on both fixture
+    /// families the post-refinement pair sets are bit-equal to the
+    /// unsharded engine's; N = 1 is the identity in both modes.
+    #[test]
+    fn refinement_closes_the_pair_quality_gap() {
+        let results = run_shard_quality_bench();
+        assert_eq!(results.len(), 2);
+        let mut saw_gap = false;
+        for scenario in &results {
+            assert!(scenario.rounds > 0, "{}: no served rounds", scenario.name);
+            assert_eq!(scenario.runs.len(), QUALITY_SHARD_COUNTS.len());
+            let one = scenario.run(1);
+            assert_eq!(
+                (
+                    one.pre_pairs_missing,
+                    one.post_pairs_missing,
+                    one.post_pairs_extra
+                ),
+                (0, 0, 0),
+                "{}: one shard must be the identity",
+                scenario.name
+            );
+            for &shards in &ENFORCED_SHARD_COUNTS {
+                let run = scenario.run(shards);
+                assert_eq!(
+                    (run.post_pairs_missing, run.post_pairs_extra),
+                    (0, 0),
+                    "{}: {} shards: refined pair sets must be bit-equal to the \
+                     unsharded engine's (post F1 {})",
+                    scenario.name,
+                    shards,
+                    run.post_f1,
+                );
+                assert!(
+                    (run.post_f1 - 1.0).abs() <= 1e-9,
+                    "{}: {} shards: post-refinement F1 gap {} exceeds 1e-9",
+                    scenario.name,
+                    shards,
+                    (run.post_f1 - 1.0).abs(),
+                );
+                assert!(
+                    run.pre_f1 <= run.post_f1 + 1e-12,
+                    "{}: {} shards: refinement must not lower quality",
+                    scenario.name,
+                    shards,
+                );
+                saw_gap |= run.pre_pairs_missing > 0;
+                if run.pre_pairs_missing > 0 {
+                    assert!(
+                        run.cross_edges_recovered > 0,
+                        "{}: {} shards: a pre-refinement gap with no recovered \
+                         edges makes no sense",
+                        scenario.name,
+                        shards,
+                    );
+                }
+            }
+        }
+        assert!(
+            saw_gap,
+            "no enforced run ever had a pre-refinement gap; the bench no longer \
+             exercises refinement"
+        );
+        let json = shard_quality_results_to_json(&results);
+        assert!(json.contains("\"bench\": \"shard_quality\""));
+        assert!(json.contains("post_pairs_missing"));
+        assert!(json.contains("seconds_raw"));
+    }
+}

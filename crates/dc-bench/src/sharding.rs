@@ -45,8 +45,7 @@
 //!           "splits_applied": 3,
 //!           "objective_evaluations": 900,
 //!           "comparisons": 42000,       // similarity computations while serving
-//!           "aggregate_full_builds": 0, // serving steady state (must stay 0)
-//!           "cross_shard_edges_dropped": 0
+//!           "aggregate_full_builds": 0  // serving steady state (must stay 0)
 //!         }
 //!       ]
 //!     }
@@ -89,9 +88,6 @@ pub struct ShardingRunResult {
     /// Full O(E) aggregate builds during serving (0 in steady state, for
     /// every shard count).
     pub aggregate_full_builds: u64,
-    /// Similarity edges dropped by the initial partition because their
-    /// endpoints routed to different shards.
-    pub cross_shard_edges_dropped: usize,
 }
 
 /// Measured numbers for one fixture scenario across all shard counts.
@@ -208,8 +204,11 @@ fn scenario(
         );
         let router = ShardRouter::for_config(shards, graph.config());
         let comparisons_before = graph.comparisons();
-        let mut sharded = ShardedEngine::new(router, graph, previous, dynamicc);
-        let cross_shard_edges_dropped = sharded.cross_shard_edges_dropped();
+        // Raw mode: this bench pins the *scaling* of the parallel partition
+        // alone.  The refined mode's quality and cost are measured by
+        // `bench-shard-quality` (BENCH_shard_quality.json).
+        let mut sharded = ShardedEngine::new_raw(router, graph, previous, dynamicc)
+            .expect("fixture clustering fits the shard-0 namespace");
         let stats_before = sharded.stats();
 
         let started = Instant::now();
@@ -231,7 +230,6 @@ fn scenario(
             objective_evaluations: stats.objective_evaluations - stats_before.objective_evaluations,
             comparisons: sharded.comparisons() - comparisons_before,
             aggregate_full_builds,
-            cross_shard_edges_dropped,
         });
     }
 
@@ -341,8 +339,7 @@ pub fn sharding_results_to_json(results: &[ShardingScenarioResult]) -> String {
                     "          \"splits_applied\": {},\n",
                     "          \"objective_evaluations\": {},\n",
                     "          \"comparisons\": {},\n",
-                    "          \"aggregate_full_builds\": {},\n",
-                    "          \"cross_shard_edges_dropped\": {}\n",
+                    "          \"aggregate_full_builds\": {}\n",
                     "        }}{}\n",
                 ),
                 run.shards,
@@ -357,7 +354,6 @@ pub fn sharding_results_to_json(results: &[ShardingScenarioResult]) -> String {
                 run.objective_evaluations,
                 run.comparisons,
                 run.aggregate_full_builds,
-                run.cross_shard_edges_dropped,
                 if j + 1 == scenario.runs.len() {
                     ""
                 } else {
@@ -403,12 +399,6 @@ mod tests {
                     scenario.name, run.shards
                 );
             }
-            assert_eq!(
-                scenario.run(1).cross_shard_edges_dropped,
-                0,
-                "{}: one shard must not drop edges",
-                scenario.name
-            );
         }
         // Acceptance criterion: >= 1.5x wall-clock speedup at 4 shards on
         // the largest fixture.
@@ -424,6 +414,5 @@ mod tests {
         let json = sharding_results_to_json(&results);
         assert!(json.contains("\"bench\": \"sharding\""));
         assert!(json.contains("speedup_vs_one_shard"));
-        assert!(json.contains("cross_shard_edges_dropped"));
     }
 }

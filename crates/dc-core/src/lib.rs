@@ -45,6 +45,12 @@
 //!    parallel on a scoped-thread pool; [`ShardedDurableEngine`] adds one
 //!    WAL + snapshot directory per shard with min-committed-round crash
 //!    recovery.  One shard is bit-identical to the unsharded engine.
+//! 7. **Cross-shard refinement** ([`refine`]).  After the parallel per-shard
+//!    rounds, a deterministic boundary pass recovers the cross-shard
+//!    similarity edges the partition dropped and repairs the merged
+//!    clustering by running the trained merge/split passes globally — making
+//!    multi-shard serving quality-equivalent to the unsharded engine instead
+//!    of silently lossy.
 
 #![deny(missing_docs)]
 #![deny(rustdoc::broken_intra_doc_links)]
@@ -55,6 +61,7 @@ pub mod dynamic;
 pub mod engine;
 pub mod merge;
 pub mod models;
+pub mod refine;
 pub mod shard;
 pub mod split;
 pub mod trainer;
@@ -64,7 +71,11 @@ pub use durable::{DurabilityOptions, DurableEngine, RecoveryReport};
 pub use dynamic::DynamicC;
 pub use engine::{Engine, RoundReport};
 pub use models::ModelPair;
-pub use shard::{ShardedDurableEngine, ShardedEngine, ShardedRecoveryReport, ShardedRoundReport};
+pub use refine::RefineReport;
+pub use shard::{
+    ShardConfigError, ShardedDurableEngine, ShardedEngine, ShardedRecoveryReport,
+    ShardedRoundReport,
+};
 pub use trainer::{train_on_workload, RoundObservation, TrainingReport};
 
 pub use dc_storage::StorageError;

@@ -1,0 +1,607 @@
+//! Cross-shard refinement: closing the quality gap of sharded serving.
+//!
+//! Sharded serving ([`crate::shard`]) partitions the live objects across N
+//! independent engines and *drops every cross-shard similarity edge*: the
+//! per-shard graphs never compare records that route to different shards, so
+//! the merged clustering silently under-merges exactly where blocking says
+//! two records could be duplicates.  This module recovers that loss:
+//!
+//! 1. **Boundary pair exchange.**  A [`BoundaryIndex`] over each record's
+//!    *full* block-key set finds the cross-shard candidate pairs the
+//!    per-shard graphs cannot see.  Their similarities are computed once,
+//!    counted in the sharded engine's global comparison counter, cached, and
+//!    maintained incrementally as rounds add, update, and remove records —
+//!    turning the old `cross_shard_edges_dropped` loss into the exact
+//!    recovered-edge metric (`CrossShardRefiner::cross_edges_recovered`).
+//! 2. **Global merge repair.**  The refiner owns a *global serving view*
+//!    maintained across rounds, exactly shaped like the unsharded
+//!    [`Engine`]'s state:
+//!
+//!    * a **mirror** — a global union [`SimilarityGraph`] whose records and
+//!      edge weights are copied verbatim from the per-shard graphs (no
+//!      similarity is ever recomputed for them) plus the recovered
+//!      cross-shard edges;
+//!    * the **refined clustering** — seeded by an initial repair of the
+//!      partition (merged per-shard clusterings + union aggregates + the
+//!      trained passes run globally), then evolved per round exactly like
+//!      the unsharded engine evolves its clustering: the batch's operations
+//!      are folded in **in their original order** (new/updated objects enter
+//!      as fresh singletons, removed objects leave), and then the *same*
+//!      trained merge and split passes as the unsharded engine (Algorithm 3
+//!      — literally `merge_pass` and `split_pass`) run against the mirror to
+//!      a fixed point;
+//!    * maintained [`ClusterAggregates`] for `(mirror, refined)`, updated at
+//!      O(degree) per operation and folded through every applied merge and
+//!      split — the refinement pass performs **zero** full aggregate builds,
+//!      at construction or while serving.
+//!
+//!    Because the refined view sees the same records, the same edges (under
+//!    exact blocking), and runs the same algorithm from the same previous
+//!    clustering, it converges to the unsharded engine's clustering — the
+//!    pair-level equivalence pinned by `tests/shard_quality.rs`.  Repair
+//!    merges and splits allocate fresh cluster ids from the reserved refine
+//!    namespace (`shard_id_base(MAX_SHARDS - 1)`), so they can never collide
+//!    with any per-shard allocation.
+//!
+//! The per-shard clusterings are never mutated by the repair — each shard
+//! keeps serving its own partition, and the refined view is a separate
+//! global projection.  For durability, the refined view is genuine state
+//! (it evolves with history): [`crate::ShardedDurableEngine`] logs every
+//! round's full batch in a dedicated `refine/` directory and snapshots the
+//! view at checkpoints, so recovery reloads the snapshot and *replays the
+//! same pass deterministically* over the logged tail — restarted and
+//! never-restarted runs produce bit-identical refined clusterings and
+//! per-round [`RefineReport`]s.  (The cumulative cross-comparison work
+//! counter (`CrossShardRefiner::cross_comparisons`) is the one
+//! process-scoped quantity: replayed rounds recompute their boundary pairs,
+//! which *is* the work the restarted process performed.)
+
+use crate::config::DynamicCStats;
+use crate::dynamic::DynamicC;
+use crate::engine::Engine;
+use crate::merge::merge_pass;
+use crate::split::split_pass;
+use dc_similarity::persist::{AggregatesState, GraphState};
+use dc_similarity::{BoundaryIndex, ClusterAggregates, ShardRouter, SimilarityGraph};
+use dc_types::codec::{BinCodec, ByteReader, ByteWriter, CodecError};
+use dc_types::{shard_id_base, Clustering, ObjectId, Operation, OperationBatch, MAX_SHARDS};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// What one cross-shard refinement pass did.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct RefineReport {
+    /// Cross-shard candidate-pair similarities computed by this pass (new or
+    /// re-keyed boundary pairs; 0 in steady state when no touched record has
+    /// cross-shard block collisions).
+    pub boundary_pairs_computed: usize,
+    /// Cross-shard edges (similarity at or above the graph threshold)
+    /// currently recovered into the refined view — the exact count of edges
+    /// the per-shard graphs are missing.
+    pub cross_edges_recovered: usize,
+    /// Merges applied by the global repair pass this round.
+    pub merges_applied: usize,
+    /// Merge proposals rejected by the objective check this round.
+    pub merges_rejected: usize,
+    /// Splits applied by the global repair pass this round.
+    pub splits_applied: usize,
+    /// Split proposals rejected by the objective check this round.
+    pub splits_rejected: usize,
+    /// Objective delta evaluations performed by the repair pass.
+    pub objective_evaluations: u64,
+    /// Clusters in the refined clustering after the pass.
+    pub clusters: usize,
+    /// Objective score of the refined clustering (lower is better).
+    pub score: f64,
+}
+
+/// The cross-shard refinement subsystem of a sharded engine (N > 1 only).
+///
+/// Owns the boundary index, the recovered cross-edge cache, the global
+/// mirror graph, and the refined clustering with its maintained aggregates.
+/// The boundary/cross/mirror layers are pure derived state (rebuildable from
+/// the per-shard graphs); the refined clustering and its aggregates are
+/// history-bearing state that the durable engine snapshots and replays.
+pub(crate) struct CrossShardRefiner {
+    boundary: BoundaryIndex,
+    /// Symmetric adjacency of recovered cross-shard edges (≥ threshold).
+    cross: BTreeMap<ObjectId, BTreeMap<ObjectId, f64>>,
+    cross_edge_count: usize,
+    cross_comparisons: u64,
+    /// Global union graph: per-shard records and edges mirrored verbatim,
+    /// plus the recovered cross-shard edges.  Never computes a similarity
+    /// for an intra-shard pair.
+    mirror: SimilarityGraph,
+    refined: Clustering,
+    /// Maintained aggregates for `(mirror, refined)` — carried across
+    /// rounds, so the repair performs zero full builds.
+    agg: ClusterAggregates,
+    last_report: RefineReport,
+}
+
+/// The raw cluster-id value repair allocations start from: the top shard
+/// namespace is reserved for the refiner (shard counts are capped one below
+/// [`MAX_SHARDS`] by the sharded engines), so repair ids can never collide
+/// with a per-shard allocation.
+pub(crate) fn refine_id_base() -> u64 {
+    shard_id_base(MAX_SHARDS - 1)
+}
+
+impl CrossShardRefiner {
+    /// Build the refiner from the current per-shard engines: mirror every
+    /// record and intra-shard edge, index every record's block keys, compute
+    /// the similarity of every cross-shard candidate pair, and run the
+    /// initial repair that seeds the refined view.  `assignment` is the
+    /// object-to-shard map the sharded engine maintains.
+    pub(crate) fn build(
+        router: &ShardRouter,
+        shards: &[&Engine],
+        assignment: &BTreeMap<ObjectId, usize>,
+    ) -> Self {
+        let mut refiner = Self::derived_state(router, shards, assignment);
+
+        // Seed the refined view: merged per-shard clusterings, the union of
+        // the per-shard aggregates with the recovered cross edges injected,
+        // then the trained passes run globally to a fixed point.
+        let mut refined = crate::shard::merge_clusterings(shards.iter().map(|s| s.clustering()));
+        refined.set_id_watermark(refine_id_base());
+        let mut agg = ClusterAggregates::union(shards.iter().map(|s| s.aggregates()));
+        for (&a, nbrs) in &refiner.cross {
+            for (&b, &sim) in nbrs {
+                if b > a {
+                    let ca = refined.cluster_of(a).expect("live object is clustered");
+                    let cb = refined.cluster_of(b).expect("live object is clustered");
+                    agg.add_inter_edge(ca, cb, sim);
+                }
+            }
+        }
+        refiner.refined = refined;
+        refiner.agg = agg;
+        let pairs_computed = refiner.cross_comparisons as usize;
+        let dynamicc = shards.first().expect("at least one shard").dynamicc();
+        refiner.run_passes(dynamicc, pairs_computed);
+        refiner
+    }
+
+    /// The derived (rebuildable) layers only: boundary index, cross-edge
+    /// cache, and mirror.  The refined clustering and aggregates are left
+    /// empty — [`CrossShardRefiner::build`] seeds them with the initial
+    /// repair and the durable engine restores them from a snapshot.
+    fn derived_state(
+        router: &ShardRouter,
+        shards: &[&Engine],
+        assignment: &BTreeMap<ObjectId, usize>,
+    ) -> Self {
+        let config = shards
+            .first()
+            .expect("at least one shard")
+            .graph()
+            .config()
+            .clone();
+        let mut refiner = CrossShardRefiner {
+            boundary: router.boundary_index(),
+            cross: BTreeMap::new(),
+            cross_edge_count: 0,
+            cross_comparisons: 0,
+            mirror: SimilarityGraph::empty(config),
+            refined: Clustering::new(),
+            agg: ClusterAggregates::empty(),
+            last_report: RefineReport::default(),
+        };
+
+        for (&id, &shard) in assignment {
+            let record = shards[shard].graph().record(id).expect("assigned object");
+            refiner.mirror.install_record(id, record.clone());
+            refiner.boundary.insert(id, shard, record);
+        }
+        for shard in shards {
+            for (a, b, sim) in shard.graph().edges() {
+                refiner.mirror.install_edge(a, b, sim);
+            }
+        }
+
+        // Every cross-shard candidate pair, each computed exactly once.
+        let mut pairs: BTreeSet<(ObjectId, ObjectId)> = BTreeSet::new();
+        for &id in assignment.keys() {
+            for cand in refiner.boundary.cross_shard_candidates(id) {
+                pairs.insert((id.min(cand), id.max(cand)));
+            }
+        }
+        for (a, b) in pairs {
+            refiner.compute_cross_pair(a, b);
+        }
+        refiner
+    }
+
+    /// Cumulative cross-shard similarity computations performed by this
+    /// process (the boundary-pass share of the sharded engine's global
+    /// comparison counter).
+    pub(crate) fn cross_comparisons(&self) -> u64 {
+        self.cross_comparisons
+    }
+
+    /// Cross-shard edges currently recovered into the refined view — exact
+    /// across rounds (grows when a round introduces a cross-shard edge,
+    /// shrinks when one endpoint is removed or re-keyed apart).
+    pub(crate) fn cross_edges_recovered(&self) -> usize {
+        self.cross_edge_count
+    }
+
+    /// The refined clustering.
+    pub(crate) fn refined(&self) -> &Clustering {
+        &self.refined
+    }
+
+    /// The object-to-shard ownership the refiner currently tracks (the
+    /// sticky assignment durable replay re-routes batches from).
+    pub(crate) fn shard_map(&self) -> BTreeMap<ObjectId, usize> {
+        self.boundary.shard_map()
+    }
+
+    /// The report of the most recent refinement pass (the initial repair
+    /// right after construction, then one per served round).
+    pub(crate) fn last_report(&self) -> RefineReport {
+        self.last_report
+    }
+
+    /// Compute the similarity of one cross-shard candidate pair and recover
+    /// the edge if it reaches the graph threshold.
+    fn compute_cross_pair(&mut self, a: ObjectId, b: ObjectId) {
+        let ra = self.mirror.record(a).expect("live record");
+        let rb = self.mirror.record(b).expect("live record");
+        let sim = self.mirror.raw_similarity(ra, rb);
+        self.cross_comparisons += 1;
+        if sim >= self.mirror.edge_threshold() && sim > 0.0 {
+            self.cross.entry(a).or_default().insert(b, sim);
+            self.cross.entry(b).or_default().insert(a, sim);
+            self.cross_edge_count += 1;
+            self.mirror.install_edge(a, b, sim);
+        }
+    }
+
+    /// Drop a record from the boundary index, the cross-edge cache, and the
+    /// mirror.
+    fn detach(&mut self, id: ObjectId) {
+        self.boundary.remove(id);
+        if let Some(nbrs) = self.cross.remove(&id) {
+            self.cross_edge_count -= nbrs.len();
+            for n in nbrs.keys() {
+                if let Some(m) = self.cross.get_mut(n) {
+                    m.remove(&id);
+                    if m.is_empty() {
+                        self.cross.remove(n);
+                    }
+                }
+            }
+        }
+        self.mirror.remove_object(id);
+    }
+
+    /// (Re-)install one record into the derived layers: mirror record and
+    /// blocking keys, edges to every mirror candidate, and the cross-edge
+    /// cache.
+    ///
+    /// Edge weights are **reused** from the owning shard's (post-round)
+    /// graph whenever that graph holds both endpoints with the records the
+    /// mirror currently sees — the steady-state case, where the shard
+    /// already paid for the computation.  Everything else — cross-shard
+    /// pairs, neighbours whose record is mid-batch stale, objects the shard
+    /// graph no longer holds, and all pairs during durable replay
+    /// (`reuse = None`) — is computed against the mirror's *current*
+    /// records, which is exactly what the unsharded engine computed at this
+    /// position of the batch.  Reused and computed weights are bit-identical
+    /// (same measure, same records), so the normal and replay paths build
+    /// the same mirror down to the bit.
+    fn attach(
+        &mut self,
+        id: ObjectId,
+        shard: usize,
+        record: &dc_types::Record,
+        reuse: Option<&[&Engine]>,
+    ) {
+        // Candidates are queried before the record is indexed, matching
+        // `SimilarityGraph::add_object` (the unsharded order).
+        let candidates = self.mirror.candidate_ids(record);
+        self.mirror.install_record(id, record.clone());
+        let graph = reuse.map(|shards| shards[shard].graph());
+        let id_in_shard = graph.is_some_and(|g| g.contains(id));
+        for n in candidates {
+            if n == id || !self.mirror.contains(n) {
+                continue;
+            }
+            let n_shard = self
+                .boundary
+                .shard_of(n)
+                .expect("mirror and boundary track the same records");
+            if n_shard == shard {
+                let fresh =
+                    id_in_shard && graph.is_some_and(|g| g.record(n) == self.mirror.record(n));
+                let sim = if fresh {
+                    // The shard computed this pair; 0 means sub-threshold.
+                    graph.expect("fresh implies a graph").similarity(id, n)
+                } else {
+                    let other = self.mirror.record(n).expect("live record");
+                    self.mirror.raw_similarity(record, other)
+                };
+                if sim >= self.mirror.edge_threshold() && sim > 0.0 {
+                    self.mirror.install_edge(id, n, sim);
+                }
+            } else {
+                let other = self.mirror.record(n).expect("live record");
+                let sim = self.mirror.raw_similarity(record, other);
+                self.cross_comparisons += 1;
+                if sim >= self.mirror.edge_threshold() && sim > 0.0 {
+                    self.cross.entry(id).or_default().insert(n, sim);
+                    self.cross.entry(n).or_default().insert(id, sim);
+                    self.cross_edge_count += 1;
+                    self.mirror.install_edge(id, n, sim);
+                }
+            }
+        }
+        self.boundary.insert(id, shard, record);
+    }
+
+    /// Fold one served round into the refined view, mimicking the unsharded
+    /// engine's round loop: operations are applied **in their original
+    /// order** to the mirror, the refined clustering, and the maintained
+    /// aggregates (O(degree) each), then Algorithm 3 runs to a fixed point.
+    /// Returns the round's [`RefineReport`].
+    pub(crate) fn apply_round(
+        &mut self,
+        batch: &OperationBatch,
+        op_shards: &[usize],
+        shards: &[&Engine],
+    ) -> RefineReport {
+        self.apply_round_inner(batch, op_shards, shards, Some(shards))
+    }
+
+    /// [`CrossShardRefiner::apply_round`] for durable recovery replay: the
+    /// per-shard graphs have already advanced past the replayed round, so
+    /// no weight may be reused from them — every pair is recomputed against
+    /// the mirror's records, which reproduces the original round's mirror
+    /// bit-for-bit (see [`CrossShardRefiner::attach`]).
+    pub(crate) fn replay_round(
+        &mut self,
+        batch: &OperationBatch,
+        op_shards: &[usize],
+        shards: &[&Engine],
+    ) -> RefineReport {
+        self.apply_round_inner(batch, op_shards, shards, None)
+    }
+
+    fn apply_round_inner(
+        &mut self,
+        batch: &OperationBatch,
+        op_shards: &[usize],
+        shards: &[&Engine],
+        reuse: Option<&[&Engine]>,
+    ) -> RefineReport {
+        let comparisons_before = self.cross_comparisons;
+        // §6.1 initial processing against the global view, fused with
+        // aggregate maintenance — the mirror-backed analogue of
+        // `ClusterAggregates::apply_batch`.
+        for (op, &shard) in batch.iter().zip(op_shards) {
+            match op {
+                Operation::Add { id, record } => {
+                    if let Some(cid) = self.refined.cluster_of(*id) {
+                        // Re-add of a live object: edges are replaced but it
+                        // keeps its cluster, exactly like initial processing.
+                        self.agg.apply_remove(&self.mirror, &self.refined, *id, cid);
+                        self.detach(*id);
+                        self.attach(*id, shard, record, reuse);
+                        self.agg.apply_add(&self.mirror, &self.refined, *id);
+                    } else {
+                        self.detach(*id);
+                        self.attach(*id, shard, record, reuse);
+                        self.refined
+                            .create_cluster([*id])
+                            .expect("fresh object enters as a singleton");
+                        self.agg.apply_add(&self.mirror, &self.refined, *id);
+                    }
+                }
+                Operation::Remove { id } => {
+                    if let Some(cid) = self.refined.cluster_of(*id) {
+                        self.agg.apply_remove(&self.mirror, &self.refined, *id, cid);
+                        self.refined.remove_object(*id).expect("object present");
+                    }
+                    self.detach(*id);
+                }
+                Operation::Update { id, record } => {
+                    if let Some(cid) = self.refined.cluster_of(*id) {
+                        self.agg.apply_remove(&self.mirror, &self.refined, *id, cid);
+                        self.refined.remove_object(*id).expect("object present");
+                    }
+                    self.detach(*id);
+                    self.attach(*id, shard, record, reuse);
+                    self.refined
+                        .create_cluster([*id])
+                        .expect("object just removed");
+                    self.agg.apply_add(&self.mirror, &self.refined, *id);
+                }
+            }
+        }
+        let pairs_computed = (self.cross_comparisons - comparisons_before) as usize;
+        let dynamicc = shards.first().expect("at least one shard").dynamicc();
+        self.run_passes(dynamicc, pairs_computed)
+    }
+
+    /// §6.4: alternate the trained merge and split passes over the global
+    /// view until a fixed point, then refresh the report.
+    fn run_passes(&mut self, dynamicc: &DynamicC, pairs_computed: usize) -> RefineReport {
+        let objective = dynamicc.objective().as_ref();
+        let models = dynamicc.models();
+        let config = dynamicc.config();
+        let mut stats = DynamicCStats::default();
+        for _ in 0..config.max_passes {
+            let merged = merge_pass(
+                &self.mirror,
+                &mut self.refined,
+                &mut self.agg,
+                objective,
+                models,
+                config.theta_scale,
+                &mut stats,
+            );
+            let split = split_pass(
+                &self.mirror,
+                &mut self.refined,
+                &mut self.agg,
+                objective,
+                models,
+                config.theta_scale,
+                &mut stats,
+            );
+            if !merged && !split {
+                break;
+            }
+        }
+        let report = RefineReport {
+            boundary_pairs_computed: pairs_computed,
+            cross_edges_recovered: self.cross_edge_count,
+            merges_applied: stats.merges_applied,
+            merges_rejected: stats.merges_rejected,
+            splits_applied: stats.splits_applied,
+            splits_rejected: stats.splits_rejected,
+            objective_evaluations: stats.objective_evaluations,
+            clusters: self.refined.cluster_count(),
+            score: objective.evaluate_with(&self.agg, &self.mirror, &self.refined),
+        };
+        self.last_report = report;
+        report
+    }
+
+    // ------------------------------------------------------------------
+    // Durability hooks (see `ShardedDurableEngine`)
+    // ------------------------------------------------------------------
+
+    /// Export the history-bearing refine state for a durable snapshot.  The
+    /// mirror is included so replayed rounds see the exact global graph the
+    /// never-restarted run saw (the per-shard graphs have already advanced
+    /// past the snapshot round by the time recovery replays the tail).
+    pub(crate) fn export_state(&self) -> RefineState {
+        RefineState {
+            mirror: self.mirror.export_state(),
+            refined: self.refined.clone(),
+            aggregates: self.agg.export_state(),
+            assignment: self.boundary.shard_map(),
+        }
+    }
+
+    /// Reassemble a refiner from a durable snapshot: the mirror, refined
+    /// clustering, and aggregates are restored bit-exactly, and the boundary
+    /// index and cross-edge cache are re-derived from the restored mirror.
+    /// Cross-pair similarities are *looked up* in the mirror (whose edge
+    /// weights are exact); only the counting is process-scoped — see the
+    /// module docs.  `graph_config` is the same construction-time input the
+    /// durable engine already threads to every shard, and
+    /// `state.assignment` records each restored record's owning shard (the
+    /// sticky routing history replays are re-routed from).
+    pub(crate) fn import_state(
+        router: &ShardRouter,
+        graph_config: dc_similarity::GraphConfig,
+        state: RefineState,
+    ) -> Result<Self, CodecError> {
+        let mirror = SimilarityGraph::import_state(graph_config, state.mirror)?;
+        let agg = ClusterAggregates::import_state(state.aggregates)?;
+        let assignment = state.assignment;
+        let mut refiner = CrossShardRefiner {
+            boundary: router.boundary_index(),
+            cross: BTreeMap::new(),
+            cross_edge_count: 0,
+            cross_comparisons: 0,
+            mirror,
+            refined: state.refined,
+            agg,
+            last_report: RefineReport::default(),
+        };
+        // Re-derive the boundary index and the cross-edge cache from the
+        // restored mirror.  Cross-pair similarities are *looked up* in the
+        // mirror (whose edge weights are bit-exact), not recomputed — only
+        // sub-threshold pairs (which the mirror does not store) cost a fresh
+        // computation.
+        for id in refiner.mirror.object_ids() {
+            let shard = assignment.get(&id).copied().ok_or_else(|| {
+                CodecError::Invalid(format!("restored mirror object {id} is owned by no shard"))
+            })?;
+            let record = refiner.mirror.record(id).expect("live object").clone();
+            refiner.boundary.insert(id, shard, &record);
+        }
+        if assignment.len() != refiner.mirror.object_count() {
+            return Err(CodecError::Invalid(
+                "restored assignment names objects absent from the mirror".into(),
+            ));
+        }
+        let mut pairs: BTreeSet<(ObjectId, ObjectId)> = BTreeSet::new();
+        for id in refiner.mirror.object_ids() {
+            for cand in refiner.boundary.cross_shard_candidates(id) {
+                pairs.insert((id.min(cand), id.max(cand)));
+            }
+        }
+        for (a, b) in pairs {
+            let sim = refiner.mirror.similarity(a, b);
+            refiner.cross_comparisons += 1;
+            if sim > 0.0 {
+                refiner.cross.entry(a).or_default().insert(b, sim);
+                refiner.cross.entry(b).or_default().insert(a, sim);
+                refiner.cross_edge_count += 1;
+            }
+        }
+        Ok(refiner)
+    }
+}
+
+/// The history-bearing refine state a durable snapshot carries.
+pub(crate) struct RefineState {
+    pub(crate) mirror: GraphState,
+    pub(crate) refined: Clustering,
+    pub(crate) aggregates: AggregatesState,
+    /// Object-to-shard ownership at the snapshot round: sticky routing is
+    /// history-dependent, so replayed batches must be re-routed from the
+    /// exact assignment the original run held.
+    pub(crate) assignment: BTreeMap<ObjectId, usize>,
+}
+
+impl BinCodec for RefineState {
+    fn encode(&self, w: &mut ByteWriter) {
+        self.mirror.encode(w);
+        self.refined.encode(w);
+        self.aggregates.encode(w);
+        w.put_usize(self.assignment.len());
+        for (id, shard) in &self.assignment {
+            id.encode(w);
+            w.put_usize(*shard);
+        }
+    }
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        let mirror = GraphState::decode(r)?;
+        let refined = Clustering::decode(r)?;
+        let aggregates = AggregatesState::decode(r)?;
+        let count = r.get_length_prefix(16)?;
+        let mut assignment = BTreeMap::new();
+        for _ in 0..count {
+            let id = ObjectId::decode(r)?;
+            let shard = r.get_usize()?;
+            if assignment.insert(id, shard).is_some() {
+                return Err(CodecError::Invalid(format!(
+                    "object {id} assigned to more than one shard"
+                )));
+            }
+        }
+        Ok(RefineState {
+            mirror,
+            refined,
+            aggregates,
+            assignment,
+        })
+    }
+}
+
+impl std::fmt::Debug for CrossShardRefiner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CrossShardRefiner")
+            .field("records", &self.mirror.object_count())
+            .field("cross_edges_recovered", &self.cross_edge_count)
+            .field("cross_comparisons", &self.cross_comparisons)
+            .field("refined_clusters", &self.refined.cluster_count())
+            .finish()
+    }
+}

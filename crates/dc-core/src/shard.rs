@@ -20,10 +20,17 @@
 //! * **Statistics** — the global [`DynamicCStats`] / comparison counters /
 //!   [`RoundReport`]s are the field-wise sums of the per-shard ones.
 //!
-//! What it deliberately drops: similarity edges *between* shards.  Records
-//! whose blocking keys route apart would rarely have shared a block, but the
-//! partition is still lossy — that is the price of linear scaling, and the
-//! `bench-sharding` benchmark measures both sides of the trade.
+//! What the *partition* drops — similarity edges between shards — the
+//! **cross-shard refinement pass** ([`crate::refine`]) recovers: after the
+//! parallel per-shard rounds, the boundary pairs the per-shard graphs cannot
+//! see are computed once, cached, and a global repair runs the trained
+//! merge/split passes over the global view, so the refined clustering
+//! ([`ShardedEngine::refined_clustering`]) is quality-equivalent to the
+//! unsharded engine instead of silently lossy.  Refinement is the default;
+//! [`ShardedEngine::new_raw`] opts out for workloads where the repair
+//! pass's serial cost matters more than pair-exact quality (the
+//! `bench-shard-quality` benchmark measures both sides of that trade, and
+//! `bench-sharding` pins the raw mode's scaling).
 //!
 //! With **one** shard nothing is dropped and nothing is renumbered: the
 //! sub-batch is the input batch, the namespace base is 0, and the sharded
@@ -49,13 +56,67 @@ use crate::config::DynamicCStats;
 use crate::durable::{DurabilityOptions, RecoveryReport};
 use crate::dynamic::DynamicC;
 use crate::engine::{Engine, RoundReport};
+use crate::refine::{CrossShardRefiner, RefineReport, RefineState};
 use crate::DurableEngine;
 use dc_similarity::persist::GraphState;
 use dc_similarity::{BuildCounter, GraphConfig, ShardRouter, SimilarityGraph};
-use dc_storage::StorageError;
-use dc_types::{shard_id_base, Clustering, ObjectId, OperationBatch};
+use dc_storage::wal::list_segments;
+use dc_storage::{Snapshotter, StorageError, Wal};
+use dc_types::{shard_id_base, Clustering, ObjectId, OperationBatch, MAX_SHARDS};
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
+
+/// Why a sharded engine could not be constructed over the given inputs.
+///
+/// Construction used to `assert!` on these; a typed error lets callers
+/// surface the misconfiguration (e.g. an operator passing a previous
+/// multi-shard run's merged clustering back in) instead of aborting the
+/// process.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShardConfigError {
+    /// The clustering's id watermark does not fit the shard-0 namespace, so
+    /// partitioning it across more than one shard would collide with other
+    /// shards' id namespaces.  This is what a
+    /// [`ShardedEngine::merged_clustering`] (or refined clustering) from a
+    /// previous multi-shard run looks like — re-sharding means re-clustering
+    /// from the records.
+    WatermarkOverflow {
+        /// The offending id watermark.
+        watermark: u64,
+    },
+    /// More shards were requested than the shard-tagged cluster-id scheme
+    /// can serve: the top namespace is reserved for the cross-shard
+    /// refinement pass's repair ids.
+    TooManyShards {
+        /// The requested shard count.
+        n_shards: usize,
+        /// The maximum supported count ([`MAX_SHARDS`]` - 1`).
+        max_shards: usize,
+    },
+}
+
+impl std::fmt::Display for ShardConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShardConfigError::WatermarkOverflow { watermark } => write!(
+                f,
+                "cluster-id watermark {watermark} overflows the shard-0 namespace \
+                 (the clustering was produced by a multi-shard run; re-cluster from \
+                 the records before re-sharding)"
+            ),
+            ShardConfigError::TooManyShards {
+                n_shards,
+                max_shards,
+            } => write!(
+                f,
+                "{n_shards} shards exceed the supported maximum of {max_shards} \
+                 (the top cluster-id namespace is reserved for refinement repair ids)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ShardConfigError {}
 
 /// The per-shard bootstrap state produced by [`partition_state`].
 struct ShardSeed {
@@ -67,7 +128,6 @@ struct ShardSeed {
 struct Partition {
     seeds: Vec<ShardSeed>,
     assignment: BTreeMap<ObjectId, usize>,
-    cross_shard_edges_dropped: usize,
 }
 
 /// Deterministically split one `(graph, clustering)` into per-shard seeds:
@@ -78,13 +138,18 @@ fn partition_state(
     router: &ShardRouter,
     graph: &SimilarityGraph,
     clustering: &Clustering,
-) -> Partition {
+) -> Result<Partition, ShardConfigError> {
     let n = router.n_shards();
+    if n > MAX_SHARDS - 1 {
+        return Err(ShardConfigError::TooManyShards {
+            n_shards: n,
+            max_shards: MAX_SHARDS - 1,
+        });
+    }
     let watermark = clustering.id_watermark();
-    assert!(
-        n == 1 || watermark <= shard_id_base(1),
-        "cluster-id watermark {watermark} overflows the shard-0 namespace"
-    );
+    if n > 1 && watermark > shard_id_base(1) {
+        return Err(ShardConfigError::WatermarkOverflow { watermark });
+    }
 
     let mut assignment: BTreeMap<ObjectId, usize> = BTreeMap::new();
     for id in graph.object_ids() {
@@ -105,13 +170,13 @@ fn partition_state(
     for (id, record) in full.records {
         states[assignment[&id]].records.push((id, record));
     }
-    let mut cross_shard_edges_dropped = 0usize;
+    // Cross-shard edges are *not* forwarded to any shard: the refinement
+    // pass recovers them (and keeps the recovered-edge count exact across
+    // rounds — see `crate::refine`).
     for (a, b, sim) in full.edges {
         let (sa, sb) = (assignment[&a], assignment[&b]);
         if sa == sb {
             states[sa].edges.push((a, b, sim));
-        } else {
-            cross_shard_edges_dropped += 1;
         }
     }
 
@@ -159,11 +224,7 @@ fn partition_state(
             clustering: shard_clustering,
         });
     }
-    Partition {
-        seeds,
-        assignment,
-        cross_shard_edges_dropped,
-    }
+    Ok(Partition { seeds, assignment })
 }
 
 /// Distribute one trained [`DynamicC`] across `n` shards: shard 0 inherits
@@ -234,7 +295,7 @@ fn parallel_shard_rounds<T: Send, R: Send>(
 }
 
 /// What one sharded round did: the merged global view plus the per-shard
-/// reports it was summed from.
+/// reports it was summed from, plus the cross-shard refinement pass.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ShardedRoundReport {
     /// The global view: every counter is the field-wise sum of the per-shard
@@ -242,9 +303,16 @@ pub struct ShardedRoundReport {
     pub merged: RoundReport,
     /// One [`RoundReport`] per shard, in shard order.
     pub per_shard: Vec<RoundReport>,
+    /// What the cross-shard refinement pass did after the per-shard rounds
+    /// (`None` with one shard, where there is nothing to refine).
+    pub refine: Option<RefineReport>,
 }
 
-fn merge_round_reports(round: usize, per_shard: Vec<RoundReport>) -> ShardedRoundReport {
+fn merge_round_reports(
+    round: usize,
+    per_shard: Vec<RoundReport>,
+    refine: Option<RefineReport>,
+) -> ShardedRoundReport {
     let mut merged = RoundReport {
         round,
         operations: 0,
@@ -268,17 +336,25 @@ fn merge_round_reports(round: usize, per_shard: Vec<RoundReport>) -> ShardedRoun
         merged.full_aggregate_builds += r.full_aggregate_builds;
         merged.score += r.score;
     }
-    ShardedRoundReport { merged, per_shard }
+    ShardedRoundReport {
+        merged,
+        per_shard,
+        refine,
+    }
 }
 
-/// N independent [`Engine`] shards served in parallel behind one facade.
+/// N independent [`Engine`] shards served in parallel behind one facade,
+/// with a cross-shard refinement pass closing the partition's quality gap
+/// after every round (see [`crate::refine`]).
 pub struct ShardedEngine {
     shards: Vec<Engine>,
     router: ShardRouter,
     assignment: BTreeMap<ObjectId, usize>,
     rounds_served: usize,
     max_threads: usize,
-    cross_shard_edges_dropped: usize,
+    /// `None` with one shard: the partition is the identity and there is
+    /// nothing to refine.
+    refiner: Option<CrossShardRefiner>,
 }
 
 impl ShardedEngine {
@@ -286,38 +362,72 @@ impl ShardedEngine {
     /// the batch algorithm's output, like [`Engine::new`]) across the
     /// router's shards and stand up one engine per shard.  Performs one full
     /// aggregate build per shard — the same one-off cost `Engine::new` pays,
-    /// split N ways.
+    /// split N ways — and, with more than one shard, builds the cross-shard
+    /// refinement state (boundary index, recovered cross edges, mirror
+    /// graph) and runs the initial repair pass.
     ///
     /// The clustering's id watermark must fit the shard-0 namespace (ids
     /// below `1 << 56`) when partitioning across more than one shard —
     /// true for any clustering produced by the batch algorithms or a plain
-    /// [`Engine`].  A [`ShardedEngine::merged_clustering`] from a previous
-    /// *multi-shard* run does **not** qualify (its watermark lives in the
-    /// last shard's namespace): the shard count of a partition is fixed for
-    /// its lifetime, and this constructor panics rather than silently
+    /// [`Engine`].  A [`ShardedEngine::merged_clustering`] (or
+    /// [`ShardedEngine::refined_clustering`]) from a previous *multi-shard*
+    /// run does **not** qualify: the shard count of a partition is fixed for
+    /// its lifetime, and this constructor returns
+    /// [`ShardConfigError::WatermarkOverflow`] rather than silently
     /// re-tagging ids.  Re-sharding means re-clustering from the records.
     pub fn new(
         router: ShardRouter,
         graph: SimilarityGraph,
         clustering: Clustering,
         dynamicc: DynamicC,
-    ) -> Self {
+    ) -> Result<Self, ShardConfigError> {
+        Self::with_refinement(router, graph, clustering, dynamicc, true)
+    }
+
+    /// [`ShardedEngine::new`] without the cross-shard refinement layer: the
+    /// *raw* throughput mode.  Cross-shard similarity edges are simply
+    /// dropped (the pre-refinement semantics), every round is fully
+    /// parallel with no serial repair pass, and
+    /// [`ShardedEngine::refined_clustering`] degrades to
+    /// [`ShardedEngine::merged_clustering`].  Use this when linear scaling
+    /// matters more than pair-exact quality; `bench-shard-quality` measures
+    /// exactly what the trade costs.
+    pub fn new_raw(
+        router: ShardRouter,
+        graph: SimilarityGraph,
+        clustering: Clustering,
+        dynamicc: DynamicC,
+    ) -> Result<Self, ShardConfigError> {
+        Self::with_refinement(router, graph, clustering, dynamicc, false)
+    }
+
+    fn with_refinement(
+        router: ShardRouter,
+        graph: SimilarityGraph,
+        clustering: Clustering,
+        dynamicc: DynamicC,
+        refinement: bool,
+    ) -> Result<Self, ShardConfigError> {
         let n = router.n_shards();
-        let partition = partition_state(&router, &graph, &clustering);
-        let shards = partition
+        let partition = partition_state(&router, &graph, &clustering)?;
+        let shards: Vec<Engine> = partition
             .seeds
             .into_iter()
             .zip(distribute_dynamicc(dynamicc, n))
             .map(|(seed, d)| Engine::new(seed.graph, seed.clustering, d))
             .collect();
-        ShardedEngine {
+        let refiner = (refinement && n > 1).then(|| {
+            let engines: Vec<&Engine> = shards.iter().collect();
+            CrossShardRefiner::build(&router, &engines, &partition.assignment)
+        });
+        Ok(ShardedEngine {
             shards,
             router,
             assignment: partition.assignment,
             rounds_served: 0,
             max_threads: n,
-            cross_shard_edges_dropped: partition.cross_shard_edges_dropped,
-        }
+            refiner,
+        })
     }
 
     /// Cap the number of worker threads a round fans out to (default: one
@@ -330,20 +440,25 @@ impl ShardedEngine {
 
     /// Serve one round: split the batch into per-shard sub-batches with the
     /// sticky router, run every shard's [`Engine::apply_round`] in parallel,
-    /// and merge the reports.  No shard performs a full aggregate build in
+    /// run the cross-shard refinement pass over the touched records, and
+    /// merge the reports.  No shard performs a full aggregate build in
     /// steady state, and the merged report's `full_aggregate_builds` (kept
     /// visible to the calling thread via
     /// [`BuildCounter::merge_from_threads`]) proves it.
     pub fn apply_round(&mut self, batch: &OperationBatch) -> ShardedRoundReport {
-        let sub_batches = self.router.split_batch(batch, &mut self.assignment);
+        let routed = self.router.route_batch(batch, &mut self.assignment);
         let reports = parallel_shard_rounds(
             &mut self.shards,
-            &sub_batches,
+            &routed.sub_batches,
             self.max_threads,
             |engine, sub| engine.apply_round(sub),
         );
+        let refine = self.refiner.as_mut().map(|refiner| {
+            let engines: Vec<&Engine> = self.shards.iter().collect();
+            refiner.apply_round(batch, &routed.op_shards, &engines)
+        });
         self.rounds_served += 1;
-        merge_round_reports(self.rounds_served, reports)
+        merge_round_reports(self.rounds_served, reports, refine)
     }
 
     /// Number of shards.
@@ -376,28 +491,70 @@ impl ShardedEngine {
         self.assignment.len()
     }
 
-    /// Similarity edges the initial partition dropped because their
-    /// endpoints routed to different shards.
-    pub fn cross_shard_edges_dropped(&self) -> usize {
-        self.cross_shard_edges_dropped
+    /// Cross-shard similarity edges currently missing from the per-shard
+    /// graphs and **recovered** by the refinement pass — exact across
+    /// rounds: the counter grows when a served round introduces a
+    /// cross-shard edge and shrinks when one endpoint is removed or updated
+    /// apart.  (Before refinement existed this was the
+    /// `cross_shard_edges_dropped` loss, counted at the initial partition
+    /// only.)  Always 0 with one shard.
+    pub fn cross_shard_edges_recovered(&self) -> usize {
+        self.refiner
+            .as_ref()
+            .map_or(0, CrossShardRefiner::cross_edges_recovered)
+    }
+
+    /// The report of the most recent refinement pass (the initial repair
+    /// right after construction, then one per served round); `None` with one
+    /// shard.
+    pub fn last_refine_report(&self) -> Option<RefineReport> {
+        self.refiner.as_ref().map(CrossShardRefiner::last_report)
     }
 
     /// The global [`DynamicCStats`]: the field-wise sum of the per-shard
-    /// statistics.
+    /// statistics.  (The refinement pass keeps its own counters in
+    /// [`RefineReport`]; it never touches the per-shard statistics.)
     pub fn stats(&self) -> DynamicCStats {
         DynamicCStats::merged(self.shards.iter().map(|s| *s.stats()))
     }
 
-    /// Total pairwise similarity computations across all shards.
+    /// Total pairwise similarity computations: the per-shard graphs' sum
+    /// plus the cross-shard boundary pairs computed by the refinement pass.
     pub fn comparisons(&self) -> u64 {
+        self.shard_comparisons()
+            + self
+                .refiner
+                .as_ref()
+                .map_or(0, CrossShardRefiner::cross_comparisons)
+    }
+
+    /// Pairwise similarity computations performed by the per-shard graphs
+    /// alone (excluding the refinement pass's cross-shard boundary pairs).
+    /// This component is durable per shard, so it is bit-identical across
+    /// restarts of a [`ShardedDurableEngine`].
+    pub fn shard_comparisons(&self) -> u64 {
         self.shards.iter().map(|s| s.graph().comparisons()).sum()
     }
 
     /// The merged global clustering: the union of the per-shard clusterings
     /// under their disjoint id namespaces, with the watermark at the maximum
-    /// of the per-shard watermarks.
+    /// of the per-shard watermarks.  This is the *pre-refinement* view; see
+    /// [`ShardedEngine::refined_clustering`] for the repaired one.
     pub fn merged_clustering(&self) -> Clustering {
         merge_clusterings(self.shards.iter().map(|s| s.clustering()))
+    }
+
+    /// The refined global clustering: the merged per-shard clusterings with
+    /// the cross-shard repair applied (recovered edges made visible, then
+    /// the trained merge/split passes run globally).  With one shard this is
+    /// exactly [`ShardedEngine::merged_clustering`].  Recomputed after every
+    /// round; repair-created clusters carry ids from the reserved refine
+    /// namespace, so the result must not seed a new multi-shard partition.
+    pub fn refined_clustering(&self) -> Clustering {
+        match &self.refiner {
+            Some(refiner) => refiner.refined().clone(),
+            None => self.merged_clustering(),
+        }
     }
 }
 
@@ -414,7 +571,9 @@ impl std::fmt::Debug for ShardedEngine {
 
 /// Union per-shard clusterings into one global clustering (the id
 /// namespaces are disjoint by construction, so this cannot collide).
-fn merge_clusterings<'a>(clusterings: impl Iterator<Item = &'a Clustering>) -> Clustering {
+pub(crate) fn merge_clusterings<'a>(
+    clusterings: impl Iterator<Item = &'a Clustering>,
+) -> Clustering {
     let mut merged = Clustering::new();
     let mut watermark = 0u64;
     for clustering in clusterings {
@@ -445,6 +604,9 @@ pub struct ShardedRecoveryReport {
     /// How far ahead the furthest shard had logged beyond the committed
     /// round (those rounds were never acknowledged and were rolled back).
     pub rolled_back_rounds: u64,
+    /// Rounds the cross-shard refinement layer replayed from its own WAL on
+    /// top of its snapshot (0 with one shard).
+    pub refine_replayed_rounds: usize,
     /// One [`RecoveryReport`] per shard, in shard order.
     pub per_shard: Vec<RecoveryReport>,
 }
@@ -459,6 +621,25 @@ pub struct ShardedDurableEngine {
     max_threads: usize,
     options: DurabilityOptions,
     dir: PathBuf,
+    /// The cross-shard refinement layer and its durable home (`None` with
+    /// one shard).  The refined view is history-bearing state: every round's
+    /// full batch is logged in `refine/` before the pass runs, and the view
+    /// is snapshotted at checkpoints, so recovery reloads the snapshot and
+    /// replays the same pass deterministically over the logged tail — see
+    /// [`crate::refine`].
+    refine: Option<DurableRefine>,
+}
+
+/// The refinement layer's durable plumbing: its refiner plus the `refine/`
+/// directory's WAL and snapshotter.
+struct DurableRefine {
+    refiner: CrossShardRefiner,
+    wal: Wal,
+    snapshotter: Snapshotter,
+}
+
+fn refine_dir(dir: &Path) -> PathBuf {
+    dir.join("refine")
 }
 
 /// Shards never checkpoint on their own: a per-shard auto-checkpoint could
@@ -493,6 +674,15 @@ impl ShardedDurableEngine {
     ) -> Result<(Self, ShardedRecoveryReport), StorageError> {
         let dir = dir.as_ref();
         let n = router.n_shards();
+        if n > MAX_SHARDS - 1 {
+            return Err(StorageError::Inconsistent(
+                ShardConfigError::TooManyShards {
+                    n_shards: n,
+                    max_shards: MAX_SHARDS - 1,
+                }
+                .to_string(),
+            ));
+        }
         std::fs::create_dir_all(dir).map_err(|e| StorageError::Io {
             path: dir.to_path_buf(),
             op: "create dir",
@@ -506,14 +696,21 @@ impl ShardedDurableEngine {
         }
 
         // Pass 1: the globally committed round is the minimum over every
-        // shard's recoverable round.  A shard without durable state forces
-        // the fresh path (a crash during a fresh open leaves a prefix of
-        // shards initialized at round 0; re-running the fresh path below
-        // recovers those and bootstraps the rest).
+        // shard's recoverable round *and* the refinement layer's (a round is
+        // only acknowledged once the refine WAL holds it too).  A shard — or
+        // the refine directory — without durable state forces the fresh path
+        // (a crash during a fresh open leaves a prefix of the directories
+        // initialized at round 0; re-running the fresh path below recovers
+        // those and bootstraps the rest).
         let mut durable_rounds = Vec::with_capacity(n);
         let mut peek_dropped_torn_tail = false;
         for shard in 0..n {
             let (round, dropped) = DurableEngine::last_durable_round(&shard_dir(dir, shard))?;
+            peek_dropped_torn_tail |= dropped;
+            durable_rounds.push(round);
+        }
+        if n > 1 {
+            let (round, dropped) = DurableEngine::last_durable_round(&refine_dir(dir))?;
             peek_dropped_torn_tail |= dropped;
             durable_rounds.push(round);
         }
@@ -559,7 +756,8 @@ impl ShardedDurableEngine {
             }
             None => {
                 let (graph, clustering) = bootstrap();
-                let partition = partition_state(&router, &graph, &clustering);
+                let partition = partition_state(&router, &graph, &clustering)
+                    .map_err(|e| StorageError::Inconsistent(e.to_string()))?;
                 for ((shard, seed), d) in partition.seeds.into_iter().enumerate().zip(dynamiccs) {
                     let (engine, shard_report) = DurableEngine::open(
                         shard_dir(dir, shard),
@@ -594,6 +792,20 @@ impl ShardedDurableEngine {
         }
 
         let rounds_served = shards[0].rounds_served();
+        let refine = if n > 1 {
+            Some(Self::open_refine(
+                dir,
+                &router,
+                &graph_config,
+                &shards,
+                &assignment,
+                report.recovered,
+                rounds_served as u64,
+                &mut report.refine_replayed_rounds,
+            )?)
+        } else {
+            None
+        };
         Ok((
             ShardedDurableEngine {
                 shards,
@@ -603,9 +815,110 @@ impl ShardedDurableEngine {
                 max_threads: n,
                 options,
                 dir: dir.to_path_buf(),
+                refine,
             },
             report,
         ))
+    }
+
+    /// Bring the `refine/` directory to the committed round: on a fresh open
+    /// build the refiner from the freshly partitioned shards and write its
+    /// initial snapshot; on recovery load the latest refine snapshot and
+    /// replay the logged batch tail through the same pass the original run
+    /// performed (recomputing pair similarities against the restored mirror,
+    /// which reproduces it bit-for-bit — see [`crate::refine`]).
+    #[allow(clippy::too_many_arguments)]
+    fn open_refine(
+        dir: &Path,
+        router: &ShardRouter,
+        graph_config: &GraphConfig,
+        shards: &[DurableEngine],
+        assignment: &BTreeMap<ObjectId, usize>,
+        recovered: bool,
+        committed: u64,
+        refine_replayed_rounds: &mut usize,
+    ) -> Result<DurableRefine, StorageError> {
+        let refine_root = refine_dir(dir);
+        let snapshotter = Snapshotter::new(&refine_root)?;
+        let engines: Vec<&Engine> = shards.iter().map(DurableEngine::engine).collect();
+        if !recovered {
+            let refiner = CrossShardRefiner::build(router, &engines, assignment);
+            snapshotter.write(0, &refiner.export_state())?;
+            let wal = Wal::create(&refine_root, 0)?;
+            return Ok(DurableRefine {
+                refiner,
+                wal,
+                snapshotter,
+            });
+        }
+
+        let Some((snapshot_round, state)) = snapshotter.load_latest::<RefineState>()? else {
+            return Err(StorageError::Inconsistent(format!(
+                "{} holds recovered shards but no refine snapshot",
+                refine_root.display()
+            )));
+        };
+        if snapshot_round > committed {
+            return Err(StorageError::Inconsistent(format!(
+                "refine snapshot at round {snapshot_round} exceeds the committed \
+                 round {committed}"
+            )));
+        }
+        let mut refiner = CrossShardRefiner::import_state(router, graph_config.clone(), state)
+            .map_err(|source| StorageError::Codec {
+                path: refine_root.join(dc_storage::snapshot::snapshot_file_name(snapshot_round)),
+                source,
+            })?;
+
+        // Replay the refine WAL tail: re-route each logged batch from the
+        // snapshot's sticky assignment and run the same pass again.
+        let mut replay_assignment = refiner.shard_map();
+        let mut replay_round = snapshot_round;
+        let mut tail_wal: Option<Wal> = None;
+        for (_, path) in list_segments(&refine_root)? {
+            let (wal, records, _) = Wal::open_capped(&path, Some(committed))?;
+            for record in records {
+                if record.round <= replay_round {
+                    continue;
+                }
+                if record.round != replay_round + 1 {
+                    return Err(StorageError::Inconsistent(format!(
+                        "refine WAL jumps to round {} with the refined view at \
+                         round {replay_round}",
+                        record.round
+                    )));
+                }
+                let routed = router.route_batch(&record.batch, &mut replay_assignment);
+                refiner.replay_round(&record.batch, &routed.op_shards, &engines);
+                replay_round = record.round;
+                *refine_replayed_rounds += 1;
+            }
+            tail_wal = Some(wal);
+        }
+        if replay_round != committed {
+            return Err(StorageError::Inconsistent(format!(
+                "refine WAL ends at round {replay_round} but the committed round \
+                 is {committed}"
+            )));
+        }
+        if &replay_assignment != assignment {
+            return Err(StorageError::Inconsistent(
+                "replayed refine assignment disagrees with the recovered shard \
+                 ownership"
+                    .into(),
+            ));
+        }
+        let wal = match tail_wal {
+            Some(wal) if wal.last_round() == committed && wal.start_round() >= snapshot_round => {
+                wal
+            }
+            _ => Wal::create(&refine_root, committed)?,
+        };
+        Ok(DurableRefine {
+            refiner,
+            wal,
+            snapshotter,
+        })
     }
 
     /// Cap the number of worker threads a round fans out to (default: one
@@ -628,10 +941,10 @@ impl ShardedDurableEngine {
         &mut self,
         batch: &OperationBatch,
     ) -> Result<ShardedRoundReport, StorageError> {
-        let sub_batches = self.router.split_batch(batch, &mut self.assignment);
+        let routed = self.router.route_batch(batch, &mut self.assignment);
         let results = parallel_shard_rounds(
             &mut self.shards,
-            &sub_batches,
+            &routed.sub_batches,
             self.max_threads,
             |shard, sub| shard.apply_round(sub),
         );
@@ -639,21 +952,49 @@ impl ShardedDurableEngine {
         for result in results {
             reports.push(result?);
         }
+        let round = self.rounds_served as u64 + 1;
+        let refine = match &mut self.refine {
+            Some(refine) => {
+                // Log-then-apply for the refined view: the round is only
+                // acknowledged once the refine WAL holds the full batch, so
+                // recovery can replay the same pass deterministically.
+                refine.wal.append_round(round, batch)?;
+                let engines: Vec<&Engine> = self.shards.iter().map(DurableEngine::engine).collect();
+                Some(
+                    refine
+                        .refiner
+                        .apply_round(batch, &routed.op_shards, &engines),
+                )
+            }
+            None => None,
+        };
         self.rounds_served += 1;
         let every = self.options.checkpoint_every_rounds as u64;
         if every > 0 && (self.rounds_served as u64).is_multiple_of(every) {
             self.checkpoint()?;
         }
-        Ok(merge_round_reports(self.rounds_served, reports))
+        Ok(merge_round_reports(self.rounds_served, reports, refine))
     }
 
     /// Checkpoint every shard now (snapshot + WAL rotation + prune per
-    /// shard).  Returns the checkpointed round.
+    /// shard), then the refinement layer (refine snapshot written *after*
+    /// every shard's, so it can never get ahead of them).  Returns the
+    /// checkpointed round.
     pub fn checkpoint(&mut self) -> Result<u64, StorageError> {
         for shard in &mut self.shards {
             shard.checkpoint()?;
         }
-        Ok(self.rounds_served as u64)
+        let round = self.rounds_served as u64;
+        if let Some(refine) = &mut self.refine {
+            refine
+                .snapshotter
+                .write(round, &refine.refiner.export_state())?;
+            if refine.wal.start_round() != round {
+                refine.wal = Wal::create(refine.snapshotter.dir(), round)?;
+            }
+            refine.snapshotter.prune_obsolete(round)?;
+        }
+        Ok(round)
     }
 
     /// Number of shards.
@@ -688,18 +1029,59 @@ impl ShardedDurableEngine {
         DynamicCStats::merged(self.shards.iter().map(|s| *s.stats()))
     }
 
-    /// Total pairwise similarity computations across all shards.
+    /// Total pairwise similarity computations: the per-shard graphs' sum
+    /// plus the cross-shard boundary pairs computed by this process's
+    /// refinement passes.  The cross-shard component counts work *since this
+    /// open* (recovery rebuilds the derived cross-shard index, and that
+    /// rebuild is the work the process performed); the per-shard component
+    /// is durable and restart-exact — see
+    /// [`ShardedDurableEngine::shard_comparisons`].
     pub fn comparisons(&self) -> u64 {
+        self.shard_comparisons()
+            + self
+                .refine
+                .as_ref()
+                .map_or(0, |r| r.refiner.cross_comparisons())
+    }
+
+    /// Pairwise similarity computations performed by the per-shard graphs
+    /// alone — persisted in the per-shard snapshots, so bit-identical
+    /// between a restarted and a never-restarted engine.
+    pub fn shard_comparisons(&self) -> u64 {
         self.shards
             .iter()
             .map(|s| s.engine().graph().comparisons())
             .sum()
     }
 
+    /// Cross-shard edges currently recovered by the refinement pass (see
+    /// [`ShardedEngine::cross_shard_edges_recovered`]); restart-exact.
+    pub fn cross_shard_edges_recovered(&self) -> usize {
+        self.refine
+            .as_ref()
+            .map_or(0, |r| r.refiner.cross_edges_recovered())
+    }
+
+    /// The report of the most recent refinement pass; `None` with one shard.
+    pub fn last_refine_report(&self) -> Option<RefineReport> {
+        self.refine.as_ref().map(|r| r.refiner.last_report())
+    }
+
     /// The merged global clustering (see
     /// [`ShardedEngine::merged_clustering`]).
     pub fn merged_clustering(&self) -> Clustering {
         merge_clusterings(self.shards.iter().map(|s| s.clustering()))
+    }
+
+    /// The refined global clustering (see
+    /// [`ShardedEngine::refined_clustering`]); bit-identical across
+    /// restarts because the refinement state is rebuilt from the recovered
+    /// per-shard graphs.
+    pub fn refined_clustering(&self) -> Clustering {
+        match &self.refine {
+            Some(refine) => refine.refiner.refined().clone(),
+            None => self.merged_clustering(),
+        }
     }
 }
 
@@ -739,21 +1121,26 @@ mod tests {
     fn one_shard_partition_is_the_identity() {
         let (graph, clustering, dynamicc) = toy_setup();
         let router = ShardRouter::new(1, Box::new(ExhaustiveBlocking::new()));
-        let engine = ShardedEngine::new(router, graph.clone(), clustering.clone(), dynamicc);
+        let engine =
+            ShardedEngine::new(router, graph.clone(), clustering.clone(), dynamicc).unwrap();
         assert_eq!(engine.shard_count(), 1);
-        assert_eq!(engine.cross_shard_edges_dropped(), 0);
+        assert_eq!(engine.cross_shard_edges_recovered(), 0);
+        assert!(engine.last_refine_report().is_none());
         assert_eq!(engine.object_count(), 4);
         assert_eq!(engine.comparisons(), graph.comparisons());
         let merged = engine.merged_clustering();
         assert_eq!(merged.cluster_ids(), clustering.cluster_ids());
         assert_eq!(merged.id_watermark(), clustering.id_watermark());
+        // With one shard the refined view *is* the merged view.
+        let refined = engine.refined_clustering();
+        assert_eq!(refined.cluster_ids(), merged.cluster_ids());
     }
 
     #[test]
     fn partition_covers_every_object_exactly_once() {
         let (graph, clustering, dynamicc) = toy_setup();
         let router = ShardRouter::new(4, Box::new(ExhaustiveBlocking::new()));
-        let engine = ShardedEngine::new(router, graph, clustering, dynamicc);
+        let engine = ShardedEngine::new(router, graph, clustering, dynamicc).unwrap();
         let mut seen = 0usize;
         for shard in engine.shards() {
             seen += shard.clustering().object_count();
@@ -776,7 +1163,7 @@ mod tests {
         let (graph, clustering, dynamicc) = toy_setup();
         let donor_watermark = clustering.id_watermark();
         let router = ShardRouter::new(4, Box::new(ExhaustiveBlocking::new()));
-        let engine = ShardedEngine::new(router, graph, clustering, dynamicc);
+        let engine = ShardedEngine::new(router, graph, clustering, dynamicc).unwrap();
         for (shard_index, shard) in engine.shards().iter().enumerate() {
             for cid in shard.clustering().cluster_ids() {
                 let inherited = cid.raw() < donor_watermark;
@@ -792,7 +1179,7 @@ mod tests {
     fn rounds_merge_reports_and_track_assignment() {
         let (graph, clustering, dynamicc) = toy_setup();
         let router = ShardRouter::new(2, Box::new(ExhaustiveBlocking::new()));
-        let mut engine = ShardedEngine::new(router, graph, clustering, dynamicc);
+        let mut engine = ShardedEngine::new(router, graph, clustering, dynamicc).unwrap();
         let mut batch = OperationBatch::new();
         batch.push(Operation::Add {
             id: oid(5),
@@ -816,6 +1203,97 @@ mod tests {
         assert!(engine.shard_of(oid(4)).is_none());
         engine.merged_clustering().check_invariants().unwrap();
         assert_eq!(engine.rounds_served(), 1);
+    }
+
+    /// Satellite pin: the recovered-edge counter is exact *across rounds*,
+    /// not just at the initial partition — a served round that introduces a
+    /// cross-shard edge grows it, and removing an endpoint shrinks it.
+    #[test]
+    fn recovered_edge_counter_is_exact_across_rounds() {
+        use dc_similarity::fixtures::EdgeTableMeasure;
+        use dc_similarity::GraphConfig;
+
+        // The measure knows an edge to object 5 before 5 exists, so a later
+        // round can create a brand-new similarity edge.
+        let edges = [(1, 2, 0.9), (3, 4, 0.8), (1, 5, 0.7), (2, 5, 0.6)];
+        let config = GraphConfig::new(
+            Box::new(EdgeTableMeasure::from_edges(&edges)),
+            Box::new(ExhaustiveBlocking::new()),
+            0.0,
+        );
+        let mut graph = SimilarityGraph::empty(config);
+        for id in 1..=4 {
+            graph.add_object(oid(id), fixture_record(id));
+        }
+        let clustering = Clustering::singletons((1..=4).map(oid));
+        let dynamicc = DynamicC::with_objective(Arc::new(CorrelationObjective));
+        let router = ShardRouter::new(2, Box::new(ExhaustiveBlocking::new()));
+        let mut engine = ShardedEngine::new(router, graph, clustering, dynamicc).unwrap();
+
+        let cross_edges = |engine: &ShardedEngine| {
+            let mut count = 0;
+            for &(a, b, _) in &edges {
+                let (sa, sb) = (engine.shard_of(oid(a)), engine.shard_of(oid(b)));
+                if let (Some(sa), Some(sb)) = (sa, sb) {
+                    if sa != sb {
+                        count += 1;
+                    }
+                }
+            }
+            count
+        };
+        assert_eq!(engine.cross_shard_edges_recovered(), cross_edges(&engine));
+
+        // A served round adds object 5 (edges to 1 and 2): the counter must
+        // track exactly the cross-shard subset of the new edges.
+        let mut batch = OperationBatch::new();
+        batch.push(Operation::Add {
+            id: oid(5),
+            record: fixture_record(5),
+        });
+        let report = engine.apply_round(&batch);
+        assert_eq!(engine.cross_shard_edges_recovered(), cross_edges(&engine));
+        let refine = report.refine.expect("two shards refine");
+        assert_eq!(refine.cross_edges_recovered, cross_edges(&engine));
+
+        // Removing object 1 releases its cross-shard edges from the counter.
+        let mut batch2 = OperationBatch::new();
+        batch2.push(Operation::Remove { id: oid(1) });
+        engine.apply_round(&batch2);
+        assert_eq!(engine.cross_shard_edges_recovered(), cross_edges(&engine));
+    }
+
+    /// Satellite pin: invalid shard configurations surface as typed errors
+    /// instead of panicking.
+    #[test]
+    fn invalid_shard_configuration_is_a_typed_error() {
+        // A clustering whose watermark lives outside the shard-0 namespace
+        // (e.g. a previous multi-shard run's merged clustering) is rejected.
+        let (graph, _, dynamicc) = toy_setup();
+        let mut tagged = Clustering::new();
+        tagged
+            .insert_cluster_with_id(ClusterId::new(shard_id_base(1) + 3), (1..=4).map(oid))
+            .unwrap();
+        let router = ShardRouter::new(2, Box::new(ExhaustiveBlocking::new()));
+        let err = ShardedEngine::new(router, graph.clone(), tagged, dynamicc.clone()).unwrap_err();
+        assert!(
+            matches!(err, ShardConfigError::WatermarkOverflow { watermark } if watermark > 0),
+            "got {err:?}"
+        );
+        assert!(err.to_string().contains("watermark"));
+
+        // The top namespace is reserved for refinement repair ids.
+        let (_, clustering, _) = toy_setup();
+        let router = ShardRouter::new(MAX_SHARDS, Box::new(ExhaustiveBlocking::new()));
+        let err = ShardedEngine::new(router, graph, clustering, dynamicc).unwrap_err();
+        assert_eq!(
+            err,
+            ShardConfigError::TooManyShards {
+                n_shards: MAX_SHARDS,
+                max_shards: MAX_SHARDS - 1
+            }
+        );
+        assert!(err.to_string().contains("reserved"));
     }
 
     #[test]

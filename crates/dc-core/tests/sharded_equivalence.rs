@@ -50,8 +50,9 @@ fn check_one_shard_bit_identity(
 
     let mut engine = Engine::new(graph_a, prev_a, dynamicc_a);
     let router = ShardRouter::for_config(1, graph_b.config());
-    let mut sharded = ShardedEngine::new(router, graph_b, prev_b, dynamicc_b);
-    assert_eq!(sharded.cross_shard_edges_dropped(), 0, "{tag}: one shard");
+    let mut sharded =
+        ShardedEngine::new(router, graph_b, prev_b, dynamicc_b).expect("valid shard config");
+    assert_eq!(sharded.cross_shard_edges_recovered(), 0, "{tag}: one shard");
 
     for (i, snapshot) in serve.iter().enumerate() {
         let expected = engine.apply_round(&snapshot.batch);
@@ -108,7 +109,8 @@ fn check_multi_shard_invariants(
     let donor_stats = *dynamicc.stats();
     let donor_objects = graph.object_count();
     let router = ShardRouter::for_config(n_shards, graph.config());
-    let mut sharded = ShardedEngine::new(router, graph, previous, dynamicc);
+    let mut sharded =
+        ShardedEngine::new(router, graph, previous, dynamicc).expect("valid shard config");
     assert_eq!(sharded.shard_count(), n_shards);
     assert_eq!(sharded.object_count(), donor_objects, "{tag}: coverage");
 
@@ -166,6 +168,11 @@ fn check_multi_shard_invariants(
         let merged = sharded.merged_clustering();
         merged.check_invariants().unwrap();
         assert_eq!(merged.object_count(), seen.len(), "{context}");
+        // The refined view is a valid partition over exactly the same
+        // objects (its pair-level quality is pinned by shard_quality.rs).
+        let refined = sharded.refined_clustering();
+        refined.check_invariants().unwrap();
+        assert_eq!(refined.object_count(), seen.len(), "{context}: refined");
         assert_eq!(
             merged.cluster_count(),
             sharded
@@ -219,8 +226,11 @@ fn thread_count_does_not_change_results() {
 
     let router_a = ShardRouter::for_config(4, graph_a.config());
     let router_b = ShardRouter::for_config(4, graph_b.config());
-    let mut wide = ShardedEngine::new(router_a, graph_a, prev_a, dynamicc_a);
-    let mut narrow = ShardedEngine::new(router_b, graph_b, prev_b, dynamicc_b).with_max_threads(1);
+    let mut wide =
+        ShardedEngine::new(router_a, graph_a, prev_a, dynamicc_a).expect("valid shard config");
+    let mut narrow = ShardedEngine::new(router_b, graph_b, prev_b, dynamicc_b)
+        .expect("valid shard config")
+        .with_max_threads(1);
     for snapshot in &serve {
         let ra = wide.apply_round(&snapshot.batch);
         let rb = narrow.apply_round(&snapshot.batch);

@@ -2,12 +2,18 @@
 //! mirroring the `durable_recovery.rs` harness.
 //!
 //! The invariant: a 4-shard [`ShardedDurableEngine`] that is killed and
-//! reopened around **every** round produces bit-identical merged
-//! clusterings, [`DynamicCStats`], and comparison counters to a
-//! [`ShardedEngine`] that served the same workload in memory without ever
-//! restarting.  Additionally, tearing the tail of **one shard's** WAL rolls
-//! the entire round back on every shard (min-committed-round recovery), and
-//! re-serving it converges to the same final state.
+//! reopened around **every** round produces bit-identical merged *and
+//! refined* clusterings, [`DynamicCStats`], per-round reports (including the
+//! cross-shard refinement metrics), per-shard comparison counters, and
+//! recovered-edge counts to a [`ShardedEngine`] that served the same
+//! workload in memory without ever restarting.  (The one deliberately
+//! process-scoped quantity is the cumulative cross-shard comparison counter:
+//! recovery rebuilds the derived cross-shard index from the recovered
+//! per-shard graphs, so a restarted process reports the rebuild's work —
+//! see `dc_core::refine`.)  Additionally, tearing the tail of **one
+//! shard's** WAL rolls the entire round back on every shard
+//! (min-committed-round recovery), and re-serving it converges to the same
+//! final state.
 
 use dc_core::{DurabilityOptions, ShardedDurableEngine, ShardedEngine, ShardedRoundReport};
 use dc_datagen::fixtures::small_febrl_workload;
@@ -43,27 +49,36 @@ fn trained_setup(
 
 /// The never-restarted in-memory reference: per-round reports and merged
 /// clusterings.
+#[allow(clippy::type_complexity)]
 fn reference_run(
     workload: &DynamicWorkload,
     objective: Arc<dyn ObjectiveFunction>,
-) -> (ShardedEngine, Vec<ShardedRoundReport>, Vec<Clustering>) {
+) -> (
+    ShardedEngine,
+    Vec<ShardedRoundReport>,
+    Vec<Clustering>,
+    Vec<Clustering>,
+) {
     let (graph, previous, serve, dynamicc) = trained_setup(workload, objective);
     let router = ShardRouter::for_config(N_SHARDS, graph.config());
-    let mut engine = ShardedEngine::new(router, graph, previous, dynamicc);
+    let mut engine =
+        ShardedEngine::new(router, graph, previous, dynamicc).expect("valid shard config");
     let mut reports = Vec::new();
     let mut clusterings = Vec::new();
+    let mut refined = Vec::new();
     for snapshot in &serve {
         reports.push(engine.apply_round(&snapshot.batch));
         clusterings.push(engine.merged_clustering());
+        refined.push(engine.refined_clustering());
     }
-    (engine, reports, clusterings)
+    (engine, reports, clusterings, refined)
 }
 
 #[test]
 fn four_shard_kill_reopen_around_every_round_is_bit_identical() {
     let workload = small_febrl_workload();
     let objective: Arc<dyn ObjectiveFunction> = Arc::new(DbIndexObjective);
-    let (reference, expected_reports, expected_clusterings) =
+    let (reference, expected_reports, expected_clusterings, expected_refined) =
         reference_run(&workload, objective.clone());
     let (_, _, serve, _) = trained_setup(&workload, objective.clone());
 
@@ -115,6 +130,11 @@ fn four_shard_kill_reopen_around_every_round_is_bit_identical() {
             &expected_clusterings[i],
             &format!("round {i}"),
         );
+        assert_clusterings_identical(
+            &engine.refined_clustering(),
+            &expected_refined[i],
+            &format!("round {i}: refined"),
+        );
         // Killed here: dropped without a shutdown hook.
     }
 
@@ -134,11 +154,21 @@ fn four_shard_kill_reopen_around_every_round_is_bit_identical() {
         &reference.merged_clustering(),
         "final",
     );
+    assert_clusterings_identical(
+        &engine.refined_clustering(),
+        &reference.refined_clustering(),
+        "final refined",
+    );
     assert_eq!(engine.stats(), reference.stats(), "stats diverged");
     assert_eq!(
-        engine.comparisons(),
-        reference.comparisons(),
-        "similarity work counters diverged"
+        engine.shard_comparisons(),
+        reference.shard_comparisons(),
+        "per-shard similarity work counters diverged"
+    );
+    assert_eq!(
+        engine.cross_shard_edges_recovered(),
+        reference.cross_shard_edges_recovered(),
+        "recovered-edge counts diverged"
     );
 }
 
@@ -146,7 +176,7 @@ fn four_shard_kill_reopen_around_every_round_is_bit_identical() {
 fn one_shard_torn_tail_rolls_the_whole_round_back() {
     let workload = small_febrl_workload();
     let objective: Arc<dyn ObjectiveFunction> = Arc::new(DbIndexObjective);
-    let (reference, expected_reports, expected_clusterings) =
+    let (reference, expected_reports, expected_clusterings, expected_refined) =
         reference_run(&workload, objective.clone());
     let (_, _, serve, _) = trained_setup(&workload, objective.clone());
     assert!(serve.len() >= 2, "need at least two rounds for this test");
@@ -213,9 +243,18 @@ fn one_shard_torn_tail_rolls_the_whole_round_back() {
             &expected_clusterings[i],
             &format!("post-rollback round {i}"),
         );
+        assert_clusterings_identical(
+            &engine.refined_clustering(),
+            &expected_refined[i],
+            &format!("post-rollback round {i}: refined"),
+        );
     }
     assert_eq!(engine.stats(), reference.stats());
-    assert_eq!(engine.comparisons(), reference.comparisons());
+    assert_eq!(engine.shard_comparisons(), reference.shard_comparisons());
+    assert_eq!(
+        engine.cross_shard_edges_recovered(),
+        reference.cross_shard_edges_recovered()
+    );
 }
 
 #[test]

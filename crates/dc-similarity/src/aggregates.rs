@@ -166,6 +166,54 @@ impl ClusterAggregates {
         ClusterAggregates::default()
     }
 
+    /// Union several aggregates over **disjoint cluster-id sets** into one —
+    /// the global view of a sharded engine's per-shard aggregates.
+    ///
+    /// Deliberately *not* counted as a full build: no graph edge is walked;
+    /// the per-cluster sums are copied with their exact bits, which is what
+    /// keeps the cross-shard refinement pass's decisions deterministic.
+    /// Edges *between* the parts (which no part can know about) are injected
+    /// afterwards with [`ClusterAggregates::add_inter_edge`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when two parts track the same cluster id.
+    pub fn union<'a>(parts: impl IntoIterator<Item = &'a ClusterAggregates>) -> Self {
+        let mut out = ClusterAggregates::default();
+        for part in parts {
+            for (&cid, &size) in &part.sizes {
+                assert!(
+                    out.sizes.insert(cid, size).is_none(),
+                    "cluster {cid} is tracked by more than one aggregate part"
+                );
+            }
+            for (&cid, &sum) in &part.intra {
+                out.intra.insert(cid, sum);
+            }
+            for (&cid, map) in &part.inter {
+                out.inter.insert(cid, map.clone());
+            }
+        }
+        out
+    }
+
+    /// Fold one stored edge between members of two **distinct, tracked**
+    /// clusters into the symmetric cross-edge sums.  The cross-shard
+    /// refinement pass uses this to make recovered cross-shard edges visible
+    /// to features and objective deltas.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `a == b` or either cluster is untracked (a cross-shard
+    /// edge always lands between two live clusters of different shards).
+    pub fn add_inter_edge(&mut self, a: ClusterId, b: ClusterId, sim: f64) {
+        assert!(
+            a != b && self.sizes.contains_key(&a) && self.sizes.contains_key(&b),
+            "add_inter_edge requires two distinct tracked clusters"
+        );
+        self.add_inter(a, b, sim);
+    }
+
     // ------------------------------------------------------------------
     // Read access
     // ------------------------------------------------------------------

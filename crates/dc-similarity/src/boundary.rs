@@ -1,0 +1,255 @@
+//! Tracking records whose blocks collide across shards.
+//!
+//! Sharded serving partitions records by their canonical routing key
+//! ([`ShardRouter`](crate::ShardRouter)), but a record usually lives in
+//! *several* blocks ([`BlockingStrategy::block_keys`]) — and whenever two
+//! records in different shards share a block, the per-shard similarity graphs
+//! silently miss the candidate pair that an unsharded graph would have
+//! compared.  The [`BoundaryIndex`] materializes exactly that information:
+//! an inverted index from hashed block keys to `(record, shard)` entries,
+//! maintained incrementally as objects are added, updated, removed, and
+//! queried for the *cross-shard candidates* of one record.
+//!
+//! The index is pure derived state: it is a function of the current live
+//! records and their shard assignment, so a recovered sharded engine can
+//! rebuild it bit-identically from the per-shard graphs — nothing here needs
+//! to be persisted.
+//!
+//! Candidate semantics match the blocking strategy's: records `a` and `b`
+//! are candidates when `probe_keys(a) ∩ block_keys(b) ≠ ∅`
+//! ([`BlockingStrategy::probe_keys`]); every built-in strategy's relation is
+//! symmetric, so the pair is found from whichever side is queried.
+
+use crate::blocking::BlockingStrategy;
+use dc_types::{ObjectId, Record};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// What the index remembers about one record.
+#[derive(Debug, Clone)]
+struct IndexedRecord {
+    shard: usize,
+    block_keys: Vec<u64>,
+    probe_keys: Vec<u64>,
+}
+
+/// An inverted index over hashed block keys that answers "which records in
+/// *other* shards share a block with this one?".
+pub struct BoundaryIndex {
+    /// Key source; never indexed into, only asked for pure key sets.
+    blocking: Box<dyn BlockingStrategy>,
+    /// Hashed block key → the records indexed under it, with their shards.
+    blocks: BTreeMap<u64, BTreeMap<ObjectId, usize>>,
+    /// Per-record key material, for unindexing and candidate queries.
+    records: BTreeMap<ObjectId, IndexedRecord>,
+}
+
+impl BoundaryIndex {
+    /// Create an empty index deriving keys from the given blocking strategy
+    /// (a private copy; its mutable index state is never used).
+    pub fn new(blocking: Box<dyn BlockingStrategy>) -> Self {
+        let mut blocking = blocking;
+        blocking.reset();
+        BoundaryIndex {
+            blocking,
+            blocks: BTreeMap::new(),
+            records: BTreeMap::new(),
+        }
+    }
+
+    /// Number of records currently indexed.
+    pub fn record_count(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Number of distinct block keys currently indexed.
+    pub fn block_count(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// The shard the index believes owns `id`, if the record is indexed.
+    pub fn shard_of(&self, id: ObjectId) -> Option<usize> {
+        self.records.get(&id).map(|r| r.shard)
+    }
+
+    /// The full object-to-shard map the index currently tracks, in id order.
+    pub fn shard_map(&self) -> BTreeMap<ObjectId, usize> {
+        self.records.iter().map(|(&id, r)| (id, r.shard)).collect()
+    }
+
+    /// Index (or re-index) a record under its owning shard.  Re-inserting an
+    /// id replaces its previous entry, which is how updates are handled.
+    pub fn insert(&mut self, id: ObjectId, shard: usize, record: &Record) {
+        self.remove(id);
+        let entry = IndexedRecord {
+            shard,
+            block_keys: self.blocking.block_keys(record),
+            probe_keys: self.blocking.probe_keys(record),
+        };
+        for &key in &entry.block_keys {
+            self.blocks.entry(key).or_default().insert(id, shard);
+        }
+        self.records.insert(id, entry);
+    }
+
+    /// Remove a record from the index.  Unknown ids are ignored.
+    pub fn remove(&mut self, id: ObjectId) {
+        let Some(entry) = self.records.remove(&id) else {
+            return;
+        };
+        for key in entry.block_keys {
+            if let Some(block) = self.blocks.get_mut(&key) {
+                block.remove(&id);
+                if block.is_empty() {
+                    self.blocks.remove(&key);
+                }
+            }
+        }
+    }
+
+    /// Records in **other** shards that share at least one block with `id` —
+    /// the candidate pairs the per-shard graphs cannot see.  Empty when the
+    /// id is not indexed.
+    pub fn cross_shard_candidates(&self, id: ObjectId) -> BTreeSet<ObjectId> {
+        let Some(entry) = self.records.get(&id) else {
+            return BTreeSet::new();
+        };
+        let mut out = BTreeSet::new();
+        for key in &entry.probe_keys {
+            if let Some(block) = self.blocks.get(key) {
+                for (&other, &other_shard) in block {
+                    if other != id && other_shard != entry.shard {
+                        out.insert(other);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Records that have at least one cross-shard candidate — the *boundary
+    /// set*.  Derived on demand; intended for diagnostics and reports, not
+    /// hot paths.
+    pub fn boundary_records(&self) -> BTreeSet<ObjectId> {
+        let mut out = BTreeSet::new();
+        for block in self.blocks.values() {
+            let mut shards: BTreeSet<usize> = BTreeSet::new();
+            for &shard in block.values() {
+                shards.insert(shard);
+            }
+            if shards.len() > 1 {
+                out.extend(block.keys().copied());
+            }
+        }
+        // Blocks only witness block-key collisions; grid probes reach
+        // *neighbouring* keys too, so finish with the exact per-record test
+        // for records not already known to be boundary.
+        let candidates: Vec<ObjectId> = self
+            .records
+            .keys()
+            .filter(|id| !out.contains(id))
+            .copied()
+            .collect();
+        for id in candidates {
+            if !self.cross_shard_candidates(id).is_empty() {
+                out.insert(id);
+            }
+        }
+        out
+    }
+}
+
+impl std::fmt::Debug for BoundaryIndex {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BoundaryIndex")
+            .field("records", &self.records.len())
+            .field("blocks", &self.blocks.len())
+            .field("key_source", &self.blocking.name())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blocking::{ExhaustiveBlocking, GridBlocking, TokenBlocking};
+    use dc_types::RecordBuilder;
+
+    fn textual(s: &str) -> Record {
+        RecordBuilder::new().text("t", s).build()
+    }
+
+    fn numeric(v: Vec<f64>) -> Record {
+        RecordBuilder::new().vector(v).build()
+    }
+
+    fn oid(raw: u64) -> ObjectId {
+        ObjectId::new(raw)
+    }
+
+    #[test]
+    fn token_collisions_across_shards_are_candidates() {
+        let mut index = BoundaryIndex::new(Box::new(TokenBlocking::new(0)));
+        index.insert(oid(1), 0, &textual("alpha beta"));
+        index.insert(oid(2), 1, &textual("beta gamma"));
+        index.insert(oid(3), 0, &textual("beta delta")); // same shard as 1
+        index.insert(oid(4), 1, &textual("epsilon"));
+        assert_eq!(
+            index.cross_shard_candidates(oid(1)),
+            [oid(2)].into_iter().collect(),
+            "only the other-shard token collision counts"
+        );
+        assert!(index.cross_shard_candidates(oid(4)).is_empty());
+        let boundary = index.boundary_records();
+        assert!(boundary.contains(&oid(1)));
+        assert!(boundary.contains(&oid(2)));
+        assert!(boundary.contains(&oid(3)));
+        assert!(!boundary.contains(&oid(4)));
+    }
+
+    #[test]
+    fn grid_neighbour_cells_are_candidates_across_shards() {
+        let mut index = BoundaryIndex::new(Box::new(GridBlocking::new(1.0, 2)));
+        index.insert(oid(1), 0, &numeric(vec![0.5, 0.5]));
+        index.insert(oid(2), 1, &numeric(vec![1.5, 0.5])); // adjacent cell
+        index.insert(oid(3), 1, &numeric(vec![9.0, 9.0])); // far away
+        assert_eq!(
+            index.cross_shard_candidates(oid(1)),
+            [oid(2)].into_iter().collect()
+        );
+        // Symmetric from the other side.
+        assert_eq!(
+            index.cross_shard_candidates(oid(2)),
+            [oid(1)].into_iter().collect()
+        );
+        assert!(index.boundary_records().contains(&oid(2)));
+        assert!(!index.boundary_records().contains(&oid(3)));
+    }
+
+    #[test]
+    fn exhaustive_blocking_makes_every_cross_shard_pair_a_candidate() {
+        let mut index = BoundaryIndex::new(Box::new(ExhaustiveBlocking::new()));
+        index.insert(oid(1), 0, &textual("a"));
+        index.insert(oid(2), 1, &textual("b"));
+        index.insert(oid(3), 2, &textual("c"));
+        assert_eq!(index.cross_shard_candidates(oid(1)).len(), 2);
+    }
+
+    #[test]
+    fn reinsert_and_remove_keep_the_index_exact() {
+        let mut index = BoundaryIndex::new(Box::new(TokenBlocking::new(0)));
+        index.insert(oid(1), 0, &textual("alpha"));
+        index.insert(oid(2), 1, &textual("alpha"));
+        assert_eq!(index.cross_shard_candidates(oid(1)).len(), 1);
+        // An update that drops the shared token dissolves the pair.
+        index.insert(oid(2), 1, &textual("omega"));
+        assert!(index.cross_shard_candidates(oid(1)).is_empty());
+        assert_eq!(index.shard_of(oid(2)), Some(1));
+        index.remove(oid(2));
+        assert_eq!(index.record_count(), 1);
+        assert_eq!(index.shard_of(oid(2)), None);
+        index.remove(oid(2)); // idempotent
+        assert_eq!(index.record_count(), 1);
+        index.remove(oid(1));
+        assert_eq!(index.block_count(), 0);
+    }
+}

@@ -342,6 +342,46 @@ impl SimilarityGraph {
         }
     }
 
+    /// The candidate ids the blocking strategy would propose for `record`
+    /// against the current index — exactly the set
+    /// [`SimilarityGraph::add_object`] would compare against (possibly
+    /// including dead ids or the queried id itself; callers filter).
+    pub fn candidate_ids(&self, record: &Record) -> BTreeSet<ObjectId> {
+        self.config.blocking.candidates(record)
+    }
+
+    // ------------------------------------------------------------------
+    // Mirror maintenance (similarities supplied by the caller)
+    // ------------------------------------------------------------------
+
+    /// Install a record **without computing any similarity** and without
+    /// touching the comparison counter.  Returns `false` (and does nothing)
+    /// when the id is already present.
+    ///
+    /// This is the *mirror* maintenance hook: the cross-shard refinement
+    /// layer keeps a global union graph whose records and edge weights are
+    /// copied verbatim from the per-shard graphs (which already paid for the
+    /// similarity computations), so the mirror must never recompute or
+    /// re-count work.  Pair with [`SimilarityGraph::install_edge`].
+    pub fn install_record(&mut self, id: ObjectId, record: Record) -> bool {
+        if self.records.contains_key(&id) {
+            return false;
+        }
+        self.restore_record(id, record);
+        true
+    }
+
+    /// Install an edge with a caller-supplied similarity (both directions),
+    /// without computing or counting anything.  Returns `false` when the
+    /// edge already exists.  Both endpoints must be present.
+    pub fn install_edge(&mut self, a: ObjectId, b: ObjectId, sim: f64) -> bool {
+        assert!(
+            a != b && self.records.contains_key(&a) && self.records.contains_key(&b),
+            "install_edge requires two distinct live endpoints"
+        );
+        self.restore_edge(a, b, sim)
+    }
+
     // ------------------------------------------------------------------
     // Snapshot restoration (see `persist`)
     // ------------------------------------------------------------------

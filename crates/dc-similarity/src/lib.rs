@@ -27,12 +27,16 @@
 //! * [`router`] — the deterministic [`ShardRouter`] mapping records to
 //!   shards via the blocking layer's canonical routing keys, so sharded
 //!   serving partitions the objects the same way blocking groups them.
+//! * [`boundary`] — the [`BoundaryIndex`] over each record's *full* block-key
+//!   set, answering which cross-shard candidate pairs the per-shard graphs
+//!   cannot see; the substrate of the cross-shard refinement pass.
 
 #![deny(missing_docs)]
 #![deny(rustdoc::broken_intra_doc_links)]
 
 pub mod aggregates;
 pub mod blocking;
+pub mod boundary;
 pub mod fixtures;
 pub mod graph;
 pub mod measures;
@@ -42,10 +46,11 @@ pub mod text;
 
 pub use aggregates::{full_build_count, BuildCounter, ClusterAggregates};
 pub use blocking::{BlockingStrategy, GridBlocking, TokenBlocking};
+pub use boundary::BoundaryIndex;
 pub use graph::{GraphConfig, SimilarityGraph};
 pub use measures::{
     CompositeMeasure, EuclideanSimilarity, JaccardSimilarity, NormalizedLevenshtein,
     SimilarityMeasure, TrigramCosine,
 };
 pub use persist::{AggregatesState, GraphState};
-pub use router::ShardRouter;
+pub use router::{RoutedBatch, ShardRouter};

@@ -26,6 +26,7 @@
 //! what makes a one-shard sharded engine bit-identical to an unsharded one.
 
 use crate::blocking::BlockingStrategy;
+use crate::boundary::BoundaryIndex;
 use crate::graph::GraphConfig;
 use dc_types::{ObjectId, Operation, OperationBatch, Record, MAX_SHARDS};
 use std::collections::BTreeMap;
@@ -130,7 +131,21 @@ impl ShardRouter {
         batch: &OperationBatch,
         assignment: &mut BTreeMap<ObjectId, usize>,
     ) -> Vec<OperationBatch> {
+        self.route_batch(batch, assignment).sub_batches
+    }
+
+    /// [`ShardRouter::split_batch`] plus the *per-operation routing report*:
+    /// the shard each input operation was forwarded to, in input order.  The
+    /// cross-shard refinement pass consumes this to replay the batch against
+    /// its global view (re-keying each touched record under its owning
+    /// shard) without re-deriving the sticky routing decisions.
+    pub fn route_batch(
+        &self,
+        batch: &OperationBatch,
+        assignment: &mut BTreeMap<ObjectId, usize>,
+    ) -> RoutedBatch {
         let mut out = vec![OperationBatch::new(); self.n_shards];
+        let mut op_shards = Vec::with_capacity(batch.len());
         for op in batch.iter() {
             let id = op.object_id();
             let shard = match (op, assignment.get(&id)) {
@@ -149,9 +164,31 @@ impl ShardRouter {
                 }
             }
             out[shard].push(op.clone());
+            op_shards.push(shard);
         }
-        out
+        RoutedBatch {
+            sub_batches: out,
+            op_shards,
+        }
     }
+
+    /// An empty [`BoundaryIndex`] deriving its keys from this router's
+    /// blocking strategy, so boundary detection and routing agree on the key
+    /// material.
+    pub fn boundary_index(&self) -> BoundaryIndex {
+        BoundaryIndex::new(self.blocking.clone_blocking())
+    }
+}
+
+/// What [`ShardRouter::route_batch`] produced: the per-shard sub-batches and
+/// the per-operation routing report.
+#[derive(Debug)]
+pub struct RoutedBatch {
+    /// One sub-batch per shard — a permutation-free partition of the input
+    /// (identical to [`ShardRouter::split_batch`]'s return value).
+    pub sub_batches: Vec<OperationBatch>,
+    /// The shard each input operation was forwarded to, in input order.
+    pub op_shards: Vec<usize>,
 }
 
 impl std::fmt::Debug for ShardRouter {

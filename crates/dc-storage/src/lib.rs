@@ -116,6 +116,51 @@ impl std::error::Error for StorageError {
     }
 }
 
+/// Read a little-endian `u32` at `offset`, reporting a short read as
+/// corruption instead of panicking.  Parsing code used to slice-and-`expect`
+/// here; a truncated artifact (short read, torn disk) must surface as a
+/// typed [`StorageError`], never a panic.
+pub(crate) fn read_u32_le(
+    path: &std::path::Path,
+    bytes: &[u8],
+    offset: usize,
+) -> Result<u32, StorageError> {
+    let end = offset.checked_add(4).filter(|&e| e <= bytes.len());
+    let Some(end) = end else {
+        return Err(StorageError::corrupt(
+            path,
+            format!(
+                "short read: wanted 4 bytes at offset {offset} of {}",
+                bytes.len()
+            ),
+        ));
+    };
+    Ok(u32::from_le_bytes(
+        bytes[offset..end].try_into().expect("4-byte slice"),
+    ))
+}
+
+/// Read a little-endian `u64` at `offset` (see [`read_u32_le`]).
+pub(crate) fn read_u64_le(
+    path: &std::path::Path,
+    bytes: &[u8],
+    offset: usize,
+) -> Result<u64, StorageError> {
+    let end = offset.checked_add(8).filter(|&e| e <= bytes.len());
+    let Some(end) = end else {
+        return Err(StorageError::corrupt(
+            path,
+            format!(
+                "short read: wanted 8 bytes at offset {offset} of {}",
+                bytes.len()
+            ),
+        ));
+    };
+    Ok(u64::from_le_bytes(
+        bytes[offset..end].try_into().expect("8-byte slice"),
+    ))
+}
+
 /// Flush a file's contents and metadata to stable storage, attributing
 /// failures to `op`.
 pub(crate) fn sync_file(
@@ -139,6 +184,28 @@ pub(crate) fn sync_dir(dir: &std::path::Path) -> Result<(), StorageError> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn short_reads_are_corruption_errors_not_panics() {
+        let path = std::path::Path::new("/tmp/x.dcsnap");
+        let bytes = [1u8, 2, 3];
+        assert!(matches!(
+            read_u32_le(path, &bytes, 0),
+            Err(StorageError::Corrupt { .. })
+        ));
+        assert!(matches!(
+            read_u64_le(path, &bytes, 0),
+            Err(StorageError::Corrupt { .. })
+        ));
+        // An offset past the end (or one that would overflow) is the same
+        // class of damage.
+        assert!(read_u32_le(path, &bytes, usize::MAX).is_err());
+        assert!(read_u64_le(path, &bytes, 4).is_err());
+        // Exact fits parse.
+        let eight = [8u8, 0, 0, 0, 0, 0, 0, 0];
+        assert_eq!(read_u32_le(path, &eight, 0).unwrap(), 8);
+        assert_eq!(read_u64_le(path, &eight, 0).unwrap(), 8);
+    }
 
     #[test]
     fn error_display_names_the_file_and_operation() {

@@ -31,7 +31,7 @@
 //! so a crash mid-prune only leaves extra files that the next checkpoint
 //! removes.
 
-use crate::{sync_dir, sync_file, wal, StorageError};
+use crate::{read_u32_le, read_u64_le, sync_dir, sync_file, wal, StorageError};
 use dc_types::codec::{crc32, BinCodec};
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Write};
@@ -160,22 +160,22 @@ impl Snapshotter {
         if &bytes[0..4] != MAGIC {
             return Err(StorageError::corrupt(path, "bad magic"));
         }
-        let version = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes"));
+        let version = read_u32_le(path, &bytes, 4)?;
         if version != VERSION {
             return Err(StorageError::corrupt(
                 path,
                 format!("unsupported snapshot version {version} (expected {VERSION})"),
             ));
         }
-        let round = u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes"));
+        let round = read_u64_le(path, &bytes, 8)?;
         if round != expected_round {
             return Err(StorageError::corrupt(
                 path,
                 format!("header round {round} disagrees with file name"),
             ));
         }
-        let len = u64::from_le_bytes(bytes[16..24].try_into().expect("8 bytes")) as usize;
-        let stored_crc = u32::from_le_bytes(bytes[24..28].try_into().expect("4 bytes"));
+        let len = read_u64_le(path, &bytes, 16)? as usize;
+        let stored_crc = read_u32_le(path, &bytes, 24)?;
         if bytes.len() != HEADER_LEN + len {
             return Err(StorageError::corrupt(
                 path,

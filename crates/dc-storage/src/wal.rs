@@ -31,7 +31,7 @@
 //!
 //! [`Snapshotter::prune_obsolete`]: crate::Snapshotter::prune_obsolete
 
-use crate::{sync_dir, sync_file, StorageError};
+use crate::{read_u32_le, read_u64_le, sync_dir, sync_file, StorageError};
 use dc_types::codec::{crc32, BinCodec, ByteReader, ByteWriter, CodecError};
 use dc_types::OperationBatch;
 use std::fs::{File, OpenOptions};
@@ -212,14 +212,14 @@ impl Wal {
         if &bytes[0..4] != MAGIC {
             return Err(StorageError::corrupt(path, "bad magic"));
         }
-        let version = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes"));
+        let version = read_u32_le(path, &bytes, 4)?;
         if version != VERSION {
             return Err(StorageError::corrupt(
                 path,
                 format!("unsupported WAL version {version} (expected {VERSION})"),
             ));
         }
-        let header_start = u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes"));
+        let header_start = read_u64_le(path, &bytes, 8)?;
         if header_start != start_round {
             return Err(StorageError::corrupt(
                 path,
@@ -250,8 +250,8 @@ impl Wal {
                 break;
             }
             let o = offset as usize;
-            let len = u32::from_le_bytes(bytes[o..o + 4].try_into().expect("4 bytes")) as u64;
-            let stored_crc = u32::from_le_bytes(bytes[o + 4..o + 8].try_into().expect("4 bytes"));
+            let len = read_u32_le(path, &bytes, o)? as u64;
+            let stored_crc = read_u32_le(path, &bytes, o + 4)?;
             let frame_end = offset + FRAME_HEADER_LEN + len;
             if frame_end > file_len {
                 // The frame runs past the physical end of the file: a torn

@@ -274,6 +274,33 @@ fn snapshots_roundtrip_and_reject_corruption() {
     ));
 }
 
+/// A snapshot truncated at *every* byte offset — short header, short frame
+/// fields, short payload — must surface as a typed error, never a panic or
+/// a silent partial load.
+#[test]
+fn truncated_snapshots_error_at_every_offset() {
+    let tmp = TempDir::new("snapshot-truncation");
+    let snapshotter = dc_storage::Snapshotter::new(tmp.path()).unwrap();
+    snapshotter.write(3, &batch(3, 2)).unwrap();
+    let path = tmp.path().join(snapshot::snapshot_file_name(3));
+    let full = std::fs::read(&path).unwrap();
+    for keep in 0..full.len() {
+        std::fs::write(&path, &full[..keep]).unwrap();
+        assert!(
+            matches!(
+                snapshotter.load_latest::<OperationBatch>(),
+                Err(StorageError::Corrupt { .. })
+            ),
+            "truncation to {keep} bytes must be a corruption error"
+        );
+    }
+    std::fs::write(&path, &full).unwrap();
+    assert!(snapshotter
+        .load_latest::<OperationBatch>()
+        .unwrap()
+        .is_some());
+}
+
 #[test]
 fn checkpoint_prune_deletes_only_obsolete_artifacts() {
     let tmp = TempDir::new("prune");

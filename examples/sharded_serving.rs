@@ -39,10 +39,11 @@ fn main() {
 
     // ---- in-memory sharded serving ----
     let router = ShardRouter::for_config(N_SHARDS, graph.config());
-    let mut engine = ShardedEngine::new(router, graph.clone(), previous.clone(), dynamicc.clone());
+    let mut engine = ShardedEngine::new(router, graph.clone(), previous.clone(), dynamicc.clone())
+        .expect("batch clustering fits the shard-0 namespace");
     println!(
-        "partition dropped {} cross-shard edges; shard sizes: {:?}",
-        engine.cross_shard_edges_dropped(),
+        "refinement recovered {} cross-shard edges; shard sizes: {:?}",
+        engine.cross_shard_edges_recovered(),
         engine
             .shards()
             .iter()

@@ -82,8 +82,8 @@ pub mod prelude {
     };
     pub use dc_core::{
         train_on_workload, DurabilityOptions, DurableEngine, DynamicC, DynamicCConfig, Engine,
-        RecoveryReport, RoundReport, ShardedDurableEngine, ShardedEngine, ShardedRecoveryReport,
-        ShardedRoundReport, StorageError, TrainingReport,
+        RecoveryReport, RefineReport, RoundReport, ShardConfigError, ShardedDurableEngine,
+        ShardedEngine, ShardedRecoveryReport, ShardedRoundReport, StorageError, TrainingReport,
     };
     pub use dc_datagen::{
         ground_truth, AccessLikeGenerator, CoraLikeGenerator, DuplicateDistribution,
