@@ -230,8 +230,47 @@ fn bench_shard_quality(out: Option<String>) {
             );
         }
     }
+    header("BENCH: refined serving throughput vs shard count (largest fixture)");
+    let throughput = dc_bench::run_refined_throughput_bench();
+    println!(
+        "-- {} ({} rounds, {} ops)",
+        throughput.name, throughput.rounds, throughput.operations
+    );
+    println!(
+        "{:>7} {:>12} {:>10} {:>12} {:>10} {:>13} {:>9} {:>12}",
+        "shards",
+        "repair",
+        "seconds",
+        "ops/sec",
+        "clusters",
+        "dirty total",
+        "regions",
+        "repair(ms)"
+    );
+    for run in &throughput.runs {
+        println!(
+            "{:>7} {:>12} {:>10.3} {:>12.1} {:>10} {:>13} {:>9} {:>12.3}",
+            run.shards,
+            if run.full_repair {
+                "full"
+            } else {
+                "incremental"
+            },
+            run.seconds,
+            throughput.operations as f64 / run.seconds,
+            run.clusters,
+            run.total_dirty_clusters,
+            run.total_regions,
+            run.repair_wall_ns_total as f64 * 1e-6,
+        );
+    }
+    println!(
+        "incremental repair speedup vs full repair at {} shards: {:.2}x",
+        dc_bench::shard_quality::GATED_SHARD_COUNT,
+        throughput.repair_speedup_vs_full(),
+    );
     let path = out.unwrap_or_else(|| "BENCH_shard_quality.json".to_string());
-    let json = dc_bench::shard_quality_results_to_json(&results);
+    let json = dc_bench::shard_quality_results_to_json(&results, &throughput);
     std::fs::write(&path, json).expect("write shard quality bench output");
     println!("wrote {path}");
 }

@@ -23,7 +23,8 @@ pub use durability::{durability_results_to_json, run_durability_bench, Durabilit
 pub use scenario::{DatasetFamily, MethodKind, RoundResult, RunSummary, Scenario, ScenarioConfig};
 pub use serving::{run_dynamic_serving_bench, serving_results_to_json, ServingScenarioResult};
 pub use shard_quality::{
-    run_shard_quality_bench, shard_quality_results_to_json, ShardQualityRunResult,
+    run_refined_throughput_bench, run_shard_quality_bench, shard_quality_results_to_json,
+    RefineRoundDiag, RefinedThroughputResult, RefinedThroughputRun, ShardQualityRunResult,
     ShardQualityScenarioResult,
 };
 pub use sharding::{

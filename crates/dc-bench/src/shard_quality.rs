@@ -17,11 +17,24 @@
 //! counters, and the wall-clock of both modes (the measured price of
 //! quality-exact sharding).
 //!
-//! The acceptance gate of the refinement issue, enforced by this module's
-//! test: at N ∈ {2, 4} on both fixture families the **post-refinement pair
+//! The acceptance gates of the refinement issues, enforced by this module's
+//! tests: at N ∈ {2, 4} on both fixture families the **post-refinement pair
 //! sets are bit-equal** to the unsharded engine's (zero disagreeing pairs in
 //! either direction, so the F1 gap is 0 ≤ 1e-9), while N = 1 stays
-//! bit-identical by construction.  Everything except the two timing fields
+//! bit-identical by construction; and on the largest fixture the
+//! incremental dirty-region repair at 4 shards costs at most 1/1.5 of the
+//! diagnostic full-repair mode's global fixed point (summed repair
+//! wall-clock over identical rounds, same process), touches strictly fewer
+//! dirty clusters, and lands on the identical refined clustering.  The
+//! full-repair reference is hardware-independent in a way a raw
+//! shards-vs-shards wall-clock ratio is not: quality-exact refinement
+//! conserves the pruned cross-shard work in its global mirror, so on a
+//! single-core host end-to-end refined throughput is flat in N (the
+//! measurement is still emitted, ungated) while the repair ratio isolates
+//! exactly what the dirty-set restriction buys.  Everything except the
+//! timing fields
+//! (`seconds*`, `*ops_per_sec`, `speedup_vs_one_shard`,
+//! `repair_speedup_vs_full`, `repair_wall_ns*`)
 //! is deterministic; CI runs the bench twice and diffs the structural
 //! fields.
 //!
@@ -52,11 +65,41 @@
 //!           "boundary_pairs_computed": 412,  // total, initial build + rounds
 //!           "refine_merges_applied": 63,     // repair merges across rounds
 //!           "seconds_refined": 0.41,   // wall-clock, refined mode
-//!           "seconds_raw": 0.22        // wall-clock, raw mode
+//!           "seconds_raw": 0.22,       // wall-clock, raw mode
+//!           "refined_ops_per_sec": 585.4,
+//!           "refine_rounds": [         // incremental repair, per served round
+//!             {
+//!               "round": 1,
+//!               "dirty_clusters": 9,   // dirty evaluation set (deterministic)
+//!               "regions": 3,          // independent repair regions
+//!               "repair_wall_ns": 81250
+//!             }
+//!           ]
 //!         }
 //!       ]
 //!     }
-//!   ]
+//!   ],
+//!   "refined_throughput": {            // largest fixture, refined mode
+//!     "name": "...",
+//!     "objective": "...",
+//!     "rounds": 4,
+//!     "operations": 720,
+//!     "repair_speedup_vs_full": 2.4,    // gate: >= 1.5 (4-shard incremental
+//!                                       // vs full-repair reference, timing)
+//!     "runs": [
+//!       {
+//!         "shards": 4,
+//!         "full_repair": false,         // true on the reference run only
+//!         "seconds": 0.61,
+//!         "ops_per_sec": 1180.3,
+//!         "speedup_vs_one_shard": 1.9,  // informational; ~1.0 on one core
+//!         "clusters": 199,              // deterministic structural outcome
+//!         "total_dirty_clusters": 310,  // gate: < the full-repair run's
+//!         "total_regions": 41,
+//!         "repair_wall_ns_total": 910022
+//!       }
+//!     ]
+//!   }
 //! }
 //! ```
 
@@ -77,8 +120,25 @@ pub const QUALITY_SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
 /// Shard counts the zero-gap acceptance bound is enforced at.
 pub const ENFORCED_SHARD_COUNTS: [usize; 2] = [2, 4];
 
-/// Measured quality numbers for one shard count within a scenario.
+/// Per-round diagnostics of the refined run's incremental repair: how big
+/// the dirty evaluation set was, how many independent repair regions it
+/// decomposed into, and how long the repair took.  The first two are
+/// deterministic (pure functions of the workload); the wall-clock is not and
+/// is excluded from CI's structural diff.
 #[derive(Debug, Clone, Copy)]
+pub struct RefineRoundDiag {
+    /// Served round (1-based, after the training prefix).
+    pub round: usize,
+    /// Size of the dirty evaluation set the repair was restricted to.
+    pub dirty_clusters: usize,
+    /// Independent repair regions the dirty set decomposed into.
+    pub regions: usize,
+    /// Wall-clock nanoseconds of the repair pass.
+    pub repair_wall_ns: u64,
+}
+
+/// Measured quality numbers for one shard count within a scenario.
+#[derive(Debug, Clone)]
 pub struct ShardQualityRunResult {
     /// Number of shards.
     pub shards: usize,
@@ -116,6 +176,20 @@ pub struct ShardQualityRunResult {
     pub seconds_refined: f64,
     /// Wall-clock seconds serving the rounds in raw mode.
     pub seconds_raw: f64,
+    /// Per-round incremental-repair diagnostics of the refined run (empty
+    /// with one shard, where there is no refiner).
+    pub refine_rounds: Vec<RefineRoundDiag>,
+}
+
+impl ShardQualityRunResult {
+    /// Refined-mode serving throughput, given the scenario's operation count.
+    pub fn refined_ops_per_sec(&self, operations: usize) -> f64 {
+        if self.seconds_refined > 0.0 {
+            operations as f64 / self.seconds_refined
+        } else {
+            0.0
+        }
+    }
 }
 
 /// Measured numbers for one fixture scenario across all shard counts.
@@ -192,12 +266,19 @@ fn scenario(
             boundary_pairs_computed += initial.boundary_pairs_computed;
             refine_merges_applied += initial.merges_applied;
         }
+        let mut refine_rounds = Vec::with_capacity(serve.len());
         let started = Instant::now();
-        for snapshot in serve {
+        for (round, snapshot) in serve.iter().enumerate() {
             let report = refined_engine.apply_round(&snapshot.batch);
             if let Some(refine) = report.refine {
                 boundary_pairs_computed += refine.boundary_pairs_computed;
                 refine_merges_applied += refine.merges_applied;
+                refine_rounds.push(RefineRoundDiag {
+                    round: round + 1,
+                    dirty_clusters: refine.dirty_clusters,
+                    regions: refine.regions,
+                    repair_wall_ns: refine.repair_wall_ns,
+                });
             }
         }
         let seconds_refined = started.elapsed().as_secs_f64();
@@ -231,6 +312,7 @@ fn scenario(
             refine_merges_applied,
             seconds_refined,
             seconds_raw,
+            refine_rounds,
         });
     }
 
@@ -254,6 +336,185 @@ fn exact_febrl_config() -> GraphConfig {
     )
 }
 
+/// Shard counts the refined-throughput measurement covers.  The 4-shard
+/// entry is additionally measured in diagnostic full-repair mode — the
+/// pre-incremental global fixed point — which is what the enforced repair
+/// speedup is computed against.
+pub const THROUGHPUT_SHARD_COUNTS: [usize; 3] = [1, 2, 4];
+
+/// The shard count the incremental-vs-full repair gate is enforced at.
+pub const GATED_SHARD_COUNT: usize = 4;
+
+/// Refined-mode serving wall-clock for one shard count on the largest
+/// fixture, plus the repair-work totals that explain it.
+#[derive(Debug, Clone, Copy)]
+pub struct RefinedThroughputRun {
+    /// Number of shards.
+    pub shards: usize,
+    /// Whether the refiner ran in diagnostic full-repair mode (the global
+    /// fixed point every round) instead of the default dirty-region repair.
+    pub full_repair: bool,
+    /// Wall-clock seconds for the served rounds in refined mode.
+    pub seconds: f64,
+    /// Refined clusters after the last round (shard-count *dependent* in
+    /// general, but deterministic per shard count — and identical between
+    /// the incremental and full-repair runs of the same shard count).
+    pub clusters: usize,
+    /// Dirty evaluation-set sizes summed over the served rounds.
+    pub total_dirty_clusters: usize,
+    /// Independent repair regions summed over the served rounds.
+    pub total_regions: usize,
+    /// Repair wall-clock summed over the served rounds, in nanoseconds.
+    pub repair_wall_ns_total: u64,
+}
+
+/// Refined-mode throughput measurement on the largest fixture workload:
+/// wall-clock per shard count, plus the 4-shard full-repair reference run
+/// the incremental repair is gated against.
+#[derive(Debug, Clone)]
+pub struct RefinedThroughputResult {
+    /// Scenario name (fixture + objective).
+    pub name: String,
+    /// Objective used for search and verification.
+    pub objective: String,
+    /// Served rounds (after the training prefix).
+    pub rounds: usize,
+    /// Total workload operations served.
+    pub operations: usize,
+    /// One incremental entry per element of [`THROUGHPUT_SHARD_COUNTS`],
+    /// then the [`GATED_SHARD_COUNT`] full-repair reference.
+    pub runs: Vec<RefinedThroughputRun>,
+}
+
+impl RefinedThroughputResult {
+    /// The incremental (default-mode) run for a given shard count.
+    pub fn run(&self, shards: usize) -> &RefinedThroughputRun {
+        self.runs
+            .iter()
+            .find(|r| r.shards == shards && !r.full_repair)
+            .expect("shard count was measured")
+    }
+
+    /// The full-repair reference run (at [`GATED_SHARD_COUNT`] shards).
+    pub fn full_repair_run(&self) -> &RefinedThroughputRun {
+        self.runs
+            .iter()
+            .find(|r| r.full_repair)
+            .expect("the full-repair reference was measured")
+    }
+
+    /// Refined serving throughput at a given shard count (incremental mode).
+    pub fn ops_per_sec(&self, shards: usize) -> f64 {
+        let run = self.run(shards);
+        if run.seconds > 0.0 {
+            self.operations as f64 / run.seconds
+        } else {
+            0.0
+        }
+    }
+
+    /// Wall-clock speedup of `shards` shards over one shard, refined mode.
+    /// On a single-core host this hovers around 1.0 by construction (see
+    /// [`run_refined_throughput_bench`]); with cores ≥ shards the partition
+    /// and the refiner's scoped fan-outs run concurrently and it rises.
+    pub fn speedup(&self, shards: usize) -> f64 {
+        let one = self.run(1).seconds;
+        let n = self.run(shards).seconds;
+        if n > 0.0 {
+            one / n
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// How much faster the incremental dirty-region repair is than the full
+    /// global fixed point at [`GATED_SHARD_COUNT`] shards, by summed repair
+    /// wall-clock.  This is the enforced gate: it compares two runs in the
+    /// same process over identical rounds, so it is meaningful on any
+    /// hardware — including a single-core CI host where end-to-end
+    /// [`RefinedThroughputResult::speedup`] cannot move.
+    pub fn repair_speedup_vs_full(&self) -> f64 {
+        let full = self.full_repair_run().repair_wall_ns_total;
+        let incremental = self.run(GATED_SHARD_COUNT).repair_wall_ns_total;
+        if incremental > 0 {
+            full as f64 / incremental as f64
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+/// Measure refined-mode serving against the shard count on the largest
+/// fixture workload ([`crate::sharding::large_febrl_workload`] — the same
+/// dataset the raw-mode 1.5x scaling gate runs on), plus a full-repair
+/// reference run at [`GATED_SHARD_COUNT`] shards.
+///
+/// One shard has no refiner, so its run is the natural baseline: whatever
+/// the refiner costs at N > 1 shows up directly in the ratio.  Note what
+/// that ratio can and cannot show: quality-exact refinement maintains a
+/// global mirror whose per-round upkeep (chiefly the cross-shard pair
+/// similarities the per-shard graphs pruned) equals the work the partition
+/// saved, so on a **single core** refined throughput is flat in N — the
+/// end-to-end win requires cores ≥ shards, where the per-shard rounds and
+/// the refiner's scoped fan-outs (boundary-pair similarities, region flag
+/// refresh) actually overlap.  What improves on *any* hardware is the
+/// repair pass itself: the dirty-region fixed point does work proportional
+/// to what the round touched instead of the whole corpus, which is the
+/// enforced [`RefinedThroughputResult::repair_speedup_vs_full`] gate.
+pub fn run_refined_throughput_bench() -> RefinedThroughputResult {
+    let workload = crate::sharding::large_febrl_workload();
+    let serve = &workload.snapshots[TRAIN_ROUNDS.min(workload.snapshots.len())..];
+    let operations: usize = serve.iter().map(|s| s.batch.len()).sum();
+
+    let (graph, previous, dynamicc) =
+        trained_setup(&workload, exact_febrl_config, Arc::new(DbIndexObjective));
+    let objective_name = dynamicc.objective().name().to_string();
+
+    let modes: Vec<(usize, bool)> = THROUGHPUT_SHARD_COUNTS
+        .iter()
+        .map(|&shards| (shards, false))
+        .chain([(GATED_SHARD_COUNT, true)])
+        .collect();
+    let mut runs = Vec::with_capacity(modes.len());
+    for (shards, full_repair) in modes {
+        let router = ShardRouter::for_config(shards, graph.config());
+        let mut engine =
+            ShardedEngine::new(router, graph.clone(), previous.clone(), dynamicc.clone())
+                .expect("fixture clustering fits the shard-0 namespace");
+        engine.set_full_repair(full_repair);
+        let mut total_dirty_clusters = 0usize;
+        let mut total_regions = 0usize;
+        let mut repair_wall_ns_total = 0u64;
+        let started = Instant::now();
+        for snapshot in serve {
+            let report = engine.apply_round(&snapshot.batch);
+            if let Some(refine) = report.refine {
+                total_dirty_clusters += refine.dirty_clusters;
+                total_regions += refine.regions;
+                repair_wall_ns_total += refine.repair_wall_ns;
+            }
+        }
+        let seconds = started.elapsed().as_secs_f64();
+        runs.push(RefinedThroughputRun {
+            shards,
+            full_repair,
+            seconds,
+            clusters: engine.refined_clustering().cluster_count(),
+            total_dirty_clusters,
+            total_regions,
+            repair_wall_ns_total,
+        });
+    }
+
+    RefinedThroughputResult {
+        name: "febrl_large_dbindex_refined".to_string(),
+        objective: objective_name,
+        rounds: serve.len(),
+        operations,
+        runs,
+    }
+}
+
 /// Run the shard-quality benchmark over both fixture families.
 pub fn run_shard_quality_bench() -> Vec<ShardQualityScenarioResult> {
     vec![
@@ -272,8 +533,13 @@ pub fn run_shard_quality_bench() -> Vec<ShardQualityScenarioResult> {
     ]
 }
 
-/// Serialize the results to the `BENCH_shard_quality.json` document.
-pub fn shard_quality_results_to_json(results: &[ShardQualityScenarioResult]) -> String {
+/// Serialize the results to the `BENCH_shard_quality.json` document.  Every
+/// JSON field sits on its own line so CI's structural diff can drop exactly
+/// the timing fields by name and compare the rest.
+pub fn shard_quality_results_to_json(
+    results: &[ShardQualityScenarioResult],
+    throughput: &RefinedThroughputResult,
+) -> String {
     let mut out = String::from("{\n  \"bench\": \"shard_quality\",\n  \"scenarios\": [\n");
     for (i, scenario) in results.iter().enumerate() {
         out.push_str(&format!(
@@ -305,8 +571,8 @@ pub fn shard_quality_results_to_json(results: &[ShardQualityScenarioResult]) -> 
                     "          \"boundary_pairs_computed\": {},\n",
                     "          \"refine_merges_applied\": {},\n",
                     "          \"seconds_refined\": {:.6},\n",
-                    "          \"seconds_raw\": {:.6}\n",
-                    "        }}{}\n",
+                    "          \"seconds_raw\": {:.6},\n",
+                    "          \"refined_ops_per_sec\": {:.2},\n",
                 ),
                 run.shards,
                 run.pre_precision,
@@ -323,11 +589,42 @@ pub fn shard_quality_results_to_json(results: &[ShardQualityScenarioResult]) -> 
                 run.refine_merges_applied,
                 run.seconds_refined,
                 run.seconds_raw,
+                run.refined_ops_per_sec(scenario.operations),
+            ));
+            if run.refine_rounds.is_empty() {
+                out.push_str("          \"refine_rounds\": []\n");
+            } else {
+                out.push_str("          \"refine_rounds\": [\n");
+                for (k, diag) in run.refine_rounds.iter().enumerate() {
+                    out.push_str(&format!(
+                        concat!(
+                            "            {{\n",
+                            "              \"round\": {},\n",
+                            "              \"dirty_clusters\": {},\n",
+                            "              \"regions\": {},\n",
+                            "              \"repair_wall_ns\": {}\n",
+                            "            }}{}\n",
+                        ),
+                        diag.round,
+                        diag.dirty_clusters,
+                        diag.regions,
+                        diag.repair_wall_ns,
+                        if k + 1 == run.refine_rounds.len() {
+                            ""
+                        } else {
+                            ","
+                        },
+                    ));
+                }
+                out.push_str("          ]\n");
+            }
+            out.push_str(&format!(
+                "        }}{}\n",
                 if j + 1 == scenario.runs.len() {
                     ""
                 } else {
                     ","
-                },
+                }
             ));
         }
         out.push_str(&format!(
@@ -335,7 +632,63 @@ pub fn shard_quality_results_to_json(results: &[ShardQualityScenarioResult]) -> 
             if i + 1 == results.len() { "" } else { "," }
         ));
     }
-    out.push_str("  ]\n}\n");
+    out.push_str(&format!(
+        concat!(
+            "  ],\n",
+            "  \"refined_throughput\": {{\n",
+            "    \"name\": \"{}\",\n",
+            "    \"objective\": \"{}\",\n",
+            "    \"rounds\": {},\n",
+            "    \"operations\": {},\n",
+            "    \"repair_speedup_vs_full\": {:.2},\n",
+            "    \"runs\": [\n",
+        ),
+        throughput.name,
+        throughput.objective,
+        throughput.rounds,
+        throughput.operations,
+        throughput.repair_speedup_vs_full(),
+    ));
+    for (i, run) in throughput.runs.iter().enumerate() {
+        out.push_str(&format!(
+            concat!(
+                "      {{\n",
+                "        \"shards\": {},\n",
+                "        \"full_repair\": {},\n",
+                "        \"seconds\": {:.6},\n",
+                "        \"ops_per_sec\": {:.2},\n",
+                "        \"speedup_vs_one_shard\": {:.2},\n",
+                "        \"clusters\": {},\n",
+                "        \"total_dirty_clusters\": {},\n",
+                "        \"total_regions\": {},\n",
+                "        \"repair_wall_ns_total\": {}\n",
+                "      }}{}\n",
+            ),
+            run.shards,
+            run.full_repair,
+            run.seconds,
+            if run.seconds > 0.0 {
+                throughput.operations as f64 / run.seconds
+            } else {
+                0.0
+            },
+            if throughput.run(1).seconds > 0.0 && run.seconds > 0.0 {
+                throughput.run(1).seconds / run.seconds
+            } else {
+                0.0
+            },
+            run.clusters,
+            run.total_dirty_clusters,
+            run.total_regions,
+            run.repair_wall_ns_total,
+            if i + 1 == throughput.runs.len() {
+                ""
+            } else {
+                ","
+            },
+        ));
+    }
+    out.push_str("    ]\n  }\n}\n");
     out
 }
 
@@ -365,8 +718,21 @@ mod tests {
                 "{}: one shard must be the identity",
                 scenario.name
             );
+            assert!(
+                scenario.run(1).refine_rounds.is_empty(),
+                "{}: one shard has no refiner, so no per-round repair diagnostics",
+                scenario.name
+            );
             for &shards in &ENFORCED_SHARD_COUNTS {
                 let run = scenario.run(shards);
+                assert_eq!(
+                    run.refine_rounds.len(),
+                    scenario.rounds,
+                    "{}: {} shards: every served round must report repair \
+                     diagnostics",
+                    scenario.name,
+                    shards,
+                );
                 assert_eq!(
                     (run.post_pairs_missing, run.post_pairs_extra),
                     (0, 0),
@@ -406,9 +772,87 @@ mod tests {
             "no enforced run ever had a pre-refinement gap; the bench no longer \
              exercises refinement"
         );
-        let json = shard_quality_results_to_json(&results);
+    }
+
+    /// The incremental-repair acceptance gate: at 4 shards on the largest
+    /// fixture, the dirty-region repair's summed wall-clock must be at most
+    /// 1/1.5 of the diagnostic full-repair mode's (the global fixed point
+    /// every round), its dirty evaluation sets strictly smaller, and the
+    /// final refined clustering identical.  Comparing the two repair modes
+    /// in the same process over identical rounds keeps the gate meaningful
+    /// on any host; an end-to-end shards-vs-shards ratio is not, because
+    /// quality-exact refinement conserves the pruned cross-shard work in
+    /// its global mirror, so on a single core refined throughput is flat in
+    /// N regardless of how cheap the repair pass is.
+    #[test]
+    fn incremental_repair_beats_full_repair() {
+        let throughput = run_refined_throughput_bench();
+        assert_eq!(throughput.runs.len(), THROUGHPUT_SHARD_COUNTS.len() + 1);
+        assert!(throughput.operations > 0);
+        let one = throughput.run(1);
+        assert_eq!(
+            (
+                one.total_dirty_clusters,
+                one.total_regions,
+                one.repair_wall_ns_total
+            ),
+            (0, 0, 0),
+            "one shard has no refiner, so zero repair work"
+        );
+        for &shards in &THROUGHPUT_SHARD_COUNTS[1..] {
+            let run = throughput.run(shards);
+            assert!(
+                run.total_dirty_clusters > 0,
+                "{} shards: the workload never dirtied a cluster, so the \
+                 bench no longer exercises incremental repair",
+                shards,
+            );
+            assert!(
+                run.total_regions > 0 && run.total_regions <= run.total_dirty_clusters,
+                "{} shards: region count {} inconsistent with dirty set {}",
+                shards,
+                run.total_regions,
+                run.total_dirty_clusters,
+            );
+        }
+
+        let incremental = throughput.run(GATED_SHARD_COUNT);
+        let full = throughput.full_repair_run();
+        assert_eq!(full.shards, GATED_SHARD_COUNT);
+        assert_eq!(
+            incremental.clusters, full.clusters,
+            "incremental and full repair must land on the identical refined \
+             clustering",
+        );
+        assert!(
+            incremental.total_dirty_clusters < full.total_dirty_clusters,
+            "incremental repair evaluated {} dirty clusters, full repair {}; \
+             the dirty-set restriction no longer restricts anything",
+            incremental.total_dirty_clusters,
+            full.total_dirty_clusters,
+        );
+        assert!(
+            throughput.repair_speedup_vs_full() >= 1.5,
+            "{}: incremental repair speedup over full repair {:.2} < 1.5 \
+             (incremental {:.3}s over {} dirty clusters, full {:.3}s over {})",
+            throughput.name,
+            throughput.repair_speedup_vs_full(),
+            incremental.repair_wall_ns_total as f64 * 1e-9,
+            incremental.total_dirty_clusters,
+            full.repair_wall_ns_total as f64 * 1e-9,
+            full.total_dirty_clusters,
+        );
+
+        let results = run_shard_quality_bench();
+        let json = shard_quality_results_to_json(&results, &throughput);
         assert!(json.contains("\"bench\": \"shard_quality\""));
         assert!(json.contains("post_pairs_missing"));
         assert!(json.contains("seconds_raw"));
+        assert!(json.contains("\"refine_rounds\": ["));
+        assert!(json.contains("dirty_clusters"));
+        assert!(json.contains("\"refined_throughput\": {"));
+        assert!(json.contains("\"repair_speedup_vs_full\": "));
+        assert!(json.contains("\"full_repair\": true"));
+        assert!(json.contains("speedup_vs_one_shard"));
     }
 }

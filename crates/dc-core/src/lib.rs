@@ -48,14 +48,23 @@
 //! 7. **Cross-shard refinement** ([`refine`]).  After the parallel per-shard
 //!    rounds, a deterministic boundary pass recovers the cross-shard
 //!    similarity edges the partition dropped and repairs the merged
-//!    clustering by running the trained merge/split passes globally — making
+//!    clustering by running the trained merge/split passes — making
 //!    multi-shard serving quality-equivalent to the unsharded engine instead
-//!    of silently lossy.
+//!    of silently lossy.  Repair is **incremental**: the refiner maintains
+//!    the global mirror, boundary index, and aggregates across rounds,
+//!    computes each shard pair's cross edges once per pair lifetime, and
+//!    restricts the merge/split fixed point to the dirty closure of the
+//!    round's changes, partitioned into connected repair regions.  For
+//!    objectives whose accept/reject decisions depend on the global score
+//!    (declared via [`dc_objective::DecisionLocality`]), recorded rejection
+//!    validity intervals keep the restricted fixed point decision-identical
+//!    to a full repair.
 
 #![deny(missing_docs)]
 #![deny(rustdoc::broken_intra_doc_links)]
 
 pub mod config;
+pub(crate) mod dirty;
 pub mod durable;
 pub mod dynamic;
 pub mod engine;

@@ -16,6 +16,7 @@
 //! any of the objectives and would be vetoed by verification anyway.
 
 use crate::config::DynamicCStats;
+use crate::dirty::PassScope;
 use crate::models::ModelPair;
 use dc_evolution::{merge_features, merge_features_of_members};
 use dc_objective::{improves, ObjectiveFunction};
@@ -39,11 +40,81 @@ pub(crate) fn merge_pass(
     theta_scale: f64,
     stats: &mut DynamicCStats,
 ) -> bool {
+    merge_pass_impl(
+        graph,
+        clustering,
+        agg,
+        objective,
+        models,
+        theta_scale,
+        stats,
+        None,
+        None,
+    )
+}
+
+/// The candidate-restricted entry point of the merge pass, used by the
+/// incremental cross-shard refiner.  The pass walks the *same* candidate
+/// queue as [`merge_pass`] (flags come from the scope's cache, which holds
+/// exactly the values the full pass would compute), but a dequeued candidate
+/// outside the scope's evaluation set is removed without being evaluated —
+/// replaying the rejection the previous fixed point already proved for it.
+/// Applied merges grow the evaluation set through
+/// [`PassScope::after_merge`], so cascades are chased exactly like the full
+/// pass chases them.  The unsharded serving path never calls this.
+///
+/// `global_score` is the pass's running objective score, threaded in (and
+/// kept current across applied merges) when the objective declares
+/// [`dc_objective::DecisionLocality::GlobalMean`]: clean-skip decisions are
+/// then gated on the scope's recorded score-validity intervals at the skip
+/// site, and every fully rejected candidate records a fresh interval.  Pass
+/// `None` for sum-decomposable objectives, whose rejections hold at any
+/// score.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn merge_pass_scoped(
+    graph: &SimilarityGraph,
+    clustering: &mut Clustering,
+    agg: &mut ClusterAggregates,
+    objective: &dyn ObjectiveFunction,
+    models: &ModelPair,
+    theta_scale: f64,
+    stats: &mut DynamicCStats,
+    scope: &mut PassScope,
+    global_score: Option<&mut f64>,
+) -> bool {
+    merge_pass_impl(
+        graph,
+        clustering,
+        agg,
+        objective,
+        models,
+        theta_scale,
+        stats,
+        Some(scope),
+        global_score,
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn merge_pass_impl(
+    graph: &SimilarityGraph,
+    clustering: &mut Clustering,
+    agg: &mut ClusterAggregates,
+    objective: &dyn ObjectiveFunction,
+    models: &ModelPair,
+    theta_scale: f64,
+    stats: &mut DynamicCStats,
+    mut scope: Option<&mut PassScope>,
+    mut global_score: Option<&mut f64>,
+) -> bool {
     // Line 2 of Algorithm 1: collect the clusters the merge model flags.
     let mut candidates: BTreeSet<ClusterId> = BTreeSet::new();
     for cid in clustering.cluster_ids() {
-        let features = merge_features(agg, cid);
-        if models.predicts_merge(&features, theta_scale) {
+        let flagged = match scope.as_mut() {
+            Some(s) => s.merge_flag(cid, agg, models, theta_scale),
+            None => models.predicts_merge(&merge_features(agg, cid), theta_scale),
+        };
+        if flagged {
             candidates.insert(cid);
         }
     }
@@ -57,6 +128,22 @@ pub(crate) fn merge_pass(
     while let Some(cid) = queue.pop_front() {
         if !candidates.contains(&cid) || !clustering.contains_cluster(cid) {
             continue;
+        }
+        if let Some(s) = scope.as_ref() {
+            let current_score = global_score.as_deref().copied();
+            if !s.in_eval(cid) && s.merge_rejection_holds(cid, current_score) {
+                // Clean candidate: nothing within decision reach changed
+                // since the previous fixed point rejected its merges, and —
+                // for global-mean objectives — the running score is still
+                // inside the rejection's validity interval, so replay that
+                // rejection (the full pass would evaluate and remove it here
+                // too, with the same set evolution).  A clean candidate
+                // whose interval the score has drifted out of falls through
+                // and is evaluated in place, exactly like the full pass
+                // evaluates it at this queue position.
+                candidates.remove(&cid);
+                continue;
+            }
         }
         // Partners: candidate clusters sharing at least one edge with `cid`.
         // When no neighbouring cluster was flagged (the merge model can be
@@ -101,6 +188,7 @@ pub(crate) fn merge_pass(
         ranked.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
 
         let mut applied = false;
+        let mut min_rejected_delta = f64::INFINITY;
         for (partner, _) in ranked {
             // Verification: only apply the merge if the objective improves.
             stats.objective_evaluations += 1;
@@ -110,6 +198,12 @@ pub(crate) fn merge_pass(
                     .merge(cid, partner)
                     .expect("both clusters are live");
                 agg.apply_merge(cid, partner, merged);
+                if let Some(s) = scope.as_mut() {
+                    s.after_merge(cid, partner, merged, agg);
+                }
+                if let Some(score) = global_score.as_deref_mut() {
+                    *score += delta;
+                }
                 candidates.remove(&cid);
                 candidates.remove(&partner);
                 // The merged cluster may merge again; enqueue it so
@@ -122,9 +216,24 @@ pub(crate) fn merge_pass(
                 break;
             } else {
                 stats.merges_rejected += 1;
+                min_rejected_delta = min_rejected_delta.min(delta);
             }
         }
         if !applied {
+            // Every partner was rejected: for a global-mean objective,
+            // record how far the score may drift before the *tightest*
+            // rejection (the smallest delta) could flip, so future rounds
+            // can replay this proof while it provably still holds.
+            if let (Some(s), Some(score)) = (scope.as_mut(), global_score.as_deref().copied()) {
+                if min_rejected_delta.is_finite() {
+                    let floor = objective.merge_rejection_score_floor(
+                        min_rejected_delta,
+                        score,
+                        clustering.cluster_count(),
+                    );
+                    s.record_merge_rejection(cid, floor);
+                }
+            }
             candidates.remove(&cid);
         }
     }

@@ -93,6 +93,14 @@ pub enum ShardConfigError {
         /// The maximum supported count ([`MAX_SHARDS`]` - 1`).
         max_shards: usize,
     },
+    /// The clustering names an object the graph holds no record for, so the
+    /// router has nothing to derive the object's shard from.  The graph and
+    /// clustering handed to a sharded constructor must cover exactly the
+    /// same live objects.
+    ClusteredObjectMissing {
+        /// The clustered object absent from the graph.
+        id: ObjectId,
+    },
 }
 
 impl std::fmt::Display for ShardConfigError {
@@ -111,6 +119,11 @@ impl std::fmt::Display for ShardConfigError {
                 f,
                 "{n_shards} shards exceed the supported maximum of {max_shards} \
                  (the top cluster-id namespace is reserved for refinement repair ids)"
+            ),
+            ShardConfigError::ClusteredObjectMissing { id } => write!(
+                f,
+                "clustered object {id} has no record in the graph \
+                 (the graph and clustering must cover the same live objects)"
             ),
         }
     }
@@ -187,9 +200,12 @@ fn partition_state(
     for (cid, cluster) in clustering.iter() {
         let mut pieces: BTreeMap<usize, Vec<ObjectId>> = BTreeMap::new();
         for oid in cluster.iter() {
+            // User-reachable: `ShardedEngine::new` takes the graph and the
+            // clustering as independent inputs, so a mismatched pair must
+            // surface as a typed error, not a panic.
             let shard = *assignment
                 .get(&oid)
-                .expect("clustered object must be in the graph");
+                .ok_or(ShardConfigError::ClusteredObjectMissing { id: oid })?;
             pieces.entry(shard).or_default().push(oid);
         }
         if pieces.len() == 1 {
@@ -291,6 +307,38 @@ fn parallel_shard_rounds<T: Send, R: Send>(
     BuildCounter::merge_from_threads(worker_builds);
     out.into_iter()
         .map(|r| r.expect("every shard served"))
+        .collect()
+}
+
+/// Map `f` over `items` on a scoped thread pool of at most `max_threads`
+/// workers (contiguous chunks, results in input order).  The refinement
+/// pass uses this to refresh model flags region-parallel; `f` must be a
+/// pure function of its item for the fan-out to stay deterministic.  Small
+/// inputs (or `max_threads <= 1`) run inline with no thread overhead.
+pub(crate) fn parallel_map<T: Sync, R: Send>(
+    items: &[T],
+    max_threads: usize,
+    f: impl Fn(&T) -> R + Sync,
+) -> Vec<R> {
+    let n = items.len();
+    if max_threads <= 1 || n <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let threads = max_threads.min(n);
+    let chunk = n.div_ceil(threads);
+    let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let f = &f;
+        for (item_chunk, out_chunk) in items.chunks(chunk).zip(out.chunks_mut(chunk)) {
+            scope.spawn(move || {
+                for (item, slot) in item_chunk.iter().zip(out_chunk.iter_mut()) {
+                    *slot = Some(f(item));
+                }
+            });
+        }
+    });
+    out.into_iter()
+        .map(|r| r.expect("every item mapped"))
         .collect()
 }
 
@@ -418,7 +466,7 @@ impl ShardedEngine {
             .collect();
         let refiner = (refinement && n > 1).then(|| {
             let engines: Vec<&Engine> = shards.iter().collect();
-            CrossShardRefiner::build(&router, &engines, &partition.assignment)
+            CrossShardRefiner::build(&router, &engines, &partition.assignment, n)
         });
         Ok(ShardedEngine {
             shards,
@@ -455,7 +503,7 @@ impl ShardedEngine {
         );
         let refine = self.refiner.as_mut().map(|refiner| {
             let engines: Vec<&Engine> = self.shards.iter().collect();
-            refiner.apply_round(batch, &routed.op_shards, &engines)
+            refiner.apply_round(batch, &routed.op_shards, &engines, self.max_threads)
         });
         self.rounds_served += 1;
         merge_round_reports(self.rounds_served, reports, refine)
@@ -509,6 +557,19 @@ impl ShardedEngine {
     /// shard.
     pub fn last_refine_report(&self) -> Option<RefineReport> {
         self.refiner.as_ref().map(CrossShardRefiner::last_report)
+    }
+
+    /// Diagnostic mode: make the refinement pass re-run the full global
+    /// fixed point every round instead of restricting repair to the dirty
+    /// regions the round's operations touched.  Both modes produce the same
+    /// refined clustering — full repair just pays the pre-incremental serial
+    /// cost, which equivalence tests and `bench-shard-quality` use as the
+    /// reference the dirty-region path is measured against.  No-op with one
+    /// shard.
+    pub fn set_full_repair(&mut self, full_repair: bool) {
+        if let Some(refiner) = self.refiner.as_mut() {
+            refiner.set_full_repair(full_repair);
+        }
     }
 
     /// The global [`DynamicCStats`]: the field-wise sum of the per-shard
@@ -842,8 +903,8 @@ impl ShardedDurableEngine {
         let snapshotter = Snapshotter::new(&refine_root)?;
         let engines: Vec<&Engine> = shards.iter().map(DurableEngine::engine).collect();
         if !recovered {
-            let refiner = CrossShardRefiner::build(router, &engines, assignment);
-            snapshotter.write(0, &refiner.export_state())?;
+            let refiner = CrossShardRefiner::build(router, &engines, assignment, router.n_shards());
+            snapshotter.write(0, &refiner.snapshot_ref())?;
             let wal = Wal::create(&refine_root, 0)?;
             return Ok(DurableRefine {
                 refiner,
@@ -889,7 +950,12 @@ impl ShardedDurableEngine {
                     )));
                 }
                 let routed = router.route_batch(&record.batch, &mut replay_assignment);
-                refiner.replay_round(&record.batch, &routed.op_shards, &engines);
+                refiner.replay_round(
+                    &record.batch,
+                    &routed.op_shards,
+                    &engines,
+                    router.n_shards(),
+                );
                 replay_round = record.round;
                 *refine_replayed_rounds += 1;
             }
@@ -960,11 +1026,12 @@ impl ShardedDurableEngine {
                 // recovery can replay the same pass deterministically.
                 refine.wal.append_round(round, batch)?;
                 let engines: Vec<&Engine> = self.shards.iter().map(DurableEngine::engine).collect();
-                Some(
-                    refine
-                        .refiner
-                        .apply_round(batch, &routed.op_shards, &engines),
-                )
+                Some(refine.refiner.apply_round(
+                    batch,
+                    &routed.op_shards,
+                    &engines,
+                    self.max_threads,
+                ))
             }
             None => None,
         };
@@ -988,7 +1055,7 @@ impl ShardedDurableEngine {
         if let Some(refine) = &mut self.refine {
             refine
                 .snapshotter
-                .write(round, &refine.refiner.export_state())?;
+                .write(round, &refine.refiner.snapshot_ref())?;
             if refine.wal.start_round() != round {
                 refine.wal = Wal::create(refine.snapshotter.dir(), round)?;
             }
@@ -1294,6 +1361,97 @@ mod tests {
             }
         );
         assert!(err.to_string().contains("reserved"));
+    }
+
+    /// Satellite pin: writing a refine checkpoint must not clone the refined
+    /// clustering (the historical `export_state` path cloned it — O(V) — on
+    /// every checkpoint) nor rebuild aggregates, and the borrowed encoder's
+    /// bytes must equal the owned state's encoding exactly.
+    #[test]
+    fn checkpoint_snapshot_is_clone_free_and_byte_identical() {
+        use dc_types::codec::BinCodec;
+
+        let (graph, clustering, dynamicc) = toy_setup();
+        let router = ShardRouter::new(2, Box::new(ExhaustiveBlocking::new()));
+        let engine = ShardedEngine::new(router, graph, clustering, dynamicc).unwrap();
+        let refiner = engine.refiner.as_ref().expect("two shards refine");
+
+        let owned = refiner.export_state().encode_to_vec();
+        let clones_before = dc_types::clustering_clone_count();
+        let (borrowed, builds) = BuildCounter::scope(|| refiner.snapshot_ref().encode_to_vec());
+        assert_eq!(
+            dc_types::clustering_clone_count() - clones_before,
+            0,
+            "snapshot_ref must not clone the refined clustering"
+        );
+        assert_eq!(builds, 0, "snapshot_ref must not rebuild aggregates");
+        assert_eq!(
+            borrowed, owned,
+            "borrowed and owned snapshot encodings must be byte-identical"
+        );
+    }
+
+    /// Satellite pin: user-reachable degenerate inputs on the serving path —
+    /// an empty batch and operations naming ids no shard owns — serve
+    /// cleanly instead of panicking, and an empty round performs zero repair
+    /// work (empty dirty set).
+    #[test]
+    fn empty_batches_and_unknown_ids_serve_without_repair_work() {
+        let (graph, clustering, dynamicc) = toy_setup();
+        let router = ShardRouter::new(2, Box::new(ExhaustiveBlocking::new()));
+        let mut engine = ShardedEngine::new(router, graph, clustering, dynamicc).unwrap();
+
+        let report = engine.apply_round(&OperationBatch::new());
+        assert_eq!(report.merged.operations, 0);
+        let refine = report.refine.expect("two shards refine");
+        assert_eq!(
+            (
+                refine.dirty_clusters,
+                refine.regions,
+                refine.objective_evaluations
+            ),
+            (0, 0, 0),
+            "an empty round must not repair anything"
+        );
+        assert_eq!((refine.merges_applied, refine.splits_applied), (0, 0));
+
+        // Removing an id no shard has ever seen is a no-op, not a panic.
+        let mut batch = OperationBatch::new();
+        batch.push(Operation::Remove { id: oid(999) });
+        let report = engine.apply_round(&batch);
+        assert_eq!(report.merged.operations, 1);
+        assert_eq!(engine.object_count(), 4);
+        engine.refined_clustering().check_invariants().unwrap();
+    }
+
+    /// Satellite pin: a clustering naming an object the graph does not hold
+    /// used to panic inside `partition_state`; it is a typed error now.
+    #[test]
+    fn clustering_object_missing_from_the_graph_is_a_typed_error() {
+        let (graph, _, dynamicc) = toy_setup();
+        let clustering = Clustering::from_groups([vec![oid(1), oid(2)], vec![oid(77)]]).unwrap();
+        let router = ShardRouter::new(2, Box::new(ExhaustiveBlocking::new()));
+        let err = ShardedEngine::new(router, graph, clustering, dynamicc).unwrap_err();
+        assert_eq!(
+            err,
+            ShardConfigError::ClusteredObjectMissing { id: oid(77) },
+            "got {err:?}"
+        );
+        assert!(err.to_string().contains("no record"));
+    }
+
+    #[test]
+    fn parallel_map_preserves_input_order_at_every_thread_count() {
+        let items: Vec<u64> = (0..23).collect();
+        let expected: Vec<u64> = items.iter().map(|x| x * x).collect();
+        for threads in [1, 2, 3, 8, 64] {
+            assert_eq!(
+                parallel_map(&items, threads, |&x| x * x),
+                expected,
+                "{threads} threads"
+            );
+        }
+        assert!(parallel_map(&Vec::<u64>::new(), 4, |&x: &u64| x).is_empty());
     }
 
     #[test]

@@ -10,6 +10,7 @@
 //! splits shed a small, poorly attached fragment.
 
 use crate::config::DynamicCStats;
+use crate::dirty::PassScope;
 use crate::models::ModelPair;
 use dc_evolution::split_features;
 use dc_objective::{improves, ObjectiveFunction};
@@ -35,6 +36,67 @@ pub(crate) fn split_pass(
     theta_scale: f64,
     stats: &mut DynamicCStats,
 ) -> bool {
+    split_pass_impl(
+        graph,
+        clustering,
+        agg,
+        objective,
+        models,
+        theta_scale,
+        stats,
+        None,
+        None,
+    )
+}
+
+/// The candidate-restricted entry point of the split pass, used by the
+/// incremental cross-shard refiner.  Flags come from the scope's cache
+/// (identical values to what the full pass computes); flagged clusters
+/// outside the evaluation set are skipped without evaluation — their split
+/// rejection from the previous fixed point still stands.  Applied splits
+/// grow the evaluation set through [`PassScope::after_split`].  The
+/// unsharded serving path never calls this.
+///
+/// `global_score` mirrors [`crate::merge::merge_pass_scoped`]: the running
+/// score of a global-mean objective, gating clean skips on the recorded
+/// split-rejection ceilings and kept current across applied splits.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn split_pass_scoped(
+    graph: &SimilarityGraph,
+    clustering: &mut Clustering,
+    agg: &mut ClusterAggregates,
+    objective: &dyn ObjectiveFunction,
+    models: &ModelPair,
+    theta_scale: f64,
+    stats: &mut DynamicCStats,
+    scope: &mut PassScope,
+    global_score: Option<&mut f64>,
+) -> bool {
+    split_pass_impl(
+        graph,
+        clustering,
+        agg,
+        objective,
+        models,
+        theta_scale,
+        stats,
+        Some(scope),
+        global_score,
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn split_pass_impl(
+    graph: &SimilarityGraph,
+    clustering: &mut Clustering,
+    agg: &mut ClusterAggregates,
+    objective: &dyn ObjectiveFunction,
+    models: &ModelPair,
+    theta_scale: f64,
+    stats: &mut DynamicCStats,
+    mut scope: Option<&mut PassScope>,
+    mut global_score: Option<&mut f64>,
+) -> bool {
     // Line 2 of Algorithm 2: clusters the split model flags (singletons can
     // never split, so they are skipped outright).
     let mut candidates: Vec<ClusterId> = Vec::new();
@@ -42,8 +104,11 @@ pub(crate) fn split_pass(
         if clustering.cluster_size(cid) < 2 {
             continue;
         }
-        let features = split_features(agg, cid);
-        if models.predicts_split(&features, theta_scale) {
+        let flagged = match scope.as_mut() {
+            Some(s) => s.split_flag(cid, agg, models, theta_scale),
+            None => models.predicts_split(&split_features(agg, cid), theta_scale),
+        };
+        if flagged {
             candidates.push(cid);
         }
     }
@@ -54,11 +119,25 @@ pub(crate) fn split_pass(
         if !clustering.contains_cluster(cid) || clustering.cluster_size(cid) < 2 {
             continue;
         }
+        if let Some(s) = scope.as_ref() {
+            let current_score = global_score.as_deref().copied();
+            if !s.in_eval(cid) && s.split_rejection_holds(cid, current_score) {
+                // Clean candidate: the previous fixed point already rejected
+                // every split of this cluster, nothing it reads changed, and
+                // (for global-mean objectives) the running score is still
+                // inside the proof's validity interval.  A clean candidate
+                // whose ceiling the score has drifted past falls through and
+                // is evaluated in place, like the full pass would.
+                continue;
+            }
+        }
         // Step 1: rank members by decreasing split weight (most different
         // first) — a per-object edge walk, no aggregate rebuild.
         let ranked = ClusterAggregates::members_by_split_weight(graph, clustering, cid);
         // Steps 2–3: find the first member whose isolation improves the
         // objective and split it out.
+        let mut applied = false;
+        let mut min_rejected_delta = f64::INFINITY;
         for (oid, _weight) in ranked {
             let part: BTreeSet<ObjectId> = [oid].into_iter().collect();
             stats.objective_evaluations += 1;
@@ -68,11 +147,34 @@ pub(crate) fn split_pass(
                     .split(cid, &part)
                     .expect("candidate member of a live cluster");
                 agg.apply_split(graph, clustering, cid, part_id, rest_id);
+                if let Some(s) = scope.as_mut() {
+                    s.after_split(cid, part_id, rest_id, agg);
+                }
+                if let Some(score) = global_score.as_deref_mut() {
+                    *score += delta;
+                }
                 stats.splits_applied += 1;
                 changed = true;
+                applied = true;
                 break;
             } else {
                 stats.splits_rejected += 1;
+                min_rejected_delta = min_rejected_delta.min(delta);
+            }
+        }
+        if !applied {
+            // Every member's isolation was rejected: for a global-mean
+            // objective, record the score ceiling under which the tightest
+            // of those rejections provably still holds.
+            if let (Some(s), Some(score)) = (scope.as_mut(), global_score.as_deref().copied()) {
+                if min_rejected_delta.is_finite() {
+                    let ceil = objective.split_rejection_score_ceil(
+                        min_rejected_delta,
+                        score,
+                        clustering.cluster_count(),
+                    );
+                    s.record_split_rejection(cid, ceil);
+                }
             }
         }
     }

@@ -257,6 +257,112 @@ fn one_shard_torn_tail_rolls_the_whole_round_back() {
     );
 }
 
+/// Satellite regression for the refine-restore panic: a round sequence that
+/// **adds** an object, **checkpoints** (so the refine snapshot holds it),
+/// **deletes** it, and **re-adds** it — killed and reopened around every
+/// round — must recover through `CrossShardRefiner::import_state` without
+/// panicking (the historical code `expect`ed every restored mirror object to
+/// be live) and stay bit-identical to a never-restarted run.
+#[test]
+fn add_delete_readd_across_checkpoints_recovers_bit_identically() {
+    let workload = small_febrl_workload();
+    let objective: Arc<dyn ObjectiveFunction> = Arc::new(DbIndexObjective);
+    let (_, _, serve, _) = trained_setup(&workload, objective.clone());
+
+    // The synthetic tail: add a brand-new object, remove it, re-add it —
+    // with a checkpoint after every round, so each shape crosses a
+    // snapshot/replay boundary.
+    let novel = dc_types::ObjectId::new(1_000_000);
+    let record = workload
+        .initial
+        .iter()
+        .next()
+        .expect("non-empty fixture")
+        .1
+        .clone();
+    let mut rounds: Vec<dc_types::OperationBatch> =
+        serve.iter().take(1).map(|s| s.batch.clone()).collect();
+    for op in [
+        dc_types::Operation::Add {
+            id: novel,
+            record: record.clone(),
+        },
+        dc_types::Operation::Remove { id: novel },
+        dc_types::Operation::Add {
+            id: novel,
+            record: record.clone(),
+        },
+    ] {
+        let mut batch = dc_types::OperationBatch::new();
+        batch.push(op);
+        rounds.push(batch);
+    }
+
+    // Never-restarted reference over the same rounds.
+    let (graph, previous, _, dynamicc) = trained_setup(&workload, objective.clone());
+    let router = ShardRouter::for_config(N_SHARDS, graph.config());
+    let mut reference =
+        ShardedEngine::new(router, graph, previous, dynamicc).expect("valid shard config");
+    let mut expected_reports = Vec::new();
+    let mut expected_refined = Vec::new();
+    for batch in &rounds {
+        expected_reports.push(reference.apply_round(batch));
+        expected_refined.push(reference.refined_clustering());
+    }
+
+    let options = DurabilityOptions {
+        checkpoint_every_rounds: 1,
+    };
+    let tmp = TempDir::new("add-delete-readd");
+    let dir = tmp.path();
+    {
+        let (graph, previous, _, dynamicc) = trained_setup(&workload, objective.clone());
+        let router = ShardRouter::for_config(N_SHARDS, graph.config());
+        let config = graph.config().clone();
+        ShardedDurableEngine::open(dir, router, config, dynamicc, options, move || {
+            (graph, previous)
+        })
+        .unwrap();
+    }
+    for (i, batch) in rounds.iter().enumerate() {
+        let (graph, _, _, dynamicc) = trained_setup(&workload, objective.clone());
+        let router = ShardRouter::for_config(N_SHARDS, graph.config());
+        let config = graph.config().clone();
+        let (mut engine, report) =
+            ShardedDurableEngine::open(dir, router, config, dynamicc, options, || {
+                unreachable!("recovery must not bootstrap")
+            })
+            .unwrap();
+        assert!(report.recovered, "round {i}: open must recover");
+        let round_report = engine.apply_round(batch).unwrap();
+        assert_eq!(
+            round_report.refine, expected_reports[i].refine,
+            "round {i}: refine report diverged"
+        );
+        assert_clusterings_identical(
+            &engine.refined_clustering(),
+            &expected_refined[i],
+            &format!("round {i}: refined"),
+        );
+        // Killed here.
+    }
+    let (graph, _, _, dynamicc) = trained_setup(&workload, objective);
+    let router = ShardRouter::for_config(N_SHARDS, graph.config());
+    let config = graph.config().clone();
+    let (engine, report) =
+        ShardedDurableEngine::open(dir, router, config, dynamicc, options, || {
+            unreachable!("recovery must not bootstrap")
+        })
+        .unwrap();
+    assert!(report.recovered);
+    assert_eq!(engine.shard_of(novel), reference.shard_of(novel));
+    assert_clusterings_identical(
+        &engine.refined_clustering(),
+        &reference.refined_clustering(),
+        "final refined",
+    );
+}
+
 #[test]
 fn reopening_with_a_different_shard_count_is_rejected() {
     let workload = small_febrl_workload();

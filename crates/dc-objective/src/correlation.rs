@@ -14,7 +14,7 @@
 //! * splitting `P` out of `C` (leaving `R = C ∖ P`) changes the `|P|·|R|`
 //!   pairs from intra to inter, so `Δ = 2·S_inter(P, R) − |P|·|R|`.
 
-use crate::traits::{ObjectiveFunction, ObjectiveKind};
+use crate::traits::{DecisionLocality, ObjectiveFunction, ObjectiveKind};
 use dc_similarity::{ClusterAggregates, SimilarityGraph};
 use dc_types::{ClusterId, Clustering, ObjectId};
 use std::collections::BTreeSet;
@@ -72,6 +72,13 @@ impl ObjectiveFunction for CorrelationObjective {
 
     fn kind(&self) -> ObjectiveKind {
         ObjectiveKind::Correlation
+    }
+
+    // The disagreement cost is a sum over object pairs: every delta is a
+    // pure function of the changed clusters' edges, so a proven rejection
+    // holds at any global score until the neighbourhood changes.
+    fn decision_locality(&self) -> DecisionLocality {
+        DecisionLocality::Local
     }
 
     fn evaluate(&self, graph: &SimilarityGraph, clustering: &Clustering) -> f64 {

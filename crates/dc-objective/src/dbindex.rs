@@ -31,7 +31,7 @@
 //! the original paper is not published; any DB-index-like objective without
 //! locality/monotonicity exercises the same DynamicC code paths).
 
-use crate::traits::{ObjectiveFunction, ObjectiveKind};
+use crate::traits::{DecisionLocality, ObjectiveFunction, ObjectiveKind};
 use dc_similarity::{ClusterAggregates, SimilarityGraph};
 use dc_types::{ClusterId, Clustering, ObjectId};
 use std::collections::BTreeSet;
@@ -94,6 +94,37 @@ impl ObjectiveFunction for DbIndexObjective {
 
     fn kind(&self) -> ObjectiveKind {
         ObjectiveKind::DbIndex
+    }
+
+    // The index is a *mean* over clusters, `DB = S / k` with `S` the badness
+    // sum: a candidate change's delta couples to the global score through
+    // the denominator even when its local badness contribution is frozen.
+    // Write the change's exact badness-sum contribution as Δ (the change to
+    // `S` from the affected clusters and their neighbours — a pure function
+    // of the changed neighbourhood).  Then for a merge (k → k−1):
+    //
+    //   δ = (S + Δ)/(k−1) − S/k  ⇒  Δ = δ·(k−1) − DB,
+    //
+    // and at any later state with score DB′ the same merge's delta is
+    // `(DB′ + Δ)/(k′−1)`: the rejection `δ′ ≥ −ε` is guaranteed while
+    // `DB′ ≥ −Δ = DB − δ·(k−1)` — the floor reported below.  For a split
+    // (k → k+1) the algebra mirrors: `Δ = δ·(k+1) + DB`, the later delta is
+    // `(Δ − DB′)/(k′+1)`, and the rejection holds while
+    // `DB′ ≤ Δ = DB + δ·(k+1)` — the ceiling.  Outside those intervals a
+    // drifted mean really can flip the decision (a merge that looked bad at
+    // a low mean improves it once the mean is high, and vice versa for
+    // splits), which is exactly what incremental repair must re-evaluate.
+
+    fn decision_locality(&self) -> DecisionLocality {
+        DecisionLocality::GlobalMean
+    }
+
+    fn merge_rejection_score_floor(&self, delta: f64, score: f64, clusters: usize) -> f64 {
+        score - delta * (clusters as f64 - 1.0)
+    }
+
+    fn split_rejection_score_ceil(&self, delta: f64, score: f64, clusters: usize) -> f64 {
+        score + delta * (clusters as f64 + 1.0)
     }
 
     fn evaluate(&self, graph: &SimilarityGraph, clustering: &Clustering) -> f64 {
@@ -300,5 +331,93 @@ mod tests {
     fn kind_and_name() {
         assert_eq!(DbIndexObjective.kind(), ObjectiveKind::DbIndex);
         assert_eq!(DbIndexObjective.name(), "db-index");
+        assert_eq!(
+            DbIndexObjective.decision_locality(),
+            crate::traits::DecisionLocality::GlobalMean
+        );
+    }
+
+    /// The same candidate pair (objects 1, 2 joined by a 0.45 edge, no other
+    /// neighbours) embedded in two graphs that differ only in far-away
+    /// clusters: incoherent remote pairs push the mean up, cohesive ones
+    /// pull it down.  The pair's local badness contribution is identical in
+    /// both, so the merge/split decisions flip purely on the global mean —
+    /// and the flip point must be the floor/ceiling the objective reports.
+    fn pair_with_remote_mean(remote_weight: f64) -> (SimilarityGraph, Clustering) {
+        let mut edges = vec![(1, 2, 0.45)];
+        for i in 0..8u64 {
+            edges.push((3 + 2 * i, 4 + 2 * i, remote_weight));
+        }
+        let graph = graph_from_edges(18, &edges);
+        let mut groups = vec![vec![oid(1)], vec![oid(2)]];
+        for i in 0..8u64 {
+            groups.push(vec![oid(3 + 2 * i), oid(4 + 2 * i)]);
+        }
+        (graph, Clustering::from_groups(groups).unwrap())
+    }
+
+    #[test]
+    fn merge_rejection_floor_marks_where_a_drifted_mean_flips_the_decision() {
+        let obj = DbIndexObjective;
+        // High mean (remote pairs are incoherent): the merge is rejected.
+        let (g_high, c_high) = pair_with_remote_mean(0.55);
+        let a = c_high.cluster_of(oid(1)).unwrap();
+        let b = c_high.cluster_of(oid(2)).unwrap();
+        let score_high = obj.evaluate(&g_high, &c_high);
+        let delta_high = obj.merge_delta(&g_high, &c_high, a, b);
+        assert!(!crate::improves(delta_high), "rejected at the high mean");
+        let floor = obj.merge_rejection_score_floor(delta_high, score_high, c_high.cluster_count());
+        assert!(
+            score_high >= floor,
+            "the proof state is inside its interval"
+        );
+
+        // Low mean (remote pairs are cohesive): the identical local merge
+        // now improves — and the low score is indeed below the floor.
+        let (g_low, c_low) = pair_with_remote_mean(0.95);
+        let a = c_low.cluster_of(oid(1)).unwrap();
+        let b = c_low.cluster_of(oid(2)).unwrap();
+        let score_low = obj.evaluate(&g_low, &c_low);
+        let delta_low = obj.merge_delta(&g_low, &c_low, a, b);
+        assert!(score_low < floor, "the flipped state is outside the floor");
+        assert!(crate::improves(delta_low), "the drifted mean flips it");
+    }
+
+    #[test]
+    fn split_rejection_ceiling_marks_where_a_drifted_mean_flips_the_decision() {
+        let obj = DbIndexObjective;
+        let part: BTreeSet<ObjectId> = [oid(1)].into_iter().collect();
+        let pair_cluster = |weight: f64| {
+            let mut edges = vec![(1, 2, 0.45)];
+            for i in 0..8u64 {
+                edges.push((3 + 2 * i, 4 + 2 * i, weight));
+            }
+            let graph = graph_from_edges(18, &edges);
+            let mut groups = vec![vec![oid(1), oid(2)]];
+            for i in 0..8u64 {
+                groups.push(vec![oid(3 + 2 * i), oid(4 + 2 * i)]);
+            }
+            (graph, Clustering::from_groups(groups).unwrap())
+        };
+
+        // Low mean: keeping the weak pair together is still the best option.
+        let (g_low, c_low) = pair_cluster(0.95);
+        let cid = c_low.cluster_of(oid(1)).unwrap();
+        let score_low = obj.evaluate(&g_low, &c_low);
+        let delta_low = obj.split_delta(&g_low, &c_low, cid, &part);
+        assert!(!crate::improves(delta_low), "rejected at the low mean");
+        let ceil = obj.split_rejection_score_ceil(delta_low, score_low, c_low.cluster_count());
+        assert!(score_low <= ceil, "the proof state is inside its interval");
+
+        // High mean: the identical local split now improves the mean.
+        let (g_high, c_high) = pair_cluster(0.55);
+        let cid = c_high.cluster_of(oid(1)).unwrap();
+        let score_high = obj.evaluate(&g_high, &c_high);
+        let delta_high = obj.split_delta(&g_high, &c_high, cid, &part);
+        assert!(
+            score_high > ceil,
+            "the flipped state is outside the ceiling"
+        );
+        assert!(crate::improves(delta_high), "the drifted mean flips it");
     }
 }

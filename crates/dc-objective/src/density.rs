@@ -22,7 +22,7 @@
 //! it, and merging clusters with no shared edges changes nothing (and is
 //! therefore rejected by the strict-improvement rule).
 
-use crate::traits::{ObjectiveFunction, ObjectiveKind};
+use crate::traits::{DecisionLocality, ObjectiveFunction, ObjectiveKind};
 use dc_similarity::SimilarityGraph;
 use dc_types::{Clustering, ObjectId};
 
@@ -64,6 +64,14 @@ impl ObjectiveFunction for DensityObjective {
 
     fn kind(&self) -> ObjectiveKind {
         ObjectiveKind::Density
+    }
+
+    // The density-consistency cost is a sum of per-edge and per-object
+    // penalties (core-point status depends on the graph, not the
+    // clustering), so deltas are purely local and proven rejections hold at
+    // any global score.
+    fn decision_locality(&self) -> DecisionLocality {
+        DecisionLocality::Local
     }
 
     fn evaluate(&self, graph: &SimilarityGraph, clustering: &Clustering) -> f64 {

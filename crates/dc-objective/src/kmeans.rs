@@ -15,7 +15,7 @@
 //! * splitting `P` out of `C` (rest `R`) removes
 //!   `|P|·|R| / (|P| + |R|) · ‖μ_P − μ_R‖²`.
 
-use crate::traits::{ObjectiveFunction, ObjectiveKind};
+use crate::traits::{DecisionLocality, ObjectiveFunction, ObjectiveKind};
 use dc_similarity::SimilarityGraph;
 use dc_types::{ClusterId, Clustering, ObjectId};
 use std::collections::BTreeSet;
@@ -99,6 +99,13 @@ impl ObjectiveFunction for KMeansObjective {
 
     fn kind(&self) -> ObjectiveKind {
         ObjectiveKind::KMeans
+    }
+
+    // WCSS is a sum of per-cluster scatter terms: deltas are purely local
+    // (the Ward identity below touches only the two clusters involved), so
+    // proven rejections are valid at any global score.
+    fn decision_locality(&self) -> DecisionLocality {
+        DecisionLocality::Local
     }
 
     fn evaluate(&self, graph: &SimilarityGraph, clustering: &Clustering) -> f64 {

@@ -47,5 +47,6 @@ pub use dbindex::DbIndexObjective;
 pub use density::DensityObjective;
 pub use kmeans::KMeansObjective;
 pub use traits::{
-    improves, ObjectiveFunction, ObjectiveKind, SlowPathObjective, IMPROVEMENT_EPSILON,
+    improves, DecisionLocality, ObjectiveFunction, ObjectiveKind, SlowPathObjective,
+    IMPROVEMENT_EPSILON,
 };

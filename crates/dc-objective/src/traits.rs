@@ -43,6 +43,47 @@ impl std::fmt::Display for ObjectiveKind {
     }
 }
 
+/// How an objective's accept/reject *decisions* depend on state outside the
+/// changed neighbourhood.  Incremental repair (the sharded refiner's
+/// dirty-region pass) skips re-evaluating clusters whose neighbourhood did
+/// not change; whether that skip is sound depends on this structure:
+///
+/// * a **sum** objective's delta for a change is a pure function of the
+///   changed neighbourhood — a rejection proven once holds until the
+///   neighbourhood changes;
+/// * a **mean-over-clusters** objective divides a sum by the cluster count,
+///   so a change's delta moves with the *global* score even when its local
+///   contribution is frozen: a rejection proven at one score can flip when
+///   the score drifts far enough, and stays provably valid only within a
+///   score interval (see [`ObjectiveFunction::merge_rejection_score_floor`]);
+/// * an objective declaring nothing must be treated as having no exploitable
+///   structure at all.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DecisionLocality {
+    /// The objective is a sum of per-cluster (or per-edge) terms: every
+    /// delta is purely local, so a proven rejection holds at any global
+    /// score.  Correlation, k-means, and the density cost are all sums.
+    Local,
+    /// The objective is a mean of per-cluster terms (`sum / cluster_count`):
+    /// deltas couple to the global score through the denominator.  A proven
+    /// rejection is valid exactly while the current score stays inside the
+    /// interval the `*_rejection_score_*` hooks report.
+    GlobalMean,
+    /// No structure declared (the default): consumers must re-evaluate
+    /// everything every time — incremental repair falls back to a full pass.
+    Opaque,
+}
+
+impl std::fmt::Display for DecisionLocality {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecisionLocality::Local => write!(f, "local"),
+            DecisionLocality::GlobalMean => write!(f, "global-mean"),
+            DecisionLocality::Opaque => write!(f, "opaque"),
+        }
+    }
+}
+
 /// A clustering cost function: lower is better.
 ///
 /// The default implementations of the delta methods simulate the change on a
@@ -56,6 +97,43 @@ pub trait ObjectiveFunction: Send + Sync {
 
     /// Which family the objective belongs to.
     fn kind(&self) -> ObjectiveKind;
+
+    /// How this objective's accept/reject decisions depend on global state —
+    /// see [`DecisionLocality`].  The default is
+    /// [`DecisionLocality::Opaque`], which is always sound: consumers that
+    /// cache decisions simply cache nothing.  Objectives should declare the
+    /// strongest locality they can prove.
+    fn decision_locality(&self) -> DecisionLocality {
+        DecisionLocality::Opaque
+    }
+
+    /// For a [`DecisionLocality::GlobalMean`] objective: the score floor
+    /// below which a merge rejection proven at `(delta, score, clusters)`
+    /// stops being valid.  The rejection — "no merge of this cluster
+    /// improves" — remains guaranteed while the current global score stays
+    /// **at or above** the returned floor and the cluster's decision
+    /// neighbourhood is unchanged; once the score falls below it, the
+    /// decision must be re-evaluated.  `delta` is the *smallest* rejected
+    /// merge delta, `score` and `clusters` describe the state the rejection
+    /// was proven at.  The default (negative infinity) means "valid at any
+    /// score", which is correct for [`DecisionLocality::Local`] objectives
+    /// and never consulted for opaque ones.
+    fn merge_rejection_score_floor(&self, delta: f64, score: f64, clusters: usize) -> f64 {
+        let _ = (delta, score, clusters);
+        f64::NEG_INFINITY
+    }
+
+    /// For a [`DecisionLocality::GlobalMean`] objective: the score ceiling
+    /// above which a split rejection proven at `(delta, score, clusters)`
+    /// stops being valid — the mirror image of
+    /// [`ObjectiveFunction::merge_rejection_score_floor`].  The rejection
+    /// remains guaranteed while the current score stays **at or below** the
+    /// returned ceiling.  The default (positive infinity) means "valid at
+    /// any score".
+    fn split_rejection_score_ceil(&self, delta: f64, score: f64, clusters: usize) -> f64 {
+        let _ = (delta, score, clusters);
+        f64::INFINITY
+    }
 
     /// Full cost of a clustering (lower is better).
     fn evaluate(&self, graph: &SimilarityGraph, clustering: &Clustering) -> f64;
@@ -212,6 +290,24 @@ impl ObjectiveFunction for SlowPathObjective {
         self.inner.kind()
     }
 
+    // Decision structure is a property of the objective's mathematics, not
+    // of the fast/slow evaluation path, so the wrapper forwards it: the
+    // slow-path equivalence tests must make the same skip/re-evaluate
+    // decisions as the wrapped objective.
+    fn decision_locality(&self) -> DecisionLocality {
+        self.inner.decision_locality()
+    }
+
+    fn merge_rejection_score_floor(&self, delta: f64, score: f64, clusters: usize) -> f64 {
+        self.inner
+            .merge_rejection_score_floor(delta, score, clusters)
+    }
+
+    fn split_rejection_score_ceil(&self, delta: f64, score: f64, clusters: usize) -> f64 {
+        self.inner
+            .split_rejection_score_ceil(delta, score, clusters)
+    }
+
     fn evaluate(&self, graph: &SimilarityGraph, clustering: &Clustering) -> f64 {
         self.inner.evaluate(graph, clustering)
     }
@@ -266,5 +362,52 @@ mod tests {
         assert_eq!(ObjectiveKind::KMeans.to_string(), "k-means");
         assert_eq!(ObjectiveKind::DbIndex.to_string(), "db-index");
         assert_eq!(ObjectiveKind::Density.to_string(), "density");
+    }
+
+    #[test]
+    fn decision_locality_display() {
+        assert_eq!(DecisionLocality::Local.to_string(), "local");
+        assert_eq!(DecisionLocality::GlobalMean.to_string(), "global-mean");
+        assert_eq!(DecisionLocality::Opaque.to_string(), "opaque");
+    }
+
+    /// An objective that declares nothing must be opaque with always-valid
+    /// intervals (they are never consulted for opaque objectives, but the
+    /// defaults must still be the non-committal ones).
+    #[test]
+    fn default_locality_is_opaque_with_unbounded_intervals() {
+        struct Bare;
+        impl ObjectiveFunction for Bare {
+            fn name(&self) -> &'static str {
+                "bare"
+            }
+            fn kind(&self) -> ObjectiveKind {
+                ObjectiveKind::Correlation
+            }
+            fn evaluate(&self, _: &SimilarityGraph, _: &Clustering) -> f64 {
+                0.0
+            }
+        }
+        assert_eq!(Bare.decision_locality(), DecisionLocality::Opaque);
+        assert_eq!(
+            Bare.merge_rejection_score_floor(0.1, 0.5, 10),
+            f64::NEG_INFINITY
+        );
+        assert_eq!(Bare.split_rejection_score_ceil(0.1, 0.5, 10), f64::INFINITY);
+    }
+
+    #[test]
+    fn slow_path_forwards_decision_structure() {
+        let inner = Arc::new(crate::DbIndexObjective);
+        let slow = SlowPathObjective::new(inner.clone());
+        assert_eq!(slow.decision_locality(), inner.decision_locality());
+        assert_eq!(
+            slow.merge_rejection_score_floor(0.01, 0.2, 50),
+            inner.merge_rejection_score_floor(0.01, 0.2, 50)
+        );
+        assert_eq!(
+            slow.split_rejection_score_ceil(0.01, 0.2, 50),
+            inner.split_rejection_score_ceil(0.01, 0.2, 50)
+        );
     }
 }

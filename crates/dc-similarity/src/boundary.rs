@@ -76,6 +76,13 @@ impl BoundaryIndex {
         self.records.iter().map(|(&id, r)| (id, r.shard)).collect()
     }
 
+    /// Iterate over the tracked `(object, shard)` assignments in id order —
+    /// the borrowed form of [`BoundaryIndex::shard_map`], for encoders that
+    /// only need one ordered walk and no owned map.
+    pub fn assignments(&self) -> impl Iterator<Item = (ObjectId, usize)> + '_ {
+        self.records.iter().map(|(&id, r)| (id, r.shard))
+    }
+
     /// Index (or re-index) a record under its owning shard.  Re-inserting an
     /// id replaces its previous entry, which is how updates are handled.
     pub fn insert(&mut self, id: ObjectId, shard: usize, record: &Record) {

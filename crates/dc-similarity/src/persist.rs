@@ -101,6 +101,27 @@ impl SimilarityGraph {
         }
     }
 
+    /// Encode the graph's pure data directly into `w`, producing bytes
+    /// identical to `self.export_state().encode(w)` — same wire format, same
+    /// orders — without materializing a [`GraphState`] (and therefore without
+    /// cloning a single [`Record`]).  Checkpoint paths that encode the state
+    /// and immediately discard it use this to keep snapshot cost at
+    /// O(serialized bytes) instead of O(bytes + record clones).
+    pub fn encode_state_into(&self, w: &mut ByteWriter) {
+        w.put_usize(self.object_count());
+        for id in self.object_ids() {
+            id.encode(w);
+            self.record(id).expect("live object").encode(w);
+        }
+        w.put_usize(self.edge_count());
+        for (a, b, sim) in self.edges() {
+            a.encode(w);
+            b.encode(w);
+            w.put_f64(sim);
+        }
+        w.put_u64(self.comparisons());
+    }
+
     /// Reconstruct a graph from an exported state and a configuration
     /// equivalent to the one it was exported under.
     ///
@@ -238,6 +259,14 @@ mod tests {
         let state = sample_graph().export_state();
         let bytes = state.encode_to_vec();
         assert_eq!(GraphState::decode_exact(&bytes).unwrap(), state);
+    }
+
+    #[test]
+    fn borrowed_graph_encode_matches_the_exported_state_bytes() {
+        let graph = sample_graph();
+        let mut w = ByteWriter::new();
+        graph.encode_state_into(&mut w);
+        assert_eq!(w.into_bytes(), graph.export_state().encode_to_vec());
     }
 
     #[test]

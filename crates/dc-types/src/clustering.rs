@@ -20,7 +20,25 @@
 use crate::id::IdGenerator;
 use crate::{ClusterId, ObjectId, Result, TypeError};
 use serde::{Deserialize, Serialize};
+use std::cell::Cell;
 use std::collections::{BTreeMap, BTreeSet};
+
+thread_local! {
+    static CLONES: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Number of full [`Clustering`] clones performed by the current thread since
+/// it started.  A clustering clone is O(objects) — cheap in absolute terms
+/// but a smell on hot paths that are supposed to *maintain* state rather
+/// than copy it (checkpoint encoding, serving rounds).  Tests bracket such
+/// paths with this counter to pin them at zero, the same way
+/// `dc_similarity::full_build_count` pins full aggregate builds.
+///
+/// The counter is thread-local, so assertions stay exact under parallel test
+/// execution; clones performed on other threads are invisible to it.
+pub fn clustering_clone_count() -> u64 {
+    CLONES.with(|c| c.get())
+}
 
 /// A single cluster: a non-empty set of object ids.
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -69,11 +87,22 @@ impl Cluster {
 }
 
 /// A partition of objects into disjoint non-empty clusters.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Default, Serialize, Deserialize)]
 pub struct Clustering {
     clusters: BTreeMap<ClusterId, Cluster>,
     membership: BTreeMap<ObjectId, ClusterId>,
     ids: IdGenerator,
+}
+
+impl Clone for Clustering {
+    fn clone(&self) -> Self {
+        CLONES.with(|c| c.set(c.get() + 1));
+        Clustering {
+            clusters: self.clusters.clone(),
+            membership: self.membership.clone(),
+            ids: self.ids.clone(),
+        }
+    }
 }
 
 impl Clustering {

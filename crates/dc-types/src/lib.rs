@@ -39,7 +39,7 @@ pub mod operation;
 pub mod record;
 pub mod snapshot;
 
-pub use clustering::{Cluster, Clustering, ClusteringDelta};
+pub use clustering::{clustering_clone_count, Cluster, Clustering, ClusteringDelta};
 pub use codec::{crc32, BinCodec, ByteReader, ByteWriter, CodecError};
 pub use dataset::Dataset;
 pub use error::TypeError;
