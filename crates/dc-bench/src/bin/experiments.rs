@@ -30,11 +30,19 @@
 //!                  sharded clustering vs the unsharded engine, before and
 //!                  after cross-shard refinement, per shard count in
 //!                  {1,2,4,8}; --out <path> overrides the output file)
+//!   telemetry-smoke  serve the febrl fixture through the full durable
+//!                  sharded stack with telemetry on and emit the example
+//!                  metrics dump TELEMETRY_SMOKE.json (--out <path>
+//!                  overrides the output file)
 //!   all      everything above except the bench-* subcommands
 //! ```
 //!
 //! Default scales are laptop-sized; `--scale` multiplies every dataset size
 //! and `--snapshots` overrides the number of rounds (see EXPERIMENTS.md).
+//!
+//! `--telemetry <path>` works on every subcommand: it turns recording on
+//! for the run and writes the final registry snapshot (the same stable JSON
+//! layout as `TELEMETRY_SMOKE.json`) to `<path>` on exit.
 
 use dc_bench::{DatasetFamily, MethodKind, Scenario, ScenarioConfig};
 use dc_datagen::{DynamicWorkload, WorkloadConfig};
@@ -47,10 +55,11 @@ struct Options {
     snapshots: Option<usize>,
 }
 
-fn parse_args() -> (String, Options, Option<String>) {
+fn parse_args() -> (String, Options, Option<String>, Option<String>) {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut command = "all".to_string();
     let mut out = None;
+    let mut telemetry = None;
     let mut options = Options {
         scale: 1.0,
         snapshots: None,
@@ -70,12 +79,40 @@ fn parse_args() -> (String, Options, Option<String>) {
                 out = args.get(i + 1).cloned();
                 i += 1;
             }
+            "--telemetry" => {
+                telemetry = args.get(i + 1).cloned();
+                i += 1;
+            }
             other if !other.starts_with("--") => command = other.to_string(),
             _ => {}
         }
         i += 1;
     }
-    (command, options, out)
+    (command, options, out, telemetry)
+}
+
+// ---------------------------------------------------------------------------
+// TELEMETRY_SMOKE.json
+// ---------------------------------------------------------------------------
+fn telemetry_smoke(out: Option<String>) {
+    header("TELEMETRY: smoke run (train -> sharded durable serve -> crash -> recover)");
+    let result = dc_bench::run_telemetry_smoke();
+    println!(
+        "served {} rounds / {} operations through {} shards; phase coverage {:.1}%",
+        result.rounds,
+        result.operations,
+        dc_bench::telemetry::SMOKE_SHARDS,
+        result.phase_coverage * 100.0,
+    );
+    println!(
+        "captured {} counters, {} gauges, {} histograms",
+        result.snapshot.counters.len(),
+        result.snapshot.gauges.len(),
+        result.snapshot.histograms.len(),
+    );
+    let path = out.unwrap_or_else(|| "TELEMETRY_SMOKE.json".to_string());
+    std::fs::write(&path, result.to_json()).expect("write telemetry smoke output");
+    println!("wrote {path}");
 }
 
 // ---------------------------------------------------------------------------
@@ -665,12 +702,16 @@ fn summary(options: Options) {
 }
 
 fn main() {
-    let (command, options, out) = parse_args();
+    let (command, options, out, telemetry) = parse_args();
+    if telemetry.is_some() {
+        dc_telemetry::TelemetryConfig::enabled().apply();
+    }
     match command.as_str() {
         "bench-serving" => bench_serving(out),
         "bench-durability" => bench_durability(out),
         "bench-sharding" => bench_sharding(out),
         "bench-shard-quality" => bench_shard_quality(out),
+        "telemetry-smoke" => telemetry_smoke(out),
         "fig3" => fig3(options),
         "fig5a" => fig5a(options),
         "fig5b" => fig5_density(
@@ -714,5 +755,10 @@ fn main() {
             eprintln!("unknown experiment '{other}'; see the module docs for the list");
             std::process::exit(2);
         }
+    }
+    if let Some(path) = telemetry {
+        let json = dc_telemetry::registry().snapshot().to_json();
+        std::fs::write(&path, json).expect("write telemetry output");
+        println!("wrote telemetry snapshot to {path}");
     }
 }

@@ -66,7 +66,6 @@ use dc_similarity::{GraphConfig, SimilarityGraph};
 use dc_types::Clustering;
 use std::path::PathBuf;
 use std::sync::Arc;
-use std::time::Instant;
 
 /// Measured durability numbers for one fixture scenario.
 #[derive(Debug, Clone)]
@@ -195,9 +194,9 @@ fn scenario(
             // Checkpoint after the second-to-last round, so the engine dies
             // with exactly one logged-but-uncheckpointed round behind it.
             wal_bytes += durable.wal_bytes(); // segment the rotation retires
-            let started = Instant::now();
+            let span = dc_telemetry::registry().span("bench.durability.checkpoint");
             durable.checkpoint().expect("checkpoint");
-            checkpoint_seconds = started.elapsed().as_secs_f64();
+            checkpoint_seconds = span.finish_ns() as f64 / 1e9;
         }
     }
     wal_bytes += durable.wal_bytes();
@@ -218,7 +217,7 @@ fn scenario(
     std::fs::create_dir_all(&append_dir).expect("create append dir");
     let wal_append_seconds = {
         let mut wal = dc_storage::Wal::create(&append_dir, 0).expect("create log");
-        let started = Instant::now();
+        let span = dc_telemetry::registry().span("bench.durability.wal_append_loop");
         for (i, snapshot) in serve.iter().enumerate() {
             wal.append(&dc_storage::WalRecord {
                 round: i as u64 + 1,
@@ -226,7 +225,7 @@ fn scenario(
             })
             .expect("append");
         }
-        started.elapsed().as_secs_f64()
+        span.finish_ns() as f64 / 1e9
     };
     let _ = std::fs::remove_dir_all(&append_dir);
 
@@ -234,17 +233,17 @@ fn scenario(
     // reconstruction is timed separately — a real restart pays it too, but
     // so does the full-replay alternative, so it belongs to neither ratio's
     // numerator exclusively.
-    let setup_started = Instant::now();
+    let setup_span = dc_telemetry::registry().span("bench.durability.trained_setup");
     let (graph, _, dynamicc) =
         trained_setup(workload, graph_config, objective.clone(), train_rounds);
-    let setup_seconds = setup_started.elapsed().as_secs_f64();
+    let setup_seconds = setup_span.finish_ns() as f64 / 1e9;
     let config = graph.config().clone();
-    let started = Instant::now();
+    let span = dc_telemetry::registry().span("bench.durability.recovery");
     let (recovered, report) = DurableEngine::open(&dir, config, dynamicc, options, || {
         unreachable!("recovery must not bootstrap")
     })
     .expect("recovery");
-    let recovery_seconds = started.elapsed().as_secs_f64();
+    let recovery_seconds = span.finish_ns() as f64 / 1e9;
     let recovery_matches = recovered
         .clustering()
         .delta(&final_clustering)
@@ -261,12 +260,12 @@ fn scenario(
     // since a durable restart pays it too).
     let (graph, previous, dynamicc) =
         trained_setup(workload, graph_config, objective, train_rounds);
-    let started = Instant::now();
+    let span = dc_telemetry::registry().span("bench.durability.full_replay");
     let mut engine = Engine::new(graph, previous, dynamicc);
     for snapshot in serve {
         engine.apply_round(&snapshot.batch);
     }
-    let full_replay_seconds = started.elapsed().as_secs_f64();
+    let full_replay_seconds = span.finish_ns() as f64 / 1e9;
 
     DurabilityScenarioResult {
         name: name.to_string(),

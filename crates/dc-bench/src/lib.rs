@@ -18,6 +18,7 @@ pub mod scenario;
 pub mod serving;
 pub mod shard_quality;
 pub mod sharding;
+pub mod telemetry;
 
 pub use durability::{durability_results_to_json, run_durability_bench, DurabilityScenarioResult};
 pub use scenario::{DatasetFamily, MethodKind, RoundResult, RunSummary, Scenario, ScenarioConfig};
@@ -29,4 +30,7 @@ pub use shard_quality::{
 };
 pub use sharding::{
     run_sharding_bench, sharding_results_to_json, ShardingRunResult, ShardingScenarioResult,
+};
+pub use telemetry::{
+    run_telemetry_overhead_gate, run_telemetry_smoke, TelemetryOverheadResult, TelemetrySmokeResult,
 };

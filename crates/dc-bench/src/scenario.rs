@@ -13,7 +13,6 @@ use dc_objective::{DbIndexObjective, DensityObjective, KMeansObjective, Objectiv
 use dc_similarity::{GraphConfig, SimilarityGraph};
 use dc_types::{Clustering, Dataset};
 use std::sync::Arc;
-use std::time::Instant;
 
 /// The five dataset families of Table 1 (each a synthetic stand-in, see
 /// DESIGN.md for the substitution rationale).
@@ -369,9 +368,9 @@ impl Scenario {
             .clone();
         for snapshot in serve_snaps {
             graph.apply_batch(&snapshot.batch);
-            let started = Instant::now();
+            let span = dc_telemetry::registry().span("bench.scenario.batch_recluster");
             let outcome = batch.recluster(&graph, &previous);
-            batch_seconds.push(started.elapsed().as_secs_f64());
+            batch_seconds.push(span.finish_ns() as f64 / 1e9);
             object_counts.push(outcome.clustering.object_count());
             batch_reference.push(outcome.clustering.clone());
             previous = outcome.clustering;
@@ -470,9 +469,9 @@ impl Scenario {
                 _ => self.batch_reference[round_index].clone(),
             };
             graph.apply_batch(&snapshot.batch);
-            let started = Instant::now();
+            let span = dc_telemetry::registry().span("bench.scenario.method_recluster");
             let produced = method_impl.recluster(&graph, &previous, &snapshot.batch);
-            let seconds = started.elapsed().as_secs_f64();
+            let seconds = span.finish_ns() as f64 / 1e9;
             let reference = &self.batch_reference[round_index + 1];
             rounds.push(RoundResult {
                 snapshot_index: snapshot.index,

@@ -40,7 +40,6 @@ use dc_datagen::DynamicWorkload;
 use dc_objective::{CorrelationObjective, DbIndexObjective, ObjectiveFunction, SlowPathObjective};
 use dc_similarity::{BuildCounter, GraphConfig, SimilarityGraph};
 use std::sync::Arc;
-use std::time::Instant;
 
 /// Measured serving numbers for one fixture scenario.
 #[derive(Debug, Clone)]
@@ -127,7 +126,7 @@ fn scenario(
     let stats_before = *fast.stats();
     let comparisons_before = graph.comparisons();
     let mut engine = Engine::new(graph, previous, fast);
-    let started = Instant::now();
+    let span = dc_telemetry::registry().span("bench.serving.serve_loop");
     let mut operations = 0usize;
     let ((), aggregate_full_builds) = BuildCounter::scope(|| {
         for snapshot in serve {
@@ -135,7 +134,7 @@ fn scenario(
             engine.apply_round(&snapshot.batch);
         }
     });
-    let seconds = started.elapsed().as_secs_f64();
+    let seconds = span.finish_ns() as f64 / 1e9;
     let stats = engine.stats();
     let merges_applied = stats.merges_applied - stats_before.merges_applied;
     let splits_applied = stats.splits_applied - stats_before.splits_applied;

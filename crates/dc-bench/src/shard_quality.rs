@@ -112,7 +112,6 @@ use dc_objective::{CorrelationObjective, DbIndexObjective, ObjectiveFunction};
 use dc_similarity::{GraphConfig, ShardRouter, SimilarityGraph, TokenBlocking};
 use dc_types::Clustering;
 use std::sync::Arc;
-use std::time::Instant;
 
 /// Shard counts every scenario is measured at.
 pub const QUALITY_SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
@@ -267,7 +266,7 @@ fn scenario(
             refine_merges_applied += initial.merges_applied;
         }
         let mut refine_rounds = Vec::with_capacity(serve.len());
-        let started = Instant::now();
+        let span = dc_telemetry::registry().span("bench.shard_quality.refined_loop");
         for (round, snapshot) in serve.iter().enumerate() {
             let report = refined_engine.apply_round(&snapshot.batch);
             if let Some(refine) = report.refine {
@@ -281,18 +280,18 @@ fn scenario(
                 });
             }
         }
-        let seconds_refined = started.elapsed().as_secs_f64();
+        let seconds_refined = span.finish_ns() as f64 / 1e9;
 
         // Raw mode: the pre-refinement semantics, for the cost comparison.
         let router = ShardRouter::for_config(shards, graph.config());
         let mut raw_engine =
             ShardedEngine::new_raw(router, graph.clone(), previous.clone(), dynamicc.clone())
                 .expect("fixture clustering fits the shard-0 namespace");
-        let started = Instant::now();
+        let span = dc_telemetry::registry().span("bench.shard_quality.raw_loop");
         for snapshot in serve {
             raw_engine.apply_round(&snapshot.batch);
         }
-        let seconds_raw = started.elapsed().as_secs_f64();
+        let seconds_raw = span.finish_ns() as f64 / 1e9;
 
         let pre = pair_counts(&refined_engine.merged_clustering(), reference.clustering());
         let post = pair_counts(&refined_engine.refined_clustering(), reference.clustering());
@@ -485,7 +484,7 @@ pub fn run_refined_throughput_bench() -> RefinedThroughputResult {
         let mut total_dirty_clusters = 0usize;
         let mut total_regions = 0usize;
         let mut repair_wall_ns_total = 0u64;
-        let started = Instant::now();
+        let span = dc_telemetry::registry().span("bench.shard_quality.throughput_loop");
         for snapshot in serve {
             let report = engine.apply_round(&snapshot.batch);
             if let Some(refine) = report.refine {
@@ -494,7 +493,7 @@ pub fn run_refined_throughput_bench() -> RefinedThroughputResult {
                 repair_wall_ns_total += refine.repair_wall_ns;
             }
         }
-        let seconds = started.elapsed().as_secs_f64();
+        let seconds = span.finish_ns() as f64 / 1e9;
         runs.push(RefinedThroughputRun {
             shards,
             full_repair,

@@ -61,7 +61,6 @@ use dc_objective::{CorrelationObjective, DbIndexObjective, ObjectiveFunction};
 use dc_similarity::{BuildCounter, GraphConfig, ShardRouter, SimilarityGraph};
 use dc_types::Clustering;
 use std::sync::Arc;
-use std::time::Instant;
 
 /// Shard counts every scenario is measured at.
 pub const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
@@ -189,11 +188,11 @@ fn scenario(
         trained_previous.clone(),
         trained_dynamicc.clone(),
     );
-    let started = Instant::now();
+    let span = dc_telemetry::registry().span("bench.sharding.baseline_loop");
     for snapshot in serve {
         engine.apply_round(&snapshot.batch);
     }
-    let baseline_engine_seconds = started.elapsed().as_secs_f64();
+    let baseline_engine_seconds = span.finish_ns() as f64 / 1e9;
 
     let mut runs = Vec::with_capacity(SHARD_COUNTS.len());
     for shards in SHARD_COUNTS {
@@ -211,13 +210,13 @@ fn scenario(
             .expect("fixture clustering fits the shard-0 namespace");
         let stats_before = sharded.stats();
 
-        let started = Instant::now();
+        let span = dc_telemetry::registry().span("bench.sharding.serve_loop");
         let ((), aggregate_full_builds) = BuildCounter::scope(|| {
             for snapshot in serve {
                 sharded.apply_round(&snapshot.batch);
             }
         });
-        let seconds = started.elapsed().as_secs_f64();
+        let seconds = span.finish_ns() as f64 / 1e9;
 
         let stats = sharded.stats();
         runs.push(ShardingRunResult {

@@ -198,7 +198,10 @@ impl DurableEngine {
     ) -> Result<(Self, RecoveryReport), StorageError> {
         let dir = dir.as_ref();
         let snapshotter = Snapshotter::new(dir)?;
-        match snapshotter.load_latest::<EngineSnapshot>()? {
+        let span = dc_telemetry::registry().span("recovery.snapshot_load");
+        let loaded = snapshotter.load_latest::<EngineSnapshot>()?;
+        span.finish();
+        match loaded {
             Some((round, snapshot)) => Self::recover(
                 dir,
                 snapshotter,
@@ -270,6 +273,8 @@ impl DurableEngine {
             path: dir.join(dc_storage::snapshot::snapshot_file_name(snapshot_round)),
             source,
         };
+        let reg = dc_telemetry::registry();
+        let span = reg.span("recovery.state_import");
         let graph =
             SimilarityGraph::import_state(graph_config, snapshot.graph).map_err(codec_err)?;
         let aggregates = ClusterAggregates::import_state(snapshot.aggregates).map_err(codec_err)?;
@@ -281,6 +286,7 @@ impl DurableEngine {
             dynamicc,
             snapshot_round as usize,
         );
+        span.finish();
 
         // Replay the WAL tail.  Segments predating the snapshot may survive
         // a checkpoint that crashed mid-prune; their rounds are already in
@@ -291,6 +297,7 @@ impl DurableEngine {
             replayed_rounds: 0,
             dropped_torn_tail: false,
         };
+        let replay_span = reg.span("recovery.replay");
         let mut tail_wal: Option<Wal> = None;
         for (_, path) in list_segments(dir)? {
             let (wal, records, outcome) = Wal::open_capped(&path, replay_cap)?;
@@ -311,6 +318,8 @@ impl DurableEngine {
             }
             tail_wal = Some(wal);
         }
+        replay_span.finish();
+        reg.add("recovery.replayed_rounds", report.replayed_rounds as u64);
         let current_round = engine.rounds_served() as u64;
         let wal = match tail_wal {
             // Reuse the newest segment only if it is the one still being
@@ -341,12 +350,17 @@ impl DurableEngine {
     /// the unacknowledged round.  Checkpoints automatically per
     /// [`DurabilityOptions::checkpoint_every_rounds`].
     pub fn apply_round(&mut self, batch: &OperationBatch) -> Result<RoundReport, StorageError> {
+        let reg = dc_telemetry::registry();
         let round = self.engine.rounds_served() as u64 + 1;
+        let span = reg.span("round.wal_append");
         self.wal.append_round(round, batch)?;
+        span.finish();
         let report = self.engine.apply_round(batch);
         let every = self.options.checkpoint_every_rounds;
         if every > 0 && round.is_multiple_of(every as u64) {
+            let span = reg.span("round.checkpoint");
             self.checkpoint()?;
+            span.finish();
         }
         Ok(report)
     }
@@ -355,11 +369,15 @@ impl DurableEngine {
     /// the WAL to a fresh segment, and prune the artifacts the snapshot made
     /// obsolete.  Returns the checkpointed round.
     pub fn checkpoint(&mut self) -> Result<u64, StorageError> {
+        let reg = dc_telemetry::registry();
+        let span = reg.span("checkpoint.total");
         let round = self.write_checkpoint()?;
         if self.wal.start_round() != round {
             self.wal = Wal::create(self.snapshotter.dir(), round)?;
         }
         self.snapshotter.prune_obsolete(round)?;
+        span.finish();
+        reg.add("checkpoint.count", 1);
         Ok(round)
     }
 

@@ -143,6 +143,8 @@ impl Engine {
     /// in lockstep (O(degree) per operation), then run Algorithm 3 against
     /// the maintained aggregate.  No full aggregate build is performed.
     pub fn apply_round(&mut self, batch: &OperationBatch) -> RoundReport {
+        let reg = dc_telemetry::registry();
+        let span = reg.span("engine.apply_round");
         let stats_before = *self.dynamicc.stats();
         let builds_before = full_build_count();
 
@@ -164,7 +166,7 @@ impl Engine {
             &self.clustering,
         );
         let stats = self.dynamicc.stats();
-        RoundReport {
+        let report = RoundReport {
             round: self.rounds_served,
             operations: batch.len(),
             isolated: isolated.len(),
@@ -175,7 +177,13 @@ impl Engine {
             objective_evaluations: stats.objective_evaluations - stats_before.objective_evaluations,
             full_aggregate_builds: full_build_count() - builds_before,
             score,
-        }
+        };
+        span.finish();
+        reg.add("engine.rounds", 1);
+        reg.add("engine.operations", report.operations as u64);
+        reg.add("engine.merges_applied", report.merges_applied as u64);
+        reg.add("engine.splits_applied", report.splits_applied as u64);
+        report
     }
 }
 

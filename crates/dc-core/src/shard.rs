@@ -59,7 +59,7 @@ use crate::engine::{Engine, RoundReport};
 use crate::refine::{CrossShardRefiner, RefineReport, RefineState};
 use crate::DurableEngine;
 use dc_similarity::persist::GraphState;
-use dc_similarity::{BuildCounter, GraphConfig, ShardRouter, SimilarityGraph};
+use dc_similarity::{GraphConfig, ShardRouter, SimilarityGraph};
 use dc_storage::wal::list_segments;
 use dc_storage::{Snapshotter, StorageError, Wal};
 use dc_types::{shard_id_base, Clustering, ObjectId, OperationBatch, MAX_SHARDS};
@@ -263,9 +263,18 @@ fn distribute_dynamicc(donor: DynamicC, n: usize) -> Vec<DynamicC> {
 
 /// Run `f` once per `(shard, batch)` pair on a scoped thread pool of at most
 /// `max_threads` workers (contiguous chunks of shards per worker), and fold
-/// the workers' thread-local full-build counters back into the calling
-/// thread so [`BuildCounter::scope`] assertions stay exact across the
-/// fan-out.  Results come back in shard order.
+/// the workers' thread-local telemetry sinks back into the calling thread.
+/// Results come back in shard order.
+///
+/// The fold is the fan-out half of the telemetry threading model: the
+/// telemetry mode is captured once before spawning and propagated to every
+/// worker, each worker drains its whole sink (counters, gauges, histograms —
+/// the full-build counter that [`BuildCounter::scope`] assertions read
+/// included, since workers are fresh scoped threads whose sinks start
+/// empty), and the deltas merge back **in worker order**, so gauge
+/// last-writer-wins stays deterministic.  Per-shard apply wall time lands in
+/// the `shard.apply` histogram, recorded on the worker that served the
+/// shard.
 fn parallel_shard_rounds<T: Send, R: Send>(
     shards: &mut [T],
     batches: &[OperationBatch],
@@ -277,7 +286,8 @@ fn parallel_shard_rounds<T: Send, R: Send>(
     let threads = max_threads.clamp(1, n.max(1));
     let chunk = n.div_ceil(threads);
     let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
-    let worker_builds: u64 = std::thread::scope(|scope| {
+    let enabled = dc_telemetry::registry().is_enabled();
+    let deltas: Vec<dc_telemetry::ThreadDelta> = std::thread::scope(|scope| {
         let f = &f;
         let mut handles = Vec::with_capacity(threads);
         for ((shard_chunk, batch_chunk), out_chunk) in shards
@@ -286,28 +296,51 @@ fn parallel_shard_rounds<T: Send, R: Send>(
             .zip(out.chunks_mut(chunk))
         {
             handles.push(scope.spawn(move || {
-                let mut builds = 0u64;
+                let reg = dc_telemetry::registry();
+                reg.set_enabled(enabled);
                 for ((shard, batch), slot) in shard_chunk
                     .iter_mut()
                     .zip(batch_chunk)
                     .zip(out_chunk.iter_mut())
                 {
-                    let (result, shard_builds) = BuildCounter::scope(|| f(shard, batch));
-                    builds += shard_builds;
-                    *slot = Some(result);
+                    let span = reg.span("shard.apply");
+                    *slot = Some(f(shard, batch));
+                    span.finish();
                 }
-                builds
+                reg.drain()
             }));
         }
         handles
             .into_iter()
             .map(|h| h.join().expect("shard worker panicked"))
-            .sum()
+            .collect()
     });
-    BuildCounter::merge_from_threads(worker_builds);
+    for delta in deltas {
+        delta.merge_into_current();
+    }
     out.into_iter()
         .map(|r| r.expect("every shard served"))
         .collect()
+}
+
+/// Record the router's per-round batch-size imbalance as gauges: the
+/// largest sub-batch, the mean, and their ratio (1.0 = perfectly even).
+/// All three are functions of the deterministic routing decision, so they
+/// are structural fields in the telemetry dump.
+fn record_batch_imbalance(sub_batches: &[OperationBatch]) {
+    let reg = dc_telemetry::registry();
+    if !reg.is_enabled() || sub_batches.is_empty() {
+        return;
+    }
+    let max = sub_batches.iter().map(|b| b.len()).max().unwrap_or(0);
+    let total: usize = sub_batches.iter().map(|b| b.len()).sum();
+    let mean = total as f64 / sub_batches.len() as f64;
+    reg.gauge("shard.batch_max", max as f64);
+    reg.gauge("shard.batch_mean", mean);
+    reg.gauge(
+        "shard.batch_imbalance",
+        if mean > 0.0 { max as f64 / mean } else { 1.0 },
+    );
 }
 
 /// Map `f` over `items` on a scoped thread pool of at most `max_threads`
@@ -327,16 +360,28 @@ pub(crate) fn parallel_map<T: Sync, R: Send>(
     let threads = max_threads.min(n);
     let chunk = n.div_ceil(threads);
     let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
-    std::thread::scope(|scope| {
+    let enabled = dc_telemetry::registry().is_enabled();
+    let deltas: Vec<dc_telemetry::ThreadDelta> = std::thread::scope(|scope| {
         let f = &f;
+        let mut handles = Vec::with_capacity(threads);
         for (item_chunk, out_chunk) in items.chunks(chunk).zip(out.chunks_mut(chunk)) {
-            scope.spawn(move || {
+            handles.push(scope.spawn(move || {
+                let reg = dc_telemetry::registry();
+                reg.set_enabled(enabled);
                 for (item, slot) in item_chunk.iter().zip(out_chunk.iter_mut()) {
                     *slot = Some(f(item));
                 }
-            });
+                reg.drain()
+            }));
         }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("map worker panicked"))
+            .collect()
     });
+    for delta in deltas {
+        delta.merge_into_current();
+    }
     out.into_iter()
         .map(|r| r.expect("every item mapped"))
         .collect()
@@ -491,21 +536,37 @@ impl ShardedEngine {
     /// run the cross-shard refinement pass over the touched records, and
     /// merge the reports.  No shard performs a full aggregate build in
     /// steady state, and the merged report's `full_aggregate_builds` (kept
-    /// visible to the calling thread via
-    /// [`BuildCounter::merge_from_threads`]) proves it.
+    /// visible to the calling thread by the worker-sink merge inside the
+    /// thread pool) proves it.
+    ///
+    /// Telemetry: the round is bracketed by a `round.total` span whose
+    /// coordinating-thread phases are `round.route`, `round.shard_apply`,
+    /// and `round.refine`; per-shard wall time (`shard.apply`) merges back
+    /// from the workers, and the batch-imbalance gauges record how skewed
+    /// the router's split was this round.
     pub fn apply_round(&mut self, batch: &OperationBatch) -> ShardedRoundReport {
+        let reg = dc_telemetry::registry();
+        let round_span = reg.span("round.total");
+        let span = reg.span("round.route");
         let routed = self.router.route_batch(batch, &mut self.assignment);
+        span.finish();
+        record_batch_imbalance(&routed.sub_batches);
+        let span = reg.span("round.shard_apply");
         let reports = parallel_shard_rounds(
             &mut self.shards,
             &routed.sub_batches,
             self.max_threads,
             |engine, sub| engine.apply_round(sub),
         );
+        span.finish();
+        let span = reg.span("round.refine");
         let refine = self.refiner.as_mut().map(|refiner| {
             let engines: Vec<&Engine> = self.shards.iter().collect();
             refiner.apply_round(batch, &routed.op_shards, &engines, self.max_threads)
         });
+        span.finish();
         self.rounds_served += 1;
+        round_span.finish();
         merge_round_reports(self.rounds_served, reports, refine)
     }
 
@@ -1007,13 +1068,20 @@ impl ShardedDurableEngine {
         &mut self,
         batch: &OperationBatch,
     ) -> Result<ShardedRoundReport, StorageError> {
+        let reg = dc_telemetry::registry();
+        let round_span = reg.span("round.total");
+        let span = reg.span("round.route");
         let routed = self.router.route_batch(batch, &mut self.assignment);
+        span.finish();
+        record_batch_imbalance(&routed.sub_batches);
+        let span = reg.span("round.shard_apply");
         let results = parallel_shard_rounds(
             &mut self.shards,
             &routed.sub_batches,
             self.max_threads,
             |shard, sub| shard.apply_round(sub),
         );
+        span.finish();
         let mut reports = Vec::with_capacity(results.len());
         for result in results {
             reports.push(result?);
@@ -1024,22 +1092,30 @@ impl ShardedDurableEngine {
                 // Log-then-apply for the refined view: the round is only
                 // acknowledged once the refine WAL holds the full batch, so
                 // recovery can replay the same pass deterministically.
+                let span = reg.span("round.refine_wal_append");
                 refine.wal.append_round(round, batch)?;
+                span.finish();
+                let span = reg.span("round.refine");
                 let engines: Vec<&Engine> = self.shards.iter().map(DurableEngine::engine).collect();
-                Some(refine.refiner.apply_round(
+                let report = refine.refiner.apply_round(
                     batch,
                     &routed.op_shards,
                     &engines,
                     self.max_threads,
-                ))
+                );
+                span.finish();
+                Some(report)
             }
             None => None,
         };
         self.rounds_served += 1;
         let every = self.options.checkpoint_every_rounds as u64;
         if every > 0 && (self.rounds_served as u64).is_multiple_of(every) {
+            let span = reg.span("round.checkpoint");
             self.checkpoint()?;
+            span.finish();
         }
+        round_span.finish();
         Ok(merge_round_reports(self.rounds_served, reports, refine))
     }
 
@@ -1369,6 +1445,7 @@ mod tests {
     /// bytes must equal the owned state's encoding exactly.
     #[test]
     fn checkpoint_snapshot_is_clone_free_and_byte_identical() {
+        use dc_similarity::BuildCounter;
         use dc_types::codec::BinCodec;
 
         let (graph, clustering, dynamicc) = toy_setup();

@@ -5,7 +5,6 @@ use crate::dynamic::DynamicC;
 use dc_batch::BatchClusterer;
 use dc_similarity::SimilarityGraph;
 use dc_types::{Clustering, Snapshot};
-use std::time::Instant;
 
 /// What happened in one observed round.
 #[derive(Debug, Clone)]
@@ -63,9 +62,9 @@ pub fn train_on_workload(
     let mut rounds = Vec::with_capacity(snapshots.len());
     for snapshot in snapshots {
         graph.apply_batch(&snapshot.batch);
-        let started = Instant::now();
+        let span = dc_telemetry::registry().span("train.batch_recluster");
         let outcome = batch.recluster(graph, &previous);
-        let batch_seconds = started.elapsed().as_secs_f64();
+        let batch_seconds = span.finish_ns() as f64 / 1e9;
         dynamicc.observe_round(graph, &previous, &snapshot.batch, &outcome.clustering);
         rounds.push(RoundObservation {
             snapshot_index: snapshot.index,

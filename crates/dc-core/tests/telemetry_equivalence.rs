@@ -1,0 +1,122 @@
+//! Observation must not perturb the system: serving the same workload with
+//! telemetry **on** and **off** produces bit-identical clusterings, reports,
+//! and durable state.
+//!
+//! This is the headline correctness claim of the telemetry layer.  Every
+//! instrumentation point is either a counter/gauge write (no effect on
+//! control flow) or a span (two clock reads); none of them may influence a
+//! clustering decision, a WAL byte, or a report field other than the
+//! explicitly nondeterministic `repair_wall_ns`.  The test serves the febrl
+//! fixture through the sharded engine and the sharded durable engine twice —
+//! once per mode — and compares everything.
+
+use dc_core::{DurabilityOptions, ShardedDurableEngine, ShardedEngine};
+use dc_datagen::fixtures::small_febrl_workload;
+use dc_objective::DbIndexObjective;
+use dc_similarity::{GraphConfig, ShardRouter};
+use dc_telemetry::registry;
+use std::sync::Arc;
+
+mod common;
+use common::{assert_clusterings_identical, trained_setup, TempDir};
+
+const TRAIN_ROUNDS: usize = 2;
+
+/// Serve the fixture's held-out snapshots through a 2-shard refined engine
+/// with the given telemetry mode, returning the refined clustering and the
+/// per-round reports (with the nondeterministic wall-time field zeroed).
+fn serve_sharded(enabled: bool) -> (dc_types::Clustering, Vec<dc_core::ShardedRoundReport>) {
+    let reg = registry();
+    reg.reset();
+    reg.set_enabled(enabled);
+    let workload = small_febrl_workload();
+    let (graph, previous, serve, dynamicc) = trained_setup(
+        &workload,
+        || GraphConfig::textual_febrl(0.6),
+        Arc::new(DbIndexObjective),
+        TRAIN_ROUNDS,
+    );
+    let router = ShardRouter::for_config(2, graph.config());
+    let mut engine = ShardedEngine::new(router, graph, previous, dynamicc).expect("valid config");
+    let mut reports = Vec::new();
+    for snapshot in &serve {
+        let mut report = engine.apply_round(&snapshot.batch);
+        if let Some(refine) = &mut report.refine {
+            refine.repair_wall_ns = 0;
+        }
+        reports.push(report);
+    }
+    let clustering = engine.refined_clustering();
+    reg.set_enabled(false);
+    reg.reset();
+    (clustering, reports)
+}
+
+#[test]
+fn sharded_serving_is_bit_identical_with_telemetry_on_and_off() {
+    let (off, reports_off) = serve_sharded(false);
+    let (on, reports_on) = serve_sharded(true);
+    assert_clusterings_identical(&off, &on, "telemetry on vs off");
+    assert_eq!(
+        reports_off, reports_on,
+        "round reports must not change under observation"
+    );
+}
+
+#[test]
+fn durable_serving_and_recovery_are_bit_identical_with_telemetry_on_and_off() {
+    let serve_durable = |enabled: bool, tag: &str| {
+        let reg = registry();
+        reg.reset();
+        reg.set_enabled(enabled);
+        let tmp = TempDir::new(tag);
+        let workload = small_febrl_workload();
+        let (graph, previous, serve, dynamicc) = trained_setup(
+            &workload,
+            || GraphConfig::textual_febrl(0.6),
+            Arc::new(DbIndexObjective),
+            TRAIN_ROUNDS,
+        );
+        let router = ShardRouter::for_config(2, graph.config());
+        let options = DurabilityOptions {
+            checkpoint_every_rounds: 2,
+        };
+        let (mut engine, _) = ShardedDurableEngine::open(
+            tmp.path(),
+            router,
+            GraphConfig::textual_febrl(0.6),
+            dynamicc.clone(),
+            options,
+            move || (graph, previous),
+        )
+        .expect("fresh open");
+        for snapshot in &serve {
+            engine.apply_round(&snapshot.batch).expect("serve");
+        }
+        let served = engine.refined_clustering();
+        drop(engine);
+
+        // Recover from disk (same mode) and compare the recovered view.
+        let router = ShardRouter::for_config(2, &GraphConfig::textual_febrl(0.6));
+        let (recovered, report) = ShardedDurableEngine::open(
+            tmp.path(),
+            router,
+            GraphConfig::textual_febrl(0.6),
+            dynamicc,
+            options,
+            || unreachable!("durable state exists"),
+        )
+        .expect("reopen");
+        assert!(report.recovered, "{tag}: must recover, not bootstrap");
+        let recovered_clustering = recovered.refined_clustering();
+        reg.set_enabled(false);
+        reg.reset();
+        (served, recovered_clustering)
+    };
+
+    let (served_off, recovered_off) = serve_durable(false, "telemetry-off");
+    let (served_on, recovered_on) = serve_durable(true, "telemetry-on");
+    assert_clusterings_identical(&served_off, &served_on, "served: on vs off");
+    assert_clusterings_identical(&recovered_off, &recovered_on, "recovered: on vs off");
+    assert_clusterings_identical(&served_off, &recovered_off, "off: served vs recovered");
+}

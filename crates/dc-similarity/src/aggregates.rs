@@ -38,7 +38,6 @@
 
 use crate::graph::SimilarityGraph;
 use dc_types::{Cluster, ClusterId, Clustering, ObjectId, Operation, OperationBatch};
-use std::cell::Cell;
 use std::collections::BTreeMap;
 use std::collections::BTreeSet;
 
@@ -48,16 +47,25 @@ use std::collections::BTreeSet;
 /// behind by an incremental update.
 const RESIDUE_EPSILON: f64 = 1e-9;
 
-thread_local! {
-    static FULL_BUILDS: Cell<u64> = const { Cell::new(0) };
-}
+/// Telemetry counter name under which full O(E) builds are counted.
+///
+/// The counter is recorded **unconditionally** (telemetry off included) via
+/// `dc_telemetry::Registry::add_always`, because equivalence tests and bench
+/// gates assert exact build counts without enabling telemetry.  Full builds
+/// are O(E)-rare events, so the unconditional count is free by comparison.
+pub const FULL_BUILDS_COUNTER: &str = "aggregates.full_builds";
 
 /// Number of full O(E) [`ClusterAggregates::new`] builds performed by the
 /// current thread since it started.  Diagnostics for tests and benches: the
 /// serving path is expected to build once per round (or never, inside an
 /// `Engine`), and this counter is how that contract is enforced.
+///
+/// Backed by the thread-local [`dc_telemetry`] registry under
+/// [`FULL_BUILDS_COUNTER`], so the count also shows up in telemetry
+/// snapshots and merges across the sharded engine's worker threads along
+/// with every other metric.
 pub fn full_build_count() -> u64 {
-    FULL_BUILDS.with(|c| c.get())
+    dc_telemetry::registry().counter(FULL_BUILDS_COUNTER)
 }
 
 /// Scoped access to the full-build diagnostic counter.
@@ -100,7 +108,7 @@ impl BuildCounter {
     /// returned deltas here, keeping scope-based assertions exact across the
     /// fan-out.
     pub fn merge_from_threads(builds: u64) {
-        FULL_BUILDS.with(|c| c.set(c.get() + builds));
+        dc_telemetry::registry().add_always(FULL_BUILDS_COUNTER, builds);
     }
 }
 
@@ -129,7 +137,7 @@ impl ClusterAggregates {
     /// Edges with an unclustered endpoint are ignored, exactly as every
     /// consumer of the aggregates expects.
     pub fn new(graph: &SimilarityGraph, clustering: &Clustering) -> Self {
-        FULL_BUILDS.with(|c| c.set(c.get() + 1));
+        dc_telemetry::registry().add_always(FULL_BUILDS_COUNTER, 1);
         let mut agg = ClusterAggregates::default();
         for (cid, cluster) in clustering.iter() {
             agg.sizes.insert(cid, cluster.len());

@@ -44,7 +44,7 @@ pub mod persist;
 pub mod router;
 pub mod text;
 
-pub use aggregates::{full_build_count, BuildCounter, ClusterAggregates};
+pub use aggregates::{full_build_count, BuildCounter, ClusterAggregates, FULL_BUILDS_COUNTER};
 pub use blocking::{BlockingStrategy, GridBlocking, TokenBlocking};
 pub use boundary::BoundaryIndex;
 pub use graph::{GraphConfig, SimilarityGraph};

@@ -163,12 +163,22 @@ pub(crate) fn read_u64_le(
 
 /// Flush a file's contents and metadata to stable storage, attributing
 /// failures to `op`.
+///
+/// The single fsync choke point of the crate: every durable write funnels
+/// through here (directory syncs included, via [`sync_dir`]), so the
+/// `storage.fsync_count` counter and `storage.fsync_ns` histogram observe
+/// the complete fsync traffic of the process.
 pub(crate) fn sync_file(
     file: &std::fs::File,
     path: &std::path::Path,
     op: &'static str,
 ) -> Result<(), StorageError> {
-    file.sync_all().map_err(|e| StorageError::io(path, op, e))
+    let reg = dc_telemetry::registry();
+    reg.add("storage.fsync_count", 1);
+    let span = reg.span("storage.fsync");
+    let result = file.sync_all().map_err(|e| StorageError::io(path, op, e));
+    span.finish();
+    result
 }
 
 /// Best-effort directory fsync so renames/creates in `dir` survive a crash.

@@ -99,6 +99,8 @@ impl Snapshotter {
         bytes.extend_from_slice(&crc32(&payload).to_le_bytes());
         bytes.extend_from_slice(&payload);
 
+        let reg = dc_telemetry::registry();
+        let span = reg.span("storage.snapshot_write");
         let mut tmp = OpenOptions::new()
             .write(true)
             .create(true)
@@ -112,6 +114,9 @@ impl Snapshotter {
         std::fs::rename(&tmp_path, &final_path)
             .map_err(|e| StorageError::io(&final_path, "rename into place", e))?;
         sync_dir(&self.dir)?;
+        span.finish();
+        reg.add("storage.snapshots_written", 1);
+        reg.add("storage.snapshot_bytes_written", bytes.len() as u64);
         Ok(final_path)
     }
 
@@ -224,6 +229,10 @@ impl Snapshotter {
             }
         }
         sync_dir(&self.dir)?;
+        let reg = dc_telemetry::registry();
+        reg.add("storage.snapshots_pruned", report.snapshots_deleted as u64);
+        reg.add("storage.segments_pruned", report.segments_deleted as u64);
+        reg.add("storage.tmp_pruned", report.tmp_files_deleted as u64);
         Ok(report)
     }
 }

@@ -378,10 +378,15 @@ impl Wal {
         frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
         frame.extend_from_slice(&crc32(&payload).to_le_bytes());
         frame.extend_from_slice(&payload);
+        let reg = dc_telemetry::registry();
+        let span = reg.span("storage.wal_append");
         self.file
             .write_all(&frame)
             .map_err(|e| StorageError::io(&self.path, "append", e))?;
         sync_file(&self.file, &self.path, "fsync append")?;
+        span.finish();
+        reg.add("storage.wal_appends", 1);
+        reg.add("storage.wal_bytes_appended", frame.len() as u64);
         self.last_round = round;
         self.len += frame.len() as u64;
         Ok(())

@@ -1,0 +1,154 @@
+//! Pins the exact telemetry counts the storage layer emits for a known
+//! append/checkpoint sequence.
+//!
+//! Counts are **exact**, not lower bounds: the fsync schedule is part of the
+//! durability contract (one fsync per acknowledged append, header + directory
+//! on segment creation, tmp + directory per snapshot, directory after a
+//! prune), and this test is where that schedule is pinned.  It relies on the
+//! registry being thread-local — concurrent tests on other threads cannot
+//! perturb the counters.
+
+use dc_storage::{Snapshotter, Wal};
+use dc_telemetry::registry;
+use dc_types::codec::{BinCodec, ByteReader, ByteWriter, CodecError};
+use dc_types::{ObjectId, Operation, OperationBatch, RecordBuilder};
+use std::path::{Path, PathBuf};
+
+/// A scratch directory deleted on drop.
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> Self {
+        let dir =
+            std::env::temp_dir().join(format!("dc-storage-telemetry-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("create temp dir");
+        TempDir(dir)
+    }
+
+    fn path(&self) -> &Path {
+        &self.0
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn batch(round: u64) -> OperationBatch {
+    let mut b = OperationBatch::new();
+    b.push(Operation::Add {
+        id: ObjectId::new(round),
+        record: RecordBuilder::new()
+            .text("name", format!("object {round}"))
+            .build(),
+    });
+    b
+}
+
+/// Minimal snapshot payload.
+#[derive(Debug, PartialEq)]
+struct Payload(u64);
+
+impl BinCodec for Payload {
+    fn encode(&self, w: &mut ByteWriter) {
+        w.put_u64(self.0);
+    }
+
+    fn decode(r: &mut ByteReader) -> Result<Self, CodecError> {
+        Ok(Payload(r.get_u64()?))
+    }
+}
+
+#[test]
+fn fsync_and_byte_counters_are_exact_for_a_known_sequence() {
+    let tmp = TempDir::new("counts");
+    let reg = registry();
+    reg.reset();
+    reg.set_enabled(true);
+
+    // Segment creation: header fsync + directory fsync.
+    let mut wal = Wal::create(tmp.path(), 0).expect("create");
+    let header_len = wal.len_bytes();
+    assert_eq!(
+        reg.counter("storage.fsync_count"),
+        2,
+        "create = header + dir"
+    );
+    assert_eq!(reg.counter("storage.wal_appends"), 0);
+
+    // Three appends: exactly one fsync each, bytes accounted exactly.
+    for round in 1..=3 {
+        wal.append_round(round, &batch(round)).expect("append");
+    }
+    assert_eq!(
+        reg.counter("storage.fsync_count"),
+        5,
+        "3 appends = 3 fsyncs"
+    );
+    assert_eq!(reg.counter("storage.wal_appends"), 3);
+    assert_eq!(
+        reg.counter("storage.wal_bytes_appended"),
+        wal.len_bytes() - header_len,
+        "byte counter matches the segment growth"
+    );
+
+    // One snapshot write: tmp-file fsync + directory fsync.
+    let snapshotter = Snapshotter::new(tmp.path()).expect("snapshotter");
+    snapshotter.write(3, &Payload(3)).expect("snapshot");
+    assert_eq!(
+        reg.counter("storage.fsync_count"),
+        7,
+        "snapshot = tmp + dir"
+    );
+    assert_eq!(reg.counter("storage.snapshots_written"), 1);
+    let snapshot_bytes = reg.counter("storage.snapshot_bytes_written");
+    assert!(snapshot_bytes > 8, "header + payload bytes are counted");
+
+    // Prune after the round-3 snapshot: the round-0 segment goes, one
+    // directory fsync seals the deletions.
+    drop(wal);
+    let report = snapshotter.prune_obsolete(3).expect("prune");
+    assert_eq!(report.segments_deleted, 1);
+    assert_eq!(reg.counter("storage.fsync_count"), 8, "prune = 1 dir fsync");
+    assert_eq!(reg.counter("storage.segments_pruned"), 1);
+    assert_eq!(reg.counter("storage.snapshots_pruned"), 0);
+
+    // The fsync histogram saw every one of the 8 fsyncs.
+    let snap = reg.snapshot();
+    assert_eq!(snap.histograms.get("storage.fsync").unwrap().count(), 8);
+    assert_eq!(
+        snap.histograms.get("storage.wal_append").unwrap().count(),
+        3
+    );
+    assert_eq!(
+        snap.histograms
+            .get("storage.snapshot_write")
+            .unwrap()
+            .count(),
+        1
+    );
+
+    reg.set_enabled(false);
+    reg.reset();
+}
+
+#[test]
+fn storage_telemetry_is_silent_when_disabled() {
+    let tmp = TempDir::new("off");
+    let reg = registry();
+    reg.reset();
+    assert!(!reg.is_enabled(), "telemetry defaults to off");
+
+    let mut wal = Wal::create(tmp.path(), 0).expect("create");
+    wal.append_round(1, &batch(1)).expect("append");
+    let snapshotter = Snapshotter::new(tmp.path()).expect("snapshotter");
+    snapshotter.write(1, &Payload(1)).expect("snapshot");
+
+    assert_eq!(reg.counter("storage.fsync_count"), 0);
+    assert_eq!(reg.counter("storage.wal_bytes_appended"), 0);
+    assert!(reg.snapshot().is_empty(), "off mode records nothing");
+    reg.reset();
+}

@@ -1,0 +1,236 @@
+//! Log-bucketed latency histograms (HDR-style, 3 significant bits).
+//!
+//! Values are nanoseconds (`u64`).  The bucket layout:
+//!
+//! * values `0..8` get one **exact** bucket each (indices `0..8`);
+//! * every power-of-two octave `[2^e, 2^(e+1))` for `e >= 3` is divided into
+//!   8 linear sub-buckets of width `2^(e-3)`.
+//!
+//! A bucket therefore spans at most `lower/8`, so any value reported off a
+//! bucket's upper bound overshoots the true value by **at most 12.5 %**
+//! (exactly 0 for values below 8 ns).  That bound is what the quantile
+//! accessors guarantee and what the property tests pin.
+//!
+//! Buckets are a sparse `BTreeMap<u32, u64>`, which makes merging two
+//! histograms a per-bucket addition — associative and commutative, so
+//! merging per-thread histograms in any order equals the histogram of the
+//! interleaved stream (also pinned by the property tests).
+
+use std::collections::BTreeMap;
+
+/// Number of linear sub-buckets per power-of-two octave (3 significant
+/// bits → relative bucket error ≤ 1/8).
+const SUB_BUCKETS: u64 = 8;
+/// log2 of [`SUB_BUCKETS`].
+const SUB_BITS: u32 = 3;
+
+/// A mergeable log-bucketed histogram of nanosecond values.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Histogram {
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+    /// Sparse bucket index → count of recorded values in the bucket.
+    buckets: BTreeMap<u32, u64>,
+}
+
+/// The bucket index a value falls into (see the module docs for the layout).
+fn bucket_index(value: u64) -> u32 {
+    if value < SUB_BUCKETS {
+        return value as u32;
+    }
+    let exp = 63 - value.leading_zeros(); // >= SUB_BITS
+    let sub = ((value >> (exp - SUB_BITS)) & (SUB_BUCKETS - 1)) as u32;
+    SUB_BUCKETS as u32 + (exp - SUB_BITS) * SUB_BUCKETS as u32 + sub
+}
+
+/// The largest value contained in bucket `index` (inclusive upper bound).
+fn bucket_upper(index: u32) -> u64 {
+    if index < SUB_BUCKETS as u32 {
+        return index as u64;
+    }
+    let rel = index - SUB_BUCKETS as u32;
+    let exp = SUB_BITS + rel / SUB_BUCKETS as u32;
+    let sub = (rel % SUB_BUCKETS as u32) as u64;
+    let step = 1u64 << (exp - SUB_BITS);
+    let lower = (1u64 << exp) + sub * step;
+    lower + (step - 1)
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Record one value.
+    pub fn record(&mut self, value: u64) {
+        if self.count == 0 {
+            self.min = value;
+            self.max = value;
+        } else {
+            self.min = self.min.min(value);
+            self.max = self.max.max(value);
+        }
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        *self.buckets.entry(bucket_index(value)).or_insert(0) += 1;
+    }
+
+    /// Fold `other` into `self` (per-bucket addition — associative and
+    /// commutative, see the module docs).
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            self.min = other.min;
+            self.max = other.max;
+        } else {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        for (&index, &n) in &other.buckets {
+            *self.buckets.entry(index).or_insert(0) += n;
+        }
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of recorded values (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest recorded value (0 while empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded value (0 while empty).
+    pub fn max(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.max
+        }
+    }
+
+    /// The `q`-quantile (`0.0..=1.0`) as the upper bound of the bucket
+    /// holding the rank-`ceil(q·count)` value, clamped to the recorded
+    /// `max`.  The reported value `r` satisfies `v <= r <= v·1.125 + 1` for
+    /// the exact rank value `v` — the documented bucket error.  Returns 0
+    /// while empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (&index, &n) in &self.buckets {
+            seen += n;
+            if seen >= rank {
+                return bucket_upper(index).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median (see [`Histogram::quantile`]).
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 90th percentile (see [`Histogram::quantile`]).
+    pub fn p90(&self) -> u64 {
+        self.quantile(0.90)
+    }
+
+    /// 99th percentile (see [`Histogram::quantile`]).
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = Histogram::new();
+        for v in 0..8 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 8);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 7);
+        assert_eq!(h.quantile(1.0 / 8.0), 0, "rank 1 is the exact value 0");
+        assert_eq!(h.quantile(1.0), 7);
+    }
+
+    #[test]
+    fn bucket_bounds_cover_the_value_range() {
+        for v in [0, 1, 7, 8, 9, 63, 64, 100, 1 << 20, u64::MAX / 2, u64::MAX] {
+            let index = bucket_index(v);
+            assert!(bucket_upper(index) >= v, "upper({index}) < {v}");
+            if index > 0 {
+                assert!(bucket_upper(index - 1) < v, "bucket below still holds {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn quantiles_respect_the_documented_error() {
+        let mut h = Histogram::new();
+        let values: Vec<u64> = (1..=1000).map(|i| i * 37).collect();
+        for &v in &values {
+            h.record(v);
+        }
+        let exact_p50 = values[499];
+        let p50 = h.p50();
+        assert!(p50 >= exact_p50);
+        assert!(p50 as f64 <= exact_p50 as f64 * 1.125 + 1.0);
+    }
+
+    #[test]
+    fn merge_equals_interleaved_stream() {
+        let values: Vec<u64> = (0..500).map(|i| (i * i) % 10_007).collect();
+        let mut whole = Histogram::new();
+        for &v in &values {
+            whole.record(v);
+        }
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for (i, &v) in values.iter().enumerate() {
+            if i % 2 == 0 {
+                a.record(v);
+            } else {
+                b.record(v);
+            }
+        }
+        let mut merged = Histogram::new();
+        merged.merge(&a);
+        merged.merge(&b);
+        assert_eq!(merged, whole);
+    }
+
+    #[test]
+    fn empty_histogram_reads_as_zero() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.p50(), 0);
+    }
+}

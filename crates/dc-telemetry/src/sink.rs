@@ -1,0 +1,124 @@
+//! The thread-local metric sink and the cross-thread delta it drains into.
+
+use crate::histogram::Histogram;
+use crate::snapshot::TelemetrySnapshot;
+use std::cell::{Cell, RefCell};
+use std::collections::BTreeMap;
+
+thread_local! {
+    static ENABLED: Cell<bool> = const { Cell::new(false) };
+    static SINK: RefCell<Sink> = RefCell::new(Sink::default());
+}
+
+#[derive(Debug, Default)]
+struct Sink {
+    counters: BTreeMap<&'static str, u64>,
+    gauges: BTreeMap<&'static str, f64>,
+    histograms: BTreeMap<&'static str, Histogram>,
+}
+
+pub(crate) fn enabled() -> bool {
+    ENABLED.with(|e| e.get())
+}
+
+pub(crate) fn set_enabled(on: bool) {
+    ENABLED.with(|e| e.set(on));
+}
+
+pub(crate) fn counter_add(name: &'static str, delta: u64) {
+    SINK.with(|s| {
+        *s.borrow_mut().counters.entry(name).or_insert(0) += delta;
+    });
+}
+
+pub(crate) fn counter_value(name: &str) -> u64 {
+    SINK.with(|s| s.borrow().counters.get(name).copied().unwrap_or(0))
+}
+
+pub(crate) fn gauge_set(name: &'static str, value: f64) {
+    SINK.with(|s| {
+        s.borrow_mut().gauges.insert(name, value);
+    });
+}
+
+pub(crate) fn histogram_record(name: &'static str, ns: u64) {
+    SINK.with(|s| {
+        s.borrow_mut()
+            .histograms
+            .entry(name)
+            .or_default()
+            .record(ns);
+    });
+}
+
+pub(crate) fn snapshot() -> TelemetrySnapshot {
+    SINK.with(|s| {
+        let sink = s.borrow();
+        TelemetrySnapshot {
+            counters: sink
+                .counters
+                .iter()
+                .map(|(&k, &v)| (k.to_string(), v))
+                .collect(),
+            gauges: sink
+                .gauges
+                .iter()
+                .map(|(&k, &v)| (k.to_string(), v))
+                .collect(),
+            histograms: sink
+                .histograms
+                .iter()
+                .map(|(&k, v)| (k.to_string(), v.clone()))
+                .collect(),
+        }
+    })
+}
+
+pub(crate) fn drain() -> ThreadDelta {
+    SINK.with(|s| {
+        let sink = std::mem::take(&mut *s.borrow_mut());
+        ThreadDelta {
+            counters: sink.counters,
+            gauges: sink.gauges,
+            histograms: sink.histograms,
+        }
+    })
+}
+
+/// One thread's drained sink, ready to be folded into another thread's.
+///
+/// Produced by [`Registry::drain`](crate::Registry::drain) on a worker
+/// thread and consumed by [`ThreadDelta::merge_into_current`] on the
+/// spawning thread — the generalization of the old
+/// `BuildCounter::merge_from_threads` plumbing to every metric at once.
+#[derive(Debug, Default)]
+pub struct ThreadDelta {
+    counters: BTreeMap<&'static str, u64>,
+    gauges: BTreeMap<&'static str, f64>,
+    histograms: BTreeMap<&'static str, Histogram>,
+}
+
+impl ThreadDelta {
+    /// Fold this delta into the calling thread's sink: counters add,
+    /// histograms merge, gauges overwrite (callers merge worker deltas in
+    /// worker order, so the last writer is deterministic).
+    pub fn merge_into_current(self) {
+        SINK.with(|s| {
+            let mut sink = s.borrow_mut();
+            for (name, delta) in self.counters {
+                *sink.counters.entry(name).or_insert(0) += delta;
+            }
+            for (name, value) in self.gauges {
+                sink.gauges.insert(name, value);
+            }
+            for (name, hist) in self.histograms {
+                sink.histograms.entry(name).or_default().merge(&hist);
+            }
+        });
+    }
+
+    /// Whether the delta carries any recordings at all.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+}

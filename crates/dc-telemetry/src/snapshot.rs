@@ -1,0 +1,130 @@
+//! Point-in-time captures of a registry and their JSON rendering.
+
+use crate::histogram::Histogram;
+use std::collections::BTreeMap;
+
+/// A point-in-time capture of one thread's registry.
+///
+/// Produced by [`Registry::snapshot`](crate::Registry::snapshot).  All maps
+/// are `BTreeMap`s, so iteration (and the JSON dump) is sorted by metric
+/// name — part of the deterministic-layout contract.
+#[derive(Debug, Clone, Default)]
+pub struct TelemetrySnapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, f64>,
+    /// Histograms by name.
+    pub histograms: BTreeMap<String, Histogram>,
+}
+
+impl TelemetrySnapshot {
+    /// Whether the snapshot carries any metrics at all.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Render the snapshot as a stable JSON document.
+    ///
+    /// Layout contract (what CI's structural diff relies on):
+    ///
+    /// * keys sorted, one key-value pair per line, fixed indentation;
+    /// * every **timing-derived** (nondeterministic) value lives on a line
+    ///   whose key ends in `_ns`; every other line is structural and must be
+    ///   bit-identical across runs of a deterministic workload;
+    /// * gauges print with six decimal places; histogram quantiles are the
+    ///   bucketed values (≤ 12.5 % error, see [`Histogram`]).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"counters\": {");
+        push_entries(&mut out, self.counters.iter(), |out, name, v| {
+            out.push_str(&format!("    \"{name}\": {v}"));
+        });
+        out.push_str("},\n  \"gauges\": {");
+        push_entries(&mut out, self.gauges.iter(), |out, name, v| {
+            out.push_str(&format!("    \"{name}\": {v:.6}"));
+        });
+        out.push_str("},\n  \"histograms\": {");
+        push_entries(&mut out, self.histograms.iter(), |out, name, h| {
+            out.push_str(&format!(
+                concat!(
+                    "    \"{}\": {{\n",
+                    "      \"count\": {},\n",
+                    "      \"sum_ns\": {},\n",
+                    "      \"min_ns\": {},\n",
+                    "      \"max_ns\": {},\n",
+                    "      \"p50_ns\": {},\n",
+                    "      \"p90_ns\": {},\n",
+                    "      \"p99_ns\": {}\n",
+                    "    }}"
+                ),
+                name,
+                h.count(),
+                h.sum(),
+                h.min(),
+                h.max(),
+                h.p50(),
+                h.p90(),
+                h.p99(),
+            ));
+        });
+        out.push_str("}\n}\n");
+        out
+    }
+}
+
+/// Write `entries` as `\n<line>,\n<line>...\n  ` between a `{` already
+/// written and the `}` the caller writes next; empty maps collapse to `{}`.
+fn push_entries<K: AsRef<str>, V>(
+    out: &mut String,
+    entries: impl ExactSizeIterator<Item = (K, V)>,
+    mut write: impl FnMut(&mut String, &str, V),
+) {
+    let n = entries.len();
+    for (i, (name, value)) in entries.enumerate() {
+        out.push('\n');
+        write(out, name.as_ref(), value);
+        out.push_str(if i + 1 == n { "\n  " } else { "," });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_layout_is_stable_and_one_key_per_line() {
+        let mut snapshot = TelemetrySnapshot::default();
+        snapshot.counters.insert("b.count".into(), 2);
+        snapshot.counters.insert("a.count".into(), 1);
+        snapshot.gauges.insert("g".into(), 0.5);
+        let mut h = Histogram::new();
+        h.record(100);
+        snapshot.histograms.insert("h".into(), h);
+        let json = snapshot.to_json();
+        // Sorted keys.
+        assert!(json.find("a.count").unwrap() < json.find("b.count").unwrap());
+        // Timing values are all on `_ns` lines; every other line is
+        // structural.
+        for line in json.lines() {
+            if line.contains("100") {
+                assert!(line.contains("_ns\""), "timing value outside _ns: {line}");
+            }
+        }
+        // The dump is parseable enough for the structural-diff contract:
+        // braces balance and each metric line ends with a value.
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "unbalanced braces in {json}"
+        );
+        assert!(json.contains("\"count\": 1"));
+    }
+
+    #[test]
+    fn empty_snapshot_renders_empty_maps() {
+        let json = TelemetrySnapshot::default().to_json();
+        assert!(json.contains("\"counters\": {}"));
+        assert!(json.contains("\"gauges\": {}"));
+        assert!(json.contains("\"histograms\": {}"));
+    }
+}

@@ -1,0 +1,53 @@
+//! Lightweight span timers feeding the histograms.
+
+use crate::sink;
+use std::time::Instant;
+
+/// A started span timer.
+///
+/// The clock is read at [`Span::start`] and again at [`Span::finish_ns`]
+/// **unconditionally** — the elapsed nanoseconds are part of the return
+/// value contract, because report fields like `RefineReport::repair_wall_ns`
+/// keep reading them with telemetry off.  Only the histogram recording is
+/// mode-gated, so the off-mode overhead of a span is two clock reads and a
+/// thread-local branch.
+///
+/// Spans nest lexically: starting a child span inside a parent's lifetime
+/// attributes the child's wall time to its own histogram *and* (as part of
+/// the enclosing interval) to the parent's, which is what makes a phase
+/// breakdown sum comparable against the enclosing round span.
+#[must_use = "a span only records when finished"]
+#[derive(Debug)]
+pub struct Span {
+    name: &'static str,
+    started: Instant,
+}
+
+impl Span {
+    /// Start a span recording into the histogram `name`.
+    #[inline]
+    pub fn start(name: &'static str) -> Self {
+        Span {
+            name,
+            started: Instant::now(),
+        }
+    }
+
+    /// Finish the span: record the elapsed nanoseconds into the histogram
+    /// (when enabled) and return them (always).
+    #[inline]
+    pub fn finish_ns(self) -> u64 {
+        let ns = self.started.elapsed().as_nanos() as u64;
+        if sink::enabled() {
+            sink::histogram_record(self.name, ns);
+        }
+        ns
+    }
+
+    /// Finish the span, discarding the elapsed time (pure instrumentation
+    /// call sites).
+    #[inline]
+    pub fn finish(self) {
+        let _ = self.finish_ns();
+    }
+}

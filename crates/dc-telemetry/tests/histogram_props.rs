@@ -1,0 +1,105 @@
+//! Property tests pinning the [`Histogram`] contracts the metric catalog
+//! documents:
+//!
+//! 1. **bucket error** — for any value stream, the bucketed p50/p90/p99 `r`
+//!    and the exact sorted-reference quantile `v` at the same rank satisfy
+//!    `v <= r <= v * 1.125 + 1` (3 significant bits → ≤ 12.5 % relative
+//!    overshoot, +1 for the integer bucket bound);
+//! 2. **merge associativity** — splitting a stream across any number of
+//!    per-thread histograms and merging them back, in any grouping, equals
+//!    the single histogram over the interleaved stream *exactly* (count,
+//!    sum, min, max, and every bucket).
+
+use dc_telemetry::Histogram;
+use proptest::prelude::*;
+
+/// Exact quantile at the same rank the histogram uses:
+/// rank `ceil(q * n)` (1-based) of the sorted stream.
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    let n = sorted.len() as u64;
+    let rank = ((q * n as f64).ceil() as u64).clamp(1, n);
+    sorted[(rank - 1) as usize]
+}
+
+fn assert_within_bucket_error(reported: u64, exact: u64, label: &str) {
+    assert!(
+        reported >= exact,
+        "{label}: bucketed {reported} undershoots exact {exact}"
+    );
+    assert!(
+        reported as f64 <= exact as f64 * 1.125 + 1.0,
+        "{label}: bucketed {reported} overshoots exact {exact} beyond 12.5%"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn bucketed_quantiles_track_exact_quantiles(
+        values in proptest::collection::vec(0u64..100_000_000, 1..400),
+    ) {
+        let mut h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        for (q, reported, label) in [
+            (0.50, h.p50(), "p50"),
+            (0.90, h.p90(), "p90"),
+            (0.99, h.p99(), "p99"),
+        ] {
+            let exact = exact_quantile(&sorted, q);
+            assert_within_bucket_error(reported, exact, label);
+            // Quantiles never exceed the recorded max.
+            prop_assert!(reported <= h.max());
+        }
+        prop_assert_eq!(h.count(), values.len() as u64);
+        prop_assert_eq!(h.min(), sorted[0]);
+        prop_assert_eq!(h.max(), *sorted.last().unwrap());
+    }
+
+    #[test]
+    fn merging_per_thread_histograms_equals_the_interleaved_stream(
+        values in proptest::collection::vec(0u64..10_000_000, 0..300),
+        n_threads in 1usize..5,
+    ) {
+        // The interleaved stream, recorded on one histogram.
+        let mut whole = Histogram::new();
+        for &v in &values {
+            whole.record(v);
+        }
+
+        // The same stream striped across `n_threads` per-thread histograms.
+        let mut parts = vec![Histogram::new(); n_threads];
+        for (i, &v) in values.iter().enumerate() {
+            parts[i % n_threads].record(v);
+        }
+
+        // Left fold.
+        let mut left = Histogram::new();
+        for p in &parts {
+            left.merge(p);
+        }
+        prop_assert_eq!(&left, &whole);
+
+        // Reverse-order fold: merge order must not matter.
+        let mut right = Histogram::new();
+        for p in parts.iter().rev() {
+            right.merge(p);
+        }
+        prop_assert_eq!(&right, &whole);
+
+        // Nested grouping: merge pairs first, then fold the pair results.
+        let mut grouped = Histogram::new();
+        for chunk in parts.chunks(2) {
+            let mut pair = Histogram::new();
+            for p in chunk {
+                pair.merge(p);
+            }
+            grouped.merge(&pair);
+        }
+        prop_assert_eq!(&grouped, &whole);
+    }
+}

@@ -16,6 +16,7 @@
 //! | crate | contents |
 //! |---|---|
 //! | [`types`] | objects, records, datasets, operations, clusterings |
+//! | [`telemetry`] | counters, gauges, latency histograms, span timers |
 //! | [`similarity`] | similarity measures, blocking, the sparse similarity graph |
 //! | [`storage`] | durability: write-ahead log, atomic snapshots, crash recovery |
 //! | [`objective`] | correlation / k-means / DB-index / density objectives with delta evaluation |
@@ -71,6 +72,7 @@ pub use dc_ml as ml;
 pub use dc_objective as objective;
 pub use dc_similarity as similarity;
 pub use dc_storage as storage;
+pub use dc_telemetry as telemetry;
 pub use dc_types as types;
 
 /// The most commonly used items, re-exported flat.
