@@ -30,6 +30,10 @@
 //!                  sharded clustering vs the unsharded engine, before and
 //!                  after cross-shard refinement, per shard count in
 //!                  {1,2,4,8}; --out <path> overrides the output file)
+//!   bench-pipeline  emit BENCH_pipeline.json (pipelined ingestion front-end
+//!                  vs synchronous sharded serving: sustained ops/sec,
+//!                  p50/p99 per-op commit latency, structural state match;
+//!                  --out <path> overrides the output file)
 //!   telemetry-smoke  serve the febrl fixture through the full durable
 //!                  sharded stack with telemetry on and emit the example
 //!                  metrics dump TELEMETRY_SMOKE.json (--out <path>
@@ -220,6 +224,46 @@ fn bench_sharding(out: Option<String>) {
     let path = out.unwrap_or_else(|| "BENCH_sharding.json".to_string());
     let json = dc_bench::sharding_results_to_json(&results);
     std::fs::write(&path, json).expect("write sharding bench output");
+    println!("wrote {path}");
+}
+
+// ---------------------------------------------------------------------------
+// BENCH_pipeline.json
+// ---------------------------------------------------------------------------
+fn bench_pipeline(out: Option<String>) {
+    header("BENCH: pipeline (pipelined ingestion vs synchronous serving)");
+    let results = dc_bench::run_pipeline_bench();
+    for scenario in &results {
+        println!(
+            "-- {} ({} shards, {} ops streamed as {}-op requests, pipelined target {} ops; states match: {})",
+            scenario.name,
+            scenario.shards,
+            scenario.operations,
+            scenario.granule_ops,
+            scenario.batch_ops,
+            scenario.states_match,
+        );
+        println!(
+            "{:>10} {:>7} {:>10} {:>12} {:>14} {:>14} {:>9}",
+            "mode", "rounds", "seconds", "ops/sec", "p50 op (µs)", "p99 op (µs)", "clusters"
+        );
+        for run in &scenario.runs {
+            println!(
+                "{:>10} {:>7} {:>10.3} {:>12.1} {:>14.1} {:>14.1} {:>9}",
+                run.mode,
+                run.rounds,
+                run.seconds,
+                run.ops_per_sec(scenario.operations),
+                run.p50_op_latency_ns as f64 / 1e3,
+                run.p99_op_latency_ns as f64 / 1e3,
+                run.clusters,
+            );
+        }
+        println!("   pipelined speedup vs sync: {:.2}x", scenario.speedup());
+    }
+    let path = out.unwrap_or_else(|| "BENCH_pipeline.json".to_string());
+    let json = dc_bench::pipeline_results_to_json(&results);
+    std::fs::write(&path, json).expect("write pipeline bench output");
     println!("wrote {path}");
 }
 
@@ -711,6 +755,7 @@ fn main() {
         "bench-durability" => bench_durability(out),
         "bench-sharding" => bench_sharding(out),
         "bench-shard-quality" => bench_shard_quality(out),
+        "bench-pipeline" => bench_pipeline(out),
         "telemetry-smoke" => telemetry_smoke(out),
         "fig3" => fig3(options),
         "fig5a" => fig5a(options),

@@ -180,6 +180,7 @@ fn scenario(
     let config = graph.config().clone();
     let options = DurabilityOptions {
         checkpoint_every_rounds: 0,
+        group_commit: false,
     };
     let (mut durable, _) =
         DurableEngine::open(&dir, config, dynamicc, options, move || (graph, previous))

@@ -14,6 +14,7 @@
 #![deny(rustdoc::broken_intra_doc_links)]
 
 pub mod durability;
+pub mod pipeline;
 pub mod scenario;
 pub mod serving;
 pub mod shard_quality;
@@ -21,6 +22,9 @@ pub mod sharding;
 pub mod telemetry;
 
 pub use durability::{durability_results_to_json, run_durability_bench, DurabilityScenarioResult};
+pub use pipeline::{
+    pipeline_results_to_json, run_pipeline_bench, PipelineRunResult, PipelineScenarioResult,
+};
 pub use scenario::{DatasetFamily, MethodKind, RoundResult, RunSummary, Scenario, ScenarioConfig};
 pub use serving::{run_dynamic_serving_bench, serving_results_to_json, ServingScenarioResult};
 pub use shard_quality::{

@@ -1,0 +1,483 @@
+//! The `BENCH_pipeline` perf baseline: the pipelined ingestion front-end
+//! against the synchronous sharded durable engine on the same op stream.
+//!
+//! The experiments binary (`experiments bench-pipeline`) serializes
+//! [`run_pipeline_bench`]'s results to `BENCH_pipeline.json`.  One scenario:
+//! the largest fixture workload ([`large_febrl_workload`]), flattened into a
+//! continuous ingestion stream of [`GRANULE_OPS`]-operation client
+//! requests, served through a 4-shard [`ShardedDurableEngine`] twice —
+//!
+//! * **sync**: the synchronous front-end — every request is its own round
+//!   (`group_commit: false`), durably committed with N+1 fsyncs and refined
+//!   before the next request is admitted;
+//! * **pipelined**: the same stream pushed open-loop through a
+//!   [`PipelinedEngine`], whose coordinator coalesces admissions into
+//!   [`BATCH_OPS`]-op rounds, group-commits each with a single fsync, and
+//!   hands refinement to the overlap worker.
+//!
+//! Both modes are **individually deterministic**: the stream order is fixed,
+//! and the pipelined run uses a fixed batch target with an effectively
+//! unbounded formation deadline, so its coordinator forms exactly the same
+//! chunks on every run regardless of scheduling.  CI runs the bench twice
+//! and diffs everything except the timing fields.  `states_match` reports
+//! whether the two modes' final merged + refined clusterings were
+//! bit-identical despite their different round boundaries (the dc-core
+//! equivalence tests pin the same-boundaries case exactly; here the fixed
+//! point is given the chance to converge to the same state and the result
+//! is recorded).
+//!
+//! Schema of the emitted JSON (documented in the README):
+//!
+//! ```json
+//! {
+//!   "bench": "pipeline",
+//!   "scenarios": [
+//!     {
+//!       "name": "febrl_large_dbindex",
+//!       "objective": "db-index",
+//!       "shards": 4,
+//!       "operations": 512,              // stream operations served
+//!       "granule_ops": 8,               // request size (sync round size)
+//!       "batch_ops": 64,                // pipelined round target
+//!       "states_match": true,           // merged+refined clusterings equal
+//!       "speedup_vs_sync": 1.55,
+//!       "runs": [
+//!         {
+//!           "mode": "sync",             // or "pipelined"
+//!           "rounds": 64,               // rounds committed in this mode
+//!           "seconds": 1.0,
+//!           "ops_per_sec": 512.0,
+//!           "p50_op_latency_ns": 0,     // per-op commit latency (0 = sync:
+//!           "p99_op_latency_ns": 0,     //   not measured per op)
+//!           "objects": 560,
+//!           "clusters": 199,
+//!           "merges_applied": 120,
+//!           "splits_applied": 3,
+//!           "objective_evaluations": 900
+//!         }
+//!       ]
+//!     }
+//!   ]
+//! }
+//! ```
+
+use crate::sharding::{large_febrl_workload, sharded_febrl_config};
+use dc_batch::{BatchClusterer, HillClimbing};
+use dc_core::{
+    train_on_workload, DurabilityOptions, DynamicC, PipelineOptions, PipelinedEngine,
+    ShardedDurableEngine,
+};
+use dc_datagen::DynamicWorkload;
+use dc_objective::{DbIndexObjective, ObjectiveFunction};
+use dc_similarity::{GraphConfig, ShardRouter, SimilarityGraph};
+use dc_types::{Clustering, Operation, OperationBatch};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Shard count the pipeline scenario is measured at (the acceptance ratio's
+/// configuration).
+pub const PIPELINE_SHARDS: usize = 4;
+
+/// Client-request granule of the ingestion stream: the synchronous
+/// front-end must durably commit (and refine) each request before
+/// acknowledging it, so it serves one round per granule.
+pub const GRANULE_OPS: usize = 4;
+
+/// The pipelined coordinator's batch target: admissions from many requests
+/// coalesce into one group-committed round.
+pub const BATCH_OPS: usize = 64;
+
+/// Training rounds consumed before the measured serve window.
+const TRAIN_ROUNDS: usize = 2;
+
+/// Measured numbers for one serving mode within the scenario.
+#[derive(Debug, Clone)]
+pub struct PipelineRunResult {
+    /// `"sync"` or `"pipelined"`.
+    pub mode: &'static str,
+    /// Rounds committed in this mode (`operations / granule_ops` for sync,
+    /// `operations / batch_ops` for pipelined).
+    pub rounds: usize,
+    /// Wall-clock seconds for the served stream (drain-to-drain for the
+    /// pipelined mode: first submit through the final flush).
+    pub seconds: f64,
+    /// Median per-operation commit latency in nanoseconds, measured from
+    /// admission to group-commit fsync.  Zero in sync mode, which has no
+    /// per-op admission point.
+    pub p50_op_latency_ns: u64,
+    /// 99th-percentile per-operation commit latency (see
+    /// [`PipelineRunResult::p50_op_latency_ns`]).
+    pub p99_op_latency_ns: u64,
+    /// Live objects after the last round.
+    pub objects: usize,
+    /// Merged clusters after the last round.
+    pub clusters: usize,
+    /// Merges applied across the served rounds.
+    pub merges_applied: usize,
+    /// Splits applied across the served rounds.
+    pub splits_applied: usize,
+    /// Objective delta evaluations during verification.
+    pub objective_evaluations: u64,
+}
+
+impl PipelineRunResult {
+    /// Operations per second, given the scenario's operation count.
+    pub fn ops_per_sec(&self, operations: usize) -> f64 {
+        if self.seconds > 0.0 {
+            operations as f64 / self.seconds
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Measured numbers for the pipeline scenario.
+#[derive(Debug, Clone)]
+pub struct PipelineScenarioResult {
+    /// Scenario name (fixture + objective).
+    pub name: String,
+    /// Objective used for search and verification.
+    pub objective: String,
+    /// Shard count both modes ran at.
+    pub shards: usize,
+    /// Total stream operations served.
+    pub operations: usize,
+    /// Client-request granule (the sync mode's round size).
+    pub granule_ops: usize,
+    /// The pipelined coordinator's batch target.
+    pub batch_ops: usize,
+    /// Whether the two modes' final states (merged *and* refined
+    /// clusterings) were bit-identical despite different round boundaries.
+    pub states_match: bool,
+    /// One entry per mode: `sync` first, then `pipelined`.
+    pub runs: Vec<PipelineRunResult>,
+}
+
+impl PipelineScenarioResult {
+    /// The run for a given mode.
+    pub fn run(&self, mode: &str) -> &PipelineRunResult {
+        self.runs
+            .iter()
+            .find(|r| r.mode == mode)
+            .expect("mode was measured")
+    }
+
+    /// Sustained-throughput speedup of the pipelined mode over sync.
+    pub fn speedup(&self) -> f64 {
+        let sync = self.run("sync").seconds;
+        let pipelined = self.run("pipelined").seconds;
+        if pipelined > 0.0 {
+            sync / pipelined
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+fn bench_dir(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("dc-bench-pipeline-{tag}-{}", std::process::id()))
+}
+
+fn trained_setup(
+    workload: &DynamicWorkload,
+    graph_config: impl Fn() -> GraphConfig,
+    objective: Arc<dyn ObjectiveFunction>,
+) -> (SimilarityGraph, Clustering, DynamicC) {
+    let mut graph = SimilarityGraph::build(graph_config(), &workload.initial);
+    let batch = HillClimbing::with_objective(objective.clone());
+    let initial = batch.cluster(&graph).clustering;
+    let mut dynamicc = DynamicC::with_objective(objective);
+    let train = &workload.snapshots[..TRAIN_ROUNDS.min(workload.snapshots.len())];
+    let report = train_on_workload(&mut dynamicc, &mut graph, &initial, train, &batch);
+    let previous = report.final_clustering(&initial);
+    (graph, previous, dynamicc)
+}
+
+/// The serve window's operations, flattened into one ingestion stream.
+fn serve_stream(workload: &DynamicWorkload) -> Vec<Operation> {
+    workload.snapshots[TRAIN_ROUNDS.min(workload.snapshots.len())..]
+        .iter()
+        .flat_map(|s| s.batch.iter().cloned())
+        .collect()
+}
+
+/// Chunk the stream into fixed `size`-op batches.
+fn chunked(stream: &[Operation], size: usize) -> Vec<OperationBatch> {
+    stream
+        .chunks(size)
+        .map(|chunk| {
+            let mut batch = OperationBatch::new();
+            for op in chunk {
+                batch.push(op.clone());
+            }
+            batch
+        })
+        .collect()
+}
+
+fn open_engine(
+    dir: &std::path::Path,
+    workload: &DynamicWorkload,
+    objective: Arc<dyn ObjectiveFunction>,
+    options: DurabilityOptions,
+) -> ShardedDurableEngine {
+    let (graph, previous, dynamicc) = trained_setup(workload, sharded_febrl_config, objective);
+    let router = ShardRouter::for_config(PIPELINE_SHARDS, graph.config());
+    let config = graph.config().clone();
+    let (engine, report) =
+        ShardedDurableEngine::open(dir, router, config, dynamicc, options, move || {
+            (graph, previous)
+        })
+        .expect("fresh bench directory opens");
+    assert!(!report.recovered, "bench directories start fresh");
+    engine
+}
+
+fn run_result_fields(engine: &ShardedDurableEngine) -> (usize, usize) {
+    let objects = engine
+        .shards()
+        .iter()
+        .map(|s| s.engine().graph().object_count())
+        .sum();
+    let clusters = engine.merged_clustering().cluster_count();
+    (objects, clusters)
+}
+
+fn percentile(sorted: &[u64], pct: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((sorted.len() as f64 - 1.0) * pct).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+/// Run the pipeline benchmark: the largest fixture's op stream through sync
+/// and pipelined serving at [`PIPELINE_SHARDS`] shards.
+pub fn run_pipeline_bench() -> Vec<PipelineScenarioResult> {
+    let workload = large_febrl_workload();
+    let objective: Arc<dyn ObjectiveFunction> = Arc::new(DbIndexObjective);
+    let stream = serve_stream(&workload);
+    let operations = stream.len();
+    let options = DurabilityOptions {
+        checkpoint_every_rounds: 0,
+        group_commit: false,
+    };
+
+    // Sync: one classic round per client request.
+    let sync_rounds = chunked(&stream, GRANULE_OPS);
+    let sync_dir = bench_dir("sync");
+    let _ = std::fs::remove_dir_all(&sync_dir);
+    let mut sync_engine = open_engine(&sync_dir, &workload, objective.clone(), options);
+    let stats_before = sync_engine.stats();
+    let span = dc_telemetry::registry().span("bench.pipeline.sync_loop");
+    for batch in &sync_rounds {
+        sync_engine.apply_round(batch).expect("sync round");
+    }
+    let sync_seconds = span.finish_ns() as f64 / 1e9;
+    let stats = sync_engine.stats();
+    let (objects, clusters) = run_result_fields(&sync_engine);
+    let sync_run = PipelineRunResult {
+        mode: "sync",
+        rounds: sync_rounds.len(),
+        seconds: sync_seconds,
+        p50_op_latency_ns: 0,
+        p99_op_latency_ns: 0,
+        objects,
+        clusters,
+        merges_applied: stats.merges_applied - stats_before.merges_applied,
+        splits_applied: stats.splits_applied - stats_before.splits_applied,
+        objective_evaluations: stats.objective_evaluations - stats_before.objective_evaluations,
+    };
+
+    // Pipelined: the same stream, open-loop.  A fixed batch target with an
+    // effectively unbounded formation deadline makes the coordinator form
+    // the same [`BATCH_OPS`]-op chunks on every run, so the measured run is
+    // structurally deterministic.
+    let pipe_dir = bench_dir("pipelined");
+    let _ = std::fs::remove_dir_all(&pipe_dir);
+    let engine = open_engine(&pipe_dir, &workload, objective.clone(), options);
+    let stats_before = engine.stats();
+    let pipe = PipelinedEngine::start(
+        engine,
+        PipelineOptions {
+            max_batch_delay: Duration::from_secs(30),
+            ..PipelineOptions::fixed(BATCH_OPS)
+        },
+    );
+    let span = dc_telemetry::registry().span("bench.pipeline.pipelined_loop");
+    for op in &stream {
+        pipe.submit(op.clone()).expect("submit");
+    }
+    pipe.flush().expect("drain");
+    let pipelined_seconds = span.finish_ns() as f64 / 1e9;
+    let (pipe_engine, report) = pipe.close().expect("clean close");
+    assert_eq!(
+        report.rounds_committed,
+        operations.div_ceil(BATCH_OPS) as u64
+    );
+    assert_eq!(report.ops_committed, operations as u64);
+    let mut latencies = report.op_latencies_ns;
+    latencies.sort_unstable();
+    let stats = pipe_engine.stats();
+    let (objects, clusters) = run_result_fields(&pipe_engine);
+    let pipelined_run = PipelineRunResult {
+        mode: "pipelined",
+        rounds: report.rounds_committed as usize,
+        seconds: pipelined_seconds,
+        p50_op_latency_ns: percentile(&latencies, 0.50),
+        p99_op_latency_ns: percentile(&latencies, 0.99),
+        objects,
+        clusters,
+        merges_applied: stats.merges_applied - stats_before.merges_applied,
+        splits_applied: stats.splits_applied - stats_before.splits_applied,
+        objective_evaluations: stats.objective_evaluations - stats_before.objective_evaluations,
+    };
+
+    let states_match = clusterings_equal(
+        &sync_engine.merged_clustering(),
+        &pipe_engine.merged_clustering(),
+    ) && clusterings_equal(
+        &sync_engine.refined_clustering(),
+        &pipe_engine.refined_clustering(),
+    );
+    drop(sync_engine);
+    drop(pipe_engine);
+    let _ = std::fs::remove_dir_all(&sync_dir);
+    let _ = std::fs::remove_dir_all(&pipe_dir);
+
+    vec![PipelineScenarioResult {
+        name: "febrl_large_dbindex".to_string(),
+        objective: "db-index".to_string(),
+        shards: PIPELINE_SHARDS,
+        operations,
+        granule_ops: GRANULE_OPS,
+        batch_ops: BATCH_OPS,
+        states_match,
+        runs: vec![sync_run, pipelined_run],
+    }]
+}
+
+fn clusterings_equal(a: &Clustering, b: &Clustering) -> bool {
+    a.cluster_ids() == b.cluster_ids()
+        && a.cluster_ids().iter().all(|&cid| {
+            a.cluster(cid).map(|c| c.members().clone())
+                == b.cluster(cid).map(|c| c.members().clone())
+        })
+        && a.id_watermark() == b.id_watermark()
+}
+
+/// Serialize the results to the `BENCH_pipeline.json` document.
+pub fn pipeline_results_to_json(results: &[PipelineScenarioResult]) -> String {
+    let mut out = String::from("{\n  \"bench\": \"pipeline\",\n  \"scenarios\": [\n");
+    for (i, scenario) in results.iter().enumerate() {
+        out.push_str(&format!(
+            concat!(
+                "    {{\n",
+                "      \"name\": \"{}\",\n",
+                "      \"objective\": \"{}\",\n",
+                "      \"shards\": {},\n",
+                "      \"operations\": {},\n",
+                "      \"granule_ops\": {},\n",
+                "      \"batch_ops\": {},\n",
+                "      \"states_match\": {},\n",
+                "      \"speedup_vs_sync\": {:.2},\n",
+                "      \"runs\": [\n",
+            ),
+            scenario.name,
+            scenario.objective,
+            scenario.shards,
+            scenario.operations,
+            scenario.granule_ops,
+            scenario.batch_ops,
+            scenario.states_match,
+            scenario.speedup(),
+        ));
+        for (j, run) in scenario.runs.iter().enumerate() {
+            out.push_str(&format!(
+                concat!(
+                    "        {{\n",
+                    "          \"mode\": \"{}\",\n",
+                    "          \"rounds\": {},\n",
+                    "          \"seconds\": {:.6},\n",
+                    "          \"ops_per_sec\": {:.2},\n",
+                    "          \"p50_op_latency_ns\": {},\n",
+                    "          \"p99_op_latency_ns\": {},\n",
+                    "          \"objects\": {},\n",
+                    "          \"clusters\": {},\n",
+                    "          \"merges_applied\": {},\n",
+                    "          \"splits_applied\": {},\n",
+                    "          \"objective_evaluations\": {}\n",
+                    "        }}{}\n",
+                ),
+                run.mode,
+                run.rounds,
+                run.seconds,
+                run.ops_per_sec(scenario.operations),
+                run.p50_op_latency_ns,
+                run.p99_op_latency_ns,
+                run.objects,
+                run.clusters,
+                run.merges_applied,
+                run.splits_applied,
+                run.objective_evaluations,
+                if j + 1 == scenario.runs.len() {
+                    ""
+                } else {
+                    ","
+                },
+            ));
+        }
+        out.push_str(&format!(
+            "      ]\n    }}{}\n",
+            if i + 1 == results.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The acceptance gate of the pipeline issue: at 4 shards on the
+    /// largest fixture's ingestion stream, the pipelined front-end sustains
+    /// at least 1.3x the synchronous engine's ops/sec (request admissions
+    /// coalesce into group-committed rounds — one fsync and one refinement
+    /// pass per [`BATCH_OPS`] ops instead of per [`GRANULE_OPS`] ops).
+    #[test]
+    fn pipelined_serving_outpaces_sync_ingestion() {
+        let results = run_pipeline_bench();
+        assert_eq!(results.len(), 1);
+        let scenario = &results[0];
+        assert_eq!(scenario.runs.len(), 2);
+        let sync = scenario.run("sync");
+        let pipelined = scenario.run("pipelined");
+        assert!(
+            sync.rounds > pipelined.rounds,
+            "the pipeline must coalesce requests into fewer rounds"
+        );
+        // The stream is identical, so the surviving object set is too; the
+        // clusterings may differ only by round-boundary placement.
+        assert_eq!(
+            sync.objects, pipelined.objects,
+            "live-object count diverged"
+        );
+        assert!(
+            pipelined.p99_op_latency_ns >= pipelined.p50_op_latency_ns,
+            "percentiles must be ordered"
+        );
+        assert!(
+            scenario.speedup() >= 1.3,
+            "{}: pipelined speedup {:.2} < 1.3 (sync {:.3}s, pipelined {:.3}s)",
+            scenario.name,
+            scenario.speedup(),
+            sync.seconds,
+            pipelined.seconds,
+        );
+        let json = pipeline_results_to_json(&results);
+        assert!(json.contains("\"bench\": \"pipeline\""));
+        assert!(json.contains("\"mode\": \"pipelined\""));
+    }
+}

@@ -274,7 +274,7 @@ pub fn large_febrl_workload() -> DynamicWorkload {
 /// full graph falls under it in a quarter-size shard and suddenly produces
 /// comparisons).  Exact blocking gives every shard count the same
 /// semantics, so the measured scaling is the partition's, not the cutoff's.
-fn sharded_febrl_config() -> GraphConfig {
+pub fn sharded_febrl_config() -> GraphConfig {
     GraphConfig::new(
         Box::new(dc_similarity::measures::CompositeMeasure::febrl_default()),
         Box::new(dc_similarity::TokenBlocking::new(0)),

@@ -124,6 +124,7 @@ pub fn run_telemetry_smoke() -> TelemetrySmokeResult {
     let router = ShardRouter::for_config(SMOKE_SHARDS, graph.config());
     let options = DurabilityOptions {
         checkpoint_every_rounds: SMOKE_CHECKPOINT_EVERY,
+        group_commit: false,
     };
     let (mut engine, _) = ShardedDurableEngine::open(
         &dir,

@@ -4,7 +4,7 @@ use dc_evolution::SamplerConfig;
 use dc_ml::ModelKind;
 
 /// Configuration of a [`DynamicC`](crate::DynamicC) instance.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DynamicCConfig {
     /// Which classifier family to use for both the merge and split models
     /// (logistic regression by default, as in the paper).

@@ -70,6 +70,7 @@ pub mod dynamic;
 pub mod engine;
 pub mod merge;
 pub mod models;
+pub mod pipeline;
 pub mod refine;
 pub mod shard;
 pub mod split;
@@ -80,6 +81,9 @@ pub use durable::{DurabilityOptions, DurableEngine, RecoveryReport};
 pub use dynamic::DynamicC;
 pub use engine::{Engine, RoundReport};
 pub use models::ModelPair;
+pub use pipeline::{
+    AdaptiveBatcher, PipelineError, PipelineOptions, PipelineReport, PipelinedEngine,
+};
 pub use refine::RefineReport;
 pub use shard::{
     ShardConfigError, ShardedDurableEngine, ShardedEngine, ShardedRecoveryReport,

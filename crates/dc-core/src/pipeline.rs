@@ -1,0 +1,1049 @@
+//! Pipelined ingestion front-end: adaptive batching, cross-shard group
+//! commit, and apply/refine overlap over a [`ShardedDurableEngine`].
+//!
+//! The synchronous sharded round is a strict sequence — route → log (one
+//! fsync **per shard** plus one for the refine WAL) → apply → refine — so
+//! op latency is gated by the slowest phase and every round pays N+1 fsyncs.
+//! This module turns that loop into a three-stage pipeline:
+//!
+//! 1. **Admission.**  Callers [`PipelinedEngine::submit`] single operations
+//!    into a bounded hand-rolled MPSC channel ([`bounded_channel`]; the
+//!    workspace vendors no crates).  A full queue blocks the submitter —
+//!    backpressure is the protocol; nothing is ever dropped or reordered.
+//! 2. **Batch formation + group commit.**  A coordinator thread drains the
+//!    queue into rounds sized by an [`AdaptiveBatcher`] (grow while commit
+//!    latency is under target, shrink when over), routes each round, then
+//!    **stages** every shard's WAL append and the refine WAL's full-batch
+//!    append without fsync and commits the whole round with **one** fsync
+//!    of the refine WAL — the group-commit log.  The commit rule is
+//!    unchanged: a round is acknowledged only once a WAL durably holds it;
+//!    because the refine WAL holds the *full* batch, recovery re-derives
+//!    (heals) any shard WAL tail the crash cut off.  With one shard there
+//!    is no refine WAL and the single fsync lands on the shard's own WAL.
+//! 3. **Apply/refine overlap.**  After the commit fsync the round is handed
+//!    to a refine worker thread through a second bounded channel (capacity
+//!    = the in-flight window), then the shards apply it in parallel on the
+//!    existing scoped pool — cross-shard refinement of round R−1 runs
+//!    concurrently with shard apply of round R.  A full window blocks the
+//!    coordinator (`pipeline.overlap_stall`), bounding how far the refined
+//!    view may trail the shards.
+//!
+//! Refinement uses [`CrossShardRefiner::replay_round`] — the reuse-free
+//! path that recomputes every cross-shard pair against the mirror's own
+//! records — so the worker needs no access to the shard engines at all,
+//! and its result is bit-identical to the synchronous engine's.  The
+//! headline invariant, pinned by `tests/pipeline_equivalence.rs`: after
+//! [`PipelinedEngine::close`], the clustering, the refined clustering, and
+//! the recovered-after-crash state are all bit-identical to a synchronous
+//! [`ShardedDurableEngine`] serving the same batches.
+//!
+//! Telemetry: `pipeline.admit` (submitter-side backpressure wait),
+//! `pipeline.batch_form`, `pipeline.group_commit`, `pipeline.overlap_stall`
+//! and `pipeline.refine` spans, a `pipeline.queue_depth` gauge, and a
+//! `pipeline.op_latency` histogram (submit → durable commit).  The
+//! coordinator and refine worker record into their own thread-local sinks;
+//! their deltas merge back into the closing thread's sink, coordinator
+//! first, on [`PipelinedEngine::close`].
+
+use crate::refine::CrossShardRefiner;
+use crate::shard::{
+    parallel_shard_rounds, record_batch_imbalance, DurableRefine, PipelineParts,
+    ShardedDurableEngine,
+};
+use dc_storage::{Snapshotter, StorageError, Wal};
+use dc_types::{Operation, OperationBatch};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+// ---------------------------------------------------------------------------
+// Bounded MPSC channel (hand-rolled: the workspace vendors no crates).
+// ---------------------------------------------------------------------------
+
+/// Shared state of a [`bounded_channel`].
+struct ChannelInner<T> {
+    state: Mutex<ChannelState<T>>,
+    /// Signalled when an item is enqueued or the last sender goes away.
+    not_empty: Condvar,
+    /// Signalled when an item is dequeued or the receiver goes away.
+    not_full: Condvar,
+}
+
+struct ChannelState<T> {
+    queue: VecDeque<T>,
+    capacity: usize,
+    senders: usize,
+    receiver_alive: bool,
+}
+
+/// The sending half of a [`bounded_channel`].  Cloneable (MPSC); dropping
+/// the last clone disconnects the channel, which the receiver observes once
+/// the queue drains.
+pub struct BoundedSender<T> {
+    inner: Arc<ChannelInner<T>>,
+}
+
+/// The receiving half of a [`bounded_channel`].  Single consumer; dropping
+/// it wakes all blocked senders with a [`SendError`].
+pub struct BoundedReceiver<T> {
+    inner: Arc<ChannelInner<T>>,
+}
+
+/// The channel is disconnected: the receiver was dropped before (or while)
+/// this value could be enqueued.  The value is handed back.
+#[derive(Debug, PartialEq, Eq)]
+pub struct SendError<T>(
+    /// The value that could not be enqueued.
+    pub T,
+);
+
+/// Outcome of a [`BoundedReceiver::recv_deadline`] call.
+#[derive(Debug, PartialEq, Eq)]
+pub enum RecvTimeout<T> {
+    /// An item was dequeued before the deadline.
+    Item(
+        /// The dequeued item.
+        T,
+    ),
+    /// The deadline passed with the queue empty (senders still connected).
+    TimedOut,
+    /// Every sender is gone and the queue is empty.
+    Disconnected,
+}
+
+/// Create a bounded FIFO MPSC channel with room for `capacity` items
+/// (minimum 1).  [`BoundedSender::send`] **blocks** while the queue is full
+/// — this is the pipeline's backpressure: admission stalls the submitter
+/// instead of dropping work or buffering unboundedly.
+pub fn bounded_channel<T>(capacity: usize) -> (BoundedSender<T>, BoundedReceiver<T>) {
+    let inner = Arc::new(ChannelInner {
+        state: Mutex::new(ChannelState {
+            queue: VecDeque::new(),
+            capacity: capacity.max(1),
+            senders: 1,
+            receiver_alive: true,
+        }),
+        not_empty: Condvar::new(),
+        not_full: Condvar::new(),
+    });
+    (
+        BoundedSender {
+            inner: Arc::clone(&inner),
+        },
+        BoundedReceiver { inner },
+    )
+}
+
+impl<T> BoundedSender<T> {
+    /// Enqueue `value`, blocking while the queue is at capacity.  Returns
+    /// the value in [`SendError`] if the receiver is gone.
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        let mut state = self.inner.state.lock().expect("channel lock");
+        loop {
+            if !state.receiver_alive {
+                return Err(SendError(value));
+            }
+            if state.queue.len() < state.capacity {
+                state.queue.push_back(value);
+                self.inner.not_empty.notify_one();
+                return Ok(());
+            }
+            state = self.inner.not_full.wait(state).expect("channel lock");
+        }
+    }
+
+    /// Current queue length (a racy snapshot).
+    pub fn len(&self) -> usize {
+        self.inner.state.lock().expect("channel lock").queue.len()
+    }
+
+    /// Whether the queue is currently empty (a racy snapshot).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> Clone for BoundedSender<T> {
+    fn clone(&self) -> Self {
+        self.inner.state.lock().expect("channel lock").senders += 1;
+        BoundedSender {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T> Drop for BoundedSender<T> {
+    fn drop(&mut self) {
+        let mut state = self.inner.state.lock().expect("channel lock");
+        state.senders -= 1;
+        if state.senders == 0 {
+            self.inner.not_empty.notify_all();
+        }
+    }
+}
+
+impl<T> BoundedReceiver<T> {
+    /// Dequeue the next item, blocking while the queue is empty.  Returns
+    /// `None` once every sender is gone *and* the queue has drained — no
+    /// enqueued item is ever lost to a disconnect.
+    pub fn recv(&self) -> Option<T> {
+        let mut state = self.inner.state.lock().expect("channel lock");
+        loop {
+            if let Some(value) = state.queue.pop_front() {
+                self.inner.not_full.notify_one();
+                return Some(value);
+            }
+            if state.senders == 0 {
+                return None;
+            }
+            state = self.inner.not_empty.wait(state).expect("channel lock");
+        }
+    }
+
+    /// [`BoundedReceiver::recv`] with a deadline: blocks until an item
+    /// arrives, the deadline passes, or the channel disconnects empty.
+    pub fn recv_deadline(&self, deadline: Instant) -> RecvTimeout<T> {
+        let mut state = self.inner.state.lock().expect("channel lock");
+        loop {
+            if let Some(value) = state.queue.pop_front() {
+                self.inner.not_full.notify_one();
+                return RecvTimeout::Item(value);
+            }
+            if state.senders == 0 {
+                return RecvTimeout::Disconnected;
+            }
+            let Some(wait) = deadline
+                .checked_duration_since(Instant::now())
+                .filter(|d| !d.is_zero())
+            else {
+                return RecvTimeout::TimedOut;
+            };
+            let (guard, _timeout) = self
+                .inner
+                .not_empty
+                .wait_timeout(state, wait)
+                .expect("channel lock");
+            state = guard;
+        }
+    }
+
+    /// Current queue length (a racy snapshot).
+    pub fn len(&self) -> usize {
+        self.inner.state.lock().expect("channel lock").queue.len()
+    }
+
+    /// Whether the queue is currently empty (a racy snapshot).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> Drop for BoundedReceiver<T> {
+    fn drop(&mut self) {
+        let mut state = self.inner.state.lock().expect("channel lock");
+        state.receiver_alive = false;
+        self.inner.not_full.notify_all();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Adaptive batching.
+// ---------------------------------------------------------------------------
+
+/// The batch-sizing control law: a pure, deterministic function of the
+/// observed commit latencies, kept free of clocks and threads so it can be
+/// unit-tested exactly.
+///
+/// The batcher holds a current **batch target** in `[min, max]`.  After
+/// every committed round it observes the round's group-commit latency:
+///
+/// * latency above the target → **halve** the target (multiplicative
+///   decrease: each op waits less, at the price of amortizing the fsync
+///   over fewer ops);
+/// * latency under half the target *and* a round that actually filled the
+///   current target → grow it by 25% + 1 (gentle increase: more ops
+///   amortize each fsync);
+/// * otherwise → hold steady.
+///
+/// With `min == max` this is a fixed-size batcher — the mode the
+/// deterministic equivalence tests and benchmarks use
+/// ([`PipelineOptions::fixed`]).
+#[derive(Debug, Clone)]
+pub struct AdaptiveBatcher {
+    min: usize,
+    max: usize,
+    target_latency_ns: u64,
+    size: usize,
+}
+
+impl AdaptiveBatcher {
+    /// Build a batcher clamped to `[min, max]` starting at `initial`,
+    /// steering toward `target_latency` per group commit.
+    pub fn new(min: usize, max: usize, initial: usize, target_latency: Duration) -> Self {
+        let min = min.max(1);
+        let max = max.max(min);
+        AdaptiveBatcher {
+            min,
+            max,
+            target_latency_ns: target_latency.as_nanos() as u64,
+            size: initial.clamp(min, max),
+        }
+    }
+
+    /// The number of operations the next round should aim for.
+    pub fn batch_target(&self) -> usize {
+        self.size
+    }
+
+    /// Feed back one committed round: `ops` operations group-committed in
+    /// `commit_ns` nanoseconds (fsync included).
+    pub fn observe(&mut self, ops: usize, commit_ns: u64) {
+        if commit_ns > self.target_latency_ns {
+            self.size = (self.size / 2).max(self.min);
+        } else if commit_ns.saturating_mul(2) < self.target_latency_ns && ops >= self.size {
+            self.size = (self.size + self.size / 4 + 1).min(self.max);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Options, errors, report.
+// ---------------------------------------------------------------------------
+
+/// Tuning knobs for a [`PipelinedEngine`].
+#[derive(Debug, Clone)]
+pub struct PipelineOptions {
+    /// Admission queue capacity in operations.  A full queue blocks
+    /// [`PipelinedEngine::submit`] (backpressure).
+    pub queue_capacity: usize,
+    /// Smallest batch the adaptive batcher may shrink to.
+    pub min_batch_ops: usize,
+    /// Largest batch the adaptive batcher may grow to.
+    pub max_batch_ops: usize,
+    /// The batch target the adaptive batcher starts from.
+    pub initial_batch_ops: usize,
+    /// The per-round group-commit latency the batcher steers toward.
+    pub target_commit_latency: Duration,
+    /// How long batch formation waits for further operations after the
+    /// first before closing an under-target round — the latency bound on a
+    /// trickle workload.
+    pub max_batch_delay: Duration,
+    /// How many committed rounds may sit in the refine worker's window
+    /// before the coordinator stalls (`pipeline.overlap_stall`) — the bound
+    /// on how far the refined view trails the shards.
+    pub max_inflight_refine_rounds: usize,
+    /// Record every formed batch and hand the sequence back in the
+    /// [`PipelineReport`]; the equivalence tests replay it through a
+    /// synchronous engine to prove bit-identity.
+    pub record_batches: bool,
+}
+
+impl Default for PipelineOptions {
+    fn default() -> Self {
+        PipelineOptions {
+            queue_capacity: 4096,
+            min_batch_ops: 1,
+            max_batch_ops: 1024,
+            initial_batch_ops: 256,
+            target_commit_latency: Duration::from_millis(20),
+            max_batch_delay: Duration::from_millis(2),
+            max_inflight_refine_rounds: 2,
+            record_batches: false,
+        }
+    }
+}
+
+impl PipelineOptions {
+    /// A deterministic fixed-size configuration: every round holds exactly
+    /// `ops` operations (the final round before a flush barrier or close
+    /// may be smaller).  The equivalence tests and benchmarks use this so
+    /// round structure is identical across runs.
+    pub fn fixed(ops: usize) -> Self {
+        let ops = ops.max(1);
+        PipelineOptions {
+            min_batch_ops: ops,
+            max_batch_ops: ops,
+            initial_batch_ops: ops,
+            ..PipelineOptions::default()
+        }
+    }
+}
+
+/// Why a pipelined call failed.
+#[derive(Debug)]
+pub enum PipelineError {
+    /// The pipeline has shut down — [`PipelinedEngine::close`] ran, or a
+    /// storage failure stopped the coordinator (the underlying
+    /// [`StorageError`] surfaces from [`PipelinedEngine::close`]).
+    Closed,
+    /// A storage operation failed on the serving path.
+    Storage(
+        /// The failure the coordinator stopped on.
+        StorageError,
+    ),
+}
+
+impl std::fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PipelineError::Closed => write!(f, "the pipelined engine is closed"),
+            PipelineError::Storage(e) => write!(f, "pipelined storage failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PipelineError::Closed => None,
+            PipelineError::Storage(e) => Some(e),
+        }
+    }
+}
+
+impl From<StorageError> for PipelineError {
+    fn from(e: StorageError) -> Self {
+        PipelineError::Storage(e)
+    }
+}
+
+/// What a pipelined serving session did, returned by
+/// [`PipelinedEngine::close`].
+#[derive(Debug, Default)]
+pub struct PipelineReport {
+    /// Rounds group-committed by the coordinator.
+    pub rounds_committed: u64,
+    /// Operations durably committed (equals the submitted count after a
+    /// clean close).
+    pub ops_committed: u64,
+    /// Per-operation submit→durable-commit latency in nanoseconds, in
+    /// commit order.  The benchmark derives p50/p99 from this.
+    pub op_latencies_ns: Vec<u64>,
+    /// Every formed batch in commit order, when
+    /// [`PipelineOptions::record_batches`] was set.
+    pub recorded_batches: Option<Vec<OperationBatch>>,
+    /// Rounds whose refine handoff found the in-flight window full, forcing
+    /// the coordinator to stall.
+    pub overlap_stalls: u64,
+    /// Largest admission-queue depth observed right after closing a batch.
+    pub max_queue_depth: usize,
+}
+
+// ---------------------------------------------------------------------------
+// Internal plumbing.
+// ---------------------------------------------------------------------------
+
+/// What flows through the admission channel.
+enum Admit {
+    /// One operation, stamped with its submission instant for the latency
+    /// histogram.
+    Op(Operation, Instant),
+    /// Close the current batch immediately (a flush barrier marker).
+    Flush,
+}
+
+/// Commit/refine progress shared between submitters, coordinator, and
+/// refine worker; the condvar wakes flush barriers and the coordinator's
+/// pre-checkpoint refine-catch-up wait.
+#[derive(Default)]
+struct ProgressState {
+    committed_ops: u64,
+    committed_rounds: u64,
+    refined_rounds: u64,
+    failed: bool,
+}
+
+struct Progress {
+    state: Mutex<ProgressState>,
+    cond: Condvar,
+}
+
+impl Progress {
+    fn new() -> Self {
+        Progress {
+            state: Mutex::new(ProgressState::default()),
+            cond: Condvar::new(),
+        }
+    }
+
+    fn update(&self, f: impl FnOnce(&mut ProgressState)) {
+        let mut state = self.state.lock().expect("progress lock");
+        f(&mut state);
+        self.cond.notify_all();
+    }
+}
+
+/// Everything the coordinator thread hands back when it exits.
+struct CoordinatorExit {
+    parts: PipelineParts,
+    refine_wal: Option<Wal>,
+    snapshotter: Option<Snapshotter>,
+    error: Option<StorageError>,
+    report: PipelineReport,
+    telemetry: dc_telemetry::ThreadDelta,
+}
+
+/// The coordinator thread's working set: the engine parts it owns while
+/// serving, plus its ends of the two channels.
+struct Coordinator {
+    parts: PipelineParts,
+    options: PipelineOptions,
+    admit_rx: BoundedReceiver<Admit>,
+    refine_tx: Option<BoundedSender<(OperationBatch, Vec<usize>)>>,
+    refiner: Option<Arc<Mutex<CrossShardRefiner>>>,
+    refine_wal: Option<Wal>,
+    snapshotter: Option<Snapshotter>,
+    progress: Arc<Progress>,
+    abort: Arc<AtomicBool>,
+}
+
+impl Coordinator {
+    fn run(mut self) -> CoordinatorExit {
+        let reg = dc_telemetry::registry();
+        let mut batcher = AdaptiveBatcher::new(
+            self.options.min_batch_ops,
+            self.options.max_batch_ops,
+            self.options.initial_batch_ops,
+            self.options.target_commit_latency,
+        );
+        let mut report = PipelineReport {
+            recorded_batches: self.options.record_batches.then(Vec::new),
+            ..PipelineReport::default()
+        };
+        let mut error = None;
+        // Block for the head of each round; a disconnect with the queue
+        // drained is the clean-close signal.
+        while let Some(first) = self.admit_rx.recv() {
+            let span = reg.span("pipeline.batch_form");
+            let mut batch = OperationBatch::new();
+            let mut stamps = Vec::new();
+            let mut flushed = false;
+            match first {
+                Admit::Op(op, submitted) => {
+                    batch.push(op);
+                    stamps.push(submitted);
+                }
+                Admit::Flush => flushed = true,
+            }
+            let deadline = Instant::now() + self.options.max_batch_delay;
+            while !flushed && batch.len() < batcher.batch_target() {
+                match self.admit_rx.recv_deadline(deadline) {
+                    RecvTimeout::Item(Admit::Op(op, submitted)) => {
+                        batch.push(op);
+                        stamps.push(submitted);
+                    }
+                    RecvTimeout::Item(Admit::Flush) => flushed = true,
+                    RecvTimeout::TimedOut | RecvTimeout::Disconnected => break,
+                }
+            }
+            span.finish();
+            let depth = self.admit_rx.len();
+            report.max_queue_depth = report.max_queue_depth.max(depth);
+            reg.gauge("pipeline.queue_depth", depth as f64);
+            if self.abort.load(Ordering::Relaxed) {
+                // Killed: discard the formed (still uncommitted) batch.
+                break;
+            }
+            if batch.is_empty() {
+                // A flush barrier with nothing pending commits nothing.
+                continue;
+            }
+            if let Err(e) = self.serve_round(batch, &stamps, &mut batcher, &mut report) {
+                error = Some(e);
+                self.progress.update(|p| p.failed = true);
+                break;
+            }
+        }
+        CoordinatorExit {
+            parts: self.parts,
+            refine_wal: self.refine_wal,
+            snapshotter: self.snapshotter,
+            error,
+            report,
+            telemetry: dc_telemetry::registry().drain(),
+        }
+        // Dropping the rest of `self` here closes `refine_tx`, which lets
+        // the refine worker drain its window and exit.
+    }
+
+    /// Commit, acknowledge, hand off, and apply one formed round.
+    fn serve_round(
+        &mut self,
+        batch: OperationBatch,
+        stamps: &[Instant],
+        batcher: &mut AdaptiveBatcher,
+        report: &mut PipelineReport,
+    ) -> Result<(), StorageError> {
+        let reg = dc_telemetry::registry();
+        let ops = batch.len();
+
+        let span = reg.span("round.route");
+        let routed = self
+            .parts
+            .router
+            .route_batch(&batch, &mut self.parts.assignment);
+        span.finish();
+        record_batch_imbalance(&routed.sub_batches);
+
+        // Group commit: stage all shard appends, seal with one fsync of the
+        // group-commit log (the refine WAL; the lone shard's WAL at N=1).
+        let round = self.parts.rounds_served as u64 + 1;
+        let commit_span = reg.span("pipeline.group_commit");
+        for (shard, sub) in self.parts.shards.iter_mut().zip(&routed.sub_batches) {
+            let logged = shard.log_round_nosync(sub)?;
+            debug_assert_eq!(logged, round, "shards advance in lock-step");
+        }
+        match self.refine_wal.as_mut() {
+            Some(wal) => {
+                wal.append_round_nosync(round, &batch)?;
+                wal.sync()?;
+            }
+            None => self.parts.shards[0].wal_sync()?,
+        }
+        let commit_ns = commit_span.finish_ns();
+
+        // The round is durable: acknowledge it before any in-memory work,
+        // so flush barriers and latency stamps see commit time.
+        let now = Instant::now();
+        for submitted in stamps {
+            let ns = now.duration_since(*submitted).as_nanos() as u64;
+            reg.record_ns("pipeline.op_latency", ns);
+            report.op_latencies_ns.push(ns);
+        }
+        report.rounds_committed += 1;
+        report.ops_committed += ops as u64;
+        if let Some(recorded) = &mut report.recorded_batches {
+            recorded.push(batch.clone());
+        }
+        let solo = self.refine_tx.is_none();
+        self.progress.update(|p| {
+            p.committed_ops += ops as u64;
+            p.committed_rounds += 1;
+            if solo {
+                // No refine layer: the refined view is the merged view and
+                // never trails.
+                p.refined_rounds += 1;
+            }
+        });
+
+        // Hand the round to the refine worker *before* applying it to the
+        // shards: replay_round never touches the shard engines, so the two
+        // run concurrently — that is the overlap.
+        if let Some(tx) = &self.refine_tx {
+            if tx.len() >= self.options.max_inflight_refine_rounds.max(1) {
+                report.overlap_stalls += 1;
+            }
+            let span = reg.span("pipeline.overlap_stall");
+            tx.send((batch, routed.op_shards.clone())).map_err(|_| {
+                StorageError::Inconsistent(
+                    "refine worker exited while rounds were in flight".into(),
+                )
+            })?;
+            span.finish();
+        }
+
+        let span = reg.span("round.shard_apply");
+        let _reports = parallel_shard_rounds(
+            &mut self.parts.shards,
+            &routed.sub_batches,
+            self.parts.max_threads,
+            |shard, sub| shard.apply_logged(sub),
+        );
+        span.finish();
+        self.parts.rounds_served += 1;
+        batcher.observe(ops, commit_ns);
+
+        let every = self.parts.options.checkpoint_every_rounds as u64;
+        if every > 0
+            && (self.parts.rounds_served as u64).is_multiple_of(every)
+            && !self.abort.load(Ordering::Relaxed)
+        {
+            // A checkpoint snapshots the refiner, so the refined view must
+            // first catch up with every committed round.
+            self.wait_refined();
+            if !self.abort.load(Ordering::Relaxed) {
+                let span = reg.span("round.checkpoint");
+                self.checkpoint()?;
+                span.finish();
+            }
+        }
+        Ok(())
+    }
+
+    /// Block until the refine worker has folded in every committed round.
+    fn wait_refined(&self) {
+        let mut state = self.progress.state.lock().expect("progress lock");
+        while state.refined_rounds < state.committed_rounds {
+            state = self.progress.cond.wait(state).expect("progress lock");
+        }
+    }
+
+    /// Checkpoint every shard, then the refinement layer — the same order
+    /// and effect as [`ShardedDurableEngine::checkpoint`].
+    fn checkpoint(&mut self) -> Result<u64, StorageError> {
+        for shard in &mut self.parts.shards {
+            shard.checkpoint()?;
+        }
+        let round = self.parts.rounds_served as u64;
+        if let (Some(wal), Some(snapshotter), Some(refiner)) = (
+            self.refine_wal.as_mut(),
+            self.snapshotter.as_mut(),
+            self.refiner.as_ref(),
+        ) {
+            {
+                let refiner = refiner.lock().expect("refiner lock");
+                snapshotter.write(round, &refiner.snapshot_ref())?;
+            }
+            if wal.start_round() != round {
+                *wal = Wal::create(snapshotter.dir(), round)?;
+            }
+            snapshotter.prune_obsolete(round)?;
+        }
+        Ok(round)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The pipelined engine.
+// ---------------------------------------------------------------------------
+
+/// The pipelined ingestion front-end over a [`ShardedDurableEngine`]: a
+/// bounded admission queue, an adaptively-batching group-committing
+/// coordinator thread, and a refine worker overlapping cross-shard
+/// refinement with shard apply.  See the [module docs](crate::pipeline)
+/// for the full protocol.
+///
+/// Rounds are always **group-committed** (one fsync per round) regardless
+/// of the engine's own [`crate::DurabilityOptions::group_commit`] flag;
+/// the `checkpoint_every_rounds` cadence is honored, with each checkpoint
+/// first waiting for the refine worker to catch up so no snapshot gets
+/// ahead of the refined view.
+///
+/// [`PipelinedEngine::close`] drains everything and hands the engine back.
+/// [`PipelinedEngine::kill`] (or a plain drop) abandons in-flight work:
+/// whatever was already group-committed is exactly what the next
+/// [`ShardedDurableEngine::open`] recovers — the crash tests rely on this.
+pub struct PipelinedEngine {
+    sender: Option<BoundedSender<Admit>>,
+    submitted_ops: AtomicU64,
+    progress: Arc<Progress>,
+    abort: Arc<AtomicBool>,
+    refiner: Option<Arc<Mutex<CrossShardRefiner>>>,
+    coordinator: Option<std::thread::JoinHandle<CoordinatorExit>>,
+    refine_worker: Option<std::thread::JoinHandle<dc_telemetry::ThreadDelta>>,
+}
+
+impl PipelinedEngine {
+    /// Take ownership of an open [`ShardedDurableEngine`] and start serving
+    /// its operation stream through the pipeline.
+    pub fn start(engine: ShardedDurableEngine, options: PipelineOptions) -> Self {
+        let mut parts = engine.into_pipeline_parts();
+        let progress = Arc::new(Progress::new());
+        let abort = Arc::new(AtomicBool::new(false));
+        let enabled = dc_telemetry::registry().is_enabled();
+
+        let (admit_tx, admit_rx) = bounded_channel::<Admit>(options.queue_capacity);
+
+        // Split the refine plumbing: the coordinator keeps the WAL and
+        // snapshotter; the worker (and checkpoints) share the refiner.
+        let (refiner, refine_wal, snapshotter) = match parts.refine.take() {
+            Some(refine) => (
+                Some(Arc::new(Mutex::new(refine.refiner))),
+                Some(refine.wal),
+                Some(refine.snapshotter),
+            ),
+            None => (None, None, None),
+        };
+
+        // Refine worker: folds committed rounds into the shared refiner
+        // using shard 0's pass configuration (all shards carry an identical
+        // one — validated when the refiner was built).
+        let (refine_tx, refine_worker) = match &refiner {
+            Some(refiner) => {
+                let (tx, rx) = bounded_channel::<(OperationBatch, Vec<usize>)>(
+                    options.max_inflight_refine_rounds.max(1),
+                );
+                let refiner = Arc::clone(refiner);
+                let dynamicc = parts.shards[0].engine().dynamicc().clone();
+                let progress = Arc::clone(&progress);
+                let abort = Arc::clone(&abort);
+                let max_threads = parts.max_threads;
+                let handle = std::thread::spawn(move || {
+                    let reg = dc_telemetry::registry();
+                    reg.set_enabled(enabled);
+                    while let Some((batch, op_shards)) = rx.recv() {
+                        if !abort.load(Ordering::Relaxed) {
+                            let span = reg.span("pipeline.refine");
+                            refiner.lock().expect("refiner lock").replay_round(
+                                &batch,
+                                &op_shards,
+                                &dynamicc,
+                                max_threads,
+                            );
+                            span.finish();
+                        }
+                        // Count the round even when a kill discards it, so
+                        // a coordinator waiting on catch-up always wakes.
+                        progress.update(|p| p.refined_rounds += 1);
+                    }
+                    reg.drain()
+                });
+                (Some(tx), Some(handle))
+            }
+            None => (None, None),
+        };
+
+        let coordinator = {
+            let coordinator = Coordinator {
+                parts,
+                options,
+                admit_rx,
+                refine_tx,
+                refiner: refiner.clone(),
+                refine_wal,
+                snapshotter,
+                progress: Arc::clone(&progress),
+                abort: Arc::clone(&abort),
+            };
+            std::thread::spawn(move || {
+                dc_telemetry::registry().set_enabled(enabled);
+                coordinator.run()
+            })
+        };
+
+        PipelinedEngine {
+            sender: Some(admit_tx),
+            submitted_ops: AtomicU64::new(0),
+            progress,
+            abort,
+            refiner,
+            coordinator: Some(coordinator),
+            refine_worker,
+        }
+    }
+
+    /// Admit one operation, blocking while the admission queue is full
+    /// (backpressure).  The operation is durable once its round's group
+    /// commit lands — at the latest when a subsequent
+    /// [`PipelinedEngine::flush`] or [`PipelinedEngine::close`] returns.
+    pub fn submit(&self, op: Operation) -> Result<(), PipelineError> {
+        let sender = self.sender.as_ref().ok_or(PipelineError::Closed)?;
+        let span = dc_telemetry::registry().span("pipeline.admit");
+        let sent = sender.send(Admit::Op(op, Instant::now()));
+        span.finish();
+        match sent {
+            Ok(()) => {
+                self.submitted_ops.fetch_add(1, Ordering::Relaxed);
+                Ok(())
+            }
+            Err(_) => Err(PipelineError::Closed),
+        }
+    }
+
+    /// Close the in-flight batch immediately and block until every
+    /// operation submitted before this call is durably committed **and**
+    /// the refine worker has caught up with every committed round.  The
+    /// deterministic tests drive round boundaries with this.
+    pub fn flush(&self) -> Result<(), PipelineError> {
+        let sender = self.sender.as_ref().ok_or(PipelineError::Closed)?;
+        let target = self.submitted_ops.load(Ordering::Relaxed);
+        sender
+            .send(Admit::Flush)
+            .map_err(|_| PipelineError::Closed)?;
+        let mut state = self.progress.state.lock().expect("progress lock");
+        loop {
+            if state.failed {
+                return Err(PipelineError::Closed);
+            }
+            if state.committed_ops >= target && state.refined_rounds >= state.committed_rounds {
+                return Ok(());
+            }
+            state = self.progress.cond.wait(state).expect("progress lock");
+        }
+    }
+
+    /// Operations currently waiting in the admission queue.
+    pub fn queue_depth(&self) -> usize {
+        self.sender.as_ref().map_or(0, BoundedSender::len)
+    }
+
+    /// Operations admitted so far (committed or still in flight).
+    pub fn submitted_ops(&self) -> u64 {
+        self.submitted_ops.load(Ordering::Relaxed)
+    }
+
+    /// Stop admitting, drain every queued operation through commit, apply,
+    /// and refinement, join the worker threads (merging their telemetry
+    /// into this thread's sink, coordinator first), and hand back the
+    /// reassembled synchronous engine plus the session report.
+    pub fn close(mut self) -> Result<(ShardedDurableEngine, PipelineReport), PipelineError> {
+        drop(self.sender.take());
+        let mut exit = self
+            .coordinator
+            .take()
+            .expect("close joins the coordinator once")
+            .join()
+            .expect("pipeline coordinator panicked");
+        exit.telemetry.merge_into_current();
+        if let Some(worker) = self.refine_worker.take() {
+            worker
+                .join()
+                .expect("pipeline refine worker panicked")
+                .merge_into_current();
+        }
+        if let Some(error) = exit.error.take() {
+            return Err(PipelineError::Storage(error));
+        }
+        let refine = match self.refiner.take() {
+            Some(refiner) => {
+                let refiner = Arc::try_unwrap(refiner)
+                    .unwrap_or_else(|_| panic!("refiner still shared after worker join"))
+                    .into_inner()
+                    .expect("refiner lock");
+                Some(DurableRefine {
+                    refiner,
+                    wal: exit
+                        .refine_wal
+                        .take()
+                        .expect("refine WAL rides with the refiner"),
+                    snapshotter: exit
+                        .snapshotter
+                        .take()
+                        .expect("snapshotter rides with the refiner"),
+                })
+            }
+            None => None,
+        };
+        let mut parts = exit.parts;
+        parts.refine = refine;
+        Ok((
+            ShardedDurableEngine::from_pipeline_parts(parts),
+            exit.report,
+        ))
+    }
+
+    /// Abandon the pipeline without draining: queued and in-flight work is
+    /// discarded, the threads exit, and whatever was already
+    /// group-committed on disk is exactly what the next open recovers —
+    /// the simulated-kill half of the crash tests.
+    pub fn kill(mut self) {
+        self.shutdown_abandon();
+    }
+
+    fn shutdown_abandon(&mut self) {
+        self.abort.store(true, Ordering::Relaxed);
+        drop(self.sender.take());
+        if let Some(handle) = self.coordinator.take() {
+            let _ = handle.join();
+        }
+        if let Some(worker) = self.refine_worker.take() {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for PipelinedEngine {
+    fn drop(&mut self) {
+        self.shutdown_abandon();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn channel_is_fifo_and_drains_after_disconnect() {
+        let (tx, rx) = bounded_channel(8);
+        for i in 0..5 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        // Disconnected senders never lose enqueued items.
+        assert_eq!(rx.len(), 5);
+        for i in 0..5 {
+            assert_eq!(rx.recv(), Some(i));
+        }
+        assert_eq!(rx.recv(), None);
+    }
+
+    #[test]
+    fn channel_send_fails_once_receiver_is_gone() {
+        let (tx, rx) = bounded_channel(2);
+        tx.send(1).unwrap();
+        drop(rx);
+        assert_eq!(tx.send(2), Err(SendError(2)));
+    }
+
+    #[test]
+    fn channel_blocks_at_capacity_until_a_slot_frees() {
+        let (tx, rx) = bounded_channel(1);
+        tx.send(1u32).unwrap();
+        let blocked = std::thread::spawn(move || {
+            tx.send(2).unwrap(); // blocks until the receiver pops
+            tx
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(rx.len(), 1, "second send must still be blocked");
+        assert_eq!(rx.recv(), Some(1));
+        let tx = blocked.join().unwrap();
+        assert_eq!(rx.recv(), Some(2));
+        drop(tx);
+        assert_eq!(rx.recv(), None);
+    }
+
+    #[test]
+    fn channel_recv_deadline_times_out_and_disconnects() {
+        let (tx, rx) = bounded_channel::<u32>(2);
+        assert_eq!(
+            rx.recv_deadline(Instant::now() + Duration::from_millis(5)),
+            RecvTimeout::TimedOut
+        );
+        tx.send(7).unwrap();
+        assert_eq!(
+            rx.recv_deadline(Instant::now() + Duration::from_millis(5)),
+            RecvTimeout::Item(7)
+        );
+        drop(tx);
+        assert_eq!(
+            rx.recv_deadline(Instant::now() + Duration::from_secs(60)),
+            RecvTimeout::Disconnected
+        );
+    }
+
+    #[test]
+    fn batcher_shrinks_over_target_and_grows_under_half() {
+        let target = Duration::from_micros(1000);
+        let mut b = AdaptiveBatcher::new(4, 64, 16, target);
+        assert_eq!(b.batch_target(), 16);
+        // Over-target commit: multiplicative decrease, floored at min.
+        b.observe(16, 2_000_000);
+        assert_eq!(b.batch_target(), 8);
+        b.observe(8, 2_000_000);
+        b.observe(4, 2_000_000);
+        assert_eq!(b.batch_target(), 4, "never shrinks below min");
+        // Fast commits of full batches: gentle growth, capped at max.
+        for _ in 0..32 {
+            b.observe(b.batch_target(), 100_000);
+        }
+        assert_eq!(b.batch_target(), 64, "never grows above max");
+        // A fast commit of an UNDER-filled batch must not grow the target —
+        // the workload is not producing enough to justify it.
+        let mut b = AdaptiveBatcher::new(4, 64, 16, target);
+        b.observe(3, 100_000);
+        assert_eq!(b.batch_target(), 16);
+        // In-band latency (between half and full target): hold steady.
+        b.observe(16, 700_000);
+        assert_eq!(b.batch_target(), 16);
+    }
+
+    #[test]
+    fn batcher_with_min_equal_max_is_fixed() {
+        let mut b = AdaptiveBatcher::new(8, 8, 8, Duration::from_nanos(1));
+        b.observe(8, u64::MAX);
+        assert_eq!(b.batch_target(), 8);
+        b.observe(8, 0);
+        assert_eq!(b.batch_target(), 8);
+    }
+}

@@ -61,7 +61,7 @@ use crate::dirty::{repair_regions, PassScope};
 use crate::dynamic::DynamicC;
 use crate::engine::Engine;
 use crate::merge::{merge_pass, merge_pass_scoped};
-use crate::shard::parallel_map;
+use crate::shard::{parallel_map, ShardConfigError};
 use crate::split::{split_pass, split_pass_scoped};
 use dc_evolution::{merge_features, split_features};
 use dc_similarity::persist::{AggregatesState, GraphState};
@@ -175,19 +175,43 @@ pub(crate) fn refine_id_base() -> u64 {
     shard_id_base(MAX_SHARDS - 1)
 }
 
+/// Check that every shard carries the same [`crate::DynamicCConfig`] as
+/// shard 0.  The refiner (and the pipelined engine's detached refine worker)
+/// read the pass configuration from shard 0 only, so a shard with a divergent
+/// config would be silently overridden — reject the construction instead.
+pub(crate) fn validate_shard_configs(shards: &[&Engine]) -> Result<(), ShardConfigError> {
+    let Some(first) = shards.first() else {
+        return Ok(());
+    };
+    let reference = first.dynamicc().config();
+    for (shard, engine) in shards.iter().enumerate().skip(1) {
+        if engine.dynamicc().config() != reference {
+            return Err(ShardConfigError::MismatchedDynamicCConfig { shard });
+        }
+    }
+    Ok(())
+}
+
 impl CrossShardRefiner {
     /// Build the refiner from the current per-shard engines: mirror every
     /// record and intra-shard edge, index every record's block keys, compute
     /// the similarity of every cross-shard candidate pair, and run the
     /// initial repair that seeds the refined view.  `assignment` is the
     /// object-to-shard map the sharded engine maintains.
+    ///
+    /// Validates at construction that every shard carries an identical
+    /// [`crate::DynamicCConfig`]: the refiner reads its pass configuration
+    /// (theta scale, pass budget) from shard 0 for the rest of its life, so
+    /// a divergent shard would be silently ignored — surfaced here as
+    /// [`ShardConfigError::MismatchedDynamicCConfig`] instead.
     pub(crate) fn build(
         router: &ShardRouter,
         shards: &[&Engine],
         assignment: &BTreeMap<ObjectId, usize>,
         max_threads: usize,
-    ) -> Self {
-        let mut refiner = Self::derived_state(router, shards, assignment);
+    ) -> Result<Self, ShardConfigError> {
+        validate_shard_configs(shards)?;
+        let mut refiner = Self::derived_state(router, shards, assignment)?;
 
         // Seed the refined view: merged per-shard clusterings, the union of
         // the per-shard aggregates with the recovered cross edges injected,
@@ -198,8 +222,16 @@ impl CrossShardRefiner {
         for (&a, nbrs) in &refiner.cross {
             for (&b, &sim) in nbrs {
                 if b > a {
-                    let ca = refined.cluster_of(a).expect("live object is clustered");
-                    let cb = refined.cluster_of(b).expect("live object is clustered");
+                    // A recovered cross edge between objects the merged
+                    // per-shard clusterings do not cover means the shard
+                    // graphs and clusterings disagree — a typed error, not a
+                    // panic (the historical code `expect`ed it).
+                    let ca = refined
+                        .cluster_of(a)
+                        .ok_or(ShardConfigError::UnclusteredObject { id: a })?;
+                    let cb = refined
+                        .cluster_of(b)
+                        .ok_or(ShardConfigError::UnclusteredObject { id: b })?;
                     agg.add_inter_edge(ca, cb, sim);
                 }
             }
@@ -207,11 +239,11 @@ impl CrossShardRefiner {
         refiner.refined = refined;
         refiner.agg = agg;
         let pairs_computed = refiner.cross_comparisons as usize;
-        let dynamicc = shards.first().expect("at least one shard").dynamicc();
+        let dynamicc = shards.first().expect("validated non-empty").dynamicc();
         // The initial repair has no previous fixed point to lean on: run it
         // as a full fixed point (seeds = None ⇒ everything is dirty).
         refiner.run_passes(dynamicc, pairs_computed, None, max_threads);
-        refiner
+        Ok(refiner)
     }
 
     /// The derived (rebuildable) layers only: boundary index, cross-edge
@@ -222,7 +254,7 @@ impl CrossShardRefiner {
         router: &ShardRouter,
         shards: &[&Engine],
         assignment: &BTreeMap<ObjectId, usize>,
-    ) -> Self {
+    ) -> Result<Self, ShardConfigError> {
         let config = shards
             .first()
             .expect("at least one shard")
@@ -244,7 +276,12 @@ impl CrossShardRefiner {
         };
 
         for (&id, &shard) in assignment {
-            let record = shards[shard].graph().record(id).expect("assigned object");
+            // An assignment naming an object its shard's graph does not hold
+            // is an inconsistent input pair (the historical code panicked).
+            let record = shards[shard]
+                .graph()
+                .record(id)
+                .ok_or(ShardConfigError::AssignedObjectMissing { id, shard })?;
             refiner.mirror.install_record(id, record.clone());
             refiner.boundary.insert(id, shard, record);
         }
@@ -262,9 +299,9 @@ impl CrossShardRefiner {
             }
         }
         for (a, b) in pairs {
-            refiner.compute_cross_pair(a, b);
+            refiner.compute_cross_pair(a, b)?;
         }
-        refiner
+        Ok(refiner)
     }
 
     /// Cumulative cross-shard similarity computations performed by this
@@ -300,9 +337,20 @@ impl CrossShardRefiner {
 
     /// Compute the similarity of one cross-shard candidate pair and recover
     /// the edge if it reaches the graph threshold.
-    fn compute_cross_pair(&mut self, a: ObjectId, b: ObjectId) {
-        let ra = self.mirror.record(a).expect("live record");
-        let rb = self.mirror.record(b).expect("live record");
+    ///
+    /// Candidate pairs come from the boundary index, which is maintained in
+    /// lock-step with the mirror; a candidate the mirror no longer holds is
+    /// an internal inconsistency surfaced as a typed error (the historical
+    /// code `expect`ed "live record" here).
+    fn compute_cross_pair(&mut self, a: ObjectId, b: ObjectId) -> Result<(), ShardConfigError> {
+        let ra = self
+            .mirror
+            .record(a)
+            .ok_or(ShardConfigError::MirrorRecordMissing { id: a })?;
+        let rb = self
+            .mirror
+            .record(b)
+            .ok_or(ShardConfigError::MirrorRecordMissing { id: b })?;
         let sim = self.mirror.raw_similarity(ra, rb);
         self.cross_comparisons += 1;
         if sim >= self.mirror.edge_threshold() && sim > 0.0 {
@@ -311,6 +359,7 @@ impl CrossShardRefiner {
             self.cross_edge_count += 1;
             self.mirror.install_edge(a, b, sim);
         }
+        Ok(())
     }
 
     /// Drop a record from the boundary index, the cross-edge cache, and the
@@ -447,7 +496,8 @@ impl CrossShardRefiner {
         shards: &[&Engine],
         max_threads: usize,
     ) -> RefineReport {
-        self.apply_round_inner(batch, op_shards, shards, Some(shards), max_threads)
+        let dynamicc = shards.first().expect("at least one shard").dynamicc();
+        self.apply_round_inner(batch, op_shards, dynamicc, Some(shards), max_threads)
     }
 
     /// Switch between the incremental dirty-region repair (the default) and
@@ -458,19 +508,22 @@ impl CrossShardRefiner {
         self.full_repair = full_repair;
     }
 
-    /// [`CrossShardRefiner::apply_round`] for durable recovery replay: the
-    /// per-shard graphs have already advanced past the replayed round, so
-    /// no weight may be reused from them — every pair is recomputed against
-    /// the mirror's records, which reproduces the original round's mirror
-    /// bit-for-bit (see [`CrossShardRefiner::attach`]).
+    /// [`CrossShardRefiner::apply_round`] for durable recovery replay and
+    /// for the pipelined engine's detached refine worker: the per-shard
+    /// graphs may have advanced past the folded round, so no weight may be
+    /// reused from them — every pair is recomputed against the mirror's
+    /// records, which reproduces the synchronous round's mirror bit-for-bit
+    /// (see [`CrossShardRefiner::attach`]).  The pass configuration is
+    /// passed explicitly (all shards carry an identical one — validated at
+    /// construction), so no shard borrow is needed at all.
     pub(crate) fn replay_round(
         &mut self,
         batch: &OperationBatch,
         op_shards: &[usize],
-        shards: &[&Engine],
+        dynamicc: &DynamicC,
         max_threads: usize,
     ) -> RefineReport {
-        self.apply_round_inner(batch, op_shards, shards, None, max_threads)
+        self.apply_round_inner(batch, op_shards, dynamicc, None, max_threads)
     }
 
     /// Record `id` and its current mirror neighbours as touched by this
@@ -487,7 +540,7 @@ impl CrossShardRefiner {
         &mut self,
         batch: &OperationBatch,
         op_shards: &[usize],
-        shards: &[&Engine],
+        dynamicc: &DynamicC,
         reuse: Option<&[&Engine]>,
         max_threads: usize,
     ) -> RefineReport {
@@ -559,7 +612,6 @@ impl CrossShardRefiner {
             }
         }
         let pairs_computed = (self.cross_comparisons - comparisons_before) as usize;
-        let dynamicc = shards.first().expect("at least one shard").dynamicc();
         self.run_passes(dynamicc, pairs_computed, Some(seeds), max_threads)
     }
 

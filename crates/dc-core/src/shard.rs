@@ -101,6 +101,37 @@ pub enum ShardConfigError {
         /// The clustered object absent from the graph.
         id: ObjectId,
     },
+    /// A shard carries a different [`crate::DynamicCConfig`] than shard 0.
+    /// The cross-shard refinement pass reads its pass configuration (theta
+    /// scale, pass budget) from shard 0 for its whole lifetime, so a
+    /// divergent shard would be silently overridden — rejected at refiner
+    /// construction instead.
+    MismatchedDynamicCConfig {
+        /// The first shard whose configuration disagrees with shard 0's.
+        shard: usize,
+    },
+    /// A recovered cross-shard edge touches an object the merged per-shard
+    /// clusterings do not cover: the shard graphs and clusterings handed to
+    /// the refiner disagree about the live object set.
+    UnclusteredObject {
+        /// The object with a graph record but no cluster.
+        id: ObjectId,
+    },
+    /// The object-to-shard assignment names an object its owning shard's
+    /// graph holds no record for.
+    AssignedObjectMissing {
+        /// The assigned object absent from its shard's graph.
+        id: ObjectId,
+        /// The shard the assignment claims owns it.
+        shard: usize,
+    },
+    /// The refiner's boundary index produced a cross-shard candidate whose
+    /// record is missing from the mirror graph — an internal inconsistency
+    /// between the two derived layers.
+    MirrorRecordMissing {
+        /// The candidate object absent from the mirror.
+        id: ObjectId,
+    },
 }
 
 impl std::fmt::Display for ShardConfigError {
@@ -124,6 +155,29 @@ impl std::fmt::Display for ShardConfigError {
                 f,
                 "clustered object {id} has no record in the graph \
                  (the graph and clustering must cover the same live objects)"
+            ),
+            ShardConfigError::MismatchedDynamicCConfig { shard } => write!(
+                f,
+                "shard {shard} carries a DynamicC configuration different from \
+                 shard 0's (cross-shard refinement requires an identical \
+                 configuration on every shard)"
+            ),
+            ShardConfigError::UnclusteredObject { id } => write!(
+                f,
+                "object {id} has a graph record but no cluster \
+                 (the shard graphs and clusterings disagree about the live \
+                 object set)"
+            ),
+            ShardConfigError::AssignedObjectMissing { id, shard } => write!(
+                f,
+                "assigned object {id} has no record in shard {shard}'s graph \
+                 (the assignment and the shard graphs disagree)"
+            ),
+            ShardConfigError::MirrorRecordMissing { id } => write!(
+                f,
+                "cross-shard candidate {id} is missing from the refiner's \
+                 mirror graph (the boundary index and the mirror are out of \
+                 sync)"
             ),
         }
     }
@@ -275,7 +329,7 @@ fn distribute_dynamicc(donor: DynamicC, n: usize) -> Vec<DynamicC> {
 /// last-writer-wins stays deterministic.  Per-shard apply wall time lands in
 /// the `shard.apply` histogram, recorded on the worker that served the
 /// shard.
-fn parallel_shard_rounds<T: Send, R: Send>(
+pub(crate) fn parallel_shard_rounds<T: Send, R: Send>(
     shards: &mut [T],
     batches: &[OperationBatch],
     max_threads: usize,
@@ -327,7 +381,7 @@ fn parallel_shard_rounds<T: Send, R: Send>(
 /// largest sub-batch, the mean, and their ratio (1.0 = perfectly even).
 /// All three are functions of the deterministic routing decision, so they
 /// are structural fields in the telemetry dump.
-fn record_batch_imbalance(sub_batches: &[OperationBatch]) {
+pub(crate) fn record_batch_imbalance(sub_batches: &[OperationBatch]) {
     let reg = dc_telemetry::registry();
     if !reg.is_enabled() || sub_batches.is_empty() {
         return;
@@ -401,7 +455,7 @@ pub struct ShardedRoundReport {
     pub refine: Option<RefineReport>,
 }
 
-fn merge_round_reports(
+pub(crate) fn merge_round_reports(
     round: usize,
     per_shard: Vec<RoundReport>,
     refine: Option<RefineReport>,
@@ -509,10 +563,17 @@ impl ShardedEngine {
             .zip(distribute_dynamicc(dynamicc, n))
             .map(|(seed, d)| Engine::new(seed.graph, seed.clustering, d))
             .collect();
-        let refiner = (refinement && n > 1).then(|| {
+        let refiner = if refinement && n > 1 {
             let engines: Vec<&Engine> = shards.iter().collect();
-            CrossShardRefiner::build(&router, &engines, &partition.assignment, n)
-        });
+            Some(CrossShardRefiner::build(
+                &router,
+                &engines,
+                &partition.assignment,
+                n,
+            )?)
+        } else {
+            None
+        };
         Ok(ShardedEngine {
             shards,
             router,
@@ -726,6 +787,14 @@ pub struct ShardedRecoveryReport {
     /// How far ahead the furthest shard had logged beyond the committed
     /// round (those rounds were never acknowledged and were rolled back).
     pub rolled_back_rounds: u64,
+    /// Shard-rounds re-derived from the group-commit log: in group-commit
+    /// mode a shard's WAL tail is staged without its own fsync, so a crash
+    /// can lose sub-batches of rounds the refine WAL committed.  Recovery
+    /// re-routes those rounds from the refine WAL and re-applies them to
+    /// the lagging shards (one count per shard per healed round).  Always 0
+    /// in synchronous mode, where every shard fsyncs before the round
+    /// commits.
+    pub healed_rounds: u64,
     /// Rounds the cross-shard refinement layer replayed from its own WAL on
     /// top of its snapshot (0 with one shard).
     pub refine_replayed_rounds: usize,
@@ -753,11 +822,17 @@ pub struct ShardedDurableEngine {
 }
 
 /// The refinement layer's durable plumbing: its refiner plus the `refine/`
-/// directory's WAL and snapshotter.
-struct DurableRefine {
-    refiner: CrossShardRefiner,
-    wal: Wal,
-    snapshotter: Snapshotter,
+/// directory's WAL and snapshotter.  The `refine/` WAL doubles as the
+/// **group-commit log**: it holds every round's *full* batch, so in
+/// group-commit mode its single per-round fsync is the commit point from
+/// which any shard's lost (never-fsynced) sub-batch tail can be re-derived
+/// and healed on recovery.  Fields are crate-visible so the pipelined
+/// front-end ([`crate::pipeline`]) can drive the same WAL/snapshot plumbing
+/// from its coordinator thread.
+pub(crate) struct DurableRefine {
+    pub(crate) refiner: CrossShardRefiner,
+    pub(crate) wal: Wal,
+    pub(crate) snapshotter: Snapshotter,
 }
 
 fn refine_dir(dir: &Path) -> PathBuf {
@@ -769,10 +844,30 @@ fn refine_dir(dir: &Path) -> PathBuf {
 /// state ahead of the globally committed round.
 const PER_SHARD_OPTIONS: DurabilityOptions = DurabilityOptions {
     checkpoint_every_rounds: 0,
+    // Group commit is coordinated by the sharded engine (it owns the single
+    // commit-point fsync); the per-shard engines never group-commit on
+    // their own.
+    group_commit: false,
 };
 
 fn shard_dir(dir: &Path, shard: usize) -> PathBuf {
     dir.join(format!("shard-{shard:03}"))
+}
+
+/// Derive the object-to-shard assignment from the shard graphs (ownership is
+/// never persisted: each shard's graph knows exactly which objects it owns).
+fn derive_assignment(shards: &[DurableEngine]) -> Result<BTreeMap<ObjectId, usize>, StorageError> {
+    let mut assignment: BTreeMap<ObjectId, usize> = BTreeMap::new();
+    for (shard, engine) in shards.iter().enumerate() {
+        for id in engine.engine().graph().object_ids() {
+            if assignment.insert(id, shard).is_some() {
+                return Err(StorageError::Inconsistent(format!(
+                    "object {id} is owned by more than one shard"
+                )));
+            }
+        }
+    }
+    Ok(assignment)
 }
 
 impl ShardedDurableEngine {
@@ -817,13 +912,18 @@ impl ShardedDurableEngine {
             )));
         }
 
-        // Pass 1: the globally committed round is the minimum over every
-        // shard's recoverable round *and* the refinement layer's (a round is
-        // only acknowledged once the refine WAL holds it too).  A shard — or
-        // the refine directory — without durable state forces the fresh path
-        // (a crash during a fresh open leaves a prefix of the directories
-        // initialized at round 0; re-running the fresh path below recovers
-        // those and bootstraps the rest).
+        // Pass 1: find the globally committed round.  With more than one
+        // shard the `refine/` WAL is the commit point: a round is
+        // acknowledged only after the full batch is durably there
+        // (synchronous mode appends it *last*, after every shard's own
+        // fsync, so its durable round is exactly the old minimum; in
+        // group-commit mode its single fsync *is* the round's commit, and
+        // shards whose never-fsynced tails fell short are healed from it
+        // below).  With one shard the shard's own WAL is the commit point.
+        // A shard — or the refine directory — without durable state forces
+        // the fresh path (a crash during a fresh open leaves a prefix of
+        // the directories initialized at round 0; re-running the fresh path
+        // below recovers those and bootstraps the rest).
         let mut durable_rounds = Vec::with_capacity(n);
         let mut peek_dropped_torn_tail = false;
         for shard in 0..n {
@@ -836,7 +936,11 @@ impl ShardedDurableEngine {
             peek_dropped_torn_tail |= dropped;
             durable_rounds.push(round);
         }
-        let committed = durable_rounds.iter().copied().min().flatten();
+        let committed = if durable_rounds.iter().any(Option::is_none) {
+            None
+        } else {
+            *durable_rounds.last().expect("n >= 1 rounds peeked")
+        };
 
         let dynamiccs = distribute_dynamicc(dynamicc, n);
         let mut shards = Vec::with_capacity(n);
@@ -851,7 +955,7 @@ impl ShardedDurableEngine {
                 report.dropped_torn_tail = peek_dropped_torn_tail;
                 report.rolled_back_rounds = durable_rounds
                     .iter()
-                    .map(|r| r.expect("all shards have state") - committed)
+                    .map(|r| r.expect("all shards have state").saturating_sub(committed))
                     .max()
                     .unwrap_or(0);
                 for (shard, d) in dynamiccs.into_iter().enumerate() {
@@ -863,11 +967,14 @@ impl ShardedDurableEngine {
                         Some(committed),
                         || unreachable!("recovery must not bootstrap"),
                     )?;
-                    if engine.rounds_served() as u64 != committed {
+                    let recovered_to = engine.rounds_served() as u64;
+                    // A shard may land *below* the committed round only when
+                    // the group-commit log can heal it (more than one shard);
+                    // above it is impossible (the replay cap) and flagged.
+                    if recovered_to > committed || (n == 1 && recovered_to != committed) {
                         return Err(StorageError::Inconsistent(format!(
-                            "shard {shard} recovered to round {} but the committed round is \
-                             {committed}",
-                            engine.rounds_served()
+                            "shard {shard} recovered to round {recovered_to} but the committed \
+                             round is {committed}",
                         )));
                     }
                     report.replayed_rounds += shard_report.replayed_rounds;
@@ -902,32 +1009,41 @@ impl ShardedDurableEngine {
 
         // The object-to-shard assignment is derived, not persisted: each
         // shard's recovered graph knows exactly which objects it owns.
-        let mut assignment: BTreeMap<ObjectId, usize> = BTreeMap::new();
-        for (shard, engine) in shards.iter().enumerate() {
-            for id in engine.engine().graph().object_ids() {
-                if assignment.insert(id, shard).is_some() {
-                    return Err(StorageError::Inconsistent(format!(
-                        "object {id} is owned by more than one shard"
-                    )));
-                }
-            }
-        }
+        let mut assignment = derive_assignment(&shards)?;
 
-        let rounds_served = shards[0].rounds_served();
+        let recovered = report.recovered;
+        let committed_round = committed.unwrap_or(0);
         let refine = if n > 1 {
             Some(Self::open_refine(
                 dir,
                 &router,
                 &graph_config,
-                &shards,
+                &mut shards,
                 &assignment,
-                report.recovered,
-                rounds_served as u64,
-                &mut report.refine_replayed_rounds,
+                recovered,
+                committed_round,
+                &mut report,
             )?)
         } else {
             None
         };
+        if report.healed_rounds > 0 {
+            // Healing re-applied lost rounds to lagging shards, so the
+            // ownership derived above is stale — derive it again from the
+            // healed graphs.
+            assignment = derive_assignment(&shards)?;
+        }
+        if let Some(refine) = &refine {
+            if recovered && refine.refiner.shard_map() != assignment {
+                return Err(StorageError::Inconsistent(
+                    "replayed refine assignment disagrees with the recovered shard \
+                     ownership"
+                        .into(),
+                ));
+            }
+        }
+
+        let rounds_served = shards[0].rounds_served();
         Ok((
             ShardedDurableEngine {
                 shards,
@@ -949,22 +1065,30 @@ impl ShardedDurableEngine {
     /// replay the logged batch tail through the same pass the original run
     /// performed (recomputing pair similarities against the restored mirror,
     /// which reproduces it bit-for-bit — see [`crate::refine`]).
+    ///
+    /// The replay doubles as the **healing pass** for group-commit mode:
+    /// each replayed round is re-routed, and any shard whose recovered state
+    /// stops short of it (its staged, never-fsynced WAL tail did not survive
+    /// the crash) gets its sub-batch re-logged and re-applied — the refine
+    /// WAL holds every committed round's full batch, so nothing committed
+    /// can be lost.  Healed shard WALs are fsynced once at the end.
     #[allow(clippy::too_many_arguments)]
     fn open_refine(
         dir: &Path,
         router: &ShardRouter,
         graph_config: &GraphConfig,
-        shards: &[DurableEngine],
+        shards: &mut [DurableEngine],
         assignment: &BTreeMap<ObjectId, usize>,
         recovered: bool,
         committed: u64,
-        refine_replayed_rounds: &mut usize,
+        report: &mut ShardedRecoveryReport,
     ) -> Result<DurableRefine, StorageError> {
         let refine_root = refine_dir(dir);
         let snapshotter = Snapshotter::new(&refine_root)?;
-        let engines: Vec<&Engine> = shards.iter().map(DurableEngine::engine).collect();
         if !recovered {
-            let refiner = CrossShardRefiner::build(router, &engines, assignment, router.n_shards());
+            let engines: Vec<&Engine> = shards.iter().map(DurableEngine::engine).collect();
+            let refiner = CrossShardRefiner::build(router, &engines, assignment, router.n_shards())
+                .map_err(|e| StorageError::Inconsistent(e.to_string()))?;
             snapshotter.write(0, &refiner.snapshot_ref())?;
             let wal = Wal::create(&refine_root, 0)?;
             return Ok(DurableRefine {
@@ -993,7 +1117,16 @@ impl ShardedDurableEngine {
             })?;
 
         // Replay the refine WAL tail: re-route each logged batch from the
-        // snapshot's sticky assignment and run the same pass again.
+        // snapshot's sticky assignment, heal any shard the round outran,
+        // and run the same pass again.  The pass configuration is shard 0's
+        // (all shards carry an identical one — validated at construction).
+        let dynamicc = shards
+            .first()
+            .expect("n > 1 shards")
+            .engine()
+            .dynamicc()
+            .clone();
+        let mut healed = vec![false; shards.len()];
         let mut replay_assignment = refiner.shard_map();
         let mut replay_round = snapshot_round;
         let mut tail_wal: Option<Wal> = None;
@@ -1011,14 +1144,29 @@ impl ShardedDurableEngine {
                     )));
                 }
                 let routed = router.route_batch(&record.batch, &mut replay_assignment);
+                for (shard, engine) in shards.iter_mut().enumerate() {
+                    if (engine.rounds_served() as u64) < record.round {
+                        let logged = engine.log_round_nosync(&routed.sub_batches[shard])?;
+                        if logged != record.round {
+                            return Err(StorageError::Inconsistent(format!(
+                                "shard {shard} healed to round {logged} while the group-commit \
+                                 log replays round {}",
+                                record.round
+                            )));
+                        }
+                        engine.apply_logged(&routed.sub_batches[shard]);
+                        healed[shard] = true;
+                        report.healed_rounds += 1;
+                    }
+                }
                 refiner.replay_round(
                     &record.batch,
                     &routed.op_shards,
-                    &engines,
+                    &dynamicc,
                     router.n_shards(),
                 );
                 replay_round = record.round;
-                *refine_replayed_rounds += 1;
+                report.refine_replayed_rounds += 1;
             }
             tail_wal = Some(wal);
         }
@@ -1028,12 +1176,14 @@ impl ShardedDurableEngine {
                  is {committed}"
             )));
         }
-        if &replay_assignment != assignment {
-            return Err(StorageError::Inconsistent(
-                "replayed refine assignment disagrees with the recovered shard \
-                 ownership"
-                    .into(),
-            ));
+        // One fsync per healed shard seals the re-logged tails (recovery
+        // would heal them again if this were lost, so correctness does not
+        // depend on it — it just restores the synchronous invariant that
+        // every shard WAL durably holds the committed round).
+        for (shard, engine) in shards.iter_mut().enumerate() {
+            if healed[shard] {
+                engine.wal_sync()?;
+            }
         }
         let wal = match tail_wal {
             Some(wal) if wal.last_round() == committed && wal.start_round() >= snapshot_round => {
@@ -1062,12 +1212,24 @@ impl ShardedDurableEngine {
     /// [`DurabilityOptions::checkpoint_every_rounds`], after the round has
     /// completed on every shard.
     ///
+    /// With [`DurabilityOptions::group_commit`] set, the round's WAL appends
+    /// are *staged* (written, not fsynced) on every shard and the full batch
+    /// staged on the refine WAL, then a **single fsync** of the refine WAL
+    /// commits the round — N+1 fsyncs per round become 1.  The commit rule
+    /// is unchanged: the refine WAL durably holds the full batch, from which
+    /// every shard's sub-batch is re-derived on recovery (shards whose
+    /// staged tails were lost are healed — see
+    /// [`ShardedRecoveryReport::healed_rounds`]).
+    ///
     /// An `Err` leaves the engine in an unspecified in-memory state (some
     /// shards may have applied the round); drop it and reopen.
     pub fn apply_round(
         &mut self,
         batch: &OperationBatch,
     ) -> Result<ShardedRoundReport, StorageError> {
+        if self.options.group_commit {
+            return self.apply_round_grouped(batch);
+        }
         let reg = dc_telemetry::registry();
         let round_span = reg.span("round.total");
         let span = reg.span("round.route");
@@ -1095,6 +1257,73 @@ impl ShardedDurableEngine {
                 let span = reg.span("round.refine_wal_append");
                 refine.wal.append_round(round, batch)?;
                 span.finish();
+                let span = reg.span("round.refine");
+                let engines: Vec<&Engine> = self.shards.iter().map(DurableEngine::engine).collect();
+                let report = refine.refiner.apply_round(
+                    batch,
+                    &routed.op_shards,
+                    &engines,
+                    self.max_threads,
+                );
+                span.finish();
+                Some(report)
+            }
+            None => None,
+        };
+        self.rounds_served += 1;
+        let every = self.options.checkpoint_every_rounds as u64;
+        if every > 0 && (self.rounds_served as u64).is_multiple_of(every) {
+            let span = reg.span("round.checkpoint");
+            self.checkpoint()?;
+            span.finish();
+        }
+        round_span.finish();
+        Ok(merge_round_reports(self.rounds_served, reports, refine))
+    }
+
+    /// The group-commit round: stage every shard's sub-batch append and the
+    /// refine WAL's full-batch append without fsync, commit the round with
+    /// one fsync of the refine WAL (the group-commit log), then apply in
+    /// parallel and refine as usual.  With one shard there is no refine WAL
+    /// and the single fsync lands on the shard's own WAL instead.
+    fn apply_round_grouped(
+        &mut self,
+        batch: &OperationBatch,
+    ) -> Result<ShardedRoundReport, StorageError> {
+        let reg = dc_telemetry::registry();
+        let round_span = reg.span("round.total");
+        let span = reg.span("round.route");
+        let routed = self.router.route_batch(batch, &mut self.assignment);
+        span.finish();
+        record_batch_imbalance(&routed.sub_batches);
+
+        let round = self.rounds_served as u64 + 1;
+        let span = reg.span("round.group_commit");
+        for (shard, sub) in self.shards.iter_mut().zip(&routed.sub_batches) {
+            let logged = shard.log_round_nosync(sub)?;
+            debug_assert_eq!(logged, round, "shards advance in lock-step");
+        }
+        match &mut self.refine {
+            Some(refine) => {
+                refine.wal.append_round_nosync(round, batch)?;
+                refine.wal.sync()?;
+            }
+            // One shard: no refine WAL exists, so the shard's own staged
+            // append is sealed directly — still exactly one fsync.
+            None => self.shards[0].wal_sync()?,
+        }
+        span.finish();
+
+        let span = reg.span("round.shard_apply");
+        let reports = parallel_shard_rounds(
+            &mut self.shards,
+            &routed.sub_batches,
+            self.max_threads,
+            |shard, sub| shard.apply_logged(sub),
+        );
+        span.finish();
+        let refine = match &mut self.refine {
+            Some(refine) => {
                 let span = reg.span("round.refine");
                 let engines: Vec<&Engine> = self.shards.iter().map(DurableEngine::engine).collect();
                 let report = refine.refiner.apply_round(
@@ -1226,6 +1455,53 @@ impl ShardedDurableEngine {
             None => self.merged_clustering(),
         }
     }
+
+    /// Disassemble the engine into the parts the pipelined front-end's
+    /// coordinator and refine worker own separately while serving — see
+    /// [`crate::pipeline`].  [`ShardedDurableEngine::from_pipeline_parts`]
+    /// reassembles them after drain.
+    pub(crate) fn into_pipeline_parts(self) -> PipelineParts {
+        PipelineParts {
+            shards: self.shards,
+            router: self.router,
+            assignment: self.assignment,
+            rounds_served: self.rounds_served,
+            max_threads: self.max_threads,
+            options: self.options,
+            dir: self.dir,
+            refine: self.refine,
+        }
+    }
+
+    /// Reassemble an engine from the parts a drained pipeline hands back.
+    pub(crate) fn from_pipeline_parts(parts: PipelineParts) -> Self {
+        ShardedDurableEngine {
+            shards: parts.shards,
+            router: parts.router,
+            assignment: parts.assignment,
+            rounds_served: parts.rounds_served,
+            max_threads: parts.max_threads,
+            options: parts.options,
+            dir: parts.dir,
+            refine: parts.refine,
+        }
+    }
+}
+
+/// A [`ShardedDurableEngine`] taken apart for pipelined serving: the
+/// coordinator thread owns the shards, router, assignment, and the refine
+/// WAL/snapshotter, while the refine worker owns the refiner itself (moved
+/// out of [`DurableRefine`] behind a lock by the pipeline).  All fields are
+/// exactly the engine's — nothing is copied.
+pub(crate) struct PipelineParts {
+    pub(crate) shards: Vec<DurableEngine>,
+    pub(crate) router: ShardRouter,
+    pub(crate) assignment: BTreeMap<ObjectId, usize>,
+    pub(crate) rounds_served: usize,
+    pub(crate) max_threads: usize,
+    pub(crate) options: DurabilityOptions,
+    pub(crate) dir: PathBuf,
+    pub(crate) refine: Option<DurableRefine>,
 }
 
 impl std::fmt::Debug for ShardedDurableEngine {
@@ -1515,6 +1791,88 @@ mod tests {
             "got {err:?}"
         );
         assert!(err.to_string().contains("no record"));
+    }
+
+    /// Satellite pin: a shard carrying a DynamicC configuration different
+    /// from shard 0's is rejected at refiner construction with a typed error
+    /// — the refiner reads its pass configuration from shard 0 only, so the
+    /// divergent shard would otherwise be silently overridden.
+    #[test]
+    fn mismatched_shard_dynamicc_configs_are_a_typed_error() {
+        let (g0, c0, d0) = toy_setup();
+        let (g1, c1, _) = toy_setup();
+        let divergent = DynamicC::new(
+            Arc::new(CorrelationObjective),
+            crate::DynamicCConfig {
+                theta_scale: 0.5,
+                ..crate::DynamicCConfig::default()
+            },
+        );
+        let e0 = Engine::new(g0, c0, d0);
+        let e1 = Engine::new(g1, c1, divergent);
+        let router = ShardRouter::new(2, Box::new(ExhaustiveBlocking::new()));
+        let err = CrossShardRefiner::build(&router, &[&e0, &e1], &BTreeMap::new(), 2).unwrap_err();
+        assert_eq!(err, ShardConfigError::MismatchedDynamicCConfig { shard: 1 });
+        assert!(err.to_string().contains("shard 1"), "got: {err}");
+    }
+
+    /// Satellite pin: an assignment naming an object its shard's graph does
+    /// not hold used to panic (`expect("assigned object")`) inside the
+    /// refiner's derived-state rebuild; it is a typed error now.
+    #[test]
+    fn assignment_naming_a_missing_object_is_a_typed_error() {
+        let (g0, c0, d0) = toy_setup();
+        let (g1, c1, d1) = toy_setup();
+        let e0 = Engine::new(g0, c0, d0);
+        let e1 = Engine::new(g1, c1, d1);
+        let router = ShardRouter::new(2, Box::new(ExhaustiveBlocking::new()));
+        let assignment: BTreeMap<ObjectId, usize> = [(oid(99), 0usize)].into_iter().collect();
+        let err = CrossShardRefiner::build(&router, &[&e0, &e1], &assignment, 2).unwrap_err();
+        assert_eq!(
+            err,
+            ShardConfigError::AssignedObjectMissing {
+                id: oid(99),
+                shard: 0
+            }
+        );
+        assert!(err.to_string().contains("99"), "got: {err}");
+    }
+
+    /// Satellite pin: a recovered cross-shard edge whose endpoint has a
+    /// graph record but no cluster used to panic
+    /// (`expect("live object is clustered")`) while seeding the refined
+    /// view; it is a typed error now.
+    #[test]
+    fn cross_edge_to_an_unclustered_object_is_a_typed_error() {
+        use dc_similarity::fixtures::EdgeTableMeasure;
+        use dc_similarity::GraphConfig;
+
+        let make_graph = |id: u64| {
+            let config = GraphConfig::new(
+                Box::new(EdgeTableMeasure::from_edges(&[(1, 2, 0.9)])),
+                Box::new(ExhaustiveBlocking::new()),
+                0.0,
+            );
+            let mut graph = SimilarityGraph::empty(config);
+            graph.add_object(oid(id), fixture_record(id));
+            graph
+        };
+        let dynamicc = DynamicC::with_objective(Arc::new(CorrelationObjective));
+        // Shard 0's graph holds object 1 but its clustering does not — the
+        // graph/clustering disagreement the historical code panicked on —
+        // while the measure recovers a cross-shard edge 1–2.
+        let e0 = Engine::new(make_graph(1), Clustering::new(), dynamicc.clone());
+        let e1 = Engine::new(
+            make_graph(2),
+            Clustering::from_groups([vec![oid(2)]]).unwrap(),
+            dynamicc,
+        );
+        let router = ShardRouter::new(2, Box::new(ExhaustiveBlocking::new()));
+        let assignment: BTreeMap<ObjectId, usize> =
+            [(oid(1), 0usize), (oid(2), 1usize)].into_iter().collect();
+        let err = CrossShardRefiner::build(&router, &[&e0, &e1], &assignment, 2).unwrap_err();
+        assert_eq!(err, ShardConfigError::UnclusteredObject { id: oid(1) });
+        assert!(err.to_string().contains("cluster"), "got: {err}");
     }
 
     #[test]

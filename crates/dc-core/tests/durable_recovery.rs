@@ -132,6 +132,7 @@ fn febrl_dbindex_recovery_is_bit_identical_with_checkpoints_on_kill_points() {
         Arc::new(DbIndexObjective),
         DurabilityOptions {
             checkpoint_every_rounds: 2,
+            group_commit: false,
         },
     );
 }
@@ -147,6 +148,7 @@ fn febrl_dbindex_recovery_is_bit_identical_replaying_the_whole_log() {
         Arc::new(DbIndexObjective),
         DurabilityOptions {
             checkpoint_every_rounds: 0,
+            group_commit: false,
         },
     );
 }
@@ -160,6 +162,7 @@ fn access_correlation_recovery_is_bit_identical() {
         Arc::new(CorrelationObjective),
         DurabilityOptions {
             checkpoint_every_rounds: 1,
+            group_commit: false,
         },
     );
 }
@@ -177,6 +180,7 @@ fn manual_checkpoint_prunes_the_log_and_survives_recovery() {
     let config = graph.config().clone();
     let options = DurabilityOptions {
         checkpoint_every_rounds: 0,
+        group_commit: false,
     };
     let (mut engine, _) =
         DurableEngine::open(dir, config, dynamicc, options, move || (graph, previous)).unwrap();

@@ -11,9 +11,10 @@
 //! recovery rebuilds the derived cross-shard index from the recovered
 //! per-shard graphs, so a restarted process reports the rebuild's work —
 //! see `dc_core::refine`.)  Additionally, tearing the tail of **one
-//! shard's** WAL rolls the entire round back on every shard
-//! (min-committed-round recovery), and re-serving it converges to the same
-//! final state.
+//! shard's** WAL no longer costs the round: the refine WAL logs the full
+//! batch and syncs last, so recovery heals the torn shard by replaying the
+//! staged batch from it (see `group_commit.rs` for the full tear matrix),
+//! and the healed engine converges to the same final state.
 
 use dc_core::{DurabilityOptions, ShardedDurableEngine, ShardedEngine, ShardedRoundReport};
 use dc_datagen::fixtures::small_febrl_workload;
@@ -84,6 +85,7 @@ fn four_shard_kill_reopen_around_every_round_is_bit_identical() {
 
     let options = DurabilityOptions {
         checkpoint_every_rounds: 2,
+        group_commit: false,
     };
     let tmp = TempDir::new("kill-reopen");
     let dir = tmp.path();
@@ -173,7 +175,7 @@ fn four_shard_kill_reopen_around_every_round_is_bit_identical() {
 }
 
 #[test]
-fn one_shard_torn_tail_rolls_the_whole_round_back() {
+fn one_shard_torn_tail_is_healed_from_the_refine_log() {
     let workload = small_febrl_workload();
     let objective: Arc<dyn ObjectiveFunction> = Arc::new(DbIndexObjective);
     let (reference, expected_reports, expected_clusterings, expected_refined) =
@@ -185,6 +187,7 @@ fn one_shard_torn_tail_rolls_the_whole_round_back() {
     // WAL alone.
     let options = DurabilityOptions {
         checkpoint_every_rounds: 0,
+        group_commit: false,
     };
     let tmp = TempDir::new("torn-tail");
     let dir = tmp.path();
@@ -214,8 +217,10 @@ fn one_shard_torn_tail_rolls_the_whole_round_back() {
     file.set_len(len - 3).unwrap();
     drop(file);
 
-    // Reopen: the committed round is the *minimum* over the shards (0), so
-    // the other three shards' round-1 records are rolled back too.
+    // Reopen: the committed round is the refine WAL's durable round (1) —
+    // the refine WAL logs the full batch and is synced last, so the torn
+    // shard is healed by replaying the staged round from it instead of
+    // rolling the acknowledged round back everywhere.
     let (graph, _, _, dynamicc) = trained_setup(&workload, objective.clone());
     let router = ShardRouter::for_config(N_SHARDS, graph.config());
     let config = graph.config().clone();
@@ -226,27 +231,32 @@ fn one_shard_torn_tail_rolls_the_whole_round_back() {
         .unwrap();
     assert!(report.recovered);
     assert!(report.dropped_torn_tail, "the torn tail must be detected");
-    assert_eq!(report.committed_round, 0, "round 1 was never acknowledged");
-    assert_eq!(report.rolled_back_rounds, 1, "three shards rolled back");
-    assert_eq!(engine.rounds_served(), 0);
+    assert_eq!(report.committed_round, 1, "round 1 was fully acknowledged");
+    assert_eq!(report.rolled_back_rounds, 0, "no shard rolled back");
+    assert_eq!(report.healed_rounds, 1, "the torn shard replayed one round");
+    assert_eq!(engine.rounds_served(), 1);
+    assert_clusterings_identical(
+        &engine.merged_clustering(),
+        &expected_clusterings[0],
+        "healed round 1",
+    );
 
-    // Re-serving the rolled-back round reproduces it exactly, and the rest
-    // of the workload lands on the reference state.
-    for (i, snapshot) in serve.iter().enumerate() {
+    // Serving the rest of the workload lands on the reference state.
+    for (i, snapshot) in serve.iter().enumerate().skip(1) {
         let round_report = engine.apply_round(&snapshot.batch).unwrap();
         assert_eq!(
             round_report, expected_reports[i],
-            "round {i}: report diverged after rollback"
+            "round {i}: report diverged after healing"
         );
         assert_clusterings_identical(
             &engine.merged_clustering(),
             &expected_clusterings[i],
-            &format!("post-rollback round {i}"),
+            &format!("post-heal round {i}"),
         );
         assert_clusterings_identical(
             &engine.refined_clustering(),
             &expected_refined[i],
-            &format!("post-rollback round {i}: refined"),
+            &format!("post-heal round {i}: refined"),
         );
     }
     assert_eq!(engine.stats(), reference.stats());
@@ -312,6 +322,7 @@ fn add_delete_readd_across_checkpoints_recovers_bit_identically() {
 
     let options = DurabilityOptions {
         checkpoint_every_rounds: 1,
+        group_commit: false,
     };
     let tmp = TempDir::new("add-delete-readd");
     let dir = tmp.path();

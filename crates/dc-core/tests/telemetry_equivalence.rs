@@ -80,6 +80,7 @@ fn durable_serving_and_recovery_are_bit_identical_with_telemetry_on_and_off() {
         let router = ShardRouter::for_config(2, graph.config());
         let options = DurabilityOptions {
             checkpoint_every_rounds: 2,
+            group_commit: false,
         };
         let (mut engine, _) = ShardedDurableEngine::open(
             tmp.path(),

@@ -16,7 +16,7 @@ use rand::{Rng, SeedableRng};
 use std::collections::VecDeque;
 
 /// Configuration of the negative sampler.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SamplerConfig {
     /// Probability mass assigned to the active-cluster pool.
     pub active_weight: f64,

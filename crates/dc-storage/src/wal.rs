@@ -364,6 +364,25 @@ impl Wal {
     /// the serving hot path uses this to log a round without cloning its
     /// operations into a [`WalRecord`] first.
     pub fn append_round(&mut self, round: u64, batch: &OperationBatch) -> Result<(), StorageError> {
+        self.append_round_nosync(round, batch)?;
+        self.sync()
+    }
+
+    /// The group-commit half of [`Wal::append_round`]: write the frame with a
+    /// single `write` call but **do not fsync**.  The record is not durable
+    /// until a later [`Wal::sync`] — until then it must be treated as a
+    /// write-back cache of an *uncommitted* round, and a recovery that finds
+    /// it without the commit point having been reached must truncate it (see
+    /// [`Wal::open_capped`]).
+    ///
+    /// The sharded group-commit protocol uses this to stage a round's frames
+    /// across every shard WAL and then make the round durable with a single
+    /// fsync of the group WAL, instead of one fsync per shard.
+    pub fn append_round_nosync(
+        &mut self,
+        round: u64,
+        batch: &OperationBatch,
+    ) -> Result<(), StorageError> {
         if round != self.last_round + 1 {
             return Err(StorageError::Inconsistent(format!(
                 "append of round {round} after round {} (rounds must be contiguous)",
@@ -383,13 +402,18 @@ impl Wal {
         self.file
             .write_all(&frame)
             .map_err(|e| StorageError::io(&self.path, "append", e))?;
-        sync_file(&self.file, &self.path, "fsync append")?;
         span.finish();
         reg.add("storage.wal_appends", 1);
         reg.add("storage.wal_bytes_appended", frame.len() as u64);
         self.last_round = round;
         self.len += frame.len() as u64;
         Ok(())
+    }
+
+    /// Durably flush every staged [`Wal::append_round_nosync`] frame with one
+    /// fsync.  A no-op-append segment may sync freely; the call is idempotent.
+    pub fn sync(&mut self) -> Result<(), StorageError> {
+        sync_file(&self.file, &self.path, "fsync append")
     }
 }
 

@@ -42,6 +42,7 @@ fn main() {
     let _ = std::fs::remove_dir_all(&dir);
     let options = DurabilityOptions {
         checkpoint_every_rounds: 2,
+        group_commit: false,
     };
 
     // ---- process 1: fresh open, serve two rounds, die without warning ----

@@ -96,6 +96,7 @@ fn main() {
     let _ = std::fs::remove_dir_all(&dir);
     let options = DurabilityOptions {
         checkpoint_every_rounds: 2,
+        group_commit: false,
     };
 
     // Process 1: fresh open, serve one round, die without warning.

@@ -83,7 +83,8 @@ pub mod prelude {
         KMeans, KMeansConfig,
     };
     pub use dc_core::{
-        train_on_workload, DurabilityOptions, DurableEngine, DynamicC, DynamicCConfig, Engine,
+        train_on_workload, AdaptiveBatcher, DurabilityOptions, DurableEngine, DynamicC,
+        DynamicCConfig, Engine, PipelineError, PipelineOptions, PipelineReport, PipelinedEngine,
         RecoveryReport, RefineReport, RoundReport, ShardConfigError, ShardedDurableEngine,
         ShardedEngine, ShardedRecoveryReport, ShardedRoundReport, StorageError, TrainingReport,
     };
