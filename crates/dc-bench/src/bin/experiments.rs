@@ -38,6 +38,9 @@
 //!                  sharded stack with telemetry on and emit the example
 //!                  metrics dump TELEMETRY_SMOKE.json (--out <path>
 //!                  overrides the output file)
+//!   lint     run the dc-lint workspace invariant gate against
+//!                  LINT_BASELINE.json; exits non-zero on new findings
+//!                  (see "Static analysis" in the README)
 //!   all      everything above except the bench-* subcommands
 //! ```
 //!
@@ -745,6 +748,26 @@ fn summary(options: Options) {
     }
 }
 
+/// Run the dc-lint workspace gate (`LINT_BASELINE.json` ratchet) and exit
+/// non-zero on any finding that is not grandfathered.
+fn lint() {
+    let cwd = std::env::current_dir().expect("current directory");
+    let Some(root) = dc_lint::discover_root(&cwd) else {
+        eprintln!(
+            "experiments lint: no workspace root found above {}",
+            cwd.display()
+        );
+        std::process::exit(2);
+    };
+    match dc_lint::run_gate(&root) {
+        Ok(report) => println!("{report}"),
+        Err(report) => {
+            eprintln!("{report}");
+            std::process::exit(1);
+        }
+    }
+}
+
 fn main() {
     let (command, options, out, telemetry) = parse_args();
     if telemetry.is_some() {
@@ -757,6 +780,7 @@ fn main() {
         "bench-shard-quality" => bench_shard_quality(out),
         "bench-pipeline" => bench_pipeline(out),
         "telemetry-smoke" => telemetry_smoke(out),
+        "lint" => lint(),
         "fig3" => fig3(options),
         "fig5a" => fig5a(options),
         "fig5b" => fig5_density(

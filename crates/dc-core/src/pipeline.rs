@@ -51,11 +51,48 @@ use crate::shard::{
     ShardedDurableEngine,
 };
 use dc_storage::{Snapshotter, StorageError, Wal};
+use dc_telemetry::{clock, Span};
 use dc_types::{Operation, OperationBatch};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
+
+// ---------------------------------------------------------------------------
+// Poison recovery.
+// ---------------------------------------------------------------------------
+
+/// Lock `m`, recovering from poisoning.
+///
+/// Every mutex in this module guards state whose invariants hold between
+/// critical sections (a queue, a set of counters): a panic on another
+/// thread mid-section cannot leave them torn in a way later readers would
+/// misinterpret, so propagating the poison as a second panic would only
+/// turn one failure into two.  Worker panics are surfaced once, as typed
+/// errors, at the join points in [`PipelinedEngine::close`].
+fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// [`Condvar::wait`] with the same poison-recovery rationale as
+/// [`lock_unpoisoned`].
+fn wait_unpoisoned<'a, T>(cv: &Condvar, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+    cv.wait(guard).unwrap_or_else(PoisonError::into_inner)
+}
+
+/// [`Condvar::wait_timeout`] with the same poison-recovery rationale as
+/// [`lock_unpoisoned`] (the timeout flag is dropped: callers re-check
+/// their deadline against the clock, which is authoritative).
+fn wait_timeout_unpoisoned<'a, T>(
+    cv: &Condvar,
+    guard: MutexGuard<'a, T>,
+    timeout: Duration,
+) -> MutexGuard<'a, T> {
+    let (guard, _timed_out) = cv
+        .wait_timeout(guard, timeout)
+        .unwrap_or_else(PoisonError::into_inner);
+    guard
+}
 
 // ---------------------------------------------------------------------------
 // Bounded MPSC channel (hand-rolled: the workspace vendors no crates).
@@ -75,6 +112,11 @@ struct ChannelState<T> {
     capacity: usize,
     senders: usize,
     receiver_alive: bool,
+    /// Senders currently parked in [`BoundedSender::send`] waiting for a
+    /// slot.  Tests observe this (via `not_empty`, which send signals on
+    /// entering the wait) to synchronize on "the send is now blocked"
+    /// without sleeping.
+    blocked_senders: usize,
 }
 
 /// The sending half of a [`bounded_channel`].  Cloneable (MPSC); dropping
@@ -123,6 +165,7 @@ pub fn bounded_channel<T>(capacity: usize) -> (BoundedSender<T>, BoundedReceiver
             capacity: capacity.max(1),
             senders: 1,
             receiver_alive: true,
+            blocked_senders: 0,
         }),
         not_empty: Condvar::new(),
         not_full: Condvar::new(),
@@ -139,7 +182,7 @@ impl<T> BoundedSender<T> {
     /// Enqueue `value`, blocking while the queue is at capacity.  Returns
     /// the value in [`SendError`] if the receiver is gone.
     pub fn send(&self, value: T) -> Result<(), SendError<T>> {
-        let mut state = self.inner.state.lock().expect("channel lock");
+        let mut state = lock_unpoisoned(&self.inner.state);
         loop {
             if !state.receiver_alive {
                 return Err(SendError(value));
@@ -149,13 +192,18 @@ impl<T> BoundedSender<T> {
                 self.inner.not_empty.notify_one();
                 return Ok(());
             }
-            state = self.inner.not_full.wait(state).expect("channel lock");
+            state.blocked_senders += 1;
+            // Wake anyone watching for a sender to park (the queue is full,
+            // so a receiver-side waiter is not waiting for items anyway).
+            self.inner.not_empty.notify_all();
+            state = wait_unpoisoned(&self.inner.not_full, state);
+            state.blocked_senders -= 1;
         }
     }
 
     /// Current queue length (a racy snapshot).
     pub fn len(&self) -> usize {
-        self.inner.state.lock().expect("channel lock").queue.len()
+        lock_unpoisoned(&self.inner.state).queue.len()
     }
 
     /// Whether the queue is currently empty (a racy snapshot).
@@ -166,7 +214,7 @@ impl<T> BoundedSender<T> {
 
 impl<T> Clone for BoundedSender<T> {
     fn clone(&self) -> Self {
-        self.inner.state.lock().expect("channel lock").senders += 1;
+        lock_unpoisoned(&self.inner.state).senders += 1;
         BoundedSender {
             inner: Arc::clone(&self.inner),
         }
@@ -175,7 +223,7 @@ impl<T> Clone for BoundedSender<T> {
 
 impl<T> Drop for BoundedSender<T> {
     fn drop(&mut self) {
-        let mut state = self.inner.state.lock().expect("channel lock");
+        let mut state = lock_unpoisoned(&self.inner.state);
         state.senders -= 1;
         if state.senders == 0 {
             self.inner.not_empty.notify_all();
@@ -188,7 +236,7 @@ impl<T> BoundedReceiver<T> {
     /// `None` once every sender is gone *and* the queue has drained — no
     /// enqueued item is ever lost to a disconnect.
     pub fn recv(&self) -> Option<T> {
-        let mut state = self.inner.state.lock().expect("channel lock");
+        let mut state = lock_unpoisoned(&self.inner.state);
         loop {
             if let Some(value) = state.queue.pop_front() {
                 self.inner.not_full.notify_one();
@@ -197,14 +245,26 @@ impl<T> BoundedReceiver<T> {
             if state.senders == 0 {
                 return None;
             }
-            state = self.inner.not_empty.wait(state).expect("channel lock");
+            state = wait_unpoisoned(&self.inner.not_empty, state);
+        }
+    }
+
+    /// Block until some sender is parked in [`BoundedSender::send`] waiting
+    /// for a slot (or every sender is gone).  Test-only synchronization:
+    /// replaces sleep-and-hope in the backpressure tests with an exact
+    /// "the send has blocked" rendezvous on the channel's own state.
+    #[cfg(test)]
+    fn wait_for_blocked_sender(&self) {
+        let mut state = lock_unpoisoned(&self.inner.state);
+        while state.blocked_senders == 0 && state.senders > 0 {
+            state = wait_unpoisoned(&self.inner.not_empty, state);
         }
     }
 
     /// [`BoundedReceiver::recv`] with a deadline: blocks until an item
     /// arrives, the deadline passes, or the channel disconnects empty.
     pub fn recv_deadline(&self, deadline: Instant) -> RecvTimeout<T> {
-        let mut state = self.inner.state.lock().expect("channel lock");
+        let mut state = lock_unpoisoned(&self.inner.state);
         loop {
             if let Some(value) = state.queue.pop_front() {
                 self.inner.not_full.notify_one();
@@ -214,23 +274,18 @@ impl<T> BoundedReceiver<T> {
                 return RecvTimeout::Disconnected;
             }
             let Some(wait) = deadline
-                .checked_duration_since(Instant::now())
+                .checked_duration_since(clock::now())
                 .filter(|d| !d.is_zero())
             else {
                 return RecvTimeout::TimedOut;
             };
-            let (guard, _timeout) = self
-                .inner
-                .not_empty
-                .wait_timeout(state, wait)
-                .expect("channel lock");
-            state = guard;
+            state = wait_timeout_unpoisoned(&self.inner.not_empty, state, wait);
         }
     }
 
     /// Current queue length (a racy snapshot).
     pub fn len(&self) -> usize {
-        self.inner.state.lock().expect("channel lock").queue.len()
+        lock_unpoisoned(&self.inner.state).queue.len()
     }
 
     /// Whether the queue is currently empty (a racy snapshot).
@@ -241,7 +296,7 @@ impl<T> BoundedReceiver<T> {
 
 impl<T> Drop for BoundedReceiver<T> {
     fn drop(&mut self) {
-        let mut state = self.inner.state.lock().expect("channel lock");
+        let mut state = lock_unpoisoned(&self.inner.state);
         state.receiver_alive = false;
         self.inner.not_full.notify_all();
     }
@@ -382,6 +437,13 @@ pub enum PipelineError {
         /// The failure the coordinator stopped on.
         StorageError,
     ),
+    /// A pipeline worker thread panicked, so the engine cannot be
+    /// reassembled; the on-disk state holds every round that group-committed
+    /// before the panic and recovers via [`ShardedDurableEngine::open`].
+    WorkerPanicked(
+        /// Which worker: `"coordinator"` or `"refine worker"`.
+        &'static str,
+    ),
 }
 
 impl std::fmt::Display for PipelineError {
@@ -389,6 +451,9 @@ impl std::fmt::Display for PipelineError {
         match self {
             PipelineError::Closed => write!(f, "the pipelined engine is closed"),
             PipelineError::Storage(e) => write!(f, "pipelined storage failure: {e}"),
+            PipelineError::WorkerPanicked(which) => {
+                write!(f, "pipeline {which} thread panicked; reopen to recover")
+            }
         }
     }
 }
@@ -396,7 +461,7 @@ impl std::fmt::Display for PipelineError {
 impl std::error::Error for PipelineError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
-            PipelineError::Closed => None,
+            PipelineError::Closed | PipelineError::WorkerPanicked(_) => None,
             PipelineError::Storage(e) => Some(e),
         }
     }
@@ -436,9 +501,10 @@ pub struct PipelineReport {
 
 /// What flows through the admission channel.
 enum Admit {
-    /// One operation, stamped with its submission instant for the latency
-    /// histogram.
-    Op(Operation, Instant),
+    /// One operation, carrying its `pipeline.op_latency` span: started at
+    /// submission, finished (on the coordinator thread) when the
+    /// operation's round is durably committed.
+    Op(Operation, Span),
     /// Close the current batch immediately (a flush barrier marker).
     Flush,
 }
@@ -468,7 +534,7 @@ impl Progress {
     }
 
     fn update(&self, f: impl FnOnce(&mut ProgressState)) {
-        let mut state = self.state.lock().expect("progress lock");
+        let mut state = lock_unpoisoned(&self.state);
         f(&mut state);
         self.cond.notify_all();
     }
@@ -520,18 +586,18 @@ impl Coordinator {
             let mut stamps = Vec::new();
             let mut flushed = false;
             match first {
-                Admit::Op(op, submitted) => {
+                Admit::Op(op, latency) => {
                     batch.push(op);
-                    stamps.push(submitted);
+                    stamps.push(latency);
                 }
                 Admit::Flush => flushed = true,
             }
-            let deadline = Instant::now() + self.options.max_batch_delay;
+            let deadline = clock::deadline(self.options.max_batch_delay);
             while !flushed && batch.len() < batcher.batch_target() {
                 match self.admit_rx.recv_deadline(deadline) {
-                    RecvTimeout::Item(Admit::Op(op, submitted)) => {
+                    RecvTimeout::Item(Admit::Op(op, latency)) => {
                         batch.push(op);
-                        stamps.push(submitted);
+                        stamps.push(latency);
                     }
                     RecvTimeout::Item(Admit::Flush) => flushed = true,
                     RecvTimeout::TimedOut | RecvTimeout::Disconnected => break,
@@ -549,7 +615,7 @@ impl Coordinator {
                 // A flush barrier with nothing pending commits nothing.
                 continue;
             }
-            if let Err(e) = self.serve_round(batch, &stamps, &mut batcher, &mut report) {
+            if let Err(e) = self.serve_round(batch, stamps, &mut batcher, &mut report) {
                 error = Some(e);
                 self.progress.update(|p| p.failed = true);
                 break;
@@ -571,7 +637,7 @@ impl Coordinator {
     fn serve_round(
         &mut self,
         batch: OperationBatch,
-        stamps: &[Instant],
+        stamps: Vec<Span>,
         batcher: &mut AdaptiveBatcher,
         report: &mut PipelineReport,
     ) -> Result<(), StorageError> {
@@ -604,12 +670,11 @@ impl Coordinator {
         let commit_ns = commit_span.finish_ns();
 
         // The round is durable: acknowledge it before any in-memory work,
-        // so flush barriers and latency stamps see commit time.
-        let now = Instant::now();
-        for submitted in stamps {
-            let ns = now.duration_since(*submitted).as_nanos() as u64;
-            reg.record_ns("pipeline.op_latency", ns);
-            report.op_latencies_ns.push(ns);
+        // so flush barriers and latency spans see commit time.  Finishing
+        // each span records into the `pipeline.op_latency` histogram on
+        // this (the coordinator) thread, whose delta merges at close.
+        for latency in stamps {
+            report.op_latencies_ns.push(latency.finish_ns());
         }
         report.rounds_committed += 1;
         report.ops_committed += ops as u64;
@@ -673,9 +738,9 @@ impl Coordinator {
 
     /// Block until the refine worker has folded in every committed round.
     fn wait_refined(&self) {
-        let mut state = self.progress.state.lock().expect("progress lock");
+        let mut state = lock_unpoisoned(&self.progress.state);
         while state.refined_rounds < state.committed_rounds {
-            state = self.progress.cond.wait(state).expect("progress lock");
+            state = wait_unpoisoned(&self.progress.cond, state);
         }
     }
 
@@ -692,7 +757,7 @@ impl Coordinator {
             self.refiner.as_ref(),
         ) {
             {
-                let refiner = refiner.lock().expect("refiner lock");
+                let refiner = lock_unpoisoned(refiner);
                 snapshotter.write(round, &refiner.snapshot_ref())?;
             }
             if wal.start_round() != round {
@@ -775,7 +840,7 @@ impl PipelinedEngine {
                     while let Some((batch, op_shards)) = rx.recv() {
                         if !abort.load(Ordering::Relaxed) {
                             let span = reg.span("pipeline.refine");
-                            refiner.lock().expect("refiner lock").replay_round(
+                            lock_unpoisoned(&refiner).replay_round(
                                 &batch,
                                 &op_shards,
                                 &dynamicc,
@@ -830,7 +895,8 @@ impl PipelinedEngine {
     pub fn submit(&self, op: Operation) -> Result<(), PipelineError> {
         let sender = self.sender.as_ref().ok_or(PipelineError::Closed)?;
         let span = dc_telemetry::registry().span("pipeline.admit");
-        let sent = sender.send(Admit::Op(op, Instant::now()));
+        let latency = Span::start("pipeline.op_latency");
+        let sent = sender.send(Admit::Op(op, latency));
         span.finish();
         match sent {
             Ok(()) => {
@@ -851,7 +917,7 @@ impl PipelinedEngine {
         sender
             .send(Admit::Flush)
             .map_err(|_| PipelineError::Closed)?;
-        let mut state = self.progress.state.lock().expect("progress lock");
+        let mut state = lock_unpoisoned(&self.progress.state);
         loop {
             if state.failed {
                 return Err(PipelineError::Closed);
@@ -859,7 +925,7 @@ impl PipelinedEngine {
             if state.committed_ops >= target && state.refined_rounds >= state.committed_rounds {
                 return Ok(());
             }
-            state = self.progress.cond.wait(state).expect("progress lock");
+            state = wait_unpoisoned(&self.progress.cond, state);
         }
     }
 
@@ -879,17 +945,19 @@ impl PipelinedEngine {
     /// reassembled synchronous engine plus the session report.
     pub fn close(mut self) -> Result<(ShardedDurableEngine, PipelineReport), PipelineError> {
         drop(self.sender.take());
-        let mut exit = self
-            .coordinator
-            .take()
-            .expect("close joins the coordinator once")
+        let Some(coordinator) = self.coordinator.take() else {
+            // Only reachable if close raced a kill on the same value, which
+            // the ownership model forbids; a typed error beats a panic.
+            return Err(PipelineError::Closed);
+        };
+        let mut exit = coordinator
             .join()
-            .expect("pipeline coordinator panicked");
+            .map_err(|_| PipelineError::WorkerPanicked("coordinator"))?;
         exit.telemetry.merge_into_current();
         if let Some(worker) = self.refine_worker.take() {
             worker
                 .join()
-                .expect("pipeline refine worker panicked")
+                .map_err(|_| PipelineError::WorkerPanicked("refine worker"))?
                 .merge_into_current();
         }
         if let Some(error) = exit.error.take() {
@@ -897,20 +965,25 @@ impl PipelinedEngine {
         }
         let refine = match self.refiner.take() {
             Some(refiner) => {
+                // Both workers are joined, so this Arc is the last one; a
+                // still-shared refiner means a worker leaked its clone.
                 let refiner = Arc::try_unwrap(refiner)
-                    .unwrap_or_else(|_| panic!("refiner still shared after worker join"))
+                    .map_err(|_| PipelineError::WorkerPanicked("refine worker"))?
                     .into_inner()
-                    .expect("refiner lock");
+                    .unwrap_or_else(PoisonError::into_inner);
+                let (Some(wal), Some(snapshotter)) =
+                    (exit.refine_wal.take(), exit.snapshotter.take())
+                else {
+                    // The WAL and snapshotter ride with the refiner; losing
+                    // them means the coordinator exited mid-teardown.
+                    return Err(PipelineError::Storage(StorageError::Inconsistent(
+                        "pipeline closed without its refine WAL and snapshotter".into(),
+                    )));
+                };
                 Some(DurableRefine {
                     refiner,
-                    wal: exit
-                        .refine_wal
-                        .take()
-                        .expect("refine WAL rides with the refiner"),
-                    snapshotter: exit
-                        .snapshotter
-                        .take()
-                        .expect("snapshotter rides with the refiner"),
+                    wal,
+                    snapshotter,
                 })
             }
             None => None,
@@ -984,7 +1057,9 @@ mod tests {
             tx.send(2).unwrap(); // blocks until the receiver pops
             tx
         });
-        std::thread::sleep(Duration::from_millis(20));
+        // Rendezvous on the channel's own state — no sleeping, no latency
+        // floor, no flaky "was 20ms long enough" assumption.
+        rx.wait_for_blocked_sender();
         assert_eq!(rx.len(), 1, "second send must still be blocked");
         assert_eq!(rx.recv(), Some(1));
         let tx = blocked.join().unwrap();
@@ -997,17 +1072,17 @@ mod tests {
     fn channel_recv_deadline_times_out_and_disconnects() {
         let (tx, rx) = bounded_channel::<u32>(2);
         assert_eq!(
-            rx.recv_deadline(Instant::now() + Duration::from_millis(5)),
+            rx.recv_deadline(clock::deadline(Duration::from_millis(5))),
             RecvTimeout::TimedOut
         );
         tx.send(7).unwrap();
         assert_eq!(
-            rx.recv_deadline(Instant::now() + Duration::from_millis(5)),
+            rx.recv_deadline(clock::deadline(Duration::from_millis(5))),
             RecvTimeout::Item(7)
         );
         drop(tx);
         assert_eq!(
-            rx.recv_deadline(Instant::now() + Duration::from_secs(60)),
+            rx.recv_deadline(clock::deadline(Duration::from_secs(60))),
             RecvTimeout::Disconnected
         );
     }

@@ -220,6 +220,7 @@ fn partition_state(
 
     let mut assignment: BTreeMap<ObjectId, usize> = BTreeMap::new();
     for id in graph.object_ids() {
+        // dc-lint: allow(R1) reason="graph invariant: object_ids() yields only live ids, so record() cannot miss; a violation is graph corruption, not a servable state"
         let record = graph.record(id).expect("live object");
         assignment.insert(id, router.route(record));
     }
@@ -262,8 +263,7 @@ fn partition_state(
                 .ok_or(ShardConfigError::ClusteredObjectMissing { id: oid })?;
             pieces.entry(shard).or_default().push(oid);
         }
-        if pieces.len() == 1 {
-            let (shard, members) = pieces.into_iter().next().expect("non-empty cluster");
+        if let Some((shard, members)) = (pieces.len() == 1).then(|| pieces.pop_first()).flatten() {
             kept[shard].push((cid, members));
         } else {
             for (shard, members) in pieces {
@@ -279,15 +279,18 @@ fn partition_state(
         for (cid, members) in kept[shard].drain(..) {
             shard_clustering
                 .insert_cluster_with_id(cid, members)
+                // dc-lint: allow(R1) reason="construction invariant: donor cluster ids are unique in a well-formed Clustering and each lands in exactly one shard, so no id can collide"
                 .expect("donor cluster ids are globally unique");
         }
         shard_clustering.set_id_watermark(shard_id_base(shard) + watermark);
         for members in fresh[shard].drain(..) {
             shard_clustering
                 .create_cluster(members)
+                // dc-lint: allow(R1) reason="construction invariant: pieces partition a donor cluster's members, so the fresh clusters are disjoint and non-empty by construction"
                 .expect("partition pieces are disjoint");
         }
         let shard_graph = SimilarityGraph::import_state(config.clone(), state)
+            // dc-lint: allow(R1) reason="construction invariant: the state was filtered from a valid exported graph (records routed whole, edges kept only intra-shard), so re-import cannot fail"
             .expect("partitioned state is well-formed by construction");
         seeds.push(ShardSeed {
             graph: shard_graph,
@@ -339,42 +342,41 @@ pub(crate) fn parallel_shard_rounds<T: Send, R: Send>(
     let n = shards.len();
     let threads = max_threads.clamp(1, n.max(1));
     let chunk = n.div_ceil(threads);
-    let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
     let enabled = dc_telemetry::registry().is_enabled();
-    let deltas: Vec<dc_telemetry::ThreadDelta> = std::thread::scope(|scope| {
+    // Each worker returns its chunk's results in order; joining the handles
+    // in spawn order then reassembles the global order with no placeholder
+    // slots.  A worker panic is propagated (`resume_unwind`), not wrapped —
+    // the panic payload and message survive to the caller's test harness.
+    let chunk_results: Vec<(Vec<R>, dc_telemetry::ThreadDelta)> = std::thread::scope(|scope| {
         let f = &f;
         let mut handles = Vec::with_capacity(threads);
-        for ((shard_chunk, batch_chunk), out_chunk) in shards
-            .chunks_mut(chunk)
-            .zip(batches.chunks(chunk))
-            .zip(out.chunks_mut(chunk))
-        {
+        for (shard_chunk, batch_chunk) in shards.chunks_mut(chunk).zip(batches.chunks(chunk)) {
             handles.push(scope.spawn(move || {
                 let reg = dc_telemetry::registry();
                 reg.set_enabled(enabled);
-                for ((shard, batch), slot) in shard_chunk
-                    .iter_mut()
-                    .zip(batch_chunk)
-                    .zip(out_chunk.iter_mut())
-                {
+                let mut results = Vec::with_capacity(shard_chunk.len());
+                for (shard, batch) in shard_chunk.iter_mut().zip(batch_chunk) {
                     let span = reg.span("shard.apply");
-                    *slot = Some(f(shard, batch));
+                    results.push(f(shard, batch));
                     span.finish();
                 }
-                reg.drain()
+                (results, reg.drain())
             }));
         }
         handles
             .into_iter()
-            .map(|h| h.join().expect("shard worker panicked"))
+            .map(|h| {
+                h.join()
+                    .unwrap_or_else(|payload| std::panic::resume_unwind(payload))
+            })
             .collect()
     });
-    for delta in deltas {
+    let mut out = Vec::with_capacity(n);
+    for (results, delta) in chunk_results {
+        out.extend(results);
         delta.merge_into_current();
     }
-    out.into_iter()
-        .map(|r| r.expect("every shard served"))
-        .collect()
+    out
 }
 
 /// Record the router's per-round batch-size imbalance as gauges: the
@@ -413,32 +415,34 @@ pub(crate) fn parallel_map<T: Sync, R: Send>(
     }
     let threads = max_threads.min(n);
     let chunk = n.div_ceil(threads);
-    let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
     let enabled = dc_telemetry::registry().is_enabled();
-    let deltas: Vec<dc_telemetry::ThreadDelta> = std::thread::scope(|scope| {
+    // Same shape as `parallel_shard_rounds`: per-chunk result vectors
+    // reassembled in spawn order, worker panics propagated verbatim.
+    let chunk_results: Vec<(Vec<R>, dc_telemetry::ThreadDelta)> = std::thread::scope(|scope| {
         let f = &f;
         let mut handles = Vec::with_capacity(threads);
-        for (item_chunk, out_chunk) in items.chunks(chunk).zip(out.chunks_mut(chunk)) {
+        for item_chunk in items.chunks(chunk) {
             handles.push(scope.spawn(move || {
                 let reg = dc_telemetry::registry();
                 reg.set_enabled(enabled);
-                for (item, slot) in item_chunk.iter().zip(out_chunk.iter_mut()) {
-                    *slot = Some(f(item));
-                }
-                reg.drain()
+                let results = item_chunk.iter().map(f).collect::<Vec<R>>();
+                (results, reg.drain())
             }));
         }
         handles
             .into_iter()
-            .map(|h| h.join().expect("map worker panicked"))
+            .map(|h| {
+                h.join()
+                    .unwrap_or_else(|payload| std::panic::resume_unwind(payload))
+            })
             .collect()
     });
-    for delta in deltas {
+    let mut out = Vec::with_capacity(n);
+    for (results, delta) in chunk_results {
+        out.extend(results);
         delta.merge_into_current();
     }
-    out.into_iter()
-        .map(|r| r.expect("every item mapped"))
-        .collect()
+    out
 }
 
 /// What one sharded round did: the merged global view plus the per-shard
@@ -763,6 +767,7 @@ pub(crate) fn merge_clusterings<'a>(
         for (cid, cluster) in clustering.iter() {
             merged
                 .insert_cluster_with_id(cid, cluster.iter())
+                // dc-lint: allow(R1) reason="construction invariant: each shard allocates cluster ids from its own shard_id_base namespace (validated at partition time), so a collision is impossible"
                 .expect("shard id namespaces are disjoint");
         }
         watermark = watermark.max(clustering.id_watermark());
@@ -936,10 +941,11 @@ impl ShardedDurableEngine {
             peek_dropped_torn_tail |= dropped;
             durable_rounds.push(round);
         }
-        let committed = if durable_rounds.iter().any(Option::is_none) {
-            None
-        } else {
-            *durable_rounds.last().expect("n >= 1 rounds peeked")
+        // The commit point is the group-commit log's round (the last entry
+        // peeked), valid only when every directory has durable state.
+        let committed = match durable_rounds.last() {
+            Some(last) if durable_rounds.iter().all(Option::is_some) => *last,
+            _ => None,
         };
 
         let dynamiccs = distribute_dynamicc(dynamicc, n);
@@ -953,9 +959,11 @@ impl ShardedDurableEngine {
                 report.recovered = true;
                 report.committed_round = committed;
                 report.dropped_torn_tail = peek_dropped_torn_tail;
+                // Every entry is Some here (that is what selected this
+                // branch); the fallback keeps the arithmetic total.
                 report.rolled_back_rounds = durable_rounds
                     .iter()
-                    .map(|r| r.expect("all shards have state").saturating_sub(committed))
+                    .map(|r| r.unwrap_or(committed).saturating_sub(committed))
                     .max()
                     .unwrap_or(0);
                 for (shard, d) in dynamiccs.into_iter().enumerate() {
@@ -965,6 +973,7 @@ impl ShardedDurableEngine {
                         d,
                         PER_SHARD_OPTIONS,
                         Some(committed),
+                        // dc-lint: allow(R1) reason="the bootstrap closure is only invoked when a shard directory has no durable state, and this branch was selected because every directory has some; reaching it means last_durable_round and open disagree about the same file"
                         || unreachable!("recovery must not bootstrap"),
                     )?;
                     let recovered_to = engine.rounds_served() as u64;
@@ -1122,7 +1131,11 @@ impl ShardedDurableEngine {
         // (all shards carry an identical one — validated at construction).
         let dynamicc = shards
             .first()
-            .expect("n > 1 shards")
+            .ok_or_else(|| {
+                StorageError::Inconsistent(
+                    "refine directory present but no shards were recovered".into(),
+                )
+            })?
             .engine()
             .dynamicc()
             .clone();

@@ -1,0 +1,431 @@
+//! The ratcheted baseline: `LINT_BASELINE.json` at the workspace root.
+//!
+//! The baseline is the set of grandfathered findings, each carrying a
+//! human-written reason. The gate compares a fresh scan against it:
+//!
+//! * a finding not in the baseline is **new** → fail (fix it or tag it);
+//! * a baseline entry not in the scan is **stale** → fail (regenerate with
+//!   `--write-baseline` so the count ratchets *down* and stays honest);
+//! * the baseline is never grown by hand — `--write-baseline` rewrites it
+//!   from the current scan, carrying reasons over from the old file.
+//!
+//! Matching ignores line numbers (a finding keys on rule + file + token +
+//! context + note), so unrelated edits above a grandfathered site don't
+//! churn the gate — only touching the offending line itself does, which is
+//! exactly when the grandfather clause should be re-examined.
+//!
+//! JSON is written and read by hand (std only, same offline constraint as
+//! the scanner). The writer is canonical — sorted entries, fixed field
+//! order, two-space indent, trailing newline — so the self-check test can
+//! demand a byte-for-byte match and CI can diff two runs.
+
+use crate::rules::Finding;
+use std::collections::BTreeMap;
+
+/// One grandfathered finding plus its justification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Entry {
+    pub finding: Finding,
+    pub reason: String,
+}
+
+/// The parsed baseline file.
+#[derive(Debug, Default)]
+pub struct Baseline {
+    pub entries: Vec<Entry>,
+}
+
+/// The identity of a finding for baseline matching: everything except the
+/// line number.
+pub fn key(f: &Finding) -> (String, String, String, String, String) {
+    (
+        f.rule.clone(),
+        f.file.clone(),
+        f.token.clone(),
+        f.context.clone(),
+        f.note.clone(),
+    )
+}
+
+/// The result of diffing a fresh scan against the baseline.
+#[derive(Debug, Default)]
+pub struct GateResult {
+    /// Findings with no matching baseline entry.
+    pub new: Vec<Finding>,
+    /// Baseline entries with no matching finding.
+    pub stale: Vec<Entry>,
+    /// Findings covered by the baseline.
+    pub grandfathered: usize,
+}
+
+impl GateResult {
+    pub fn passed(&self) -> bool {
+        self.new.is_empty() && self.stale.is_empty()
+    }
+}
+
+/// Multiset-diff `findings` against `baseline`.
+pub fn gate(findings: &[Finding], baseline: &Baseline) -> GateResult {
+    let mut remaining: BTreeMap<(String, String, String, String, String), Vec<Entry>> =
+        BTreeMap::new();
+    for entry in &baseline.entries {
+        remaining
+            .entry(key(&entry.finding))
+            .or_default()
+            .push(entry.clone());
+    }
+    let mut result = GateResult::default();
+    for finding in findings {
+        match remaining.get_mut(&key(finding)) {
+            Some(bucket) if !bucket.is_empty() => {
+                bucket.pop();
+                result.grandfathered += 1;
+            }
+            _ => result.new.push(finding.clone()),
+        }
+    }
+    result.stale = remaining.into_values().flatten().collect();
+    result.stale.sort_by_key(|e| key(&e.finding));
+    result
+}
+
+/// Build a fresh baseline from `findings`, carrying each reason over from
+/// `prior` where the finding still matches, and falling back to a
+/// rule-specific default reason otherwise.
+pub fn rebuild(findings: &[Finding], prior: &Baseline) -> Baseline {
+    let mut reasons: BTreeMap<(String, String, String, String, String), Vec<String>> =
+        BTreeMap::new();
+    for entry in &prior.entries {
+        reasons
+            .entry(key(&entry.finding))
+            .or_default()
+            .push(entry.reason.clone());
+    }
+    let mut entries: Vec<Entry> = findings
+        .iter()
+        .map(|f| {
+            let reason = reasons
+                .get_mut(&key(f))
+                .and_then(|bucket| bucket.pop())
+                .unwrap_or_else(|| default_reason(&f.rule));
+            Entry {
+                finding: f.clone(),
+                reason,
+            }
+        })
+        .collect();
+    entries.sort_by(|a, b| {
+        (
+            &a.finding.rule,
+            &a.finding.file,
+            a.finding.line,
+            &a.finding.token,
+        )
+            .cmp(&(
+                &b.finding.rule,
+                &b.finding.file,
+                b.finding.line,
+                &b.finding.token,
+            ))
+    });
+    Baseline { entries }
+}
+
+fn default_reason(rule: &str) -> String {
+    match rule {
+        "R1" => {
+            "grandfathered at dc-lint introduction: pre-existing panic site on a serving-path \
+             crate; migrate to a typed error before touching this code"
+        }
+        "R2" => {
+            "grandfathered at dc-lint introduction: pre-existing nondeterminism; migrate to the \
+             BTree/clock/channel equivalent before touching this code"
+        }
+        "R3" => "grandfathered at dc-lint introduction: route through dc_storage::sync_file",
+        "R4" => "grandfathered at dc-lint introduction: rename or add a catalog row",
+        _ => "grandfathered at dc-lint introduction",
+    }
+    .to_string()
+}
+
+// ---------------------------------------------------------------------------
+// Canonical writer.
+// ---------------------------------------------------------------------------
+
+/// Serialize the baseline in its canonical byte form.
+pub fn to_json(baseline: &Baseline) -> String {
+    let mut counts: BTreeMap<&str, usize> = BTreeMap::new();
+    for rule in ["R1", "R2", "R3", "R4", "TAG"] {
+        counts.insert(rule, 0);
+    }
+    for entry in &baseline.entries {
+        *counts.entry(entry.finding.rule.as_str()).or_insert(0) += 1;
+    }
+    let mut out = String::new();
+    out.push_str("{\n  \"version\": 1,\n  \"counts\": {");
+    let mut first = true;
+    for (rule, n) in &counts {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(&format!(" \"{rule}\": {n}"));
+    }
+    out.push_str(" },\n  \"entries\": [");
+    for (i, entry) in baseline.entries.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    {\n");
+        let f = &entry.finding;
+        out.push_str(&format!("      \"rule\": {},\n", quote(&f.rule)));
+        out.push_str(&format!("      \"file\": {},\n", quote(&f.file)));
+        out.push_str(&format!("      \"line\": {},\n", f.line));
+        out.push_str(&format!("      \"token\": {},\n", quote(&f.token)));
+        out.push_str(&format!("      \"context\": {},\n", quote(&f.context)));
+        out.push_str(&format!("      \"note\": {},\n", quote(&f.note)));
+        out.push_str(&format!("      \"reason\": {}\n", quote(&entry.reason)));
+        out.push_str("    }");
+    }
+    if !baseline.entries.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("]\n}\n");
+    out
+}
+
+fn quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Minimal reader: just enough JSON for the baseline's own shape.
+// ---------------------------------------------------------------------------
+
+/// Parse a baseline file. Errors carry a byte offset for triage.
+pub fn from_json(text: &str) -> Result<Baseline, String> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let value = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing bytes at offset {}", p.pos));
+    }
+    let Json::Object(top) = value else {
+        return Err("baseline root must be an object".to_string());
+    };
+    let entries_json = match top.iter().find(|(k, _)| k == "entries") {
+        Some((_, Json::Array(items))) => items,
+        Some(_) => return Err("\"entries\" must be an array".to_string()),
+        None => return Err("baseline missing \"entries\"".to_string()),
+    };
+    let mut entries = Vec::with_capacity(entries_json.len());
+    for (i, item) in entries_json.iter().enumerate() {
+        let Json::Object(fields) = item else {
+            return Err(format!("entry {i} is not an object"));
+        };
+        let get_str = |name: &str| -> Result<String, String> {
+            match fields.iter().find(|(k, _)| k == name) {
+                Some((_, Json::String(s))) => Ok(s.clone()),
+                _ => Err(format!("entry {i} missing string field \"{name}\"")),
+            }
+        };
+        let line = match fields.iter().find(|(k, _)| k == "line") {
+            Some((_, Json::Number(n))) => *n as usize,
+            _ => return Err(format!("entry {i} missing numeric field \"line\"")),
+        };
+        entries.push(Entry {
+            finding: Finding {
+                rule: get_str("rule")?,
+                file: get_str("file")?,
+                line,
+                token: get_str("token")?,
+                context: get_str("context")?,
+                note: get_str("note")?,
+            },
+            reason: get_str("reason")?,
+        });
+    }
+    Ok(Baseline { entries })
+}
+
+enum Json {
+    Object(Vec<(String, Json)>),
+    Array(Vec<Json>),
+    String(String),
+    Number(f64),
+    Bool(#[allow(dead_code)] bool),
+    Null,
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_whitespace())
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.bytes.get(self.pos) {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::String(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(_) => self.number(),
+            None => Err(format!("unexpected end of input at offset {}", self.pos)),
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(format!("bad literal at offset {}", self.pos))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(Json::Number)
+            .ok_or_else(|| format!("bad number at offset {start}"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        let start = self.pos;
+        self.pos += 1; // opening quote
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos) {
+                None => return Err(format!("unterminated string at offset {start}")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.bytes.get(self.pos) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .and_then(char::from_u32)
+                                .ok_or_else(|| format!("bad \\u escape at offset {}", self.pos))?;
+                            out.push(hex);
+                            self.pos += 4;
+                        }
+                        _ => return Err(format!("bad escape at offset {}", self.pos)),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Copy one UTF-8 scalar.
+                    let s = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| format!("invalid UTF-8 at offset {}", self.pos))?;
+                    let c = s.chars().next().ok_or("empty")?;
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.pos += 1; // {
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b'}') {
+            self.pos += 1;
+            return Ok(Json::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let name = self.string()?;
+            self.skip_ws();
+            if self.bytes.get(self.pos) != Some(&b':') {
+                return Err(format!("expected ':' at offset {}", self.pos));
+            }
+            self.pos += 1;
+            self.skip_ws();
+            fields.push((name, self.value()?));
+            self.skip_ws();
+            match self.bytes.get(self.pos) {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Object(fields));
+                }
+                _ => return Err(format!("expected ',' or '}}' at offset {}", self.pos)),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.pos += 1; // [
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b']') {
+            self.pos += 1;
+            return Ok(Json::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.bytes.get(self.pos) {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Array(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at offset {}", self.pos)),
+            }
+        }
+    }
+}

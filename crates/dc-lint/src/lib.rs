@@ -1,0 +1,120 @@
+//! `dc-lint`: the workspace invariant checker.
+//!
+//! Four conventions keep this codebase's correctness story honest, and all
+//! four used to live only in prose. This crate turns them into a
+//! token-level static-analysis pass gated by a ratcheted baseline:
+//!
+//! | rule | invariant |
+//! |------|-----------|
+//! | R1   | panic-freedom: no `unwrap`/`expect`/`panic!`/`unreachable!` in serving-path crates (`dc-core`, `dc-storage`, `dc-similarity`) outside tests |
+//! | R2   | determinism: no `HashMap`/`HashSet`/`Instant::now`/`SystemTime`/`mpsc`/`thread::sleep` outside `dc-telemetry`'s clock |
+//! | R3   | fsync discipline: `sync_all`/`sync_data` only inside `dc_storage::sync_file`, the counted wrapper behind `storage.fsync_count` |
+//! | R4   | telemetry naming: metric-name literals are dotted-lowercase, catalogued in the README, with `_ns` reserved for nanosecond timings |
+//!
+//! Violations that predate the lint are grandfathered in
+//! `LINT_BASELINE.json` with a reason each; the gate fails on anything new
+//! and on stale entries, so the baseline can only shrink. Legitimate sites
+//! carry an inline `// dc-lint: allow(R#) reason="…"` tag.
+//!
+//! Run it as `cargo run -p dc-lint` or `experiments lint`.
+
+pub mod baseline;
+pub mod rules;
+pub mod scan;
+
+pub use baseline::{Baseline, Entry, GateResult};
+pub use rules::{Catalog, Finding};
+
+use std::path::{Path, PathBuf};
+
+/// File name of the committed baseline at the workspace root.
+pub const BASELINE_FILE: &str = "LINT_BASELINE.json";
+
+/// Scan the workspace at `root` and return all findings (after allow-tag
+/// suppression), sorted by (file, line, rule, token).
+pub fn scan_workspace(root: &Path) -> Result<Vec<Finding>, String> {
+    let files = scan::walk_workspace(root)
+        .map_err(|e| format!("walking {} failed: {e}", root.display()))?;
+    let readme = std::fs::read_to_string(root.join("README.md")).unwrap_or_default();
+    let catalog = Catalog::from_readme(&readme);
+    Ok(rules::run_all(&files, &catalog))
+}
+
+/// Load the committed baseline at `root` (an absent file is an empty
+/// baseline, so a fresh checkout of a clean tree still gates correctly).
+pub fn load_baseline(root: &Path) -> Result<Baseline, String> {
+    let path = root.join(BASELINE_FILE);
+    if !path.exists() {
+        return Ok(Baseline::default());
+    }
+    let text = std::fs::read_to_string(&path)
+        .map_err(|e| format!("reading {} failed: {e}", path.display()))?;
+    baseline::from_json(&text).map_err(|e| format!("parsing {}: {e}", path.display()))
+}
+
+/// Scan, gate against the committed baseline, and render a human report.
+/// `Ok` is the pass report; `Err` is the failure report (new findings
+/// and/or stale entries), suitable for printing before a non-zero exit.
+pub fn run_gate(root: &Path) -> Result<String, String> {
+    let findings = scan_workspace(root)?;
+    let base = load_baseline(root)?;
+    let result = baseline::gate(&findings, &base);
+    let report = render(&findings, &result);
+    if result.passed() {
+        Ok(report)
+    } else {
+        Err(report)
+    }
+}
+
+fn render(findings: &[Finding], result: &GateResult) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "dc-lint: {} findings ({} grandfathered, {} new, {} stale baseline entries)\n",
+        findings.len(),
+        result.grandfathered,
+        result.new.len(),
+        result.stale.len(),
+    ));
+    if !result.new.is_empty() {
+        out.push_str("\nnew findings (fix, or tag with `// dc-lint: allow(R#) reason=\"…\"`):\n");
+        for f in &result.new {
+            out.push_str(&format!(
+                "  [{}] {}:{} {} — {}\n      {}\n",
+                f.rule, f.file, f.line, f.token, f.note, f.context
+            ));
+        }
+    }
+    if !result.stale.is_empty() {
+        out.push_str(
+            "\nstale baseline entries (the site is gone — run `cargo run -p dc-lint -- \
+             --write-baseline` to ratchet the baseline down):\n",
+        );
+        for e in &result.stale {
+            let f = &e.finding;
+            out.push_str(&format!(
+                "  [{}] {}:{} {}\n      {}\n",
+                f.rule, f.file, f.line, f.token, f.context
+            ));
+        }
+    }
+    if result.passed() {
+        out.push_str("gate: PASS\n");
+    } else {
+        out.push_str("gate: FAIL\n");
+    }
+    out
+}
+
+/// Find the workspace root by ascending from `start` until a directory
+/// containing both `Cargo.toml` and `crates/` appears.
+pub fn discover_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        if d.join("Cargo.toml").is_file() && d.join("crates").is_dir() {
+            return Some(d);
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}

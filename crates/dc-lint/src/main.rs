@@ -1,0 +1,167 @@
+//! CLI for the workspace invariant checker.
+//!
+//! ```text
+//! cargo run -p dc-lint                    # gate against LINT_BASELINE.json
+//! cargo run -p dc-lint -- --list          # print every finding, no gate
+//! cargo run -p dc-lint -- --write-baseline  # regenerate the baseline
+//! cargo run -p dc-lint -- --root DIR --baseline PATH
+//! ```
+//!
+//! Exit code 0 on a clean gate, 1 on new findings or a stale baseline,
+//! 2 on usage or I/O errors.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut baseline_path: Option<PathBuf> = None;
+    let mut write_baseline = false;
+    let mut list = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => root = args.next().map(PathBuf::from),
+            "--baseline" => baseline_path = args.next().map(PathBuf::from),
+            "--write-baseline" => write_baseline = true,
+            "--list" => list = true,
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: dc-lint [--root DIR] [--baseline PATH] [--write-baseline] [--list]"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("dc-lint: unknown argument {other:?} (try --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let root = match root.or_else(|| {
+        std::env::current_dir()
+            .ok()
+            .and_then(|cwd| dc_lint::discover_root(&cwd))
+    }) {
+        Some(r) => r,
+        None => {
+            eprintln!("dc-lint: could not find the workspace root (pass --root)");
+            return ExitCode::from(2);
+        }
+    };
+    let baseline_path = baseline_path.unwrap_or_else(|| root.join(dc_lint::BASELINE_FILE));
+
+    if list {
+        let findings = match dc_lint::scan_workspace(&root) {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("dc-lint: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        for f in &findings {
+            println!(
+                "[{}] {}:{} {} — {}",
+                f.rule, f.file, f.line, f.token, f.note
+            );
+        }
+        println!("{} findings", findings.len());
+        return ExitCode::SUCCESS;
+    }
+
+    if write_baseline {
+        let findings = match dc_lint::scan_workspace(&root) {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("dc-lint: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let prior = match load_at(&baseline_path) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("dc-lint: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let fresh = dc_lint::baseline::rebuild(&findings, &prior);
+        let json = dc_lint::baseline::to_json(&fresh);
+        if let Err(e) = std::fs::write(&baseline_path, json) {
+            eprintln!("dc-lint: writing {} failed: {e}", baseline_path.display());
+            return ExitCode::from(2);
+        }
+        println!(
+            "dc-lint: wrote {} ({} entries)",
+            baseline_path.display(),
+            fresh.entries.len()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    // The gate.
+    let findings = match dc_lint::scan_workspace(&root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("dc-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let base = match load_at(&baseline_path) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("dc-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let result = dc_lint::baseline::gate(&findings, &base);
+    let passed = result.passed();
+    print_gate(&findings, &result);
+    if passed {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn load_at(path: &std::path::Path) -> Result<dc_lint::Baseline, String> {
+    if !path.exists() {
+        return Ok(dc_lint::Baseline::default());
+    }
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("reading {} failed: {e}", path.display()))?;
+    dc_lint::baseline::from_json(&text).map_err(|e| format!("parsing {}: {e}", path.display()))
+}
+
+fn print_gate(findings: &[dc_lint::Finding], result: &dc_lint::GateResult) {
+    println!(
+        "dc-lint: {} findings ({} grandfathered, {} new, {} stale baseline entries)",
+        findings.len(),
+        result.grandfathered,
+        result.new.len(),
+        result.stale.len(),
+    );
+    if !result.new.is_empty() {
+        println!("\nnew findings (fix, or tag with `// dc-lint: allow(R#) reason=\"…\"`):");
+        for f in &result.new {
+            println!(
+                "  [{}] {}:{} {} — {}\n      {}",
+                f.rule, f.file, f.line, f.token, f.note, f.context
+            );
+        }
+    }
+    if !result.stale.is_empty() {
+        println!(
+            "\nstale baseline entries (the site is gone — run `cargo run -p dc-lint -- \
+             --write-baseline` to ratchet the baseline down):"
+        );
+        for e in &result.stale {
+            let f = &e.finding;
+            println!(
+                "  [{}] {}:{} {}\n      {}",
+                f.rule, f.file, f.line, f.token, f.context
+            );
+        }
+    }
+    println!("gate: {}", if result.passed() { "PASS" } else { "FAIL" });
+}

@@ -1,0 +1,511 @@
+//! The rule set: R1 panic-freedom, R2 determinism, R3 fsync discipline,
+//! R4 telemetry naming, plus TAG (the lint's own allow-tag hygiene).
+//!
+//! Every rule works on a [`SourceFile`]'s scrubbed view (comments and
+//! literals masked), so matches are real code tokens. R4 additionally reads
+//! metric-name literals back out of the raw text at call sites it located in
+//! the scrubbed view.
+
+use crate::scan::{find_word, next_nonspace, prev_nonspace, SourceFile};
+use std::collections::BTreeSet;
+
+/// One lint finding, locatable and stable enough to diff against a
+/// baseline across unrelated edits (the gate keys on everything except
+/// `line`).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Finding {
+    /// Rule id: `R1`..`R4` or `TAG`.
+    pub rule: String,
+    /// Workspace-relative `/`-separated path.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// The offending token (e.g. `.expect(`, `HashMap`, `sync_all`).
+    pub token: String,
+    /// The trimmed raw source line, for human triage and stable matching.
+    pub context: String,
+    /// Rule-specific detail (e.g. which catalog check a metric name failed).
+    pub note: String,
+}
+
+impl Finding {
+    fn new(rule: &str, sf: &SourceFile, offset: usize, token: &str, note: &str) -> Finding {
+        let line = sf.line_of(offset);
+        Finding {
+            rule: rule.to_string(),
+            file: sf.rel_path.clone(),
+            line,
+            token: token.to_string(),
+            context: sf.line_text(line).to_string(),
+            note: note.to_string(),
+        }
+    }
+}
+
+/// Crates whose non-test code must be panic-free (rule R1): these are the
+/// serving path — a panic here takes down a query, not a test.
+const SERVING_CRATES: &[&str] = &["dc-core", "dc-storage", "dc-similarity"];
+
+/// Run every rule over every file; findings come back sorted by
+/// (file, line, rule, token).
+pub fn run_all(files: &[SourceFile], catalog: &Catalog) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for sf in files {
+        rule_r1(sf, &mut findings);
+        rule_r2(sf, &mut findings);
+        rule_r3(sf, &mut findings);
+        rule_r4(sf, catalog, &mut findings);
+        rule_tag(sf, &mut findings);
+    }
+    findings.sort_by(|a, b| {
+        (&a.file, a.line, &a.rule, &a.token).cmp(&(&b.file, b.line, &b.rule, &b.token))
+    });
+    findings
+}
+
+/// Push a finding unless an allow-tag on the same or preceding line
+/// suppresses it.
+fn push(findings: &mut Vec<Finding>, sf: &SourceFile, f: Finding) {
+    if !sf.allowed(&f.rule, f.line) {
+        findings.push(f);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// R1: panic-freedom on serving paths.
+// ---------------------------------------------------------------------------
+
+fn rule_r1(sf: &SourceFile, findings: &mut Vec<Finding>) {
+    let serving = sf
+        .crate_name
+        .as_deref()
+        .is_some_and(|c| SERVING_CRATES.contains(&c));
+    if !serving {
+        return;
+    }
+    let bytes = sf.scrubbed.as_bytes();
+
+    // `.unwrap(` / `.expect(`: a method call, so the identifier must be
+    // preceded by `.` and followed by `(` (whitespace tolerated).
+    for method in ["unwrap", "expect"] {
+        let mut from = 0;
+        while let Some(pos) = find_word(bytes, method.as_bytes(), from) {
+            from = pos + method.len();
+            if sf.in_test_code(pos) {
+                continue;
+            }
+            let dotted = prev_nonspace(bytes, pos).is_some_and(|i| bytes[i] == b'.');
+            let called = next_nonspace(bytes, from).is_some_and(|i| bytes[i] == b'(');
+            if dotted && called {
+                let f = Finding::new(
+                    "R1",
+                    sf,
+                    pos,
+                    &format!(".{method}("),
+                    "panic on serving path: convert to a typed error or tag with a reason",
+                );
+                push(findings, sf, f);
+            }
+        }
+    }
+
+    // `panic!` / `unreachable!` / `todo!` / `unimplemented!`: macro
+    // invocations, identifier followed by `!`.
+    for mac in ["panic", "unreachable", "todo", "unimplemented"] {
+        let mut from = 0;
+        while let Some(pos) = find_word(bytes, mac.as_bytes(), from) {
+            from = pos + mac.len();
+            if sf.in_test_code(pos) {
+                continue;
+            }
+            if bytes.get(from) == Some(&b'!') {
+                let f = Finding::new(
+                    "R1",
+                    sf,
+                    pos,
+                    &format!("{mac}!"),
+                    "panic on serving path: convert to a typed error or tag with a reason",
+                );
+                push(findings, sf, f);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// R2: determinism.
+// ---------------------------------------------------------------------------
+
+fn rule_r2(sf: &SourceFile, findings: &mut Vec<Finding>) {
+    let bytes = sf.scrubbed.as_bytes();
+    let telemetry = sf.crate_name.as_deref() == Some("dc-telemetry");
+
+    // Hash containers iterate in address order; the workspace is BTree-only
+    // so every artifact (snapshots, reports, baselines) is byte-stable.
+    for container in ["HashMap", "HashSet"] {
+        let mut from = 0;
+        while let Some(pos) = find_word(bytes, container.as_bytes(), from) {
+            from = pos + container.len();
+            let f = Finding::new(
+                "R2",
+                sf,
+                pos,
+                container,
+                "nondeterministic iteration order: use the BTree equivalent",
+            );
+            push(findings, sf, f);
+        }
+    }
+
+    // Wall-clock reads outside the telemetry crate make outputs
+    // time-dependent; route through dc_telemetry::clock / Span instead.
+    for path in [&["Instant", "now"][..], &["SystemTime", "now"][..]] {
+        if telemetry {
+            break;
+        }
+        let mut from = 0;
+        while let Some(pos) = find_path(bytes, path, from) {
+            from = pos + path[0].len();
+            let token = path.join("::");
+            let f = Finding::new(
+                "R2",
+                sf,
+                pos,
+                &token,
+                "raw clock read outside dc-telemetry: use dc_telemetry::clock or a Span",
+            );
+            push(findings, sf, f);
+        }
+    }
+    if !telemetry {
+        let mut from = 0;
+        while let Some(pos) = find_word(bytes, b"SystemTime", from) {
+            from = pos + "SystemTime".len();
+            // `SystemTime::now` already reported above; bare mentions of the
+            // type are still a smell worth flagging once.
+            if find_path(bytes, &["SystemTime", "now"], pos) == Some(pos) {
+                continue;
+            }
+            let f = Finding::new(
+                "R2",
+                sf,
+                pos,
+                "SystemTime",
+                "wall-clock type outside dc-telemetry",
+            );
+            push(findings, sf, f);
+        }
+    }
+
+    // std::sync::mpsc channels have no deterministic recv order across
+    // senders; the workspace uses its own bounded channel.
+    let mut from = 0;
+    while let Some(pos) = find_word(bytes, b"mpsc", from) {
+        from = pos + "mpsc".len();
+        let f = Finding::new(
+            "R2",
+            sf,
+            pos,
+            "mpsc",
+            "std mpsc channel: use the workspace bounded channel (deterministic capacity/close semantics)",
+        );
+        push(findings, sf, f);
+    }
+
+    // Sleeping encodes a timing assumption; wait on state instead.
+    let mut from = 0;
+    while let Some(pos) = find_path(bytes, &["thread", "sleep"], from) {
+        from = pos + "thread".len();
+        let f = Finding::new(
+            "R2",
+            sf,
+            pos,
+            "thread::sleep",
+            "timing-based synchronization: wait on a Condvar/channel state instead",
+        );
+        push(findings, sf, f);
+    }
+}
+
+/// Find `segments[0] :: segments[1] :: …` allowing whitespace around the
+/// separators, returning the offset of the first segment.
+fn find_path(bytes: &[u8], segments: &[&str], from: usize) -> Option<usize> {
+    let first = segments[0].as_bytes();
+    let mut start = from;
+    'outer: while let Some(pos) = find_word(bytes, first, start) {
+        start = pos + first.len();
+        let mut cursor = pos + first.len();
+        for seg in &segments[1..] {
+            let Some(c1) = next_nonspace(bytes, cursor) else {
+                continue 'outer;
+            };
+            if bytes.get(c1) != Some(&b':') || bytes.get(c1 + 1) != Some(&b':') {
+                continue 'outer;
+            }
+            let Some(s) = next_nonspace(bytes, c1 + 2) else {
+                continue 'outer;
+            };
+            if find_word(bytes, seg.as_bytes(), s) != Some(s) {
+                continue 'outer;
+            }
+            cursor = s + seg.len();
+        }
+        return Some(pos);
+    }
+    None
+}
+
+// ---------------------------------------------------------------------------
+// R3: fsync discipline.
+// ---------------------------------------------------------------------------
+
+/// The one counted wrapper allowed to issue syncs: it bumps
+/// `storage.fsync_count`, which group-commit schedule tests pin.
+const SYNC_WRAPPER_FILE: &str = "crates/dc-storage/src/lib.rs";
+const SYNC_WRAPPER_FN: &str = "sync_file";
+
+fn rule_r3(sf: &SourceFile, findings: &mut Vec<Finding>) {
+    let bytes = sf.scrubbed.as_bytes();
+    let wrapper_body = if sf.rel_path == SYNC_WRAPPER_FILE {
+        sf.fn_body(SYNC_WRAPPER_FN)
+    } else {
+        None
+    };
+    for call in ["sync_all", "sync_data"] {
+        let mut from = 0;
+        while let Some(pos) = find_word(bytes, call.as_bytes(), from) {
+            from = pos + call.len();
+            // Require a call (whitespace before the paren tolerated).
+            let Some(i) = next_nonspace(bytes, from) else {
+                continue;
+            };
+            if bytes[i] != b'(' {
+                continue;
+            }
+            if wrapper_body.is_some_and(|(lo, hi)| (lo..hi).contains(&pos)) {
+                continue;
+            }
+            let f = Finding::new(
+                "R3",
+                sf,
+                pos,
+                call,
+                "sync outside the counted wrapper: route through dc_storage::sync_file so storage.fsync_count stays truthful",
+            );
+            push(findings, sf, f);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// R4: telemetry naming.
+// ---------------------------------------------------------------------------
+
+/// The metric-name catalog extracted from the README's
+/// `### Metric catalog` table.
+#[derive(Debug, Default)]
+pub struct Catalog {
+    /// Exact metric names (backticked first-column entries).
+    pub exact: BTreeSet<String>,
+    /// Wildcard prefixes from `name.*` rows.
+    pub prefixes: BTreeSet<String>,
+    /// Whether a catalog section was found at all.
+    pub present: bool,
+}
+
+impl Catalog {
+    /// Parse the catalog out of a README's text.
+    pub fn from_readme(readme: &str) -> Catalog {
+        let mut catalog = Catalog::default();
+        let Some(section_start) = readme.find("### Metric catalog") else {
+            return catalog;
+        };
+        catalog.present = true;
+        let section = &readme[section_start..];
+        // The section runs until the next heading.
+        let end = section[4..]
+            .find("\n#")
+            .map_or(section.len(), |p| p + 4 + 1);
+        for line in section[..end].lines() {
+            let mut rest = line;
+            while let Some(tick) = rest.find('`') {
+                let after = &rest[tick + 1..];
+                let Some(close) = after.find('`') else {
+                    break;
+                };
+                let name = &after[..close];
+                if let Some(prefix) = name.strip_suffix(".*") {
+                    catalog.prefixes.insert(prefix.to_string());
+                } else if name.contains('.') {
+                    catalog.exact.insert(name.to_string());
+                }
+                rest = &after[close + 1..];
+            }
+        }
+        catalog
+    }
+
+    fn contains(&self, name: &str) -> bool {
+        if self.exact.contains(name) {
+            return true;
+        }
+        self.prefixes.iter().any(|p| {
+            name.strip_prefix(p.as_str())
+                .is_some_and(|r| r.starts_with('.'))
+                || name == p
+        })
+    }
+}
+
+/// Instrumentation methods whose first argument is a metric name, and
+/// whether the value they record is a nanosecond timing.
+const INSTRUMENTATION: &[(&str, bool)] = &[
+    ("add", false),
+    ("add_always", false),
+    ("counter", false),
+    ("gauge", false),
+    ("record_ns", true),
+    ("span", true),
+];
+
+fn rule_r4(sf: &SourceFile, catalog: &Catalog, findings: &mut Vec<Finding>) {
+    let bytes = sf.scrubbed.as_bytes();
+    let raw = sf.raw.as_bytes();
+    for &(method, is_timing) in INSTRUMENTATION {
+        let mut from = 0;
+        while let Some(pos) = find_word(bytes, method.as_bytes(), from) {
+            from = pos + method.len();
+            if sf.in_test_code(pos) {
+                continue;
+            }
+            // Must look like a method call: `.method("…"` — receiver dot
+            // before, open paren then a string literal after.
+            if prev_nonspace(bytes, pos).is_none_or(|i| bytes[i] != b'.') {
+                continue;
+            }
+            let Some(name) = name_literal(bytes, raw, from) else {
+                continue;
+            };
+            if let Some(note) = check_metric_name(&name, method, is_timing, catalog) {
+                let f = Finding::new("R4", sf, pos, &name, &note);
+                push(findings, sf, f);
+            }
+        }
+    }
+
+    // `Span::start("…")` is the one path-call instrumentation entry point
+    // (used when a span must outlive the statement that starts it).
+    let mut from = 0;
+    while let Some(pos) = find_word(bytes, b"start", from) {
+        from = pos + "start".len();
+        if sf.in_test_code(pos) {
+            continue;
+        }
+        let Some(colon) = prev_nonspace(bytes, pos) else {
+            continue;
+        };
+        if colon < 1 || bytes[colon] != b':' || bytes[colon - 1] != b':' {
+            continue;
+        }
+        let Some(receiver_end) = prev_nonspace(bytes, colon - 1) else {
+            continue;
+        };
+        let is_span = receiver_end >= 3
+            && &bytes[receiver_end - 3..=receiver_end] == b"Span"
+            && (receiver_end < 4 || !crate::scan::is_ident(bytes[receiver_end - 4]));
+        if !is_span {
+            continue;
+        }
+        let Some(name) = name_literal(bytes, raw, from) else {
+            continue;
+        };
+        if let Some(note) = check_metric_name(&name, "Span::start", true, catalog) {
+            let f = Finding::new("R4", sf, pos, &name, &note);
+            push(findings, sf, f);
+        }
+    }
+}
+
+/// The metric-name string literal opening an instrumentation call: given
+/// the offset just past the method identifier, require `("…"` (whitespace
+/// tolerated) and return the literal's contents.  The literal is masked in
+/// the scrubbed view, so its bytes are read from the raw text.
+fn name_literal(bytes: &[u8], raw: &[u8], after_ident: usize) -> Option<String> {
+    let paren = next_nonspace(bytes, after_ident)?;
+    if bytes[paren] != b'(' {
+        return None;
+    }
+    let q = next_nonspace(raw, paren + 1)?;
+    if raw[q] != b'"' {
+        return None; // name passed as a variable/const: out of R4 scope
+    }
+    let close = raw[q + 1..].iter().position(|&b| b == b'"')?;
+    std::str::from_utf8(&raw[q + 1..q + 1 + close])
+        .ok()
+        .map(str::to_string)
+}
+
+fn check_metric_name(
+    name: &str,
+    method: &str,
+    is_timing: bool,
+    catalog: &Catalog,
+) -> Option<String> {
+    let dotted_lowercase = name.contains('.')
+        && name.split('.').all(|seg| {
+            !seg.is_empty()
+                && seg
+                    .bytes()
+                    .all(|b| b.is_ascii_lowercase() || b.is_ascii_digit() || b == b'_')
+        });
+    if !dotted_lowercase {
+        return Some(format!(
+            "metric name {name:?} is not dotted-lowercase (segments of [a-z0-9_] joined by '.')"
+        ));
+    }
+    if name.ends_with("_ns") && !is_timing {
+        return Some(format!(
+            "metric name {name:?} carries the _ns timing suffix but {method}() does not record nanoseconds"
+        ));
+    }
+    if !catalog.present {
+        return Some(
+            "README metric catalog section not found: R4 cannot cross-check names".to_string(),
+        );
+    }
+    if !catalog.contains(name) {
+        return Some(format!(
+            "metric name {name:?} is not in the README metric catalog: add a row or fix the name"
+        ));
+    }
+    None
+}
+
+// ---------------------------------------------------------------------------
+// TAG: the lint's own hygiene — every tag well-formed and reasoned.
+// ---------------------------------------------------------------------------
+
+fn rule_tag(sf: &SourceFile, findings: &mut Vec<Finding>) {
+    for (line, tag) in sf.tags() {
+        if !tag.well_formed {
+            findings.push(Finding {
+                rule: "TAG".to_string(),
+                file: sf.rel_path.clone(),
+                line,
+                token: "dc-lint:".to_string(),
+                context: sf.line_text(line).to_string(),
+                note: "malformed tag: expected `dc-lint: allow(R#) reason=\"…\"`".to_string(),
+            });
+        } else if tag.reason.is_none() {
+            findings.push(Finding {
+                rule: "TAG".to_string(),
+                file: sf.rel_path.clone(),
+                line,
+                token: format!("allow({})", tag.rules.join(",")),
+                context: sf.line_text(line).to_string(),
+                note: "allow-tag without a non-empty reason=\"…\": the justification is the point"
+                    .to_string(),
+            });
+        }
+    }
+}

@@ -1,0 +1,562 @@
+//! The source model: Rust files reduced to a lintable *code view*.
+//!
+//! The scanner is a hand-rolled, token-level pass (no `syn` — the workspace
+//! is offline, the same constraint that produced the vendored shims in
+//! `vendor/`).  It does not parse Rust; it classifies every **byte** of a
+//! source file as code, comment, or literal, which is exactly enough to make
+//! substring rules sound:
+//!
+//! * comments (`//…`, nested `/*…*/`, doc comments) are masked, so a rule
+//!   never fires on prose that merely *mentions* `unwrap()`;
+//! * string/char literals (plain, raw `r#"…"#`, byte `b"…"`, byte-char
+//!   `b'x'`) are masked, so a rule never fires on `"HashMap"` the string —
+//!   while the raw text is kept alongside, so rule R4 can still read the
+//!   metric-name literal at a telemetry call site;
+//! * lifetimes (`'a`) are distinguished from char literals by the standard
+//!   two-character lookahead heuristic.
+//!
+//! On top of the masked view the scanner derives three structural facts the
+//! rules need: the byte ranges of `#[cfg(test)]` items (rules R1/R4 skip
+//! test code), the body range of a named `fn` (rule R3's counted-wrapper
+//! exemption), and the per-line `dc-lint: allow(…)` suppression tags.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// One scanned source file: the raw text plus its masked code view and the
+/// derived structure the rules consume.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Path relative to the workspace root, always `/`-separated.
+    pub rel_path: String,
+    /// The `crates/<name>/…` crate this file belongs to (`None` for the
+    /// facade sources under the root `src/`).
+    pub crate_name: Option<String>,
+    /// The file's raw text.
+    pub raw: String,
+    /// Same length as `raw`: comment and literal bytes replaced by spaces
+    /// (newlines preserved), so byte offsets and line numbers line up.
+    pub scrubbed: String,
+    /// Byte offset of the start of each line.
+    line_starts: Vec<usize>,
+    /// Byte ranges covered by `#[cfg(test)]` items.
+    test_regions: Vec<(usize, usize)>,
+    /// `dc-lint:` suppression tags by 1-based line number.
+    allow_tags: BTreeMap<usize, Vec<AllowTag>>,
+}
+
+/// A parsed `dc-lint: allow(<rules>) reason="…"` tag.
+#[derive(Debug, Clone)]
+pub struct AllowTag {
+    /// The rule ids the tag names, upper-cased (e.g. `["R1"]`).
+    pub rules: Vec<String>,
+    /// The required justification; `None` when missing or empty — such a
+    /// tag suppresses nothing and is itself reported.
+    pub reason: Option<String>,
+    /// Whether the tag parsed at all (`dc-lint:` present but no
+    /// `allow(…)` clause makes a malformed tag).
+    pub well_formed: bool,
+}
+
+impl SourceFile {
+    /// Scan one file's text into the lintable model.
+    pub fn new(rel_path: String, raw: String) -> SourceFile {
+        let crate_name = rel_path
+            .strip_prefix("crates/")
+            .and_then(|rest| rest.split('/').next())
+            .map(str::to_string);
+        let Scrubbed {
+            text: scrubbed,
+            line_comments,
+        } = scrub(&raw);
+        let line_starts = line_starts(&raw);
+        let test_regions = test_regions(&scrubbed);
+        let allow_tags = parse_allow_tags(&raw, &line_comments, &line_starts);
+        SourceFile {
+            rel_path,
+            crate_name,
+            raw,
+            scrubbed,
+            line_starts,
+            test_regions,
+            allow_tags,
+        }
+    }
+
+    /// The 1-based line number containing byte `offset`.
+    pub fn line_of(&self, offset: usize) -> usize {
+        match self.line_starts.binary_search(&offset) {
+            Ok(idx) => idx + 1,
+            Err(idx) => idx,
+        }
+    }
+
+    /// The trimmed raw text of 1-based line `line` (empty when out of
+    /// range).
+    pub fn line_text(&self, line: usize) -> &str {
+        let start = match self.line_starts.get(line - 1) {
+            Some(&s) => s,
+            None => return "",
+        };
+        let end = self
+            .line_starts
+            .get(line)
+            .copied()
+            .unwrap_or(self.raw.len());
+        self.raw[start..end].trim_end_matches('\n').trim()
+    }
+
+    /// Whether byte `offset` falls inside a `#[cfg(test)]` item.
+    pub fn in_test_code(&self, offset: usize) -> bool {
+        self.test_regions
+            .iter()
+            .any(|&(from, to)| (from..to).contains(&offset))
+    }
+
+    /// Whether a finding of `rule` at 1-based `line` is suppressed by a
+    /// well-formed, reasoned allow-tag on the same or the preceding line.
+    pub fn allowed(&self, rule: &str, line: usize) -> bool {
+        [line, line.saturating_sub(1)]
+            .iter()
+            .filter_map(|l| self.allow_tags.get(l))
+            .flatten()
+            .any(|tag| {
+                tag.well_formed && tag.reason.is_some() && tag.rules.iter().any(|r| r == rule)
+            })
+    }
+
+    /// Every allow-tag in the file with its 1-based line, for reporting
+    /// malformed or reasonless tags.
+    pub fn tags(&self) -> impl Iterator<Item = (usize, &AllowTag)> {
+        self.allow_tags
+            .iter()
+            .flat_map(|(&line, tags)| tags.iter().map(move |t| (line, t)))
+    }
+
+    /// The byte range of the body (brace to matching brace) of the first
+    /// `fn <name>` in the file, if any.
+    pub fn fn_body(&self, name: &str) -> Option<(usize, usize)> {
+        let bytes = self.scrubbed.as_bytes();
+        let mut from = 0;
+        while let Some(pos) = find_word(bytes, name.as_bytes(), from) {
+            // The identifier must be introduced by `fn`.
+            let before = prev_nonspace(bytes, pos);
+            let is_fn = before.is_some_and(|i| {
+                i >= 1 && &bytes[i - 1..=i] == b"fn" && (i < 2 || !is_ident(bytes[i - 2]))
+            });
+            if is_fn {
+                let mut j = pos + name.len();
+                while j < bytes.len() && bytes[j] != b'{' && bytes[j] != b';' {
+                    j += 1;
+                }
+                if j < bytes.len() && bytes[j] == b'{' {
+                    return Some((j, match_brace(bytes, j)));
+                }
+                return None;
+            }
+            from = pos + name.len();
+        }
+        None
+    }
+}
+
+/// Whether `b` can appear in a Rust identifier.
+pub fn is_ident(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Find the next word-bounded occurrence of `word` in `bytes` at or after
+/// `from`: the bytes on either side must not be identifier characters.
+pub fn find_word(bytes: &[u8], word: &[u8], from: usize) -> Option<usize> {
+    let n = bytes.len();
+    let w = word.len();
+    if w == 0 || n < w {
+        return None;
+    }
+    let mut i = from;
+    while i + w <= n {
+        if &bytes[i..i + w] == word
+            && (i == 0 || !is_ident(bytes[i - 1]))
+            && (i + w == n || !is_ident(bytes[i + w]))
+        {
+            return Some(i);
+        }
+        i += 1;
+    }
+    None
+}
+
+/// The index of the first non-whitespace byte at or after `from`.
+pub fn next_nonspace(bytes: &[u8], from: usize) -> Option<usize> {
+    (from..bytes.len()).find(|&i| !bytes[i].is_ascii_whitespace())
+}
+
+/// The index of the last non-whitespace byte strictly before `before`.
+pub fn prev_nonspace(bytes: &[u8], before: usize) -> Option<usize> {
+    (0..before).rev().find(|&i| !bytes[i].is_ascii_whitespace())
+}
+
+/// From an opening `{` at `open`, the index just past its matching `}`
+/// (or the end of input when unbalanced — a truncated file lints as if the
+/// block ran to EOF rather than panicking).
+fn match_brace(bytes: &[u8], open: usize) -> usize {
+    let mut depth = 0usize;
+    let mut i = open;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'{' => depth += 1,
+            b'}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return i + 1;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    bytes.len()
+}
+
+fn line_starts(raw: &str) -> Vec<usize> {
+    let mut starts = vec![0];
+    for (i, b) in raw.bytes().enumerate() {
+        if b == b'\n' {
+            starts.push(i + 1);
+        }
+    }
+    starts
+}
+
+// ---------------------------------------------------------------------------
+// Masking: classify every byte, keep offsets stable.
+// ---------------------------------------------------------------------------
+
+/// A masked view of a source file: `text` is the same length as the input
+/// with every comment and literal byte replaced by a space (newlines
+/// preserved); `line_comments` records the byte range of each `//` comment
+/// so the tag parser can tell a real comment from a string literal that
+/// merely quotes one.
+pub struct Scrubbed {
+    pub text: String,
+    pub line_comments: Vec<(usize, usize)>,
+}
+
+/// Mask `raw` into a same-length string where substring searches only ever
+/// hit real code.
+pub fn scrub(raw: &str) -> Scrubbed {
+    let bytes = raw.as_bytes();
+    let n = bytes.len();
+    let mut out = bytes.to_vec();
+    let mut line_comments = Vec::new();
+    let mut i = 0;
+    while i < n {
+        let b = bytes[i];
+        if b == b'/' && i + 1 < n && bytes[i + 1] == b'/' {
+            let end = bytes[i..]
+                .iter()
+                .position(|&c| c == b'\n')
+                .map_or(n, |p| i + p);
+            line_comments.push((i, end));
+            mask(&mut out, bytes, i, end);
+            i = end;
+        } else if b == b'/' && i + 1 < n && bytes[i + 1] == b'*' {
+            let end = block_comment_end(bytes, i);
+            mask(&mut out, bytes, i, end);
+            i = end;
+        } else if (b == b'r' || b == b'b') && (i == 0 || !is_ident(bytes[i - 1])) {
+            match prefixed_literal_end(bytes, i) {
+                Some(end) => {
+                    mask(&mut out, bytes, i, end);
+                    i = end;
+                }
+                None => i += 1,
+            }
+        } else if b == b'"' {
+            let end = string_end(bytes, i);
+            mask(&mut out, bytes, i, end);
+            i = end;
+        } else if b == b'\'' {
+            match char_literal_end(bytes, i) {
+                Some(end) => {
+                    mask(&mut out, bytes, i, end);
+                    i = end;
+                }
+                // A lifetime (or stray quote): the quote itself is masked so
+                // `'a` never word-joins, the identifier stays code.
+                None => {
+                    out[i] = b' ';
+                    i += 1;
+                }
+            }
+        } else {
+            i += 1;
+        }
+    }
+    // Masking only ever rewrites ASCII bytes to ASCII spaces, so the result
+    // is valid UTF-8 by construction.
+    Scrubbed {
+        text: String::from_utf8(out).unwrap_or_default(),
+        line_comments,
+    }
+}
+
+fn mask(out: &mut [u8], bytes: &[u8], from: usize, to: usize) {
+    for i in from..to {
+        out[i] = if bytes[i] == b'\n' { b'\n' } else { b' ' };
+    }
+}
+
+fn block_comment_end(bytes: &[u8], start: usize) -> usize {
+    let n = bytes.len();
+    let mut depth = 1usize;
+    let mut i = start + 2;
+    while i < n && depth > 0 {
+        if bytes[i] == b'/' && i + 1 < n && bytes[i + 1] == b'*' {
+            depth += 1;
+            i += 2;
+        } else if bytes[i] == b'*' && i + 1 < n && bytes[i + 1] == b'/' {
+            depth -= 1;
+            i += 2;
+        } else {
+            i += 1;
+        }
+    }
+    i
+}
+
+/// From an opening `"` at `open`, the index just past the closing quote.
+fn string_end(bytes: &[u8], open: usize) -> usize {
+    let n = bytes.len();
+    let mut i = open + 1;
+    while i < n {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b'"' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    n
+}
+
+/// At a word-boundary `r`/`b`: the end of the raw/byte string or byte-char
+/// literal starting here, or `None` when this is just an identifier (incl.
+/// raw identifiers like `r#fn`).
+fn prefixed_literal_end(bytes: &[u8], start: usize) -> Option<usize> {
+    let n = bytes.len();
+    let mut j = start;
+    let byte_prefix = bytes[j] == b'b';
+    if byte_prefix {
+        j += 1;
+        if j >= n {
+            return None;
+        }
+    }
+    if bytes[j] == b'r' {
+        j += 1;
+        let mut hashes = 0usize;
+        while j < n && bytes[j] == b'#' {
+            hashes += 1;
+            j += 1;
+        }
+        if j >= n || bytes[j] != b'"' {
+            return None; // raw identifier or plain `r`/`br` identifier
+        }
+        j += 1;
+        while j < n {
+            if bytes[j] == b'"' {
+                let mut k = j + 1;
+                let mut h = 0usize;
+                while k < n && h < hashes && bytes[k] == b'#' {
+                    h += 1;
+                    k += 1;
+                }
+                if h == hashes {
+                    return Some(k);
+                }
+            }
+            j += 1;
+        }
+        return Some(n);
+    }
+    if byte_prefix && bytes[j] == b'"' {
+        return Some(string_end(bytes, j));
+    }
+    if byte_prefix && bytes[j] == b'\'' {
+        return char_literal_end(bytes, j).or(Some(j + 1));
+    }
+    None
+}
+
+/// From a `'` at `open`: the end of the char literal starting here, or
+/// `None` when the quote introduces a lifetime.
+fn char_literal_end(bytes: &[u8], open: usize) -> Option<usize> {
+    let n = bytes.len();
+    if open + 1 >= n {
+        return None;
+    }
+    if bytes[open + 1] == b'\\' {
+        let mut i = open + 2;
+        while i < n {
+            match bytes[i] {
+                b'\\' => i += 2,
+                b'\'' => return Some(i + 1),
+                _ => i += 1,
+            }
+        }
+        return Some(n);
+    }
+    // One (possibly multi-byte) character followed by a closing quote is a
+    // char literal; anything else (`'a`, `'static: `) is a lifetime.
+    let c_len = utf8_len(bytes[open + 1]);
+    let close = open + 1 + c_len;
+    if bytes[open + 1] != b'\'' && close < n && bytes[close] == b'\'' {
+        return Some(close + 1);
+    }
+    None
+}
+
+fn utf8_len(lead: u8) -> usize {
+    match lead {
+        b if b < 0x80 => 1,
+        b if b >= 0xF0 => 4,
+        b if b >= 0xE0 => 3,
+        _ => 2,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Structure: #[cfg(test)] regions and allow-tags.
+// ---------------------------------------------------------------------------
+
+/// Byte ranges of `#[cfg(test)]` items in the scrubbed view: from the
+/// attribute to the matching close brace of the item's block (or to the
+/// terminating `;` for block-less items).
+fn test_regions(scrubbed: &str) -> Vec<(usize, usize)> {
+    const ATTR: &str = "#[cfg(test)]";
+    let bytes = scrubbed.as_bytes();
+    let mut regions = Vec::new();
+    let mut from = 0;
+    while let Some(rel) = scrubbed[from..].find(ATTR) {
+        let pos = from + rel;
+        let mut j = pos + ATTR.len();
+        while j < bytes.len() && bytes[j] != b'{' && bytes[j] != b';' {
+            j += 1;
+        }
+        let end = if j < bytes.len() && bytes[j] == b'{' {
+            match_brace(bytes, j)
+        } else {
+            (j + 1).min(bytes.len())
+        };
+        regions.push((pos, end));
+        from = end.max(pos + ATTR.len());
+    }
+    regions
+}
+
+/// Tags live only in plain `//` line comments (not `///`/`//!` docs, not
+/// string literals that quote the syntax), with the marker anchored at the
+/// start of the comment text: `// dc-lint: allow(R#) reason="…"`.
+fn parse_allow_tags(
+    raw: &str,
+    line_comments: &[(usize, usize)],
+    line_starts: &[usize],
+) -> BTreeMap<usize, Vec<AllowTag>> {
+    const MARKER: &str = "dc-lint:";
+    let mut tags: BTreeMap<usize, Vec<AllowTag>> = BTreeMap::new();
+    for &(start, end) in line_comments {
+        let text = &raw[start + 2..end];
+        if text.starts_with('/') || text.starts_with('!') {
+            continue; // doc comment: prose, not a tag
+        }
+        let Some(rest) = text.trim_start().strip_prefix(MARKER) else {
+            continue;
+        };
+        let line = match line_starts.binary_search(&start) {
+            Ok(idx) => idx + 1,
+            Err(idx) => idx,
+        };
+        tags.entry(line).or_default().push(parse_tag(rest));
+    }
+    tags
+}
+
+fn parse_tag(rest: &str) -> AllowTag {
+    let rest = rest.trim_start();
+    let Some(inner) = rest
+        .strip_prefix("allow(")
+        .and_then(|r| r.split_once(')').map(|(inner, _)| inner))
+    else {
+        return AllowTag {
+            rules: Vec::new(),
+            reason: None,
+            well_formed: false,
+        };
+    };
+    let rules: Vec<String> = inner
+        .split(',')
+        .map(|r| r.trim().to_ascii_uppercase())
+        .filter(|r| !r.is_empty())
+        .collect();
+    let reason = rest
+        .split_once("reason=\"")
+        .and_then(|(_, tail)| tail.split_once('"'))
+        .map(|(reason, _)| reason.trim().to_string())
+        .filter(|r| !r.is_empty());
+    let well_formed = !rules.is_empty();
+    AllowTag {
+        rules,
+        reason,
+        well_formed,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Walking.
+// ---------------------------------------------------------------------------
+
+/// Collect every `.rs` file under `root/crates/*/src` and `root/src`,
+/// sorted by relative path so every downstream artifact is deterministic.
+pub fn walk_workspace(root: &Path) -> std::io::Result<Vec<SourceFile>> {
+    let mut paths: Vec<std::path::PathBuf> = Vec::new();
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        for entry in std::fs::read_dir(&crates_dir)? {
+            let src = entry?.path().join("src");
+            if src.is_dir() {
+                collect_rs(&src, &mut paths)?;
+            }
+        }
+    }
+    let root_src = root.join("src");
+    if root_src.is_dir() {
+        collect_rs(&root_src, &mut paths)?;
+    }
+
+    let mut files = Vec::with_capacity(paths.len());
+    for path in paths {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy())
+            .collect::<Vec<_>>()
+            .join("/");
+        let raw = std::fs::read_to_string(&path)?;
+        files.push(SourceFile::new(rel, raw));
+    }
+    files.sort_by(|a, b| a.rel_path.cmp(&b.rel_path));
+    Ok(files)
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<std::path::PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}

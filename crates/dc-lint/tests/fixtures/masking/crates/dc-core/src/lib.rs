@@ -1,0 +1,26 @@
+// Fixture: the masking pass — every banned token below sits in a comment
+// or literal, so a correct scanner reports ZERO findings for this file.
+
+// line comment: x.unwrap() panic!("no") HashMap Instant::now sync_all(
+/* block comment: .expect("no") unreachable!() thread::sleep */
+/* nested /* block .unwrap() */ still comment panic!("no") */
+
+pub fn literals() -> usize {
+    let plain = "x.unwrap() and panic!(\"no\") and HashMap::new()";
+    let raw = r"no escapes: .expect(no) SystemTime::now()";
+    let hashed = r#"raw with "quotes": .unwrap() sync_all("#;
+    let byte = b"bytes: panic!(no) mpsc";
+    let byte_raw = br#"byte raw: thread::sleep(now)"#;
+    let ch = '"'; // a quote char must not open a string
+    let esc = '\''; // an escaped-quote char literal
+    let newline = '\n';
+    // Lifetimes must not be mistaken for char literals:
+    fn lifetime<'a>(s: &'a str) -> &'a str {
+        s
+    }
+    let _ = lifetime("ok");
+    // A raw identifier is code, not a raw string:
+    let r#fn = 1usize;
+    plain.len() + raw.len() + hashed.len() + byte.len() + byte_raw.len()
+        + (ch as usize) + (esc as usize) + (newline as usize) + r#fn
+}

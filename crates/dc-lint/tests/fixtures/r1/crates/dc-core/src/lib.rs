@@ -1,0 +1,51 @@
+// Fixture: rule R1 positives and negatives in a serving-path crate.
+// This file is scan input for dc-lint's tests, never compiled.
+
+pub fn positives(x: Option<u32>, r: Result<u32, ()>) -> u32 {
+    let a = x.unwrap();
+    let b = r.expect("fixture");
+    if a == 0 {
+        panic!("fixture");
+    }
+    if b == 0 {
+        unreachable!();
+    }
+    todo!()
+}
+
+pub fn unimplemented_macro() {
+    unimplemented!("fixture");
+}
+
+pub fn negatives(x: Option<u32>) -> u32 {
+    // A mention of unwrap() or panic!() in a comment must not fire.
+    let s = "strings saying .unwrap() or panic!(now) must not fire";
+    let _ = s;
+    // Identifiers that merely contain the words must not fire.
+    let y = x.unwrap_or_default();
+    let z = x.unwrap_or_else(|| y);
+    // dc-lint: allow(R1) reason="fixture: provably unreachable because the caller checked is_some"
+    let tagged = x.expect("allow-tagged");
+    // Same-line tag form:
+    let same_line = x.expect("same line"); // dc-lint: allow(R1) reason="fixture: same-line tag"
+    y + z + tagged + same_line
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_unwrap() {
+        let v: Option<u32> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+        let r: Result<u32, ()> = Ok(2);
+        assert_eq!(r.expect("tests are exempt"), 2);
+        if false {
+            panic!("tests are exempt");
+        }
+    }
+}
+
+pub fn after_test_mod(x: Option<u32>) -> u32 {
+    // Code after the #[cfg(test)] region is serving code again.
+    x.unwrap()
+}

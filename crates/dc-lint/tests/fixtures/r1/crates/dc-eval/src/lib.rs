@@ -1,0 +1,5 @@
+// Fixture: dc-eval is not a serving-path crate, so R1 does not apply.
+
+pub fn non_serving_crates_may_unwrap(x: Option<u32>) -> u32 {
+    x.unwrap()
+}

@@ -1,0 +1,28 @@
+// Fixture: rule R2 positives and negatives (determinism).
+
+use std::collections::HashMap;
+use std::collections::HashSet;
+
+pub fn clocks() {
+    let _a = std::time::Instant::now();
+    let _b = std::time::SystemTime::now();
+}
+
+pub fn channels_and_sleep() {
+    let (_tx, _rx) = std::sync::mpsc::channel::<u32>();
+    std::thread::sleep(std::time::Duration::from_millis(1));
+}
+
+pub fn negatives() {
+    // "HashMap" in a string and HashSet in a comment must not fire.
+    let _ = "HashMap in a literal";
+    // dc-lint: allow(R2) reason="fixture: allow-tagged hash container"
+    let _tagged: HashMap<u32, u32> = HashMap::new();
+    let _fine: std::collections::BTreeMap<u32, u32> = std::collections::BTreeMap::new();
+}
+
+pub fn tests_are_not_exempt_for_r2() {
+    // R2 scans test code too: a HashSet in tests still breaks artifact
+    // determinism. (The use statements above already fire once each.)
+    let _s: HashSet<u32> = HashSet::new();
+}

@@ -1,0 +1,9 @@
+// Fixture: the telemetry crate is the one allowed clock authority.
+
+pub fn now() -> std::time::Instant {
+    std::time::Instant::now()
+}
+
+pub fn wall() -> std::time::SystemTime {
+    std::time::SystemTime::now()
+}

@@ -1,0 +1,6 @@
+// Fixture: a sync in any other crate fires even in a fn named sync_file
+// (the wrapper exemption is pinned to dc-storage's lib.rs).
+
+pub fn sync_file(file: &std::fs::File) -> std::io::Result<()> {
+    file.sync_all()
+}

@@ -1,0 +1,18 @@
+// Fixture: rule R3 — syncs allowed only inside the counted wrapper.
+
+use std::fs::File;
+use std::io;
+
+pub fn sync_file(file: &File) -> io::Result<()> {
+    // Inside the wrapper: allowed.
+    file.sync_all()
+}
+
+pub fn rogue_sync(file: &File) -> io::Result<()> {
+    // Outside the wrapper, same file: fires.
+    file.sync_all()
+}
+
+pub fn rogue_sync_data(file: &File) -> io::Result<()> {
+    file.sync_data()
+}

@@ -1,0 +1,30 @@
+// Fixture: rule R4 — metric-name literals at instrumentation sites.
+
+pub fn positives(reg: &Registry) {
+    reg.add("Bad.Metric", 1); // not lowercase
+    reg.counter("nodots"); // no dot
+    reg.add("oops.time_ns", 1); // _ns suffix on a non-timing method
+    reg.gauge("not.in.catalog", 1.0); // missing catalog row
+    let _span = Span::start("Nope.Upper"); // path-call form checked too
+}
+
+pub fn negatives(reg: &Registry) {
+    reg.add("good.metric", 1);
+    reg.record_ns("timer.span", 5);
+    reg.record_ns("bench.anything.custom", 7); // wildcard prefix row
+    let span = Span::start("timer.span");
+    span.finish();
+    let name = "Raw.Strings.Unchecked";
+    reg.add_dynamic(name, 1); // non-literal name: out of R4 scope
+    // dc-lint: allow(R4) reason="fixture: allow-tagged bad name"
+    reg.add("Tagged.Bad", 1);
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_names_are_exempt() {
+        let reg = Registry;
+        reg.add("t.scratch_name", 1);
+    }
+}

@@ -1,0 +1,23 @@
+// Fixture: the lint's own allow-tag hygiene (rule TAG).
+
+pub fn tags(x: Option<u32>) -> u32 {
+    // dc-lint: allow(R1)
+    let reasonless = x.unwrap(); // tag has no reason: R1 still fires + TAG fires
+
+    // dc-lint: this is not a well-formed tag
+    let malformed = x.unwrap(); // R1 fires + TAG fires
+
+    // dc-lint: allow(R1) reason=""
+    let empty_reason = x.unwrap(); // empty reason: R1 still fires + TAG fires
+
+    // A doc-comment or string mention of the syntax is not a tag:
+    let quoted = "// dc-lint: allow(R1) reason=\"quoted, not a tag\"";
+    let _ = quoted;
+
+    reasonless + malformed + empty_reason
+}
+
+/// Doc comments mentioning dc-lint: allow(R1) reason="prose" are not tags.
+pub fn doc_mention(x: Option<u32>) -> u32 {
+    x.unwrap_or(0)
+}

@@ -1,0 +1,352 @@
+//! Fixture-driven positive/negative cases for every lint rule, plus the
+//! baseline machinery and the self-check pinning `LINT_BASELINE.json` to a
+//! fresh scan of this very workspace, bit for bit.
+//!
+//! Each fixture under `tests/fixtures/<case>/` is a miniature workspace
+//! tree (`crates/<name>/src/*.rs`, optionally a `README.md` catalog) that
+//! is scan *input* — the files are never compiled.
+
+use dc_lint::baseline::{from_json, gate, rebuild, to_json, Baseline, Entry};
+use dc_lint::rules::Finding;
+use std::path::{Path, PathBuf};
+
+fn fixture_root(case: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(case)
+}
+
+fn scan(case: &str) -> Vec<Finding> {
+    dc_lint::scan_workspace(&fixture_root(case)).expect("fixture scans")
+}
+
+/// (rule, file, token) triples for compact assertions.
+fn keys(findings: &[Finding]) -> Vec<(String, String, String)> {
+    findings
+        .iter()
+        .map(|f| (f.rule.clone(), f.file.clone(), f.token.clone()))
+        .collect()
+}
+
+#[test]
+fn r1_flags_panics_in_serving_code_only() {
+    let findings = scan("r1");
+    assert!(
+        findings.iter().all(|f| f.rule == "R1"),
+        "only R1 fires in this fixture: {findings:?}"
+    );
+    // Every finding is in the serving crate; the dc-eval unwrap is exempt.
+    assert!(findings
+        .iter()
+        .all(|f| f.file.starts_with("crates/dc-core/")));
+
+    let tokens: Vec<&str> = findings.iter().map(|f| f.token.as_str()).collect();
+    assert_eq!(
+        tokens,
+        [
+            ".unwrap(",
+            ".expect(",
+            "panic!",
+            "unreachable!",
+            "todo!",
+            "unimplemented!",
+            ".unwrap(" // after_test_mod: code after the test region counts
+        ],
+        "positives fire once each; comments, strings, unwrap_or_else, \
+         allow-tagged sites, and #[cfg(test)] code never fire"
+    );
+    // The two allow-tagged expects (preceding-line and same-line forms)
+    // are suppressed: exactly one .expect( finding survives.
+    assert_eq!(tokens.iter().filter(|t| **t == ".expect(").count(), 1);
+}
+
+#[test]
+fn r2_flags_nondeterminism_everywhere_but_telemetry() {
+    let findings = scan("r2");
+    assert!(findings.iter().all(|f| f.rule == "R2"));
+    // The telemetry crate's clock reads are the allowed authority.
+    assert!(
+        findings
+            .iter()
+            .all(|f| f.file.starts_with("crates/dc-core/")),
+        "dc-telemetry is exempt: {findings:?}"
+    );
+    let count = |token: &str| findings.iter().filter(|f| f.token == token).count();
+    assert_eq!(
+        count("HashMap"),
+        1,
+        "use statement fires; tagged site and string are exempt"
+    );
+    assert_eq!(
+        count("HashSet"),
+        3,
+        "use statement + two mentions in non-test code"
+    );
+    assert_eq!(count("Instant::now"), 1);
+    assert_eq!(count("SystemTime::now"), 1);
+    assert_eq!(count("mpsc"), 1);
+    assert_eq!(count("thread::sleep"), 1);
+    assert_eq!(findings.len(), 8);
+}
+
+#[test]
+fn r3_pins_syncs_to_the_counted_wrapper() {
+    let findings = scan("r3");
+    assert!(findings.iter().all(|f| f.rule == "R3"));
+    assert_eq!(
+        keys(&findings),
+        [
+            (
+                "R3".into(),
+                "crates/dc-core/src/lib.rs".into(),
+                "sync_all".into()
+            ),
+            (
+                "R3".into(),
+                "crates/dc-storage/src/lib.rs".into(),
+                "sync_all".into()
+            ),
+            (
+                "R3".into(),
+                "crates/dc-storage/src/lib.rs".into(),
+                "sync_data".into()
+            ),
+        ],
+        "the sync inside fn sync_file in dc-storage's lib.rs is the one \
+         exempt site; a same-named fn in another crate is not"
+    );
+}
+
+#[test]
+fn r4_checks_metric_names_against_shape_and_catalog() {
+    let findings = scan("r4");
+    assert!(findings.iter().all(|f| f.rule == "R4"));
+    let tokens: Vec<&str> = findings.iter().map(|f| f.token.as_str()).collect();
+    assert_eq!(
+        tokens,
+        [
+            "Bad.Metric",
+            "nodots",
+            "oops.time_ns",
+            "not.in.catalog",
+            "Nope.Upper"
+        ],
+        "catalogued names, the bench.* wildcard, Span::start with a good \
+         name, non-literal names, tagged sites, and test code are exempt"
+    );
+    // Each failure mode carries its own note.
+    let note_of = |token: &str| {
+        findings
+            .iter()
+            .find(|f| f.token == token)
+            .map(|f| f.note.clone())
+            .unwrap_or_default()
+    };
+    assert!(note_of("Bad.Metric").contains("not dotted-lowercase"));
+    assert!(note_of("nodots").contains("not dotted-lowercase"));
+    assert!(note_of("oops.time_ns").contains("_ns"));
+    assert!(note_of("not.in.catalog").contains("catalog"));
+}
+
+#[test]
+fn tag_rule_reports_malformed_and_reasonless_tags() {
+    let findings = scan("tags");
+    let tags: Vec<&Finding> = findings.iter().filter(|f| f.rule == "TAG").collect();
+    let r1s: Vec<&Finding> = findings.iter().filter(|f| f.rule == "R1").collect();
+    assert_eq!(
+        tags.len(),
+        3,
+        "reasonless, malformed, empty-reason: {findings:?}"
+    );
+    assert_eq!(
+        r1s.len(),
+        3,
+        "a tag without a usable reason suppresses nothing"
+    );
+    assert_eq!(findings.len(), 6);
+}
+
+#[test]
+fn masking_yields_zero_findings_on_comment_and_literal_soup() {
+    let findings = scan("masking");
+    assert!(
+        findings.is_empty(),
+        "tokens in comments, strings, raw/byte strings, and char/lifetime \
+         edge cases must never fire: {findings:?}"
+    );
+}
+
+#[test]
+fn scanner_is_deterministic_across_runs() {
+    for case in ["r1", "r2", "r3", "r4", "tags", "masking"] {
+        let a = scan(case);
+        let b = scan(case);
+        assert_eq!(a, b, "scan of {case} must be reproducible");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Baseline machinery.
+// ---------------------------------------------------------------------------
+
+fn finding(rule: &str, file: &str, line: usize, token: &str) -> Finding {
+    Finding {
+        rule: rule.into(),
+        file: file.into(),
+        line,
+        token: token.into(),
+        context: format!("{token} at {file}"),
+        note: "n".into(),
+    }
+}
+
+#[test]
+fn gate_splits_new_grandfathered_and_stale() {
+    let scan = vec![
+        finding("R1", "a.rs", 10, ".unwrap("),
+        finding("R1", "b.rs", 20, ".expect("),
+    ];
+    let base = Baseline {
+        entries: vec![
+            Entry {
+                // Same site, different line: still grandfathered (matching
+                // ignores line numbers so unrelated edits don't churn).
+                finding: finding("R1", "a.rs", 99, ".unwrap("),
+                reason: "old".into(),
+            },
+            Entry {
+                finding: finding("R3", "gone.rs", 5, "sync_all"),
+                reason: "stale".into(),
+            },
+        ],
+    };
+    let result = gate(&scan, &base);
+    assert_eq!(result.grandfathered, 1);
+    assert_eq!(
+        keys(&result.new),
+        [("R1".into(), "b.rs".into(), ".expect(".into())]
+    );
+    assert_eq!(result.stale.len(), 1);
+    assert_eq!(result.stale[0].finding.file, "gone.rs");
+    assert!(!result.passed());
+
+    // Exact coverage passes.
+    let full = Baseline {
+        entries: scan
+            .iter()
+            .map(|f| Entry {
+                finding: f.clone(),
+                reason: "ok".into(),
+            })
+            .collect(),
+    };
+    assert!(gate(&scan, &full).passed());
+
+    // Duplicate findings need duplicate entries (multiset, not set).
+    let twice = vec![scan[0].clone(), scan[0].clone()];
+    let once = Baseline {
+        entries: vec![Entry {
+            finding: scan[0].clone(),
+            reason: "ok".into(),
+        }],
+    };
+    let result = gate(&twice, &once);
+    assert_eq!(result.grandfathered, 1);
+    assert_eq!(result.new.len(), 1);
+}
+
+#[test]
+fn rebuild_carries_reasons_and_defaults_new_ones() {
+    let scan = vec![
+        finding("R1", "a.rs", 12, ".unwrap("),
+        finding("R2", "c.rs", 3, "HashMap"),
+    ];
+    let prior = Baseline {
+        entries: vec![Entry {
+            finding: finding("R1", "a.rs", 10, ".unwrap("),
+            reason: "hand-written justification".into(),
+        }],
+    };
+    let fresh = rebuild(&scan, &prior);
+    assert_eq!(fresh.entries.len(), 2);
+    let r1 = fresh
+        .entries
+        .iter()
+        .find(|e| e.finding.rule == "R1")
+        .unwrap();
+    assert_eq!(r1.reason, "hand-written justification");
+    assert_eq!(r1.finding.line, 12, "the line number refreshes");
+    let r2 = fresh
+        .entries
+        .iter()
+        .find(|e| e.finding.rule == "R2")
+        .unwrap();
+    assert!(
+        r2.reason.contains("grandfathered"),
+        "default reason: {}",
+        r2.reason
+    );
+}
+
+#[test]
+fn baseline_json_roundtrips_canonically() {
+    let base = Baseline {
+        entries: vec![Entry {
+            finding: Finding {
+                rule: "R1".into(),
+                file: "crates/x/src/lib.rs".into(),
+                line: 7,
+                token: ".expect(".into(),
+                context: "quoted \"context\" with a\ttab and \\ backslash".into(),
+                note: "why".into(),
+            },
+            reason: "because".into(),
+        }],
+    };
+    let json = to_json(&base);
+    let parsed = from_json(&json).expect("canonical output parses");
+    assert_eq!(parsed.entries.len(), 1);
+    assert_eq!(parsed.entries[0], base.entries[0]);
+    // Serializing the parse is byte-identical: the writer is canonical.
+    assert_eq!(to_json(&parsed), json);
+    // An empty baseline also roundtrips.
+    let empty = to_json(&Baseline::default());
+    assert_eq!(from_json(&empty).expect("empty parses").entries.len(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Self-check: the committed baseline matches a fresh scan of this very
+// workspace, byte for byte.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn committed_baseline_matches_fresh_scan_bit_for_bit() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crate lives at <root>/crates/dc-lint")
+        .to_path_buf();
+    let findings = dc_lint::scan_workspace(&root).expect("workspace scans");
+    let committed = std::fs::read_to_string(root.join(dc_lint::BASELINE_FILE))
+        .expect("LINT_BASELINE.json is committed at the workspace root");
+    let prior = from_json(&committed).expect("committed baseline parses");
+
+    // The gate holds: no new findings, no stale entries.
+    let result = gate(&findings, &prior);
+    assert!(
+        result.passed(),
+        "gate must pass on a clean tree: {} new, {} stale\nnew: {:#?}\nstale: {:#?}",
+        result.new.len(),
+        result.stale.len(),
+        result.new,
+        result.stale.iter().map(|e| &e.finding).collect::<Vec<_>>(),
+    );
+
+    // Regenerating the baseline reproduces the committed bytes exactly —
+    // the scanner, the sort, and the writer are all deterministic.
+    let rebuilt = to_json(&rebuild(&findings, &prior));
+    assert_eq!(
+        rebuilt, committed,
+        "LINT_BASELINE.json is stale: run `cargo run -p dc-lint -- --write-baseline`"
+    );
+}

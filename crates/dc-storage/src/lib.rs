@@ -125,19 +125,22 @@ pub(crate) fn read_u32_le(
     bytes: &[u8],
     offset: usize,
 ) -> Result<u32, StorageError> {
-    let end = offset.checked_add(4).filter(|&e| e <= bytes.len());
-    let Some(end) = end else {
-        return Err(StorageError::corrupt(
+    // Bounds check and array conversion are one fallible path, so neither
+    // the slice index nor the conversion can panic on a truncated file.
+    let window = offset
+        .checked_add(4)
+        .and_then(|end| bytes.get(offset..end))
+        .and_then(|s| <[u8; 4]>::try_from(s).ok());
+    match window {
+        Some(arr) => Ok(u32::from_le_bytes(arr)),
+        None => Err(StorageError::corrupt(
             path,
             format!(
                 "short read: wanted 4 bytes at offset {offset} of {}",
                 bytes.len()
             ),
-        ));
-    };
-    Ok(u32::from_le_bytes(
-        bytes[offset..end].try_into().expect("4-byte slice"),
-    ))
+        )),
+    }
 }
 
 /// Read a little-endian `u64` at `offset` (see [`read_u32_le`]).
@@ -146,19 +149,20 @@ pub(crate) fn read_u64_le(
     bytes: &[u8],
     offset: usize,
 ) -> Result<u64, StorageError> {
-    let end = offset.checked_add(8).filter(|&e| e <= bytes.len());
-    let Some(end) = end else {
-        return Err(StorageError::corrupt(
+    let window = offset
+        .checked_add(8)
+        .and_then(|end| bytes.get(offset..end))
+        .and_then(|s| <[u8; 8]>::try_from(s).ok());
+    match window {
+        Some(arr) => Ok(u64::from_le_bytes(arr)),
+        None => Err(StorageError::corrupt(
             path,
             format!(
                 "short read: wanted 8 bytes at offset {offset} of {}",
                 bytes.len()
             ),
-        ));
-    };
-    Ok(u64::from_le_bytes(
-        bytes[offset..end].try_into().expect("8-byte slice"),
-    ))
+        )),
+    }
 }
 
 /// Flush a file's contents and metadata to stable storage, attributing

@@ -1,0 +1,28 @@
+//! The workspace's single wall-clock authority.
+//!
+//! Determinism rule R2 (see `dc-lint`) bans raw `Instant::now` reads
+//! outside this crate: every timestamp the workspace takes either flows
+//! through a [`crate::Span`] (when the interval feeds a histogram) or
+//! through these two functions (when code needs a deadline or a bare
+//! instant with no metric attached — channel timeouts, batch-formation
+//! deadlines, test deadlines).
+//!
+//! Funnelling the reads through one module keeps the clock auditable: the
+//! lint proves nothing else in the tree consults time, so any
+//! time-dependent behavior traces back to a `Span` or a call site of these
+//! helpers — and a future simulated clock (for deterministic latency tests)
+//! has exactly one seam to hook.
+
+use std::time::{Duration, Instant};
+
+/// Read the monotonic clock.
+#[inline]
+pub fn now() -> Instant {
+    Instant::now()
+}
+
+/// A deadline `from_now` in the future, read from the monotonic clock.
+#[inline]
+pub fn deadline(from_now: Duration) -> Instant {
+    now() + from_now
+}

@@ -59,6 +59,7 @@
 #![deny(missing_docs)]
 #![deny(rustdoc::broken_intra_doc_links)]
 
+pub mod clock;
 mod histogram;
 mod sink;
 mod snapshot;

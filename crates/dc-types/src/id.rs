@@ -191,7 +191,7 @@ impl crate::codec::BinCodec for ClusterId {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::collections::HashSet;
+    use std::collections::BTreeSet;
 
     #[test]
     fn object_id_roundtrip() {
@@ -218,7 +218,7 @@ mod tests {
     #[test]
     fn generator_yields_unique_ids() {
         let mut g = IdGenerator::new();
-        let ids: HashSet<u64> = (0..1000).map(|_| g.next_raw()).collect();
+        let ids: BTreeSet<u64> = (0..1000).map(|_| g.next_raw()).collect();
         assert_eq!(ids.len(), 1000);
     }
 
